@@ -1,0 +1,76 @@
+// Ablation — ofmap-buffer capacity vs the gs crossover.
+//
+// Fig. 6b's Segformer/EfficientViT energy rise at gs >= 3 is a buffer-fit
+// phenomenon: the grouping strategy keeps gs INT8 PSUM tiles live, and the
+// working set gs·rows·Pco must fit the ofmap buffer (§IV-C). This ablation
+// sweeps the buffer from 64 KB to 1 MB and shows the crossover moving —
+// the sizing argument behind the paper's 256 KB choice and the reason the
+// RAE must be reconfigurable rather than fixed at one gs.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "energy/energy_model.hpp"
+#include "models/llama2.hpp"
+#include "models/segformer.hpp"
+
+using namespace apsq;
+
+int main() {
+  std::cout << "=== Ablation: ofmap buffer capacity vs gs crossover ===\n\n";
+
+  {
+    const Workload seg = segformer_b0_workload();
+    std::cout << "--- Segformer-B0, WS, normalized energy ---\n";
+    Table t({"Ofmap buffer", "baseline", "gs=1", "gs=2", "gs=3", "gs=4"});
+    for (i64 kb : {64, 128, 256, 512, 1024}) {
+      AcceleratorConfig arch = AcceleratorConfig::dnn_default();
+      arch.ofmap_buf_bytes = kb * 1024;
+      // Normalize against the 256 KB INT32 baseline so rows are comparable.
+      AcceleratorConfig ref_arch = AcceleratorConfig::dnn_default();
+      const double ref = workload_energy(Dataflow::kWS, seg, ref_arch,
+                                         PsumConfig::baseline_int32())
+                             .total_pj();
+      std::vector<std::string> row{std::to_string(kb) + " KB"};
+      row.push_back(Table::num(workload_energy(Dataflow::kWS, seg, arch,
+                                               PsumConfig::baseline_int32())
+                                       .total_pj() /
+                                   ref,
+                               3));
+      for (index_t gs = 1; gs <= 4; ++gs)
+        row.push_back(Table::num(
+            workload_energy(Dataflow::kWS, seg, arch, PsumConfig::apsq_int8(gs))
+                    .total_pj() /
+                ref,
+            3));
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << "At 64 KB even gs=1 spills; at 1 MB all group sizes fit and "
+                 "the gs penalty disappears — the reconfigurability argument "
+                 "(§IV-C).\n\n";
+  }
+
+  {
+    const Workload llm = llama2_7b_workload(4096);
+    const AcceleratorConfig base_arch = AcceleratorConfig::llm_default();
+    std::cout << "--- LLaMA2-7B, WS, baseline/gs1 energy ratio ---\n";
+    Table t({"Ofmap buffer", "INT32 baseline vs APSQ gs=1"});
+    for (i64 kb : {64, 128, 256, 512, 1024, 4096}) {
+      AcceleratorConfig arch = base_arch;
+      arch.ofmap_buf_bytes = kb * 1024;
+      const double b = workload_energy(Dataflow::kWS, llm, arch,
+                                       PsumConfig::baseline_int32())
+                           .total_pj();
+      const double a =
+          workload_energy(Dataflow::kWS, llm, arch, PsumConfig::apsq_int8(1))
+              .total_pj();
+      t.add_row({std::to_string(kb) + " KB", Table::ratio(b / a, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "The 31.7x window exists only while the INT32 working set "
+                 "(512 KB) spills and the INT8 one (128 KB) fits; a 4 MB "
+                 "buffer would erase APSQ's DRAM advantage (at ~8x the SRAM "
+                 "area).\n";
+  }
+  return 0;
+}

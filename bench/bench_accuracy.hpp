@@ -1,0 +1,77 @@
+// Shared driver for the accuracy benches (Table I, Fig. 5, Table III):
+// train an FP32 teacher once per task, then QAT students (with knowledge
+// distillation) for the baseline and each APSQ configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/quant_dense.hpp"
+#include "nn/trainer.hpp"
+#include "tasks/students.hpp"
+
+namespace apsq::bench {
+
+struct AccuracyRunConfig {
+  index_t epochs = 8;
+  float lr = 2e-3f;
+  float kd_lambda = 0.5f;
+  index_t hidden = 128;
+  index_t depth = 2;
+  // Accumulation tile depth. The paper's models run Pci = 8 over
+  // Ci = 768..3072 (np = 96..384 PSUM tiles); the proxies' feature dims
+  // are ~8-12x smaller, so the tile depth is scaled down with them to
+  // keep np — the number of quantizer folds APSQ exposes — comparable
+  // (np = 16..32 here).
+  index_t tile_ci = 4;
+  u64 seed = 1;
+};
+
+struct TaskResult {
+  std::string task;
+  double baseline = 0.0;
+  double gs[4] = {0, 0, 0, 0};
+};
+
+/// Train baseline (W8A8, exact PSUM) + APSQ gs=1..4 students on a dataset.
+inline TaskResult run_accuracy_task(const std::string& name,
+                                    const nn::Dataset& ds,
+                                    const AccuracyRunConfig& rc,
+                                    int psum_bits = 8) {
+  const index_t out_dim = ds.regression ? 1 : ds.num_classes;
+  const tasks::StudentArch arch{ds.train_x.dim(1), rc.hidden, rc.depth,
+                                out_dim};
+
+  nn::TrainConfig tc;
+  tc.epochs = rc.epochs;
+  tc.lr = rc.lr;
+  tc.kd_lambda = rc.kd_lambda;
+  tc.shuffle_seed = rc.seed;
+
+  // FP32 teacher (shared by all students of this task).
+  Rng trng(rc.seed * 7919 + 13);
+  auto teacher = tasks::make_mlp(arch, std::nullopt, trng);
+  nn::TrainConfig teacher_tc = tc;
+  teacher_tc.kd_lambda = 0.0f;
+  nn::train_model(*teacher, ds, teacher_tc);
+
+  auto train_student = [&](const nn::QatConfig& qat) {
+    Rng rng(rc.seed * 104729 + 7);  // identical init across configs
+    auto student = tasks::make_mlp(arch, qat, rng);
+    return nn::train_model(*student, ds, tc, teacher.get()).test_metric_pct;
+  };
+
+  TaskResult result;
+  result.task = name;
+  nn::QatConfig base = nn::QatConfig::baseline_w8a8();
+  base.tile_ci = rc.tile_ci;
+  result.baseline = train_student(base);
+  for (index_t g = 1; g <= 4; ++g) {
+    nn::QatConfig qat = nn::QatConfig::apsq_bits(psum_bits, g, rc.tile_ci);
+    result.gs[g - 1] = train_student(qat);
+  }
+  return result;
+}
+
+}  // namespace apsq::bench

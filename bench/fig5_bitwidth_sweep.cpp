@@ -1,0 +1,67 @@
+// Fig. 5 — Normalized energy AND accuracy across gs settings for MRPC
+// under the WS dataflow on BERT-Base, at PSUM precisions INT4/INT6/INT8.
+//
+// Paper readings: normalized energy 0.41 (INT4), 0.45 (INT6), 0.50 (INT8),
+// flat across gs; accuracy drops sharply below INT8 — the basis for the
+// paper's conclusion that "adopting INT8 precision for APSQ is technically
+// optimal" (§IV-B).
+#include <iostream>
+
+#include "bench_accuracy.hpp"
+#include "common/table.hpp"
+#include "energy/energy_model.hpp"
+#include "models/bert.hpp"
+#include "tasks/glue_proxy.hpp"
+
+using namespace apsq;
+using bench::AccuracyRunConfig;
+using bench::run_accuracy_task;
+
+int main() {
+  std::cout << "=== Fig. 5: MRPC, WS dataflow, BERT-Base — PSUM precision "
+               "sweep ===\n\n";
+
+  const Workload bert = bert_base_workload();
+  const AcceleratorConfig arch = AcceleratorConfig::dnn_default();
+
+  // Energy half (model-based, instantaneous).
+  std::cout << "--- Normalized energy (WS, vs INT32 baseline) ---\n";
+  Table te({"PSUM bits", "gs=1", "gs=2", "gs=3", "gs=4", "paper"});
+  const double paper_energy[3] = {0.41, 0.45, 0.50};
+  int row = 0;
+  for (int bits : {4, 6, 8}) {
+    std::vector<std::string> cells{std::string("INT") + std::to_string(bits)};
+    for (index_t gs = 1; gs <= 4; ++gs)
+      cells.push_back(Table::num(
+          normalized_energy(Dataflow::kWS, bert, arch,
+                            PsumConfig::apsq_bits(bits, gs)),
+          3));
+    cells.push_back(Table::num(paper_energy[row++], 2) + " (flat)");
+    te.add_row(cells);
+  }
+  te.print(std::cout);
+
+  // Accuracy half (QAT on the MRPC proxy).
+  std::cout << "\n--- MRPC-proxy accuracy (training 1 baseline + 12 APSQ "
+               "students) ---\n";
+  const nn::Dataset ds =
+      tasks::make_synthetic_dataset(tasks::glue_proxy_spec("MRPC"));
+  Table ta({"PSUM bits", "Baseline", "gs=1", "gs=2", "gs=3", "gs=4"});
+  for (int bits : {4, 6, 8}) {
+    AccuracyRunConfig rc;
+    rc.epochs = 6;
+    rc.seed = 53 + static_cast<u64>(bits);
+    const bench::TaskResult r =
+        run_accuracy_task("MRPC", ds, rc, /*psum_bits=*/bits);
+    ta.add_row({std::string("INT") + std::to_string(bits),
+                Table::num(r.baseline, 2), Table::num(r.gs[0], 2),
+                Table::num(r.gs[1], 2), Table::num(r.gs[2], 2),
+                Table::num(r.gs[3], 2)});
+  }
+  ta.print(std::cout);
+
+  std::cout << "\nExpected shape: energy shrinks only mildly below INT8 while "
+               "accuracy degrades — INT8 APSQ is the sweet spot (paper "
+               "MRPC baseline 87.99).\n";
+  return 0;
+}

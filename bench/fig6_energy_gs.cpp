@@ -1,0 +1,74 @@
+// Fig. 6 — Normalized energy across gs settings and models under (a) IS
+// and (b) WS dataflows, all relative to the INT32-PSUM baseline.
+//
+// Paper readings:
+//   IS:  BERT 0.72, Segformer 0.58, EfficientViT 0.60 (flat across gs)
+//   WS:  BERT 0.50 (flat);  Segformer 0.13 (gs=1,2) -> 0.34 (gs=3,4);
+//        EfficientViT 0.32 (gs=1,2) -> 0.43 (gs=3,4)
+// The WS rise at gs >= 3 is the grouping footprint exceeding the 256 KB
+// ofmap buffer on the high-resolution stages (§IV-C).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "energy/energy_model.hpp"
+#include "models/bert.hpp"
+#include "models/efficientvit.hpp"
+#include "models/segformer.hpp"
+
+using namespace apsq;
+
+namespace {
+
+struct PaperRow {
+  const char* model;
+  double is_ref;            // flat across gs
+  double ws_ref[4];         // per gs
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 6: normalized energy vs group size ===\n\n";
+
+  const AcceleratorConfig arch = AcceleratorConfig::dnn_default();
+  const Workload models[] = {bert_base_workload(), segformer_b0_workload(),
+                             efficientvit_b1_workload()};
+  const PaperRow paper[] = {
+      {"BERT-Base", 0.72, {0.50, 0.50, 0.50, 0.50}},
+      {"Segformer-B0", 0.58, {0.13, 0.13, 0.34, 0.34}},
+      {"EfficientViT-B1", 0.60, {0.32, 0.32, 0.43, 0.43}},
+  };
+
+  for (Dataflow df : {Dataflow::kIS, Dataflow::kWS}) {
+    std::cout << "--- Fig. 6" << (df == Dataflow::kIS ? "a (IS)" : "b (WS)")
+              << " ---\n";
+    Table t({"Model", "gs=1", "gs=2", "gs=3", "gs=4", "paper (gs=1..4)"});
+    for (size_t m = 0; m < 3; ++m) {
+      std::vector<std::string> row{models[m].name};
+      for (index_t gs = 1; gs <= 4; ++gs)
+        row.push_back(Table::num(
+            normalized_energy(df, models[m], arch, PsumConfig::apsq_int8(gs)),
+            3));
+      std::string ref;
+      if (df == Dataflow::kIS) {
+        ref = Table::num(paper[m].is_ref, 2) + " (flat)";
+      } else {
+        for (int g = 0; g < 4; ++g)
+          ref += (g ? "/" : "") + Table::num(paper[m].ws_ref[g], 2);
+      }
+      row.push_back(ref);
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Energy savings (WS, gs=1): ";
+  for (size_t m = 0; m < 3; ++m) {
+    const double e = normalized_energy(Dataflow::kWS, models[m], arch,
+                                       PsumConfig::apsq_int8(1));
+    std::cout << models[m].name << " " << Table::pct(1.0 - e) << "  ";
+  }
+  std::cout << "\n(paper: 50% / 87% / 68%)\n";
+  return 0;
+}

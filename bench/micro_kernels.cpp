@@ -1,0 +1,132 @@
+// Kernel micro-benchmarks (google-benchmark): throughput of the building
+// blocks — integer GEMM, APSQ accumulation (float reference vs integer
+// shift path vs RAE structural model), and the analytical energy model.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "energy/energy_model.hpp"
+#include "models/bert.hpp"
+#include "quant/apsq.hpp"
+#include "quant/apsq_int.hpp"
+#include "quant/grouping.hpp"
+#include "rae/rae_engine.hpp"
+#include "tensor/matmul.hpp"
+
+namespace apsq {
+namespace {
+
+TensorI8 random_i8(Shape s, Rng& rng) {
+  TensorI8 t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
+  return t;
+}
+
+void BM_MatmulI8(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(1);
+  const TensorI8 a = random_i8({n, n}, rng);
+  const TensorI8 b = random_i8({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul_i8(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulI8)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulF32(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(2);
+  TensorF a({n, n}), b({n, n});
+  for (index_t i = 0; i < a.numel(); ++i) {
+    a[i] = static_cast<float>(rng.normal());
+    b[i] = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulF32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GroupedApsqFloat(benchmark::State& state) {
+  const index_t gs = state.range(0);
+  const index_t np = 96, elems = 128;
+  Rng rng(3);
+  std::vector<TensorF> tiles;
+  for (index_t t = 0; t < np; ++t) {
+    TensorF tile({elems});
+    for (index_t i = 0; i < elems; ++i)
+      tile[i] = static_cast<float>(std::lround(rng.normal(0.0, 500.0)));
+    tiles.push_back(std::move(tile));
+  }
+  for (auto _ : state) {
+    GroupedApsq::Options opt;
+    opt.group_size = gs;
+    opt.num_tiles = np;
+    opt.scales = {32.0};
+    GroupedApsq acc({elems}, opt);
+    for (const auto& t : tiles) acc.push(t);
+    benchmark::DoNotOptimize(acc.output());
+  }
+  state.SetItemsProcessed(state.iterations() * np * elems);
+}
+BENCHMARK(BM_GroupedApsqFloat)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GroupedApsqInt(benchmark::State& state) {
+  const index_t gs = state.range(0);
+  const index_t np = 96, elems = 128;
+  Rng rng(4);
+  std::vector<TensorI32> tiles;
+  for (index_t t = 0; t < np; ++t) {
+    TensorI32 tile({elems});
+    for (index_t i = 0; i < elems; ++i)
+      tile[i] = static_cast<i32>(static_cast<i64>(rng.next_u64() % 2001) - 1000);
+    tiles.push_back(std::move(tile));
+  }
+  for (auto _ : state) {
+    GroupedApsqInt::Options opt;
+    opt.group_size = gs;
+    opt.num_tiles = np;
+    opt.exponents = {5};
+    GroupedApsqInt acc({elems}, opt);
+    for (const auto& t : tiles) acc.push(t);
+    benchmark::DoNotOptimize(acc.output());
+  }
+  state.SetItemsProcessed(state.iterations() * np * elems);
+}
+BENCHMARK(BM_GroupedApsqInt)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_RaeEngine(benchmark::State& state) {
+  const index_t gs = state.range(0);
+  const index_t np = 96, elems = 128;
+  Rng rng(5);
+  std::vector<TensorI32> tiles;
+  for (index_t t = 0; t < np; ++t) {
+    TensorI32 tile({elems});
+    for (index_t i = 0; i < elems; ++i)
+      tile[i] = static_cast<i32>(static_cast<i64>(rng.next_u64() % 2001) - 1000);
+    tiles.push_back(std::move(tile));
+  }
+  for (auto _ : state) {
+    RaeEngine::Options opt;
+    opt.group_size = gs;
+    opt.num_tiles = np;
+    opt.exponents = {5};
+    RaeEngine engine({elems}, opt);
+    for (const auto& t : tiles) engine.push(t);
+    benchmark::DoNotOptimize(engine.output());
+  }
+  state.SetItemsProcessed(state.iterations() * np * elems);
+}
+BENCHMARK(BM_RaeEngine)->Arg(1)->Arg(4);
+
+void BM_WorkloadEnergy(benchmark::State& state) {
+  const Workload bert = bert_base_workload();
+  const AcceleratorConfig arch = AcceleratorConfig::dnn_default();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        workload_energy(Dataflow::kWS, bert, arch, PsumConfig::apsq_int8(2)));
+}
+BENCHMARK(BM_WorkloadEnergy);
+
+}  // namespace
+}  // namespace apsq

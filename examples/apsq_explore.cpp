@@ -1,0 +1,192 @@
+// apsq_explore — command-line energy/performance explorer.
+//
+// Evaluate any bundled workload under any dataflow / PSUM configuration /
+// buffer sizing, with optional CSV output for plotting:
+//
+//   apsq_explore --model bert --dataflow ws --gs 2
+//   apsq_explore --model segformer --dataflow ws --psum-bits 32 --no-apsq
+//   apsq_explore --model llama2 --seq 4096 --sweep-gs --csv out.csv
+//
+// Run with --help for the full flag list.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "energy/energy_model.hpp"
+#include "models/bert.hpp"
+#include "models/efficientvit.hpp"
+#include "models/llama2.hpp"
+#include "models/segformer.hpp"
+#include "sim/performance.hpp"
+
+using namespace apsq;
+
+namespace {
+
+struct Options {
+  std::string model = "bert";
+  std::string dataflow = "ws";
+  int psum_bits = 8;
+  bool apsq = true;
+  index_t gs = 1;
+  index_t seq = 4096;
+  i64 ofmap_kb = 0;  // 0 = default
+  bool sweep_gs = false;
+  std::string csv_path;
+};
+
+void print_help() {
+  std::cout <<
+      "apsq_explore — energy/performance explorer\n\n"
+      "  --model NAME      bert | segformer | efficientvit | llama2 (default bert)\n"
+      "  --dataflow D      is | ws | os (default ws)\n"
+      "  --psum-bits N     stored PSUM precision (default 8)\n"
+      "  --no-apsq         INT-N storage without APSQ (baseline-style)\n"
+      "  --gs N            APSQ group size 1..4 (default 1)\n"
+      "  --seq N           token length for bert/llama2 (default 4096 for llama2,\n"
+      "                    128 for bert)\n"
+      "  --ofmap-kb N      override the ofmap buffer capacity\n"
+      "  --sweep-gs        evaluate gs = 1..4 plus the INT32 baseline\n"
+      "  --csv PATH        also write the rows as CSV\n"
+      "  --help            this text\n";
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      print_help();
+      return false;
+    } else if (a == "--model") {
+      const char* v = next("--model");
+      if (!v) return false;
+      o.model = v;
+    } else if (a == "--dataflow") {
+      const char* v = next("--dataflow");
+      if (!v) return false;
+      o.dataflow = v;
+    } else if (a == "--psum-bits") {
+      const char* v = next("--psum-bits");
+      if (!v) return false;
+      o.psum_bits = std::atoi(v);
+    } else if (a == "--no-apsq") {
+      o.apsq = false;
+    } else if (a == "--gs") {
+      const char* v = next("--gs");
+      if (!v) return false;
+      o.gs = std::atoll(v);
+    } else if (a == "--seq") {
+      const char* v = next("--seq");
+      if (!v) return false;
+      o.seq = std::atoll(v);
+    } else if (a == "--ofmap-kb") {
+      const char* v = next("--ofmap-kb");
+      if (!v) return false;
+      o.ofmap_kb = std::atoll(v);
+    } else if (a == "--sweep-gs") {
+      o.sweep_gs = true;
+    } else if (a == "--csv") {
+      const char* v = next("--csv");
+      if (!v) return false;
+      o.csv_path = v;
+    } else {
+      std::cerr << "unknown flag: " << a << " (try --help)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) return 1;
+
+  Workload w;
+  AcceleratorConfig arch = AcceleratorConfig::dnn_default();
+  if (o.model == "bert") {
+    w = bert_base_workload(o.seq == 4096 ? 128 : o.seq);
+  } else if (o.model == "segformer") {
+    w = segformer_b0_workload();
+  } else if (o.model == "efficientvit") {
+    w = efficientvit_b1_workload();
+  } else if (o.model == "llama2") {
+    w = llama2_7b_workload(o.seq);
+    arch = AcceleratorConfig::llm_default();
+  } else {
+    std::cerr << "unknown model: " << o.model << " (try --help)\n";
+    return 1;
+  }
+  if (o.ofmap_kb > 0) arch.ofmap_buf_bytes = o.ofmap_kb * 1024;
+
+  Dataflow df;
+  if (o.dataflow == "is") df = Dataflow::kIS;
+  else if (o.dataflow == "ws") df = Dataflow::kWS;
+  else if (o.dataflow == "os") df = Dataflow::kOS;
+  else {
+    std::cerr << "unknown dataflow: " << o.dataflow << "\n";
+    return 1;
+  }
+
+  std::vector<PsumConfig> configs;
+  std::vector<std::string> labels;
+  if (o.sweep_gs) {
+    configs.push_back(PsumConfig::baseline_int32());
+    labels.push_back("INT32 baseline");
+    for (index_t g = 1; g <= 4; ++g) {
+      configs.push_back(PsumConfig::apsq_bits(o.psum_bits, g));
+      labels.push_back("APSQ INT" + std::to_string(o.psum_bits) + " gs=" +
+                       std::to_string(g));
+    }
+  } else {
+    configs.push_back(PsumConfig{o.psum_bits, o.apsq, o.gs});
+    labels.push_back((o.apsq ? "APSQ INT" : "INT") +
+                     std::to_string(o.psum_bits) +
+                     (o.apsq ? " gs=" + std::to_string(o.gs) : ""));
+    configs.push_back(PsumConfig::baseline_int32());
+    labels.push_back("INT32 baseline");
+  }
+
+  std::cout << w.name << " | " << to_string(df) << " dataflow | ofmap buffer "
+            << arch.ofmap_buf_bytes / 1024 << " KB | "
+            << w.total_macs() / 1e9 << " GMACs\n\n";
+
+  Table t({"Config", "Energy (uJ)", "Normalized", "PSUM share", "Latency (ms)",
+           "Effective GMAC/s"});
+  CsvWriter csv({"config", "energy_uj", "normalized", "psum_share",
+                 "latency_ms", "gmacs"});
+  const double base =
+      workload_energy(df, w, arch, PsumConfig::baseline_int32()).total_pj();
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const EnergyBreakdown e = workload_energy(df, w, arch, configs[i]);
+    const WorkloadPerformance p = workload_performance(df, w, arch, configs[i]);
+    const std::vector<std::string> cells{
+        labels[i],
+        Table::num(e.total_pj() / 1e6, 1),
+        Table::num(e.total_pj() / base, 3),
+        Table::pct(e.psum_fraction()),
+        Table::num(p.total_latency_s * 1e3, 2),
+        Table::num(p.effective_gmacs(), 1)};
+    t.add_row(cells);
+    csv.add_row(cells);
+  }
+  t.print(std::cout);
+
+  if (!o.csv_path.empty()) {
+    if (csv.write(o.csv_path))
+      std::cout << "\nwrote " << o.csv_path << "\n";
+    else
+      std::cerr << "\nfailed to write " << o.csv_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// LLM energy analysis beyond Table IV: per-token decode vs whole-sequence
+// accounting on LLaMA2-7B.
+//
+// Table IV follows the paper's methodology (decode simulated as a
+// full-sequence GEMM with Po = 1, "keeping the total number of MAC
+// operations unchanged"). This example also models a literal single-token
+// decode step, where per-step weight refetch from DRAM dominates and PSUM
+// savings all but vanish — the regime behind the paper's remark that IS
+// gains little because "the feature map is a vector, considerably smaller
+// than weight" (§IV-D).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "energy/energy_model.hpp"
+#include "models/llama2.hpp"
+
+using namespace apsq;
+
+int main() {
+  const AcceleratorConfig arch = AcceleratorConfig::llm_default();
+
+  std::cout << "== LLaMA2-7B energy, " << "Po=1 Pci=32 Pco=32 ==\n\n";
+
+  // Whole-sequence accounting (the paper's Table IV view).
+  {
+    const Workload seq = llama2_7b_workload(4096);
+    std::cout << "--- Full 4096-token GEMM stack (Table IV methodology) ---\n";
+    Table t({"PSUM config", "Energy (mJ)", "vs APSQ gs=1"});
+    const double gs1 =
+        workload_energy(Dataflow::kWS, seq, arch, PsumConfig::apsq_int8(1))
+            .total_pj();
+    for (auto [label, pc] :
+         {std::pair<const char*, PsumConfig>{"INT32 baseline",
+                                             PsumConfig::baseline_int32()},
+          {"APSQ INT8 gs=1", PsumConfig::apsq_int8(1)},
+          {"APSQ INT8 gs=4", PsumConfig::apsq_int8(4)}}) {
+      const double e =
+          workload_energy(Dataflow::kWS, seq, arch, pc).total_pj();
+      t.add_row({label, Table::num(e / 1e9, 1), Table::ratio(e / gs1, 2)});
+    }
+    t.print(std::cout);
+  }
+
+  // Literal per-token decode step.
+  {
+    const Workload step = llama2_7b_decode_step_workload();
+    std::cout << "\n--- One literal decode step (rows = 1) ---\n";
+    Table t({"Dataflow", "PSUM config", "Energy (uJ)", "psum share"});
+    for (Dataflow df : {Dataflow::kIS, Dataflow::kWS}) {
+      for (auto [label, pc] :
+           {std::pair<const char*, PsumConfig>{"INT32",
+                                               PsumConfig::baseline_int32()},
+            {"APSQ gs=1", PsumConfig::apsq_int8(1)}}) {
+        const EnergyBreakdown e = workload_energy(df, step, arch, pc);
+        t.add_row({to_string(df), label, Table::num(e.total_pj() / 1e6, 1),
+                   Table::pct(e.psum_fraction())});
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\nPer-step decode is dominated by streaming 6.6 GB of "
+                 "weights from DRAM; PSUM precision barely moves the total "
+                 "(why Table IV's IS column is ~1x).\n";
+  }
+
+  // Sequence-length sweep: where the WS spill threshold lives.
+  {
+    std::cout << "\n--- WS baseline/APSQ ratio vs sequence length ---\n";
+    Table t({"Seq len", "Baseline vs gs=1", "gs=3 vs gs=1"});
+    for (index_t s : {512, 1024, 2048, 4096, 8192}) {
+      const Workload w = llama2_7b_workload(s);
+      const double b =
+          workload_energy(Dataflow::kWS, w, arch, PsumConfig::baseline_int32())
+              .total_pj();
+      const double g1 =
+          workload_energy(Dataflow::kWS, w, arch, PsumConfig::apsq_int8(1))
+              .total_pj();
+      const double g3 =
+          workload_energy(Dataflow::kWS, w, arch, PsumConfig::apsq_int8(3))
+              .total_pj();
+      t.add_row({std::to_string(s), Table::ratio(b / g1, 2),
+                 Table::ratio(g3 / g1, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nThe 31.7x headline needs sequences long enough that the "
+                 "INT32 PSUM working set spills (4·seq·32 B > 256 KB, i.e. "
+                 "seq > 2048) while the INT8 one still fits.\n";
+  }
+  return 0;
+}

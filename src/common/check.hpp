@@ -1,0 +1,43 @@
+// Lightweight precondition / invariant checking.
+//
+// APSQ_CHECK is always on (models research-code invariants that must never
+// be violated silently); APSQ_DCHECK compiles out in NDEBUG builds and is
+// used inside hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apsq::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "APSQ_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace apsq::detail
+
+#define APSQ_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::apsq::detail::check_failed(#expr, __FILE__, __LINE__, "");         \
+  } while (0)
+
+#define APSQ_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::apsq::detail::check_failed(#expr, __FILE__, __LINE__, os_.str());  \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define APSQ_DCHECK(expr) ((void)0)
+#else
+#define APSQ_DCHECK(expr) APSQ_CHECK(expr)
+#endif

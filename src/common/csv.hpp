@@ -1,0 +1,64 @@
+// Minimal CSV writer — benches use it to dump series for external
+// plotting (every figure bench prints a table AND can persist raw data).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace apsq {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header)
+      : columns_(header.size()) {
+    rows_.push_back(std::move(header));
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    APSQ_CHECK_MSG(cells.size() == columns_, "CSV row arity mismatch");
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Serialize with RFC-4180-style quoting where needed.
+  std::string to_string() const {
+    std::string out;
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c) out += ',';
+        out += quote(row[c]);
+      }
+      out += '\n';
+    }
+    return out;
+  }
+
+  /// Write to a file; returns false on I/O failure.
+  bool write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    os << to_string();
+    return static_cast<bool>(os);
+  }
+
+  size_t row_count() const { return rows_.size() - 1; }
+
+ private:
+  static std::string quote(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  }
+
+  size_t columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apsq

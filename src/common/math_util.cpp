@@ -1,0 +1,28 @@
+#include "common/math_util.hpp"
+
+namespace apsq {
+
+double round_to_pow2(double alpha) {
+  APSQ_CHECK_MSG(alpha > 0.0, "power-of-two rounding needs a positive scale");
+  return std::exp2(static_cast<double>(pow2_exponent(alpha)));
+}
+
+int pow2_exponent(double alpha) {
+  APSQ_CHECK_MSG(alpha > 0.0, "power-of-two rounding needs a positive scale");
+  // 2^⌊log2 α⌉ — round the exponent to the nearest integer (ties up, which
+  // matches round_half_away on the exponent).
+  return static_cast<int>(round_half_away(std::log2(alpha)));
+}
+
+int psum_bits_required(index_t accumulation_depth) {
+  APSQ_CHECK(accumulation_depth >= 1);
+  int log2_depth = 0;
+  index_t d = 1;
+  while (d < accumulation_depth) {
+    d *= 2;
+    ++log2_depth;
+  }
+  return 16 + log2_depth;
+}
+
+}  // namespace apsq

@@ -1,0 +1,60 @@
+// Small numeric helpers shared by quantizers, energy model and simulator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace apsq {
+
+/// ceil(a / b) for positive integers (the ⌈·⌉ of Eqs. (3)–(6)).
+constexpr index_t ceil_div(index_t a, index_t b) {
+  APSQ_DCHECK(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Round half away from zero, matching floor(x + 0.5) for x >= 0 and
+/// ceil(x - 0.5) for x < 0. This is the float-side twin of the hardware
+/// rounding shift below; the pair must stay consistent for bit-exactness.
+inline double round_half_away(double x) {
+  return x >= 0.0 ? std::floor(x + 0.5) : std::ceil(x - 0.5);
+}
+
+/// Arithmetic right shift with round-half-away-from-zero, i.e. the
+/// behaviour of the RAE's rounding shifter (>> block in Fig. 2).
+/// Result equals round_half_away(double(x) / 2^s) for every int64 whose
+/// magnitude fits a double exactly.
+inline i64 rounding_shift_right(i64 x, int s) {
+  APSQ_DCHECK(s >= 0 && s < 63);
+  if (s == 0) return x;
+  const i64 bias = i64{1} << (s - 1);
+  if (x >= 0) return (x + bias) >> s;
+  return -((-x + bias) >> s);
+}
+
+/// Saturating clip to [lo, hi].
+constexpr i64 clip(i64 x, i64 lo, i64 hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+constexpr double clipf(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// True iff x is a (positive) power of two.
+constexpr bool is_pow2(i64 x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// Round a positive real scale to the nearest power of two: 2^⌊log2 α⌉.
+/// Used for PSUM scaling factors so dequantization becomes a shift (§II-B).
+double round_to_pow2(double alpha);
+
+/// Exponent e such that round_to_pow2(alpha) == 2^e.
+int pow2_exponent(double alpha);
+
+/// Number of bits needed to hold a signed accumulation of `depth` INT8xINT8
+/// products without overflow: 16 + ceil(log2(depth)) (§II-A).
+int psum_bits_required(index_t accumulation_depth);
+
+}  // namespace apsq

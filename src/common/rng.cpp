@@ -1,0 +1,83 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace apsq {
+
+namespace {
+
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 s = seed;
+  for (auto& lane : state_) lane = splitmix64(s);
+}
+
+u64 Rng::next_u64() {
+  const u64 result = rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  APSQ_DCHECK(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+index_t Rng::uniform_index(index_t n) {
+  APSQ_CHECK(n > 0);
+  return static_cast<index_t>(next_u64() % static_cast<u64>(n));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+void Rng::shuffle(std::vector<index_t>& v) {
+  for (index_t i = static_cast<index_t>(v.size()) - 1; i > 0; --i) {
+    index_t j = uniform_index(i + 1);
+    std::swap(v[static_cast<size_t>(i)], v[static_cast<size_t>(j)]);
+  }
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace apsq

@@ -1,0 +1,39 @@
+// ASCII table printer used by the benchmark harnesses to emit paper-style
+// tables ("paper reference" vs "measured" rows).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace apsq {
+
+/// A simple fixed-column table. Cells are strings; helpers format numbers
+/// with a chosen precision. Rendered with aligned columns and a header rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator row.
+  void add_separator();
+
+  /// Render to a stream.
+  void print(std::ostream& os) const;
+
+  /// Render to a string.
+  std::string to_string() const;
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);   ///< 0.28 -> "28.0%"
+  static std::string ratio(double v, int precision = 2); ///< 31.7 -> "31.70x"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace apsq

@@ -1,0 +1,22 @@
+// Fundamental integer / index aliases shared across the APSQ codebase.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace apsq {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Index type used for tensor shapes and loop bounds. Signed on purpose
+/// (ES.107: avoid unsigned arithmetic surprises in loop math).
+using index_t = std::int64_t;
+
+}  // namespace apsq

@@ -1,0 +1,47 @@
+// Analytical accelerator configuration (Fig. 2 / §IV-A).
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace apsq {
+
+struct AcceleratorConfig {
+  // MAC-array parallelism.
+  index_t po = 16;   ///< output-pixel (token) parallelism
+  index_t pci = 8;   ///< input-channel parallelism
+  index_t pco = 8;   ///< output-channel parallelism
+
+  // On-chip buffer capacities in bytes (§IV-A: 256 KB ifmap, 256 KB ofmap,
+  // 128 KB weight).
+  i64 ifmap_buf_bytes = 256 * 1024;
+  i64 ofmap_buf_bytes = 256 * 1024;
+  i64 weight_buf_bytes = 128 * 1024;
+
+  // Operand precisions in bits (W8A8 throughout the paper).
+  int act_bits = 8;
+  int weight_bits = 8;
+
+  void validate() const {
+    APSQ_CHECK(po > 0 && pci > 0 && pco > 0);
+    APSQ_CHECK(ifmap_buf_bytes > 0 && ofmap_buf_bytes > 0 && weight_buf_bytes > 0);
+    APSQ_CHECK(act_bits > 0 && weight_bits > 0);
+  }
+
+  double act_bytes() const { return act_bits / 8.0; }
+  double weight_bytes() const { return weight_bits / 8.0; }
+
+  /// The paper's CNN/Transformer configuration (§IV-A).
+  static AcceleratorConfig dnn_default() { return AcceleratorConfig{}; }
+
+  /// The paper's LLM decoding configuration: Po=1, Pci=32, Pco=32.
+  static AcceleratorConfig llm_default() {
+    AcceleratorConfig c;
+    c.po = 1;
+    c.pci = 32;
+    c.pco = 32;
+    return c;
+  }
+};
+
+}  // namespace apsq

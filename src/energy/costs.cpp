@@ -1,0 +1,7 @@
+#include "energy/costs.hpp"
+
+namespace apsq {
+
+EnergyCosts EnergyCosts::horowitz() { return EnergyCosts{}; }
+
+}  // namespace apsq

@@ -1,0 +1,17 @@
+// Per-access energy costs (Eq. 1), following Horowitz, ISSCC 2014 [21] —
+// the same source the paper uses.
+#pragma once
+
+namespace apsq {
+
+/// Energy cost table. Units: picojoules. SRAM/DRAM costs are per *byte*
+/// moved; the MAC cost is per INT8 multiply-accumulate operation.
+struct EnergyCosts {
+  double edram_pj_per_byte = 156.0;  ///< DDR3: ~1.3 nJ per 64-bit access
+  double esram_pj_per_byte = 7.5;    ///< 100-KB-class on-chip SRAM macro
+  double emac_pj = 0.55;  ///< INT8 multiply + 32-bit accumulate + pipeline reg
+
+  static EnergyCosts horowitz();
+};
+
+}  // namespace apsq

@@ -1,0 +1,11 @@
+#include "energy/layer_shape.hpp"
+
+namespace apsq {
+
+i64 Workload::total_macs() const {
+  i64 total = 0;
+  for (const auto& l : layers) total += l.macs() * l.repeat;
+  return total;
+}
+
+}  // namespace apsq

@@ -1,0 +1,42 @@
+// Layer shape description for the analytical energy model.
+//
+// Every workload layer is modeled as a GEMM / pointwise-convolution:
+//   ofmap[rows, co] = ifmap[rows, ci] · weight[ci, co]
+// where `rows` is the number of output pixels / tokens (Ho·Wo in the
+// paper's notation; the spatial tiling is one-dimensional over rows with
+// tile height Po). Attention matmuls put the K/V operand in the weight
+// role. `repeat` folds identical layers (e.g. 12 BERT encoder blocks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace apsq {
+
+struct LayerShape {
+  std::string name;
+  index_t rows = 0;  ///< Ho·Wo (tokens / output pixels)
+  index_t ci = 0;    ///< input channels (accumulation dimension)
+  index_t co = 0;    ///< output channels
+  index_t repeat = 1;
+
+  /// MACs for one instance of the layer.
+  i64 macs() const { return static_cast<i64>(rows) * ci * co; }
+
+  /// ifmap / weight / ofmap sizes in elements (one instance).
+  i64 ifmap_elems() const { return static_cast<i64>(rows) * ci; }
+  i64 weight_elems() const { return static_cast<i64>(ci) * co; }
+  i64 ofmap_elems() const { return static_cast<i64>(rows) * co; }
+};
+
+/// A named list of layers == one model workload.
+struct Workload {
+  std::string name;
+  std::vector<LayerShape> layers;
+
+  i64 total_macs() const;
+};
+
+}  // namespace apsq

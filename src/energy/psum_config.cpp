@@ -1,0 +1,10 @@
+#include "energy/psum_config.hpp"
+
+namespace apsq {
+
+double PsumConfig::beta(int act_bits) const {
+  APSQ_CHECK(act_bits > 0);
+  return static_cast<double>(psum_bits) / static_cast<double>(act_bits);
+}
+
+}  // namespace apsq

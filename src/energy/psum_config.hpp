@@ -1,0 +1,42 @@
+// PSUM precision / handling configuration for the energy model (Eq. 2's β
+// factor plus the gs-dependent buffer footprint of §III-B / §IV-C).
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace apsq {
+
+struct PsumConfig {
+  int psum_bits = 32;     ///< stored PSUM precision
+  bool apsq = false;      ///< true: APSQ grouping active (low-bit storage)
+  index_t group_size = 1; ///< gs (only meaningful when apsq == true)
+
+  /// β of Eq. (2): PSUM precision relative to the activation precision.
+  double beta(int act_bits) const;
+
+  /// Bytes occupied by one stored PSUM element.
+  double bytes_per_elem() const { return psum_bits / 8.0; }
+
+  /// Footprint multiplier: the grouping strategy keeps gs quantized tiles
+  /// live per group (Algorithm 1), so the PSUM working set scales by gs.
+  index_t footprint_multiplier() const { return apsq ? group_size : 1; }
+
+  void validate() const {
+    APSQ_CHECK(psum_bits >= 2 && psum_bits <= 64);
+    APSQ_CHECK(group_size >= 1);
+  }
+
+  /// INT32-PSUM baseline of the paper's experiments.
+  static PsumConfig baseline_int32() { return PsumConfig{32, false, 1}; }
+  /// INT16 PSUM (Fig. 1 middle bars).
+  static PsumConfig baseline_int16() { return PsumConfig{16, false, 1}; }
+  /// APSQ with INT8 PSUMs and group size gs (the paper's main setting).
+  static PsumConfig apsq_int8(index_t gs) { return PsumConfig{8, true, gs}; }
+  /// APSQ at reduced precision (Fig. 5's INT6/INT4 bars).
+  static PsumConfig apsq_bits(int bits, index_t gs) {
+    return PsumConfig{bits, true, gs};
+  }
+};
+
+}  // namespace apsq

@@ -1,0 +1,39 @@
+#include "models/bert.hpp"
+
+#include "common/check.hpp"
+
+namespace apsq {
+
+namespace {
+
+Workload bert_workload(const std::string& name, index_t tokens, index_t hidden,
+                       index_t heads, index_t ffn, index_t layers) {
+  APSQ_CHECK(tokens > 0 && hidden % heads == 0);
+  const index_t head_dim = hidden / heads;
+  Workload w;
+  w.name = name;
+  // Q/K/V projections.
+  w.layers.push_back({"qkv_proj", tokens, hidden, 3 * hidden, layers});
+  // Attention scores Q·Kᵀ (per head; K in the weight role).
+  w.layers.push_back({"attn_scores", tokens, head_dim, tokens, layers * heads});
+  // Attention context P·V (per head; V in the weight role).
+  w.layers.push_back({"attn_context", tokens, tokens, head_dim, layers * heads});
+  // Output projection.
+  w.layers.push_back({"out_proj", tokens, hidden, hidden, layers});
+  // Feed-forward network.
+  w.layers.push_back({"ffn_in", tokens, hidden, ffn, layers});
+  w.layers.push_back({"ffn_out", tokens, ffn, hidden, layers});
+  return w;
+}
+
+}  // namespace
+
+Workload bert_base_workload(index_t tokens) {
+  return bert_workload("BERT-Base", tokens, 768, 12, 3072, 12);
+}
+
+Workload bert_large_workload(index_t tokens) {
+  return bert_workload("BERT-Large", tokens, 1024, 16, 4096, 24);
+}
+
+}  // namespace apsq

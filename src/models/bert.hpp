@@ -1,0 +1,19 @@
+// BERT-Base workload (§IV-A: input token length 128).
+//
+// 12 encoder layers, hidden 768, 12 heads (head dim 64), FFN 3072.
+// Attention score / context matmuls are modeled per head with the K/V
+// operand in the weight role (see layer_shape.hpp).
+#pragma once
+
+#include "energy/layer_shape.hpp"
+
+namespace apsq {
+
+/// BERT-Base encoder stack at the given token length (paper: 128).
+Workload bert_base_workload(index_t tokens = 128);
+
+/// BERT-Large FFN shapes (hidden 1024, FFN 4096) — used by the §II-A
+/// discussion of 28-bit PSUM growth; handy for tests.
+Workload bert_large_workload(index_t tokens = 128);
+
+}  // namespace apsq

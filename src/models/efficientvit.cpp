@@ -1,0 +1,80 @@
+#include "models/efficientvit.hpp"
+
+#include <array>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace apsq {
+
+namespace {
+
+/// MBConv block: 1×1 expand (C→eC), 3×3 depthwise on eC, 1×1 project
+/// (eC→C'). Depthwise contributes ci = 9 per output channel.
+void add_mbconv(Workload& w, const std::string& tag, index_t n_out,
+                index_t c_in, index_t c_out, index_t expand, index_t rep) {
+  const index_t mid = c_in * expand;
+  w.layers.push_back({tag + "_expand", n_out, c_in, mid, rep});
+  w.layers.push_back({tag + "_dw3x3", n_out, 3 * 3, mid, rep});
+  w.layers.push_back({tag + "_project", n_out, mid, c_out, rep});
+}
+
+/// EfficientViT module: QKV projection, multi-scale aggregation conv,
+/// ReLU linear attention (two chained matmuls with the reduced token
+/// dimension in the weight role), output projection, then an MBConv FFN.
+void add_evit_module(Workload& w, const std::string& tag, index_t n,
+                     index_t c, index_t rep) {
+  const index_t head_dim = 16;  // lightweight attention head width
+  w.layers.push_back({tag + "_qkv", n, c, 3 * c, rep});
+  w.layers.push_back({tag + "_aggreg5x5", n, 5 * 5, 3 * c, rep});
+  // Linear attention: (KᵀV) then Q·(KᵀV) — cost ∝ n·d² per head group.
+  w.layers.push_back({tag + "_kTv", head_dim, n, c, rep});
+  w.layers.push_back({tag + "_q_kTv", n, head_dim, c, rep});
+  w.layers.push_back({tag + "_out_proj", n, c, c, rep});
+  add_mbconv(w, tag + "_ffn", n, c, c, 4, rep);
+}
+
+}  // namespace
+
+Workload efficientvit_b1_workload(index_t input_resolution) {
+  APSQ_CHECK_MSG(input_resolution % 32 == 0,
+                 "EfficientViT needs a stride-32-aligned resolution");
+  Workload w;
+  w.name = "EfficientViT-B1";
+
+  const index_t r = input_resolution;
+  const auto tokens = [r](index_t stride) { return (r / stride) * (r / stride); };
+
+  // Input stem: conv3x3 s2 (3→16) + one depthwise-separable block.
+  w.layers.push_back({"stem_conv", tokens(2), 3 * 3 * 3, 16, 1});
+  w.layers.push_back({"stem_dw3x3", tokens(2), 3 * 3, 16, 1});
+  w.layers.push_back({"stem_pw", tokens(2), 16, 16, 1});
+
+  // Stage 1: width 32, 2 MBConv blocks at stride 4.
+  add_mbconv(w, "s1_mb_down", tokens(4), 16, 32, 4, 1);
+  add_mbconv(w, "s1_mb", tokens(4), 32, 32, 4, 1);
+
+  // Stage 2: width 64, 3 blocks at stride 8.
+  add_mbconv(w, "s2_mb_down", tokens(8), 32, 64, 4, 1);
+  add_mbconv(w, "s2_mb", tokens(8), 64, 64, 4, 2);
+
+  // Stage 3: width 128 at stride 16, MBConv downsample + 3 EfficientViT
+  // modules.
+  add_mbconv(w, "s3_mb_down", tokens(16), 64, 128, 4, 1);
+  add_evit_module(w, "s3_evit", tokens(16), 128, 3);
+
+  // Stage 4: width 256 at stride 32, MBConv downsample + 4 modules.
+  add_mbconv(w, "s4_mb_down", tokens(32), 128, 256, 4, 1);
+  add_evit_module(w, "s4_evit", tokens(32), 256, 4);
+
+  // Segmentation head (SegHead): stage-3/4 features to 64, fusion MBConvs,
+  // classifier over 150 ADE20K classes at stride 8.
+  w.layers.push_back({"head_in3", tokens(16), 128, 64, 1});
+  w.layers.push_back({"head_in4", tokens(32), 256, 64, 1});
+  add_mbconv(w, "head_fuse", tokens(8), 64, 64, 4, 3);
+  w.layers.push_back({"head_cls", tokens(8), 64, 150, 1});
+
+  return w;
+}
+
+}  // namespace apsq

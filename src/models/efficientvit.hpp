@@ -1,0 +1,17 @@
+// EfficientViT-B1 workload at 512×512 (§IV-A).
+//
+// Lightweight multi-scale linear-attention model (Cai et al., ICCV 2023):
+// convolutional stem + MBConv stages at widths [16, 32, 64, 128, 256]
+// (strides 2/4/8/16/32), EfficientViT modules (ReLU linear attention +
+// MBConv FFN) in the last two stages, and a segmentation head. MBConv
+// expand/project 1×1 convs and depthwise 3×3 are modeled as GEMMs
+// (im2col view for the depthwise).
+#pragma once
+
+#include "energy/layer_shape.hpp"
+
+namespace apsq {
+
+Workload efficientvit_b1_workload(index_t input_resolution = 512);
+
+}  // namespace apsq

@@ -1,0 +1,33 @@
+#include "models/llama2.hpp"
+
+namespace apsq {
+
+namespace {
+
+Workload llama_gemms(const std::string& name, index_t rows) {
+  const index_t hidden = 4096;
+  const index_t inter = 11008;
+  const index_t layers = 32;
+  Workload w;
+  w.name = name;
+  w.layers.push_back({"q_proj", rows, hidden, hidden, layers});
+  w.layers.push_back({"k_proj", rows, hidden, hidden, layers});
+  w.layers.push_back({"v_proj", rows, hidden, hidden, layers});
+  w.layers.push_back({"o_proj", rows, hidden, hidden, layers});
+  w.layers.push_back({"gate_proj", rows, hidden, inter, layers});
+  w.layers.push_back({"up_proj", rows, hidden, inter, layers});
+  w.layers.push_back({"down_proj", rows, inter, hidden, layers});
+  return w;
+}
+
+}  // namespace
+
+Workload llama2_7b_workload(index_t seq_len) {
+  return llama_gemms("LLaMA2-7B", seq_len);
+}
+
+Workload llama2_7b_decode_step_workload() {
+  return llama_gemms("LLaMA2-7B-decode-step", 1);
+}
+
+}  // namespace apsq

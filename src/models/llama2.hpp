@@ -1,0 +1,25 @@
+// LLaMA2-7B workload (§IV-D, Table IV).
+//
+// 32 decoder layers, hidden 4096, 32 heads, SwiGLU FFN with intermediate
+// 11008. Following the paper's methodology, the decoding phase is
+// simulated as a GEMM of the full 4096-token sequence evaluated under the
+// LLM parallelism Po=1, Pci=32, Pco=32 ("keeping the total number of MAC
+// operations unchanged"); prefilling uses the same GEMM shapes. Only
+// weight GEMMs carry PSUM traffic in our model (attention score/context
+// matmuls are token-length-dependent activation products; APSQ targets the
+// weight-layer accumulation, and the paper's Table IV energy is dominated
+// by projection/FFN PSUMs).
+#pragma once
+
+#include "energy/layer_shape.hpp"
+
+namespace apsq {
+
+/// Weight-GEMM stack for one full forward over `seq_len` tokens.
+Workload llama2_7b_workload(index_t seq_len = 4096);
+
+/// Single-token decode step (rows = 1) — used by the per-step decode
+/// analysis in examples/llm_decode_energy.cpp.
+Workload llama2_7b_decode_step_workload();
+
+}  // namespace apsq

@@ -1,0 +1,75 @@
+#include "models/segformer.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace apsq {
+
+Workload segformer_b0_workload(index_t input_resolution) {
+  APSQ_CHECK_MSG(input_resolution % 32 == 0,
+                 "Segformer needs a stride-32-aligned resolution");
+  Workload w;
+  w.name = "Segformer-B0";
+
+  const std::array<index_t, 4> dims = {32, 64, 160, 256};
+  const std::array<index_t, 4> depths = {2, 2, 2, 2};
+  const std::array<index_t, 4> sr = {8, 4, 2, 1};  // attention spatial reduction
+  const index_t mlp_ratio = 4;
+  const std::array<index_t, 4> strides = {4, 8, 16, 32};
+
+  // Overlapped patch embeddings: k7s4 from RGB, then k3s2 between stages.
+  {
+    const index_t n0 = (input_resolution / 4) * (input_resolution / 4);
+    w.layers.push_back({"patch_embed1", n0, 3 * 7 * 7, dims[0], 1});
+  }
+  for (int s = 1; s < 4; ++s) {
+    const index_t n = (input_resolution / strides[static_cast<size_t>(s)]) *
+                      (input_resolution / strides[static_cast<size_t>(s)]);
+    w.layers.push_back({"patch_embed" + std::to_string(s + 1), n,
+                        dims[static_cast<size_t>(s - 1)] * 3 * 3,
+                        dims[static_cast<size_t>(s)], 1});
+  }
+
+  for (int s = 0; s < 4; ++s) {
+    const index_t c = dims[static_cast<size_t>(s)];
+    const index_t n = (input_resolution / strides[static_cast<size_t>(s)]) *
+                      (input_resolution / strides[static_cast<size_t>(s)]);
+    const index_t r = sr[static_cast<size_t>(s)];
+    const index_t n_red = n / (r * r);  // token count after spatial reduction
+    const index_t rep = depths[static_cast<size_t>(s)];
+    const std::string tag = "s" + std::to_string(s + 1) + "_";
+
+    // Efficient self-attention: Q on full tokens, spatial-reduction conv
+    // (k=r, s=r) + K/V on reduced tokens.
+    w.layers.push_back({tag + "q_proj", n, c, c, rep});
+    if (r > 1)
+      w.layers.push_back({tag + "sr_conv", n_red, c * r * r, c, rep});
+    w.layers.push_back({tag + "kv_proj", n_red, c, 2 * c, rep});
+    // Scores / context, aggregated across heads (K/V in the weight role).
+    w.layers.push_back({tag + "attn_scores", n, c, n_red, rep});
+    w.layers.push_back({tag + "attn_context", n, n_red, c, rep});
+    w.layers.push_back({tag + "out_proj", n, c, c, rep});
+    // Mix-FFN: fc1, 3x3 depthwise (modeled as k²-channel GEMM on the
+    // expanded width), fc2.
+    w.layers.push_back({tag + "mlp_fc1", n, c, mlp_ratio * c, rep});
+    w.layers.push_back({tag + "mlp_dw3x3", n, 3 * 3, mlp_ratio * c, rep});
+    w.layers.push_back({tag + "mlp_fc2", n, mlp_ratio * c, c, rep});
+  }
+
+  // All-MLP decode head: per-stage linear to 256, fusion conv, classifier
+  // (150 ADE20K classes) at 1/4 resolution.
+  const index_t n4 = (input_resolution / 4) * (input_resolution / 4);
+  for (int s = 0; s < 4; ++s) {
+    const index_t n = (input_resolution / strides[static_cast<size_t>(s)]) *
+                      (input_resolution / strides[static_cast<size_t>(s)]);
+    w.layers.push_back({"head_linear" + std::to_string(s + 1), n,
+                        dims[static_cast<size_t>(s)], 256, 1});
+  }
+  w.layers.push_back({"head_fuse", n4, 4 * 256, 256, 1});
+  w.layers.push_back({"head_cls", n4, 256, 150, 1});
+
+  return w;
+}
+
+}  // namespace apsq

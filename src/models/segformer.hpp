@@ -1,0 +1,17 @@
+// Segformer-B0 workload at 512×512 (§IV-A).
+//
+// MiT-B0 backbone: 4 stages at strides 4/8/16/32 (token counts 16384 /
+// 4096 / 1024 / 256), embedding dims [32, 64, 160, 256], depths
+// [2, 2, 2, 2], MLP ratio 4, spatial-reduction ratios [8, 4, 2, 1] for the
+// efficient self-attention, plus the overlapped patch-embedding convs and
+// the all-MLP decode head. Convolutions are modeled as GEMMs with
+// ci = Cin·k² (im2col view).
+#pragma once
+
+#include "energy/layer_shape.hpp"
+
+namespace apsq {
+
+Workload segformer_b0_workload(index_t input_resolution = 512);
+
+}  // namespace apsq

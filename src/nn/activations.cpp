@@ -1,0 +1,52 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace apsq::nn {
+
+TensorF ReLU::forward(const TensorF& x) {
+  x_ = x;
+  TensorF y(x.shape());
+  for (index_t i = 0; i < x.numel(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  return y;
+}
+
+TensorF ReLU::backward(const TensorF& dy) {
+  APSQ_CHECK(dy.same_shape(x_));
+  TensorF dx(dy.shape());
+  for (index_t i = 0; i < dy.numel(); ++i)
+    dx[i] = x_[i] > 0.0f ? dy[i] : 0.0f;
+  return dx;
+}
+
+namespace {
+constexpr double kGeluC = 0.7978845608028654;  // sqrt(2/pi)
+constexpr double kGeluA = 0.044715;
+}  // namespace
+
+TensorF Gelu::forward(const TensorF& x) {
+  x_ = x;
+  TensorF y(x.shape());
+  for (index_t i = 0; i < x.numel(); ++i) {
+    const double v = x[i];
+    y[i] = static_cast<float>(
+        0.5 * v * (1.0 + std::tanh(kGeluC * (v + kGeluA * v * v * v))));
+  }
+  return y;
+}
+
+TensorF Gelu::backward(const TensorF& dy) {
+  APSQ_CHECK(dy.same_shape(x_));
+  TensorF dx(dy.shape());
+  for (index_t i = 0; i < dy.numel(); ++i) {
+    const double v = x_[i];
+    const double u = kGeluC * (v + kGeluA * v * v * v);
+    const double t = std::tanh(u);
+    const double du = kGeluC * (1.0 + 3.0 * kGeluA * v * v);
+    const double grad = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
+    dx[i] = static_cast<float>(grad * dy[i]);
+  }
+  return dx;
+}
+
+}  // namespace apsq::nn

@@ -1,0 +1,27 @@
+// Elementwise activation layers with manual backward.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace apsq::nn {
+
+class ReLU : public Module {
+ public:
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& dy) override;
+
+ private:
+  TensorF x_;
+};
+
+/// GELU (tanh approximation, as used by BERT / transformers).
+class Gelu : public Module {
+ public:
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& dy) override;
+
+ private:
+  TensorF x_;
+};
+
+}  // namespace apsq::nn

@@ -1,0 +1,83 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "nn/dense.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace apsq::nn {
+
+std::unique_ptr<Module> make_linear(index_t in, index_t out,
+                                    const std::optional<QatConfig>& qat,
+                                    Rng& rng, const std::string& name) {
+  if (qat.has_value())
+    return std::make_unique<QuantDense>(in, out, *qat, rng, name);
+  return std::make_unique<Dense>(in, out, rng, name);
+}
+
+SelfAttention::SelfAttention(index_t dim, const std::optional<QatConfig>& qat,
+                             Rng& rng, const std::string& name)
+    : dim_(dim),
+      wq_(make_linear(dim, dim, qat, rng, name + ".wq")),
+      wk_(make_linear(dim, dim, qat, rng, name + ".wk")),
+      wv_(make_linear(dim, dim, qat, rng, name + ".wv")),
+      wo_(make_linear(dim, dim, qat, rng, name + ".wo")),
+      scale_(1.0f / std::sqrt(static_cast<float>(dim))) {}
+
+TensorF SelfAttention::forward(const TensorF& x) {
+  APSQ_CHECK(x.rank() == 2 && x.dim(1) == dim_);
+  q_ = wq_->forward(x);
+  k_ = wk_->forward(x);
+  v_ = wv_->forward(x);
+  const TensorF scores = scale(matmul_nt(q_, k_), scale_);
+  probs_ = softmax_rows(scores);
+  const TensorF ctx = matmul(probs_, v_);
+  return wo_->forward(ctx);
+}
+
+TensorF SelfAttention::backward(const TensorF& dy) {
+  const TensorF dctx = wo_->backward(dy);
+
+  // ctx = P·V.
+  const TensorF dprobs = matmul_nt(dctx, v_);
+  const TensorF dv = matmul_tn(probs_, dctx);
+
+  // Softmax backward per row: dS_j = P_j (dP_j - Σ_k dP_k P_k).
+  TensorF dscores(dprobs.shape());
+  const index_t n = dprobs.dim(0), t = dprobs.dim(1);
+  for (index_t i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (index_t j = 0; j < t; ++j)
+      dot += static_cast<double>(dprobs(i, j)) * probs_(i, j);
+    for (index_t j = 0; j < t; ++j)
+      dscores(i, j) = static_cast<float>(
+          probs_(i, j) * (static_cast<double>(dprobs(i, j)) - dot));
+  }
+
+  // scores = (Q·Kᵀ)·scale.
+  const TensorF dq = scale(matmul(dscores, k_), scale_);
+  const TensorF dk = scale(matmul_tn(dscores, q_), scale_);
+
+  TensorF dx = wq_->backward(dq);
+  add_inplace(dx, wk_->backward(dk));
+  add_inplace(dx, wv_->backward(dv));
+  return dx;
+}
+
+void SelfAttention::collect_params(std::vector<Param*>& out) {
+  wq_->collect_params(out);
+  wk_->collect_params(out);
+  wv_->collect_params(out);
+  wo_->collect_params(out);
+}
+
+void SelfAttention::set_training(bool training) {
+  Module::set_training(training);
+  wq_->set_training(training);
+  wk_->set_training(training);
+  wv_->set_training(training);
+  wo_->set_training(training);
+}
+
+}  // namespace apsq::nn

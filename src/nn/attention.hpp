@@ -1,0 +1,43 @@
+// Single-head scaled dot-product self-attention over one token sequence
+// [tokens, dim], with manual backward.
+//
+// The four projections (Q/K/V/O) are the weight GEMMs the paper quantizes
+// with APSQ; pass a QatConfig to run them as QuantDense layers, or none
+// for an FP32 teacher. The score/context matmuls themselves stay in float
+// (activation-activation products; APSQ targets weight-layer PSUM
+// accumulation — see DESIGN.md §3.4).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "nn/module.hpp"
+#include "nn/quant_dense.hpp"
+
+namespace apsq::nn {
+
+/// Factory for a linear layer: quantized when `qat` is set, FP32 otherwise.
+std::unique_ptr<Module> make_linear(index_t in, index_t out,
+                                    const std::optional<QatConfig>& qat,
+                                    Rng& rng, const std::string& name);
+
+class SelfAttention : public Module {
+ public:
+  SelfAttention(index_t dim, const std::optional<QatConfig>& qat, Rng& rng,
+                const std::string& name = "attn");
+
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void set_training(bool training) override;
+
+ private:
+  index_t dim_;
+  std::unique_ptr<Module> wq_, wk_, wv_, wo_;
+  float scale_;
+
+  // Cached forward state.
+  TensorF q_, k_, v_, probs_;
+};
+
+}  // namespace apsq::nn

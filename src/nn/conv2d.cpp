@@ -1,0 +1,35 @@
+#include "nn/conv2d.hpp"
+
+#include "nn/attention.hpp"  // make_linear
+
+namespace apsq::nn {
+
+Conv2d::Conv2d(ConvGeometry geometry, index_t out_channels,
+               const std::optional<QatConfig>& qat, Rng& rng,
+               const std::string& name)
+    : geom_(geometry),
+      out_c_(out_channels),
+      gemm_(make_linear(geometry.patch_len(), out_channels, qat, rng, name)) {
+  geom_.validate();
+  APSQ_CHECK(out_channels > 0);
+}
+
+TensorF Conv2d::forward(const TensorF& x) {
+  return gemm_->forward(im2col(x, geom_));
+}
+
+TensorF Conv2d::backward(const TensorF& dy) {
+  // dL/d(patches) from the GEMM core, scattered back to the input layout.
+  return col2im(gemm_->backward(dy), geom_);
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  gemm_->collect_params(out);
+}
+
+void Conv2d::set_training(bool training) {
+  Module::set_training(training);
+  gemm_->set_training(training);
+}
+
+}  // namespace apsq::nn

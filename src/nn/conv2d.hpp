@@ -1,0 +1,40 @@
+// Quantizable 2-D convolution layer via im2col + (Quant)Dense-style GEMM.
+//
+// The CV workloads the paper evaluates (Segformer's patch embeddings and
+// Mix-FFN depthwise, EfficientViT's MBConv stacks) are convolutions; this
+// layer runs them through exactly the same W8A8 LSQ + APSQ PSUM path as
+// the linear layers, with the im2col patch dimension (k²·Cin) playing the
+// role of Ci in Eq. (8).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "nn/quant_dense.hpp"
+#include "tensor/im2col.hpp"
+
+namespace apsq::nn {
+
+class Conv2d : public Module {
+ public:
+  Conv2d(ConvGeometry geometry, index_t out_channels,
+         const std::optional<QatConfig>& qat, Rng& rng,
+         const std::string& name = "conv");
+
+  /// x is an [H·W, Cin] feature map; returns [outH·outW, Cout].
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void set_training(bool training) override;
+
+  const ConvGeometry& geometry() const { return geom_; }
+  index_t out_channels() const { return out_c_; }
+
+ private:
+  ConvGeometry geom_;
+  index_t out_c_;
+  /// The GEMM core ((Quant)Dense over patch rows) owns weights & bias.
+  std::unique_ptr<Module> gemm_;
+};
+
+}  // namespace apsq::nn

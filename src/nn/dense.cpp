@@ -1,0 +1,36 @@
+#include "nn/dense.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace apsq::nn {
+
+Dense::Dense(index_t in_features, index_t out_features, Rng& rng,
+             const std::string& name)
+    : in_(in_features),
+      out_(out_features),
+      weight_(name + ".weight", kaiming_init(in_features, out_features, rng)),
+      bias_(name + ".bias", TensorF({out_features}, 0.0f)) {}
+
+TensorF Dense::forward(const TensorF& x) {
+  APSQ_CHECK(x.rank() == 2 && x.dim(1) == in_);
+  x_ = x;
+  return add_row_bias(matmul(x, weight_.value), bias_.value);
+}
+
+TensorF Dense::backward(const TensorF& dy) {
+  APSQ_CHECK(dy.rank() == 2 && dy.dim(1) == out_ && dy.dim(0) == x_.dim(0));
+  // dW += xᵀ·dy ; db += colsum(dy) ; dx = dy·Wᵀ.
+  add_inplace(weight_.grad, matmul_tn(x_, dy));
+  for (index_t i = 0; i < dy.dim(0); ++i)
+    for (index_t j = 0; j < out_; ++j) bias_.grad(j) += dy(i, j);
+  return matmul_nt(dy, weight_.value);
+}
+
+void Dense::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+}  // namespace apsq::nn

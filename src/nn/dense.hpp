@@ -1,0 +1,31 @@
+// Full-precision dense (linear) layer: y = x·W + b.
+// Used for FP32 teachers and as the base of the quantized variant.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace apsq::nn {
+
+class Dense : public Module {
+ public:
+  Dense(index_t in_features, index_t out_features, Rng& rng,
+        const std::string& name = "dense");
+
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+
+  index_t in_features() const { return in_; }
+  index_t out_features() const { return out_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ protected:
+  index_t in_, out_;
+  Param weight_;  ///< [in, out]
+  Param bias_;    ///< [out]
+  TensorF x_;     ///< cached input
+};
+
+}  // namespace apsq::nn

@@ -1,0 +1,29 @@
+// Weight initialization helpers.
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq::nn {
+
+/// Kaiming/He normal init for a [fan_in, fan_out] weight matrix.
+inline TensorF kaiming_init(index_t fan_in, index_t fan_out, Rng& rng) {
+  TensorF w({fan_in, fan_out});
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (index_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.normal(0.0, stddev));
+  return w;
+}
+
+/// Xavier/Glorot uniform init.
+inline TensorF xavier_init(index_t fan_in, index_t fan_out, Rng& rng) {
+  TensorF w({fan_in, fan_out});
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (index_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.uniform(-bound, bound));
+  return w;
+}
+
+}  // namespace apsq::nn

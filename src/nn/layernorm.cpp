@@ -1,0 +1,69 @@
+#include "nn/layernorm.hpp"
+
+#include <cmath>
+
+namespace apsq::nn {
+
+LayerNorm::LayerNorm(index_t features, float eps, const std::string& name)
+    : features_(features),
+      eps_(eps),
+      gamma_(name + ".gamma", TensorF({features}, 1.0f)),
+      beta_(name + ".beta", TensorF({features}, 0.0f)) {}
+
+TensorF LayerNorm::forward(const TensorF& x) {
+  APSQ_CHECK(x.rank() == 2 && x.dim(1) == features_);
+  const index_t n = x.dim(0), d = features_;
+  xhat_ = TensorF(x.shape());
+  inv_std_ = TensorF({n});
+  TensorF y(x.shape());
+  for (index_t i = 0; i < n; ++i) {
+    double mean = 0.0;
+    for (index_t j = 0; j < d; ++j) mean += x(i, j);
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (index_t j = 0; j < d; ++j) {
+      const double c = x(i, j) - mean;
+      var += c * c;
+    }
+    var /= static_cast<double>(d);
+    const double inv = 1.0 / std::sqrt(var + eps_);
+    inv_std_(i) = static_cast<float>(inv);
+    for (index_t j = 0; j < d; ++j) {
+      xhat_(i, j) = static_cast<float>((x(i, j) - mean) * inv);
+      y(i, j) = gamma_.value(j) * xhat_(i, j) + beta_.value(j);
+    }
+  }
+  return y;
+}
+
+TensorF LayerNorm::backward(const TensorF& dy) {
+  APSQ_CHECK(dy.same_shape(xhat_));
+  const index_t n = dy.dim(0), d = features_;
+  TensorF dx(dy.shape());
+  for (index_t i = 0; i < n; ++i) {
+    // dL/dxhat_j = dy_j * gamma_j; standard layernorm backward.
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (index_t j = 0; j < d; ++j) {
+      const double dxh = static_cast<double>(dy(i, j)) * gamma_.value(j);
+      sum_dxhat += dxh;
+      sum_dxhat_xhat += dxh * xhat_(i, j);
+      gamma_.grad(j) += dy(i, j) * xhat_(i, j);
+      beta_.grad(j) += dy(i, j);
+    }
+    const double inv = inv_std_(i);
+    const double invd = 1.0 / static_cast<double>(d);
+    for (index_t j = 0; j < d; ++j) {
+      const double dxh = static_cast<double>(dy(i, j)) * gamma_.value(j);
+      dx(i, j) = static_cast<float>(
+          inv * (dxh - invd * sum_dxhat - invd * xhat_(i, j) * sum_dxhat_xhat));
+    }
+  }
+  return dx;
+}
+
+void LayerNorm::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace apsq::nn

@@ -1,0 +1,26 @@
+// Layer normalization over the feature dimension with learnable affine.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace apsq::nn {
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(index_t features, float eps = 1e-5f,
+                     const std::string& name = "ln");
+
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+
+ private:
+  index_t features_;
+  float eps_;
+  Param gamma_;  ///< [features]
+  Param beta_;   ///< [features]
+  TensorF xhat_;  ///< normalized input
+  TensorF inv_std_;  ///< per-row 1/σ
+};
+
+}  // namespace apsq::nn

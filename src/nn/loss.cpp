@@ -1,0 +1,60 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace apsq::nn {
+
+LossResult softmax_cross_entropy(const TensorF& logits,
+                                 const std::vector<index_t>& targets) {
+  APSQ_CHECK(logits.rank() == 2);
+  const index_t n = logits.dim(0), c = logits.dim(1);
+  APSQ_CHECK(static_cast<index_t>(targets.size()) == n);
+
+  const TensorF probs = softmax_rows(logits);
+  LossResult r;
+  r.grad = TensorF(logits.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t t = targets[static_cast<size_t>(i)];
+    APSQ_CHECK_MSG(t >= 0 && t < c, "target class out of range");
+    loss -= std::log(std::max(1e-12, static_cast<double>(probs(i, t))));
+    for (index_t j = 0; j < c; ++j)
+      r.grad(i, j) = (probs(i, j) - (j == t ? 1.0f : 0.0f)) * inv_n;
+  }
+  r.value = static_cast<float>(loss / static_cast<double>(n));
+  return r;
+}
+
+LossResult mse_loss(const TensorF& pred, const TensorF& target) {
+  APSQ_CHECK(pred.same_shape(target));
+  APSQ_CHECK(pred.numel() > 0);
+  LossResult r;
+  r.grad = TensorF(pred.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(pred.numel());
+  for (index_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += static_cast<double>(d) * d;
+    r.grad[i] = 2.0f * d * inv_n;
+  }
+  r.value = static_cast<float>(loss / static_cast<double>(pred.numel()));
+  return r;
+}
+
+LossResult distillation_loss(const TensorF& student_logits,
+                             const std::vector<index_t>& targets,
+                             const TensorF& teacher_logits, float lambda) {
+  LossResult task = softmax_cross_entropy(student_logits, targets);
+  LossResult kd = mse_loss(student_logits, teacher_logits);
+  LossResult r;
+  r.value = task.value + lambda * kd.value;
+  r.grad = task.grad;
+  axpy_inplace(r.grad, lambda, kd.grad);
+  return r;
+}
+
+}  // namespace apsq::nn

@@ -1,0 +1,30 @@
+// Loss functions: softmax cross-entropy, MSE, and the knowledge-
+// distillation objective used by the paper's QAT recipe (§IV-A: QAT
+// "guided by a full-precision teacher model for knowledge distillation").
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace apsq::nn {
+
+struct LossResult {
+  float value = 0.0f;
+  TensorF grad;  ///< dL/d(logits or predictions), averaged over rows
+};
+
+/// Softmax cross-entropy over logits [N, C] with integer class targets.
+LossResult softmax_cross_entropy(const TensorF& logits,
+                                 const std::vector<index_t>& targets);
+
+/// Mean squared error against targets of identical shape.
+LossResult mse_loss(const TensorF& pred, const TensorF& target);
+
+/// Distillation: task loss + λ · MSE(student_logits, teacher_logits).
+/// Returns combined value/grad w.r.t. student logits.
+LossResult distillation_loss(const TensorF& student_logits,
+                             const std::vector<index_t>& targets,
+                             const TensorF& teacher_logits, float lambda);
+
+}  // namespace apsq::nn

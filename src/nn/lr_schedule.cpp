@@ -1,0 +1,22 @@
+#include "nn/lr_schedule.hpp"
+
+#include "nn/module.hpp"
+
+namespace apsq::nn {
+
+float clip_grad_norm(const std::vector<Param*>& params, float max_norm) {
+  APSQ_CHECK(max_norm > 0.0f);
+  double sq = 0.0;
+  for (const Param* p : params)
+    for (index_t i = 0; i < p->grad.numel(); ++i)
+      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Param* p : params)
+      for (index_t i = 0; i < p->grad.numel(); ++i) p->grad[i] *= scale;
+  }
+  return norm;
+}
+
+}  // namespace apsq::nn

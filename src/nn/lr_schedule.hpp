@@ -1,0 +1,43 @@
+// Learning-rate schedules for the QAT trainer.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "nn/module.hpp"
+
+namespace apsq::nn {
+
+enum class LrSchedule {
+  kConstant,
+  kCosine,       ///< cosine decay from base_lr to min_lr over total steps
+  kStepDecay,    ///< ×0.1 at 50% and 75% of training
+};
+
+/// Learning rate at `step` of `total_steps` under a schedule.
+inline float scheduled_lr(LrSchedule schedule, float base_lr, float min_lr,
+                          index_t step, index_t total_steps) {
+  APSQ_CHECK(total_steps > 0 && step >= 0);
+  APSQ_CHECK(base_lr > 0.0f && min_lr >= 0.0f && min_lr <= base_lr);
+  const double progress =
+      std::min(1.0, static_cast<double>(step) / static_cast<double>(total_steps));
+  switch (schedule) {
+    case LrSchedule::kConstant:
+      return base_lr;
+    case LrSchedule::kCosine:
+      return static_cast<float>(
+          min_lr + 0.5 * (base_lr - min_lr) * (1.0 + std::cos(M_PI * progress)));
+    case LrSchedule::kStepDecay:
+      if (progress >= 0.75) return std::max(min_lr, base_lr * 0.01f);
+      if (progress >= 0.5) return std::max(min_lr, base_lr * 0.1f);
+      return base_lr;
+  }
+  return base_lr;
+}
+
+/// Global L2-norm gradient clipping; returns the pre-clip norm.
+float clip_grad_norm(const std::vector<Param*>& params, float max_norm);
+
+}  // namespace apsq::nn

@@ -1,0 +1,97 @@
+#include "nn/metrics.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace apsq::nn {
+
+std::vector<index_t> argmax_rows(const TensorF& logits) {
+  APSQ_CHECK(logits.rank() == 2);
+  std::vector<index_t> out(static_cast<size_t>(logits.dim(0)));
+  for (index_t i = 0; i < logits.dim(0); ++i) {
+    index_t best = 0;
+    for (index_t j = 1; j < logits.dim(1); ++j)
+      if (logits(i, j) > logits(i, best)) best = j;
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+double accuracy_pct(const std::vector<index_t>& pred,
+                    const std::vector<index_t>& target) {
+  APSQ_CHECK(pred.size() == target.size() && !pred.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == target[i]) ++correct;
+  return 100.0 * static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+double matthews_corr_pct(const std::vector<index_t>& pred,
+                         const std::vector<index_t>& target) {
+  APSQ_CHECK(pred.size() == target.size() && !pred.empty());
+  double tp = 0, tn = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    APSQ_CHECK_MSG(pred[i] <= 1 && target[i] <= 1, "MCC is binary");
+    if (pred[i] == 1 && target[i] == 1) ++tp;
+    else if (pred[i] == 0 && target[i] == 0) ++tn;
+    else if (pred[i] == 1) ++fp;
+    else ++fn;
+  }
+  const double denom =
+      std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  if (denom == 0.0) return 0.0;
+  return 100.0 * (tp * tn - fp * fn) / denom;
+}
+
+double pearson_pct(const std::vector<float>& pred,
+                   const std::vector<float>& target) {
+  APSQ_CHECK(pred.size() == target.size() && pred.size() >= 2);
+  const double n = static_cast<double>(pred.size());
+  double mp = 0, mt = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    mp += pred[i];
+    mt += target[i];
+  }
+  mp /= n;
+  mt /= n;
+  double cov = 0, vp = 0, vt = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double a = pred[i] - mp, b = target[i] - mt;
+    cov += a * b;
+    vp += a * a;
+    vt += b * b;
+  }
+  if (vp == 0.0 || vt == 0.0) return 0.0;
+  return 100.0 * cov / std::sqrt(vp * vt);
+}
+
+double mean_iou_pct(const std::vector<index_t>& pred,
+                    const std::vector<index_t>& target, index_t num_classes) {
+  APSQ_CHECK(pred.size() == target.size() && !pred.empty());
+  APSQ_CHECK(num_classes >= 2);
+  std::vector<double> inter(static_cast<size_t>(num_classes), 0.0);
+  std::vector<double> uni(static_cast<size_t>(num_classes), 0.0);
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const index_t p = pred[i], t = target[i];
+    APSQ_CHECK(p >= 0 && p < num_classes && t >= 0 && t < num_classes);
+    if (p == t) {
+      inter[static_cast<size_t>(p)] += 1.0;
+      uni[static_cast<size_t>(p)] += 1.0;
+    } else {
+      uni[static_cast<size_t>(p)] += 1.0;
+      uni[static_cast<size_t>(t)] += 1.0;
+    }
+  }
+  double sum = 0.0;
+  index_t present = 0;
+  for (index_t c = 0; c < num_classes; ++c) {
+    if (uni[static_cast<size_t>(c)] > 0.0) {
+      sum += inter[static_cast<size_t>(c)] / uni[static_cast<size_t>(c)];
+      ++present;
+    }
+  }
+  return present > 0 ? 100.0 * sum / static_cast<double>(present) : 0.0;
+}
+
+}  // namespace apsq::nn

@@ -1,0 +1,35 @@
+// Task metrics matching the paper's evaluation protocols:
+//  * classification accuracy (QNLI/MNLI/RTE/MRPC, ZCSR tasks),
+//  * Matthews correlation (CoLA),
+//  * Pearson correlation (STS-B),
+//  * mean intersection-over-union (ADE20K segmentation).
+// All are returned in percent, as the paper reports them.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace apsq::nn {
+
+/// argmax over each row of logits.
+std::vector<index_t> argmax_rows(const TensorF& logits);
+
+/// % of predictions equal to targets.
+double accuracy_pct(const std::vector<index_t>& pred,
+                    const std::vector<index_t>& target);
+
+/// Matthews correlation coefficient × 100 for binary predictions.
+double matthews_corr_pct(const std::vector<index_t>& pred,
+                         const std::vector<index_t>& target);
+
+/// Pearson correlation × 100 between scalar predictions and targets.
+double pearson_pct(const std::vector<float>& pred,
+                   const std::vector<float>& target);
+
+/// Mean IoU × 100 over `num_classes` classes (ignores classes absent from
+/// both prediction and target, as mmseg does).
+double mean_iou_pct(const std::vector<index_t>& pred,
+                    const std::vector<index_t>& target, index_t num_classes);
+
+}  // namespace apsq::nn

@@ -1,0 +1,11 @@
+#include "nn/module.hpp"
+
+namespace apsq::nn {
+
+index_t Module::num_params() {
+  index_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace apsq::nn

@@ -1,0 +1,65 @@
+// Layer-based NN substrate with manual backpropagation.
+//
+// Design: concrete layers implement forward(x) -> y and backward(dy) -> dx,
+// caching whatever the gradient needs between the two calls. Parameters
+// are (value, grad) pairs owned by the layers and exposed to optimizers
+// through collect_params(). All activations are rank-2 row-major
+// [rows, features] tensors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace apsq::nn {
+
+/// A learnable tensor with its gradient accumulator.
+struct Param {
+  std::string name;
+  TensorF value;
+  TensorF grad;
+
+  Param() = default;
+  Param(std::string n, TensorF v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape(), 0.0f) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Forward pass; layers cache activations needed by backward.
+  virtual TensorF forward(const TensorF& x) = 0;
+
+  /// Backward pass: dy is dL/d(output); returns dL/d(input) and
+  /// accumulates parameter gradients. Must follow the matching forward.
+  virtual TensorF backward(const TensorF& dy) = 0;
+
+  /// Append pointers to this module's parameters (optimizer view).
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+  /// Training vs evaluation mode (affects quantizer calibration).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  std::vector<Param*> params() {
+    std::vector<Param*> out;
+    collect_params(out);
+    return out;
+  }
+
+  void zero_grad() {
+    for (Param* p : params()) p->zero_grad();
+  }
+
+  /// Total parameter count (for reporting).
+  index_t num_params();
+
+ protected:
+  bool training_ = true;
+};
+
+}  // namespace apsq::nn

@@ -1,0 +1,62 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace apsq::nn {
+
+Sgd::Sgd(std::vector<Param*> params, float lr_in, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr(lr_in),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape(), 0.0f);
+}
+
+void Sgd::step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Param& p = *params_[k];
+    TensorF& vel = velocity_[k];
+    for (index_t i = 0; i < p.value.numel(); ++i) {
+      const float g = p.grad[i] + weight_decay_ * p.value[i];
+      vel[i] = momentum_ * vel[i] + g;
+      p.value[i] -= lr * vel[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr_in, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr(lr_in),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape(), 0.0f);
+    v_.emplace_back(p->value.shape(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Param& p = *params_[k];
+    for (index_t i = 0; i < p.value.numel(); ++i) {
+      const float g = p.grad[i] + weight_decay_ * p.value[i];
+      m_[k][i] = beta1_ * m_[k][i] + (1.0f - beta1_) * g;
+      v_[k][i] = beta2_ * v_[k][i] + (1.0f - beta2_) * g * g;
+      const double mhat = m_[k][i] / bc1;
+      const double vhat = v_[k][i] / bc2;
+      p.value[i] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace apsq::nn

@@ -1,0 +1,52 @@
+// Optimizers over Param views: SGD with momentum, and Adam (the QAT
+// trainer's default, matching common LSQ fine-tuning recipes).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace apsq::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+  }
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+  void step() override;
+
+  float lr = 0.0f;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<TensorF> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+  float lr = 0.0f;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  i64 t_ = 0;
+  std::vector<TensorF> m_, v_;
+};
+
+}  // namespace apsq::nn

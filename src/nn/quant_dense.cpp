@@ -1,0 +1,185 @@
+#include "nn/quant_dense.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "nn/init.hpp"
+#include "quant/lsq.hpp"
+#include "quant/uniform.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tile.hpp"
+
+namespace apsq::nn {
+
+QuantDense::QuantDense(index_t in_features, index_t out_features,
+                       QatConfig config, Rng& rng, const std::string& name)
+    : in_(in_features),
+      out_(out_features),
+      cfg_(config),
+      weight_(name + ".weight", kaiming_init(in_features, out_features, rng)),
+      bias_(name + ".bias", TensorF({out_features}, 0.0f)),
+      alpha_w_(name + ".alpha_w",
+               TensorF({config.per_channel_weights ? out_features : 1}, 0.0f)),
+      alpha_a_(name + ".alpha_a", TensorF({1}, 0.0f)),
+      calib_(config.psum_spec, /*momentum=*/0.9, /*margin=*/1.0) {
+  APSQ_CHECK(cfg_.tile_ci > 0 && cfg_.group_size >= 1);
+  if (cfg_.per_channel_weights) {
+    for (index_t c = 0; c < out_; ++c)
+      alpha_w_.value(c) = lsq_init_alpha(weight_column(c), cfg_.weight_spec);
+  } else {
+    alpha_w_.value(0) = lsq_init_alpha(weight_.value, cfg_.weight_spec);
+  }
+}
+
+TensorF QuantDense::weight_column(index_t c) const {
+  APSQ_CHECK(c >= 0 && c < out_);
+  TensorF col({in_});
+  for (index_t r = 0; r < in_; ++r) col(r) = weight_.value(r, c);
+  return col;
+}
+
+TensorF QuantDense::fake_quantize_weights() const {
+  if (!cfg_.per_channel_weights)
+    return lsq_forward(weight_.value, alpha_w_.value(0), cfg_.weight_spec).y;
+  TensorF wq(weight_.value.shape());
+  for (index_t c = 0; c < out_; ++c) {
+    const TensorF col =
+        lsq_forward(weight_column(c), alpha_w_.value(c), cfg_.weight_spec).y;
+    for (index_t r = 0; r < in_; ++r) wq(r, c) = col(r);
+  }
+  return wq;
+}
+
+TensorF QuantDense::psum_accumulate(const TensorF& xq, const TensorF& wq) {
+  if (cfg_.psum_mode == PsumMode::kExact) return matmul(xq, wq);
+
+  const index_t np = ceil_div(in_, cfg_.tile_ci);
+  const index_t rows = xq.dim(0);
+
+  // The hardware accumulates INT8×INT8 products — exact integers in units
+  // of the product scale α_a·α_w (per output column when weights are
+  // per-channel). Carrying the PSUM path in code space (integer-valued
+  // floats; exact in float64 far beyond our accumulation depths) keeps the
+  // .5 rounding ties and the saturation behaviour of the RAE shift path
+  // bit-faithful; real-unit tensors would blur ties with float
+  // representation noise (see DESIGN.md §3.3).
+  const TensorI32 xc = quantize_codes(xq, alpha_a_.value(0), cfg_.act_spec);
+  const TensorF xcf = xc.cast<float>();
+  TensorF wcf(wq.shape());
+  for (index_t c = 0; c < out_; ++c) {
+    const double aw = cfg_.per_channel_weights ? alpha_w_.value(c)
+                                               : alpha_w_.value(0);
+    APSQ_CHECK_MSG(aw > 0.0, "quantizer scales must be positive");
+    for (index_t r = 0; r < in_; ++r)
+      wcf(r, c) = static_cast<float>(quantize_code(
+          static_cast<double>(wq(r, c)), aw, cfg_.weight_spec));
+  }
+
+  // PSUM tiles Tp_i over the accumulation (ci) dimension — Eq. (8).
+  std::vector<TensorF> tiles;
+  tiles.reserve(static_cast<size_t>(np));
+  for (index_t t = 0; t < np; ++t) {
+    const index_t k0 = t * cfg_.tile_ci;
+    const index_t k1 = std::min(k0 + cfg_.tile_ci, in_);
+    const TileRect xr{0, rows, k0, k1};
+    const TileRect wr{k0, k1, 0, out_};
+    tiles.push_back(matmul(extract_tile(xcf, xr), extract_tile(wcf, wr)));
+  }
+
+  // The PSUM step size is a power of two in product-scale units, so
+  // dequantization is a hardware shift (§II-B). Calibration tracks the
+  // FINAL accumulated output range (what an LSQ-trained output scale
+  // converges to): intermediate APs that overshoot it saturate — the
+  // clipping mechanism behind APSQ's gs = 1 accuracy drop (§III-B). With
+  // gs > 1 the intra-group prefixes are held in full precision by the
+  // adder pipeline and only np/gs history folds are exposed.
+  if (training_) {
+    TensorD final_sum({rows, out_}, 0.0);
+    for (const auto& t : tiles)
+      for (index_t e = 0; e < t.numel(); ++e)
+        final_sum[e] += static_cast<double>(t[e]);
+    double max_out = 0.0;
+    for (index_t e = 0; e < final_sum.numel(); ++e)
+      max_out = std::max(max_out, std::fabs(final_sum[e]));
+    calib_.observe_abs_max(max_out);
+  }
+  const double alpha_p = std::exp2(calib_.exponent());
+
+  TensorF y = accumulate_psums(tiles, cfg_.psum_mode, cfg_.psum_spec,
+                               {alpha_p}, cfg_.group_size);
+  // Back to real units — the per-column requantization step of an
+  // integer-only deployment.
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t c = 0; c < out_; ++c) {
+      const double aw = cfg_.per_channel_weights ? alpha_w_.value(c)
+                                                 : alpha_w_.value(0);
+      y(r, c) = static_cast<float>(static_cast<double>(y(r, c)) *
+                                   static_cast<double>(alpha_a_.value(0)) * aw);
+    }
+  return y;
+}
+
+TensorF QuantDense::forward(const TensorF& x) {
+  APSQ_CHECK(x.rank() == 2 && x.dim(1) == in_);
+  x_ = x;
+
+  if (alpha_a_.value(0) <= 0.0f) {
+    // LSQ initializes the activation step from the first batch. The check
+    // is value-based (not a flag) so transplanted parameters — e.g.
+    // post-training evaluation of a trained net under a different PSUM
+    // mode — keep their learned step sizes.
+    alpha_a_.value(0) = lsq_init_alpha(x, cfg_.act_spec);
+  }
+  // Optimizer updates can push a learnable step size through zero; clamp
+  // to a positive floor (standard LSQ practice) to keep the grid valid.
+  constexpr float kMinAlpha = 1e-6f;
+  alpha_a_.value(0) = std::max(alpha_a_.value(0), kMinAlpha);
+  for (index_t c = 0; c < alpha_w_.value.numel(); ++c)
+    alpha_w_.value(c) = std::max(alpha_w_.value(c), kMinAlpha);
+
+  xq_ = lsq_forward(x, alpha_a_.value(0), cfg_.act_spec).y;
+  wq_ = fake_quantize_weights();
+
+  return add_row_bias(psum_accumulate(xq_, wq_), bias_.value);
+}
+
+TensorF QuantDense::backward(const TensorF& dy) {
+  APSQ_CHECK(dy.rank() == 2 && dy.dim(1) == out_ && dy.dim(0) == x_.dim(0));
+
+  for (index_t i = 0; i < dy.dim(0); ++i)
+    for (index_t j = 0; j < out_; ++j) bias_.grad(j) += dy(i, j);
+
+  // STE through the PSUM path: y ≈ xq·wq.
+  const TensorF dxq = matmul_nt(dy, wq_);
+  const TensorF dwq = matmul_tn(xq_, dy);
+
+  // LSQ backward for activations and weights.
+  const LsqGrads ga = lsq_backward(x_, alpha_a_.value(0), cfg_.act_spec, dxq);
+  if (cfg_.per_channel_weights) {
+    for (index_t c = 0; c < out_; ++c) {
+      TensorF dcol({in_});
+      for (index_t r = 0; r < in_; ++r) dcol(r) = dwq(r, c);
+      const LsqGrads gw = lsq_backward(weight_column(c), alpha_w_.value(c),
+                                       cfg_.weight_spec, dcol);
+      for (index_t r = 0; r < in_; ++r) weight_.grad(r, c) += gw.dx(r);
+      alpha_w_.grad(c) += gw.dalpha;
+    }
+  } else {
+    const LsqGrads gw =
+        lsq_backward(weight_.value, alpha_w_.value(0), cfg_.weight_spec, dwq);
+    add_inplace(weight_.grad, gw.dx);
+    alpha_w_.grad(0) += gw.dalpha;
+  }
+  alpha_a_.grad(0) += ga.dalpha;
+  return ga.dx;
+}
+
+void QuantDense::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+  out.push_back(&alpha_w_);
+  out.push_back(&alpha_a_);
+}
+
+}  // namespace apsq::nn

@@ -1,0 +1,95 @@
+// W8A8 quantized dense layer with configurable PSUM handling — the layer
+// the accuracy experiments (Table I / Table III / Fig. 5) train with.
+//
+// Forward:
+//   xq = LSQ(x; α_a),  wq = LSQ(W; α_w)            (learnable step sizes)
+//   PSUM tiles Tp_i = xq[:, i·Pci:(i+1)·Pci] · wq[i·Pci:(i+1)·Pci, :]
+//   y  = Σ Tp_i                    (kExact — the INT32-PSUM baseline)
+//      | PSQ / APSQ accumulation   (quant/apsq.hpp, quant/grouping.hpp)
+//   with the PSUM step size a power-of-two multiple of α_a·α_w,
+//   calibrated online by an EMA-max tracker (DESIGN.md §3.3).
+//
+// Backward: straight-through — PSUM quantization noise is forward-only;
+// the gradient treats y as Σ Tp_i, with the LSQ gradients for x, W, α_a,
+// α_w (the paper trains PSUM scales by STE too; our calibrated
+// substitution is documented in DESIGN.md §3.2).
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "quant/apsq.hpp"
+#include "quant/psum_calib.hpp"
+#include "quant/quant_params.hpp"
+
+namespace apsq::nn {
+
+struct QatConfig {
+  QuantSpec weight_spec = QuantSpec::int8();
+  QuantSpec act_spec = QuantSpec::int8();
+  PsumMode psum_mode = PsumMode::kExact;
+  QuantSpec psum_spec = QuantSpec::int8();
+  index_t tile_ci = 8;      ///< Pci — accumulation tile depth
+  index_t group_size = 1;   ///< gs for APSQ grouping
+  /// Per-output-channel weight step sizes (one learnable α per column)
+  /// instead of one per tensor. Standard for weight quantization; note
+  /// that per-channel weight scales keep the PSUM product grid uniform
+  /// within a column, so the APSQ shift path is unaffected.
+  bool per_channel_weights = false;
+
+  static QatConfig baseline_w8a8() { return QatConfig{}; }
+  static QatConfig apsq_w8a8(index_t gs, index_t tile_ci = 8) {
+    QatConfig c;
+    c.psum_mode = PsumMode::kApsq;
+    c.group_size = gs;
+    c.tile_ci = tile_ci;
+    return c;
+  }
+  static QatConfig apsq_bits(int psum_bits, index_t gs, index_t tile_ci = 8) {
+    QatConfig c = apsq_w8a8(gs, tile_ci);
+    c.psum_spec = QuantSpec{psum_bits, true};
+    return c;
+  }
+};
+
+class QuantDense : public Module {
+ public:
+  QuantDense(index_t in_features, index_t out_features, QatConfig config,
+             Rng& rng, const std::string& name = "qdense");
+
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+
+  const QatConfig& qat_config() const { return cfg_; }
+  float alpha_act() const { return alpha_a_.value(0); }
+  /// Per-tensor weight step (per-channel layers: step of column `c`).
+  float alpha_weight(index_t c = 0) const { return alpha_w_.value(c); }
+  /// Calibrated power-of-two PSUM exponent (relative to α_a·α_w).
+  int psum_exponent() const { return calib_.exponent(); }
+
+  index_t in_features() const { return in_; }
+  index_t out_features() const { return out_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  /// Compute y from quantized operands under the configured PSUM mode.
+  TensorF psum_accumulate(const TensorF& xq, const TensorF& wq);
+  /// Copy of weight column c (per-channel quantizer granule).
+  TensorF weight_column(index_t c) const;
+  /// LSQ fake-quantized weights (per-tensor or per-channel).
+  TensorF fake_quantize_weights() const;
+
+  index_t in_, out_;
+  QatConfig cfg_;
+  Param weight_;   ///< [in, out]
+  Param bias_;     ///< [out]
+  Param alpha_w_;  ///< scalar LSQ step for weights
+  Param alpha_a_;  ///< scalar LSQ step for activations (0 ⇒ uninitialized)
+  PsumScaleCalibrator calib_;
+
+  // Cached forward state for backward.
+  TensorF x_, xq_, wq_;
+};
+
+}  // namespace apsq::nn

@@ -1,0 +1,66 @@
+#include "nn/sequence_classifier.hpp"
+
+#include "nn/attention.hpp"  // make_linear
+
+namespace apsq::nn {
+
+SequenceClassifier::SequenceClassifier(Config config,
+                                       const std::optional<QatConfig>& qat,
+                                       Rng& rng, const std::string& name)
+    : cfg_(config),
+      embed_(make_linear(config.input_dim, config.model_dim, qat, rng,
+                         name + ".embed")),
+      final_ln_(config.model_dim, 1e-5f, name + ".final_ln"),
+      head_(make_linear(config.model_dim, config.num_classes, qat, rng,
+                        name + ".head")) {
+  APSQ_CHECK(config.num_blocks >= 1 && config.num_classes >= 2);
+  for (index_t b = 0; b < config.num_blocks; ++b)
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        config.model_dim, config.ffn_dim, qat, rng,
+        name + ".block" + std::to_string(b)));
+}
+
+TensorF SequenceClassifier::forward(const TensorF& x) {
+  APSQ_CHECK(x.rank() == 2 && x.dim(1) == cfg_.input_dim);
+  tokens_ = x.dim(0);
+  TensorF h = embed_->forward(x);
+  for (auto& block : blocks_) h = block->forward(h);
+  h = final_ln_.forward(h);
+  // Mean pool over tokens.
+  TensorF pooled({1, cfg_.model_dim}, 0.0f);
+  for (index_t t = 0; t < tokens_; ++t)
+    for (index_t d = 0; d < cfg_.model_dim; ++d) pooled(0, d) += h(t, d);
+  const float inv = 1.0f / static_cast<float>(tokens_);
+  for (index_t d = 0; d < cfg_.model_dim; ++d) pooled(0, d) *= inv;
+  return head_->forward(pooled);
+}
+
+TensorF SequenceClassifier::backward(const TensorF& dlogits) {
+  const TensorF dpooled = head_->backward(dlogits);
+  // Mean-pool adjoint: broadcast / T.
+  TensorF dh({tokens_, cfg_.model_dim});
+  const float inv = 1.0f / static_cast<float>(tokens_);
+  for (index_t t = 0; t < tokens_; ++t)
+    for (index_t d = 0; d < cfg_.model_dim; ++d)
+      dh(t, d) = dpooled(0, d) * inv;
+  dh = final_ln_.backward(dh);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it)
+    dh = (*it)->backward(dh);
+  return embed_->backward(dh);
+}
+
+void SequenceClassifier::collect_params(std::vector<Param*>& out) {
+  embed_->collect_params(out);
+  for (auto& block : blocks_) block->collect_params(out);
+  final_ln_.collect_params(out);
+  head_->collect_params(out);
+}
+
+void SequenceClassifier::set_training(bool training) {
+  Module::set_training(training);
+  embed_->set_training(training);
+  for (auto& block : blocks_) block->set_training(training);
+  head_->set_training(training);
+}
+
+}  // namespace apsq::nn

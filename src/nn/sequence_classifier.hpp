@@ -1,0 +1,46 @@
+// Sequence classifier: token embedding projection -> N pre-norm
+// transformer blocks -> mean pooling -> classification head. The
+// BERT-like student used by the sequence-level experiments; all GEMMs
+// share one QAT configuration (so APSQ runs inside the attention
+// projections and FFNs, as in the paper's BERT rows).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nn/transformer_block.hpp"
+
+namespace apsq::nn {
+
+class SequenceClassifier : public Module {
+ public:
+  struct Config {
+    index_t input_dim = 16;   ///< raw token feature width
+    index_t model_dim = 32;   ///< transformer width
+    index_t ffn_dim = 64;
+    index_t num_blocks = 1;
+    index_t num_classes = 2;
+  };
+
+  SequenceClassifier(Config config, const std::optional<QatConfig>& qat,
+                     Rng& rng, const std::string& name = "seqcls");
+
+  /// x: one token sequence [T, input_dim]; returns logits [1, classes].
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& dlogits) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void set_training(bool training) override;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::unique_ptr<Module> embed_;
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  LayerNorm final_ln_;
+  std::unique_ptr<Module> head_;
+  index_t tokens_ = 0;  ///< cached sequence length for backward
+};
+
+}  // namespace apsq::nn

@@ -1,0 +1,27 @@
+#include "nn/sequential.hpp"
+
+namespace apsq::nn {
+
+TensorF Sequential::forward(const TensorF& x) {
+  TensorF h = x;
+  for (auto& l : layers_) h = l->forward(h);
+  return h;
+}
+
+TensorF Sequential::backward(const TensorF& dy) {
+  TensorF g = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect_params(std::vector<Param*>& out) {
+  for (auto& l : layers_) l->collect_params(out);
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& l : layers_) l->set_training(training);
+}
+
+}  // namespace apsq::nn

@@ -1,0 +1,38 @@
+// Sequential module container.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace apsq::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Module> m) {
+    layers_.push_back(std::move(m));
+    return *this;
+  }
+
+  template <typename M, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<M>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void set_training(bool training) override;
+
+  index_t size() const { return static_cast<index_t>(layers_.size()); }
+  Module& layer(index_t i) { return *layers_[static_cast<size_t>(i)]; }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace apsq::nn

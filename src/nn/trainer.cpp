@@ -1,0 +1,192 @@
+#include "nn/trainer.hpp"
+
+#include "common/math_util.hpp"
+
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/tile.hpp"
+
+namespace apsq::nn {
+
+const char* to_string(Metric m) {
+  switch (m) {
+    case Metric::kAccuracy: return "accuracy";
+    case Metric::kMatthews: return "matthews";
+    case Metric::kPearson: return "pearson";
+    case Metric::kMiou: return "mIoU";
+  }
+  return "?";
+}
+
+namespace {
+
+TensorF rows_subset(const TensorF& x, const std::vector<index_t>& idx,
+                    index_t begin, index_t end) {
+  const index_t n = end - begin, d = x.dim(1);
+  TensorF out({n, d});
+  for (index_t r = 0; r < n; ++r) {
+    const index_t src = idx[static_cast<size_t>(begin + r)];
+    for (index_t c = 0; c < d; ++c) out(r, c) = x(src, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+TrainOutcome train_model(Module& model, const Dataset& ds,
+                         const TrainConfig& cfg, Module* teacher) {
+  APSQ_CHECK(ds.train_x.rank() == 2 && ds.train_x.dim(0) > 0);
+  const index_t n = ds.train_x.dim(0);
+  if (!ds.regression)
+    APSQ_CHECK(static_cast<index_t>(ds.train_y.size()) == n);
+
+  model.set_training(true);
+  if (teacher) teacher->set_training(false);
+
+  Adam opt(model.params(), cfg.lr);
+  Rng rng(cfg.shuffle_seed);
+  std::vector<index_t> order(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  const index_t steps_per_epoch = ceil_div(n, cfg.batch_size);
+  const index_t total_steps = cfg.epochs * steps_per_epoch;
+
+  TrainOutcome outcome;
+  for (index_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (index_t b = 0; b < n; b += cfg.batch_size) {
+      const index_t e = std::min(b + cfg.batch_size, n);
+      const TensorF x = rows_subset(ds.train_x, order, b, e);
+
+      opt.zero_grad();
+      const TensorF logits = model.forward(x);
+
+      LossResult loss;
+      if (ds.regression) {
+        TensorF target({e - b, ds.train_target.dim(1)});
+        for (index_t r = 0; r < e - b; ++r)
+          for (index_t c = 0; c < target.dim(1); ++c)
+            target(r, c) = ds.train_target(order[static_cast<size_t>(b + r)], c);
+        loss = mse_loss(logits, target);
+        if (teacher) {
+          const TensorF tlogits = teacher->forward(x);
+          LossResult kd = mse_loss(logits, tlogits);
+          loss.value += cfg.kd_lambda * kd.value;
+          for (index_t i = 0; i < loss.grad.numel(); ++i)
+            loss.grad[i] += cfg.kd_lambda * kd.grad[i];
+        }
+      } else {
+        std::vector<index_t> y(static_cast<size_t>(e - b));
+        for (index_t r = 0; r < e - b; ++r)
+          y[static_cast<size_t>(r)] =
+              ds.train_y[static_cast<size_t>(order[static_cast<size_t>(b + r)])];
+        if (teacher && cfg.kd_lambda > 0.0f) {
+          const TensorF tlogits = teacher->forward(x);
+          loss = distillation_loss(logits, y, tlogits, cfg.kd_lambda);
+        } else {
+          loss = softmax_cross_entropy(logits, y);
+        }
+      }
+
+      model.backward(loss.grad);
+      if (cfg.grad_clip_norm > 0.0f) {
+        auto params = model.params();
+        clip_grad_norm(params, cfg.grad_clip_norm);
+      }
+      opt.lr = scheduled_lr(cfg.lr_schedule, cfg.lr, cfg.min_lr,
+                            outcome.steps, total_steps);
+      opt.step();
+      outcome.final_train_loss = loss.value;
+      ++outcome.steps;
+    }
+  }
+
+  outcome.test_metric_pct = evaluate_model(model, ds);
+  return outcome;
+}
+
+double train_sequence_classifier(Module& model,
+                                 const std::vector<TensorF>& train_x,
+                                 const std::vector<index_t>& train_y,
+                                 const std::vector<TensorF>& test_x,
+                                 const std::vector<index_t>& test_y,
+                                 const SeqTrainConfig& cfg) {
+  APSQ_CHECK(!train_x.empty() && train_x.size() == train_y.size());
+  model.set_training(true);
+  Adam opt(model.params(), cfg.lr);
+  Rng rng(cfg.shuffle_seed);
+  const index_t n = static_cast<index_t>(train_x.size());
+  std::vector<index_t> order(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  for (index_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (index_t b = 0; b < n; b += cfg.batch_size) {
+      const index_t e = std::min(b + cfg.batch_size, n);
+      opt.zero_grad();
+      // Gradient accumulation over the group (sequences have their own
+      // token dimension, so samples go through one at a time).
+      for (index_t s = b; s < e; ++s) {
+        const index_t idx = order[static_cast<size_t>(s)];
+        const TensorF logits =
+            model.forward(train_x[static_cast<size_t>(idx)]);
+        LossResult loss = softmax_cross_entropy(
+            logits, {train_y[static_cast<size_t>(idx)]});
+        const float scale = 1.0f / static_cast<float>(e - b);
+        for (index_t i = 0; i < loss.grad.numel(); ++i)
+          loss.grad[i] *= scale;
+        model.backward(loss.grad);
+      }
+      opt.step();
+    }
+  }
+  return evaluate_sequence_classifier(model, test_x, test_y);
+}
+
+double evaluate_sequence_classifier(Module& model,
+                                    const std::vector<TensorF>& xs,
+                                    const std::vector<index_t>& ys) {
+  APSQ_CHECK(!xs.empty() && xs.size() == ys.size());
+  model.set_training(false);
+  size_t correct = 0;
+  for (size_t s = 0; s < xs.size(); ++s) {
+    const TensorF logits = model.forward(xs[s]);
+    const auto pred = argmax_rows(logits);
+    if (pred[0] == ys[s]) ++correct;
+  }
+  model.set_training(true);
+  return 100.0 * static_cast<double>(correct) /
+         static_cast<double>(xs.size());
+}
+
+double evaluate_model(Module& model, const Dataset& ds) {
+  model.set_training(false);
+  const TensorF logits = model.forward(ds.test_x);
+  double metric = 0.0;
+  switch (ds.metric) {
+    case Metric::kAccuracy:
+      metric = accuracy_pct(argmax_rows(logits), ds.test_y);
+      break;
+    case Metric::kMatthews:
+      metric = matthews_corr_pct(argmax_rows(logits), ds.test_y);
+      break;
+    case Metric::kPearson: {
+      APSQ_CHECK(logits.dim(1) == 1);
+      std::vector<float> pred, target;
+      for (index_t i = 0; i < logits.dim(0); ++i) {
+        pred.push_back(logits(i, 0));
+        target.push_back(ds.test_target(i, 0));
+      }
+      metric = pearson_pct(pred, target);
+      break;
+    }
+    case Metric::kMiou:
+      metric = mean_iou_pct(argmax_rows(logits), ds.test_y, ds.num_classes);
+      break;
+  }
+  model.set_training(true);
+  return metric;
+}
+
+}  // namespace apsq::nn

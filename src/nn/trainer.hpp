@@ -1,0 +1,77 @@
+// QAT training loop: mini-batch Adam with optional FP32-teacher knowledge
+// distillation, mirroring the paper's recipe (§IV-A).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/lr_schedule.hpp"
+#include "nn/module.hpp"
+
+namespace apsq::nn {
+
+/// Which figure of merit a task reports (paper Table I / Table III).
+enum class Metric { kAccuracy, kMatthews, kPearson, kMiou };
+
+const char* to_string(Metric m);
+
+/// An in-memory supervised dataset. Classification tasks use the integer
+/// labels; regression tasks (STS-B proxy) use scalar targets [N, 1].
+struct Dataset {
+  TensorF train_x, test_x;
+  std::vector<index_t> train_y, test_y;
+  TensorF train_target, test_target;  ///< regression targets
+  bool regression = false;
+  index_t num_classes = 2;
+  Metric metric = Metric::kAccuracy;
+};
+
+struct TrainConfig {
+  index_t epochs = 20;
+  index_t batch_size = 64;
+  float lr = 1e-3f;
+  float kd_lambda = 0.5f;  ///< distillation weight (0 disables)
+  u64 shuffle_seed = 1;
+  LrSchedule lr_schedule = LrSchedule::kConstant;
+  float min_lr = 0.0f;          ///< floor for decaying schedules
+  float grad_clip_norm = 0.0f;  ///< global-norm clipping (0 disables)
+};
+
+struct TrainOutcome {
+  double test_metric_pct = 0.0;
+  float final_train_loss = 0.0f;
+  index_t steps = 0;
+};
+
+/// Train `model` on `ds`; if `teacher` is non-null its logits guide the
+/// student via MSE distillation (teacher runs in eval mode).
+TrainOutcome train_model(Module& model, const Dataset& ds,
+                         const TrainConfig& cfg, Module* teacher = nullptr);
+
+/// Evaluate `model` on the test split with the dataset's metric.
+double evaluate_model(Module& model, const Dataset& ds);
+
+// --- Sequence-level training (per-sample forward over [T, d] tensors) ---
+
+struct SeqTrainConfig {
+  index_t epochs = 10;
+  index_t batch_size = 16;  ///< gradient-accumulation group
+  float lr = 2e-3f;
+  u64 shuffle_seed = 1;
+};
+
+/// Train a sequence classifier (e.g. nn::SequenceClassifier) on per-sample
+/// sequences with integer labels; returns final test accuracy in percent.
+double train_sequence_classifier(Module& model,
+                                 const std::vector<TensorF>& train_x,
+                                 const std::vector<index_t>& train_y,
+                                 const std::vector<TensorF>& test_x,
+                                 const std::vector<index_t>& test_y,
+                                 const SeqTrainConfig& cfg);
+
+/// Accuracy (%) of a sequence classifier on a labelled set.
+double evaluate_sequence_classifier(Module& model,
+                                    const std::vector<TensorF>& xs,
+                                    const std::vector<index_t>& ys);
+
+}  // namespace apsq::nn

@@ -1,0 +1,49 @@
+#include "nn/transformer_block.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace apsq::nn {
+
+TransformerBlock::TransformerBlock(index_t dim, index_t ffn_dim,
+                                   const std::optional<QatConfig>& qat,
+                                   Rng& rng, const std::string& name)
+    : ln1_(dim, 1e-5f, name + ".ln1"),
+      ln2_(dim, 1e-5f, name + ".ln2"),
+      attn_(dim, qat, rng, name + ".attn"),
+      fc1_(make_linear(dim, ffn_dim, qat, rng, name + ".fc1")),
+      fc2_(make_linear(ffn_dim, dim, qat, rng, name + ".fc2")) {}
+
+TensorF TransformerBlock::forward(const TensorF& x) {
+  // h = x + Attn(LN1(x));  y = h + FFN(LN2(h)).
+  TensorF h = add(x, attn_.forward(ln1_.forward(x)));
+  TensorF ffn = fc2_->forward(gelu_.forward(fc1_->forward(ln2_.forward(h))));
+  return add(h, ffn);
+}
+
+TensorF TransformerBlock::backward(const TensorF& dy) {
+  // y = h + FFN(LN2(h)).
+  TensorF dh = dy;
+  add_inplace(
+      dh, ln2_.backward(fc1_->backward(gelu_.backward(fc2_->backward(dy)))));
+  // h = x + Attn(LN1(x)).
+  TensorF dx = dh;
+  add_inplace(dx, ln1_.backward(attn_.backward(dh)));
+  return dx;
+}
+
+void TransformerBlock::collect_params(std::vector<Param*>& out) {
+  ln1_.collect_params(out);
+  attn_.collect_params(out);
+  ln2_.collect_params(out);
+  fc1_->collect_params(out);
+  fc2_->collect_params(out);
+}
+
+void TransformerBlock::set_training(bool training) {
+  Module::set_training(training);
+  attn_.set_training(training);
+  fc1_->set_training(training);
+  fc2_->set_training(training);
+}
+
+}  // namespace apsq::nn

@@ -1,0 +1,33 @@
+// Pre-norm transformer encoder block:
+//   x -> LN1 -> SelfAttention -> (+x) -> LN2 -> FFN (fc1, GELU, fc2) -> (+)
+// FFN projections and attention projections share the QAT configuration.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/layernorm.hpp"
+
+namespace apsq::nn {
+
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(index_t dim, index_t ffn_dim,
+                   const std::optional<QatConfig>& qat, Rng& rng,
+                   const std::string& name = "block");
+
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void set_training(bool training) override;
+
+ private:
+  LayerNorm ln1_, ln2_;
+  SelfAttention attn_;
+  std::unique_ptr<Module> fc1_, fc2_;
+  Gelu gelu_;
+};
+
+}  // namespace apsq::nn

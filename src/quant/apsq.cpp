@@ -1,0 +1,136 @@
+#include "quant/apsq.hpp"
+
+#include "common/math_util.hpp"
+#include "quant/grouping.hpp"
+#include "quant/uniform.hpp"
+
+namespace apsq {
+
+const char* to_string(PsumMode mode) {
+  switch (mode) {
+    case PsumMode::kExact: return "exact";
+    case PsumMode::kPsq: return "psq";
+    case PsumMode::kApsq: return "apsq";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> check_scales(std::vector<double> scales, index_t num_tiles) {
+  APSQ_CHECK(num_tiles > 0);
+  APSQ_CHECK_MSG(!scales.empty(), "at least one scaling factor required");
+  if (scales.size() == 1) scales.assign(static_cast<size_t>(num_tiles), scales[0]);
+  APSQ_CHECK_MSG(static_cast<index_t>(scales.size()) == num_tiles,
+                 "scale count " << scales.size() << " != num_tiles " << num_tiles);
+  for (double a : scales) APSQ_CHECK_MSG(a > 0.0, "scales must be positive");
+  return scales;
+}
+
+}  // namespace
+
+ApsqAccumulator::ApsqAccumulator(Shape tile_shape, QuantSpec spec,
+                                 std::vector<double> scales, index_t num_tiles)
+    : tile_shape_(std::move(tile_shape)),
+      spec_(spec),
+      scales_(check_scales(std::move(scales), num_tiles)),
+      num_tiles_(num_tiles),
+      codes_(tile_shape_, 0) {}
+
+double ApsqAccumulator::scale_for(index_t i) const {
+  APSQ_CHECK(i >= 0 && i < num_tiles_);
+  return scales_[static_cast<size_t>(i)];
+}
+
+void ApsqAccumulator::push(const TensorF& tp) {
+  APSQ_CHECK_MSG(pushed_ < num_tiles_, "more tiles pushed than declared");
+  APSQ_CHECK_MSG(tp.shape() == tile_shape_, "tile shape mismatch");
+  const double alpha_i = scale_for(pushed_);
+  const double alpha_prev = pushed_ > 0 ? scale_for(pushed_ - 1) : 0.0;
+  for (index_t e = 0; e < tp.numel(); ++e) {
+    // Eq. (10): AP_i = Q_k(Tp_i + α_{i-1} · AP_{i-1});  AP_0 = Q_k(Tp_0).
+    const double history =
+        pushed_ > 0 ? alpha_prev * static_cast<double>(codes_[e]) : 0.0;
+    codes_[e] = static_cast<i32>(
+        quantize_code(static_cast<double>(tp[e]) + history, alpha_i, spec_));
+  }
+  ++pushed_;
+}
+
+TensorF ApsqAccumulator::output() const {
+  APSQ_CHECK_MSG(pushed_ == num_tiles_,
+                 "output requested after " << pushed_ << " of " << num_tiles_
+                                           << " tiles");
+  const double alpha_last = scale_for(num_tiles_ - 1);
+  TensorF out(tile_shape_);
+  for (index_t e = 0; e < out.numel(); ++e)
+    out[e] = static_cast<float>(alpha_last * static_cast<double>(codes_[e]));
+  return out;
+}
+
+PsqAccumulator::PsqAccumulator(Shape tile_shape, QuantSpec spec,
+                               std::vector<double> scales, index_t num_tiles)
+    : tile_shape_(std::move(tile_shape)),
+      spec_(spec),
+      scales_(check_scales(std::move(scales), num_tiles)),
+      num_tiles_(num_tiles),
+      acc_(tile_shape_, 0.0) {}
+
+void PsqAccumulator::push(const TensorF& tp) {
+  APSQ_CHECK_MSG(pushed_ < num_tiles_, "more tiles pushed than declared");
+  APSQ_CHECK_MSG(tp.shape() == tile_shape_, "tile shape mismatch");
+  const double alpha = scales_[static_cast<size_t>(pushed_)];
+  for (index_t e = 0; e < tp.numel(); ++e)
+    acc_[e] += fake_quantize(static_cast<double>(tp[e]), alpha, spec_);
+  ++pushed_;
+}
+
+TensorF PsqAccumulator::output() const {
+  APSQ_CHECK(pushed_ == num_tiles_);
+  TensorF out(tile_shape_);
+  for (index_t e = 0; e < out.numel(); ++e)
+    out[e] = static_cast<float>(acc_[e]);
+  return out;
+}
+
+TensorF accumulate_psums(const std::vector<TensorF>& tiles, PsumMode mode,
+                         const QuantSpec& spec, const std::vector<double>& scales,
+                         index_t group_size) {
+  APSQ_CHECK(!tiles.empty());
+  const index_t np = static_cast<index_t>(tiles.size());
+  const Shape& shape = tiles.front().shape();
+
+  switch (mode) {
+    case PsumMode::kExact: {
+      TensorD acc(shape, 0.0);
+      for (const auto& t : tiles) {
+        APSQ_CHECK(t.shape() == shape);
+        for (index_t e = 0; e < t.numel(); ++e)
+          acc[e] += static_cast<double>(t[e]);
+      }
+      TensorF out(shape);
+      for (index_t e = 0; e < out.numel(); ++e)
+        out[e] = static_cast<float>(acc[e]);
+      return out;
+    }
+    case PsumMode::kPsq: {
+      PsqAccumulator acc(shape, spec, scales, np);
+      for (const auto& t : tiles) acc.push(t);
+      return acc.output();
+    }
+    case PsumMode::kApsq: {
+      GroupedApsq::Options opt;
+      opt.spec = spec;
+      opt.group_size = group_size;
+      opt.num_tiles = np;
+      opt.scales = scales;
+      GroupedApsq acc(shape, opt);
+      for (const auto& t : tiles) acc.push(t);
+      return acc.output();
+    }
+  }
+  APSQ_CHECK_MSG(false, "unreachable");
+  return TensorF();
+}
+
+}  // namespace apsq

@@ -1,0 +1,85 @@
+#include "quant/apsq_int.hpp"
+
+#include "common/math_util.hpp"
+
+namespace apsq {
+
+i32 psum_quantize_shift(i64 x, int exp, const QuantSpec& spec) {
+  APSQ_DCHECK(exp >= 0);
+  const i64 q = rounding_shift_right(x, exp);
+  return static_cast<i32>(clip(q, spec.qmin(), spec.qmax()));
+}
+
+i64 psum_dequantize_shift(i32 code, int exp) {
+  APSQ_DCHECK(exp >= 0 && exp < 32);
+  return static_cast<i64>(code) << exp;
+}
+
+GroupedApsqInt::GroupedApsqInt(Shape tile_shape, Options options)
+    : tile_shape_(std::move(tile_shape)), opt_(std::move(options)) {
+  APSQ_CHECK(opt_.group_size >= 1);
+  APSQ_CHECK(opt_.num_tiles >= 1);
+  APSQ_CHECK(!opt_.exponents.empty());
+  if (opt_.exponents.size() == 1)
+    opt_.exponents.assign(static_cast<size_t>(opt_.num_tiles), opt_.exponents[0]);
+  APSQ_CHECK_MSG(static_cast<index_t>(opt_.exponents.size()) == opt_.num_tiles,
+                 "need one shift exponent per PSUM tile");
+  for (int e : opt_.exponents) APSQ_CHECK_MSG(e >= 0 && e < 32, "bad exponent");
+}
+
+int GroupedApsqInt::exp_for(index_t i) const {
+  APSQ_CHECK(i >= 0 && i < opt_.num_tiles);
+  return opt_.exponents[static_cast<size_t>(i)];
+}
+
+int GroupedApsqInt::final_exponent() const {
+  return exp_for(opt_.num_tiles - 1);
+}
+
+void GroupedApsqInt::push(const TensorI32& tp) {
+  APSQ_CHECK_MSG(pushed_ < opt_.num_tiles, "more tiles pushed than declared");
+  APSQ_CHECK_MSG(tp.shape() == tile_shape_, "tile shape mismatch");
+  const index_t i = pushed_;
+  const int exp_i = exp_for(i);
+  const bool is_leader = (i % opt_.group_size) == 0;
+  const bool is_last = (i == opt_.num_tiles - 1);
+
+  if (is_leader || is_last) {
+    // Fold: dequantize all live tiles (left shifts), add current tile,
+    // quantize once (rounding right shift + clip).
+    TensorI64 acc(tile_shape_, 0);
+    for (size_t t = 0; t < group_codes_.size(); ++t)
+      for (index_t e = 0; e < acc.numel(); ++e)
+        acc[e] += psum_dequantize_shift(group_codes_[t][e], group_exps_[t]);
+    TensorI32 codes(tile_shape_);
+    for (index_t e = 0; e < codes.numel(); ++e)
+      codes[e] = psum_quantize_shift(acc[e] + static_cast<i64>(tp[e]), exp_i,
+                                     opt_.spec);
+    group_codes_.clear();
+    group_exps_.clear();
+    group_codes_.push_back(std::move(codes));
+    group_exps_.push_back(exp_i);
+  } else {
+    TensorI32 codes(tile_shape_);
+    for (index_t e = 0; e < codes.numel(); ++e)
+      codes[e] = psum_quantize_shift(static_cast<i64>(tp[e]), exp_i, opt_.spec);
+    group_codes_.push_back(std::move(codes));
+    group_exps_.push_back(exp_i);
+  }
+
+  ++pushed_;
+  if (is_last) {
+    APSQ_CHECK(group_codes_.size() == 1);
+    output_ = TensorI64(tile_shape_);
+    for (index_t e = 0; e < output_.numel(); ++e)
+      output_[e] = psum_dequantize_shift(group_codes_.front()[e], exp_i);
+    finalized_ = true;
+  }
+}
+
+TensorI64 GroupedApsqInt::output() const {
+  APSQ_CHECK_MSG(finalized_, "output requested before all tiles were pushed");
+  return output_;
+}
+
+}  // namespace apsq

@@ -1,0 +1,64 @@
+// Integer, shift-based APSQ path — the arithmetic the RAE hardware
+// actually performs (paper §III-C, Fig. 2: the << / >> blocks).
+//
+// PSUM tiles arrive as INT32 values in "product scale" (the scale of an
+// INT8×INT8 product). PSUM scaling factors are powers of two, α_i = 2^e_i,
+// so quantization is a rounding arithmetic right-shift plus clip, and
+// dequantization is a left shift. This file is the *functional* integer
+// reference; the structural bank/mux/adder model lives in src/rae and is
+// tested against it.
+//
+// For matching scales, GroupedApsqInt agrees bit-for-bit with the float
+// reference GroupedApsq (tests/quant/apsq_int_test.cpp).
+#pragma once
+
+#include <vector>
+
+#include "quant/quant_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+/// Quantize an INT32/64 PSUM value to a k-bit code with α = 2^exp:
+/// clip(rounding_shift_right(x, exp), Qn, Qp).
+i32 psum_quantize_shift(i64 x, int exp, const QuantSpec& spec);
+
+/// Dequantize a code back to product scale: code << exp.
+i64 psum_dequantize_shift(i32 code, int exp);
+
+/// Streaming integer Algorithm 1 over INT32 PSUM tiles.
+class GroupedApsqInt {
+ public:
+  struct Options {
+    QuantSpec spec = QuantSpec::int8();
+    index_t group_size = 1;
+    index_t num_tiles = 0;
+    std::vector<int> exponents;  ///< e_i per tile (size np) or broadcast (size 1)
+  };
+
+  GroupedApsqInt(Shape tile_shape, Options options);
+
+  void push(const TensorI32& tp);
+
+  /// Output tile in product scale (α_{np-1} · AP*_{np-1} == codes << e_last).
+  TensorI64 output() const;
+
+  /// Output as raw k-bit codes with the final scale exponent.
+  const std::vector<TensorI32>& live_codes() const { return group_codes_; }
+  int final_exponent() const;
+
+  index_t tiles_pushed() const { return pushed_; }
+
+ private:
+  int exp_for(index_t i) const;
+
+  Shape tile_shape_;
+  Options opt_;
+  index_t pushed_ = 0;
+  std::vector<TensorI32> group_codes_;
+  std::vector<int> group_exps_;
+  bool finalized_ = false;
+  TensorI64 output_;
+};
+
+}  // namespace apsq

@@ -1,0 +1,97 @@
+#include "quant/grouping.hpp"
+
+#include "quant/uniform.hpp"
+
+namespace apsq {
+
+GroupedApsq::GroupedApsq(Shape tile_shape, Options options)
+    : tile_shape_(std::move(tile_shape)), opt_(std::move(options)) {
+  APSQ_CHECK_MSG(opt_.group_size >= 1, "group size gs must be >= 1");
+  APSQ_CHECK_MSG(opt_.num_tiles >= 1, "np must be >= 1");
+  APSQ_CHECK(!opt_.scales.empty());
+  if (opt_.scales.size() == 1)
+    opt_.scales.assign(static_cast<size_t>(opt_.num_tiles), opt_.scales[0]);
+  APSQ_CHECK_MSG(static_cast<index_t>(opt_.scales.size()) == opt_.num_tiles,
+                 "need one scaling factor per PSUM tile");
+  for (double a : opt_.scales) APSQ_CHECK(a > 0.0);
+}
+
+double GroupedApsq::scale_for(index_t i) const {
+  APSQ_CHECK(i >= 0 && i < opt_.num_tiles);
+  return opt_.scales[static_cast<size_t>(i)];
+}
+
+TensorD GroupedApsq::dequantized_group_sum() {
+  TensorD acc(tile_shape_, 0.0);
+  for (size_t t = 0; t < group_codes_.size(); ++t) {
+    const double alpha = group_scales_[t];
+    const TensorI32& codes = group_codes_[t];
+    for (index_t e = 0; e < codes.numel(); ++e)
+      acc[e] += alpha * static_cast<double>(codes[e]);
+    ++stats_.buffer_reads;
+  }
+  return acc;
+}
+
+void GroupedApsq::push(const TensorF& tp) {
+  APSQ_CHECK_MSG(pushed_ < opt_.num_tiles, "more tiles pushed than declared");
+  APSQ_CHECK_MSG(tp.shape() == tile_shape_, "tile shape mismatch");
+  const index_t i = pushed_;
+  const double alpha_i = scale_for(i);
+  const bool is_leader = (i % opt_.group_size) == 0;
+  const bool is_last = (i == opt_.num_tiles - 1);
+
+  auto quantize_tile = [&](const TensorD& value) {
+    TensorI32 codes(tile_shape_);
+    for (index_t e = 0; e < codes.numel(); ++e)
+      codes[e] = static_cast<i32>(quantize_code(value[e], alpha_i, opt_.spec));
+    ++stats_.quantizer_calls;
+    return codes;
+  };
+  auto as_double = [&](const TensorF& t) {
+    TensorD d(tile_shape_);
+    for (index_t e = 0; e < d.numel(); ++e)
+      d[e] = static_cast<double>(t[e]);
+    return d;
+  };
+
+  if (is_leader || is_last) {
+    // Algorithm 1 lines 4–7 (leader) and 13–14 (final tile): fold the
+    // dequantized sum of the live group into the quantizer input.
+    TensorD value = dequantized_group_sum();
+    const TensorD tpd = as_double(tp);
+    for (index_t e = 0; e < value.numel(); ++e) value[e] += tpd[e];
+    TensorI32 codes = quantize_tile(value);
+    ++stats_.apsq_folds;
+    group_codes_.clear();
+    group_scales_.clear();
+    group_codes_.push_back(std::move(codes));
+    group_scales_.push_back(alpha_i);
+    ++stats_.buffer_writes;
+  } else {
+    // Lines 9–11: plain PSUM quantization of the current tile.
+    group_codes_.push_back(quantize_tile(as_double(tp)));
+    group_scales_.push_back(alpha_i);
+    ++stats_.buffer_writes;
+  }
+  stats_.max_live_tiles =
+      std::max(stats_.max_live_tiles, static_cast<index_t>(group_codes_.size()));
+
+  ++pushed_;
+  if (is_last) {
+    // To = α_{np-1} · AP*_{np-1} (single live tile after the final fold).
+    APSQ_CHECK(group_codes_.size() == 1);
+    output_ = TensorF(tile_shape_);
+    for (index_t e = 0; e < output_.numel(); ++e)
+      output_[e] = static_cast<float>(
+          alpha_i * static_cast<double>(group_codes_.front()[e]));
+    finalized_ = true;
+  }
+}
+
+TensorF GroupedApsq::output() const {
+  APSQ_CHECK_MSG(finalized_, "output requested before all tiles were pushed");
+  return output_;
+}
+
+}  // namespace apsq

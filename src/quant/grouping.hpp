@@ -1,0 +1,74 @@
+// Grouping strategy (paper §III-B, Algorithm 1): APSQ combined with plain
+// PSUM quantization at group granularity.
+//
+// The np PSUM tiles are partitioned into groups of size gs. The first tile
+// of each group is processed with APSQ — its quantizer sees the current
+// tile PLUS the dequantized sum of the previous group's stored tiles — and
+// the remaining gs-1 tiles are quantized independently (plain PSQ). The
+// final tile folds the current group and is quantized once to produce To.
+//
+// gs = 1 degenerates to pure APSQ (Eq. 10); gs >= np means every tile but
+// the first/last is plain-quantized and only two "fold" quantizations
+// happen. Larger gs means fewer compounding rounding steps (better
+// accuracy) but gs live INT8 tiles in the ofmap buffer (larger footprint —
+// the energy-model side of this trade-off lives in src/energy).
+#pragma once
+
+#include <vector>
+
+#include "quant/quant_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+/// Counters describing the buffer traffic Algorithm 1 generated; used by
+/// tests to confirm the paper's claim that total reads/writes are
+/// independent of gs (§III-B).
+struct GroupingStats {
+  index_t quantizer_calls = 0;   ///< total Q_k invocations
+  index_t apsq_folds = 0;        ///< how many of them folded history
+  index_t buffer_writes = 0;     ///< stored-tile writes (one per tile)
+  index_t buffer_reads = 0;      ///< stored-tile reads (for dequant-accumulate)
+  index_t max_live_tiles = 0;    ///< peak stored tiles == footprint multiplier
+};
+
+class GroupedApsq {
+ public:
+  struct Options {
+    QuantSpec spec = QuantSpec::int8();
+    index_t group_size = 1;        ///< gs >= 1
+    index_t num_tiles = 0;         ///< np > 0
+    std::vector<double> scales;    ///< per tile (size np) or broadcast (size 1)
+  };
+
+  GroupedApsq(Shape tile_shape, Options options);
+
+  /// Push the next PSUM tile Tp_i (call exactly num_tiles times).
+  void push(const TensorF& tp);
+
+  /// Dequantized output tile To; valid after all tiles are pushed.
+  TensorF output() const;
+
+  index_t tiles_pushed() const { return pushed_; }
+  const GroupingStats& stats() const { return stats_; }
+
+  /// Stored codes currently live in the buffer (leader first).
+  const std::vector<TensorI32>& live_codes() const { return group_codes_; }
+  const std::vector<double>& live_scales() const { return group_scales_; }
+
+ private:
+  double scale_for(index_t i) const;
+  /// Dequantized elementwise sum of all live stored tiles (counts reads).
+  TensorD dequantized_group_sum();
+
+  Shape tile_shape_;
+  Options opt_;
+  index_t pushed_ = 0;
+  std::vector<TensorI32> group_codes_;
+  std::vector<double> group_scales_;
+  GroupingStats stats_;
+  bool finalized_ = false;
+  TensorF output_;
+};
+
+}  // namespace apsq

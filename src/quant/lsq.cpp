@@ -1,0 +1,71 @@
+#include "quant/lsq.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace apsq {
+
+LsqResult lsq_forward(const TensorF& x, float alpha, const QuantSpec& spec) {
+  APSQ_CHECK_MSG(alpha > 0.0f, "LSQ step size must stay positive");
+  LsqResult r{TensorF(x.shape()), TensorF(x.shape()), 0.0f};
+  const double qn = static_cast<double>(spec.qmin());
+  const double qp = static_cast<double>(spec.qmax());
+  for (index_t i = 0; i < x.numel(); ++i) {
+    const double v = static_cast<double>(x[i]) / alpha;
+    const bool inside = v >= qn && v <= qp;
+    const double q = clipf(round_half_away(v), qn, qp);
+    r.y[i] = static_cast<float>(q * alpha);
+    r.pass_mask[i] = inside ? 1.0f : 0.0f;
+  }
+  return r;
+}
+
+LsqGrads lsq_backward(const TensorF& x, float alpha, const QuantSpec& spec,
+                      const TensorF& dy) {
+  APSQ_CHECK(x.same_shape(dy));
+  LsqGrads g{TensorF(x.shape()), 0.0f};
+  const double qn = static_cast<double>(spec.qmin());
+  const double qp = static_cast<double>(spec.qmax());
+  const float gscale = lsq_grad_scale(x.numel(), spec);
+  double dalpha = 0.0;
+  for (index_t i = 0; i < x.numel(); ++i) {
+    const double v = static_cast<double>(x[i]) / alpha;
+    double dadY;  // ∂y_i/∂α
+    float dxdY;   // ∂y_i/∂x_i
+    if (v < qn) {
+      dadY = qn;
+      dxdY = 0.0f;
+    } else if (v > qp) {
+      dadY = qp;
+      dxdY = 0.0f;
+    } else {
+      dadY = round_half_away(v) - v;
+      dxdY = 1.0f;
+    }
+    g.dx[i] = dxdY * dy[i];
+    dalpha += dadY * static_cast<double>(dy[i]);
+  }
+  g.dalpha = static_cast<float>(dalpha) * gscale;
+  return g;
+}
+
+float lsq_init_alpha(const TensorF& x, const QuantSpec& spec) {
+  APSQ_CHECK(x.numel() > 0);
+  double mean_abs = 0.0;
+  for (index_t i = 0; i < x.numel(); ++i)
+    mean_abs += std::fabs(static_cast<double>(x[i]));
+  mean_abs /= static_cast<double>(x.numel());
+  const double a =
+      2.0 * mean_abs / std::sqrt(static_cast<double>(spec.qmax()));
+  return a > 0.0 ? static_cast<float>(a) : 1e-3f;
+}
+
+float lsq_grad_scale(index_t numel, const QuantSpec& spec) {
+  APSQ_CHECK(numel > 0);
+  return static_cast<float>(
+      1.0 / std::sqrt(static_cast<double>(numel) *
+                      static_cast<double>(spec.qmax())));
+}
+
+}  // namespace apsq

@@ -1,0 +1,42 @@
+// LSQ — Learned Step Size Quantization (Esser et al., ICLR 2020), the
+// quantizer the paper uses for weights and activations (§II-B).
+//
+// Forward:   x̃ = α · clip(⌊x/α⌉, Qn, Qp)
+// Backward:  ∂x̃/∂x = 1 inside the clip range, 0 outside (STE);
+//            ∂x̃/∂α = ⌊x/α⌉ − x/α inside the range, Qn/Qp when clipped,
+//            multiplied by the LSQ gradient scale g = 1/sqrt(N · Qp).
+//
+// These are pure functions; the NN substrate owns the learnable α state.
+#pragma once
+
+#include "quant/quant_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+struct LsqResult {
+  TensorF y;           ///< fake-quantized values
+  TensorF pass_mask;   ///< 1 where |x/α| within [Qn, Qp] (STE pass-through)
+  float grad_alpha;    ///< accumulated dL/dα factor, to be scaled by upstream grads
+};
+
+/// LSQ forward pass; also records the per-element STE mask and the
+/// α-gradient terms (before multiplication with the upstream gradient).
+LsqResult lsq_forward(const TensorF& x, float alpha, const QuantSpec& spec);
+
+/// Backward: given upstream dL/dy, produce dL/dx and dL/dα.
+/// `x` and `alpha` must be the forward inputs.
+struct LsqGrads {
+  TensorF dx;
+  float dalpha = 0.0f;
+};
+LsqGrads lsq_backward(const TensorF& x, float alpha, const QuantSpec& spec,
+                      const TensorF& dy);
+
+/// LSQ's recommended initial step size: 2·mean(|x|)/sqrt(Qp).
+float lsq_init_alpha(const TensorF& x, const QuantSpec& spec);
+
+/// LSQ gradient scale g = 1 / sqrt(numel · Qp).
+float lsq_grad_scale(index_t numel, const QuantSpec& spec);
+
+}  // namespace apsq

@@ -1,0 +1,50 @@
+#include "quant/psum_calib.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace apsq {
+
+PsumScaleCalibrator::PsumScaleCalibrator(QuantSpec spec, double momentum,
+                                         double margin, Pow2Rounding rounding)
+    : spec_(spec), momentum_(momentum), margin_(margin), rounding_(rounding) {
+  APSQ_CHECK(momentum >= 0.0 && momentum < 1.0);
+  APSQ_CHECK(margin >= 1.0);
+}
+
+void PsumScaleCalibrator::observe(const TensorF& psum) {
+  double mx = 0.0;
+  for (index_t i = 0; i < psum.numel(); ++i)
+    mx = std::max(mx, std::fabs(static_cast<double>(psum[i])));
+  observe_abs_max(mx);
+}
+
+void PsumScaleCalibrator::observe_abs_max(double abs_max) {
+  APSQ_CHECK(abs_max >= 0.0);
+  if (!seen_) {
+    ema_max_ = abs_max;
+    seen_ = true;
+  } else {
+    ema_max_ = momentum_ * ema_max_ + (1.0 - momentum_) * abs_max;
+  }
+}
+
+double PsumScaleCalibrator::scale() const {
+  return std::exp2(static_cast<double>(exponent()));
+}
+
+int PsumScaleCalibrator::exponent() const {
+  if (!seen_ || ema_max_ <= 0.0) return 0;
+  const double needed = ema_max_ * margin_ / static_cast<double>(spec_.qmax());
+  // kCeil: the tracked max never clips. kNearest: 2^⌊log2⌉ as the paper's
+  // STE-trained scales — the top of the range may saturate, which is part
+  // of the accuracy behaviour APSQ exhibits (§IV-B). Clamp below at 0.
+  const double l = std::log2(needed);
+  const int e = rounding_ == Pow2Rounding::kCeil
+                    ? static_cast<int>(std::ceil(l))
+                    : static_cast<int>(round_half_away(l));
+  return e < 0 ? 0 : e;
+}
+
+}  // namespace apsq

@@ -1,0 +1,58 @@
+// PSUM scale calibration.
+//
+// The paper learns PSUM scaling factors with LSQ constrained to
+// power-of-two values (2^⌊log2 α⌉ via STE, §II-B). Offline-training a
+// learnable per-quantizer α is overkill for this reproduction's synthetic
+// QAT runs, so we calibrate: track an exponential moving average of the
+// per-tile max |PSUM| during training and round the resulting step to the
+// nearest power of two. DESIGN.md §3.2/3.3 documents the substitution.
+#pragma once
+
+#include "quant/quant_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+/// How the power-of-two exponent is derived from the tracked maximum.
+enum class Pow2Rounding {
+  kNearest,  ///< 2^⌊log2 α⌉ as the paper trains it (§II-B) — may clip the
+             ///< top of the range by up to 2x, like the learned scales do
+  kCeil,     ///< smallest power of two that never clips the tracked max
+};
+
+/// EMA max-abs tracker producing power-of-two scales.
+class PsumScaleCalibrator {
+ public:
+  /// `momentum` in [0,1): new_max = momentum·old + (1-momentum)·observed.
+  /// `margin` multiplies the tracked max before deriving the scale
+  /// (headroom against clipping unseen batches).
+  explicit PsumScaleCalibrator(QuantSpec spec, double momentum = 0.9,
+                               double margin = 1.0,
+                               Pow2Rounding rounding = Pow2Rounding::kNearest);
+
+  /// Observe a PSUM tensor (training mode only).
+  void observe(const TensorF& psum);
+  void observe_abs_max(double abs_max);
+
+  /// Current power-of-two scale 2^e with e derived from
+  /// log2(max·margin / Qp) under the configured rounding, clamped to
+  /// e >= 0 (PSUMs are integer-valued in product scale; a scale below 1
+  /// would waste code space). Returns 1.0 before any observation.
+  double scale() const;
+
+  /// Shift exponent for the integer path (log2 of scale()).
+  int exponent() const;
+
+  bool calibrated() const { return seen_; }
+  double tracked_max() const { return ema_max_; }
+
+ private:
+  QuantSpec spec_;
+  double momentum_;
+  double margin_;
+  Pow2Rounding rounding_;
+  double ema_max_ = 0.0;
+  bool seen_ = false;
+};
+
+}  // namespace apsq

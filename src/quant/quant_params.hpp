@@ -1,0 +1,33 @@
+// Quantization format descriptors (bit-width, signedness) and their
+// integer grid bounds Qn / Qp of Eq. (7).
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace apsq {
+
+/// A k-bit uniform integer grid. Signed: [-2^(k-1), 2^(k-1)-1];
+/// unsigned: [0, 2^k - 1].
+struct QuantSpec {
+  int bits = 8;
+  bool is_signed = true;
+
+  i64 qmin() const {
+    APSQ_CHECK(bits >= 2 && bits <= 32);
+    return is_signed ? -(i64{1} << (bits - 1)) : 0;
+  }
+  i64 qmax() const {
+    APSQ_CHECK(bits >= 2 && bits <= 32);
+    return is_signed ? (i64{1} << (bits - 1)) - 1 : (i64{1} << bits) - 1;
+  }
+  /// Number of representable levels.
+  i64 levels() const { return qmax() - qmin() + 1; }
+
+  static QuantSpec int8() { return {8, true}; }
+  static QuantSpec int6() { return {6, true}; }
+  static QuantSpec int4() { return {4, true}; }
+  static QuantSpec uint8() { return {8, false}; }
+};
+
+}  // namespace apsq

@@ -1,0 +1,59 @@
+#include "quant/uniform.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace apsq {
+
+i64 quantize_code(double x, double alpha, const QuantSpec& spec) {
+  APSQ_DCHECK(alpha > 0.0);
+  const double q = round_half_away(x / alpha);
+  return clip(static_cast<i64>(q), spec.qmin(), spec.qmax());
+}
+
+double fake_quantize(double x, double alpha, const QuantSpec& spec) {
+  return alpha * static_cast<double>(quantize_code(x, alpha, spec));
+}
+
+TensorF fake_quantize(const TensorF& x, double alpha, const QuantSpec& spec) {
+  TensorF out(x.shape());
+  for (index_t i = 0; i < x.numel(); ++i)
+    out[i] = static_cast<float>(fake_quantize(static_cast<double>(x[i]), alpha, spec));
+  return out;
+}
+
+TensorI32 quantize_codes(const TensorF& x, double alpha, const QuantSpec& spec) {
+  TensorI32 out(x.shape());
+  for (index_t i = 0; i < x.numel(); ++i)
+    out[i] = static_cast<i32>(quantize_code(static_cast<double>(x[i]), alpha, spec));
+  return out;
+}
+
+TensorF dequantize(const TensorI32& q, double alpha) {
+  TensorF out(q.shape());
+  for (index_t i = 0; i < q.numel(); ++i)
+    out[i] = static_cast<float>(alpha * static_cast<double>(q[i]));
+  return out;
+}
+
+double calibrate_minmax(const TensorF& x, const QuantSpec& spec) {
+  double mx = 0.0;
+  for (index_t i = 0; i < x.numel(); ++i)
+    mx = std::max(mx, std::fabs(static_cast<double>(x[i])));
+  if (mx == 0.0) return 1.0;  // degenerate all-zero input: any scale works
+  return mx / static_cast<double>(spec.qmax());
+}
+
+double quantization_mse(const TensorF& x, double alpha, const QuantSpec& spec) {
+  APSQ_CHECK(x.numel() > 0);
+  double acc = 0.0;
+  for (index_t i = 0; i < x.numel(); ++i) {
+    const double d =
+        static_cast<double>(x[i]) - fake_quantize(static_cast<double>(x[i]), alpha, spec);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.numel());
+}
+
+}  // namespace apsq

@@ -1,0 +1,35 @@
+// Uniform fake-quantization (Eq. 7): x̃ = α · clip(⌊x/α⌉, Qn, Qp).
+//
+// Rounding is half-away-from-zero everywhere so that, for power-of-two α,
+// the float path agrees bit-for-bit with the integer shifter path in
+// src/quant/apsq_int.hpp (see DESIGN.md §3.3).
+#pragma once
+
+#include "quant/quant_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+/// Integer code of a scalar: clip(⌊x/α⌉, Qn, Qp).
+i64 quantize_code(double x, double alpha, const QuantSpec& spec);
+
+/// Fake-quantized scalar: α · quantize_code(x).
+double fake_quantize(double x, double alpha, const QuantSpec& spec);
+
+/// Elementwise fake quantization of a tensor (double precision internally).
+TensorF fake_quantize(const TensorF& x, double alpha, const QuantSpec& spec);
+
+/// Elementwise integer codes of a tensor.
+TensorI32 quantize_codes(const TensorF& x, double alpha, const QuantSpec& spec);
+
+/// Dequantize integer codes: α · q.
+TensorF dequantize(const TensorI32& q, double alpha);
+
+/// Min–max calibration: the smallest α such that max|x| maps inside
+/// [Qn, Qp] (symmetric signed grids; α = max|x| / Qp).
+double calibrate_minmax(const TensorF& x, const QuantSpec& spec);
+
+/// Mean absolute quantization error of fake-quantizing x with α.
+double quantization_mse(const TensorF& x, double alpha, const QuantSpec& spec);
+
+}  // namespace apsq

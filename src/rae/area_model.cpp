@@ -1,0 +1,78 @@
+#include "rae/area_model.hpp"
+
+#include "common/check.hpp"
+
+namespace apsq {
+
+namespace {
+
+// Datapath width of one RAE element lane (PSUM adder width).
+constexpr index_t kLaneBits = 32;
+
+// When the RAE is integrated into the accelerator, synthesis shares logic
+// with the pre-existing output-requantization path (shifters, stage-2
+// adders, output registers). The paper's own Table II implies the sharing:
+// (1,933,674 - 1,873,408) / 86,410 = 0.6975 of the standalone RAE area
+// materializes in the combined design.
+constexpr double kIntegrationFactor = 0.6975;
+
+}  // namespace
+
+double AreaReport::total_um2() const {
+  double t = 0.0;
+  for (const auto& item : items) t += item.total_um2();
+  return t;
+}
+
+AreaReport baseline_accelerator_area(const AcceleratorConfig& cfg,
+                                     const AreaLibrary& lib) {
+  cfg.validate();
+  AreaReport r;
+  const index_t pes = cfg.po * cfg.pci * cfg.pco;
+  r.items.push_back({"INT8 MAC PE", pes, lib.pe_int8_mac});
+  r.items.push_back({"ifmap SRAM (bytes)", cfg.ifmap_buf_bytes, lib.sram_per_byte});
+  r.items.push_back({"ofmap SRAM (bytes)", cfg.ofmap_buf_bytes, lib.sram_per_byte});
+  r.items.push_back({"weight SRAM (bytes)", cfg.weight_buf_bytes, lib.sram_per_byte});
+  r.items.push_back({"top control", 1, lib.control_overhead});
+  return r;
+}
+
+AreaReport rae_area(const AcceleratorConfig& cfg, const AreaLibrary& lib) {
+  cfg.validate();
+  AreaReport r;
+
+  // Element lanes: sized to half the PE-array output rate (the RAE sits on
+  // the ofmap-buffer port, which is narrower than the array).
+  const index_t lanes = cfg.po * cfg.pco / 2;
+  APSQ_CHECK(lanes > 0);
+
+  // Four PSUM banks, each buffering one Po×Pco INT8 tile.
+  const index_t bank_bytes = cfg.po * cfg.pco;
+  r.items.push_back({"PSUM bank SRAM (bytes)", 4 * bank_bytes, lib.sram_per_byte});
+
+  // Per-lane datapath (Fig. 2): four dequant shifters (<<), a two-stage
+  // adder pipeline (2 + 1 adders), one rounding quant shifter (>>),
+  // bank-select muxes and pipeline registers.
+  r.items.push_back({"dequant shifter (<<)", 4 * lanes, lib.shifter_32b});
+  r.items.push_back({"pipeline adder", 3 * lanes,
+                     static_cast<double>(kLaneBits) * lib.adder_per_bit});
+  r.items.push_back({"quant shifter (>>)", lanes, lib.shifter_32b});
+  r.items.push_back({"bank-select mux", 2 * lanes, 8.0 * lib.mux4_per_bit});
+  r.items.push_back({"pipeline register (bits)", 2 * kLaneBits * lanes,
+                     lib.register_per_bit});
+
+  // RAE controller: config table, s0/s1/s2 sequencing, bank cursors.
+  r.items.push_back({"RAE control", 1, 6000.0});
+  return r;
+}
+
+AreaReport accelerator_with_rae_area(const AcceleratorConfig& cfg,
+                                     const AreaLibrary& lib) {
+  AreaReport base = baseline_accelerator_area(cfg, lib);
+  const AreaReport rae = rae_area(cfg, lib);
+  base.items.push_back(
+      {"RAE (integrated, post-sharing)", 1, rae.total_um2() * kIntegrationFactor});
+  return base;
+}
+
+}  // namespace apsq

@@ -1,0 +1,40 @@
+#include "rae/config_table.hpp"
+
+namespace apsq {
+
+index_t RaeStaticConfig::fold_banks() const {
+  switch (s0) {
+    case 0b00: return 1;
+    case 0b01: return 2;
+    case 0b10: return s1 ? 4 : 3;
+    default: break;
+  }
+  APSQ_CHECK_MSG(false, "undefined RAE static encoding s0=" << int(s0));
+  return 0;
+}
+
+RaeStaticConfig rae_config_for_group_size(index_t gs) {
+  APSQ_CHECK_MSG(gs >= 1 && gs <= kRaeMaxGroupSize,
+                 "RAE supports gs in [1, 4], got " << gs);
+  RaeStaticConfig c;
+  switch (gs) {
+    case 1: c.s0 = 0b00; c.s1_dont_care = true; break;
+    case 2: c.s0 = 0b01; c.s1_dont_care = true; break;
+    case 3: c.s0 = 0b10; c.s1 = 0; break;
+    case 4: c.s0 = 0b10; c.s1 = 1; break;
+  }
+  return c;
+}
+
+index_t rae_group_size_from_encoding(u8 s0, u8 s1) {
+  switch (s0) {
+    case 0b00: return 1;
+    case 0b01: return 2;
+    case 0b10: return s1 ? 4 : 3;
+    default: break;
+  }
+  APSQ_CHECK_MSG(false, "undefined RAE static encoding s0=" << int(s0));
+  return 0;
+}
+
+}  // namespace apsq

@@ -1,0 +1,42 @@
+// RAE configuration table (Fig. 2, "Config. Table").
+//
+// The engine's work mode is governed by two *static* encodings s0 (2 bits)
+// and s1 (1 bit), fixed per group size gs, plus a *dynamic* encoding s2
+// that toggles between plain PSUM quantization (s2 = 0) and an APSQ fold
+// (s2 = 1) as tiles stream through:
+//
+//      gs | s0 | s1
+//      ---+----+---
+//       1 | 00 |  x
+//       2 | 01 |  x
+//       3 | 10 |  0
+//       4 | 10 |  1
+//
+// s0/s1 select how many PSUM banks participate in a fold; the controller
+// derives the bank routing from them.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace apsq {
+
+struct RaeStaticConfig {
+  u8 s0 = 0;  ///< 2-bit static encoding
+  u8 s1 = 0;  ///< 1-bit static encoding (meaningful only for s0 == 0b10)
+  bool s1_dont_care = false;
+
+  /// Number of banks read by an APSQ fold under this configuration.
+  index_t fold_banks() const;
+};
+
+/// Look up the static encodings for a group size (gs in [1, 4]).
+RaeStaticConfig rae_config_for_group_size(index_t gs);
+
+/// Inverse lookup: gs from (s0, s1). Rejects undefined encodings.
+index_t rae_group_size_from_encoding(u8 s0, u8 s1);
+
+/// Maximum group size the 4-bank engine supports.
+inline constexpr index_t kRaeMaxGroupSize = 4;
+
+}  // namespace apsq

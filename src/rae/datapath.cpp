@@ -1,0 +1,35 @@
+#include "rae/datapath.hpp"
+
+#include "common/check.hpp"
+
+namespace apsq {
+
+TensorI32 QuantShifter::quantize(const TensorI64& values, int exponent) {
+  TensorI32 out(values.shape());
+  for (index_t e = 0; e < values.numel(); ++e)
+    out[e] = psum_quantize_shift(values[e], exponent, spec_);
+  ops_ += values.numel();
+  return out;
+}
+
+TensorI64 DequantShifter::dequantize(const TensorI32& codes, int exponent) {
+  TensorI64 out(codes.shape());
+  for (index_t e = 0; e < codes.numel(); ++e)
+    out[e] = psum_dequantize_shift(codes[e], exponent);
+  ops_ += codes.numel();
+  return out;
+}
+
+TensorI64 AdderPipeline::fold(const std::vector<TensorI64>& stored,
+                              const TensorI64& incoming) {
+  APSQ_CHECK_MSG(stored.size() <= 4, "pipeline folds at most four banks");
+  TensorI64 acc = incoming;
+  for (const auto& t : stored) {
+    APSQ_CHECK(t.shape() == incoming.shape());
+    for (index_t e = 0; e < acc.numel(); ++e) acc[e] += t[e];
+    adds_ += acc.numel();
+  }
+  return acc;
+}
+
+}  // namespace apsq

@@ -1,0 +1,51 @@
+// RAE datapath units: the shift-based quantization / dequantization
+// modules (<< and >> blocks of Fig. 2) and the two-stage adder pipeline.
+//
+// These are thin, op-counting wrappers over the integer arithmetic in
+// quant/apsq_int.hpp — the counters feed the cycle and energy accounting,
+// and the unit inventory feeds the area model.
+#pragma once
+
+#include "quant/apsq_int.hpp"
+#include "quant/quant_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+/// Rounding-shift quantizer (PSUM INT32 -> k-bit code).
+class QuantShifter {
+ public:
+  explicit QuantShifter(QuantSpec spec) : spec_(spec) {}
+
+  TensorI32 quantize(const TensorI64& values, int exponent);
+  i64 ops() const { return ops_; }
+
+ private:
+  QuantSpec spec_;
+  i64 ops_ = 0;
+};
+
+/// Left-shift dequantizer (k-bit code -> product-scale integer).
+class DequantShifter {
+ public:
+  TensorI64 dequantize(const TensorI32& codes, int exponent);
+  i64 ops() const { return ops_; }
+
+ private:
+  i64 ops_ = 0;
+};
+
+/// Two-stage adder pipeline (Fig. 2): stage 1 reduces up to four operands
+/// pairwise, stage 2 merges the pair and adds the incoming PSUM tile.
+class AdderPipeline {
+ public:
+  /// Sum 1–4 dequantized tiles plus the incoming PSUM tile.
+  TensorI64 fold(const std::vector<TensorI64>& stored, const TensorI64& incoming);
+
+  i64 adds() const { return adds_; }
+
+ private:
+  i64 adds_ = 0;
+};
+
+}  // namespace apsq

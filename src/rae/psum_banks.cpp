@@ -1,0 +1,42 @@
+#include "rae/psum_banks.hpp"
+
+namespace apsq {
+
+PsumBanks::PsumBanks(index_t tile_elems) : tile_elems_(tile_elems) {
+  APSQ_CHECK(tile_elems > 0);
+}
+
+void PsumBanks::write(index_t bank, const TensorI32& codes, int exponent) {
+  check_bank(bank);
+  APSQ_CHECK_MSG(codes.numel() == tile_elems_, "tile size mismatch");
+  for (index_t e = 0; e < codes.numel(); ++e)
+    APSQ_CHECK_MSG(codes[e] >= -128 && codes[e] <= 127,
+                   "bank stores INT8 codes; got " << codes[e]);
+  codes_[static_cast<size_t>(bank)] = codes;
+  exps_[static_cast<size_t>(bank)] = exponent;
+  valid_[static_cast<size_t>(bank)] = true;
+  ++tile_writes_;
+}
+
+const TensorI32& PsumBanks::read(index_t bank) const {
+  check_bank(bank);
+  APSQ_CHECK_MSG(valid_[static_cast<size_t>(bank)],
+                 "reading invalid PSUM bank " << bank);
+  ++tile_reads_;
+  return codes_[static_cast<size_t>(bank)];
+}
+
+int PsumBanks::exponent(index_t bank) const {
+  check_bank(bank);
+  APSQ_CHECK(valid_[static_cast<size_t>(bank)]);
+  return exps_[static_cast<size_t>(bank)];
+}
+
+bool PsumBanks::valid(index_t bank) const {
+  check_bank(bank);
+  return valid_[static_cast<size_t>(bank)];
+}
+
+void PsumBanks::invalidate_all() { valid_.fill(false); }
+
+}  // namespace apsq

@@ -1,0 +1,57 @@
+// The RAE's PSUM buffer: four independently addressable SRAM banks of
+// INT8 codes (Fig. 2, "PSUM Bank0..3").
+//
+// Bank discipline (matches the §III-C walk-through):
+//  * plain-quantized tiles of the current group occupy banks 0 … gs-2;
+//  * the APSQ fold result is written to bank gs-1;
+//  * a fold reads banks 0 … gs-1 simultaneously.
+// For gs = 1 the single live tile lives in bank 0 (read-modify-write).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+class PsumBanks {
+ public:
+  static constexpr index_t kNumBanks = 4;
+
+  /// `tile_elems` — elements per stored PSUM tile (bank word count).
+  explicit PsumBanks(index_t tile_elems);
+
+  index_t tile_elems() const { return tile_elems_; }
+
+  /// Store a tile of INT8 codes (values must fit the signed 8-bit range;
+  /// checked) together with its shift exponent.
+  void write(index_t bank, const TensorI32& codes, int exponent);
+
+  /// Read a stored tile's codes (as written).
+  const TensorI32& read(index_t bank) const;
+  int exponent(index_t bank) const;
+  bool valid(index_t bank) const;
+
+  void invalidate_all();
+
+  // Traffic counters (accesses are whole tiles).
+  i64 tile_reads() const { return tile_reads_; }
+  i64 tile_writes() const { return tile_writes_; }
+
+ private:
+  void check_bank(index_t bank) const {
+    APSQ_CHECK_MSG(bank >= 0 && bank < kNumBanks, "bank index out of range");
+  }
+
+  index_t tile_elems_;
+  std::array<TensorI32, kNumBanks> codes_;
+  std::array<int, kNumBanks> exps_{};
+  std::array<bool, kNumBanks> valid_{};
+  mutable i64 tile_reads_ = 0;
+  i64 tile_writes_ = 0;
+};
+
+}  // namespace apsq

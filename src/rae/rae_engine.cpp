@@ -1,0 +1,77 @@
+#include "rae/rae_engine.hpp"
+
+namespace apsq {
+
+RaeEngine::RaeEngine(Shape tile_shape, Options options)
+    : tile_shape_(std::move(tile_shape)),
+      opt_(std::move(options)),
+      cfg_(rae_config_for_group_size(opt_.group_size)),
+      banks_(shape_numel(tile_shape_)),
+      quant_(opt_.spec) {
+  APSQ_CHECK(opt_.num_tiles >= 1);
+  APSQ_CHECK(!opt_.exponents.empty());
+  if (opt_.exponents.size() == 1)
+    opt_.exponents.assign(static_cast<size_t>(opt_.num_tiles),
+                          opt_.exponents[0]);
+  APSQ_CHECK_MSG(static_cast<index_t>(opt_.exponents.size()) == opt_.num_tiles,
+                 "need one shift exponent per PSUM tile");
+}
+
+int RaeEngine::exp_for(index_t i) const {
+  APSQ_CHECK(i >= 0 && i < opt_.num_tiles);
+  return opt_.exponents[static_cast<size_t>(i)];
+}
+
+bool RaeEngine::s2_for(index_t i) const {
+  return (i % opt_.group_size) == 0 || i == opt_.num_tiles - 1;
+}
+
+void RaeEngine::push(const TensorI32& psum_tile) {
+  APSQ_CHECK_MSG(pushed_ < opt_.num_tiles, "more tiles pushed than declared");
+  APSQ_CHECK_MSG(psum_tile.shape() == tile_shape_, "tile shape mismatch");
+  const index_t i = pushed_;
+  const int exp_i = exp_for(i);
+
+  // Widen the incoming PSUM to the adder width.
+  TensorI64 incoming(tile_shape_);
+  for (index_t e = 0; e < incoming.numel(); ++e)
+    incoming[e] = static_cast<i64>(psum_tile[e]);
+
+  if (s2_for(i)) {
+    // APSQ fold: simultaneous bank retrieval -> dequant -> adder pipeline
+    // -> quantize -> park in bank gs-1.
+    std::vector<TensorI64> stored;
+    stored.reserve(live_banks_.size());
+    for (index_t b : live_banks_)
+      stored.push_back(dequant_.dequantize(banks_.read(b), banks_.exponent(b)));
+    const TensorI64 folded = adders_.fold(stored, incoming);
+    const TensorI32 codes = quant_.quantize(folded, exp_i);
+    const index_t fold_bank = opt_.group_size - 1;
+    banks_.write(fold_bank, codes, exp_i);
+    live_banks_.assign(1, fold_bank);
+    plain_cursor_ = 0;
+  } else {
+    // Plain PSUM quantization into the next free plain bank.
+    const TensorI32 codes = quant_.quantize(incoming, exp_i);
+    APSQ_CHECK_MSG(plain_cursor_ < opt_.group_size - 1,
+                   "plain-bank overflow: controller sequencing bug");
+    banks_.write(plain_cursor_, codes, exp_i);
+    live_banks_.push_back(plain_cursor_);
+    ++plain_cursor_;
+  }
+
+  ++pushed_;
+  if (i == opt_.num_tiles - 1) {
+    APSQ_CHECK(live_banks_.size() == 1);
+    const index_t b = live_banks_.front();
+    output_ = dequant_.dequantize(banks_.read(b), banks_.exponent(b));
+  }
+}
+
+TensorI64 RaeEngine::output() const {
+  APSQ_CHECK_MSG(output_.has_value(),
+                 "output requested before all tiles were pushed");
+  return *output_;
+}
+
+}  // namespace apsq

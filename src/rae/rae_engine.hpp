@@ -1,0 +1,73 @@
+// Reconfigurable APSQ Engine (RAE) — the structural model of Fig. 2.
+//
+// The engine processes the stream of PSUM tiles produced by the PE array
+// for ONE output-tile position. Its behaviour is driven by the static
+// encodings (s0, s1) from the configuration table and the dynamic
+// encoding s2:
+//
+//  * s2 = 0 (non-leader tile): the incoming PSUM is quantized by the
+//    shifter and parked in the next free plain bank (0 … gs-2).
+//  * s2 = 1 (leader tile, i ≡ 0 mod gs, or the final tile): the live
+//    banks are read simultaneously, dequantized (left shifts), reduced by
+//    the two-stage adder pipeline together with the incoming PSUM,
+//    quantized once, and written to bank gs-1.
+//
+// Functional equivalence with Algorithm 1's integer reference
+// (GroupedApsqInt) is asserted in tests/rae/rae_engine_test.cpp.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "quant/quant_params.hpp"
+#include "rae/config_table.hpp"
+#include "rae/datapath.hpp"
+#include "rae/psum_banks.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+class RaeEngine {
+ public:
+  struct Options {
+    index_t group_size = 1;      ///< gs in [1, 4]
+    index_t num_tiles = 0;       ///< np
+    QuantSpec spec = QuantSpec::int8();
+    std::vector<int> exponents;  ///< per-tile shift exponents (or size 1)
+  };
+
+  RaeEngine(Shape tile_shape, Options options);
+
+  /// Feed the next PSUM tile from the PE array.
+  void push(const TensorI32& psum_tile);
+
+  /// Final output tile in product scale; valid after num_tiles pushes.
+  TensorI64 output() const;
+
+  /// Dynamic encoding for tile index i (exposed for controller tests).
+  bool s2_for(index_t i) const;
+
+  const RaeStaticConfig& static_config() const { return cfg_; }
+  const PsumBanks& banks() const { return banks_; }
+  i64 quant_ops() const { return quant_.ops(); }
+  i64 dequant_ops() const { return dequant_.ops(); }
+  i64 adder_ops() const { return adders_.adds(); }
+  index_t tiles_pushed() const { return pushed_; }
+
+ private:
+  int exp_for(index_t i) const;
+
+  Shape tile_shape_;
+  Options opt_;
+  RaeStaticConfig cfg_;
+  PsumBanks banks_;
+  QuantShifter quant_;
+  DequantShifter dequant_;
+  AdderPipeline adders_;
+  index_t pushed_ = 0;
+  index_t plain_cursor_ = 0;  ///< next free plain bank within the group
+  std::vector<index_t> live_banks_;  ///< banks holding the current group
+  std::optional<TensorI64> output_;
+};
+
+}  // namespace apsq

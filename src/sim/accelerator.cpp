@@ -1,0 +1,449 @@
+#include "sim/accelerator.hpp"
+
+#include <optional>
+
+#include "common/math_util.hpp"
+#include "rae/rae_engine.hpp"
+#include "tensor/tile.hpp"
+
+namespace apsq {
+
+namespace {
+
+/// Bytes occupied by `elems` PSUM elements at the configured precision.
+i64 psum_bytes(index_t elems, const PsumConfig& p) {
+  return (elems * p.psum_bits + 7) / 8;
+}
+
+/// PSUM state for one output-tile position: exact INT64 accumulation
+/// (baseline) or a RaeEngine (APSQ). Also owns the live-tile counter that
+/// drives the traffic attribution described in accelerator.hpp.
+class PsumLane {
+ public:
+  PsumLane(Shape tile_shape, const SimConfig& cfg, index_t nci)
+      : shape_(std::move(tile_shape)), nci_(nci) {
+    if (cfg.psum.apsq) {
+      RaeEngine::Options o;
+      o.group_size = cfg.psum.group_size;
+      o.num_tiles = nci;
+      o.spec = QuantSpec{cfg.psum.psum_bits, true};
+      o.exponents = cfg.psum_exponents;
+      rae_.emplace(shape_, o);
+    } else {
+      acc_ = TensorI64(shape_, 0);
+      if (cfg.psq_prior_work) {
+        psq_spec_ = QuantSpec{8, true};
+        psq_exponents_ = cfg.psum_exponents;
+      }
+    }
+  }
+
+  /// Number of stored tiles a fold at step `i` would read.
+  index_t reads_at(index_t i, index_t gs) const {
+    const bool fold = !rae_.has_value() || (i % gs) == 0 || i == nci_ - 1;
+    return fold ? live_ : 0;
+  }
+
+  void push(index_t i, const TensorI32& tile, index_t gs) {
+    if (rae_) {
+      const bool fold = rae_->s2_for(i);
+      rae_->push(tile);
+      live_ = fold ? 1 : live_ + 1;
+    } else if (psq_spec_.has_value()) {
+      // Prior-work PSQ: quantize/dequantize each tile through the narrow
+      // converter, accumulate at full precision.
+      const int exp =
+          psq_exponents_.size() == 1
+              ? psq_exponents_.front()
+              : psq_exponents_[static_cast<size_t>(i)];
+      for (index_t e = 0; e < tile.numel(); ++e)
+        acc_[e] += psum_dequantize_shift(
+            psum_quantize_shift(tile[e], exp, *psq_spec_), exp);
+      live_ = 1;
+    } else {
+      for (index_t e = 0; e < tile.numel(); ++e)
+        acc_[e] += static_cast<i64>(tile[e]);
+      live_ = 1;  // baseline: read-modify-write every step
+      (void)gs;
+    }
+    ++pushed_;
+  }
+
+  TensorI64 output() const {
+    APSQ_CHECK(pushed_ == nci_);
+    return rae_ ? rae_->output() : acc_;
+  }
+
+  const Shape& shape() const { return shape_; }
+  index_t elems() const { return shape_numel(shape_); }
+
+ private:
+  Shape shape_;
+  index_t nci_;
+  index_t pushed_ = 0;
+  index_t live_ = 0;
+  std::optional<RaeEngine> rae_;
+  std::optional<QuantSpec> psq_spec_;
+  std::vector<int> psq_exponents_;
+  TensorI64 acc_;
+};
+
+/// Charges PSUM accumulation traffic with the spill behaviour of
+/// Eqs. (3)–(6): a resident read/write touches SRAM once; a spilled one
+/// additionally moves through DRAM (fill on read, drain on write).
+struct PsumTrafficModel {
+  Sram* obuf;
+  Dram* dram;
+  bool spilled;
+
+  void read(i64 bytes) const {
+    if (spilled) {
+      dram->read(Operand::kPsum, bytes);
+      obuf->write(Operand::kPsum, bytes);
+    }
+    obuf->read(Operand::kPsum, bytes);
+  }
+  void write(i64 bytes) const {
+    obuf->write(Operand::kPsum, bytes);
+    if (spilled) {
+      obuf->read(Operand::kPsum, bytes);
+      dram->write(Operand::kPsum, bytes);
+    }
+  }
+};
+
+void merge_traffic(TrafficCounters& dst, const TrafficCounters& src) {
+  for (size_t k = 0; k < 4; ++k) {
+    dst.read_bytes[k] += src.read_bytes[k];
+    dst.write_bytes[k] += src.write_bytes[k];
+  }
+}
+
+}  // namespace
+
+double SimStats::energy_pj(const EnergyCosts& costs) const {
+  return static_cast<double>(sram.total_bytes()) * costs.esram_pj_per_byte +
+         static_cast<double>(dram.total_bytes()) * costs.edram_pj_per_byte +
+         static_cast<double>(mac_ops) * costs.emac_pj;
+}
+
+Accelerator::Accelerator(SimConfig config) : cfg_(std::move(config)) {
+  cfg_.arch.validate();
+  cfg_.psum.validate();
+  APSQ_CHECK_MSG(!cfg_.psum.apsq || cfg_.psum.group_size <= 4,
+                 "the RAE supports group sizes up to 4");
+  APSQ_CHECK(!cfg_.psum_exponents.empty());
+  APSQ_CHECK_MSG(!(cfg_.dataflow == Dataflow::kOS && cfg_.psum.apsq),
+                 "OS keeps PSUMs in PE registers; there is nothing for APSQ "
+                 "to quantize");
+  APSQ_CHECK_MSG(!(cfg_.psq_prior_work && cfg_.psum.apsq),
+                 "psq_prior_work models [19]/[20]; it is exclusive with APSQ");
+}
+
+SimResult Accelerator::run_gemm(const TensorI8& x, const TensorI8& w) {
+  APSQ_CHECK(x.rank() == 2 && w.rank() == 2);
+  APSQ_CHECK_MSG(x.dim(1) == w.dim(0), "GEMM inner dimension mismatch");
+  switch (cfg_.dataflow) {
+    case Dataflow::kWS: return run_ws(x, w);
+    case Dataflow::kIS: return run_is(x, w);
+    case Dataflow::kOS: return run_os(x, w);
+  }
+  APSQ_CHECK_MSG(false, "unreachable");
+  return {};
+}
+
+SimResult Accelerator::run_ws(const TensorI8& x, const TensorI8& w) {
+  const index_t m = x.dim(0), ci = x.dim(1), co = w.dim(1);
+  const AcceleratorConfig& a = cfg_.arch;
+  const index_t nrow = ceil_div(m, a.po), nci = ceil_div(ci, a.pci),
+                nco = ceil_div(co, a.pco);
+
+  // Fit decisions — same rules as the analytical model.
+  const LayerShape layer{"sim", m, ci, co, 1};
+  const AccessCounts counts =
+      compute_access_counts(Dataflow::kWS, layer, a, cfg_.psum);
+
+  Sram ibuf("ifmap", a.ifmap_buf_bytes);
+  Sram wbuf("weight", a.weight_buf_bytes);
+  Sram obuf("ofmap", a.ofmap_buf_bytes);
+  Dram dram;
+  PeArray pe(a.po, a.pci, a.pco);
+  const PsumTrafficModel psum_traffic{&obuf, &dram, !counts.psum_fits};
+
+  SimStats stats;
+  stats.psum_spilled = !counts.psum_fits;
+
+  // Resolve per-ci-tile exponents.
+  std::vector<int> exps = cfg_.psum_exponents;
+  if (exps.size() == 1) exps.assign(static_cast<size_t>(nci), exps[0]);
+  APSQ_CHECK_MSG(static_cast<index_t>(exps.size()) == nci,
+                 "need one PSUM exponent per ci tile");
+  SimConfig lane_cfg = cfg_;
+  lane_cfg.psum_exponents = exps;
+
+  // PSUM lanes per output tile position.
+  std::vector<PsumLane> lanes;
+  lanes.reserve(static_cast<size_t>(nrow * nco));
+  for (index_t rt = 0; rt < nrow; ++rt)
+    for (index_t ct = 0; ct < nco; ++ct) {
+      const TileRect r = clamp_tile(rt * a.po, ct * a.pco, a.po, a.pco, m, co);
+      lanes.emplace_back(Shape{r.rows(), r.cols()}, lane_cfg, nci);
+    }
+  auto lane_at = [&](index_t rt, index_t ct) -> PsumLane& {
+    return lanes[static_cast<size_t>(rt * nco + ct)];
+  };
+
+  // Weight load: DRAM -> weight buffer, once (WS pins weights by design).
+  const i64 sw_bytes = ci * co;
+  dram.read(Operand::kWeight, sw_bytes);
+  wbuf.write(Operand::kWeight, sw_bytes);
+
+  // Ifmap initial load only if the working slice is resident.
+  const i64 si_bytes = m * ci;
+  if (counts.ifmap_fits) {
+    dram.read(Operand::kIfmap, si_bytes);
+    ibuf.write(Operand::kIfmap, si_bytes);
+  }
+
+  for (index_t cit = 0; cit < nci; ++cit) {
+    for (index_t ct = 0; ct < nco; ++ct) {
+      const TileRect wr =
+          clamp_tile(cit * a.pci, ct * a.pco, a.pci, a.pco, ci, co);
+      wbuf.read(Operand::kWeight, wr.numel());
+      const TensorI8 w_tile = extract_tile(w, wr);
+
+      for (index_t rt = 0; rt < nrow; ++rt) {
+        const TileRect xr =
+            clamp_tile(rt * a.po, cit * a.pci, a.po, a.pci, m, ci);
+        if (!counts.ifmap_fits) {
+          dram.read(Operand::kIfmap, xr.numel());
+          ibuf.write(Operand::kIfmap, xr.numel());
+        }
+        ibuf.read(Operand::kIfmap, xr.numel());
+        const TensorI8 x_tile = extract_tile(x, xr);
+
+        PsumLane& lane = lane_at(rt, ct);
+        TensorI32 psum(lane.shape(), 0);
+        pe.mac_tile(x_tile, w_tile, psum);
+
+        const i64 tile_bytes = psum_bytes(lane.elems(), cfg_.psum);
+        const index_t reads = lane.reads_at(cit, cfg_.psum.group_size);
+        if (reads > 0) psum_traffic.read(reads * tile_bytes);
+        if (cit == 0) {
+          // Boundary write: kept out of the Eq. (5) counters (see header).
+          stats.psum_boundary.init_write_sram_bytes += tile_bytes;
+        } else {
+          psum_traffic.write(tile_bytes);
+        }
+        lane.push(cit, psum, cfg_.psum.group_size);
+      }
+    }
+  }
+
+  // Drain: final PSUM read (boundary), requantize, ofmap store + DRAM
+  // writeback: N_o_s = 2, N_o_d = 1.
+  TensorI64 ofmap({m, co}, 0);
+  for (index_t rt = 0; rt < nrow; ++rt)
+    for (index_t ct = 0; ct < nco; ++ct) {
+      PsumLane& lane = lane_at(rt, ct);
+      const TileRect r = clamp_tile(rt * a.po, ct * a.pco, a.po, a.pco, m, co);
+      stats.psum_boundary.final_read_sram_bytes +=
+          psum_bytes(lane.elems(), cfg_.psum);
+      insert_tile(ofmap, r, lane.output());
+      obuf.write(Operand::kOfmap, r.numel());
+      obuf.read(Operand::kOfmap, r.numel());
+      dram.write(Operand::kOfmap, r.numel());
+    }
+
+  stats.cycles = pe.cycles();
+  stats.mac_ops = pe.mac_ops();
+  merge_traffic(stats.sram, ibuf.traffic());
+  merge_traffic(stats.sram, wbuf.traffic());
+  merge_traffic(stats.sram, obuf.traffic());
+  merge_traffic(stats.dram, dram.traffic());
+  return SimResult{std::move(ofmap), stats};
+}
+
+SimResult Accelerator::run_is(const TensorI8& x, const TensorI8& w) {
+  const index_t m = x.dim(0), ci = x.dim(1), co = w.dim(1);
+  const AcceleratorConfig& a = cfg_.arch;
+  const index_t nrow = ceil_div(m, a.po), nci = ceil_div(ci, a.pci),
+                nco = ceil_div(co, a.pco);
+
+  const LayerShape layer{"sim", m, ci, co, 1};
+  const AccessCounts counts =
+      compute_access_counts(Dataflow::kIS, layer, a, cfg_.psum);
+
+  Sram ibuf("ifmap", a.ifmap_buf_bytes);
+  Sram wbuf("weight", a.weight_buf_bytes);
+  Sram obuf("ofmap", a.ofmap_buf_bytes);
+  Dram dram;
+  PeArray pe(a.po, a.pci, a.pco);
+  const PsumTrafficModel psum_traffic{&obuf, &dram, !counts.psum_fits};
+
+  SimStats stats;
+  stats.psum_spilled = !counts.psum_fits;
+
+  std::vector<int> exps = cfg_.psum_exponents;
+  if (exps.size() == 1) exps.assign(static_cast<size_t>(nci), exps[0]);
+  APSQ_CHECK_MSG(static_cast<index_t>(exps.size()) == nci,
+                 "need one PSUM exponent per ci tile");
+  SimConfig lane_cfg = cfg_;
+  lane_cfg.psum_exponents = exps;
+
+  // Ifmap load: once, stationary by design (N_i_s = 2, N_i_d = 1).
+  const i64 si_bytes = m * ci;
+  dram.read(Operand::kIfmap, si_bytes);
+  ibuf.write(Operand::kIfmap, si_bytes);
+
+  // Weight initial load only if fully resident.
+  const i64 sw_bytes = ci * co;
+  if (counts.weight_fits) {
+    dram.read(Operand::kWeight, sw_bytes);
+    wbuf.write(Operand::kWeight, sw_bytes);
+  }
+
+  TensorI64 ofmap({m, co}, 0);
+  for (index_t rt = 0; rt < nrow; ++rt) {
+    // PSUM lanes for this stationary row tile (all output channels live).
+    std::vector<PsumLane> lanes;
+    lanes.reserve(static_cast<size_t>(nco));
+    for (index_t ct = 0; ct < nco; ++ct) {
+      const TileRect r = clamp_tile(rt * a.po, ct * a.pco, a.po, a.pco, m, co);
+      lanes.emplace_back(Shape{r.rows(), r.cols()}, lane_cfg, nci);
+    }
+
+    for (index_t cit = 0; cit < nci; ++cit) {
+      const TileRect xr = clamp_tile(rt * a.po, cit * a.pci, a.po, a.pci, m, ci);
+      // Stationary rows stream into PE registers once per row tile.
+      ibuf.read(Operand::kIfmap, xr.numel());
+      const TensorI8 x_tile = extract_tile(x, xr);
+
+      for (index_t ct = 0; ct < nco; ++ct) {
+        const TileRect wr =
+            clamp_tile(cit * a.pci, ct * a.pco, a.pci, a.pco, ci, co);
+        if (counts.weight_fits) {
+          wbuf.read(Operand::kWeight, wr.numel());
+        } else {
+          dram.read(Operand::kWeight, wr.numel());
+          wbuf.write(Operand::kWeight, wr.numel());
+          wbuf.read(Operand::kWeight, wr.numel());
+        }
+        const TensorI8 w_tile = extract_tile(w, wr);
+
+        PsumLane& lane = lanes[static_cast<size_t>(ct)];
+        TensorI32 psum(lane.shape(), 0);
+        pe.mac_tile(x_tile, w_tile, psum);
+
+        const i64 tile_bytes = psum_bytes(lane.elems(), cfg_.psum);
+        const index_t reads = lane.reads_at(cit, cfg_.psum.group_size);
+        if (reads > 0) psum_traffic.read(reads * tile_bytes);
+        if (cit == 0) {
+          stats.psum_boundary.init_write_sram_bytes += tile_bytes;
+        } else {
+          psum_traffic.write(tile_bytes);
+        }
+        lane.push(cit, psum, cfg_.psum.group_size);
+      }
+    }
+
+    for (index_t ct = 0; ct < nco; ++ct) {
+      PsumLane& lane = lanes[static_cast<size_t>(ct)];
+      const TileRect r = clamp_tile(rt * a.po, ct * a.pco, a.po, a.pco, m, co);
+      stats.psum_boundary.final_read_sram_bytes +=
+          psum_bytes(lane.elems(), cfg_.psum);
+      insert_tile(ofmap, r, lane.output());
+      obuf.write(Operand::kOfmap, r.numel());
+      obuf.read(Operand::kOfmap, r.numel());
+      dram.write(Operand::kOfmap, r.numel());
+    }
+  }
+
+  stats.cycles = pe.cycles();
+  stats.mac_ops = pe.mac_ops();
+  merge_traffic(stats.sram, ibuf.traffic());
+  merge_traffic(stats.sram, wbuf.traffic());
+  merge_traffic(stats.sram, obuf.traffic());
+  merge_traffic(stats.dram, dram.traffic());
+  return SimResult{std::move(ofmap), stats};
+}
+
+SimResult Accelerator::run_os(const TensorI8& x, const TensorI8& w) {
+  const index_t m = x.dim(0), ci = x.dim(1), co = w.dim(1);
+  const AcceleratorConfig& a = cfg_.arch;
+  const index_t nrow = ceil_div(m, a.po), nci = ceil_div(ci, a.pci),
+                nco = ceil_div(co, a.pco);
+
+  const LayerShape layer{"sim", m, ci, co, 1};
+  const AccessCounts counts =
+      compute_access_counts(Dataflow::kOS, layer, a, cfg_.psum);
+
+  Sram ibuf("ifmap", a.ifmap_buf_bytes);
+  Sram wbuf("weight", a.weight_buf_bytes);
+  Sram obuf("ofmap", a.ofmap_buf_bytes);
+  Dram dram;
+  PeArray pe(a.po, a.pci, a.pco);
+
+  SimStats stats;
+  stats.psum_spilled = false;  // PSUMs never leave the PE registers
+
+  // Initial resident loads.
+  const i64 si_bytes = m * ci;
+  const i64 sw_bytes = ci * co;
+  if (counts.ifmap_fits) {
+    dram.read(Operand::kIfmap, si_bytes);
+    ibuf.write(Operand::kIfmap, si_bytes);
+  }
+  if (counts.weight_fits) {
+    dram.read(Operand::kWeight, sw_bytes);
+    wbuf.write(Operand::kWeight, sw_bytes);
+  }
+
+  TensorI64 ofmap({m, co}, 0);
+  for (index_t rt = 0; rt < nrow; ++rt) {
+    for (index_t ct = 0; ct < nco; ++ct) {
+      const TileRect orc = clamp_tile(rt * a.po, ct * a.pco, a.po, a.pco, m, co);
+      // Output tile pinned in PE registers; stream all ci tiles past it.
+      TensorI32 regs({orc.rows(), orc.cols()}, 0);
+      for (index_t cit = 0; cit < nci; ++cit) {
+        const TileRect xr =
+            clamp_tile(rt * a.po, cit * a.pci, a.po, a.pci, m, ci);
+        const TileRect wr =
+            clamp_tile(cit * a.pci, ct * a.pco, a.pci, a.pco, ci, co);
+        if (counts.ifmap_fits) {
+          ibuf.read(Operand::kIfmap, xr.numel());
+        } else {
+          dram.read(Operand::kIfmap, xr.numel());
+          ibuf.write(Operand::kIfmap, xr.numel());
+          ibuf.read(Operand::kIfmap, xr.numel());
+        }
+        if (counts.weight_fits) {
+          wbuf.read(Operand::kWeight, wr.numel());
+        } else {
+          dram.read(Operand::kWeight, wr.numel());
+          wbuf.write(Operand::kWeight, wr.numel());
+          wbuf.read(Operand::kWeight, wr.numel());
+        }
+        pe.mac_tile(extract_tile(x, xr), extract_tile(w, wr), regs);
+      }
+      // Drain the finished output tile.
+      TensorI64 out_tile({orc.rows(), orc.cols()});
+      for (index_t e = 0; e < regs.numel(); ++e)
+        out_tile[e] = static_cast<i64>(regs[e]);
+      insert_tile(ofmap, orc, out_tile);
+      obuf.write(Operand::kOfmap, orc.numel());
+      obuf.read(Operand::kOfmap, orc.numel());
+      dram.write(Operand::kOfmap, orc.numel());
+    }
+  }
+
+  stats.cycles = pe.cycles();
+  stats.mac_ops = pe.mac_ops();
+  merge_traffic(stats.sram, ibuf.traffic());
+  merge_traffic(stats.sram, wbuf.traffic());
+  merge_traffic(stats.sram, obuf.traffic());
+  merge_traffic(stats.dram, dram.traffic());
+  return SimResult{std::move(ofmap), stats};
+}
+
+}  // namespace apsq

@@ -1,0 +1,89 @@
+// Bit-accurate tile-based accelerator simulator (Fig. 2).
+//
+// The simulator executes a W8A8 GEMM the way the analytical model of
+// §II-A assumes the hardware does:
+//
+//   WS: weights pinned per (ci, co) tile, ifmap rows streamed, PSUMs for
+//       every output row tile live simultaneously in the ofmap buffer;
+//   IS: ifmap row tiles pinned, weights streamed, PSUMs live for all
+//       output channels of the pinned rows;
+//   OS: each output tile accumulates in PE registers while all ci tiles
+//       stream past — PSUMs never touch memory, so APSQ has nothing to
+//       quantize (supported for baseline comparisons only).
+//
+// Arithmetic is exact INT8×INT8→INT32 in the PE array; PSUM handling goes
+// through either a full-precision accumulator (baseline) or a RaeEngine
+// per output-tile position (APSQ, §III-C). Memory traffic is charged to
+// byte counters whose totals match Eqs. (3)–(6) element-for-element
+// (tests/sim/counts_vs_analytical_test.cpp); the init-write / final-read
+// PSUM boundary events the paper folds into the ofmap term are kept in
+// separate counters (see SimStats).
+#pragma once
+
+#include <vector>
+
+#include "energy/access_counts.hpp"
+#include "energy/energy_model.hpp"
+#include "sim/memory.hpp"
+#include "sim/pe_array.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+struct SimConfig {
+  AcceleratorConfig arch;
+  Dataflow dataflow = Dataflow::kWS;
+  PsumConfig psum = PsumConfig::baseline_int32();
+  /// Shift exponents per ci-tile for the APSQ path (size ⌈Ci/Pci⌉ or 1).
+  std::vector<int> psum_exponents = {0};
+  /// Model prior-work PSQ ([19], [20]): every PSUM tile is quantized and
+  /// immediately dequantized (the ADC bottleneck is narrowed), but the
+  /// accumulator and the stored PSUMs stay at full precision — which is
+  /// why PSQ saves no memory traffic (§I). Requires psum.apsq == false.
+  bool psq_prior_work = false;
+};
+
+/// PSUM traffic at the accumulation boundary (first write, final read) —
+/// physically PSUM accesses, but attributed to the ofmap term by the
+/// paper's Eqs. (3)–(6); kept separate so both views are available.
+struct PsumBoundaryTraffic {
+  i64 init_write_sram_bytes = 0;
+  i64 final_read_sram_bytes = 0;
+};
+
+struct SimStats {
+  i64 cycles = 0;
+  i64 mac_ops = 0;
+  TrafficCounters sram;
+  TrafficCounters dram;
+  PsumBoundaryTraffic psum_boundary;
+  bool psum_spilled = false;
+
+  /// Energy of the simulated execution under the Horowitz cost table,
+  /// evaluated from the *measured* traffic (Eq. 1 with measured N).
+  double energy_pj(const EnergyCosts& costs = EnergyCosts::horowitz()) const;
+};
+
+struct SimResult {
+  TensorI64 ofmap;  ///< product-scale outputs [M, Co]
+  SimStats stats;
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(SimConfig config);
+
+  /// Run one GEMM: x [M, Ci] int8, w [Ci, Co] int8.
+  SimResult run_gemm(const TensorI8& x, const TensorI8& w);
+
+  const SimConfig& config() const { return cfg_; }
+
+ private:
+  SimResult run_ws(const TensorI8& x, const TensorI8& w);
+  SimResult run_is(const TensorI8& x, const TensorI8& w);
+  SimResult run_os(const TensorI8& x, const TensorI8& w);
+
+  SimConfig cfg_;
+};
+
+}  // namespace apsq

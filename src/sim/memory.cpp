@@ -1,0 +1,27 @@
+#include "sim/memory.hpp"
+
+namespace apsq {
+
+const char* to_string(Operand op) {
+  switch (op) {
+    case Operand::kIfmap: return "ifmap";
+    case Operand::kWeight: return "weight";
+    case Operand::kPsum: return "psum";
+    case Operand::kOfmap: return "ofmap";
+  }
+  return "?";
+}
+
+i64 TrafficCounters::total_bytes() const {
+  i64 t = 0;
+  for (i64 b : read_bytes) t += b;
+  for (i64 b : write_bytes) t += b;
+  return t;
+}
+
+Sram::Sram(std::string name, i64 capacity_bytes)
+    : name_(std::move(name)), capacity_(capacity_bytes) {
+  APSQ_CHECK(capacity_ > 0);
+}
+
+}  // namespace apsq

@@ -1,0 +1,36 @@
+#include "sim/pe_array.hpp"
+
+#include "common/check.hpp"
+
+namespace apsq {
+
+PeArray::PeArray(index_t po, index_t pci, index_t pco)
+    : po_(po), pci_(pci), pco_(pco) {
+  APSQ_CHECK(po > 0 && pci > 0 && pco > 0);
+}
+
+void PeArray::mac_tile(const TensorI8& a, const TensorI8& w, TensorI32& psum) {
+  APSQ_CHECK(a.rank() == 2 && w.rank() == 2 && psum.rank() == 2);
+  const index_t rows = a.dim(0), k = a.dim(1), cols = w.dim(1);
+  APSQ_CHECK_MSG(rows <= po_ && k <= pci_ && cols <= pco_,
+                 "tile exceeds PE-array dimensions");
+  APSQ_CHECK(w.dim(0) == k && psum.dim(0) == rows && psum.dim(1) == cols);
+
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t j = 0; j < cols; ++j) {
+      i32 acc = psum(i, j);
+      for (index_t kk = 0; kk < k; ++kk)
+        acc += static_cast<i32>(a(i, kk)) * static_cast<i32>(w(kk, j));
+      psum(i, j) = acc;
+    }
+
+  ++cycles_;
+  mac_ops_ += rows * k * cols;
+}
+
+void PeArray::reset() {
+  cycles_ = 0;
+  mac_ops_ = 0;
+}
+
+}  // namespace apsq

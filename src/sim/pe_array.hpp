@@ -1,0 +1,36 @@
+// The Po × Pci × Pco multiply-accumulate array (Fig. 2).
+//
+// One "cycle" consumes an ifmap tile [Po × Pci] and a weight tile
+// [Pci × Pco] and produces/updates a PSUM tile [Po × Pco] with exact
+// INT8 × INT8 → INT32 arithmetic.
+#pragma once
+
+#include "common/types.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+class PeArray {
+ public:
+  PeArray(index_t po, index_t pci, index_t pco);
+
+  index_t po() const { return po_; }
+  index_t pci() const { return pci_; }
+  index_t pco() const { return pco_; }
+
+  /// psum[po×pco] += a[po×pci] · w[pci×pco]; ragged tiles allowed (rows /
+  /// cols may be smaller than the array at tensor edges). Counts one cycle
+  /// and rows·k·cols MACs.
+  void mac_tile(const TensorI8& a, const TensorI8& w, TensorI32& psum);
+
+  i64 cycles() const { return cycles_; }
+  i64 mac_ops() const { return mac_ops_; }
+  void reset();
+
+ private:
+  index_t po_, pci_, pco_;
+  i64 cycles_ = 0;
+  i64 mac_ops_ = 0;
+};
+
+}  // namespace apsq

@@ -1,0 +1,70 @@
+#include "sim/performance.hpp"
+
+#include "common/math_util.hpp"
+
+namespace apsq {
+
+LayerPerformance layer_performance(Dataflow df, const LayerShape& layer,
+                                   const AcceleratorConfig& acc,
+                                   const PsumConfig& psum,
+                                   const PerfConfig& perf) {
+  acc.validate();
+  APSQ_CHECK(perf.clock_hz > 0.0 && perf.dram_bandwidth_gbps > 0.0);
+
+  LayerPerformance p;
+  const i64 nrow = ceil_div(layer.rows, acc.po);
+  const i64 nci = ceil_div(layer.ci, acc.pci);
+  const i64 nco = ceil_div(layer.co, acc.pco);
+  p.tile_cycles = nrow * nci * nco;
+  p.mac_ops = layer.macs();
+  const double array_macs =
+      static_cast<double>(acc.po) * acc.pci * acc.pco;
+  p.utilization = static_cast<double>(p.mac_ops) /
+                  (static_cast<double>(p.tile_cycles) * array_macs);
+  p.compute_time_s = static_cast<double>(p.tile_cycles) / perf.clock_hz;
+
+  // DRAM traffic from the access-count model (Eqs. 4 / 6).
+  const AccessCounts n = compute_access_counts(df, layer, acc, psum);
+  const double si = static_cast<double>(layer.ifmap_elems()) * acc.act_bytes();
+  const double sw =
+      static_cast<double>(layer.weight_elems()) * acc.weight_bytes();
+  const double so = static_cast<double>(layer.ofmap_elems()) * acc.act_bytes();
+  const double sp =
+      static_cast<double>(layer.ofmap_elems()) * psum.bytes_per_elem();
+  p.dram_bytes = si * static_cast<double>(n.ifmap_dram) +
+                 sw * static_cast<double>(n.weight_dram) +
+                 sp * static_cast<double>(n.psum_dram) +
+                 so * static_cast<double>(n.ofmap_dram);
+  p.dram_time_s = p.dram_bytes / (perf.dram_bandwidth_gbps * 1e9);
+
+  p.latency_s = std::max(p.compute_time_s, p.dram_time_s);
+  p.dram_bound = p.dram_time_s > p.compute_time_s;
+  return p;
+}
+
+WorkloadPerformance workload_performance(Dataflow df, const Workload& w,
+                                         const AcceleratorConfig& acc,
+                                         const PsumConfig& psum,
+                                         const PerfConfig& perf) {
+  WorkloadPerformance total;
+  double util_weighted = 0.0;
+  for (const auto& layer : w.layers) {
+    const LayerPerformance p = layer_performance(df, layer, acc, psum, perf);
+    const double rep = static_cast<double>(layer.repeat);
+    total.total_latency_s += p.latency_s * rep;
+    total.total_compute_time_s += p.compute_time_s * rep;
+    total.total_dram_time_s += p.dram_time_s * rep;
+    total.total_cycles += p.tile_cycles * layer.repeat;
+    total.total_macs += p.mac_ops * layer.repeat;
+    util_weighted += p.utilization * static_cast<double>(p.mac_ops) * rep;
+    if (p.dram_bound) total.dram_bound_layers += layer.repeat;
+    total.layer_count += layer.repeat;
+  }
+  total.mean_utilization =
+      total.total_macs > 0
+          ? util_weighted / static_cast<double>(total.total_macs)
+          : 0.0;
+  return total;
+}
+
+}  // namespace apsq

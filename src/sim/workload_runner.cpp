@@ -1,0 +1,84 @@
+#include "sim/workload_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "tensor/matmul.hpp"
+
+namespace apsq {
+
+namespace {
+
+TensorI8 random_operand(Shape s, Rng& rng) {
+  TensorI8 t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
+  return t;
+}
+
+void accumulate(SimStats& total, const SimStats& s, index_t repeat) {
+  total.cycles += s.cycles * repeat;
+  total.mac_ops += s.mac_ops * repeat;
+  for (size_t k = 0; k < 4; ++k) {
+    total.sram.read_bytes[k] += s.sram.read_bytes[k] * repeat;
+    total.sram.write_bytes[k] += s.sram.write_bytes[k] * repeat;
+    total.dram.read_bytes[k] += s.dram.read_bytes[k] * repeat;
+    total.dram.write_bytes[k] += s.dram.write_bytes[k] * repeat;
+  }
+  total.psum_boundary.init_write_sram_bytes +=
+      s.psum_boundary.init_write_sram_bytes * repeat;
+  total.psum_boundary.final_read_sram_bytes +=
+      s.psum_boundary.final_read_sram_bytes * repeat;
+  total.psum_spilled = total.psum_spilled || s.psum_spilled;
+}
+
+}  // namespace
+
+LayerShape scale_layer(const LayerShape& layer, const WorkloadRunOptions& opt) {
+  APSQ_CHECK(opt.shrink >= 1 && opt.max_dim >= 1);
+  auto scale = [&](index_t d) {
+    return std::min(opt.max_dim, std::max<index_t>(1, d / opt.shrink));
+  };
+  LayerShape s = layer;
+  s.rows = scale(layer.rows);
+  s.ci = scale(layer.ci);
+  s.co = scale(layer.co);
+  return s;
+}
+
+WorkloadRunResult run_workload(const Workload& w, const SimConfig& cfg,
+                               const WorkloadRunOptions& opt) {
+  WorkloadRunResult result;
+  Rng rng(opt.seed);
+
+  for (const auto& layer : w.layers) {
+    const LayerShape scaled = scale_layer(layer, opt);
+    const TensorI8 x = random_operand({scaled.rows, scaled.ci}, rng);
+    const TensorI8 wt = random_operand({scaled.ci, scaled.co}, rng);
+
+    SimConfig layer_cfg = cfg;
+    if (cfg.psum.apsq || cfg.psq_prior_work) {
+      // Auto-calibrate the PSUM shift from the exact outputs, matching the
+      // nearest-pow2 rule the QAT calibrator uses.
+      const TensorI32 exact = matmul_i8(x, wt);
+      i64 mx = 1;
+      for (index_t i = 0; i < exact.numel(); ++i)
+        mx = std::max<i64>(mx, std::abs(static_cast<i64>(exact[i])));
+      const double needed = static_cast<double>(mx) / 127.0;
+      const int e = std::max(
+          0, static_cast<int>(round_half_away(std::log2(needed))));
+      layer_cfg.psum_exponents = {e};
+    }
+
+    Accelerator acc(layer_cfg);
+    SimResult r = acc.run_gemm(x, wt);
+
+    accumulate(result.total, r.stats, layer.repeat);
+    result.layers.push_back(
+        LayerRunStats{layer.name, scaled, std::move(r.stats), layer.repeat});
+  }
+  return result;
+}
+
+}  // namespace apsq

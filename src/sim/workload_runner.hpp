@@ -1,0 +1,53 @@
+// Whole-workload execution through the bit-accurate simulator.
+//
+// Real model layers (16384×768×3072 GEMMs) are too large to push element
+// by element through a cycle-faithful simulator on a laptop, so the runner
+// executes each layer at a reduced scale — dimensions divided by `shrink`
+// and clamped — with randomly drawn INT8 operands, auto-calibrated PSUM
+// exponents, and traffic/cycle statistics aggregated across layer repeats.
+// Because the access-count model is exact at every size (see
+// tests/sim/counts_vs_analytical_test.cpp), the shrunken run validates the
+// same loop-nest behaviour the analytical energy model assumes at full
+// scale.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/accelerator.hpp"
+
+namespace apsq {
+
+struct WorkloadRunOptions {
+  index_t shrink = 8;        ///< divide every dimension by this
+  index_t max_dim = 128;     ///< clamp any dimension after shrinking
+  u64 seed = 1;
+};
+
+struct LayerRunStats {
+  std::string name;
+  LayerShape scaled_shape;
+  SimStats stats;       ///< one instance at the scaled shape
+  index_t repeat = 1;
+};
+
+struct WorkloadRunResult {
+  std::vector<LayerRunStats> layers;
+  SimStats total;       ///< aggregated over layers × repeat
+
+  /// Measured energy of the scaled run (Eq. 1 over measured traffic).
+  double energy_pj(const EnergyCosts& costs = EnergyCosts::horowitz()) const {
+    return total.energy_pj(costs);
+  }
+};
+
+/// Scale a layer for simulation (each dim max(1, dim/shrink), clamped).
+LayerShape scale_layer(const LayerShape& layer, const WorkloadRunOptions& opt);
+
+/// Execute a whole workload through the accelerator simulator.
+WorkloadRunResult run_workload(const Workload& w, const SimConfig& cfg,
+                               const WorkloadRunOptions& opt = {});
+
+}  // namespace apsq

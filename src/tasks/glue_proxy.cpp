@@ -1,0 +1,76 @@
+#include "tasks/glue_proxy.hpp"
+
+#include "common/check.hpp"
+
+namespace apsq::tasks {
+
+std::vector<SyntheticSpec> glue_proxy_specs(u64 seed) {
+  std::vector<SyntheticSpec> specs;
+
+  SyntheticSpec qnli;
+  qnli.name = "QNLI";
+  qnli.feature_dim = 96;
+  qnli.num_classes = 2;
+  qnli.train_samples = 3072;
+  qnli.label_noise = 0.04;
+  qnli.seed = seed + 11;
+  specs.push_back(qnli);
+
+  SyntheticSpec mnli;
+  mnli.name = "MNLI";
+  mnli.feature_dim = 96;
+  mnli.num_classes = 3;
+  mnli.train_samples = 4096;
+  mnli.label_noise = 0.08;
+  mnli.seed = seed + 23;
+  specs.push_back(mnli);
+
+  SyntheticSpec rte;
+  rte.name = "RTE";
+  rte.feature_dim = 64;
+  rte.num_classes = 2;
+  rte.train_samples = 1024;  // RTE is tiny and noisy
+  rte.label_noise = 0.15;
+  rte.seed = seed + 37;
+  specs.push_back(rte);
+
+  SyntheticSpec stsb;
+  stsb.name = "STS-B";
+  stsb.feature_dim = 64;
+  stsb.regression = true;
+  stsb.metric = nn::Metric::kPearson;
+  stsb.train_samples = 2048;
+  stsb.label_noise = 0.10;
+  stsb.seed = seed + 41;
+  specs.push_back(stsb);
+
+  SyntheticSpec mrpc;
+  mrpc.name = "MRPC";
+  mrpc.feature_dim = 64;
+  mrpc.num_classes = 2;
+  mrpc.train_samples = 2048;
+  mrpc.label_noise = 0.07;
+  mrpc.seed = seed + 53;
+  specs.push_back(mrpc);
+
+  SyntheticSpec cola;
+  cola.name = "CoLA";
+  cola.feature_dim = 80;
+  cola.num_classes = 2;
+  cola.metric = nn::Metric::kMatthews;
+  cola.train_samples = 2048;
+  cola.label_noise = 0.12;
+  cola.seed = seed + 67;
+  specs.push_back(cola);
+
+  return specs;
+}
+
+SyntheticSpec glue_proxy_spec(const std::string& name, u64 seed) {
+  for (const auto& s : glue_proxy_specs(seed))
+    if (s.name == name) return s;
+  APSQ_CHECK_MSG(false, "unknown GLUE proxy task: " << name);
+  return {};
+}
+
+}  // namespace apsq::tasks

@@ -1,0 +1,22 @@
+// GLUE proxy tasks (Table I rows for BERT-Base).
+//
+// One synthetic task per GLUE task, with the matching metric and a
+// difficulty profile loosely mirroring the real task (MNLI 3-way, STS-B
+// regression with Pearson, CoLA with Matthews correlation, RTE small and
+// noisy). See DESIGN.md §3.2 for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tasks/synthetic.hpp"
+
+namespace apsq::tasks {
+
+/// The six GLUE tasks of Table I, in paper order.
+std::vector<SyntheticSpec> glue_proxy_specs(u64 seed = 2025);
+
+/// Look up a single spec by name (e.g. "MRPC" for Fig. 5).
+SyntheticSpec glue_proxy_spec(const std::string& name, u64 seed = 2025);
+
+}  // namespace apsq::tasks

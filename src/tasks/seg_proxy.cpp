@@ -1,0 +1,82 @@
+#include "tasks/seg_proxy.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/matmul.hpp"
+
+namespace apsq::tasks {
+
+namespace {
+
+/// Smooth 1-D random field: neighbouring pixels mix a shared latent walk
+/// with i.i.d. detail, giving the spatial correlation of real feature maps.
+TensorF field_features(index_t n, index_t d, Rng& rng) {
+  TensorF x({n, d});
+  std::vector<float> latent(static_cast<size_t>(d), 0.0f);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < d; ++j) {
+      auto& l = latent[static_cast<size_t>(j)];
+      l = 0.9f * l + 0.45f * static_cast<float>(rng.normal());
+      x(i, j) = l + 0.5f * static_cast<float>(rng.normal());
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+nn::Dataset make_seg_proxy_dataset(const SegProxySpec& spec) {
+  APSQ_CHECK(spec.num_classes >= 2);
+  Rng rng(spec.seed);
+
+  // Frozen labelling network (same construction as synthetic.cpp).
+  TensorF w1({spec.feature_dim, 64}), w2({64, spec.num_classes});
+  const double s1 = 1.0 / std::sqrt(static_cast<double>(spec.feature_dim));
+  for (index_t i = 0; i < w1.numel(); ++i)
+    w1[i] = static_cast<float>(rng.normal(0.0, s1));
+  for (index_t i = 0; i < w2.numel(); ++i)
+    w2[i] = static_cast<float>(rng.normal(0.0, 0.125));
+
+  auto labels_for = [&](const TensorF& x) {
+    TensorF h = matmul(x, w1);
+    for (index_t i = 0; i < h.numel(); ++i) h[i] = std::tanh(2.0f * h[i]);
+    const TensorF logits = matmul(h, w2);
+    std::vector<index_t> y(static_cast<size_t>(x.dim(0)));
+    for (index_t i = 0; i < x.dim(0); ++i) {
+      index_t best = 0;
+      for (index_t c = 1; c < spec.num_classes; ++c)
+        if (logits(i, c) > logits(i, best)) best = c;
+      if (rng.uniform() < spec.label_noise)
+        best = rng.uniform_index(spec.num_classes);
+      y[static_cast<size_t>(i)] = best;
+    }
+    return y;
+  };
+
+  nn::Dataset ds;
+  ds.num_classes = spec.num_classes;
+  ds.metric = nn::Metric::kMiou;
+  ds.train_x = field_features(spec.train_pixels, spec.feature_dim, rng);
+  ds.train_y = labels_for(ds.train_x);
+  ds.test_x = field_features(spec.test_pixels, spec.feature_dim, rng);
+  ds.test_y = labels_for(ds.test_x);
+  return ds;
+}
+
+SegProxySpec segformer_proxy_spec(u64 seed) {
+  SegProxySpec s;
+  s.name = "ADE20K-proxy/Segformer-B0";
+  s.seed = seed + 101;
+  return s;
+}
+
+SegProxySpec efficientvit_proxy_spec(u64 seed) {
+  SegProxySpec s;
+  s.name = "ADE20K-proxy/EfficientViT-B1";
+  s.feature_dim = 80;
+  s.seed = seed + 137;
+  return s;
+}
+
+}  // namespace apsq::tasks

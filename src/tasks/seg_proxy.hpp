@@ -1,0 +1,32 @@
+// Dense-prediction (ADE20K) proxy tasks for Segformer-B0 / EfficientViT-B1
+// (Table I bottom rows, mIoU metric).
+//
+// Each "pixel" is a feature vector sampled from a smooth random field with
+// spatially correlated class structure: class labels come from a frozen
+// labelling network over local features, so neighbouring rows share
+// statistics the way segmentation feature maps do. The student classifies
+// each pixel; mIoU is computed over all test pixels.
+#pragma once
+
+#include "tasks/synthetic.hpp"
+
+namespace apsq::tasks {
+
+struct SegProxySpec {
+  std::string name = "ADE20K-proxy";
+  index_t feature_dim = 96;
+  index_t num_classes = 12;  ///< scaled-down from ADE20K's 150
+  index_t train_pixels = 4096;
+  index_t test_pixels = 2048;
+  double label_noise = 0.06;
+  u64 seed = 7;
+};
+
+nn::Dataset make_seg_proxy_dataset(const SegProxySpec& spec);
+
+/// The two Table I segmentation rows share the dataset; the student
+/// architecture (width) differs per model — see tasks/students.hpp.
+SegProxySpec segformer_proxy_spec(u64 seed = 2025);
+SegProxySpec efficientvit_proxy_spec(u64 seed = 2025);
+
+}  // namespace apsq::tasks

@@ -1,0 +1,66 @@
+#include "tasks/seq_proxy.hpp"
+
+#include "common/check.hpp"
+
+namespace apsq::tasks {
+
+namespace {
+
+/// Two fixed orthogonal "key" directions; label 1 iff both appear.
+struct Keys {
+  TensorF a, b;
+  explicit Keys(index_t dim, Rng& rng) : a({dim}), b({dim}) {
+    for (index_t i = 0; i < dim; ++i) {
+      a(i) = static_cast<float>(rng.normal());
+      b(i) = static_cast<float>(rng.normal());
+    }
+    // Gram–Schmidt so the two patterns are distinguishable.
+    double dot = 0.0, na = 0.0;
+    for (index_t i = 0; i < dim; ++i) {
+      dot += static_cast<double>(a(i)) * b(i);
+      na += static_cast<double>(a(i)) * a(i);
+    }
+    for (index_t i = 0; i < dim; ++i)
+      b(i) -= static_cast<float>(dot / na) * a(i);
+  }
+};
+
+void make_split(const SeqTaskSpec& spec, const Keys& keys, index_t n,
+                Rng& rng, std::vector<TensorF>& xs,
+                std::vector<index_t>& ys) {
+  for (index_t s = 0; s < n; ++s) {
+    TensorF seq({spec.tokens, spec.token_dim});
+    for (index_t i = 0; i < seq.numel(); ++i)
+      seq[i] = static_cast<float>(rng.normal(0.0, spec.noise));
+
+    const index_t label = rng.uniform_index(2);
+    // Positive: plant BOTH keys at random distinct positions.
+    // Negative: plant exactly one key (so single-pattern detection is
+    // insufficient — co-occurrence is the signal).
+    const index_t pos_a = rng.uniform_index(spec.tokens);
+    index_t pos_b = rng.uniform_index(spec.tokens);
+    while (pos_b == pos_a) pos_b = rng.uniform_index(spec.tokens);
+    for (index_t d = 0; d < spec.token_dim; ++d)
+      seq(pos_a, d) += keys.a(d);
+    if (label == 1) {
+      for (index_t d = 0; d < spec.token_dim; ++d)
+        seq(pos_b, d) += keys.b(d);
+    }
+    xs.push_back(std::move(seq));
+    ys.push_back(label);
+  }
+}
+
+}  // namespace
+
+SeqDataset make_seq_proxy_dataset(const SeqTaskSpec& spec) {
+  APSQ_CHECK(spec.tokens >= 2 && spec.token_dim > 0);
+  Rng rng(spec.seed);
+  const Keys keys(spec.token_dim, rng);
+  SeqDataset ds;
+  make_split(spec, keys, spec.train_samples, rng, ds.train_x, ds.train_y);
+  make_split(spec, keys, spec.test_samples, rng, ds.test_x, ds.test_y);
+  return ds;
+}
+
+}  // namespace apsq::tasks

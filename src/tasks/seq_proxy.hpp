@@ -1,0 +1,30 @@
+// Sequence-classification proxy: a task attention can solve but a
+// bag-of-tokens model cannot — the label depends on whether two planted
+// key patterns CO-OCCUR anywhere in the sequence (order-free pairing, the
+// canonical long-range-dependency toy problem).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apsq::tasks {
+
+struct SeqTaskSpec {
+  index_t tokens = 12;
+  index_t token_dim = 16;
+  index_t train_samples = 512;
+  index_t test_samples = 256;
+  double noise = 0.35;  ///< additive feature noise on every token
+  u64 seed = 11;
+};
+
+struct SeqDataset {
+  std::vector<TensorF> train_x, test_x;  ///< each [tokens, token_dim]
+  std::vector<index_t> train_y, test_y;  ///< binary labels
+};
+
+SeqDataset make_seq_proxy_dataset(const SeqTaskSpec& spec);
+
+}  // namespace apsq::tasks

@@ -1,0 +1,38 @@
+#include "tasks/students.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/dense.hpp"
+
+namespace apsq::tasks {
+
+std::unique_ptr<nn::Sequential> make_mlp(
+    const StudentArch& arch, const std::optional<nn::QatConfig>& qat,
+    Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  index_t in = arch.input_dim;
+  for (index_t l = 0; l < arch.depth; ++l) {
+    net->add(nn::make_linear(in, arch.hidden_dim, qat, rng,
+                             "fc" + std::to_string(l)));
+    net->emplace<nn::Gelu>();
+    in = arch.hidden_dim;
+  }
+  net->add(nn::make_linear(in, arch.output_dim, qat, rng, "head"));
+  return net;
+}
+
+StudentArch glue_student_arch(index_t input_dim, index_t output_dim) {
+  return StudentArch{input_dim, 128, 2, output_dim};
+}
+
+StudentArch seg_student_arch(index_t input_dim, index_t num_classes,
+                             index_t width) {
+  return StudentArch{input_dim, width, 2, num_classes};
+}
+
+StudentArch llm_student_arch(index_t input_dim, index_t output_dim) {
+  // Deeper accumulation: 256 / Pci=32 = 8 PSUM tiles per hidden GEMM.
+  return StudentArch{input_dim, 256, 2, output_dim};
+}
+
+}  // namespace apsq::tasks

@@ -1,0 +1,42 @@
+// Student-network factories for the accuracy experiments.
+//
+// Students are small MLPs (QuantDense + GELU) whose GEMMs run the full
+// W8A8 LSQ + APSQ fake-quant path; teachers are identically shaped FP32
+// nets. The accumulation depth that APSQ perturbs is hidden_dim / tile_ci
+// PSUM tiles per layer.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "nn/quant_dense.hpp"
+#include "nn/sequential.hpp"
+
+namespace apsq::tasks {
+
+struct StudentArch {
+  index_t input_dim = 64;
+  index_t hidden_dim = 128;
+  index_t depth = 2;        ///< number of hidden layers
+  index_t output_dim = 2;
+};
+
+/// Build a student MLP. With `qat` set, all linear layers are QuantDense
+/// under that config; without, an FP32 net (teacher / FP baseline).
+std::unique_ptr<nn::Sequential> make_mlp(
+    const StudentArch& arch, const std::optional<nn::QatConfig>& qat,
+    Rng& rng);
+
+/// Architectures used by the benches: BERT-proxy students (GLUE),
+/// segmentation students, and the wider LLM-proxy students (Pci = 32).
+StudentArch glue_student_arch(index_t input_dim, index_t output_dim);
+StudentArch seg_student_arch(index_t input_dim, index_t num_classes,
+                             index_t width);
+StudentArch llm_student_arch(index_t input_dim, index_t output_dim);
+
+/// Tile depth (Pci) per model family — §IV-A parallelism settings.
+inline constexpr index_t kDnnTileCi = 8;
+inline constexpr index_t kLlmTileCi = 32;
+
+}  // namespace apsq::tasks

@@ -1,0 +1,87 @@
+#include "tasks/synthetic.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/matmul.hpp"
+
+namespace apsq::tasks {
+
+namespace {
+
+/// The frozen labelling network: tanh MLP with one hidden layer.
+struct World {
+  TensorF w1, w2;  // [d, h], [h, c]
+
+  World(index_t d, index_t h, index_t c, Rng& rng)
+      : w1({d, h}), w2({h, c}) {
+    const double s1 = 1.0 / std::sqrt(static_cast<double>(d));
+    const double s2 = 1.0 / std::sqrt(static_cast<double>(h));
+    for (index_t i = 0; i < w1.numel(); ++i)
+      w1[i] = static_cast<float>(rng.normal(0.0, s1));
+    for (index_t i = 0; i < w2.numel(); ++i)
+      w2[i] = static_cast<float>(rng.normal(0.0, s2));
+  }
+
+  TensorF logits(const TensorF& x) const {
+    TensorF h = matmul(x, w1);
+    for (index_t i = 0; i < h.numel(); ++i)
+      h[i] = std::tanh(2.0f * h[i]);
+    return matmul(h, w2);
+  }
+};
+
+TensorF gaussian_features(index_t n, index_t d, Rng& rng) {
+  TensorF x({n, d});
+  for (index_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.normal());
+  return x;
+}
+
+}  // namespace
+
+nn::Dataset make_synthetic_dataset(const SyntheticSpec& spec) {
+  APSQ_CHECK(spec.feature_dim > 0 && spec.train_samples > 0 &&
+             spec.test_samples > 0);
+  APSQ_CHECK(spec.regression || spec.num_classes >= 2);
+
+  Rng rng(spec.seed);
+  const index_t out_dim = spec.regression ? 1 : spec.num_classes;
+  const World world(spec.feature_dim, spec.world_hidden, out_dim, rng);
+
+  nn::Dataset ds;
+  ds.regression = spec.regression;
+  ds.num_classes = spec.num_classes;
+  ds.metric = spec.metric;
+
+  auto label_split = [&](index_t n, TensorF& x, std::vector<index_t>& y,
+                         TensorF& target) {
+    x = gaussian_features(n, spec.feature_dim, rng);
+    const TensorF logits = world.logits(x);
+    if (spec.regression) {
+      target = TensorF({n, 1});
+      for (index_t i = 0; i < n; ++i) {
+        float v = logits(i, 0);
+        if (rng.uniform() < spec.label_noise)
+          v += static_cast<float>(rng.normal(0.0, 0.5));
+        target(i, 0) = v;
+      }
+    } else {
+      y.resize(static_cast<size_t>(n));
+      for (index_t i = 0; i < n; ++i) {
+        index_t best = 0;
+        for (index_t c = 1; c < spec.num_classes; ++c)
+          if (logits(i, c) > logits(i, best)) best = c;
+        if (rng.uniform() < spec.label_noise)
+          best = rng.uniform_index(spec.num_classes);
+        y[static_cast<size_t>(i)] = best;
+      }
+    }
+  };
+
+  label_split(spec.train_samples, ds.train_x, ds.train_y, ds.train_target);
+  label_split(spec.test_samples, ds.test_x, ds.test_y, ds.test_target);
+  return ds;
+}
+
+}  // namespace apsq::tasks

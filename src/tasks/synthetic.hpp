@@ -1,0 +1,35 @@
+// Synthetic supervised-task generator.
+//
+// Real GLUE/ADE20K/ZCSR data and pretrained checkpoints are unavailable
+// offline; DESIGN.md §3.2 substitutes teacher-labelled synthetic tasks
+// that exercise the identical QAT + APSQ code paths. A frozen random
+// "world" network labels Gaussian feature vectors; students must recover
+// the decision surface. Task difficulty is controlled by feature
+// dimension, class count, label-noise rate and sample budget, chosen per
+// proxy task so baseline metrics land in a realistic range.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "nn/trainer.hpp"
+
+namespace apsq::tasks {
+
+struct SyntheticSpec {
+  std::string name;
+  index_t feature_dim = 64;
+  index_t num_classes = 2;    ///< ignored for regression
+  bool regression = false;
+  nn::Metric metric = nn::Metric::kAccuracy;
+  index_t train_samples = 2048;
+  index_t test_samples = 512;
+  double label_noise = 0.05;  ///< fraction of randomized labels
+  index_t world_hidden = 48;  ///< width of the labelling network
+  u64 seed = 1;
+};
+
+/// Generate a dataset from a spec (deterministic given the seed).
+nn::Dataset make_synthetic_dataset(const SyntheticSpec& spec);
+
+}  // namespace apsq::tasks

@@ -1,0 +1,40 @@
+#include "tasks/zcsr_proxy.hpp"
+
+namespace apsq::tasks {
+
+std::vector<SyntheticSpec> zcsr_proxy_specs(u64 seed) {
+  struct Row {
+    const char* name;
+    index_t classes;
+    index_t dim;
+    double noise;
+    index_t samples;
+  };
+  // Class counts follow the real benchmarks (BoolQ yes/no, PIQA 2-way,
+  // HellaSwag/OBQA/Arc 4-way, WinoGrande 2-way); noise/sample budgets are
+  // tuned so baseline scores land in the paper's 43–79 % band.
+  const Row rows[] = {
+      {"BoolQ", 2, 128, 0.12, 2048},   {"PIQA", 2, 128, 0.11, 2048},
+      {"HellaS.", 4, 160, 0.10, 3072}, {"WinoG.", 2, 96, 0.16, 2048},
+      {"Arc-e", 4, 128, 0.08, 3072},   {"Arc-c", 4, 160, 0.22, 2048},
+      {"OBQA", 4, 128, 0.26, 2048},
+  };
+
+  std::vector<SyntheticSpec> specs;
+  u64 k = 211;
+  for (const Row& r : rows) {
+    SyntheticSpec s;
+    s.name = r.name;
+    s.feature_dim = r.dim;
+    s.num_classes = r.classes;
+    s.train_samples = r.samples;
+    s.label_noise = r.noise;
+    s.world_hidden = 64;
+    s.seed = seed + k;
+    k += 97;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+}  // namespace apsq::tasks

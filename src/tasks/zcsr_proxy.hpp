@@ -1,0 +1,17 @@
+// Zero-shot Common Sense Reasoning proxies (Table III, LLaMA2-7B).
+//
+// Seven synthetic multiple-choice tasks, one per ZCSR benchmark (BoolQ,
+// PIQA, HellaSwag, WinoGrande, Arc-e, Arc-c, OBQA). The student is a
+// wider, deeper net than the GLUE students (LLM-proxy: large feature dim,
+// deep accumulation Ci with the LLM tile depth Pci = 32 — §IV-D).
+#pragma once
+
+#include <vector>
+
+#include "tasks/synthetic.hpp"
+
+namespace apsq::tasks {
+
+std::vector<SyntheticSpec> zcsr_proxy_specs(u64 seed = 2025);
+
+}  // namespace apsq::tasks

@@ -1,0 +1,77 @@
+#include "tensor/im2col.hpp"
+
+#include "tensor/matmul.hpp"
+
+namespace apsq {
+
+void ConvGeometry::validate() const {
+  APSQ_CHECK(in_h > 0 && in_w > 0 && in_c > 0);
+  APSQ_CHECK(kernel > 0 && stride > 0 && pad >= 0);
+  APSQ_CHECK_MSG(in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
+                 "kernel larger than padded input");
+}
+
+template <typename T>
+Tensor<T> im2col(const Tensor<T>& fmap, const ConvGeometry& g) {
+  g.validate();
+  APSQ_CHECK(fmap.rank() == 2);
+  APSQ_CHECK_MSG(fmap.dim(0) == g.in_h * g.in_w && fmap.dim(1) == g.in_c,
+                 "feature map shape does not match geometry");
+  Tensor<T> patches({g.out_h() * g.out_w(), g.patch_len()}, T{});
+  for (index_t oy = 0; oy < g.out_h(); ++oy)
+    for (index_t ox = 0; ox < g.out_w(); ++ox) {
+      const index_t row = oy * g.out_w() + ox;
+      index_t col = 0;
+      for (index_t ky = 0; ky < g.kernel; ++ky)
+        for (index_t kx = 0; kx < g.kernel; ++kx) {
+          const index_t iy = oy * g.stride + ky - g.pad;
+          const index_t ix = ox * g.stride + kx - g.pad;
+          const bool inside =
+              iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+          for (index_t c = 0; c < g.in_c; ++c, ++col)
+            if (inside) patches(row, col) = fmap(iy * g.in_w + ix, c);
+        }
+    }
+  return patches;
+}
+
+template Tensor<float> im2col<float>(const Tensor<float>&, const ConvGeometry&);
+template Tensor<i8> im2col<i8>(const Tensor<i8>&, const ConvGeometry&);
+template Tensor<i32> im2col<i32>(const Tensor<i32>&, const ConvGeometry&);
+
+TensorF col2im(const TensorF& patches, const ConvGeometry& g) {
+  g.validate();
+  APSQ_CHECK(patches.rank() == 2);
+  APSQ_CHECK(patches.dim(0) == g.out_h() * g.out_w() &&
+             patches.dim(1) == g.patch_len());
+  TensorF fmap({g.in_h * g.in_w, g.in_c}, 0.0f);
+  for (index_t oy = 0; oy < g.out_h(); ++oy)
+    for (index_t ox = 0; ox < g.out_w(); ++ox) {
+      const index_t row = oy * g.out_w() + ox;
+      index_t col = 0;
+      for (index_t ky = 0; ky < g.kernel; ++ky)
+        for (index_t kx = 0; kx < g.kernel; ++kx) {
+          const index_t iy = oy * g.stride + ky - g.pad;
+          const index_t ix = ox * g.stride + kx - g.pad;
+          const bool inside =
+              iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+          for (index_t c = 0; c < g.in_c; ++c, ++col)
+            if (inside) fmap(iy * g.in_w + ix, c) += patches(row, col);
+        }
+    }
+  return fmap;
+}
+
+TensorF conv2d_gemm(const TensorF& fmap, const TensorF& weights,
+                    const ConvGeometry& g) {
+  APSQ_CHECK(weights.rank() == 2 && weights.dim(0) == g.patch_len());
+  return matmul(im2col(fmap, g), weights);
+}
+
+TensorI32 conv2d_gemm_i8(const TensorI8& fmap, const TensorI8& weights,
+                         const ConvGeometry& g) {
+  APSQ_CHECK(weights.rank() == 2 && weights.dim(0) == g.patch_len());
+  return matmul_i8(im2col(fmap, g), weights);
+}
+
+}  // namespace apsq

@@ -1,0 +1,45 @@
+// Convolution-to-GEMM lowering (im2col), the transformation behind the
+// GEMM view of conv layers in src/models (ci = Cin·k² per output pixel)
+// and Fig. 3a's tile-based computation scheme.
+//
+// Layout conventions: feature maps are HWC ([H, W, C] flattened to rank-2
+// [H·W, C] row-major); kernels are [k·k·Cin, Cout].
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+struct ConvGeometry {
+  index_t in_h = 0, in_w = 0, in_c = 0;
+  index_t kernel = 1;   ///< square k×k
+  index_t stride = 1;
+  index_t pad = 0;      ///< symmetric zero padding
+
+  index_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  index_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  index_t patch_len() const { return kernel * kernel * in_c; }
+
+  void validate() const;
+};
+
+/// Lower an input feature map [H·W, C] to the im2col patch matrix
+/// [outH·outW, k·k·C]; out-of-bounds taps read zero.
+template <typename T>
+Tensor<T> im2col(const Tensor<T>& fmap, const ConvGeometry& g);
+
+/// Adjoint of im2col: scatter-add a patch-matrix gradient back to the
+/// input feature map layout (needed by Conv2d::backward).
+TensorF col2im(const TensorF& patches, const ConvGeometry& g);
+
+/// Convenience: full convolution via im2col + GEMM.
+/// fmap [H·W, Cin], weights [k·k·Cin, Cout] -> [outH·outW, Cout].
+TensorF conv2d_gemm(const TensorF& fmap, const TensorF& weights,
+                    const ConvGeometry& g);
+
+/// Integer variant (INT8 feature map / weights -> INT32), matching the
+/// accelerator's arithmetic.
+TensorI32 conv2d_gemm_i8(const TensorI8& fmap, const TensorI8& weights,
+                         const ConvGeometry& g);
+
+}  // namespace apsq

@@ -1,0 +1,102 @@
+#include "tensor/matmul.hpp"
+
+namespace apsq {
+
+namespace {
+
+void check_mm(const Shape& a, const Shape& b) {
+  APSQ_CHECK_MSG(a.size() == 2 && b.size() == 2, "matmul needs rank-2 tensors");
+  APSQ_CHECK_MSG(a[1] == b[0], "inner dims mismatch: " << a[1] << " vs " << b[0]);
+}
+
+}  // namespace
+
+TensorF matmul(const TensorF& a, const TensorF& b) {
+  check_mm(a.shape(), b.shape());
+  TensorF c({a.dim(0), b.dim(1)}, 0.0f);
+  matmul_accumulate(a, b, c);
+  return c;
+}
+
+void matmul_accumulate(const TensorF& a, const TensorF& b, TensorF& c) {
+  check_mm(a.shape(), b.shape());
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  APSQ_CHECK(c.dim(0) == m && c.dim(1) == n);
+  // ikj loop order: streams B and C rows, decent cache behaviour without
+  // bringing in a BLAS dependency.
+  for (index_t i = 0; i < m; ++i) {
+    float* crow = c.data() + i * n;
+    const float* arow = a.data() + i * k;
+    for (index_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + kk * n;
+      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+TensorF matmul_tn(const TensorF& a, const TensorF& b) {
+  APSQ_CHECK(a.rank() == 2 && b.rank() == 2);
+  APSQ_CHECK_MSG(a.dim(0) == b.dim(0), "matmul_tn inner dim mismatch");
+  const index_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  TensorF c({m, n}, 0.0f);
+  for (index_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.data() + kk * m;
+    const float* brow = b.data() + kk * n;
+    for (index_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + i * n;
+      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+TensorF matmul_nt(const TensorF& a, const TensorF& b) {
+  APSQ_CHECK(a.rank() == 2 && b.rank() == 2);
+  APSQ_CHECK_MSG(a.dim(1) == b.dim(1), "matmul_nt inner dim mismatch");
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  TensorF c({m, n}, 0.0f);
+  for (index_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (index_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (index_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+TensorI32 matmul_i8(const TensorI8& a, const TensorI8& b) {
+  check_mm(a.shape(), b.shape());
+  return matmul_i8_krange(a, b, 0, a.dim(1));
+}
+
+TensorI32 matmul_i8_krange(const TensorI8& a, const TensorI8& b, index_t k0,
+                           index_t k1) {
+  check_mm(a.shape(), b.shape());
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  APSQ_CHECK(0 <= k0 && k0 <= k1 && k1 <= k);
+  // Overflow guard: (k1-k0) * 128 * 128 must fit int32.
+  APSQ_CHECK_MSG((k1 - k0) <= (i64{1} << 17),
+                 "accumulation depth too large for int32 PSUM");
+  TensorI32 c({m, n}, 0);
+  for (index_t i = 0; i < m; ++i) {
+    const i8* arow = a.data() + i * k;
+    i32* crow = c.data() + i * n;
+    for (index_t kk = k0; kk < k1; ++kk) {
+      const i32 av = arow[kk];
+      if (av == 0) continue;
+      const i8* brow = b.data() + kk * n;
+      for (index_t j = 0; j < n; ++j) crow[j] += av * static_cast<i32>(brow[j]);
+    }
+  }
+  return c;
+}
+
+}  // namespace apsq

@@ -1,0 +1,35 @@
+// Matrix multiplication kernels.
+//
+// Two flavours are provided:
+//  * float GEMM used by the NN substrate (C = A·B, A:[M,K], B:[K,N]);
+//  * integer GEMM (INT8 × INT8 → INT32) matching the accelerator's MAC
+//    array arithmetic exactly — this is the golden reference the
+//    bit-accurate simulator is tested against.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+/// C = A·B with A:[M,K], B:[K,N] -> C:[M,N] (float accumulate).
+TensorF matmul(const TensorF& a, const TensorF& b);
+
+/// C += A·B (accumulating variant; C must be preallocated [M,N]).
+void matmul_accumulate(const TensorF& a, const TensorF& b, TensorF& c);
+
+/// C = Aᵀ·B with A:[K,M], B:[K,N] -> C:[M,N].
+TensorF matmul_tn(const TensorF& a, const TensorF& b);
+
+/// C = A·Bᵀ with A:[M,K], B:[N,K] -> C:[M,N].
+TensorF matmul_nt(const TensorF& a, const TensorF& b);
+
+/// Integer GEMM: A:[M,K] int8, B:[K,N] int8 -> C:[M,N] int32.
+/// Accumulation is exact (max |C| = K·128·128 must fit int32; checked).
+TensorI32 matmul_i8(const TensorI8& a, const TensorI8& b);
+
+/// Integer GEMM over a K sub-range [k0, k1): the "one PSUM tile" product
+/// Tp_i of Eq. (8). C is written (not accumulated).
+TensorI32 matmul_i8_krange(const TensorI8& a, const TensorI8& b, index_t k0,
+                           index_t k1);
+
+}  // namespace apsq

@@ -1,0 +1,113 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+namespace apsq {
+
+namespace {
+void check_same(const TensorF& a, const TensorF& b) {
+  APSQ_CHECK_MSG(a.same_shape(b), "shape mismatch: " << shape_to_string(a.shape())
+                                                     << " vs "
+                                                     << shape_to_string(b.shape()));
+}
+}  // namespace
+
+TensorF add(const TensorF& a, const TensorF& b) {
+  check_same(a, b);
+  TensorF c(a.shape());
+  for (index_t i = 0; i < a.numel(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+TensorF sub(const TensorF& a, const TensorF& b) {
+  check_same(a, b);
+  TensorF c(a.shape());
+  for (index_t i = 0; i < a.numel(); ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+TensorF mul(const TensorF& a, const TensorF& b) {
+  check_same(a, b);
+  TensorF c(a.shape());
+  for (index_t i = 0; i < a.numel(); ++i) c[i] = a[i] * b[i];
+  return c;
+}
+
+TensorF scale(const TensorF& a, float s) {
+  TensorF c(a.shape());
+  for (index_t i = 0; i < a.numel(); ++i) c[i] = a[i] * s;
+  return c;
+}
+
+void add_inplace(TensorF& y, const TensorF& x) {
+  check_same(y, x);
+  for (index_t i = 0; i < y.numel(); ++i) y[i] += x[i];
+}
+
+void axpy_inplace(TensorF& y, float s, const TensorF& x) {
+  check_same(y, x);
+  for (index_t i = 0; i < y.numel(); ++i) y[i] += s * x[i];
+}
+
+TensorF add_row_bias(const TensorF& a, const TensorF& b) {
+  APSQ_CHECK(a.rank() == 2 && b.rank() == 1 && b.dim(0) == a.dim(1));
+  TensorF c(a.shape());
+  const index_t m = a.dim(0), n = a.dim(1);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) c(i, j) = a(i, j) + b(j);
+  return c;
+}
+
+float max_abs(const TensorF& a) {
+  float m = 0.0f;
+  for (index_t i = 0; i < a.numel(); ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+float sum(const TensorF& a) {
+  double s = 0.0;
+  for (index_t i = 0; i < a.numel(); ++i) s += a[i];
+  return static_cast<float>(s);
+}
+
+float mean(const TensorF& a) {
+  APSQ_CHECK(a.numel() > 0);
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+TensorF softmax_rows(const TensorF& logits) {
+  APSQ_CHECK(logits.rank() == 2);
+  const index_t m = logits.dim(0), n = logits.dim(1);
+  TensorF out(logits.shape());
+  for (index_t i = 0; i < m; ++i) {
+    float mx = logits(i, 0);
+    for (index_t j = 1; j < n; ++j) mx = std::max(mx, logits(i, j));
+    double denom = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      const float e = std::exp(logits(i, j) - mx);
+      out(i, j) = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (index_t j = 0; j < n; ++j) out(i, j) *= inv;
+  }
+  return out;
+}
+
+TensorF transpose(const TensorF& a) {
+  APSQ_CHECK(a.rank() == 2);
+  TensorF t({a.dim(1), a.dim(0)});
+  for (index_t i = 0; i < a.dim(0); ++i)
+    for (index_t j = 0; j < a.dim(1); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+float max_abs_diff(const TensorF& a, const TensorF& b) {
+  check_same(a, b);
+  float m = 0.0f;
+  for (index_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace apsq

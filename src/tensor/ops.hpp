@@ -1,0 +1,36 @@
+// Elementwise and reduction operations on float tensors (NN substrate
+// building blocks; all shapes must match exactly — no broadcasting except
+// the documented row-bias case).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+TensorF add(const TensorF& a, const TensorF& b);
+TensorF sub(const TensorF& a, const TensorF& b);
+TensorF mul(const TensorF& a, const TensorF& b);
+TensorF scale(const TensorF& a, float s);
+
+/// In-place y += x.
+void add_inplace(TensorF& y, const TensorF& x);
+/// In-place y += s*x (axpy).
+void axpy_inplace(TensorF& y, float s, const TensorF& x);
+
+/// Add a bias row b:[N] to every row of a:[M,N].
+TensorF add_row_bias(const TensorF& a, const TensorF& b);
+
+float max_abs(const TensorF& a);
+float sum(const TensorF& a);
+float mean(const TensorF& a);
+
+/// Row-wise softmax over the last dimension of a rank-2 tensor.
+TensorF softmax_rows(const TensorF& logits);
+
+/// Transpose of a rank-2 tensor.
+TensorF transpose(const TensorF& a);
+
+/// Max |a - b| over all elements (shapes must match).
+float max_abs_diff(const TensorF& a, const TensorF& b);
+
+}  // namespace apsq

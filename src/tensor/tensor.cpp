@@ -1,0 +1,24 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+
+namespace apsq {
+
+index_t shape_numel(const Shape& shape) {
+  index_t n = 1;
+  for (index_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace apsq

@@ -1,0 +1,159 @@
+// Minimal dense row-major tensor used throughout the repo.
+//
+// Design notes:
+//  * dynamic rank (shape is a small vector), row-major contiguous storage;
+//  * value-semantic (copyable, movable), no views with shared ownership —
+//    tile extraction copies, which keeps lifetimes trivial (R.20-ish) and
+//    is fine at the problem sizes of this reproduction;
+//  * bounds checked via APSQ_DCHECK in operator(), hard-checked in at().
+#pragma once
+
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace apsq {
+
+using Shape = std::vector<index_t>;
+
+/// Number of elements of a shape (product of dims; empty shape -> 1 scalar).
+index_t shape_numel(const Shape& shape);
+
+/// Human-readable "[a, b, c]".
+std::string shape_to_string(const Shape& shape);
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape, T fill = T{}) : shape_(std::move(shape)) {
+    for (index_t d : shape_) APSQ_CHECK_MSG(d >= 0, "negative dim");
+    data_.assign(static_cast<size_t>(shape_numel(shape_)), fill);
+    compute_strides();
+  }
+
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    APSQ_CHECK_MSG(
+        static_cast<index_t>(data_.size()) == shape_numel(shape_),
+        "data size " << data_.size() << " != numel of " << shape_to_string(shape_));
+    compute_strides();
+  }
+
+  const Shape& shape() const { return shape_; }
+  index_t rank() const { return static_cast<index_t>(shape_.size()); }
+  index_t dim(index_t i) const {
+    APSQ_CHECK(i >= 0 && i < rank());
+    return shape_[static_cast<size_t>(i)];
+  }
+  index_t numel() const { return static_cast<index_t>(data_.size()); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::vector<T>& storage() { return data_; }
+  const std::vector<T>& storage() const { return data_; }
+
+  T& operator[](index_t flat) {
+    APSQ_DCHECK(flat >= 0 && flat < numel());
+    return data_[static_cast<size_t>(flat)];
+  }
+  const T& operator[](index_t flat) const {
+    APSQ_DCHECK(flat >= 0 && flat < numel());
+    return data_[static_cast<size_t>(flat)];
+  }
+
+  // Rank-specific accessors (the common cases in this codebase).
+  T& operator()(index_t i) { return (*this)[offset1(i)]; }
+  const T& operator()(index_t i) const { return (*this)[offset1(i)]; }
+  T& operator()(index_t i, index_t j) { return (*this)[offset2(i, j)]; }
+  const T& operator()(index_t i, index_t j) const {
+    return (*this)[offset2(i, j)];
+  }
+  T& operator()(index_t i, index_t j, index_t k) {
+    return (*this)[offset3(i, j, k)];
+  }
+  const T& operator()(index_t i, index_t j, index_t k) const {
+    return (*this)[offset3(i, j, k)];
+  }
+
+  /// Hard-checked element access by multi-index.
+  T& at(const std::vector<index_t>& idx) { return data_[checked_offset(idx)]; }
+  const T& at(const std::vector<index_t>& idx) const {
+    return data_[checked_offset(idx)];
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Reshape in place (numel must be preserved).
+  void reshape(Shape new_shape) {
+    APSQ_CHECK_MSG(shape_numel(new_shape) == numel(),
+                   "reshape to incompatible shape " << shape_to_string(new_shape));
+    shape_ = std::move(new_shape);
+    compute_strides();
+  }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Elementwise conversion to another scalar type.
+  template <typename U>
+  Tensor<U> cast() const {
+    Tensor<U> out(shape_);
+    for (index_t i = 0; i < numel(); ++i)
+      out[i] = static_cast<U>(data_[static_cast<size_t>(i)]);
+    return out;
+  }
+
+ private:
+  void compute_strides() {
+    strides_.assign(shape_.size(), 1);
+    for (index_t i = static_cast<index_t>(shape_.size()) - 2; i >= 0; --i)
+      strides_[static_cast<size_t>(i)] =
+          strides_[static_cast<size_t>(i + 1)] * shape_[static_cast<size_t>(i + 1)];
+  }
+
+  index_t offset1(index_t i) const {
+    APSQ_DCHECK(rank() == 1);
+    APSQ_DCHECK(i >= 0 && i < shape_[0]);
+    return i;
+  }
+  index_t offset2(index_t i, index_t j) const {
+    APSQ_DCHECK(rank() == 2);
+    APSQ_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+    return i * strides_[0] + j;
+  }
+  index_t offset3(index_t i, index_t j, index_t k) const {
+    APSQ_DCHECK(rank() == 3);
+    APSQ_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+                k < shape_[2]);
+    return i * strides_[0] + j * strides_[1] + k;
+  }
+
+  size_t checked_offset(const std::vector<index_t>& idx) const {
+    APSQ_CHECK_MSG(static_cast<index_t>(idx.size()) == rank(),
+                   "index rank mismatch");
+    index_t off = 0;
+    for (size_t d = 0; d < idx.size(); ++d) {
+      APSQ_CHECK_MSG(idx[d] >= 0 && idx[d] < shape_[d],
+                     "index " << idx[d] << " out of bounds for dim " << d);
+      off += idx[d] * strides_[d];
+    }
+    return static_cast<size_t>(off);
+  }
+
+  Shape shape_;
+  std::vector<index_t> strides_;
+  std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorD = Tensor<double>;
+using TensorI8 = Tensor<i8>;
+using TensorI32 = Tensor<i32>;
+using TensorI64 = Tensor<i64>;
+
+}  // namespace apsq

@@ -1,0 +1,19 @@
+#include "tensor/tile.hpp"
+
+#include <algorithm>
+
+namespace apsq {
+
+TileRect clamp_tile(index_t r0, index_t c0, index_t tile_rows,
+                    index_t tile_cols, index_t rows, index_t cols) {
+  APSQ_CHECK(r0 >= 0 && c0 >= 0 && tile_rows > 0 && tile_cols > 0);
+  APSQ_CHECK(r0 < rows && c0 < cols);
+  TileRect t;
+  t.row0 = r0;
+  t.col0 = c0;
+  t.row1 = std::min(r0 + tile_rows, rows);
+  t.col1 = std::min(c0 + tile_cols, cols);
+  return t;
+}
+
+}  // namespace apsq

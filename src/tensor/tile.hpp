@@ -1,0 +1,60 @@
+// Tile extraction / insertion helpers for the tile-based computation (TBC)
+// scheme of §III-A (Fig. 3a): operands are processed in Po × Pci × Pco
+// tiles and PSUM tiles are accumulated along the input-channel dimension.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace apsq {
+
+/// Half-open 2-D tile coordinates into a rank-2 tensor.
+struct TileRect {
+  index_t row0 = 0, row1 = 0;  ///< [row0, row1)
+  index_t col0 = 0, col1 = 0;  ///< [col0, col1)
+
+  index_t rows() const { return row1 - row0; }
+  index_t cols() const { return col1 - col0; }
+  index_t numel() const { return rows() * cols(); }
+};
+
+/// Clamp a tile of nominal size (tile_rows × tile_cols) anchored at
+/// (r0, c0) to the bounds of a (rows × cols) matrix (ragged edge tiles).
+TileRect clamp_tile(index_t r0, index_t c0, index_t tile_rows,
+                    index_t tile_cols, index_t rows, index_t cols);
+
+/// Copy a tile out of a rank-2 tensor.
+template <typename T>
+Tensor<T> extract_tile(const Tensor<T>& src, const TileRect& t) {
+  APSQ_CHECK(src.rank() == 2);
+  APSQ_CHECK(t.row0 >= 0 && t.row1 <= src.dim(0) && t.col0 >= 0 &&
+             t.col1 <= src.dim(1) && t.rows() >= 0 && t.cols() >= 0);
+  Tensor<T> out({t.rows(), t.cols()});
+  for (index_t r = 0; r < t.rows(); ++r)
+    for (index_t c = 0; c < t.cols(); ++c)
+      out(r, c) = src(t.row0 + r, t.col0 + c);
+  return out;
+}
+
+/// Write a tile back into a rank-2 tensor.
+template <typename T>
+void insert_tile(Tensor<T>& dst, const TileRect& t, const Tensor<T>& tile) {
+  APSQ_CHECK(dst.rank() == 2 && tile.rank() == 2);
+  APSQ_CHECK(tile.dim(0) == t.rows() && tile.dim(1) == t.cols());
+  APSQ_CHECK(t.row0 >= 0 && t.row1 <= dst.dim(0) && t.col0 >= 0 &&
+             t.col1 <= dst.dim(1));
+  for (index_t r = 0; r < t.rows(); ++r)
+    for (index_t c = 0; c < t.cols(); ++c)
+      dst(t.row0 + r, t.col0 + c) = tile(r, c);
+}
+
+/// Elementwise accumulate a tile into a rank-2 tensor region.
+template <typename T>
+void accumulate_tile(Tensor<T>& dst, const TileRect& t, const Tensor<T>& tile) {
+  APSQ_CHECK(dst.rank() == 2 && tile.rank() == 2);
+  APSQ_CHECK(tile.dim(0) == t.rows() && tile.dim(1) == t.cols());
+  for (index_t r = 0; r < t.rows(); ++r)
+    for (index_t c = 0; c < t.cols(); ++c)
+      dst(t.row0 + r, t.col0 + c) += tile(r, c);
+}
+
+}  // namespace apsq

@@ -1,0 +1,53 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace apsq {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), std::logic_error);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvWriter csv({"x"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  csv.add_row({"plain"});
+  EXPECT_EQ(csv.to_string(),
+            "x\n\"has,comma\"\n\"has\"\"quote\"\nplain\n");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = "/tmp/apsq_csv_test.csv";
+  CsvWriter csv({"h"});
+  csv.add_row({"v"});
+  ASSERT_TRUE(csv.write(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h");
+  std::getline(in, line);
+  EXPECT_EQ(line, "v");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFailsOnBadPath) {
+  CsvWriter csv({"h"});
+  EXPECT_FALSE(csv.write("/nonexistent_dir_zz/x.csv"));
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,97 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace apsq {
+namespace {
+
+TEST(CeilDiv, ExactAndRagged) {
+  EXPECT_EQ(ceil_div(8, 4), 2);
+  EXPECT_EQ(ceil_div(9, 4), 3);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(4096, 32), 128);
+}
+
+TEST(RoundHalfAway, TiesGoAwayFromZero) {
+  EXPECT_DOUBLE_EQ(round_half_away(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(round_half_away(-0.5), -1.0);
+  EXPECT_DOUBLE_EQ(round_half_away(2.5), 3.0);
+  EXPECT_DOUBLE_EQ(round_half_away(-2.5), -3.0);
+  EXPECT_DOUBLE_EQ(round_half_away(1.49), 1.0);
+  EXPECT_DOUBLE_EQ(round_half_away(-1.49), -1.0);
+  EXPECT_DOUBLE_EQ(round_half_away(0.0), 0.0);
+}
+
+TEST(RoundingShiftRight, MatchesFloatRounding) {
+  // The hardware shifter must agree with the float reference for every
+  // shift amount — this is the bit-exactness contract of DESIGN.md §3.3.
+  Rng rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const i64 x = static_cast<i64>(rng.next_u64() % 2000001) - 1000000;
+    const int s = static_cast<int>(rng.next_u64() % 16);
+    const i64 hw = rounding_shift_right(x, s);
+    const i64 ref = static_cast<i64>(
+        round_half_away(static_cast<double>(x) / std::exp2(s)));
+    ASSERT_EQ(hw, ref) << "x=" << x << " s=" << s;
+  }
+}
+
+TEST(RoundingShiftRight, ZeroShiftIsIdentity) {
+  EXPECT_EQ(rounding_shift_right(12345, 0), 12345);
+  EXPECT_EQ(rounding_shift_right(-12345, 0), -12345);
+}
+
+TEST(RoundingShiftRight, HalfwayCases) {
+  EXPECT_EQ(rounding_shift_right(2, 2), 1);    // 0.5 -> 1
+  EXPECT_EQ(rounding_shift_right(-2, 2), -1);  // -0.5 -> -1
+  EXPECT_EQ(rounding_shift_right(6, 2), 2);    // 1.5 -> 2
+  EXPECT_EQ(rounding_shift_right(-6, 2), -2);
+}
+
+TEST(Clip, Saturates) {
+  EXPECT_EQ(clip(200, -128, 127), 127);
+  EXPECT_EQ(clip(-200, -128, 127), -128);
+  EXPECT_EQ(clip(0, -128, 127), 0);
+  EXPECT_EQ(clip(127, -128, 127), 127);
+  EXPECT_EQ(clip(-128, -128, 127), -128);
+}
+
+TEST(IsPow2, Basics) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(RoundToPow2, NearestExponent) {
+  EXPECT_DOUBLE_EQ(round_to_pow2(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(round_to_pow2(3.0), 4.0);   // log2(3)=1.58 -> 2
+  EXPECT_DOUBLE_EQ(round_to_pow2(2.8), 2.0);   // log2(2.8)=1.49 -> 1
+  EXPECT_DOUBLE_EQ(round_to_pow2(0.3), 0.25);  // log2(0.3)=-1.74 -> -2
+  EXPECT_DOUBLE_EQ(round_to_pow2(1000.0), 1024.0);
+}
+
+TEST(Pow2Exponent, RoundTripsWithRoundToPow2) {
+  for (double a : {0.1, 0.5, 0.9, 1.5, 7.3, 100.0, 12345.6}) {
+    EXPECT_DOUBLE_EQ(std::exp2(pow2_exponent(a)), round_to_pow2(a));
+  }
+}
+
+TEST(PsumBitsRequired, MatchesPaperSectionIIA) {
+  // §II-A: PSUM needs 16 + log2(Ci) bits; BERT-Large FFN Ci = 4096 -> 28.
+  EXPECT_EQ(psum_bits_required(4096), 28);
+  EXPECT_EQ(psum_bits_required(1), 16);
+  EXPECT_EQ(psum_bits_required(2), 17);
+  EXPECT_EQ(psum_bits_required(768), 26);   // ceil(log2 768) = 10
+  EXPECT_EQ(psum_bits_required(11008), 30);  // LLaMA2 FFN
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,87 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace apsq {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 5000; ++i) ++hits[static_cast<size_t>(rng.uniform_index(10))];
+  for (int h : hits) EXPECT_GT(h, 300);  // roughly uniform
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(99);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithMeanStddev) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<index_t> v(100);
+  for (index_t i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(11);
+  b.fork();
+  EXPECT_EQ(a.next_u64(), b.next_u64());  // parents stay in lockstep
+  u64 c0 = child.next_u64();
+  EXPECT_NE(c0, a.next_u64());
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace apsq {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"Model", "Energy"});
+  t.add_row({"BERT", "0.50"});
+  t.add_row({"Segformer", "0.13"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("BERT"), std::string::npos);
+  EXPECT_NE(s.find("0.13"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, SeparatorRendersRule) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // Header rule + top + separator + bottom = at least 4 rules.
+  size_t rules = 0, pos = 0;
+  while ((pos = s.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(Table, NumberFormatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::pct(0.281, 1), "28.1%");
+  EXPECT_EQ(Table::ratio(31.7, 1), "31.7x");
+}
+
+TEST(Table, ColumnAlignmentPadsToWidest) {
+  Table t({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string s = t.to_string();
+  // every line should have the same width
+  size_t first_len = s.find('\n');
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+}  // namespace
+}  // namespace apsq

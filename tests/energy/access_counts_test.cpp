@@ -1,0 +1,161 @@
+#include "energy/access_counts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apsq {
+namespace {
+
+AcceleratorConfig paper_arch() { return AcceleratorConfig::dnn_default(); }
+
+// BERT-Base FFN-in layer at 128 tokens: the hand-checked example of
+// DESIGN.md / §II-A.
+LayerShape bert_ffn1() { return {"ffn_in", 128, 768, 3072, 1}; }
+
+TEST(AccessCounts, WsBertFfn1HandComputed) {
+  const AccessCounts n = compute_access_counts(
+      Dataflow::kWS, bert_ffn1(), paper_arch(), PsumConfig::baseline_int32());
+  // ci tiles = 96 -> N_p_s = 2*(96-1) = 190 (PSUM fits: 4·128·8 = 4 KB).
+  EXPECT_TRUE(n.psum_fits);
+  EXPECT_EQ(n.psum_sram, 190);
+  EXPECT_EQ(n.psum_dram, 0);
+  // co tiles = 384 -> N_i_s = 1 + 384 (S̃i = 128·8 = 1 KB fits).
+  EXPECT_TRUE(n.ifmap_fits);
+  EXPECT_EQ(n.ifmap_sram, 385);
+  EXPECT_EQ(n.ifmap_dram, 1);
+  EXPECT_EQ(n.weight_sram, 2);
+  EXPECT_EQ(n.weight_dram, 1);
+  EXPECT_EQ(n.ofmap_sram, 2);
+  EXPECT_EQ(n.ofmap_dram, 1);
+}
+
+TEST(AccessCounts, IsBertFfn1HandComputed) {
+  const AccessCounts n = compute_access_counts(
+      Dataflow::kIS, bert_ffn1(), paper_arch(), PsumConfig::baseline_int32());
+  // Weights 768·3072 = 2.36 MB > 128 KB: refetched per row tile (T = 8).
+  EXPECT_FALSE(n.weight_fits);
+  EXPECT_EQ(n.weight_sram, 16);  // 2·T
+  EXPECT_EQ(n.weight_dram, 8);   // T
+  EXPECT_EQ(n.ifmap_sram, 2);
+  EXPECT_EQ(n.ifmap_dram, 1);
+  // IS PSUM footprint: 4·3072·16 = 192 KB ≤ 256 KB -> fits.
+  EXPECT_TRUE(n.psum_fits);
+  EXPECT_EQ(n.psum_sram, 190);
+  EXPECT_EQ(n.psum_dram, 0);
+}
+
+TEST(AccessCounts, OsHasZeroPsumTraffic) {
+  for (const PsumConfig& pc :
+       {PsumConfig::baseline_int32(), PsumConfig::apsq_int8(4)}) {
+    const AccessCounts n =
+        compute_access_counts(Dataflow::kOS, bert_ffn1(), paper_arch(), pc);
+    EXPECT_EQ(n.psum_sram, 0);
+    EXPECT_EQ(n.psum_dram, 0);
+    EXPECT_TRUE(n.psum_fits);
+  }
+}
+
+TEST(AccessCounts, WsPsumSpillDoublesAndAddsDram) {
+  // Segformer stage-1-sized layer: rows = 16384, INT32 PSUM footprint
+  // 4·16384·8 = 512 KB > 256 KB -> spill.
+  const LayerShape layer{"s1", 16384, 32, 128, 1};
+  const AccessCounts n = compute_access_counts(
+      Dataflow::kWS, layer, paper_arch(), PsumConfig::baseline_int32());
+  EXPECT_FALSE(n.psum_fits);
+  const i64 ci_tiles = 4;  // 32/8
+  EXPECT_EQ(n.psum_sram, 4 * (ci_tiles - 1));
+  EXPECT_EQ(n.psum_dram, 2 * (ci_tiles - 1));
+}
+
+TEST(AccessCounts, FitConventionIsInclusive) {
+  // Footprint EXACTLY equal to the buffer must count as resident —
+  // this is what makes Segformer gs=2 and LLaMA2 prefill gs=2 work
+  // (DESIGN.md §3.1 "fit convention").
+  const LayerShape layer{"s1", 16384, 32, 128, 1};
+  const AccessCounts n = compute_access_counts(
+      Dataflow::kWS, layer, paper_arch(), PsumConfig::apsq_int8(2));
+  // 2 · 16384 · 8 = 262144 = Bo exactly.
+  EXPECT_DOUBLE_EQ(n.psum_footprint_bytes, 262144.0);
+  EXPECT_TRUE(n.psum_fits);
+  const AccessCounts n3 = compute_access_counts(
+      Dataflow::kWS, layer, paper_arch(), PsumConfig::apsq_int8(3));
+  EXPECT_FALSE(n3.psum_fits);
+}
+
+TEST(AccessCounts, FootprintScalesWithGroupSize) {
+  const LayerShape layer{"l", 1024, 64, 64, 1};
+  double prev = 0.0;
+  for (index_t gs = 1; gs <= 4; ++gs) {
+    const AccessCounts n = compute_access_counts(
+        Dataflow::kWS, layer, paper_arch(), PsumConfig::apsq_int8(gs));
+    EXPECT_GT(n.psum_footprint_bytes, prev);
+    prev = n.psum_footprint_bytes;
+  }
+}
+
+TEST(AccessCounts, BaselineFootprintUsesBeta) {
+  const LayerShape layer{"l", 1024, 64, 64, 1};
+  const AccessCounts n32 = compute_access_counts(
+      Dataflow::kWS, layer, paper_arch(), PsumConfig::baseline_int32());
+  const AccessCounts n8 = compute_access_counts(
+      Dataflow::kWS, layer, paper_arch(), PsumConfig::apsq_int8(1));
+  EXPECT_DOUBLE_EQ(n32.psum_footprint_bytes, 4.0 * n8.psum_footprint_bytes);
+}
+
+TEST(AccessCounts, SmallWeightsStayResidentInIs) {
+  const LayerShape layer{"tiny", 64, 64, 64, 1};  // 4 KB of weights
+  const AccessCounts n = compute_access_counts(
+      Dataflow::kIS, layer, paper_arch(), PsumConfig::baseline_int32());
+  EXPECT_TRUE(n.weight_fits);
+  const i64 t = 4;  // 64/16 row tiles
+  EXPECT_EQ(n.weight_sram, 1 + t);
+  EXPECT_EQ(n.weight_dram, 1);
+}
+
+TEST(AccessCounts, SingleCiTileHasNoPsumTraffic) {
+  // ci ≤ Pci: one PSUM tile, no accumulation reads/writes at all.
+  const LayerShape layer{"one", 64, 8, 64, 1};
+  for (auto df : {Dataflow::kIS, Dataflow::kWS}) {
+    const AccessCounts n = compute_access_counts(df, layer, paper_arch(),
+                                                 PsumConfig::baseline_int32());
+    EXPECT_EQ(n.psum_sram, 0) << to_string(df);
+    EXPECT_EQ(n.psum_dram, 0) << to_string(df);
+  }
+}
+
+TEST(AccessCounts, WsIfmapTileSpill) {
+  // rows·Pci > Bi triggers per-co-tile DRAM refetch: rows = 65536 ->
+  // 65536·8 = 512 KB > 256 KB.
+  const LayerShape layer{"stem", 65536, 27, 16, 1};
+  const AccessCounts n = compute_access_counts(
+      Dataflow::kWS, layer, paper_arch(), PsumConfig::baseline_int32());
+  EXPECT_FALSE(n.ifmap_fits);
+  const i64 co_tiles = 2;  // 16/8
+  EXPECT_EQ(n.ifmap_sram, 2 * co_tiles);
+  EXPECT_EQ(n.ifmap_dram, co_tiles);
+}
+
+TEST(AccessCounts, RejectsDegenerateLayer) {
+  const LayerShape bad{"bad", 0, 8, 8, 1};
+  EXPECT_THROW(compute_access_counts(Dataflow::kWS, bad, paper_arch(),
+                                     PsumConfig::baseline_int32()),
+               std::logic_error);
+}
+
+TEST(DataflowNames, Strings) {
+  EXPECT_STREQ(to_string(Dataflow::kIS), "IS");
+  EXPECT_STREQ(to_string(Dataflow::kWS), "WS");
+  EXPECT_STREQ(to_string(Dataflow::kOS), "OS");
+}
+
+TEST(PsumConfigTraits, BetaAndBytes) {
+  EXPECT_DOUBLE_EQ(PsumConfig::baseline_int32().beta(8), 4.0);
+  EXPECT_DOUBLE_EQ(PsumConfig::baseline_int16().beta(8), 2.0);
+  EXPECT_DOUBLE_EQ(PsumConfig::apsq_int8(1).beta(8), 1.0);
+  EXPECT_DOUBLE_EQ(PsumConfig::apsq_bits(4, 1).beta(8), 0.5);
+  EXPECT_DOUBLE_EQ(PsumConfig::apsq_bits(6, 2).bytes_per_elem(), 0.75);
+  EXPECT_EQ(PsumConfig::apsq_int8(3).footprint_multiplier(), 3);
+  EXPECT_EQ(PsumConfig::baseline_int32().footprint_multiplier(), 1);
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,128 @@
+#include "energy/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/bert.hpp"
+
+namespace apsq {
+namespace {
+
+AcceleratorConfig arch() { return AcceleratorConfig::dnn_default(); }
+LayerShape ffn1() { return {"ffn_in", 128, 768, 3072, 1}; }
+
+TEST(EnergyBreakdown, ComponentsSumToTotal) {
+  const EnergyBreakdown e = layer_energy(Dataflow::kWS, ffn1(), arch(),
+                                         PsumConfig::baseline_int32());
+  EXPECT_NEAR(e.total_pj(),
+              e.ifmap_pj + e.weight_pj + e.psum_pj + e.ofmap_pj + e.mac_pj,
+              1e-6);
+  // Memory split must cover all data-movement energy.
+  EXPECT_NEAR(e.sram_pj + e.dram_pj,
+              e.ifmap_pj + e.weight_pj + e.psum_pj + e.ofmap_pj, 1e-3);
+}
+
+TEST(EnergyBreakdown, Eq1Composition) {
+  // Recompute Eq. (1) by hand from the access counts for one layer.
+  const EnergyCosts c = EnergyCosts::horowitz();
+  const PsumConfig pc = PsumConfig::baseline_int32();
+  const AccessCounts n = compute_access_counts(Dataflow::kWS, ffn1(), arch(), pc);
+  const double si = 128.0 * 768, sw = 768.0 * 3072, so = 128.0 * 3072;
+  const double sp = so * 4.0;
+  const double ns = si * n.ifmap_sram + sw * n.weight_sram +
+                    sp * n.psum_sram + so * n.ofmap_sram;
+  const double nd = si * n.ifmap_dram + sw * n.weight_dram +
+                    sp * n.psum_dram + so * n.ofmap_dram;
+  const double expected = nd * c.edram_pj_per_byte + ns * c.esram_pj_per_byte +
+                          128.0 * 768 * 3072 * c.emac_pj;
+  const EnergyBreakdown e = layer_energy(Dataflow::kWS, ffn1(), arch(), pc);
+  EXPECT_NEAR(e.total_pj(), expected, expected * 1e-12);
+}
+
+TEST(EnergyModel, MacEnergyIndependentOfDataflowAndPsum) {
+  const double mac_ws = layer_energy(Dataflow::kWS, ffn1(), arch(),
+                                     PsumConfig::baseline_int32()).mac_pj;
+  const double mac_is = layer_energy(Dataflow::kIS, ffn1(), arch(),
+                                     PsumConfig::apsq_int8(2)).mac_pj;
+  EXPECT_DOUBLE_EQ(mac_ws, mac_is);
+}
+
+TEST(EnergyModel, PsumEnergyLinearInBetaWhenResident) {
+  // BERT layers keep PSUMs on-chip: E_psum ∝ β.
+  const double p32 = layer_energy(Dataflow::kWS, ffn1(), arch(),
+                                  PsumConfig::baseline_int32()).psum_pj;
+  const double p16 = layer_energy(Dataflow::kWS, ffn1(), arch(),
+                                  PsumConfig::baseline_int16()).psum_pj;
+  const double p8 = layer_energy(Dataflow::kWS, ffn1(), arch(),
+                                 PsumConfig::apsq_int8(1)).psum_pj;
+  EXPECT_NEAR(p32 / p16, 2.0, 1e-9);
+  EXPECT_NEAR(p32 / p8, 4.0, 1e-9);
+}
+
+TEST(EnergyModel, NormalizedBaselineIsOne) {
+  const Workload w = bert_base_workload();
+  EXPECT_NEAR(
+      normalized_energy(Dataflow::kWS, w, arch(), PsumConfig::baseline_int32()),
+      1.0, 1e-12);
+}
+
+TEST(EnergyModel, NormalizedEnergyMonotonicInPsumBits) {
+  const Workload w = bert_base_workload();
+  double prev = 0.0;
+  for (int bits : {4, 6, 8, 16, 32}) {
+    const double e = normalized_energy(Dataflow::kWS, w, arch(),
+                                       PsumConfig{bits, bits <= 8, 1});
+    EXPECT_GT(e, prev) << "bits=" << bits;
+    prev = e;
+  }
+}
+
+TEST(EnergyModel, WorkloadSumsLayerRepeats) {
+  Workload w;
+  w.name = "repeat-test";
+  w.layers.push_back({"l", 64, 64, 64, 3});
+  Workload w1;
+  w1.name = "once";
+  w1.layers.push_back({"l", 64, 64, 64, 1});
+  const double e3 = workload_energy(Dataflow::kWS, w, arch(),
+                                    PsumConfig::baseline_int32()).total_pj();
+  const double e1 = workload_energy(Dataflow::kWS, w1, arch(),
+                                    PsumConfig::baseline_int32()).total_pj();
+  EXPECT_NEAR(e3, 3.0 * e1, 1e-6);
+}
+
+TEST(EnergyModel, OsInsensitiveToPsumPrecision) {
+  const double a = layer_energy(Dataflow::kOS, ffn1(), arch(),
+                                PsumConfig::baseline_int32()).total_pj();
+  const double b = layer_energy(Dataflow::kOS, ffn1(), arch(),
+                                PsumConfig::apsq_int8(4)).total_pj();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(EnergyModel, SpillRaisesPsumEnergySuperlinearly) {
+  // A layer whose INT32 PSUMs spill but INT8 fit: the saving must exceed
+  // the plain 4x precision ratio (DRAM costs >> SRAM costs).
+  const LayerShape layer{"s1", 16384, 32, 128, 1};
+  const double p32 = layer_energy(Dataflow::kWS, layer, arch(),
+                                  PsumConfig::baseline_int32()).psum_pj;
+  const double p8 = layer_energy(Dataflow::kWS, layer, arch(),
+                                 PsumConfig::apsq_int8(1)).psum_pj;
+  EXPECT_GT(p32 / p8, 10.0);
+}
+
+TEST(EnergyBreakdown, PsumFractionDefinition) {
+  const EnergyBreakdown e = layer_energy(Dataflow::kWS, ffn1(), arch(),
+                                         PsumConfig::baseline_int32());
+  EXPECT_NEAR(e.psum_fraction(), e.psum_pj / e.total_pj(), 1e-12);
+  EXPECT_GT(e.psum_fraction(), 0.5);  // PSUM-dominated layer (§I: up to 69%)
+}
+
+TEST(EnergyBreakdown, AccumulateOperator) {
+  EnergyBreakdown a = layer_energy(Dataflow::kWS, ffn1(), arch(),
+                                   PsumConfig::baseline_int32());
+  const double t = a.total_pj();
+  a += a;
+  EXPECT_NEAR(a.total_pj(), 2 * t, 1e-6);
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,128 @@
+// Algorithm/hardware co-design contract: the float fake-quant pipeline the
+// QAT trains with and the integer accelerator (PE array + RAE shifters)
+// must compute EXACTLY the same function when the scales are powers of
+// two. This is the test that makes "bit-accurate" an enforced property
+// rather than a claim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "quant/apsq.hpp"
+#include "sim/accelerator.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/tile.hpp"
+
+namespace apsq {
+namespace {
+
+TensorI8 random_i8(Shape s, Rng& rng, int range = 127) {
+  TensorI8 t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<i8>(
+        static_cast<i64>(rng.next_u64() % (2 * static_cast<u64>(range) + 1)) -
+        range);
+  return t;
+}
+
+struct Case {
+  index_t m, k, n, gs;
+  int exp;
+  // LSQ scales. These must be exactly representable in float32 (powers of
+  // two here): with arbitrary real α the float32 fake-quant tensors carry
+  // ~1e-7 relative representation error, which can flip exact .5 rounding
+  // ties that the integer shifter resolves deterministically. The
+  // bit-exactness contract (DESIGN.md §3.3) is stated for exactly
+  // representable scales; real deployments requantize through fixed-point
+  // multipliers anyway.
+  double alpha_a, alpha_w;
+};
+
+class FakeQuantVsSim : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FakeQuantVsSim, FloatPipelineEqualsIntegerAccelerator) {
+  const Case c = GetParam();
+  Rng rng(static_cast<u64>(c.m * 31 + c.k * 7 + c.n * 3 + c.gs));
+
+  // Integer operands (the codes an LSQ quantizer would emit).
+  const TensorI8 xq = random_i8({c.m, c.k}, rng);
+  const TensorI8 wq = random_i8({c.k, c.n}, rng);
+
+  // --- Float fake-quant path (what QAT computes) ------------------------
+  // xf = α_a·codes, wf = α_w·codes; PSUM scale α_p = 2^exp · α_a·α_w.
+  TensorF xf({c.m, c.k}), wf({c.k, c.n});
+  for (index_t i = 0; i < xf.numel(); ++i)
+    xf[i] = static_cast<float>(c.alpha_a * xq[i]);
+  for (index_t i = 0; i < wf.numel(); ++i)
+    wf[i] = static_cast<float>(c.alpha_w * wq[i]);
+
+  const index_t pci = 4;
+  const index_t nci = ceil_div(c.k, pci);
+  std::vector<TensorF> tiles;
+  for (index_t t = 0; t < nci; ++t) {
+    const index_t k0 = t * pci, k1 = std::min(k0 + pci, c.k);
+    tiles.push_back(matmul(extract_tile(xf, TileRect{0, c.m, k0, k1}),
+                           extract_tile(wf, TileRect{k0, k1, 0, c.n})));
+  }
+  const double alpha_p = std::exp2(c.exp) * c.alpha_a * c.alpha_w;
+  const TensorF yf = accumulate_psums(tiles, PsumMode::kApsq,
+                                      QuantSpec::int8(), {alpha_p}, c.gs);
+
+  // --- Integer accelerator path (what the hardware computes) ------------
+  SimConfig cfg;
+  cfg.arch.po = 4;
+  cfg.arch.pci = pci;
+  cfg.arch.pco = 4;
+  cfg.arch.ifmap_buf_bytes = 1 << 20;
+  cfg.arch.ofmap_buf_bytes = 1 << 20;
+  cfg.arch.weight_buf_bytes = 1 << 20;
+  cfg.dataflow = Dataflow::kWS;
+  cfg.psum = PsumConfig::apsq_int8(c.gs);
+  cfg.psum_exponents = {c.exp};
+  Accelerator acc(cfg);
+  const SimResult r = acc.run_gemm(xq, wq);
+
+  // Integer outputs are in product scale: yf = α_a·α_w · y_int. The
+  // quantization CODES must agree exactly (integer equality after
+  // unscaling); float32 storage of the fake-quant activations limits the
+  // representation of yf itself to ~1e-7 relative, so the value check is
+  // relative. A flipped code would show up as a jump of 2^exp ≥ 1.
+  const double prod = c.alpha_a * c.alpha_w;
+  for (index_t i = 0; i < yf.numel(); ++i) {
+    const double y_int = static_cast<double>(yf[i]) / prod;
+    ASSERT_EQ(std::llround(y_int), r.ofmap[i]) << "element " << i;
+    ASSERT_NEAR(y_int, static_cast<double>(r.ofmap[i]),
+                1e-4 * std::max(1.0, std::abs(static_cast<double>(r.ofmap[i]))))
+        << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScaleAndShapeGrid, FakeQuantVsSim,
+    ::testing::Values(Case{8, 16, 8, 1, 4, 0.03125, 0.0078125},
+                      Case{8, 16, 8, 2, 4, 0.03125, 0.0078125},
+                      Case{5, 23, 7, 3, 5, 0.0625, 0.00390625},
+                      Case{12, 32, 4, 4, 6, 0.25, 0.125},
+                      Case{3, 8, 3, 1, 0, 1.0, 1.0},
+                      Case{16, 64, 16, 4, 7, 0.5, 0.0009765625}));
+
+TEST(FakeQuantVsSim, BaselineExactPathAlsoMatches) {
+  Rng rng(99);
+  const TensorI8 xq = random_i8({6, 20}, rng);
+  const TensorI8 wq = random_i8({20, 6}, rng);
+  SimConfig cfg;
+  cfg.arch.po = 4;
+  cfg.arch.pci = 4;
+  cfg.arch.pco = 4;
+  cfg.dataflow = Dataflow::kIS;
+  cfg.psum = PsumConfig::baseline_int32();
+  Accelerator acc(cfg);
+  const SimResult r = acc.run_gemm(xq, wq);
+  const TensorI32 ref = matmul_i8(xq, wq);
+  for (index_t i = 0; i < ref.numel(); ++i)
+    ASSERT_EQ(r.ofmap[i], static_cast<i64>(ref[i]));
+}
+
+}  // namespace
+}  // namespace apsq

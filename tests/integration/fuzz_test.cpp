@@ -1,0 +1,158 @@
+// Randomized cross-implementation fuzzing: for many random shapes, group
+// sizes, and per-tile exponent vectors, the three APSQ implementations —
+// double-precision reference (Algorithm 1), integer shift path, and the
+// structural RAE engine — must agree bit-for-bit, and the accelerator must
+// agree with the per-position reference on random GEMMs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "quant/apsq_int.hpp"
+#include "quant/grouping.hpp"
+#include "rae/rae_engine.hpp"
+#include "sim/accelerator.hpp"
+#include "tensor/matmul.hpp"
+
+namespace apsq {
+namespace {
+
+TEST(Fuzz, ThreeImplementationsAgreeOnRandomConfigs) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 120; ++trial) {
+    const index_t gs = 1 + static_cast<index_t>(rng.uniform_index(4));
+    const index_t np = 1 + static_cast<index_t>(rng.uniform_index(20));
+    const index_t elems = 1 + static_cast<index_t>(rng.uniform_index(12));
+
+    std::vector<int> exps;
+    std::vector<double> scales;
+    for (index_t t = 0; t < np; ++t) {
+      const int e = static_cast<int>(rng.uniform_index(9));
+      exps.push_back(e);
+      scales.push_back(std::exp2(e));
+    }
+
+    GroupedApsq::Options fopt;
+    fopt.group_size = gs;
+    fopt.num_tiles = np;
+    fopt.scales = scales;
+    GroupedApsq fref({elems}, fopt);
+
+    GroupedApsqInt::Options iopt;
+    iopt.group_size = gs;
+    iopt.num_tiles = np;
+    iopt.exponents = exps;
+    GroupedApsqInt iref({elems}, iopt);
+
+    RaeEngine::Options ropt;
+    ropt.group_size = gs;
+    ropt.num_tiles = np;
+    ropt.exponents = exps;
+    RaeEngine rae({elems}, ropt);
+
+    for (index_t t = 0; t < np; ++t) {
+      TensorI32 tile({elems});
+      TensorF ftile({elems});
+      for (index_t i = 0; i < elems; ++i) {
+        const i32 v =
+            static_cast<i32>(static_cast<i64>(rng.next_u64() % 60001) - 30000);
+        tile[i] = v;
+        ftile[i] = static_cast<float>(v);
+      }
+      fref.push(ftile);
+      iref.push(tile);
+      rae.push(tile);
+    }
+
+    const TensorF f = fref.output();
+    const TensorI64 a = iref.output();
+    const TensorI64 b = rae.output();
+    for (index_t i = 0; i < elems; ++i) {
+      ASSERT_EQ(a[i], b[i]) << "trial " << trial << " gs=" << gs
+                            << " np=" << np;
+      ASSERT_EQ(static_cast<i64>(std::llround(f[i])), a[i])
+          << "trial " << trial << " gs=" << gs << " np=" << np;
+    }
+  }
+}
+
+TEST(Fuzz, AcceleratorAgreesWithReferenceOnRandomGemms) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 25; ++trial) {
+    const index_t m = 1 + static_cast<index_t>(rng.uniform_index(20));
+    const index_t k = 1 + static_cast<index_t>(rng.uniform_index(40));
+    const index_t n = 1 + static_cast<index_t>(rng.uniform_index(15));
+    const index_t gs = 1 + static_cast<index_t>(rng.uniform_index(4));
+    const int exp = static_cast<int>(rng.uniform_index(8));
+    const auto df = rng.uniform_index(2) == 0 ? Dataflow::kWS : Dataflow::kIS;
+
+    TensorI8 x({m, k}), w({k, n});
+    for (index_t i = 0; i < x.numel(); ++i)
+      x[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
+    for (index_t i = 0; i < w.numel(); ++i)
+      w[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
+
+    SimConfig cfg;
+    cfg.arch.po = 1 + static_cast<index_t>(rng.uniform_index(6));
+    cfg.arch.pci = 1 + static_cast<index_t>(rng.uniform_index(6));
+    cfg.arch.pco = 1 + static_cast<index_t>(rng.uniform_index(6));
+    cfg.dataflow = df;
+    cfg.psum = PsumConfig::apsq_int8(gs);
+    cfg.psum_exponents = {exp};
+    Accelerator acc(cfg);
+    const SimResult r = acc.run_gemm(x, w);
+
+    const index_t nci = ceil_div(k, cfg.arch.pci);
+    GroupedApsqInt::Options opt;
+    opt.group_size = gs;
+    opt.num_tiles = nci;
+    opt.exponents = {exp};
+    GroupedApsqInt ref({m, n}, opt);
+    for (index_t t = 0; t < nci; ++t)
+      ref.push(matmul_i8_krange(x, w, t * cfg.arch.pci,
+                                std::min((t + 1) * cfg.arch.pci, k)));
+    const TensorI64 expect = ref.output();
+    for (index_t i = 0; i < expect.numel(); ++i)
+      ASSERT_EQ(r.ofmap[i], expect[i])
+          << "trial " << trial << " m=" << m << " k=" << k << " n=" << n
+          << " gs=" << gs << " exp=" << exp << " df=" << to_string(df);
+  }
+}
+
+TEST(Fuzz, EnergyModelInvariantsOnRandomLayers) {
+  Rng rng(0xCAFE);
+  const AcceleratorConfig arch = AcceleratorConfig::dnn_default();
+  for (int trial = 0; trial < 200; ++trial) {
+    LayerShape layer;
+    layer.name = "fuzz";
+    layer.rows = 1 + static_cast<index_t>(rng.uniform_index(30000));
+    layer.ci = 1 + static_cast<index_t>(rng.uniform_index(4096));
+    layer.co = 1 + static_cast<index_t>(rng.uniform_index(4096));
+
+    for (auto df : {Dataflow::kIS, Dataflow::kWS, Dataflow::kOS}) {
+      // Energy must be positive and monotone in PSUM precision.
+      double prev = 0.0;
+      for (int bits : {8, 16, 32}) {
+        const double e =
+            layer_energy(df, layer, arch, PsumConfig{bits, false, 1})
+                .total_pj();
+        ASSERT_GT(e, 0.0);
+        ASSERT_GE(e, prev);
+        prev = e;
+      }
+      // gs never decreases energy (footprint can only grow).
+      double prev_gs = 0.0;
+      for (index_t gs = 1; gs <= 4; ++gs) {
+        const double e =
+            layer_energy(df, layer, arch, PsumConfig::apsq_int8(gs))
+                .total_pj();
+        ASSERT_GE(e, prev_gs);
+        prev_gs = e;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,116 @@
+// End-to-end QAT integration: the accuracy ordering the paper reports in
+// Table I must emerge from our substrate — the W8A8 baseline is at least
+// as good as APSQ, and large group sizes recover accuracy relative to
+// gs = 1 (§IV-B: "gs = 1 causes notable accuracy drops ... increasing gs
+// generally helps restore accuracy").
+#include <gtest/gtest.h>
+
+#include "nn/trainer.hpp"
+#include "tasks/students.hpp"
+#include "tasks/synthetic.hpp"
+
+namespace apsq {
+namespace {
+
+double train_config(PsumMode mode, index_t gs, u64 seed) {
+  tasks::SyntheticSpec spec;
+  spec.name = "trend";
+  spec.feature_dim = 64;
+  spec.num_classes = 2;
+  spec.train_samples = 1024;
+  spec.test_samples = 512;
+  spec.label_noise = 0.03;
+  spec.seed = 33;
+  const nn::Dataset ds = tasks::make_synthetic_dataset(spec);
+
+  nn::QatConfig qat = nn::QatConfig::baseline_w8a8();
+  qat.psum_mode = mode;
+  qat.group_size = gs;
+  // Deep accumulation (np = 64/4 and 128/4 tiles) so the per-fold rounding
+  // noise — APSQ's accuracy mechanism — dominates training variance.
+  qat.tile_ci = 4;
+
+  Rng rng(seed);
+  auto net = tasks::make_mlp({64, 128, 2, 2}, qat, rng);
+  nn::TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.lr = 2e-3f;
+  cfg.shuffle_seed = seed;
+  return nn::train_model(*net, ds, cfg).test_metric_pct;
+}
+
+TEST(QatApsqTrend, BaselineBeatsOrMatchesGs1) {
+  // Average over seeds to damp training variance.
+  double base = 0.0, gs1 = 0.0;
+  for (u64 s : {1u, 2u, 3u}) {
+    base += train_config(PsumMode::kExact, 1, s);
+    gs1 += train_config(PsumMode::kApsq, 1, s);
+  }
+  EXPECT_GE(base, gs1 - 0.75);  // small tolerance: trend, not strict order
+}
+
+TEST(QatApsqTrend, LargerGroupSizeReducesPostTrainingDeviation) {
+  // The grouping mechanism (§III-B): with IDENTICAL trained weights, the
+  // logits of an APSQ forward deviate less from the exact-PSUM reference
+  // at gs = 4 than at gs = 1, because the accumulated value passes through
+  // np/gs history folds instead of np. (The paper's per-task accuracy
+  // ordering is noisy — e.g. RTE gs3 < gs1 in Table I — but this
+  // deviation ordering is the mechanism behind the average trend.)
+  tasks::SyntheticSpec spec;
+  spec.name = "ptq";
+  spec.feature_dim = 64;
+  spec.num_classes = 8;  // wide head: more logits per net for the statistic
+  spec.train_samples = 1024;
+  spec.test_samples = 512;
+  spec.seed = 33;
+  const nn::Dataset ds = tasks::make_synthetic_dataset(spec);
+
+  double dev1 = 0.0, dev4 = 0.0;
+  for (u64 seed : {5u, 6u, 7u, 8u}) {
+    // Train a W8A8 baseline student.
+    nn::QatConfig base = nn::QatConfig::baseline_w8a8();
+    base.tile_ci = 4;
+    Rng rng(seed);
+    auto trained = tasks::make_mlp({64, 128, 2, 8}, base, rng);
+    nn::TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.lr = 2e-3f;
+    nn::train_model(*trained, ds, cfg);
+    trained->set_training(false);
+    const TensorF ref_logits = trained->forward(ds.test_x);
+
+    auto deviation_for = [&](index_t gs) {
+      nn::QatConfig qat = nn::QatConfig::apsq_w8a8(gs, 4);
+      Rng rng2(seed);  // identical construction order
+      auto net = tasks::make_mlp({64, 128, 2, 8}, qat, rng2);
+      // Transfer the trained parameters (same module layout).
+      auto src = trained->params();
+      auto dst = net->params();
+      EXPECT_EQ(src.size(), dst.size());
+      for (size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+      // One training-mode pass to calibrate the PSUM scales, then eval.
+      net->set_training(true);
+      net->forward(ds.test_x);
+      net->set_training(false);
+      const TensorF logits = net->forward(ds.test_x);
+      double dev = 0.0;
+      for (index_t i = 0; i < logits.numel(); ++i)
+        dev += std::abs(logits[i] - ref_logits[i]);
+      return dev / static_cast<double>(logits.numel());
+    };
+
+    dev1 += deviation_for(1);
+    dev4 += deviation_for(4);
+  }
+  EXPECT_GT(dev1, 0.0);
+  EXPECT_LT(dev4, dev1);
+}
+
+TEST(QatApsqTrend, AllConfigsLearnWellAboveChance) {
+  EXPECT_GT(train_config(PsumMode::kExact, 1, 9), 70.0);
+  EXPECT_GT(train_config(PsumMode::kApsq, 1, 9), 70.0);
+  EXPECT_GT(train_config(PsumMode::kApsq, 4, 9), 70.0);
+}
+
+}  // namespace
+}  // namespace apsq

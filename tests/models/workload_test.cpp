@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "models/bert.hpp"
+#include "models/efficientvit.hpp"
+#include "models/llama2.hpp"
+#include "models/segformer.hpp"
+
+namespace apsq {
+namespace {
+
+void check_sane(const Workload& w) {
+  EXPECT_FALSE(w.layers.empty()) << w.name;
+  for (const auto& l : w.layers) {
+    EXPECT_GT(l.rows, 0) << w.name << "/" << l.name;
+    EXPECT_GT(l.ci, 0) << w.name << "/" << l.name;
+    EXPECT_GT(l.co, 0) << w.name << "/" << l.name;
+    EXPECT_GE(l.repeat, 1) << w.name << "/" << l.name;
+    EXPECT_FALSE(l.name.empty());
+  }
+}
+
+TEST(BertWorkload, Sane) { check_sane(bert_base_workload()); }
+
+TEST(BertWorkload, MacCountBallpark) {
+  // BERT-Base at 128 tokens: projections + FFN ≈ 11 GMACs (with the
+  // per-head attention matmuls ≈ 0.3 G more).
+  const i64 macs = bert_base_workload().total_macs();
+  EXPECT_GT(macs, i64{10} * 1000 * 1000 * 1000);
+  EXPECT_LT(macs, i64{13} * 1000 * 1000 * 1000);
+}
+
+TEST(BertWorkload, TwelveEncoderLayers) {
+  const Workload w = bert_base_workload();
+  for (const auto& l : w.layers) {
+    if (l.name == "ffn_in") {
+      EXPECT_EQ(l.repeat, 12);
+      EXPECT_EQ(l.ci, 768);
+      EXPECT_EQ(l.co, 3072);
+    }
+    if (l.name == "attn_scores") EXPECT_EQ(l.repeat, 12 * 12);  // heads
+  }
+}
+
+TEST(BertWorkload, TokenLengthPropagates) {
+  const Workload w = bert_base_workload(256);
+  for (const auto& l : w.layers)
+    if (l.name == "qkv_proj") EXPECT_EQ(l.rows, 256);
+}
+
+TEST(BertLarge, Ffn4096ForPsumPrecisionDiscussion) {
+  // §II-A: BERT-Large MLP has Ci = 4096 -> 28-bit PSUM requirement.
+  const Workload w = bert_large_workload();
+  bool found = false;
+  for (const auto& l : w.layers)
+    if (l.name == "ffn_out") {
+      EXPECT_EQ(l.ci, 4096);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(SegformerWorkload, Sane) { check_sane(segformer_b0_workload()); }
+
+TEST(SegformerWorkload, StageTokenCounts) {
+  const Workload w = segformer_b0_workload(512);
+  // Stage 1 at stride 4 -> 128² = 16384 tokens (the layer that drives the
+  // gs = 2 -> 3 WS spill crossover of Fig. 6b).
+  bool found_stage1 = false;
+  for (const auto& l : w.layers)
+    if (l.name == "s1_q_proj") {
+      EXPECT_EQ(l.rows, 16384);
+      EXPECT_EQ(l.ci, 32);
+      found_stage1 = true;
+    }
+  EXPECT_TRUE(found_stage1);
+}
+
+TEST(SegformerWorkload, MacCountBallpark) {
+  const i64 macs = segformer_b0_workload().total_macs();
+  // Segformer-B0 at 512x512 ≈ 8-9 GMACs in our GEMM inventory.
+  EXPECT_GT(macs, i64{4} * 1000 * 1000 * 1000);
+  EXPECT_LT(macs, i64{16} * 1000 * 1000 * 1000);
+}
+
+TEST(SegformerWorkload, RejectsUnalignedResolution) {
+  EXPECT_THROW(segformer_b0_workload(500), std::logic_error);
+}
+
+TEST(EfficientVitWorkload, Sane) { check_sane(efficientvit_b1_workload()); }
+
+TEST(EfficientVitWorkload, HasHighResolutionStem) {
+  // The 256² stem rows are what keep EfficientViT spilling even at INT8
+  // (Fig. 6b: 0.32 rather than Segformer's 0.13).
+  const Workload w = efficientvit_b1_workload(512);
+  bool found = false;
+  for (const auto& l : w.layers)
+    if (l.rows == 65536) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(LlamaWorkload, Sane) { check_sane(llama2_7b_workload()); }
+
+TEST(LlamaWorkload, SevenProjectionsTimes32Layers) {
+  const Workload w = llama2_7b_workload(4096);
+  EXPECT_EQ(w.layers.size(), 7u);
+  for (const auto& l : w.layers) {
+    EXPECT_EQ(l.repeat, 32);
+    EXPECT_EQ(l.rows, 4096);
+  }
+}
+
+TEST(LlamaWorkload, ParameterCountMatches7B) {
+  // Weight elements across the GEMM stack ≈ 6.5e9 (7B minus embeddings).
+  const Workload w = llama2_7b_workload();
+  i64 params = 0;
+  for (const auto& l : w.layers) params += l.weight_elems() * l.repeat;
+  EXPECT_GT(params, i64{6000} * 1000 * 1000);
+  EXPECT_LT(params, i64{7000} * 1000 * 1000);
+}
+
+TEST(LlamaWorkload, DecodeStepIsVector) {
+  const Workload w = llama2_7b_decode_step_workload();
+  for (const auto& l : w.layers) EXPECT_EQ(l.rows, 1);
+}
+
+TEST(WorkloadTotals, MacsMatchManualSum) {
+  Workload w;
+  w.layers.push_back({"a", 2, 3, 4, 5});  // 2*3*4*5 = 120
+  w.layers.push_back({"b", 1, 1, 1, 1});  // 1
+  EXPECT_EQ(w.total_macs(), 121);
+}
+
+}  // namespace
+}  // namespace apsq

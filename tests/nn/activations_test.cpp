@@ -1,0 +1,54 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+
+namespace apsq::nn {
+namespace {
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU r;
+  TensorF x({4}, std::vector<float>{-1, 0, 2, -3});
+  const TensorF y = r.forward(x);
+  EXPECT_FLOAT_EQ(y(0), 0);
+  EXPECT_FLOAT_EQ(y(1), 0);
+  EXPECT_FLOAT_EQ(y(2), 2);
+  EXPECT_FLOAT_EQ(y(3), 0);
+}
+
+TEST(ReLU, BackwardMasks) {
+  ReLU r;
+  TensorF x({3}, std::vector<float>{-1, 1, 2});
+  r.forward(x);
+  TensorF dy({3}, std::vector<float>{5, 5, 5});
+  const TensorF dx = r.backward(dy);
+  EXPECT_FLOAT_EQ(dx(0), 0);
+  EXPECT_FLOAT_EQ(dx(1), 5);
+  EXPECT_FLOAT_EQ(dx(2), 5);
+}
+
+TEST(Gelu, KnownValues) {
+  Gelu g;
+  TensorF x({3}, std::vector<float>{0.0f, 10.0f, -10.0f});
+  const TensorF y = g.forward(x);
+  EXPECT_NEAR(y(0), 0.0f, 1e-6);
+  EXPECT_NEAR(y(1), 10.0f, 1e-3);  // gelu(x) -> x for large x
+  EXPECT_NEAR(y(2), 0.0f, 1e-3);   // -> 0 for very negative x
+}
+
+TEST(Gelu, GradCheck) {
+  Rng rng(1);
+  Gelu g;
+  gradcheck(g, random_tensor({4, 5}, rng), 1e-2);
+}
+
+TEST(Gelu, MonotoneAboveZero) {
+  Gelu g;
+  TensorF x({2}, std::vector<float>{1.0f, 2.0f});
+  const TensorF y = g.forward(x);
+  EXPECT_LT(y(0), y(1));
+}
+
+}  // namespace
+}  // namespace apsq::nn

@@ -1,0 +1,68 @@
+#include "nn/attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+
+namespace apsq::nn {
+namespace {
+
+TEST(SelfAttention, OutputShapeMatchesInput) {
+  Rng rng(1);
+  SelfAttention attn(8, std::nullopt, rng);
+  const TensorF x = random_tensor({5, 8}, rng);
+  const TensorF y = attn.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(SelfAttention, GradCheckFp32) {
+  Rng rng(2);
+  SelfAttention attn(4, std::nullopt, rng);
+  gradcheck(attn, random_tensor({3, 4}, rng), 3e-2);
+}
+
+TEST(SelfAttention, SingleTokenIsPureProjection) {
+  // With one token, softmax(P) == 1 and the output is Wo(Wv(x)).
+  Rng rng(3);
+  SelfAttention attn(6, std::nullopt, rng);
+  const TensorF x = random_tensor({1, 6}, rng);
+  const TensorF y = attn.forward(x);
+  EXPECT_EQ(y.dim(0), 1);
+  // Re-derive via the projections exposed through params: easier property:
+  // output must be independent of the Q/K weights for a single token.
+  auto params = attn.params();
+  params[0]->value.fill(0.0f);  // wq.weight
+  const TensorF y2 = attn.forward(x);
+  for (index_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y(i), y2(i), 1e-5);
+}
+
+TEST(SelfAttention, QuantizedProjectionsRun) {
+  Rng rng(4);
+  QatConfig qat = QatConfig::apsq_w8a8(2, 4);
+  SelfAttention attn(8, qat, rng);
+  const TensorF x = random_tensor({4, 8}, rng);
+  const TensorF y = attn.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  // QuantDense adds α parameters: 4 projections × 4 params each.
+  EXPECT_EQ(attn.params().size(), 16u);
+}
+
+TEST(SelfAttention, PermutationEquivariant) {
+  // Self-attention without positional encoding commutes with token
+  // permutation: swapping input rows swaps output rows.
+  Rng rng(5);
+  SelfAttention attn(6, std::nullopt, rng);
+  TensorF x = random_tensor({3, 6}, rng);
+  const TensorF y = attn.forward(x);
+  TensorF xp = x;
+  for (index_t j = 0; j < 6; ++j) std::swap(xp(0, j), xp(2, j));
+  const TensorF yp = attn.forward(xp);
+  for (index_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(yp(0, j), y(2, j), 1e-4);
+    EXPECT_NEAR(yp(2, j), y(0, j), 1e-4);
+    EXPECT_NEAR(yp(1, j), y(1, j), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace apsq::nn

@@ -1,0 +1,84 @@
+#include "nn/conv2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "nn/dense.hpp"
+#include "nn/optimizer.hpp"
+
+namespace apsq::nn {
+namespace {
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2d conv(ConvGeometry{8, 8, 3, 3, 2, 1}, 16, std::nullopt, rng);
+  const TensorF x = random_tensor({64, 3}, rng);
+  const TensorF y = conv.forward(x);
+  EXPECT_EQ(y.dim(0), 16);  // 4x4 output pixels
+  EXPECT_EQ(y.dim(1), 16);
+}
+
+TEST(Conv2d, GradCheckFp32) {
+  Rng rng(2);
+  Conv2d conv(ConvGeometry{4, 4, 2, 3, 1, 1}, 3, std::nullopt, rng);
+  gradcheck(conv, random_tensor({16, 2}, rng), 3e-2);
+}
+
+TEST(Conv2d, QuantizedVariantRuns) {
+  Rng rng(3);
+  QatConfig qat = QatConfig::apsq_w8a8(2, 4);
+  Conv2d conv(ConvGeometry{6, 6, 4, 3, 1, 1}, 8, qat, rng);
+  const TensorF x = random_tensor({36, 4}, rng);
+  const TensorF y = conv.forward(x);
+  EXPECT_EQ(y.dim(0), 36);
+  EXPECT_EQ(y.dim(1), 8);
+  // QuantDense params: W, b, alpha_w, alpha_a.
+  EXPECT_EQ(conv.params().size(), 4u);
+}
+
+TEST(Conv2d, PointwiseEqualsDense) {
+  // A 1x1 conv is exactly a Dense layer over pixels.
+  Rng rng(4);
+  Conv2d conv(ConvGeometry{3, 3, 5, 1, 1, 0}, 7, std::nullopt, rng);
+  Rng rng2(4);
+  Dense dense(5, 7, rng2);
+  const TensorF x = random_tensor({9, 5}, rng);
+  const TensorF yc = conv.forward(x);
+  const TensorF yd = dense.forward(x);
+  // Same seed -> same init -> identical outputs.
+  for (index_t i = 0; i < yc.numel(); ++i) EXPECT_FLOAT_EQ(yc[i], yd[i]);
+}
+
+TEST(Conv2d, TrainsOnTinyPattern) {
+  // Learn to detect a vertical edge: the layer must be optimizable
+  // through the im2col adjoint.
+  Rng rng(5);
+  Conv2d conv(ConvGeometry{4, 4, 1, 3, 1, 1}, 1, std::nullopt, rng);
+  Adam opt(conv.params(), 5e-2f);
+
+  TensorF x({16, 1}, 0.0f);
+  for (index_t yy = 0; yy < 4; ++yy) x(yy * 4 + 2, 0) = 1.0f;  // column 2
+  TensorF target({16, 1}, 0.0f);
+  for (index_t yy = 0; yy < 4; ++yy) target(yy * 4 + 2, 0) = 1.0f;
+
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int it = 0; it < 120; ++it) {
+    opt.zero_grad();
+    const TensorF y = conv.forward(x);
+    TensorF grad(y.shape());
+    float loss = 0.0f;
+    for (index_t i = 0; i < y.numel(); ++i) {
+      const float d = y[i] - target[i];
+      loss += d * d;
+      grad[i] = 2.0f * d / static_cast<float>(y.numel());
+    }
+    conv.backward(grad);
+    opt.step();
+    if (it == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, 0.05f * first_loss);
+}
+
+}  // namespace
+}  // namespace apsq::nn

@@ -1,0 +1,70 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace apsq::nn {
+namespace {
+
+TEST(Dense, ForwardIsAffine) {
+  Rng rng(1);
+  Dense d(3, 2, rng);
+  d.weight().value = TensorF({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 1});
+  d.bias().value = TensorF({2}, std::vector<float>{0.5f, -0.5f});
+  TensorF x({1, 3}, std::vector<float>{1, 2, 3});
+  const TensorF y = d.forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 1 + 3 + 0.5f);
+  EXPECT_FLOAT_EQ(y(0, 1), 2 + 3 - 0.5f);
+}
+
+TEST(Dense, GradCheck) {
+  Rng rng(2);
+  Dense d(5, 4, rng);
+  gradcheck(d, random_tensor({6, 5}, rng));
+}
+
+TEST(Dense, BiasGradIsColumnSum) {
+  Rng rng(3);
+  Dense d(3, 2, rng);
+  const TensorF x = random_tensor({4, 3}, rng);
+  d.forward(x);
+  TensorF dy({4, 2}, 1.0f);
+  d.zero_grad();
+  d.backward(dy);
+  EXPECT_FLOAT_EQ(d.bias().grad(0), 4.0f);
+  EXPECT_FLOAT_EQ(d.bias().grad(1), 4.0f);
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwards) {
+  Rng rng(4);
+  Dense d(3, 2, rng);
+  const TensorF x = random_tensor({2, 3}, rng);
+  TensorF dy({2, 2}, 1.0f);
+  d.zero_grad();
+  d.forward(x);
+  d.backward(dy);
+  const TensorF once = d.weight().grad;
+  d.forward(x);
+  d.backward(dy);
+  for (index_t i = 0; i < once.numel(); ++i)
+    EXPECT_NEAR(d.weight().grad[i], 2 * once[i], 1e-5);
+}
+
+TEST(Dense, ParamCollection) {
+  Rng rng(5);
+  Dense d(3, 2, rng);
+  EXPECT_EQ(d.params().size(), 2u);
+  EXPECT_EQ(d.num_params(), 3 * 2 + 2);
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  Rng rng(6);
+  Dense d(3, 2, rng);
+  EXPECT_THROW(d.forward(TensorF({1, 4})), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apsq::nn

@@ -1,0 +1,79 @@
+// Finite-difference gradient checking utilities for the NN substrate.
+//
+// Checks dL/dx and dL/dθ of a module against central differences of the
+// scalar loss L = Σ c_i · y_i with fixed random coefficients c. Only valid
+// for smooth (non-quantized) modules.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace apsq::nn {
+
+inline TensorF random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  TensorF t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+/// Run the check. `tol` is the max relative error allowed per coordinate
+/// (float32 forward passes limit precision to ~1e-2 on ill-conditioned
+/// coords, so compare with a combined abs+rel tolerance).
+inline void gradcheck(Module& m, const TensorF& x, double tol = 2e-2,
+                      u64 seed = 1234) {
+  Rng rng(seed);
+  const TensorF y0 = m.forward(x);
+  TensorF coeff(y0.shape());
+  for (index_t i = 0; i < coeff.numel(); ++i)
+    coeff[i] = static_cast<float>(rng.normal());
+
+  m.zero_grad();
+  // forward again so cached state matches this exact input
+  m.forward(x);
+  const TensorF dx = m.backward(coeff);
+
+  auto loss_at = [&](const TensorF& xin) {
+    const TensorF y = m.forward(xin);
+    double l = 0.0;
+    for (index_t i = 0; i < y.numel(); ++i)
+      l += static_cast<double>(coeff[i]) * y[i];
+    return l;
+  };
+
+  // Check input gradient on a sample of coordinates.
+  const float eps = 1e-3f;
+  const index_t n_probe = std::min<index_t>(x.numel(), 24);
+  for (index_t p = 0; p < n_probe; ++p) {
+    const index_t i = rng.uniform_index(x.numel());
+    TensorF xp = x;
+    xp[i] += eps;
+    const double hi = loss_at(xp);
+    xp[i] -= 2 * eps;
+    const double lo = loss_at(xp);
+    const double fd = (hi - lo) / (2 * eps);
+    EXPECT_NEAR(dx[i], fd, tol * (std::abs(fd) + 1.0))
+        << "input coord " << i;
+  }
+
+  // Check parameter gradients on a sample of coordinates.
+  for (Param* param : m.params()) {
+    const index_t n_par_probe = std::min<index_t>(param->value.numel(), 8);
+    for (index_t p = 0; p < n_par_probe; ++p) {
+      const index_t i = rng.uniform_index(param->value.numel());
+      const float orig = param->value[i];
+      param->value[i] = orig + eps;
+      const double hi = loss_at(x);
+      param->value[i] = orig - eps;
+      const double lo = loss_at(x);
+      param->value[i] = orig;
+      const double fd = (hi - lo) / (2 * eps);
+      EXPECT_NEAR(param->grad[i], fd, tol * (std::abs(fd) + 1.0))
+          << param->name << " coord " << i;
+    }
+  }
+}
+
+}  // namespace apsq::nn

@@ -1,0 +1,56 @@
+#include "nn/layernorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+
+namespace apsq::nn {
+namespace {
+
+TEST(LayerNorm, NormalizesRows) {
+  LayerNorm ln(8);
+  Rng rng(1);
+  const TensorF x = random_tensor({4, 8}, rng, 3.0);
+  const TensorF y = ln.forward(x);
+  for (index_t i = 0; i < 4; ++i) {
+    double mean = 0, var = 0;
+    for (index_t j = 0; j < 8; ++j) mean += y(i, j);
+    mean /= 8;
+    for (index_t j = 0; j < 8; ++j) var += (y(i, j) - mean) * (y(i, j) - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, AffineParametersApplied) {
+  LayerNorm ln(2);
+  std::vector<Param*> ps;
+  ln.collect_params(ps);
+  ps[0]->value.fill(2.0f);  // gamma
+  ps[1]->value.fill(1.0f);  // beta
+  TensorF x({1, 2}, std::vector<float>{-1, 1});
+  const TensorF y = ln.forward(x);
+  EXPECT_NEAR(y(0, 0), 2.0f * -1.0f + 1.0f, 1e-3);
+  EXPECT_NEAR(y(0, 1), 2.0f * 1.0f + 1.0f, 1e-3);
+}
+
+TEST(LayerNorm, GradCheck) {
+  Rng rng(2);
+  LayerNorm ln(6);
+  gradcheck(ln, random_tensor({3, 6}, rng, 2.0));
+}
+
+TEST(LayerNorm, InvariantToRowShift) {
+  LayerNorm ln(8);
+  Rng rng(3);
+  const TensorF x = random_tensor({2, 8}, rng);
+  TensorF xs = x;
+  for (index_t j = 0; j < 8; ++j) xs(0, j) += 100.0f;
+  const TensorF y1 = ln.forward(x);
+  const TensorF y2 = ln.forward(xs);
+  for (index_t j = 0; j < 8; ++j) EXPECT_NEAR(y1(0, j), y2(0, j), 1e-2);
+}
+
+}  // namespace
+}  // namespace apsq::nn

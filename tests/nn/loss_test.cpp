@@ -1,0 +1,100 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace apsq::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  TensorF logits({2, 4}, 0.0f);
+  const LossResult r = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.value, std::log(4.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsNearZero) {
+  TensorF logits({1, 2}, std::vector<float>{20.0f, -20.0f});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.value, 1e-4);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsProbsMinusOneHotOverN) {
+  TensorF logits({1, 3}, std::vector<float>{1.0f, 2.0f, 3.0f});
+  const LossResult r = softmax_cross_entropy(logits, {2});
+  double denom = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(r.grad(0, 0), std::exp(1.0) / denom, 1e-5);
+  EXPECT_NEAR(r.grad(0, 2), std::exp(3.0) / denom - 1.0, 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, GradMatchesFiniteDifference) {
+  Rng rng(1);
+  TensorF logits({3, 5});
+  for (index_t i = 0; i < logits.numel(); ++i)
+    logits[i] = static_cast<float>(rng.normal());
+  std::vector<index_t> y{1, 4, 0};
+  const LossResult r = softmax_cross_entropy(logits, y);
+  const float eps = 1e-3f;
+  for (index_t i = 0; i < logits.numel(); ++i) {
+    TensorF lp = logits;
+    lp[i] += eps;
+    const float hi = softmax_cross_entropy(lp, y).value;
+    lp[i] -= 2 * eps;
+    const float lo = softmax_cross_entropy(lp, y).value;
+    EXPECT_NEAR(r.grad[i], (hi - lo) / (2 * eps), 2e-3);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadTarget) {
+  TensorF logits({1, 2});
+  EXPECT_THROW(softmax_cross_entropy(logits, {2}), std::logic_error);
+}
+
+TEST(MseLoss, ZeroAtTarget) {
+  TensorF p({2, 1}, std::vector<float>{1.0f, 2.0f});
+  const LossResult r = mse_loss(p, p);
+  EXPECT_FLOAT_EQ(r.value, 0.0f);
+  for (index_t i = 0; i < r.grad.numel(); ++i) EXPECT_FLOAT_EQ(r.grad[i], 0.0f);
+}
+
+TEST(MseLoss, ValueAndGrad) {
+  TensorF p({1, 2}, std::vector<float>{3.0f, 0.0f});
+  TensorF t({1, 2}, std::vector<float>{1.0f, 0.0f});
+  const LossResult r = mse_loss(p, t);
+  EXPECT_FLOAT_EQ(r.value, 2.0f);           // (4 + 0) / 2
+  EXPECT_FLOAT_EQ(r.grad(0, 0), 2.0f);      // 2·(3-1)/2
+  EXPECT_FLOAT_EQ(r.grad(0, 1), 0.0f);
+}
+
+TEST(DistillationLoss, ReducesToTaskLossAtLambdaZero) {
+  Rng rng(2);
+  TensorF s({2, 3}), t({2, 3});
+  for (index_t i = 0; i < s.numel(); ++i) {
+    s[i] = static_cast<float>(rng.normal());
+    t[i] = static_cast<float>(rng.normal());
+  }
+  const LossResult kd = distillation_loss(s, {0, 1}, t, 0.0f);
+  const LossResult ce = softmax_cross_entropy(s, {0, 1});
+  EXPECT_FLOAT_EQ(kd.value, ce.value);
+}
+
+TEST(DistillationLoss, CombinesBothTerms) {
+  Rng rng(3);
+  TensorF s({2, 3}), t({2, 3});
+  for (index_t i = 0; i < s.numel(); ++i) {
+    s[i] = static_cast<float>(rng.normal());
+    t[i] = static_cast<float>(rng.normal());
+  }
+  const float lambda = 0.7f;
+  const LossResult kd = distillation_loss(s, {0, 1}, t, lambda);
+  const LossResult ce = softmax_cross_entropy(s, {0, 1});
+  const LossResult mse = mse_loss(s, t);
+  EXPECT_NEAR(kd.value, ce.value + lambda * mse.value, 1e-5);
+  for (index_t i = 0; i < s.numel(); ++i)
+    EXPECT_NEAR(kd.grad[i], ce.grad[i] + lambda * mse.grad[i], 1e-6);
+}
+
+}  // namespace
+}  // namespace apsq::nn

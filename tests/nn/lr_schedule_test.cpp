@@ -1,0 +1,78 @@
+#include "nn/lr_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apsq::nn {
+namespace {
+
+TEST(LrSchedule, ConstantStaysPut) {
+  for (index_t s : {0, 10, 99})
+    EXPECT_FLOAT_EQ(scheduled_lr(LrSchedule::kConstant, 0.1f, 0.0f, s, 100),
+                    0.1f);
+}
+
+TEST(LrSchedule, CosineEndpoints) {
+  EXPECT_NEAR(scheduled_lr(LrSchedule::kCosine, 0.1f, 0.001f, 0, 100), 0.1f,
+              1e-7);
+  EXPECT_NEAR(scheduled_lr(LrSchedule::kCosine, 0.1f, 0.001f, 100, 100),
+              0.001f, 1e-7);
+  EXPECT_NEAR(scheduled_lr(LrSchedule::kCosine, 0.1f, 0.001f, 50, 100),
+              (0.1f + 0.001f) / 2, 1e-6);
+}
+
+TEST(LrSchedule, CosineMonotoneDecreasing) {
+  float prev = 1.0f;
+  for (index_t s = 0; s <= 100; s += 10) {
+    const float lr = scheduled_lr(LrSchedule::kCosine, 0.5f, 0.0f, s, 100);
+    EXPECT_LE(lr, prev + 1e-7);
+    prev = lr;
+  }
+}
+
+TEST(LrSchedule, StepDecayBreakpoints) {
+  EXPECT_FLOAT_EQ(scheduled_lr(LrSchedule::kStepDecay, 1.0f, 0.0f, 49, 100),
+                  1.0f);
+  EXPECT_FLOAT_EQ(scheduled_lr(LrSchedule::kStepDecay, 1.0f, 0.0f, 50, 100),
+                  0.1f);
+  EXPECT_FLOAT_EQ(scheduled_lr(LrSchedule::kStepDecay, 1.0f, 0.0f, 75, 100),
+                  0.01f);
+}
+
+TEST(LrSchedule, ClampsBeyondTotal) {
+  EXPECT_NEAR(scheduled_lr(LrSchedule::kCosine, 0.1f, 0.0f, 500, 100), 0.0f,
+              1e-7);
+}
+
+TEST(ClipGradNorm, NoOpBelowThreshold) {
+  Param p("w", TensorF({2}, 0.0f));
+  p.grad(0) = 0.3f;
+  p.grad(1) = 0.4f;  // norm 0.5
+  std::vector<Param*> ps{&p};
+  const float norm = clip_grad_norm(ps, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 0.5f);
+  EXPECT_FLOAT_EQ(p.grad(0), 0.3f);
+}
+
+TEST(ClipGradNorm, ScalesDownAboveThreshold) {
+  Param p("w", TensorF({2}, 0.0f));
+  p.grad(0) = 3.0f;
+  p.grad(1) = 4.0f;  // norm 5
+  std::vector<Param*> ps{&p};
+  const float norm = clip_grad_norm(ps, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_NEAR(std::sqrt(p.grad(0) * p.grad(0) + p.grad(1) * p.grad(1)), 1.0f,
+              1e-6);
+}
+
+TEST(ClipGradNorm, GlobalAcrossParams) {
+  Param a("a", TensorF({1}, 0.0f)), b("b", TensorF({1}, 0.0f));
+  a.grad(0) = 3.0f;
+  b.grad(0) = 4.0f;
+  std::vector<Param*> ps{&a, &b};
+  clip_grad_norm(ps, 2.5f);  // global norm 5 -> scale 0.5
+  EXPECT_NEAR(a.grad(0), 1.5f, 1e-6);
+  EXPECT_NEAR(b.grad(0), 2.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace apsq::nn

@@ -1,0 +1,75 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apsq::nn {
+namespace {
+
+TEST(ArgmaxRows, PicksLargest) {
+  TensorF logits({2, 3}, std::vector<float>{0.1f, 0.9f, 0.0f, 5.0f, 1.0f, 2.0f});
+  const auto pred = argmax_rows(logits);
+  EXPECT_EQ(pred[0], 1);
+  EXPECT_EQ(pred[1], 0);
+}
+
+TEST(Accuracy, Percentage) {
+  EXPECT_DOUBLE_EQ(accuracy_pct({1, 0, 1, 1}, {1, 0, 0, 1}), 75.0);
+  EXPECT_DOUBLE_EQ(accuracy_pct({1}, {1}), 100.0);
+  EXPECT_DOUBLE_EQ(accuracy_pct({0}, {1}), 0.0);
+}
+
+TEST(Matthews, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(matthews_corr_pct({1, 0, 1, 0}, {1, 0, 1, 0}), 100.0);
+}
+
+TEST(Matthews, InvertedPrediction) {
+  EXPECT_DOUBLE_EQ(matthews_corr_pct({0, 1, 0, 1}, {1, 0, 1, 0}), -100.0);
+}
+
+TEST(Matthews, KnownConfusionMatrix) {
+  // tp=1 tn=1 fp=1 fn=1 -> MCC = 0.
+  EXPECT_DOUBLE_EQ(matthews_corr_pct({1, 0, 1, 0}, {1, 0, 0, 1}), 0.0);
+}
+
+TEST(Matthews, DegenerateAllOneClass) {
+  EXPECT_DOUBLE_EQ(matthews_corr_pct({1, 1, 1}, {1, 1, 1}), 0.0);
+}
+
+TEST(Pearson, PerfectLinearCorrelation) {
+  EXPECT_NEAR(pearson_pct({1, 2, 3, 4}, {2, 4, 6, 8}), 100.0, 1e-9);
+  EXPECT_NEAR(pearson_pct({1, 2, 3, 4}, {-2, -4, -6, -8}), -100.0, 1e-9);
+}
+
+TEST(Pearson, KnownValue) {
+  // Hand-computed: x = {1,2,3}, y = {1,3,2} -> r = 0.5.
+  EXPECT_NEAR(pearson_pct({1, 2, 3}, {1, 3, 2}), 50.0, 1e-9);
+}
+
+TEST(Pearson, ZeroVarianceIsZero) {
+  EXPECT_DOUBLE_EQ(pearson_pct({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(MeanIou, PerfectSegmentation) {
+  EXPECT_DOUBLE_EQ(mean_iou_pct({0, 1, 2, 0}, {0, 1, 2, 0}, 3), 100.0);
+}
+
+TEST(MeanIou, KnownValue) {
+  // classes 0 and 1, predictions {0,0,1,1}, targets {0,1,1,1}:
+  // class 0: inter 1, union 2 -> 0.5; class 1: inter 2, union 3 -> 2/3.
+  EXPECT_NEAR(mean_iou_pct({0, 0, 1, 1}, {0, 1, 1, 1}, 2),
+              100.0 * (0.5 + 2.0 / 3.0) / 2.0, 1e-9);
+}
+
+TEST(MeanIou, IgnoresAbsentClasses) {
+  // class 2 never appears in pred or target -> averaged over 2 classes.
+  EXPECT_DOUBLE_EQ(mean_iou_pct({0, 1}, {0, 1}, 3), 100.0);
+}
+
+TEST(MeanIou, RejectsOutOfRangeClass) {
+  EXPECT_THROW(mean_iou_pct({3}, {0}, 3), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apsq::nn

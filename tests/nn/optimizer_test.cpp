@@ -1,0 +1,88 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apsq::nn {
+namespace {
+
+// Minimize f(w) = Σ (w_i - target_i)² with explicit gradients.
+void quadratic_grad(Param& p, const TensorF& target) {
+  for (index_t i = 0; i < p.value.numel(); ++i)
+    p.grad[i] = 2.0f * (p.value[i] - target[i]);
+}
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  Param p("w", TensorF({1}, 1.0f));
+  p.grad(0) = 2.0f;
+  Sgd opt({&p}, 0.1f, /*momentum=*/0.0f);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value(0), 1.0f - 0.1f * 2.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p("w", TensorF({1}, 0.0f));
+  Sgd opt({&p}, 0.1f, 0.9f);
+  p.grad(0) = 1.0f;
+  opt.step();
+  const float first = p.value(0);
+  p.grad(0) = 1.0f;
+  opt.step();
+  const float second_step = p.value(0) - first;
+  EXPECT_LT(second_step, first);  // both negative; second is larger in mag
+  EXPECT_NEAR(second_step, -0.1f * (0.9f + 1.0f), 1e-6);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Param p("w", TensorF({4}, 0.0f));
+  TensorF target({4}, std::vector<float>{1, -2, 3, 0.5});
+  Sgd opt({&p}, 0.05f, 0.9f);
+  for (int it = 0; it < 200; ++it) {
+    quadratic_grad(p, target);
+    opt.step();
+  }
+  for (index_t i = 0; i < 4; ++i) EXPECT_NEAR(p.value[i], target[i], 1e-3);
+}
+
+TEST(Sgd, WeightDecayShrinksParams) {
+  Param p("w", TensorF({1}, 10.0f));
+  p.grad(0) = 0.0f;
+  Sgd opt({&p}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  opt.step();
+  EXPECT_LT(p.value(0), 10.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Param p("w", TensorF({4}, 0.0f));
+  TensorF target({4}, std::vector<float>{1, -2, 3, 0.5});
+  Adam opt({&p}, 0.05f);
+  for (int it = 0; it < 500; ++it) {
+    quadratic_grad(p, target);
+    opt.step();
+  }
+  for (index_t i = 0; i < 4; ++i) EXPECT_NEAR(p.value[i], target[i], 1e-2);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  // Bias correction makes the first Adam step ≈ lr regardless of grad
+  // magnitude.
+  Param p("w", TensorF({1}, 0.0f));
+  p.grad(0) = 1000.0f;
+  Adam opt({&p}, 0.01f);
+  opt.step();
+  EXPECT_NEAR(p.value(0), -0.01f, 1e-4);
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+  Param a("a", TensorF({2}, 1.0f)), b("b", TensorF({3}, 1.0f));
+  a.grad.fill(5.0f);
+  b.grad.fill(5.0f);
+  Sgd opt({&a, &b}, 0.1f);
+  opt.zero_grad();
+  for (index_t i = 0; i < 2; ++i) EXPECT_FLOAT_EQ(a.grad[i], 0.0f);
+  for (index_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(b.grad[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace apsq::nn

@@ -1,0 +1,160 @@
+#include "nn/quant_dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.hpp"
+#include "nn/dense.hpp"
+#include "quant/lsq.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace apsq::nn {
+namespace {
+
+TEST(QuantDense, ExactModeMatchesQuantizedOperandsMatmul) {
+  Rng rng(1);
+  QuantDense qd(16, 8, QatConfig::baseline_w8a8(), rng);
+  const TensorF x = random_tensor({4, 16}, rng);
+  const TensorF y = qd.forward(x);
+  // Recompute: LSQ-quantize x and W with the layer's steps, matmul, bias.
+  const TensorF xq = lsq_forward(x, qd.alpha_act(), QuantSpec::int8()).y;
+  const TensorF wq =
+      lsq_forward(qd.weight().value, qd.alpha_weight(), QuantSpec::int8()).y;
+  const TensorF ref = add_row_bias(matmul(xq, wq), qd.bias().value);
+  EXPECT_LT(max_abs_diff(y, ref), 1e-5f);
+}
+
+TEST(QuantDense, ApsqModeAddsBoundedPsumNoise) {
+  Rng rng(2);
+  QuantDense exact(32, 8, QatConfig::baseline_w8a8(), rng);
+  Rng rng2(2);
+  QuantDense apsq(32, 8, QatConfig::apsq_w8a8(1, 8), rng2);
+  const TensorF x = random_tensor({8, 32}, rng);
+  const TensorF ye = exact.forward(x);
+  const TensorF ya = apsq.forward(x);
+  const float diff = max_abs_diff(ye, ya);
+  EXPECT_GT(diff, 0.0f);  // quantization noise present
+  // Bounded by np·α_p/2 with α_p = 2^e·α_a·α_w.
+  const double alpha_p = std::exp2(apsq.psum_exponent()) *
+                         apsq.alpha_act() * apsq.alpha_weight();
+  EXPECT_LT(diff, 4.0 * alpha_p / 2.0 * 2.0);  // loose factor-2 margin
+}
+
+TEST(QuantDense, Gs4NoiseNotWorseThanGs1OnAverage) {
+  double e1 = 0.0, e4 = 0.0;
+  for (u64 trial = 0; trial < 10; ++trial) {
+    Rng rng(100 + trial);
+    QuantDense exact(64, 16, QatConfig::baseline_w8a8(), rng);
+    Rng r1(100 + trial), r4(100 + trial);
+    QuantDense gs1(64, 16, QatConfig::apsq_w8a8(1, 8), r1);
+    QuantDense gs4(64, 16, QatConfig::apsq_w8a8(4, 8), r4);
+    const TensorF x = random_tensor({16, 64}, rng);
+    const TensorF ye = exact.forward(x);
+    const TensorF y1 = gs1.forward(x);
+    const TensorF y4 = gs4.forward(x);
+    for (index_t i = 0; i < ye.numel(); ++i) {
+      e1 += std::abs(y1[i] - ye[i]);
+      e4 += std::abs(y4[i] - ye[i]);
+    }
+  }
+  EXPECT_LE(e4, e1 * 1.05);
+}
+
+TEST(QuantDense, PsumExponentIsCalibratedDuringTraining) {
+  Rng rng(3);
+  QuantDense qd(32, 8, QatConfig::apsq_w8a8(2, 8), rng);
+  qd.set_training(true);
+  const TensorF x = random_tensor({8, 32}, rng, 2.0);
+  qd.forward(x);
+  // After one training forward the calibrator must have observed PSUMs.
+  EXPECT_GE(qd.psum_exponent(), 0);
+  // Eval mode must not move the scale.
+  const int frozen = qd.psum_exponent();
+  qd.set_training(false);
+  qd.forward(scale(x, 100.0f));
+  EXPECT_EQ(qd.psum_exponent(), frozen);
+}
+
+TEST(QuantDense, BackwardSteGradCheckSmooth) {
+  // With quantization steps small relative to the probe epsilon, STE
+  // gradients approximate the smooth matmul gradients; compare against a
+  // plain Dense with identical weights.
+  Rng rng(4);
+  QuantDense qd(8, 4, QatConfig::baseline_w8a8(), rng);
+  Rng rng2(4);
+  Dense d(8, 4, rng2);
+  const TensorF x = random_tensor({5, 8}, rng);
+  qd.forward(x);
+  d.forward(x);
+  TensorF dy({5, 4});
+  for (index_t i = 0; i < dy.numel(); ++i)
+    dy[i] = static_cast<float>(rng.normal());
+  qd.zero_grad();
+  d.zero_grad();
+  const TensorF dxq = qd.backward(dy);
+  const TensorF dxd = d.backward(dy);
+  // Directions must agree strongly (cosine similarity).
+  double dot = 0, nq = 0, nd = 0;
+  for (index_t i = 0; i < dxq.numel(); ++i) {
+    dot += static_cast<double>(dxq[i]) * dxd[i];
+    nq += static_cast<double>(dxq[i]) * dxq[i];
+    nd += static_cast<double>(dxd[i]) * dxd[i];
+  }
+  EXPECT_GT(dot / std::sqrt(nq * nd), 0.98);
+}
+
+TEST(QuantDense, AlphaParamsExposedToOptimizer) {
+  Rng rng(5);
+  QuantDense qd(8, 4, QatConfig::baseline_w8a8(), rng);
+  EXPECT_EQ(qd.params().size(), 4u);  // W, b, α_w, α_a
+  const TensorF x = random_tensor({3, 8}, rng);
+  qd.forward(x);
+  qd.zero_grad();
+  qd.backward(TensorF({3, 4}, 1.0f));
+  // α gradients must be populated (generically non-zero).
+  auto params = qd.params();
+  float alpha_grads = 0.0f;
+  for (Param* p : params)
+    if (p->name.find("alpha") != std::string::npos)
+      alpha_grads += std::abs(p->grad(0));
+  EXPECT_GT(alpha_grads, 0.0f);
+}
+
+TEST(QuantDense, OutputOnProductGridInApsqMode) {
+  // APSQ outputs (before bias) are multiples of α_p — the hardware
+  // INT8-code contract.
+  Rng rng(6);
+  QatConfig cfg = QatConfig::apsq_w8a8(1, 8);
+  QuantDense qd(16, 4, cfg, rng);
+  qd.bias().value.fill(0.0f);
+  const TensorF x = random_tensor({4, 16}, rng);
+  const TensorF y = qd.forward(x);
+  const double alpha_p = std::exp2(qd.psum_exponent()) *
+                         static_cast<double>(qd.alpha_act()) *
+                         qd.alpha_weight();
+  for (index_t i = 0; i < y.numel(); ++i) {
+    const double q = y[i] / alpha_p;
+    EXPECT_NEAR(q, std::round(q), 1e-3) << "element " << i;
+  }
+}
+
+TEST(QuantDense, PsqModeRuns) {
+  Rng rng(7);
+  QatConfig cfg = QatConfig::baseline_w8a8();
+  cfg.psum_mode = PsumMode::kPsq;
+  QuantDense qd(16, 4, cfg, rng);
+  const TensorF x = random_tensor({4, 16}, rng);
+  EXPECT_EQ(qd.forward(x).dim(1), 4);
+}
+
+TEST(QuantDense, RejectsBadConfig) {
+  Rng rng(8);
+  QatConfig cfg = QatConfig::baseline_w8a8();
+  cfg.tile_ci = 0;
+  EXPECT_THROW(QuantDense(8, 4, cfg, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apsq::nn

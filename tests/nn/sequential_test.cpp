@@ -1,0 +1,74 @@
+#include "nn/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+
+namespace apsq::nn {
+namespace {
+
+TEST(Sequential, ChainsForward) {
+  Rng rng(1);
+  Sequential net;
+  net.emplace<Dense>(4, 8, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(8, 2, rng);
+  EXPECT_EQ(net.size(), 3);
+  const TensorF y = net.forward(random_tensor({5, 4}, rng));
+  EXPECT_EQ(y.dim(0), 5);
+  EXPECT_EQ(y.dim(1), 2);
+}
+
+TEST(Sequential, GradCheckThroughChain) {
+  Rng rng(2);
+  Sequential net;
+  net.emplace<Dense>(4, 6, rng);
+  net.emplace<Gelu>();
+  net.emplace<Dense>(6, 3, rng);
+  gradcheck(net, random_tensor({4, 4}, rng), 3e-2);
+}
+
+TEST(Sequential, CollectsAllParams) {
+  Rng rng(3);
+  Sequential net;
+  net.emplace<Dense>(4, 8, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(8, 2, rng);
+  EXPECT_EQ(net.params().size(), 4u);  // two Dense layers x (W, b)
+  EXPECT_EQ(net.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(Sequential, ZeroGradClearsEverything) {
+  Rng rng(4);
+  Sequential net;
+  net.emplace<Dense>(3, 3, rng);
+  const TensorF x = random_tensor({2, 3}, rng);
+  net.forward(x);
+  net.backward(TensorF({2, 3}, 1.0f));
+  net.zero_grad();
+  for (Param* p : net.params())
+    for (index_t i = 0; i < p->grad.numel(); ++i)
+      EXPECT_FLOAT_EQ(p->grad[i], 0.0f);
+}
+
+TEST(Sequential, TrainingFlagPropagates) {
+  Rng rng(5);
+  Sequential net;
+  net.emplace<Dense>(2, 2, rng);
+  net.set_training(false);
+  EXPECT_FALSE(net.training());
+  EXPECT_FALSE(net.layer(0).training());
+}
+
+TEST(Sequential, LayerAccessor) {
+  Rng rng(6);
+  Sequential net;
+  net.emplace<Dense>(2, 4, rng);
+  auto& d = dynamic_cast<Dense&>(net.layer(0));
+  EXPECT_EQ(d.out_features(), 4);
+}
+
+}  // namespace
+}  // namespace apsq::nn

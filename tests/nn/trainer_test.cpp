@@ -1,0 +1,109 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tasks/students.hpp"
+#include "tasks/synthetic.hpp"
+
+namespace apsq::nn {
+namespace {
+
+tasks::SyntheticSpec tiny_spec() {
+  tasks::SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.feature_dim = 16;
+  spec.num_classes = 2;
+  spec.train_samples = 512;
+  spec.test_samples = 256;
+  spec.label_noise = 0.02;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(Trainer, Fp32StudentLearnsAboveChance) {
+  const Dataset ds = tasks::make_synthetic_dataset(tiny_spec());
+  Rng rng(1);
+  auto net = tasks::make_mlp({16, 32, 1, 2}, std::nullopt, rng);
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.lr = 3e-3f;
+  const TrainOutcome out = train_model(*net, ds, cfg);
+  EXPECT_GT(out.test_metric_pct, 75.0);
+  EXPECT_GT(out.steps, 0);
+}
+
+TEST(Trainer, QuantizedStudentLearns) {
+  const Dataset ds = tasks::make_synthetic_dataset(tiny_spec());
+  Rng rng(2);
+  auto net = tasks::make_mlp({16, 32, 1, 2},
+                             QatConfig::apsq_w8a8(2, 8), rng);
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.lr = 3e-3f;
+  const TrainOutcome out = train_model(*net, ds, cfg);
+  EXPECT_GT(out.test_metric_pct, 70.0);
+}
+
+TEST(Trainer, DistillationRuns) {
+  const Dataset ds = tasks::make_synthetic_dataset(tiny_spec());
+  Rng rng(3);
+  auto teacher = tasks::make_mlp({16, 32, 1, 2}, std::nullopt, rng);
+  TrainConfig tcfg;
+  tcfg.epochs = 15;
+  tcfg.lr = 3e-3f;
+  train_model(*teacher, ds, tcfg);
+
+  Rng rng2(4);
+  auto student = tasks::make_mlp({16, 32, 1, 2},
+                                 QatConfig::baseline_w8a8(), rng2);
+  TrainConfig scfg;
+  scfg.epochs = 10;
+  scfg.lr = 3e-3f;
+  scfg.kd_lambda = 0.5f;
+  const TrainOutcome out = train_model(*student, ds, scfg, teacher.get());
+  EXPECT_GT(out.test_metric_pct, 70.0);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const Dataset ds = tasks::make_synthetic_dataset(tiny_spec());
+  auto run = [&] {
+    Rng rng(7);
+    auto net = tasks::make_mlp({16, 16, 1, 2}, std::nullopt, rng);
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.lr = 1e-3f;
+    return train_model(*net, ds, cfg).test_metric_pct;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Trainer, RegressionTaskWithPearson) {
+  tasks::SyntheticSpec spec = tiny_spec();
+  spec.regression = true;
+  spec.metric = Metric::kPearson;
+  const Dataset ds = tasks::make_synthetic_dataset(spec);
+  Rng rng(8);
+  auto net = tasks::make_mlp({16, 32, 1, 1}, std::nullopt, rng);
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.lr = 3e-3f;
+  const TrainOutcome out = train_model(*net, ds, cfg);
+  EXPECT_GT(out.test_metric_pct, 60.0);  // strong positive correlation
+}
+
+TEST(Trainer, EvaluateRestoresTrainingMode) {
+  const Dataset ds = tasks::make_synthetic_dataset(tiny_spec());
+  Rng rng(9);
+  auto net = tasks::make_mlp({16, 16, 1, 2}, std::nullopt, rng);
+  net->set_training(true);
+  evaluate_model(*net, ds);
+  EXPECT_TRUE(net->training());
+}
+
+TEST(MetricNames, Strings) {
+  EXPECT_STREQ(to_string(Metric::kAccuracy), "accuracy");
+  EXPECT_STREQ(to_string(Metric::kMiou), "mIoU");
+}
+
+}  // namespace
+}  // namespace apsq::nn

@@ -1,0 +1,65 @@
+#include "nn/transformer_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.hpp"
+
+namespace apsq::nn {
+namespace {
+
+TEST(TransformerBlock, PreservesShape) {
+  Rng rng(1);
+  TransformerBlock block(8, 16, std::nullopt, rng);
+  const TensorF x = random_tensor({5, 8}, rng);
+  EXPECT_EQ(block.forward(x).shape(), x.shape());
+}
+
+TEST(TransformerBlock, GradCheckFp32) {
+  Rng rng(2);
+  TransformerBlock block(4, 8, std::nullopt, rng);
+  gradcheck(block, random_tensor({3, 4}, rng), 4e-2);
+}
+
+TEST(TransformerBlock, ResidualPathDominatesAtInit) {
+  // Pre-norm blocks start near identity-plus-noise: the output must be
+  // correlated with the input.
+  Rng rng(3);
+  TransformerBlock block(16, 32, std::nullopt, rng);
+  const TensorF x = random_tensor({6, 16}, rng);
+  const TensorF y = block.forward(x);
+  double dot = 0, nx = 0, ny = 0;
+  for (index_t i = 0; i < x.numel(); ++i) {
+    dot += static_cast<double>(x[i]) * y[i];
+    nx += static_cast<double>(x[i]) * x[i];
+    ny += static_cast<double>(y[i]) * y[i];
+  }
+  EXPECT_GT(dot / std::sqrt(nx * ny), 0.5);
+}
+
+TEST(TransformerBlock, QuantizedVariantDiffersFromFp32) {
+  Rng rng(4);
+  TransformerBlock fp(8, 16, std::nullopt, rng);
+  Rng rng2(4);
+  TransformerBlock q(8, 16, QatConfig::apsq_w8a8(1, 4), rng2);
+  const TensorF x = random_tensor({4, 8}, rng);
+  const TensorF yf = fp.forward(x);
+  const TensorF yq = q.forward(x);
+  // Same init (same seed) but quantization perturbs the output.
+  double diff = 0;
+  for (index_t i = 0; i < yf.numel(); ++i) diff += std::abs(yf[i] - yq[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(TransformerBlock, TrainingFlagPropagates) {
+  Rng rng(5);
+  TransformerBlock block(8, 16, QatConfig::baseline_w8a8(), rng);
+  block.set_training(false);
+  EXPECT_FALSE(block.training());
+  block.set_training(true);
+  EXPECT_TRUE(block.training());
+}
+
+}  // namespace
+}  // namespace apsq::nn

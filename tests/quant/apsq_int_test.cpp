@@ -1,0 +1,121 @@
+#include "quant/apsq_int.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quant/grouping.hpp"
+
+namespace apsq {
+namespace {
+
+TEST(PsumQuantizeShift, MatchesFormula) {
+  const QuantSpec s = QuantSpec::int8();
+  EXPECT_EQ(psum_quantize_shift(10, 1, s), 5);
+  EXPECT_EQ(psum_quantize_shift(5, 1, s), 3);    // 2.5 -> 3
+  EXPECT_EQ(psum_quantize_shift(-5, 1, s), -3);  // -2.5 -> -3
+  EXPECT_EQ(psum_quantize_shift(10000, 2, s), 127);   // clips
+  EXPECT_EQ(psum_quantize_shift(-10000, 2, s), -128);
+  EXPECT_EQ(psum_quantize_shift(7, 0, s), 7);
+}
+
+TEST(PsumDequantizeShift, LeftShift) {
+  EXPECT_EQ(psum_dequantize_shift(5, 3), 40);
+  EXPECT_EQ(psum_dequantize_shift(-5, 3), -40);
+  EXPECT_EQ(psum_dequantize_shift(127, 0), 127);
+}
+
+TEST(ShiftPair, RoundTripWithinHalfStep) {
+  Rng rng(1);
+  const QuantSpec s = QuantSpec::int8();
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int e = static_cast<int>(rng.next_u64() % 8);
+    // value within representable range of the grid
+    const i64 lim = i64{127} << e;
+    const i64 x = static_cast<i64>(rng.next_u64() % (2 * lim + 1)) - lim;
+    const i32 q = psum_quantize_shift(x, e, s);
+    const i64 back = psum_dequantize_shift(q, e);
+    ASSERT_LE(std::abs(back - x), (i64{1} << e) / 2 + ((e == 0) ? 0 : 0))
+        << "x=" << x << " e=" << e;
+  }
+}
+
+class IntVsFloatSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, int>> {};
+
+TEST_P(IntVsFloatSweep, BitExactEquivalence) {
+  // The integer shift path must agree BIT-FOR-BIT with the double-precision
+  // reference when scales are powers of two (DESIGN.md §3.3).
+  const auto [gs, np, exp] = GetParam();
+  Rng rng(static_cast<u64>(gs * 1000 + np * 10 + exp));
+  const Shape shape{3, 4};
+
+  GroupedApsq::Options fopt;
+  fopt.spec = QuantSpec::int8();
+  fopt.group_size = gs;
+  fopt.num_tiles = np;
+  fopt.scales = {std::exp2(exp)};
+  GroupedApsq fref(shape, fopt);
+
+  GroupedApsqInt::Options iopt;
+  iopt.spec = QuantSpec::int8();
+  iopt.group_size = gs;
+  iopt.num_tiles = np;
+  iopt.exponents = {exp};
+  GroupedApsqInt iref(shape, iopt);
+
+  for (index_t t = 0; t < np; ++t) {
+    TensorI32 tile(shape);
+    TensorF ftile(shape);
+    for (index_t i = 0; i < tile.numel(); ++i) {
+      const i32 v = static_cast<i32>(static_cast<i64>(rng.next_u64() % 4001) - 2000);
+      tile[i] = v;
+      ftile[i] = static_cast<float>(v);
+    }
+    fref.push(ftile);
+    iref.push(tile);
+  }
+
+  const TensorF fout = fref.output();
+  const TensorI64 iout = iref.output();
+  for (index_t i = 0; i < fout.numel(); ++i)
+    ASSERT_EQ(static_cast<i64>(std::llround(fout[i])), iout[i])
+        << "gs=" << gs << " np=" << np << " exp=" << exp << " elem=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GsNpExpGrid, IntVsFloatSweep,
+    ::testing::Combine(::testing::Values<index_t>(1, 2, 3, 4),
+                       ::testing::Values<index_t>(1, 2, 5, 8, 13),
+                       ::testing::Values(0, 2, 5)));
+
+TEST(GroupedApsqInt, RejectsBadExponent) {
+  GroupedApsqInt::Options opt;
+  opt.group_size = 1;
+  opt.num_tiles = 2;
+  opt.exponents = {-1};
+  EXPECT_THROW(GroupedApsqInt({1}, opt), std::logic_error);
+}
+
+TEST(GroupedApsqInt, OutputBeforeCompletionThrows) {
+  GroupedApsqInt::Options opt;
+  opt.group_size = 1;
+  opt.num_tiles = 2;
+  opt.exponents = {0};
+  GroupedApsqInt g({1}, opt);
+  g.push(TensorI32({1}, 3));
+  EXPECT_THROW(g.output(), std::logic_error);
+}
+
+TEST(GroupedApsqInt, FinalExponentAccessor) {
+  GroupedApsqInt::Options opt;
+  opt.group_size = 2;
+  opt.num_tiles = 3;
+  opt.exponents = {1, 2, 3};
+  GroupedApsqInt g({1}, opt);
+  EXPECT_EQ(g.final_exponent(), 3);
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,141 @@
+#include "quant/apsq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quant/grouping.hpp"
+#include "quant/uniform.hpp"
+#include "tensor/ops.hpp"
+
+namespace apsq {
+namespace {
+
+std::vector<TensorF> random_tiles(index_t np, Shape shape, Rng& rng,
+                                  double scale = 20.0) {
+  std::vector<TensorF> tiles;
+  for (index_t t = 0; t < np; ++t) {
+    TensorF tile(shape);
+    for (index_t i = 0; i < tile.numel(); ++i)
+      tile[i] = static_cast<float>(
+          std::round(rng.normal(0.0, scale)));  // integer-valued PSUMs
+    tiles.push_back(std::move(tile));
+  }
+  return tiles;
+}
+
+TEST(ApsqAccumulator, SingleTileIsPlainQuantization) {
+  TensorF tp({2}, std::vector<float>{10.0f, -5.0f});
+  ApsqAccumulator acc({2}, QuantSpec::int8(), {2.0}, 1);
+  acc.push(tp);
+  const TensorF out = acc.output();
+  EXPECT_FLOAT_EQ(out(0), 10.0f);  // 10/2 = 5 -> 5·2
+  EXPECT_FLOAT_EQ(out(1), -6.0f);  // -5/2 = -2.5 -> -3 (half away) -> -3·2
+}
+
+TEST(ApsqAccumulator, HalfAwayRoundingInRecursion) {
+  TensorF tp({1}, std::vector<float>{-5.0f});
+  ApsqAccumulator acc({1}, QuantSpec::int8(), {2.0}, 1);
+  acc.push(tp);
+  // -5/2 = -2.5 rounds away from zero to -3 -> dequant -6.
+  EXPECT_FLOAT_EQ(acc.output()(0), -6.0f);
+}
+
+TEST(ApsqAccumulator, RecursionMatchesEq10ByHand) {
+  // Eq. (10) with α = 1 everywhere: AP_i = clip(round(Tp_i + AP_{i-1})).
+  ApsqAccumulator acc({1}, QuantSpec::int8(), {1.0}, 3);
+  acc.push(TensorF({1}, std::vector<float>{100.0f}));
+  acc.push(TensorF({1}, std::vector<float>{50.0f}));  // 150 clips to 127
+  acc.push(TensorF({1}, std::vector<float>{-20.0f}));
+  EXPECT_FLOAT_EQ(acc.output()(0), 107.0f);  // 127 - 20
+}
+
+TEST(ApsqAccumulator, ExactWhenScaleOneAndNoClip) {
+  Rng rng(1);
+  const auto tiles = random_tiles(8, {4, 3}, rng, 5.0);
+  ApsqAccumulator acc({4, 3}, QuantSpec{16, true}, {1.0}, 8);
+  TensorF ref({4, 3}, 0.0f);
+  for (const auto& t : tiles) {
+    acc.push(t);
+    add_inplace(ref, t);
+  }
+  EXPECT_LT(max_abs_diff(acc.output(), ref), 1e-4f);
+}
+
+TEST(ApsqAccumulator, OutputBeforeCompletionThrows) {
+  ApsqAccumulator acc({1}, QuantSpec::int8(), {1.0}, 2);
+  acc.push(TensorF({1}, 1.0f));
+  EXPECT_THROW(acc.output(), std::logic_error);
+}
+
+TEST(ApsqAccumulator, TooManyPushesThrows) {
+  ApsqAccumulator acc({1}, QuantSpec::int8(), {1.0}, 1);
+  acc.push(TensorF({1}, 1.0f));
+  EXPECT_THROW(acc.push(TensorF({1}, 1.0f)), std::logic_error);
+}
+
+TEST(ApsqAccumulator, PerTileScales) {
+  ApsqAccumulator acc({1}, QuantSpec::int8(), {1.0, 2.0}, 2);
+  acc.push(TensorF({1}, std::vector<float>{7.0f}));   // AP0 = 7 (α=1)
+  acc.push(TensorF({1}, std::vector<float>{3.0f}));   // (3 + 7)/2 = 5
+  EXPECT_FLOAT_EQ(acc.output()(0), 10.0f);            // 5 * 2
+}
+
+TEST(ApsqAccumulator, EquivalentToGroupedGs1) {
+  Rng rng(2);
+  const auto tiles = random_tiles(12, {3, 5}, rng, 30.0);
+  ApsqAccumulator a({3, 5}, QuantSpec::int8(), {4.0}, 12);
+  GroupedApsq::Options opt;
+  opt.spec = QuantSpec::int8();
+  opt.group_size = 1;
+  opt.num_tiles = 12;
+  opt.scales = {4.0};
+  GroupedApsq g({3, 5}, opt);
+  for (const auto& t : tiles) {
+    a.push(t);
+    g.push(t);
+  }
+  EXPECT_FLOAT_EQ(max_abs_diff(a.output(), g.output()), 0.0f);
+}
+
+TEST(PsqAccumulator, IndependentQuantizationSum) {
+  PsqAccumulator acc({1}, QuantSpec::int8(), {2.0}, 3);
+  acc.push(TensorF({1}, std::vector<float>{3.0f}));   // -> 4
+  acc.push(TensorF({1}, std::vector<float>{3.0f}));   // -> 4
+  acc.push(TensorF({1}, std::vector<float>{3.0f}));   // -> 4
+  EXPECT_FLOAT_EQ(acc.output()(0), 12.0f);  // each tile rounds up separately
+}
+
+TEST(AccumulatePsums, ExactModeIsPlainSum) {
+  Rng rng(3);
+  const auto tiles = random_tiles(6, {2, 2}, rng);
+  const TensorF out =
+      accumulate_psums(tiles, PsumMode::kExact, QuantSpec::int8(), {1.0});
+  TensorF ref({2, 2}, 0.0f);
+  for (const auto& t : tiles) add_inplace(ref, t);
+  EXPECT_LT(max_abs_diff(out, ref), 1e-4f);
+}
+
+TEST(AccumulatePsums, ApsqNoiseBoundedByScale) {
+  // With a scale covering the dynamic range, every APSQ step introduces at
+  // most α/2 rounding error, so |error| ≤ np · α/2.
+  Rng rng(4);
+  const index_t np = 16;
+  const auto tiles = random_tiles(np, {8, 8}, rng, 10.0);
+  const TensorF exact =
+      accumulate_psums(tiles, PsumMode::kExact, QuantSpec::int8(), {1.0});
+  const double alpha = 4.0;
+  const TensorF apsq = accumulate_psums(tiles, PsumMode::kApsq,
+                                        QuantSpec::int8(), {alpha}, 1);
+  EXPECT_LE(max_abs_diff(exact, apsq), np * alpha / 2 + 1e-3);
+}
+
+TEST(PsumModeNames, Strings) {
+  EXPECT_STREQ(to_string(PsumMode::kExact), "exact");
+  EXPECT_STREQ(to_string(PsumMode::kPsq), "psq");
+  EXPECT_STREQ(to_string(PsumMode::kApsq), "apsq");
+}
+
+}  // namespace
+}  // namespace apsq

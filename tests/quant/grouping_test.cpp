@@ -1,0 +1,174 @@
+#include "quant/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quant/apsq.hpp"
+#include "tensor/ops.hpp"
+
+namespace apsq {
+namespace {
+
+std::vector<TensorF> random_tiles(index_t np, Shape shape, Rng& rng,
+                                  double scale = 20.0) {
+  std::vector<TensorF> tiles;
+  for (index_t t = 0; t < np; ++t) {
+    TensorF tile(shape);
+    for (index_t i = 0; i < tile.numel(); ++i)
+      tile[i] = static_cast<float>(std::round(rng.normal(0.0, scale)));
+    tiles.push_back(std::move(tile));
+  }
+  return tiles;
+}
+
+GroupedApsq make(Shape shape, index_t gs, index_t np, double alpha = 4.0,
+                 QuantSpec spec = QuantSpec::int8()) {
+  GroupedApsq::Options opt;
+  opt.spec = spec;
+  opt.group_size = gs;
+  opt.num_tiles = np;
+  opt.scales = {alpha};
+  return GroupedApsq(std::move(shape), opt);
+}
+
+TEST(GroupedApsq, SingleTile) {
+  auto g = make({1}, 3, 1, 2.0);
+  g.push(TensorF({1}, std::vector<float>{9.0f}));
+  EXPECT_FLOAT_EQ(g.output()(0), 10.0f);  // 9/2 = 4.5 -> 5 (half away) -> 5·2
+}
+
+TEST(GroupedApsq, AlgorithmOneWorkflowGs3) {
+  // Fig. 4 workflow with gs = 3 and α = 1 (no rounding): tiles 0..3.
+  // i=0 fold (empty history), i=1..2 plain, i=3 final fold of {0,1,2}+Tp3.
+  auto g = make({1}, 3, 4, 1.0);
+  for (float v : {10.0f, 20.0f, 30.0f, 40.0f})
+    g.push(TensorF({1}, std::vector<float>{v}));
+  EXPECT_FLOAT_EQ(g.output()(0), 100.0f);
+  EXPECT_EQ(g.stats().apsq_folds, 2);        // i=0 and the final tile
+  EXPECT_EQ(g.stats().quantizer_calls, 4);   // every tile quantized once
+}
+
+TEST(GroupedApsq, MaxLiveTilesEqualsGroupSize) {
+  for (index_t gs : {1, 2, 3, 4}) {
+    Rng rng(10 + static_cast<u64>(gs));
+    const index_t np = 12;
+    auto g = make({2, 2}, gs, np);
+    for (const auto& t : random_tiles(np, {2, 2}, rng)) g.push(t);
+    EXPECT_EQ(g.stats().max_live_tiles, gs)
+        << "footprint multiplier must equal gs (energy-model coupling)";
+  }
+}
+
+TEST(GroupedApsq, BufferTrafficIndependentOfGroupSize) {
+  // §III-B: "the grouping strategy maintains the same total memory read
+  // and write operations for APSQ with both gs = 1 and gs > 1".
+  const index_t np = 24;
+  std::vector<index_t> writes, reads;
+  for (index_t gs : {1, 2, 3, 4}) {
+    Rng rng(77);
+    auto g = make({2, 2}, gs, np);
+    for (const auto& t : random_tiles(np, {2, 2}, rng)) g.push(t);
+    writes.push_back(g.stats().buffer_writes);
+    reads.push_back(g.stats().buffer_reads);
+  }
+  for (size_t i = 1; i < writes.size(); ++i) {
+    EXPECT_EQ(writes[i], writes[0]);
+    EXPECT_EQ(reads[i], reads[0]);
+  }
+}
+
+TEST(GroupedApsq, EveryTileQuantizedExactlyOnce) {
+  for (index_t gs : {1, 2, 3, 4, 7}) {
+    Rng rng(5);
+    const index_t np = 13;
+    auto g = make({1}, gs, np);
+    for (const auto& t : random_tiles(np, {1}, rng)) g.push(t);
+    EXPECT_EQ(g.stats().quantizer_calls, np);
+  }
+}
+
+TEST(GroupedApsq, GroupSizeLargerThanNp) {
+  // gs >= np: one initial fold, plains, one final fold.
+  Rng rng(6);
+  const index_t np = 5;
+  auto g = make({2}, 8, np, 1.0, QuantSpec{16, true});
+  TensorF ref({2}, 0.0f);
+  for (const auto& t : random_tiles(np, {2}, rng, 5.0)) {
+    g.push(t);
+    add_inplace(ref, t);
+  }
+  EXPECT_LT(max_abs_diff(g.output(), ref), 1e-4f);
+  EXPECT_EQ(g.stats().apsq_folds, 2);
+}
+
+TEST(GroupedApsq, NpNotDivisibleByGs) {
+  Rng rng(7);
+  const index_t np = 10, gs = 3;  // groups: [0..2][3..5][6..8][9]
+  auto g = make({1}, gs, np, 1.0, QuantSpec{16, true});
+  TensorF ref({1}, 0.0f);
+  for (const auto& t : random_tiles(np, {1}, rng, 5.0)) {
+    g.push(t);
+    add_inplace(ref, t);
+  }
+  EXPECT_LT(max_abs_diff(g.output(), ref), 1e-4f);
+  // folds at i = 0, 3, 6, 9 (9 is both leader and last -> one fold).
+  EXPECT_EQ(g.stats().apsq_folds, 4);
+}
+
+TEST(GroupedApsq, LastTileIsLeader) {
+  // np = 7, gs = 3: leaders at 0, 3, 6; 6 is also last.
+  Rng rng(8);
+  auto g = make({1}, 3, 7, 1.0, QuantSpec{16, true});
+  TensorF ref({1}, 0.0f);
+  for (const auto& t : random_tiles(7, {1}, rng, 5.0)) {
+    g.push(t);
+    add_inplace(ref, t);
+  }
+  EXPECT_LT(max_abs_diff(g.output(), ref), 1e-4f);
+}
+
+TEST(GroupedApsq, LargerGroupsReduceAccumulatedError) {
+  // The motivation for grouping (§III-B): fewer history folds => less
+  // compounded rounding error. Statistical property over many trials.
+  double err_gs1 = 0.0, err_gs4 = 0.0;
+  for (u64 trial = 0; trial < 40; ++trial) {
+    Rng rng(1000 + trial);
+    const index_t np = 32;
+    const auto tiles = random_tiles(np, {4, 4}, rng, 25.0);
+    const TensorF exact =
+        accumulate_psums(tiles, PsumMode::kExact, QuantSpec::int8(), {1.0});
+    const TensorF a1 = accumulate_psums(tiles, PsumMode::kApsq,
+                                        QuantSpec::int8(), {4.0}, 1);
+    const TensorF a4 = accumulate_psums(tiles, PsumMode::kApsq,
+                                        QuantSpec::int8(), {4.0}, 4);
+    for (index_t i = 0; i < exact.numel(); ++i) {
+      err_gs1 += std::abs(a1[i] - exact[i]);
+      err_gs4 += std::abs(a4[i] - exact[i]);
+    }
+  }
+  EXPECT_LT(err_gs4, err_gs1);
+}
+
+TEST(GroupedApsq, RejectsBadOptions) {
+  GroupedApsq::Options opt;
+  opt.group_size = 0;
+  opt.num_tiles = 4;
+  opt.scales = {1.0};
+  EXPECT_THROW(GroupedApsq({1}, opt), std::logic_error);
+  opt.group_size = 1;
+  opt.num_tiles = 0;
+  EXPECT_THROW(GroupedApsq({1}, opt), std::logic_error);
+  opt.num_tiles = 4;
+  opt.scales = {1.0, 2.0};  // neither 1 nor np
+  EXPECT_THROW(GroupedApsq({1}, opt), std::logic_error);
+}
+
+TEST(GroupedApsq, ShapeMismatchThrows) {
+  auto g = make({2, 2}, 1, 2);
+  EXPECT_THROW(g.push(TensorF({3}, 0.0f)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apsq

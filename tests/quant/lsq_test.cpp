@@ -1,0 +1,110 @@
+#include "quant/lsq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+#include "common/rng.hpp"
+
+namespace apsq {
+namespace {
+
+TensorF random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  TensorF t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+TEST(LsqForward, ValuesLieOnGrid) {
+  Rng rng(1);
+  const TensorF x = random_tensor({64}, rng);
+  const float alpha = 0.1f;
+  const LsqResult r = lsq_forward(x, alpha, QuantSpec::int8());
+  for (index_t i = 0; i < x.numel(); ++i) {
+    const float q = r.y[i] / alpha;
+    EXPECT_NEAR(q, std::round(q), 1e-4);
+    EXPECT_GE(q, -128.0f);
+    EXPECT_LE(q, 127.0f);
+  }
+}
+
+TEST(LsqForward, PassMaskIdentifiesClipping) {
+  TensorF x({3}, std::vector<float>{0.5f, 100.0f, -100.0f});
+  const LsqResult r = lsq_forward(x, 0.1f, QuantSpec::int8());
+  EXPECT_FLOAT_EQ(r.pass_mask(0), 1.0f);
+  EXPECT_FLOAT_EQ(r.pass_mask(1), 0.0f);  // 1000 > 127
+  EXPECT_FLOAT_EQ(r.pass_mask(2), 0.0f);
+}
+
+TEST(LsqBackward, SteMasksClippedElements) {
+  TensorF x({3}, std::vector<float>{0.5f, 100.0f, -100.0f});
+  TensorF dy({3}, 1.0f);
+  const LsqGrads g = lsq_backward(x, 0.1f, QuantSpec::int8(), dy);
+  EXPECT_FLOAT_EQ(g.dx(0), 1.0f);
+  EXPECT_FLOAT_EQ(g.dx(1), 0.0f);
+  EXPECT_FLOAT_EQ(g.dx(2), 0.0f);
+}
+
+TEST(LsqBackward, AlphaGradientMatchesPublishedFormula) {
+  // Esser et al. (2020), Eq. for ∂x̃/∂α under STE:
+  //   -x/α + ⌊x/α⌉   if Qn ≤ x/α ≤ Qp
+  //   Qn / Qp        if clipped below / above,
+  // scaled by g = 1/sqrt(N·Qp). Independent reimplementation here.
+  Rng rng(7);
+  const QuantSpec spec = QuantSpec::int8();
+  const TensorF x = random_tensor({256}, rng, 5.0);
+  const float alpha = 0.09f;
+  TensorF dy({256});
+  for (index_t i = 0; i < dy.numel(); ++i)
+    dy[i] = static_cast<float>(rng.normal());
+
+  const LsqGrads g = lsq_backward(x, alpha, spec, dy);
+
+  double expected = 0.0;
+  for (index_t i = 0; i < x.numel(); ++i) {
+    const double v = static_cast<double>(x[i]) / alpha;
+    double d;
+    if (v < spec.qmin()) d = spec.qmin();
+    else if (v > spec.qmax()) d = spec.qmax();
+    else d = round_half_away(v) - v;
+    expected += d * dy[i];
+  }
+  expected *= lsq_grad_scale(x.numel(), spec);
+  EXPECT_NEAR(g.dalpha, expected, 1e-5 + 1e-5 * std::abs(expected));
+}
+
+TEST(LsqBackward, ClippedElementsContributeGridBound) {
+  const QuantSpec spec = QuantSpec::int8();
+  TensorF x({2}, std::vector<float>{1000.0f, -1000.0f});
+  TensorF dy({2}, 1.0f);
+  const LsqGrads g = lsq_backward(x, 1.0f, spec, dy);
+  const float gs = lsq_grad_scale(2, spec);
+  EXPECT_NEAR(g.dalpha, (127.0f - 128.0f) * gs, 1e-6);
+}
+
+TEST(LsqInitAlpha, MatchesFormula) {
+  TensorF x({2}, std::vector<float>{1.0f, -3.0f});
+  const float a = lsq_init_alpha(x, QuantSpec::int8());
+  EXPECT_NEAR(a, 2.0f * 2.0f / std::sqrt(127.0f), 1e-5);
+}
+
+TEST(LsqInitAlpha, PositiveForZeroInput) {
+  TensorF x({4}, 0.0f);
+  EXPECT_GT(lsq_init_alpha(x, QuantSpec::int8()), 0.0f);
+}
+
+TEST(LsqGradScale, Formula) {
+  EXPECT_NEAR(lsq_grad_scale(100, QuantSpec::int8()),
+              1.0 / std::sqrt(100.0 * 127.0), 1e-9);
+}
+
+TEST(LsqForward, RejectsNonPositiveAlpha) {
+  TensorF x({1}, 1.0f);
+  EXPECT_THROW(lsq_forward(x, 0.0f, QuantSpec::int8()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,103 @@
+#include "quant/psum_calib.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apsq {
+namespace {
+
+TEST(PsumCalib, UncalibratedDefaultsToUnitScale) {
+  PsumScaleCalibrator c(QuantSpec::int8());
+  EXPECT_FALSE(c.calibrated());
+  EXPECT_DOUBLE_EQ(c.scale(), 1.0);
+  EXPECT_EQ(c.exponent(), 0);
+}
+
+TEST(PsumCalib, ScaleIsPowerOfTwo) {
+  PsumScaleCalibrator c(QuantSpec::int8());
+  c.observe_abs_max(1000.0);
+  const double s = c.scale();
+  const double e = std::log2(s);
+  EXPECT_DOUBLE_EQ(e, std::round(e));
+  EXPECT_DOUBLE_EQ(s, std::exp2(c.exponent()));
+}
+
+TEST(PsumCalib, CeilModeTrackedMaxNeverClips) {
+  // exponent = ceil(log2(max / Qp)) guarantees max / 2^e <= Qp.
+  for (double mx : {10.0, 127.0, 128.0, 1000.0, 4096.0, 123456.0}) {
+    PsumScaleCalibrator c(QuantSpec::int8(), 0.9, 1.0, Pow2Rounding::kCeil);
+    c.observe_abs_max(mx);
+    EXPECT_LE(mx / c.scale(), 127.0 + 1e-9) << "max=" << mx;
+    // And the next smaller power of two would clip (tightness), unless
+    // clamped at exponent 0.
+    if (c.exponent() > 0)
+      EXPECT_GT(mx / (c.scale() / 2), 127.0) << "max=" << mx;
+  }
+}
+
+TEST(PsumCalib, NearestModeMatchesPaperFormula) {
+  // 2^⌊log2 α⌉ (§II-B): rounding the exponent to nearest may clip up to 2x.
+  PsumScaleCalibrator c(QuantSpec::int8(), 0.0, 1.0, Pow2Rounding::kNearest);
+  c.observe_abs_max(512.0);  // 512/127 = 4.03, log2 = 2.01 -> e = 2
+  EXPECT_EQ(c.exponent(), 2);
+  // At e = 2 the max 512 maps to 128 -> clips to 127 (the paper-faithful
+  // saturation behaviour).
+  EXPECT_GT(512.0 / c.scale(), 127.0);
+}
+
+TEST(PsumCalib, NearestAtMostOneBelowCeil) {
+  for (double mx : {10.0, 130.0, 999.0, 5000.0, 70000.0}) {
+    PsumScaleCalibrator nearest(QuantSpec::int8(), 0.0, 1.0,
+                                Pow2Rounding::kNearest);
+    PsumScaleCalibrator ceil(QuantSpec::int8(), 0.0, 1.0, Pow2Rounding::kCeil);
+    nearest.observe_abs_max(mx);
+    ceil.observe_abs_max(mx);
+    EXPECT_GE(nearest.exponent(), ceil.exponent() - 1);
+    EXPECT_LE(nearest.exponent(), ceil.exponent());
+  }
+}
+
+TEST(PsumCalib, EmaConvergesToStationaryMax) {
+  PsumScaleCalibrator c(QuantSpec::int8(), 0.9, 1.0, Pow2Rounding::kCeil);
+  for (int i = 0; i < 200; ++i) c.observe_abs_max(512.0);
+  EXPECT_NEAR(c.tracked_max(), 512.0, 1e-6);
+  EXPECT_EQ(c.exponent(), 3);  // 512/127 = 4.03 -> ceil(log2) = 3
+}
+
+TEST(PsumCalib, FirstObservationInitializesDirectly) {
+  PsumScaleCalibrator c(QuantSpec::int8(), 0.99);
+  c.observe_abs_max(100.0);
+  EXPECT_DOUBLE_EQ(c.tracked_max(), 100.0);
+}
+
+TEST(PsumCalib, ObserveTensorTakesAbsMax) {
+  PsumScaleCalibrator c(QuantSpec::int8(), 0.0);
+  TensorF t({3}, std::vector<float>{-300.0f, 100.0f, 5.0f});
+  c.observe(t);
+  EXPECT_DOUBLE_EQ(c.tracked_max(), 300.0);
+}
+
+TEST(PsumCalib, ExponentClampedAtZero) {
+  PsumScaleCalibrator c(QuantSpec::int8());
+  c.observe_abs_max(1.0);  // tiny PSUMs still get scale 1 (integer grid)
+  EXPECT_EQ(c.exponent(), 0);
+}
+
+TEST(PsumCalib, MarginAddsHeadroom) {
+  PsumScaleCalibrator tight(QuantSpec::int8(), 0.9, 1.0);
+  PsumScaleCalibrator wide(QuantSpec::int8(), 0.9, 2.0);
+  tight.observe_abs_max(1000.0);
+  wide.observe_abs_max(1000.0);
+  EXPECT_GE(wide.exponent(), tight.exponent() + 1);
+}
+
+TEST(PsumCalib, RejectsBadConstruction) {
+  EXPECT_THROW(PsumScaleCalibrator(QuantSpec::int8(), 1.0),
+               std::logic_error);
+  EXPECT_THROW(PsumScaleCalibrator(QuantSpec::int8(), 0.5, 0.5),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace apsq

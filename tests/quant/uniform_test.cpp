@@ -1,0 +1,108 @@
+#include "quant/uniform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace apsq {
+namespace {
+
+TEST(QuantSpec, GridBounds) {
+  EXPECT_EQ(QuantSpec::int8().qmin(), -128);
+  EXPECT_EQ(QuantSpec::int8().qmax(), 127);
+  EXPECT_EQ(QuantSpec::int4().qmin(), -8);
+  EXPECT_EQ(QuantSpec::int4().qmax(), 7);
+  EXPECT_EQ(QuantSpec::int6().qmax(), 31);
+  EXPECT_EQ(QuantSpec::uint8().qmin(), 0);
+  EXPECT_EQ(QuantSpec::uint8().qmax(), 255);
+  EXPECT_EQ(QuantSpec::int8().levels(), 256);
+}
+
+TEST(QuantizeCode, RoundsHalfAwayAndClips) {
+  const QuantSpec s = QuantSpec::int8();
+  EXPECT_EQ(quantize_code(1.5, 1.0, s), 2);
+  EXPECT_EQ(quantize_code(-1.5, 1.0, s), -2);
+  EXPECT_EQ(quantize_code(1.49, 1.0, s), 1);
+  EXPECT_EQ(quantize_code(300.0, 1.0, s), 127);
+  EXPECT_EQ(quantize_code(-300.0, 1.0, s), -128);
+  EXPECT_EQ(quantize_code(3.0, 2.0, s), 2);  // 1.5 -> 2
+}
+
+TEST(FakeQuantize, IdempotentOnGrid) {
+  const QuantSpec s = QuantSpec::int8();
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(0.0, 10.0);
+    const double alpha = 0.125;
+    const double q1 = fake_quantize(x, alpha, s);
+    const double q2 = fake_quantize(q1, alpha, s);
+    ASSERT_DOUBLE_EQ(q1, q2);
+  }
+}
+
+TEST(FakeQuantize, ErrorBoundedByHalfStep) {
+  const QuantSpec s = QuantSpec::int8();
+  Rng rng(2);
+  const double alpha = 0.25;
+  for (int i = 0; i < 500; ++i) {
+    // stay inside the representable range
+    const double x = rng.uniform(-127 * alpha, 127 * alpha);
+    const double q = fake_quantize(x, alpha, s);
+    ASSERT_LE(std::abs(q - x), alpha / 2 + 1e-12);
+  }
+}
+
+TEST(FakeQuantize, TensorVariantMatchesScalar) {
+  const QuantSpec s = QuantSpec::int8();
+  TensorF x({3}, std::vector<float>{0.3f, -7.9f, 100.0f});
+  const TensorF y = fake_quantize(x, 0.5, s);
+  for (index_t i = 0; i < 3; ++i)
+    EXPECT_FLOAT_EQ(y(i), static_cast<float>(fake_quantize(
+                              static_cast<double>(x(i)), 0.5, s)));
+}
+
+TEST(QuantizeCodes, DequantizeRoundTrip) {
+  const QuantSpec s = QuantSpec::int8();
+  TensorF x({4}, std::vector<float>{1.0f, -2.0f, 3.5f, 0.0f});
+  const TensorI32 q = quantize_codes(x, 0.5, s);
+  const TensorF back = dequantize(q, 0.5);
+  EXPECT_FLOAT_EQ(back(0), 1.0f);
+  EXPECT_FLOAT_EQ(back(1), -2.0f);
+  EXPECT_FLOAT_EQ(back(2), 3.5f);
+  EXPECT_FLOAT_EQ(back(3), 0.0f);
+}
+
+TEST(CalibrateMinmax, MaxMapsToQmax) {
+  const QuantSpec s = QuantSpec::int8();
+  TensorF x({3}, std::vector<float>{-254.0f, 10.0f, 100.0f});
+  const double alpha = calibrate_minmax(x, s);
+  EXPECT_DOUBLE_EQ(alpha, 2.0);
+  // No value may clip at this scale except the negative extreme rounding.
+  EXPECT_EQ(quantize_code(100.0, alpha, s), 50);
+}
+
+TEST(CalibrateMinmax, AllZeroInputFallsBack) {
+  TensorF x({4}, 0.0f);
+  EXPECT_DOUBLE_EQ(calibrate_minmax(x, QuantSpec::int8()), 1.0);
+}
+
+TEST(QuantizationMse, ZeroOnGridPoints) {
+  const QuantSpec s = QuantSpec::int8();
+  TensorF x({3}, std::vector<float>{1.0f, -2.5f, 0.5f});
+  EXPECT_NEAR(quantization_mse(x, 0.5, s), 0.0, 1e-12);
+  EXPECT_GT(quantization_mse(x, 0.4, s), 0.0);
+}
+
+TEST(QuantizationMse, DecreasesWithMoreBits) {
+  Rng rng(3);
+  TensorF x({512});
+  for (index_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.normal());
+  const double a8 = calibrate_minmax(x, QuantSpec::int8());
+  const double a4 = calibrate_minmax(x, QuantSpec::int4());
+  EXPECT_LT(quantization_mse(x, a8, QuantSpec::int8()),
+            quantization_mse(x, a4, QuantSpec::int4()));
+}
+
+}  // namespace
+}  // namespace apsq

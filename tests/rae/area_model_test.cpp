@@ -1,0 +1,75 @@
+#include "rae/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apsq {
+namespace {
+
+AcceleratorConfig paper_arch() { return AcceleratorConfig::dnn_default(); }
+
+TEST(AreaModel, BaselineMatchesTableII) {
+  // Paper: 1,873,408 µm². Component composition must land within 2 %.
+  const double a = baseline_accelerator_area(paper_arch()).total_um2();
+  EXPECT_NEAR(a, 1873408.0, 0.02 * 1873408.0);
+}
+
+TEST(AreaModel, RaeMatchesTableII) {
+  // Paper: 86,410 µm².
+  const double a = rae_area(paper_arch()).total_um2();
+  EXPECT_NEAR(a, 86410.0, 0.02 * 86410.0);
+}
+
+TEST(AreaModel, CombinedOverheadIsAboutThreePercent) {
+  // Paper: 1,933,674 µm² == +3.21 % over baseline.
+  const double base = baseline_accelerator_area(paper_arch()).total_um2();
+  const double with_rae = accelerator_with_rae_area(paper_arch()).total_um2();
+  const double overhead_pct = 100.0 * (with_rae - base) / base;
+  EXPECT_NEAR(overhead_pct, 3.21, 0.35);
+}
+
+TEST(AreaModel, CombinedLessThanNaiveSum) {
+  // Synthesis shares logic: combined < baseline + standalone RAE.
+  const double base = baseline_accelerator_area(paper_arch()).total_um2();
+  const double rae = rae_area(paper_arch()).total_um2();
+  const double with_rae = accelerator_with_rae_area(paper_arch()).total_um2();
+  EXPECT_LT(with_rae, base + rae);
+  EXPECT_GT(with_rae, base);
+}
+
+TEST(AreaModel, ItemTotalsSum) {
+  const AreaReport r = baseline_accelerator_area(paper_arch());
+  double manual = 0.0;
+  for (const auto& item : r.items) manual += item.total_um2();
+  EXPECT_DOUBLE_EQ(manual, r.total_um2());
+}
+
+TEST(AreaModel, PeArrayDominatedByMacs) {
+  const AreaReport r = baseline_accelerator_area(paper_arch());
+  bool found = false;
+  for (const auto& item : r.items)
+    if (item.component == "INT8 MAC PE") {
+      EXPECT_EQ(item.count, 16 * 8 * 8);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(AreaModel, RaeHasFourDequantShiftersPerLane) {
+  const AreaReport r = rae_area(paper_arch());
+  index_t dequant = 0, quant = 0;
+  for (const auto& item : r.items) {
+    if (item.component == "dequant shifter (<<)") dequant = item.count;
+    if (item.component == "quant shifter (>>)") quant = item.count;
+  }
+  EXPECT_EQ(dequant, 4 * quant);  // one per PSUM bank (Fig. 2)
+}
+
+TEST(AreaModel, ScalesWithBufferSizes) {
+  AcceleratorConfig big = paper_arch();
+  big.ifmap_buf_bytes *= 2;
+  EXPECT_GT(baseline_accelerator_area(big).total_um2(),
+            baseline_accelerator_area(paper_arch()).total_um2());
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,48 @@
+#include "rae/config_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apsq {
+namespace {
+
+TEST(RaeConfigTable, EncodingsMatchFig2Table) {
+  // gs | s0 | s1  (Fig. 2 "Config. Table")
+  //  1 | 00 |  x
+  //  2 | 01 |  x
+  //  3 | 10 |  0
+  //  4 | 10 |  1
+  EXPECT_EQ(rae_config_for_group_size(1).s0, 0b00);
+  EXPECT_TRUE(rae_config_for_group_size(1).s1_dont_care);
+  EXPECT_EQ(rae_config_for_group_size(2).s0, 0b01);
+  EXPECT_TRUE(rae_config_for_group_size(2).s1_dont_care);
+  EXPECT_EQ(rae_config_for_group_size(3).s0, 0b10);
+  EXPECT_EQ(rae_config_for_group_size(3).s1, 0);
+  EXPECT_EQ(rae_config_for_group_size(4).s0, 0b10);
+  EXPECT_EQ(rae_config_for_group_size(4).s1, 1);
+}
+
+TEST(RaeConfigTable, FoldBankCounts) {
+  EXPECT_EQ(rae_config_for_group_size(1).fold_banks(), 1);
+  EXPECT_EQ(rae_config_for_group_size(2).fold_banks(), 2);
+  EXPECT_EQ(rae_config_for_group_size(3).fold_banks(), 3);
+  EXPECT_EQ(rae_config_for_group_size(4).fold_banks(), 4);
+}
+
+TEST(RaeConfigTable, InverseLookupRoundTrips) {
+  for (index_t gs = 1; gs <= kRaeMaxGroupSize; ++gs) {
+    const RaeStaticConfig c = rae_config_for_group_size(gs);
+    EXPECT_EQ(rae_group_size_from_encoding(c.s0, c.s1), gs);
+  }
+}
+
+TEST(RaeConfigTable, RejectsOutOfRangeGroupSize) {
+  EXPECT_THROW(rae_config_for_group_size(0), std::logic_error);
+  EXPECT_THROW(rae_config_for_group_size(5), std::logic_error);
+}
+
+TEST(RaeConfigTable, RejectsUndefinedEncoding) {
+  EXPECT_THROW(rae_group_size_from_encoding(0b11, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apsq

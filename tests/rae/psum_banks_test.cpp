@@ -1,0 +1,76 @@
+#include "rae/psum_banks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apsq {
+namespace {
+
+TensorI32 tile(std::vector<i32> v) {
+  const index_t n = static_cast<index_t>(v.size());
+  return TensorI32({n}, std::move(v));
+}
+
+TEST(PsumBanks, WriteReadRoundTrip) {
+  PsumBanks banks(3);
+  banks.write(0, tile({1, -2, 3}), 5);
+  const TensorI32& got = banks.read(0);
+  EXPECT_EQ(got(0), 1);
+  EXPECT_EQ(got(1), -2);
+  EXPECT_EQ(got(2), 3);
+  EXPECT_EQ(banks.exponent(0), 5);
+}
+
+TEST(PsumBanks, FourIndependentBanks) {
+  PsumBanks banks(1);
+  for (index_t b = 0; b < PsumBanks::kNumBanks; ++b)
+    banks.write(b, tile({static_cast<i32>(b * 10)}), static_cast<int>(b));
+  for (index_t b = 0; b < PsumBanks::kNumBanks; ++b) {
+    EXPECT_EQ(banks.read(b)(0), b * 10);
+    EXPECT_EQ(banks.exponent(b), b);
+  }
+}
+
+TEST(PsumBanks, ValidityTracking) {
+  PsumBanks banks(1);
+  EXPECT_FALSE(banks.valid(0));
+  banks.write(0, tile({1}), 0);
+  EXPECT_TRUE(banks.valid(0));
+  banks.invalidate_all();
+  EXPECT_FALSE(banks.valid(0));
+}
+
+TEST(PsumBanks, ReadingInvalidBankThrows) {
+  PsumBanks banks(1);
+  EXPECT_THROW(banks.read(2), std::logic_error);
+}
+
+TEST(PsumBanks, RejectsNonInt8Codes) {
+  PsumBanks banks(1);
+  EXPECT_THROW(banks.write(0, tile({128}), 0), std::logic_error);
+  EXPECT_THROW(banks.write(0, tile({-129}), 0), std::logic_error);
+  EXPECT_NO_THROW(banks.write(0, tile({127}), 0));
+  EXPECT_NO_THROW(banks.write(0, tile({-128}), 0));
+}
+
+TEST(PsumBanks, RejectsWrongTileSize) {
+  PsumBanks banks(2);
+  EXPECT_THROW(banks.write(0, tile({1}), 0), std::logic_error);
+}
+
+TEST(PsumBanks, RejectsBadBankIndex) {
+  PsumBanks banks(1);
+  EXPECT_THROW(banks.write(4, tile({1}), 0), std::logic_error);
+  EXPECT_THROW(banks.write(-1, tile({1}), 0), std::logic_error);
+}
+
+TEST(PsumBanks, AccessCounters) {
+  PsumBanks banks(1);
+  banks.write(0, tile({1}), 0);
+  banks.write(1, tile({2}), 0);
+  banks.read(0);
+  EXPECT_EQ(banks.tile_writes(), 2);
+  EXPECT_EQ(banks.tile_reads(), 1);
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,154 @@
+#include "rae/rae_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "quant/apsq_int.hpp"
+
+namespace apsq {
+namespace {
+
+TensorI32 random_tile(Shape s, Rng& rng, i32 range = 2000) {
+  TensorI32 t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<i32>(static_cast<i64>(rng.next_u64() %
+                                             (2 * static_cast<u64>(range) + 1)) -
+                            range);
+  return t;
+}
+
+RaeEngine::Options opts(index_t gs, index_t np, int exp) {
+  RaeEngine::Options o;
+  o.group_size = gs;
+  o.num_tiles = np;
+  o.exponents = {exp};
+  return o;
+}
+
+class RaeVsReferenceSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(RaeVsReferenceSweep, StructuralModelMatchesFunctionalReference) {
+  // The bank/mux/adder engine must be functionally identical to the
+  // Algorithm-1 integer reference for every (gs, np).
+  const auto [gs, np] = GetParam();
+  const int exp = 5;
+  Rng rng(static_cast<u64>(gs * 100 + np));
+  const Shape shape{4, 4};
+
+  RaeEngine engine(shape, opts(gs, np, exp));
+  GroupedApsqInt::Options ropt;
+  ropt.group_size = gs;
+  ropt.num_tiles = np;
+  ropt.exponents = {exp};
+  GroupedApsqInt ref(shape, ropt);
+
+  for (index_t t = 0; t < np; ++t) {
+    const TensorI32 tile = random_tile(shape, rng);
+    engine.push(tile);
+    ref.push(tile);
+  }
+  const TensorI64 a = engine.output();
+  const TensorI64 b = ref.output();
+  for (index_t i = 0; i < a.numel(); ++i)
+    ASSERT_EQ(a[i], b[i]) << "gs=" << gs << " np=" << np;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GsNpGrid, RaeVsReferenceSweep,
+    ::testing::Combine(::testing::Values<index_t>(1, 2, 3, 4),
+                       ::testing::Values<index_t>(1, 2, 3, 4, 5, 7, 8, 16)));
+
+TEST(RaeEngine, S2SequencingGs4) {
+  // §III-C walk-through: with gs = 4, s2 toggles 0 for plain quantization
+  // and 1 for the fold, plus the final tile.
+  RaeEngine e({1}, opts(4, 10, 0));
+  // i:        0  1  2  3  4  5  6  7  8  9(last)
+  // s2:       1  0  0  0  1  0  0  0  1  1
+  const bool expected[] = {true, false, false, false, true,
+                           false, false, false, true, true};
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(e.s2_for(i), expected[i]) << i;
+}
+
+TEST(RaeEngine, S2AlwaysOneForGs1) {
+  RaeEngine e({1}, opts(1, 5, 0));
+  for (index_t i = 0; i < 5; ++i) EXPECT_TRUE(e.s2_for(i));
+}
+
+TEST(RaeEngine, FoldResultParksInBankGsMinus1) {
+  RaeEngine e({1}, opts(4, 5, 0));
+  e.push(TensorI32({1}, 10));  // fold (i=0) -> bank 3
+  EXPECT_TRUE(e.banks().valid(3));
+  EXPECT_FALSE(e.banks().valid(0));
+  e.push(TensorI32({1}, 20));  // plain -> bank 0
+  EXPECT_TRUE(e.banks().valid(0));
+  e.push(TensorI32({1}, 30));  // plain -> bank 1
+  EXPECT_TRUE(e.banks().valid(1));
+}
+
+TEST(RaeEngine, Gs1UsesOnlyBank0) {
+  RaeEngine e({1}, opts(1, 3, 0));
+  for (int i = 0; i < 3; ++i) e.push(TensorI32({1}, i + 1));
+  EXPECT_TRUE(e.banks().valid(0));
+  EXPECT_FALSE(e.banks().valid(1));
+  EXPECT_FALSE(e.banks().valid(2));
+  EXPECT_FALSE(e.banks().valid(3));
+  EXPECT_EQ(e.output()(0), 6);  // exact at exponent 0, no clipping
+}
+
+TEST(RaeEngine, ExactAccumulationAtExponentZero) {
+  RaeEngine e({2}, opts(3, 6, 0));
+  i64 sum0 = 0, sum1 = 0;
+  Rng rng(9);
+  for (int t = 0; t < 6; ++t) {
+    const i32 a = static_cast<i32>(rng.next_u64() % 21) - 10;
+    const i32 b = static_cast<i32>(rng.next_u64() % 21) - 10;
+    // keep running sums inside int8 so no clipping occurs
+    e.push(TensorI32({2}, std::vector<i32>{a, b}));
+    sum0 += a;
+    sum1 += b;
+  }
+  EXPECT_EQ(e.output()(0), sum0);
+  EXPECT_EQ(e.output()(1), sum1);
+}
+
+TEST(RaeEngine, CountsDatapathOps) {
+  RaeEngine e({4}, opts(2, 4, 3));
+  Rng rng(10);
+  for (int t = 0; t < 4; ++t) e.push(random_tile({4}, rng, 100));
+  // Every tile quantized once: 4 tiles x 4 elems.
+  EXPECT_EQ(e.quant_ops(), 16);
+  // Dequant happens at folds (i=2 reads 2 banks, i=3 reads 1) + output (1).
+  EXPECT_EQ(e.dequant_ops(), (2 + 1 + 1) * 4);
+  EXPECT_GT(e.adder_ops(), 0);
+}
+
+TEST(RaeEngine, OutputBeforeCompletionThrows) {
+  RaeEngine e({1}, opts(1, 2, 0));
+  e.push(TensorI32({1}, 1));
+  EXPECT_THROW(e.output(), std::logic_error);
+}
+
+TEST(RaeEngine, TooManyPushesThrows) {
+  RaeEngine e({1}, opts(1, 1, 0));
+  e.push(TensorI32({1}, 1));
+  EXPECT_THROW(e.push(TensorI32({1}, 1)), std::logic_error);
+}
+
+TEST(RaeEngine, PerTileExponents) {
+  RaeEngine::Options o;
+  o.group_size = 1;
+  o.num_tiles = 2;
+  o.exponents = {0, 1};
+  RaeEngine e({1}, o);
+  e.push(TensorI32({1}, 7));   // AP0 = 7 at e=0
+  e.push(TensorI32({1}, 3));   // (3 + 7) >> 1 = 5 at e=1
+  EXPECT_EQ(e.output()(0), 10);  // 5 << 1
+}
+
+TEST(RaeEngine, RejectsGroupSizeBeyondBanks) {
+  EXPECT_THROW(RaeEngine({1}, opts(5, 4, 0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,214 @@
+#include "sim/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "quant/apsq_int.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/tile.hpp"
+
+namespace apsq {
+namespace {
+
+TensorI8 random_i8(Shape s, Rng& rng) {
+  TensorI8 t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
+  return t;
+}
+
+SimConfig small_config(Dataflow df, PsumConfig psum, int exp = 4) {
+  SimConfig cfg;
+  cfg.arch.po = 4;
+  cfg.arch.pci = 4;
+  cfg.arch.pco = 4;
+  cfg.arch.ifmap_buf_bytes = 1 << 20;
+  cfg.arch.ofmap_buf_bytes = 1 << 20;
+  cfg.arch.weight_buf_bytes = 1 << 20;
+  cfg.dataflow = df;
+  cfg.psum = psum;
+  cfg.psum_exponents = {exp};
+  return cfg;
+}
+
+TEST(Accelerator, BaselineWsBitExactAgainstGoldenGemm) {
+  Rng rng(1);
+  const TensorI8 x = random_i8({13, 22}, rng);
+  const TensorI8 w = random_i8({22, 9}, rng);
+  Accelerator acc(small_config(Dataflow::kWS, PsumConfig::baseline_int32()));
+  const SimResult r = acc.run_gemm(x, w);
+  const TensorI32 ref = matmul_i8(x, w);
+  for (index_t i = 0; i < ref.numel(); ++i)
+    ASSERT_EQ(r.ofmap[i], static_cast<i64>(ref[i]));
+}
+
+TEST(Accelerator, BaselineIsBitExactAgainstGoldenGemm) {
+  Rng rng(2);
+  const TensorI8 x = random_i8({10, 17}, rng);
+  const TensorI8 w = random_i8({17, 11}, rng);
+  Accelerator acc(small_config(Dataflow::kIS, PsumConfig::baseline_int32()));
+  const SimResult r = acc.run_gemm(x, w);
+  const TensorI32 ref = matmul_i8(x, w);
+  for (index_t i = 0; i < ref.numel(); ++i)
+    ASSERT_EQ(r.ofmap[i], static_cast<i64>(ref[i]));
+}
+
+// The APSQ datapath must equal the functional integer reference
+// (GroupedApsqInt) applied per output tile position over the ci tiling.
+void check_apsq_vs_reference(Dataflow df, index_t gs, index_t m, index_t k,
+                             index_t n, int exp, u64 seed) {
+  Rng rng(seed);
+  const TensorI8 x = random_i8({m, k}, rng);
+  const TensorI8 w = random_i8({k, n}, rng);
+  SimConfig cfg = small_config(df, PsumConfig::apsq_int8(gs), exp);
+  Accelerator acc(cfg);
+  const SimResult r = acc.run_gemm(x, w);
+
+  const index_t pci = cfg.arch.pci;
+  const index_t nci = ceil_div(k, pci);
+  // Reference: tile the GEMM identically and run GroupedApsqInt per
+  // position covering the full output (single position == whole matrix
+  // works because quantization is elementwise).
+  GroupedApsqInt::Options opt;
+  opt.spec = QuantSpec::int8();
+  opt.group_size = gs;
+  opt.num_tiles = nci;
+  opt.exponents = {exp};
+  GroupedApsqInt ref_engine({m, n}, opt);
+  for (index_t t = 0; t < nci; ++t)
+    ref_engine.push(
+        matmul_i8_krange(x, w, t * pci, std::min((t + 1) * pci, k)));
+  const TensorI64 ref = ref_engine.output();
+  for (index_t i = 0; i < ref.numel(); ++i)
+    ASSERT_EQ(r.ofmap[i], ref[i]) << to_string(df) << " gs=" << gs;
+}
+
+TEST(Accelerator, ApsqWsMatchesReferenceGs1) {
+  check_apsq_vs_reference(Dataflow::kWS, 1, 9, 26, 7, 5, 10);
+}
+TEST(Accelerator, ApsqWsMatchesReferenceGs2) {
+  check_apsq_vs_reference(Dataflow::kWS, 2, 8, 32, 8, 5, 11);
+}
+TEST(Accelerator, ApsqWsMatchesReferenceGs3) {
+  check_apsq_vs_reference(Dataflow::kWS, 3, 5, 30, 6, 6, 12);
+}
+TEST(Accelerator, ApsqWsMatchesReferenceGs4) {
+  check_apsq_vs_reference(Dataflow::kWS, 4, 12, 40, 4, 6, 13);
+}
+TEST(Accelerator, ApsqIsMatchesReferenceGs1) {
+  check_apsq_vs_reference(Dataflow::kIS, 1, 9, 26, 7, 5, 14);
+}
+TEST(Accelerator, ApsqIsMatchesReferenceGs3) {
+  check_apsq_vs_reference(Dataflow::kIS, 3, 6, 29, 10, 6, 15);
+}
+
+TEST(Accelerator, CycleCountEqualsTileProduct) {
+  Rng rng(3);
+  const TensorI8 x = random_i8({8, 16}, rng);
+  const TensorI8 w = random_i8({16, 8}, rng);
+  Accelerator acc(small_config(Dataflow::kWS, PsumConfig::baseline_int32()));
+  const SimResult r = acc.run_gemm(x, w);
+  // 2 row tiles × 4 ci tiles × 2 co tiles.
+  EXPECT_EQ(r.stats.cycles, 2 * 4 * 2);
+  EXPECT_EQ(r.stats.mac_ops, 8 * 16 * 8);
+}
+
+TEST(Accelerator, EnergyPositiveAndDramNonZero) {
+  Rng rng(4);
+  const TensorI8 x = random_i8({8, 16}, rng);
+  const TensorI8 w = random_i8({16, 8}, rng);
+  Accelerator acc(small_config(Dataflow::kWS, PsumConfig::baseline_int32()));
+  const SimResult r = acc.run_gemm(x, w);
+  EXPECT_GT(r.stats.energy_pj(), 0.0);
+  EXPECT_GT(r.stats.dram.total_bytes(), 0);
+  EXPECT_GT(r.stats.sram.total_bytes(), 0);
+}
+
+TEST(Accelerator, ApsqReducesPsumTrafficBytes) {
+  Rng rng(5);
+  const TensorI8 x = random_i8({16, 64}, rng);
+  const TensorI8 w = random_i8({64, 16}, rng);
+  Accelerator base(small_config(Dataflow::kWS, PsumConfig::baseline_int32()));
+  Accelerator apsq(small_config(Dataflow::kWS, PsumConfig::apsq_int8(1), 6));
+  const i64 pb = base.run_gemm(x, w).stats.sram.total(Operand::kPsum);
+  const i64 pa = apsq.run_gemm(x, w).stats.sram.total(Operand::kPsum);
+  EXPECT_EQ(pb, 4 * pa);  // INT32 -> INT8
+}
+
+TEST(Accelerator, GroupSizeDoesNotChangePsumTraffic) {
+  // §III-B: reads+writes independent of gs.
+  Rng rng(6);
+  const TensorI8 x = random_i8({8, 64}, rng);
+  const TensorI8 w = random_i8({64, 8}, rng);
+  std::vector<i64> traffic;
+  for (index_t gs = 1; gs <= 4; ++gs) {
+    Accelerator acc(small_config(Dataflow::kWS, PsumConfig::apsq_int8(gs), 6));
+    traffic.push_back(acc.run_gemm(x, w).stats.sram.total(Operand::kPsum));
+  }
+  for (size_t i = 1; i < traffic.size(); ++i) EXPECT_EQ(traffic[i], traffic[0]);
+}
+
+TEST(Accelerator, BaselineOsBitExactAgainstGoldenGemm) {
+  Rng rng(21);
+  const TensorI8 x = random_i8({11, 19}, rng);
+  const TensorI8 w = random_i8({19, 13}, rng);
+  Accelerator acc(small_config(Dataflow::kOS, PsumConfig::baseline_int32()));
+  const SimResult r = acc.run_gemm(x, w);
+  const TensorI32 ref = matmul_i8(x, w);
+  for (index_t i = 0; i < ref.numel(); ++i)
+    ASSERT_EQ(r.ofmap[i], static_cast<i64>(ref[i]));
+}
+
+TEST(Accelerator, OsHasZeroPsumTraffic) {
+  Rng rng(22);
+  const TensorI8 x = random_i8({16, 32}, rng);
+  const TensorI8 w = random_i8({32, 16}, rng);
+  Accelerator acc(small_config(Dataflow::kOS, PsumConfig::baseline_int32()));
+  const SimResult r = acc.run_gemm(x, w);
+  EXPECT_EQ(r.stats.sram.total(Operand::kPsum), 0);
+  EXPECT_EQ(r.stats.dram.total(Operand::kPsum), 0);
+  EXPECT_FALSE(r.stats.psum_spilled);
+}
+
+TEST(Accelerator, RejectsApsqUnderOs) {
+  SimConfig cfg = small_config(Dataflow::kWS, PsumConfig::apsq_int8(2));
+  cfg.dataflow = Dataflow::kOS;
+  EXPECT_THROW(Accelerator{cfg}, std::logic_error);
+}
+
+TEST(Accelerator, RejectsGroupSizeBeyondRae) {
+  EXPECT_THROW(Accelerator{small_config(Dataflow::kWS, PsumConfig::apsq_int8(5))},
+               std::logic_error);
+}
+
+TEST(Accelerator, RejectsShapeMismatch) {
+  Accelerator acc(small_config(Dataflow::kWS, PsumConfig::baseline_int32()));
+  EXPECT_THROW(acc.run_gemm(TensorI8({2, 3}), TensorI8({4, 2})),
+               std::logic_error);
+}
+
+TEST(Accelerator, PerTileExponentsSupported) {
+  Rng rng(7);
+  const TensorI8 x = random_i8({4, 12}, rng);
+  const TensorI8 w = random_i8({12, 4}, rng);
+  SimConfig cfg = small_config(Dataflow::kWS, PsumConfig::apsq_int8(1));
+  cfg.psum_exponents = {4, 5, 6};  // one per ci tile (12/4 = 3)
+  Accelerator acc(cfg);
+  const SimResult r = acc.run_gemm(x, w);
+
+  GroupedApsqInt::Options opt;
+  opt.spec = QuantSpec::int8();
+  opt.group_size = 1;
+  opt.num_tiles = 3;
+  opt.exponents = {4, 5, 6};
+  GroupedApsqInt ref({4, 4}, opt);
+  for (index_t t = 0; t < 3; ++t)
+    ref.push(matmul_i8_krange(x, w, t * 4, (t + 1) * 4));
+  const TensorI64 expect = ref.output();
+  for (index_t i = 0; i < expect.numel(); ++i)
+    EXPECT_EQ(r.ofmap[i], expect[i]);
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,130 @@
+// Cross-validation: the loop-nest simulator's measured byte traffic must
+// equal the closed-form access counts of Eqs. (3)–(6) exactly, for every
+// dataflow / PSUM configuration / buffer-fit regime.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "energy/access_counts.hpp"
+#include "sim/accelerator.hpp"
+
+namespace apsq {
+namespace {
+
+TensorI8 random_i8(Shape s, Rng& rng) {
+  TensorI8 t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
+  return t;
+}
+
+struct SweepCase {
+  Dataflow df;
+  index_t m, k, n;
+  PsumConfig psum;
+  i64 ibuf, wbuf, obuf;  // buffer sizes chosen to exercise fit regimes
+  const char* label;
+};
+
+class CountsSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(CountsSweep, SimTrafficEqualsClosedForm) {
+  const SweepCase& c = GetParam();
+  SimConfig cfg;
+  cfg.arch.po = 4;
+  cfg.arch.pci = 4;
+  cfg.arch.pco = 4;
+  cfg.arch.ifmap_buf_bytes = c.ibuf;
+  cfg.arch.weight_buf_bytes = c.wbuf;
+  cfg.arch.ofmap_buf_bytes = c.obuf;
+  cfg.dataflow = c.df;
+  cfg.psum = c.psum;
+  cfg.psum_exponents = {5};
+
+  Rng rng(2024);
+  const TensorI8 x = random_i8({c.m, c.k}, rng);
+  const TensorI8 w = random_i8({c.k, c.n}, rng);
+
+  Accelerator acc(cfg);
+  const SimResult r = acc.run_gemm(x, w);
+
+  const LayerShape layer{"sweep", c.m, c.k, c.n, 1};
+  const AccessCounts counts =
+      compute_access_counts(c.df, layer, cfg.arch, c.psum);
+
+  const i64 si = c.m * c.k, sw = c.k * c.n, so = c.m * c.n;
+  const double pbytes = c.psum.bytes_per_elem();
+
+  EXPECT_EQ(r.stats.sram.total(Operand::kIfmap), counts.ifmap_sram * si)
+      << c.label;
+  EXPECT_EQ(r.stats.dram.total(Operand::kIfmap), counts.ifmap_dram * si)
+      << c.label;
+  EXPECT_EQ(r.stats.sram.total(Operand::kWeight), counts.weight_sram * sw)
+      << c.label;
+  EXPECT_EQ(r.stats.dram.total(Operand::kWeight), counts.weight_dram * sw)
+      << c.label;
+  EXPECT_EQ(r.stats.sram.total(Operand::kPsum),
+            static_cast<i64>(counts.psum_sram * so * pbytes))
+      << c.label;
+  EXPECT_EQ(r.stats.dram.total(Operand::kPsum),
+            static_cast<i64>(counts.psum_dram * so * pbytes))
+      << c.label;
+  EXPECT_EQ(r.stats.sram.total(Operand::kOfmap), counts.ofmap_sram * so)
+      << c.label;
+  EXPECT_EQ(r.stats.dram.total(Operand::kOfmap), counts.ofmap_dram * so)
+      << c.label;
+  EXPECT_EQ(r.stats.psum_spilled, !counts.psum_fits) << c.label;
+}
+
+constexpr i64 kBig = i64{1} << 24;
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegimes, CountsSweep,
+    ::testing::Values(
+        // WS, everything resident.
+        SweepCase{Dataflow::kWS, 16, 32, 16, PsumConfig::baseline_int32(),
+                  kBig, kBig, kBig, "ws_resident"},
+        // WS, PSUM spills (ofmap buffer smaller than 4·m·pco).
+        SweepCase{Dataflow::kWS, 32, 32, 16, PsumConfig::baseline_int32(),
+                  kBig, kBig, 256, "ws_psum_spill"},
+        // WS, ifmap tile spills (m·pci > ibuf).
+        SweepCase{Dataflow::kWS, 64, 16, 16, PsumConfig::baseline_int32(),
+                  128, kBig, kBig, "ws_ifmap_spill"},
+        // WS APSQ, resident, gs variants.
+        SweepCase{Dataflow::kWS, 16, 48, 8, PsumConfig::apsq_int8(1), kBig,
+                  kBig, kBig, "ws_apsq_gs1"},
+        SweepCase{Dataflow::kWS, 16, 48, 8, PsumConfig::apsq_int8(3), kBig,
+                  kBig, kBig, "ws_apsq_gs3"},
+        // WS APSQ where the gs multiplier causes the spill: footprint
+        // gs·m·pco: gs=4 · 32 · 4 = 512 > 256.
+        SweepCase{Dataflow::kWS, 32, 32, 8, PsumConfig::apsq_int8(4), kBig,
+                  kBig, 256, "ws_apsq_gs4_spill"},
+        // IS, weights resident.
+        SweepCase{Dataflow::kIS, 16, 32, 16, PsumConfig::baseline_int32(),
+                  kBig, kBig, kBig, "is_resident"},
+        // IS, weights spill (k·n > wbuf).
+        SweepCase{Dataflow::kIS, 32, 32, 32, PsumConfig::baseline_int32(),
+                  kBig, 512, kBig, "is_weight_spill"},
+        // IS, PSUM spills (4·n·po > obuf).
+        SweepCase{Dataflow::kIS, 16, 32, 64, PsumConfig::baseline_int32(),
+                  kBig, kBig, 512, "is_psum_spill"},
+        // IS APSQ resident.
+        SweepCase{Dataflow::kIS, 12, 40, 12, PsumConfig::apsq_int8(2), kBig,
+                  kBig, kBig, "is_apsq_gs2"},
+        // Ragged shapes (dims not multiples of the array).
+        SweepCase{Dataflow::kWS, 13, 26, 9, PsumConfig::baseline_int32(),
+                  kBig, kBig, kBig, "ws_ragged"},
+        SweepCase{Dataflow::kIS, 13, 26, 9, PsumConfig::apsq_int8(3), kBig,
+                  kBig, kBig, "is_ragged_apsq"},
+        // OS: zero PSUM traffic by construction; resident and spilled
+        // operand regimes.
+        SweepCase{Dataflow::kOS, 16, 32, 16, PsumConfig::baseline_int32(),
+                  kBig, kBig, kBig, "os_resident"},
+        SweepCase{Dataflow::kOS, 32, 32, 32, PsumConfig::baseline_int32(),
+                  kBig, 512, kBig, "os_weight_spill"},
+        SweepCase{Dataflow::kOS, 64, 16, 16, PsumConfig::baseline_int32(),
+                  128, kBig, kBig, "os_ifmap_spill"},
+        SweepCase{Dataflow::kOS, 13, 26, 9, PsumConfig::baseline_int32(),
+                  kBig, kBig, kBig, "os_ragged"}));
+
+}  // namespace
+}  // namespace apsq

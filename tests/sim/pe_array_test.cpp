@@ -1,0 +1,79 @@
+#include "sim/pe_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/matmul.hpp"
+
+namespace apsq {
+namespace {
+
+TensorI8 random_i8(Shape s, Rng& rng) {
+  TensorI8 t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
+  return t;
+}
+
+TEST(PeArray, FullTileMatchesReference) {
+  Rng rng(1);
+  PeArray pe(16, 8, 8);
+  const TensorI8 a = random_i8({16, 8}, rng);
+  const TensorI8 w = random_i8({8, 8}, rng);
+  TensorI32 psum({16, 8}, 0);
+  pe.mac_tile(a, w, psum);
+  const TensorI32 ref = matmul_i8(a, w);
+  for (index_t i = 0; i < psum.numel(); ++i) EXPECT_EQ(psum[i], ref[i]);
+}
+
+TEST(PeArray, AccumulatesIntoExistingPsum) {
+  PeArray pe(2, 2, 2);
+  TensorI8 a({2, 2}, std::vector<i8>{1, 1, 1, 1});
+  TensorI8 w({2, 2}, std::vector<i8>{1, 1, 1, 1});
+  TensorI32 psum({2, 2}, 10);
+  pe.mac_tile(a, w, psum);
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(psum[i], 12);
+}
+
+TEST(PeArray, RaggedTilesAccepted) {
+  Rng rng(2);
+  PeArray pe(16, 8, 8);
+  const TensorI8 a = random_i8({3, 5}, rng);
+  const TensorI8 w = random_i8({5, 2}, rng);
+  TensorI32 psum({3, 2}, 0);
+  pe.mac_tile(a, w, psum);
+  const TensorI32 ref = matmul_i8(a, w);
+  for (index_t i = 0; i < psum.numel(); ++i) EXPECT_EQ(psum[i], ref[i]);
+}
+
+TEST(PeArray, OversizedTileRejected) {
+  PeArray pe(4, 4, 4);
+  TensorI8 a({5, 4});
+  TensorI8 w({4, 4});
+  TensorI32 psum({5, 4});
+  EXPECT_THROW(pe.mac_tile(a, w, psum), std::logic_error);
+}
+
+TEST(PeArray, CountsCyclesAndMacs) {
+  Rng rng(3);
+  PeArray pe(4, 4, 4);
+  TensorI32 psum({4, 4}, 0);
+  for (int i = 0; i < 5; ++i)
+    pe.mac_tile(random_i8({4, 4}, rng), random_i8({4, 4}, rng), psum);
+  EXPECT_EQ(pe.cycles(), 5);
+  EXPECT_EQ(pe.mac_ops(), 5 * 4 * 4 * 4);
+  pe.reset();
+  EXPECT_EQ(pe.cycles(), 0);
+  EXPECT_EQ(pe.mac_ops(), 0);
+}
+
+TEST(PeArray, RaggedMacCountIsExact) {
+  PeArray pe(16, 8, 8);
+  TensorI8 a({3, 5}), w({5, 2});
+  TensorI32 psum({3, 2});
+  pe.mac_tile(a, w, psum);
+  EXPECT_EQ(pe.mac_ops(), 3 * 5 * 2);
+}
+
+}  // namespace
+}  // namespace apsq

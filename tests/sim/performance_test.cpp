@@ -1,0 +1,90 @@
+#include "sim/performance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/bert.hpp"
+#include "models/llama2.hpp"
+
+namespace apsq {
+namespace {
+
+AcceleratorConfig arch() { return AcceleratorConfig::dnn_default(); }
+
+TEST(LayerPerformance, FullTilesReachFullUtilization) {
+  // 128 rows / 16, 768 ci / 8, 3072 co / 8 — all exact multiples.
+  const LayerShape layer{"ffn_in", 128, 768, 3072, 1};
+  const LayerPerformance p = layer_performance(
+      Dataflow::kWS, layer, arch(), PsumConfig::baseline_int32());
+  EXPECT_EQ(p.tile_cycles, (128 / 16) * (768 / 8) * (3072 / 8));
+  EXPECT_DOUBLE_EQ(p.utilization, 1.0);
+}
+
+TEST(LayerPerformance, RaggedTilesLowerUtilization) {
+  const LayerShape layer{"ragged", 17, 9, 9, 1};
+  const LayerPerformance p = layer_performance(
+      Dataflow::kWS, layer, arch(), PsumConfig::baseline_int32());
+  EXPECT_LT(p.utilization, 1.0);
+  EXPECT_GT(p.utilization, 0.0);
+}
+
+TEST(LayerPerformance, ComputeTimeMatchesClock) {
+  const LayerShape layer{"ffn_in", 128, 768, 3072, 1};
+  PerfConfig pc;
+  pc.clock_hz = 250e6;
+  const LayerPerformance p = layer_performance(
+      Dataflow::kWS, layer, arch(), PsumConfig::baseline_int32(), pc);
+  EXPECT_NEAR(p.compute_time_s,
+              static_cast<double>(p.tile_cycles) / 250e6, 1e-12);
+}
+
+TEST(LayerPerformance, PsumSpillMakesLayerMoreDramBound) {
+  // A spilling layer moves PSUMs through DRAM on every accumulation step.
+  const LayerShape layer{"s1", 16384, 32, 128, 1};
+  const LayerPerformance base = layer_performance(
+      Dataflow::kWS, layer, arch(), PsumConfig::baseline_int32());
+  const LayerPerformance apsq = layer_performance(
+      Dataflow::kWS, layer, arch(), PsumConfig::apsq_int8(1));
+  EXPECT_GT(base.dram_bytes, apsq.dram_bytes * 5.0);
+  EXPECT_TRUE(base.dram_bound);
+}
+
+TEST(LayerPerformance, LatencyIsMaxOfComputeAndDram) {
+  const LayerShape layer{"l", 64, 64, 64, 1};
+  const LayerPerformance p = layer_performance(
+      Dataflow::kWS, layer, arch(), PsumConfig::baseline_int32());
+  EXPECT_DOUBLE_EQ(p.latency_s, std::max(p.compute_time_s, p.dram_time_s));
+}
+
+TEST(WorkloadPerformance, BertRollUp) {
+  const Workload bert = bert_base_workload();
+  const WorkloadPerformance p = workload_performance(
+      Dataflow::kWS, bert, arch(), PsumConfig::baseline_int32());
+  EXPECT_EQ(p.total_macs, bert.total_macs());
+  EXPECT_GT(p.total_latency_s, 0.0);
+  EXPECT_GE(p.total_latency_s, p.total_compute_time_s - 1e-12);
+  EXPECT_GT(p.mean_utilization, 0.5);
+  EXPECT_LE(p.mean_utilization, 1.0);
+  EXPECT_GT(p.effective_gmacs(), 0.0);
+}
+
+TEST(WorkloadPerformance, ApsqReducesLatencyOnSpillingModels) {
+  // Removing PSUM DRAM spill shortens the memory-bound layers.
+  const Workload llm = llama2_7b_workload(4096);
+  const AcceleratorConfig la = AcceleratorConfig::llm_default();
+  const WorkloadPerformance base = workload_performance(
+      Dataflow::kWS, llm, la, PsumConfig::baseline_int32());
+  const WorkloadPerformance apsq =
+      workload_performance(Dataflow::kWS, llm, la, PsumConfig::apsq_int8(1));
+  EXPECT_LT(apsq.total_latency_s, base.total_latency_s);
+}
+
+TEST(WorkloadPerformance, ThroughputBoundedByArrayPeak) {
+  const Workload bert = bert_base_workload();
+  const WorkloadPerformance p = workload_performance(
+      Dataflow::kOS, bert, arch(), PsumConfig::baseline_int32());
+  const double peak_gmacs = 16.0 * 8 * 8 * 250e6 / 1e9;
+  EXPECT_LE(p.effective_gmacs(), peak_gmacs + 1e-9);
+}
+
+}  // namespace
+}  // namespace apsq

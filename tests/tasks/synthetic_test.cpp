@@ -1,0 +1,125 @@
+#include "tasks/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tasks/glue_proxy.hpp"
+#include "tasks/seg_proxy.hpp"
+#include "tasks/zcsr_proxy.hpp"
+
+namespace apsq::tasks {
+namespace {
+
+TEST(Synthetic, ShapesMatchSpec) {
+  SyntheticSpec spec;
+  spec.feature_dim = 20;
+  spec.num_classes = 3;
+  spec.train_samples = 100;
+  spec.test_samples = 40;
+  const nn::Dataset ds = make_synthetic_dataset(spec);
+  EXPECT_EQ(ds.train_x.dim(0), 100);
+  EXPECT_EQ(ds.train_x.dim(1), 20);
+  EXPECT_EQ(ds.test_x.dim(0), 40);
+  EXPECT_EQ(ds.train_y.size(), 100u);
+  EXPECT_EQ(ds.num_classes, 3);
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  SyntheticSpec spec;
+  spec.seed = 42;
+  const nn::Dataset a = make_synthetic_dataset(spec);
+  const nn::Dataset b = make_synthetic_dataset(spec);
+  EXPECT_EQ(a.train_y, b.train_y);
+  for (index_t i = 0; i < a.train_x.numel(); ++i)
+    EXPECT_FLOAT_EQ(a.train_x[i], b.train_x[i]);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(make_synthetic_dataset(a).train_y,
+            make_synthetic_dataset(b).train_y);
+}
+
+TEST(Synthetic, AllClassesRepresented) {
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.train_samples = 2000;
+  const nn::Dataset ds = make_synthetic_dataset(spec);
+  std::vector<int> hist(4, 0);
+  for (index_t y : ds.train_y) ++hist[static_cast<size_t>(y)];
+  for (int h : hist) EXPECT_GT(h, 50);
+}
+
+TEST(Synthetic, RegressionTargetsPopulated) {
+  SyntheticSpec spec;
+  spec.regression = true;
+  spec.metric = nn::Metric::kPearson;
+  const nn::Dataset ds = make_synthetic_dataset(spec);
+  EXPECT_TRUE(ds.regression);
+  EXPECT_EQ(ds.train_target.dim(0), spec.train_samples);
+  EXPECT_EQ(ds.train_target.dim(1), 1);
+  float spread = 0.0f;
+  for (index_t i = 1; i < ds.train_target.numel(); ++i)
+    spread += std::abs(ds.train_target[i] - ds.train_target[0]);
+  EXPECT_GT(spread, 0.0f);
+}
+
+TEST(GlueProxy, SixTasksInPaperOrder) {
+  const auto specs = glue_proxy_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "QNLI");
+  EXPECT_EQ(specs[1].name, "MNLI");
+  EXPECT_EQ(specs[2].name, "RTE");
+  EXPECT_EQ(specs[3].name, "STS-B");
+  EXPECT_EQ(specs[4].name, "MRPC");
+  EXPECT_EQ(specs[5].name, "CoLA");
+}
+
+TEST(GlueProxy, MetricsMatchGlueProtocol) {
+  const auto specs = glue_proxy_specs();
+  EXPECT_EQ(specs[3].metric, nn::Metric::kPearson);    // STS-B
+  EXPECT_TRUE(specs[3].regression);
+  EXPECT_EQ(specs[5].metric, nn::Metric::kMatthews);   // CoLA
+  EXPECT_EQ(specs[0].metric, nn::Metric::kAccuracy);
+  EXPECT_EQ(specs[1].num_classes, 3);                  // MNLI 3-way
+}
+
+TEST(GlueProxy, LookupByName) {
+  EXPECT_EQ(glue_proxy_spec("MRPC").name, "MRPC");
+  EXPECT_THROW(glue_proxy_spec("SST-2"), std::logic_error);
+}
+
+TEST(SegProxy, DatasetUsesMiou) {
+  const nn::Dataset ds = make_seg_proxy_dataset(segformer_proxy_spec());
+  EXPECT_EQ(ds.metric, nn::Metric::kMiou);
+  EXPECT_GE(ds.num_classes, 2);
+  EXPECT_EQ(ds.train_y.size(), static_cast<size_t>(ds.train_x.dim(0)));
+}
+
+TEST(SegProxy, SpatialCorrelationPresent) {
+  // Neighbouring pixels must be more similar than distant ones.
+  const nn::Dataset ds = make_seg_proxy_dataset(segformer_proxy_spec());
+  double near = 0.0, far = 0.0;
+  const index_t n = ds.train_x.dim(0), d = ds.train_x.dim(1);
+  for (index_t i = 0; i + 1 < std::min<index_t>(n, 500); ++i)
+    for (index_t j = 0; j < d; ++j) {
+      near += std::abs(ds.train_x(i, j) - ds.train_x(i + 1, j));
+      far += std::abs(ds.train_x(i, j) - ds.train_x((i + n / 2) % n, j));
+    }
+  EXPECT_LT(near, far);
+}
+
+TEST(ZcsrProxy, SevenTasksMatchingTableIII) {
+  const auto specs = zcsr_proxy_specs();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0].name, "BoolQ");
+  EXPECT_EQ(specs[6].name, "OBQA");
+  for (const auto& s : specs) {
+    EXPECT_GE(s.num_classes, 2);
+    EXPECT_LE(s.num_classes, 4);
+  }
+}
+
+}  // namespace
+}  // namespace apsq::tasks

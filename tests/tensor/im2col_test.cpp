@@ -1,0 +1,127 @@
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace apsq {
+namespace {
+
+TEST(ConvGeometry, OutputDims) {
+  ConvGeometry g{8, 8, 3, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 8);  // same-padded 3x3 s1
+  EXPECT_EQ(g.out_w(), 8);
+  EXPECT_EQ(g.patch_len(), 27);
+
+  ConvGeometry s2{8, 8, 3, 3, 2, 1};
+  EXPECT_EQ(s2.out_h(), 4);
+
+  ConvGeometry k7s4{512, 512, 3, 7, 4, 3};
+  EXPECT_EQ(k7s4.out_h(), 128);  // Segformer patch embed 1
+}
+
+TEST(ConvGeometry, RejectsOversizedKernel) {
+  ConvGeometry g{2, 2, 1, 5, 1, 0};
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Im2col, PointwiseIsIdentity) {
+  // k=1 s=1 p=0 im2col is a no-op re-layout.
+  Rng rng(1);
+  TensorF fmap({6, 4});
+  for (index_t i = 0; i < fmap.numel(); ++i)
+    fmap[i] = static_cast<float>(rng.normal());
+  ConvGeometry g{2, 3, 4, 1, 1, 0};
+  const TensorF patches = im2col(fmap, g);
+  EXPECT_EQ(patches.shape(), fmap.shape());
+  EXPECT_FLOAT_EQ(max_abs_diff(patches, fmap), 0.0f);
+}
+
+TEST(Im2col, KnownPatchValues) {
+  // 2x2 single-channel map, 2x2 kernel, no pad: one patch = the map.
+  TensorF fmap({4, 1}, std::vector<float>{1, 2, 3, 4});
+  ConvGeometry g{2, 2, 1, 2, 1, 0};
+  const TensorF p = im2col(fmap, g);
+  EXPECT_EQ(p.dim(0), 1);
+  EXPECT_EQ(p.dim(1), 4);
+  for (index_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(p(0, i), fmap(i, 0));
+}
+
+TEST(Im2col, PaddingReadsZero) {
+  TensorF fmap({1, 1}, std::vector<float>{5.0f});
+  ConvGeometry g{1, 1, 1, 3, 1, 1};  // 3x3 kernel over a single pixel
+  const TensorF p = im2col(fmap, g);
+  EXPECT_EQ(p.dim(0), 1);
+  EXPECT_EQ(p.dim(1), 9);
+  for (index_t i = 0; i < 9; ++i)
+    EXPECT_FLOAT_EQ(p(0, i), i == 4 ? 5.0f : 0.0f);  // centre tap only
+}
+
+TEST(Conv2dGemm, MatchesDirectConvolution) {
+  // Direct nested-loop conv as an independent reference.
+  Rng rng(2);
+  const ConvGeometry g{5, 6, 3, 3, 1, 1};
+  TensorF fmap({30, 3}), w({27, 2});
+  for (index_t i = 0; i < fmap.numel(); ++i)
+    fmap[i] = static_cast<float>(rng.normal());
+  for (index_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.normal());
+
+  const TensorF got = conv2d_gemm(fmap, w, g);
+
+  for (index_t oy = 0; oy < g.out_h(); ++oy)
+    for (index_t ox = 0; ox < g.out_w(); ++ox)
+      for (index_t oc = 0; oc < 2; ++oc) {
+        double acc = 0.0;
+        for (index_t ky = 0; ky < 3; ++ky)
+          for (index_t kx = 0; kx < 3; ++kx)
+            for (index_t c = 0; c < 3; ++c) {
+              const index_t iy = oy + ky - 1, ix = ox + kx - 1;
+              if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) continue;
+              acc += fmap(iy * g.in_w + ix, c) *
+                     w((ky * 3 + kx) * 3 + c, oc);
+            }
+        ASSERT_NEAR(got(oy * g.out_w() + ox, oc), acc, 1e-4)
+            << oy << "," << ox << "," << oc;
+      }
+}
+
+TEST(Conv2dGemmI8, MatchesFloatOnIntegers) {
+  Rng rng(3);
+  const ConvGeometry g{4, 4, 2, 3, 2, 1};
+  TensorI8 fmap({16, 2}), w({18, 3});
+  for (index_t i = 0; i < fmap.numel(); ++i)
+    fmap[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
+  for (index_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
+  const TensorI32 got = conv2d_gemm_i8(fmap, w, g);
+  const TensorF ref = conv2d_gemm(fmap.cast<float>(), w.cast<float>(), g);
+  for (index_t i = 0; i < got.numel(); ++i)
+    EXPECT_FLOAT_EQ(static_cast<float>(got[i]), ref[i]);
+}
+
+TEST(Col2im, AdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint identity that
+  // makes Conv2d::backward correct.
+  Rng rng(4);
+  const ConvGeometry g{5, 5, 2, 3, 2, 1};
+  TensorF x({25, 2}), y({g.out_h() * g.out_w(), g.patch_len()});
+  for (index_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.normal());
+  for (index_t i = 0; i < y.numel(); ++i)
+    y[i] = static_cast<float>(rng.normal());
+
+  const TensorF ix = im2col(x, g);
+  const TensorF cy = col2im(y, g);
+  double lhs = 0.0, rhs = 0.0;
+  for (index_t i = 0; i < ix.numel(); ++i)
+    lhs += static_cast<double>(ix[i]) * y[i];
+  for (index_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * cy[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+}  // namespace
+}  // namespace apsq

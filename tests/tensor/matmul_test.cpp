@@ -1,0 +1,111 @@
+#include "tensor/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace apsq {
+namespace {
+
+TensorF random_tensor(Shape s, Rng& rng, double scale = 1.0) {
+  TensorF t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+TensorI8 random_i8(Shape s, Rng& rng) {
+  TensorI8 t(std::move(s));
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
+  return t;
+}
+
+TEST(Matmul, SmallKnownValues) {
+  TensorF a({2, 2}, std::vector<float>{1, 2, 3, 4});
+  TensorF b({2, 2}, std::vector<float>{5, 6, 7, 8});
+  const TensorF c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Matmul, RejectsBadShapes) {
+  TensorF a({2, 3}), b({2, 3});
+  EXPECT_THROW(matmul(a, b), std::logic_error);
+}
+
+TEST(Matmul, TnEquivalentToExplicitTranspose) {
+  Rng rng(1);
+  const TensorF a = random_tensor({5, 4}, rng);
+  const TensorF b = random_tensor({5, 6}, rng);
+  const TensorF ref = matmul(transpose(a), b);
+  const TensorF got = matmul_tn(a, b);
+  EXPECT_LT(max_abs_diff(ref, got), 1e-5f);
+}
+
+TEST(Matmul, NtEquivalentToExplicitTranspose) {
+  Rng rng(2);
+  const TensorF a = random_tensor({5, 4}, rng);
+  const TensorF b = random_tensor({6, 4}, rng);
+  const TensorF ref = matmul(a, transpose(b));
+  const TensorF got = matmul_nt(a, b);
+  EXPECT_LT(max_abs_diff(ref, got), 1e-5f);
+}
+
+TEST(Matmul, AccumulateAddsIntoC) {
+  Rng rng(3);
+  const TensorF a = random_tensor({3, 4}, rng);
+  const TensorF b = random_tensor({4, 5}, rng);
+  TensorF c({3, 5}, 1.0f);
+  matmul_accumulate(a, b, c);
+  const TensorF ref = matmul(a, b);
+  for (index_t i = 0; i < c.numel(); ++i)
+    EXPECT_NEAR(c[i], ref[i] + 1.0f, 1e-5f);
+}
+
+TEST(MatmulI8, MatchesFloatReferenceOnIntegers) {
+  Rng rng(4);
+  const TensorI8 a = random_i8({7, 9}, rng);
+  const TensorI8 b = random_i8({9, 5}, rng);
+  const TensorI32 c = matmul_i8(a, b);
+  const TensorF ref = matmul(a.cast<float>(), b.cast<float>());
+  for (index_t i = 0; i < c.numel(); ++i)
+    EXPECT_FLOAT_EQ(static_cast<float>(c[i]), ref[i]);
+}
+
+TEST(MatmulI8, ExtremeValuesNoOverflow) {
+  // K·128·128 at K=64 stays far below int32 limits.
+  TensorI8 a({1, 64}, std::vector<i8>(64, -128));
+  TensorI8 b({64, 1}, std::vector<i8>(64, -128));
+  const TensorI32 c = matmul_i8(a, b);
+  EXPECT_EQ(c(0, 0), 64 * 128 * 128);
+}
+
+TEST(MatmulI8Krange, TilesPartitionTheFullProduct) {
+  // Σ_i Tp_i == full GEMM — Eq. (8)'s tiling identity.
+  Rng rng(5);
+  const TensorI8 a = random_i8({4, 26}, rng);
+  const TensorI8 b = random_i8({26, 3}, rng);
+  const TensorI32 full = matmul_i8(a, b);
+  TensorI32 acc({4, 3}, 0);
+  const index_t tile = 8;
+  for (index_t k0 = 0; k0 < 26; k0 += tile) {
+    const TensorI32 part = matmul_i8_krange(a, b, k0, std::min(k0 + tile, i64{26}));
+    for (index_t i = 0; i < acc.numel(); ++i) acc[i] += part[i];
+  }
+  for (index_t i = 0; i < acc.numel(); ++i) EXPECT_EQ(acc[i], full[i]);
+}
+
+TEST(MatmulI8Krange, EmptyRangeIsZero) {
+  Rng rng(6);
+  const TensorI8 a = random_i8({2, 4}, rng);
+  const TensorI8 b = random_i8({4, 2}, rng);
+  const TensorI32 c = matmul_i8_krange(a, b, 2, 2);
+  for (index_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], 0);
+}
+
+}  // namespace
+}  // namespace apsq

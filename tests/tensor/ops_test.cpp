@@ -1,0 +1,90 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace apsq {
+namespace {
+
+TEST(Ops, AddSubMulScale) {
+  TensorF a({2}, std::vector<float>{1, 2});
+  TensorF b({2}, std::vector<float>{3, 5});
+  EXPECT_FLOAT_EQ(add(a, b)(1), 7.0f);
+  EXPECT_FLOAT_EQ(sub(b, a)(0), 2.0f);
+  EXPECT_FLOAT_EQ(mul(a, b)(1), 10.0f);
+  EXPECT_FLOAT_EQ(scale(a, 2.0f)(0), 2.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  TensorF a({2}), b({3});
+  EXPECT_THROW(add(a, b), std::logic_error);
+}
+
+TEST(Ops, InplaceVariants) {
+  TensorF y({2}, std::vector<float>{1, 1});
+  TensorF x({2}, std::vector<float>{2, 3});
+  add_inplace(y, x);
+  EXPECT_FLOAT_EQ(y(1), 4.0f);
+  axpy_inplace(y, 0.5f, x);
+  EXPECT_FLOAT_EQ(y(0), 4.0f);
+}
+
+TEST(Ops, AddRowBias) {
+  TensorF a({2, 3}, 1.0f);
+  TensorF b({3}, std::vector<float>{1, 2, 3});
+  const TensorF c = add_row_bias(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(c(1, 2), 4.0f);
+}
+
+TEST(Ops, Reductions) {
+  TensorF a({4}, std::vector<float>{-3, 1, 2, 0});
+  EXPECT_FLOAT_EQ(max_abs(a), 3.0f);
+  EXPECT_FLOAT_EQ(sum(a), 0.0f);
+  EXPECT_FLOAT_EQ(mean(a), 0.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(1);
+  TensorF x({5, 7});
+  for (index_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.normal(0.0, 3.0));
+  const TensorF p = softmax_rows(x);
+  for (index_t i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < 7; ++j) {
+      EXPECT_GT(p(i, j), 0.0f);
+      s += p(i, j);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-6);
+  }
+}
+
+TEST(Ops, SoftmaxNumericallyStableForLargeLogits) {
+  TensorF x({1, 3}, std::vector<float>{1000.0f, 1000.0f, 999.0f});
+  const TensorF p = softmax_rows(x);
+  EXPECT_TRUE(std::isfinite(p(0, 0)));
+  EXPECT_NEAR(p(0, 0), p(0, 1), 1e-6);
+  EXPECT_LT(p(0, 2), p(0, 0));
+}
+
+TEST(Ops, TransposeInvolution) {
+  Rng rng(2);
+  TensorF a({3, 5});
+  for (index_t i = 0; i < a.numel(); ++i)
+    a[i] = static_cast<float>(rng.normal());
+  const TensorF tt = transpose(transpose(a));
+  EXPECT_FLOAT_EQ(max_abs_diff(a, tt), 0.0f);
+}
+
+TEST(Ops, MaxAbsDiff) {
+  TensorF a({2}, std::vector<float>{1, 2});
+  TensorF b({2}, std::vector<float>{1.5, 1});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 1.0f);
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,86 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace apsq {
+namespace {
+
+TEST(Tensor, ConstructAndFill) {
+  TensorF t({2, 3}, 1.5f);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.numel(), 6);
+  for (index_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  TensorF t({2, 3});
+  float v = 0.0f;
+  for (index_t i = 0; i < 2; ++i)
+    for (index_t j = 0; j < 3; ++j) t(i, j) = v++;
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_FLOAT_EQ(t[3], 3.0f);  // start of second row
+  EXPECT_FLOAT_EQ(t(1, 2), 5.0f);
+}
+
+TEST(Tensor, Rank3Indexing) {
+  Tensor<int> t({2, 3, 4});
+  t(1, 2, 3) = 42;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 42);
+}
+
+TEST(Tensor, FromData) {
+  TensorF t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t(1, 0), 3.0f);
+}
+
+TEST(Tensor, FromDataRejectsSizeMismatch) {
+  EXPECT_THROW(TensorF({2, 2}, std::vector<float>{1, 2, 3}), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  TensorF t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_FLOAT_EQ(t(1, 0), 3.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::logic_error);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  TensorF t({2, 2});
+  EXPECT_NO_THROW(t.at({1, 1}));
+  EXPECT_THROW(t.at({2, 0}), std::logic_error);
+  EXPECT_THROW(t.at({0}), std::logic_error);
+}
+
+TEST(Tensor, CastConvertsElementwise) {
+  TensorF t({3}, std::vector<float>{1.9f, -2.9f, 3.0f});
+  const TensorI32 i = t.cast<i32>();
+  EXPECT_EQ(i(0), 1);   // truncation semantics of static_cast
+  EXPECT_EQ(i(1), -2);
+  EXPECT_EQ(i(2), 3);
+}
+
+TEST(Tensor, ScalarShape) {
+  TensorF t(Shape{});
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(Tensor, SameShape) {
+  TensorF a({2, 3}), b({2, 3}), c({3, 2});
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(ShapeHelpers, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace apsq

@@ -1,0 +1,61 @@
+#include "tensor/tile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace apsq {
+namespace {
+
+TEST(ClampTile, InteriorTileFullSize) {
+  const TileRect t = clamp_tile(4, 8, 4, 8, 100, 100);
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.cols(), 8);
+  EXPECT_EQ(t.row0, 4);
+  EXPECT_EQ(t.col1, 16);
+}
+
+TEST(ClampTile, RaggedEdge) {
+  const TileRect t = clamp_tile(8, 0, 16, 8, 10, 5);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 5);
+}
+
+TEST(ClampTile, RejectsOutOfBoundsAnchor) {
+  EXPECT_THROW(clamp_tile(10, 0, 4, 4, 10, 10), std::logic_error);
+}
+
+TEST(Tile, ExtractInsertRoundTrip) {
+  Rng rng(1);
+  TensorF src({7, 9});
+  for (index_t i = 0; i < src.numel(); ++i)
+    src[i] = static_cast<float>(rng.normal());
+  TensorF dst({7, 9}, 0.0f);
+  for (index_t r = 0; r < 7; r += 3)
+    for (index_t c = 0; c < 9; c += 4) {
+      const TileRect t = clamp_tile(r, c, 3, 4, 7, 9);
+      insert_tile(dst, t, extract_tile(src, t));
+    }
+  for (index_t i = 0; i < src.numel(); ++i) EXPECT_FLOAT_EQ(dst[i], src[i]);
+}
+
+TEST(Tile, AccumulateAdds) {
+  TensorF dst({2, 2}, 1.0f);
+  TensorF tile({2, 2}, 2.0f);
+  accumulate_tile(dst, TileRect{0, 2, 0, 2}, tile);
+  for (index_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(dst[i], 3.0f);
+}
+
+TEST(Tile, ExtractChecksBounds) {
+  TensorF src({4, 4});
+  EXPECT_THROW(extract_tile(src, TileRect{0, 5, 0, 2}), std::logic_error);
+}
+
+TEST(Tile, InsertChecksTileShape) {
+  TensorF dst({4, 4});
+  TensorF tile({2, 2});
+  EXPECT_THROW(insert_tile(dst, TileRect{0, 3, 0, 2}, tile), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apsq
