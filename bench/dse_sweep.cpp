@@ -1,0 +1,66 @@
+// DSE sweep throughput — seeds the perf trajectory for the exploration
+// engine. Times the full paper_default space (1248 configs × 4 workloads)
+// cold-cache at 1, 4, and hardware-concurrency threads, plus a warm-cache
+// re-run, and reports points/s and memo-cache hit rates.
+#include <chrono>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "dse/config_space.hpp"
+#include "dse/evaluator.hpp"
+#include "dse/pareto.hpp"
+#include "dse/thread_pool.hpp"
+
+using namespace apsq;
+using namespace apsq::dse;
+
+namespace {
+
+double time_sweep(Evaluator& eval, const ConfigSpace& space, size_t& front_size) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<EvalResult> results = eval.evaluate_space(space);
+  front_size = pareto_front_by_workload(results).size();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const ConfigSpace space = ConfigSpace::paper_default();
+  const int hw = WorkStealingPool::hardware_threads();
+  std::cout << "=== DSE sweep: " << space.size() << " design points, "
+            << space.workloads.size() << " workloads (hardware threads: "
+            << hw << ") ===\n\n";
+
+  std::vector<int> thread_counts = {1, 4};
+  if (hw != 1 && hw != 4) thread_counts.push_back(hw);
+
+  Table t({"Threads", "Cache", "Time (s)", "Points/s", "Speedup vs 1T",
+           "Accuracy-cache hit rate", "Front size"});
+  double base = 0.0;
+  for (int threads : thread_counts) {
+    EvaluatorOptions opt;
+    opt.threads = threads;
+    Evaluator eval(opt);
+
+    size_t front_size = 0;
+    const double cold = time_sweep(eval, space, front_size);
+    if (threads == 1) base = cold;
+    const CacheStats cs = eval.accuracy_cache_stats();
+    const double hit_rate =
+        static_cast<double>(cs.hits) / static_cast<double>(cs.hits + cs.misses);
+    t.add_row({std::to_string(threads), "cold", Table::num(cold, 3),
+               Table::num(static_cast<double>(space.size()) / cold, 0),
+               base > 0.0 ? Table::ratio(base / cold) : "-",
+               Table::pct(hit_rate), std::to_string(front_size)});
+
+    const double warm = time_sweep(eval, space, front_size);
+    t.add_row({std::to_string(threads), "warm", Table::num(warm, 3),
+               Table::num(static_cast<double>(space.size()) / warm, 0),
+               base > 0.0 ? Table::ratio(base / warm) : "-", "-",
+               std::to_string(front_size)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -80,4 +80,13 @@ void Rng::shuffle(std::vector<index_t>& v) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng Rng::stream(u64 seed, u64 stream_index) {
+  // Whiten the index before mixing so consecutive indices (0, 1, 2, …)
+  // land far apart in seed space, then let the Rng constructor's
+  // splitmix64 expansion decorrelate the lanes.
+  u64 s = stream_index;
+  const u64 mixed = splitmix64(s);
+  return Rng(seed ^ mixed);
+}
+
 }  // namespace apsq

@@ -15,6 +15,12 @@ namespace apsq {
 /// splitmix64 + xoshiro256** — small, fast, high-quality, and fully
 /// self-contained (we avoid std::mt19937 so results are identical across
 /// standard-library implementations).
+///
+/// Thread-safety: an Rng instance is mutable state and is NOT safe to
+/// share across threads. Parallel code (e.g. the DSE evaluator) must give
+/// each worker / work item its own instance, derived deterministically
+/// with stream() so results are independent of thread count and
+/// scheduling order.
 class Rng {
  public:
   explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL);
@@ -41,7 +47,16 @@ class Rng {
   void shuffle(std::vector<index_t>& v);
 
   /// Derive an independent child stream (for per-task seeding).
+  /// Mutates this generator — prefer stream() when the parent must stay
+  /// untouched or when many streams are derived concurrently.
   Rng fork();
+
+  /// Statelessly derive stream `stream_index` of `seed`: the same
+  /// (seed, index) pair always yields the same generator, and distinct
+  /// indices yield decorrelated streams (both values pass through
+  /// splitmix64 before keying xoshiro). This is how parallel sweeps stay
+  /// reproducible: seed + worker/work-item index, never a shared Rng.
+  static Rng stream(u64 seed, u64 stream_index);
 
  private:
   u64 state_[4];

@@ -1,0 +1,26 @@
+// Quantization-error accuracy proxy for the DSE engine.
+//
+// Training the QAT proxies (bench_accuracy.hpp) per design point is hours
+// of work per sweep; the DSE objective instead scores a PSUM config by the
+// relative mean-squared reconstruction error of tile-based accumulation —
+// the same signal Fig. 5 shows tracking task accuracy: error grows as
+// PSUM bits shrink and falls as the APSQ group size grows. Synthetic PSUM
+// tile streams are drawn per (workload, layer) from Rng::stream, so the
+// proxy is a pure function of (workload, psum, pci, seed) — evaluation
+// order and thread count never change it.
+#pragma once
+
+#include "energy/layer_shape.hpp"
+#include "energy/psum_config.hpp"
+
+namespace apsq::dse {
+
+/// Relative MSE of the accumulated output versus exact accumulation,
+/// averaged over up to four representative layers (largest-MAC layers
+/// with distinct accumulation depths). `pci` sets the tile count
+/// np = ceil(ci / pci), matching the hardware's ci-dimension tiling.
+/// Full-precision configs (>= 32-bit storage, no APSQ) return exactly 0.
+double psum_error_proxy(const Workload& w, const PsumConfig& psum,
+                        index_t pci, u64 seed);
+
+}  // namespace apsq::dse

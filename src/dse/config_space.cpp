@@ -1,0 +1,97 @@
+#include "dse/config_space.hpp"
+
+#include "common/check.hpp"
+
+namespace apsq::dse {
+
+index_t ConfigSpace::size() const {
+  return static_cast<index_t>(workloads.size()) *
+         static_cast<index_t>(dataflows.size()) *
+         static_cast<index_t>(psum_configs.size()) *
+         static_cast<index_t>(geometries.size()) *
+         static_cast<index_t>(buffers.size());
+}
+
+DesignPoint ConfigSpace::at(index_t i) const {
+  APSQ_CHECK_MSG(i >= 0 && i < size(), "design-point index out of range");
+  const index_t nb = static_cast<index_t>(buffers.size());
+  const index_t ng = static_cast<index_t>(geometries.size());
+  const index_t np = static_cast<index_t>(psum_configs.size());
+  const index_t nd = static_cast<index_t>(dataflows.size());
+
+  const index_t bi = i % nb;
+  i /= nb;
+  const index_t gi = i % ng;
+  i /= ng;
+  const index_t pi = i % np;
+  i /= np;
+  const index_t di = i % nd;
+  i /= nd;
+  const index_t wi = i;
+
+  DesignPoint p;
+  p.workload = workloads[static_cast<size_t>(wi)];
+  p.dataflow = dataflows[static_cast<size_t>(di)];
+  p.psum = psum_configs[static_cast<size_t>(pi)];
+  const PeGeometry& g = geometries[static_cast<size_t>(gi)];
+  const BufferSizing& b = buffers[static_cast<size_t>(bi)];
+  p.acc.po = g.po;
+  p.acc.pci = g.pci;
+  p.acc.pco = g.pco;
+  p.acc.ifmap_buf_bytes = b.ifmap_bytes;
+  p.acc.ofmap_buf_bytes = b.ofmap_bytes;
+  p.acc.weight_buf_bytes = b.weight_bytes;
+  p.acc.act_bits = act_bits;
+  p.acc.weight_bits = weight_bits;
+  return p;
+}
+
+void ConfigSpace::validate() const {
+  APSQ_CHECK_MSG(!workloads.empty() && !dataflows.empty() &&
+                     !psum_configs.empty() && !geometries.empty() &&
+                     !buffers.empty(),
+                 "every ConfigSpace axis needs at least one value");
+  for (const auto& pc : psum_configs) pc.validate();
+  for (const auto& g : geometries) APSQ_CHECK(g.po > 0 && g.pci > 0 && g.pco > 0);
+  for (const auto& b : buffers)
+    APSQ_CHECK(b.ifmap_bytes > 0 && b.ofmap_bytes > 0 && b.weight_bytes > 0);
+  APSQ_CHECK(act_bits > 0 && weight_bits > 0);
+}
+
+std::vector<PsumConfig> ConfigSpace::default_psum_axis() {
+  std::vector<PsumConfig> axis;
+  for (int bits : {4, 6, 8, 12, 16})
+    for (index_t gs = 1; gs <= 4; ++gs)
+      axis.push_back(PsumConfig::apsq_bits(bits, gs));
+  // Prior-work PSQ: low-bit storage, independent per-tile quantization.
+  // (16-bit PSQ doubles as the INT16 baseline of Fig. 1.)
+  for (int bits : {4, 6, 8, 12, 16}) axis.push_back(PsumConfig{bits, false, 1});
+  axis.push_back(PsumConfig::baseline_int32());
+  return axis;
+}
+
+ConfigSpace ConfigSpace::paper_default() {
+  ConfigSpace s;
+  s.workloads = {"bert", "llama2", "segformer", "efficientvit"};
+  s.dataflows = {Dataflow::kIS, Dataflow::kWS, Dataflow::kOS};
+  s.psum_configs = default_psum_axis();
+  // §IV-A DNN parallelism and the §IV-D LLM-decoding parallelism.
+  s.geometries = {PeGeometry{16, 8, 8}, PeGeometry{1, 32, 32}};
+  // Paper buffers and a half-sized variant (probes the spill cliffs).
+  s.buffers = {BufferSizing{256 * 1024, 256 * 1024, 128 * 1024},
+               BufferSizing{128 * 1024, 128 * 1024, 64 * 1024}};
+  return s;
+}
+
+ConfigSpace ConfigSpace::smoke() {
+  ConfigSpace s;
+  s.workloads = {"bert"};
+  s.dataflows = {Dataflow::kWS, Dataflow::kIS};
+  s.psum_configs = {PsumConfig::baseline_int32(), PsumConfig::apsq_int8(1),
+                    PsumConfig::apsq_int8(4), PsumConfig{8, false, 1}};
+  s.geometries = {PeGeometry{16, 8, 8}};
+  s.buffers = {BufferSizing{}};
+  return s;
+}
+
+}  // namespace apsq::dse

@@ -1,0 +1,69 @@
+// Cartesian design-space generator: dataflow × PSUM handling × PE-array
+// geometry × buffer sizing × workload. Points are indexed 0..size()-1 in a
+// fixed mixed-radix order, so the space never needs materializing and
+// every run (serial or parallel) sees the identical enumeration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dse/design_point.hpp"
+
+namespace apsq::dse {
+
+/// MAC-array parallelism triple (Po, Pci, Pco).
+struct PeGeometry {
+  index_t po = 16;
+  index_t pci = 8;
+  index_t pco = 8;
+};
+
+/// Buffer sizing triple in bytes (ifmap, ofmap, weight).
+struct BufferSizing {
+  i64 ifmap_bytes = 256 * 1024;
+  i64 ofmap_bytes = 256 * 1024;
+  i64 weight_bytes = 128 * 1024;
+};
+
+class ConfigSpace {
+ public:
+  // Axes. Every combination is one design point; empty axes are invalid.
+  std::vector<std::string> workloads;
+  std::vector<Dataflow> dataflows;
+  std::vector<PsumConfig> psum_configs;
+  std::vector<PeGeometry> geometries;
+  std::vector<BufferSizing> buffers;
+
+  // Operand precisions shared by every point (W8A8 in the paper).
+  int act_bits = 8;
+  int weight_bits = 8;
+
+  /// Number of points (product of axis lengths).
+  index_t size() const;
+
+  /// Decode point `i` (0 <= i < size()). The index is interpreted in
+  /// mixed radix with the workload axis slowest and the buffer axis
+  /// fastest, so neighbouring indices share workload/energy sub-keys and
+  /// the memo cache warms quickly.
+  DesignPoint at(index_t i) const;
+
+  void validate() const;
+
+  /// The paper-centred sweep used by `apsq_dse` and the bench: all four
+  /// workloads, all three dataflows, PSUM bits 4–16 with APSQ group sizes
+  /// 1–4 plus prior-work PSQ and the INT32/INT16 baselines, two PE-array
+  /// geometries (DNN and LLM parallelism), and two buffer sizings —
+  /// 1248 points.
+  static ConfigSpace paper_default();
+
+  /// A small space (few dozen points) for tests.
+  static ConfigSpace smoke();
+
+  /// The default PSUM-handling axis: APSQ at {4,6,8,12,16} bits ×
+  /// gs {1..4}, PSQ (prior work, independent per-tile quantization) at the
+  /// same bit-widths, and the INT32 full-precision baseline — 26 settings,
+  /// all distinct canonical keys.
+  static std::vector<PsumConfig> default_psum_axis();
+};
+
+}  // namespace apsq::dse

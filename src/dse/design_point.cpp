@@ -1,0 +1,35 @@
+#include "dse/design_point.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace apsq::dse {
+
+void DesignPoint::validate() const {
+  APSQ_CHECK_MSG(!workload.empty(), "design point needs a workload name");
+  psum.validate();
+  acc.validate();
+}
+
+std::string canonical_key(const DesignPoint& p) {
+  std::ostringstream os;
+  os << "wl=" << p.workload << "|df=" << to_string(p.dataflow)
+     << "|pb=" << p.psum.psum_bits << "|apsq=" << (p.psum.apsq ? 1 : 0)
+     << "|gs=" << p.psum.group_size << "|po=" << p.acc.po
+     << "|pci=" << p.acc.pci << "|pco=" << p.acc.pco
+     << "|bi=" << p.acc.ifmap_buf_bytes << "|bo=" << p.acc.ofmap_buf_bytes
+     << "|bw=" << p.acc.weight_buf_bytes << "|ab=" << p.acc.act_bits
+     << "|wb=" << p.acc.weight_bits;
+  return os.str();
+}
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  if (a.energy_pj > b.energy_pj || a.area_um2 > b.area_um2 ||
+      a.error > b.error)
+    return false;
+  return a.energy_pj < b.energy_pj || a.area_um2 < b.area_um2 ||
+         a.error < b.error;
+}
+
+}  // namespace apsq::dse

@@ -1,0 +1,51 @@
+// A single point in the accelerator design space and its three scoring
+// objectives. The DSE engine (config_space / evaluator / pareto) sweeps
+// thousands of these across the paper's four workloads.
+#pragma once
+
+#include <string>
+
+#include "energy/access_counts.hpp"
+#include "energy/accelerator_config.hpp"
+#include "energy/psum_config.hpp"
+
+namespace apsq::dse {
+
+/// One fully-specified accelerator + workload configuration.
+///
+/// `workload` names one of the bundled models ("bert", "llama2",
+/// "segformer", "efficientvit" — see evaluator.hpp's registry); the rest
+/// is exactly what the analytical models in src/energy and src/rae take.
+struct DesignPoint {
+  std::string workload = "bert";
+  Dataflow dataflow = Dataflow::kWS;
+  PsumConfig psum;
+  AcceleratorConfig acc;
+
+  void validate() const;
+};
+
+/// Stable, fully-identifying text key for a design point. Two points with
+/// the same key are the same configuration; the key doubles as the
+/// memoization / tie-breaking identity, so its format must stay
+/// deterministic (pure integers, fixed field order, no doubles).
+std::string canonical_key(const DesignPoint& p);
+
+/// The three DSE objectives — all minimized.
+struct Objectives {
+  double energy_pj = 0.0;  ///< workload energy (analytical model, Eq. 1)
+  double area_um2 = 0.0;   ///< synthesis-area model (Table II composition)
+  double error = 0.0;      ///< PSUM quantization-error accuracy proxy (MSE)
+};
+
+/// Strict Pareto dominance: `a` is no worse than `b` in every objective
+/// and strictly better in at least one.
+bool dominates(const Objectives& a, const Objectives& b);
+
+/// A scored design point.
+struct EvalResult {
+  DesignPoint point;
+  Objectives obj;
+};
+
+}  // namespace apsq::dse

@@ -1,0 +1,129 @@
+#include "dse/evaluator.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "dse/accuracy_proxy.hpp"
+#include "dse/thread_pool.hpp"
+#include "energy/energy_model.hpp"
+#include "models/bert.hpp"
+#include "models/efficientvit.hpp"
+#include "models/llama2.hpp"
+#include "models/segformer.hpp"
+
+namespace apsq::dse {
+
+Evaluator::Evaluator(EvaluatorOptions opt) : opt_(opt) {
+  APSQ_CHECK_MSG(opt_.threads >= 1, "Evaluator needs >= 1 thread");
+}
+
+const Workload& Evaluator::workload(const std::string& name) {
+  // Built once, never mutated afterwards — safe to share across workers.
+  static const std::unordered_map<std::string, Workload> registry = [] {
+    std::unordered_map<std::string, Workload> r;
+    r.emplace("bert", bert_base_workload());
+    r.emplace("llama2", llama2_7b_workload());
+    r.emplace("segformer", segformer_b0_workload());
+    r.emplace("efficientvit", efficientvit_b1_workload());
+    return r;
+  }();
+  const auto it = registry.find(name);
+  APSQ_CHECK_MSG(it != registry.end(), "unknown workload: " << name);
+  return it->second;
+}
+
+template <typename Fn>
+double Evaluator::cached(Cache& cache, const std::string& key, Fn&& compute) {
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto it = cache.map.find(key);
+    if (it != cache.map.end()) {
+      ++cache.stats.hits;
+      return it->second;
+    }
+  }
+  // Compute outside the lock; a racing duplicate computes the identical
+  // value (all scoring functions are pure), so first-writer-wins is safe.
+  const double value = compute();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  ++cache.stats.misses;
+  return cache.map.emplace(key, value).first->second;
+}
+
+double Evaluator::energy_for(const DesignPoint& p) {
+  return cached(energy_cache_, canonical_key(p), [&] {
+    return workload_energy(p.dataflow, workload(p.workload), p.acc, p.psum,
+                           opt_.costs)
+        .total_pj();
+  });
+}
+
+double Evaluator::area_for(const DesignPoint& p) {
+  // Area ignores workload and dataflow; the RAE is only instantiated for
+  // APSQ configs (a plain low-bit or full-precision PSUM path needs no
+  // requantization engine).
+  std::ostringstream key;
+  key << "po=" << p.acc.po << "|pci=" << p.acc.pci << "|pco=" << p.acc.pco
+      << "|bi=" << p.acc.ifmap_buf_bytes << "|bo=" << p.acc.ofmap_buf_bytes
+      << "|bw=" << p.acc.weight_buf_bytes << "|ab=" << p.acc.act_bits
+      << "|wb=" << p.acc.weight_bits << "|rae=" << (p.psum.apsq ? 1 : 0);
+  return cached(area_cache_, key.str(), [&] {
+    return p.psum.apsq
+               ? accelerator_with_rae_area(p.acc, opt_.area_lib).total_um2()
+               : baseline_accelerator_area(p.acc, opt_.area_lib).total_um2();
+  });
+}
+
+double Evaluator::error_for(const DesignPoint& p) {
+  std::ostringstream key;
+  key << "wl=" << p.workload << "|pb=" << p.psum.psum_bits
+      << "|apsq=" << (p.psum.apsq ? 1 : 0) << "|gs=" << p.psum.group_size
+      << "|pci=" << p.acc.pci;
+  return cached(accuracy_cache_, key.str(), [&] {
+    return psum_error_proxy(workload(p.workload), p.psum, p.acc.pci,
+                            opt_.seed);
+  });
+}
+
+EvalResult Evaluator::evaluate(const DesignPoint& p) {
+  p.validate();
+  EvalResult r;
+  r.point = p;
+  r.obj.energy_pj = energy_for(p);
+  r.obj.area_um2 = area_for(p);
+  r.obj.error = error_for(p);
+  return r;
+}
+
+std::vector<EvalResult> Evaluator::evaluate_space(const ConfigSpace& space) {
+  space.validate();
+  std::vector<EvalResult> out(static_cast<size_t>(space.size()));
+  WorkStealingPool pool(opt_.threads);
+  pool.parallel_for(space.size(),
+                    [&](index_t i) { out[static_cast<size_t>(i)] = evaluate(space.at(i)); });
+  return out;
+}
+
+std::vector<EvalResult> Evaluator::evaluate_points(
+    const std::vector<DesignPoint>& pts) {
+  std::vector<EvalResult> out(pts.size());
+  WorkStealingPool pool(opt_.threads);
+  pool.parallel_for(static_cast<index_t>(pts.size()),
+                    [&](index_t i) { out[static_cast<size_t>(i)] = evaluate(pts[static_cast<size_t>(i)]); });
+  return out;
+}
+
+CacheStats Evaluator::energy_cache_stats() const {
+  std::lock_guard<std::mutex> lock(energy_cache_.mu);
+  return energy_cache_.stats;
+}
+CacheStats Evaluator::area_cache_stats() const {
+  std::lock_guard<std::mutex> lock(area_cache_.mu);
+  return area_cache_.stats;
+}
+CacheStats Evaluator::accuracy_cache_stats() const {
+  std::lock_guard<std::mutex> lock(accuracy_cache_.mu);
+  return accuracy_cache_.stats;
+}
+
+}  // namespace apsq::dse

@@ -1,0 +1,90 @@
+// Parallel, memoizing design-point scorer.
+//
+// Each point is scored on three objectives by the repo's analytical
+// models: workload energy (src/energy), synthesis area ±RAE (src/rae),
+// and the PSUM quantization-error accuracy proxy (accuracy_proxy.hpp).
+// The three sub-evaluations are memoized independently under canonical
+// sub-keys. Area depends only on the accelerator geometry and the accuracy
+// proxy only on (workload, psum, pci), so a cartesian sweep reuses the
+// overwhelming majority of those two; energy depends on every field of the
+// point, so its cache pays off for repeated evaluations of the same point
+// (re-runs, overlapping spaces), not within one cartesian sweep. All scoring functions are
+// pure, every worker derives its randomness per work item via
+// Rng::stream, and results land in index-addressed slots, so a parallel
+// sweep is byte-identical to a serial one.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dse/config_space.hpp"
+#include "dse/design_point.hpp"
+#include "energy/costs.hpp"
+#include "rae/area_model.hpp"
+
+#include <mutex>
+
+namespace apsq::dse {
+
+struct EvaluatorOptions {
+  int threads = 1;         ///< worker count for evaluate_space
+  u64 seed = 0xD5EULL;     ///< accuracy-proxy stream seed
+  EnergyCosts costs = EnergyCosts::horowitz();
+  AreaLibrary area_lib = AreaLibrary::tsmc28_typical();
+};
+
+/// Hit/miss counters for one sub-evaluation cache. Under contention two
+/// workers may both compute the same missing entry (both count a miss);
+/// the cached value is identical either way, so only the counters — never
+/// the results — are schedule-dependent.
+struct CacheStats {
+  i64 hits = 0;
+  i64 misses = 0;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(EvaluatorOptions opt = EvaluatorOptions{});
+
+  /// Score one point (memoized, thread-safe).
+  EvalResult evaluate(const DesignPoint& p);
+
+  /// Score every point of the space with the work-stealing pool.
+  /// Output order is the space's enumeration order regardless of thread
+  /// count.
+  std::vector<EvalResult> evaluate_space(const ConfigSpace& space);
+
+  /// Score an explicit point list (same determinism guarantees).
+  std::vector<EvalResult> evaluate_points(const std::vector<DesignPoint>& pts);
+
+  CacheStats energy_cache_stats() const;
+  CacheStats area_cache_stats() const;
+  CacheStats accuracy_cache_stats() const;
+
+  const EvaluatorOptions& options() const { return opt_; }
+
+  /// Bundled-workload registry ("bert", "llama2", "segformer",
+  /// "efficientvit" at the paper's input sizes). Throws on unknown names.
+  static const Workload& workload(const std::string& name);
+
+ private:
+  struct Cache {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, double> map;
+    CacheStats stats;
+  };
+  template <typename Fn>
+  double cached(Cache& cache, const std::string& key, Fn&& compute);
+
+  double energy_for(const DesignPoint& p);
+  double area_for(const DesignPoint& p);
+  double error_for(const DesignPoint& p);
+
+  EvaluatorOptions opt_;
+  Cache energy_cache_;
+  Cache area_cache_;
+  Cache accuracy_cache_;
+};
+
+}  // namespace apsq::dse

@@ -1,0 +1,65 @@
+#include "dse/pareto.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace apsq::dse {
+
+bool is_dominated(const EvalResult& candidate,
+                  const std::vector<EvalResult>& points) {
+  const std::string key = canonical_key(candidate.point);
+  for (const EvalResult& other : points) {
+    if (!dominates(other.obj, candidate.obj)) continue;
+    if (canonical_key(other.point) == key) continue;
+    return true;
+  }
+  return false;
+}
+
+std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points) {
+  // Sort by precomputed key first: the filter below then emits the front
+  // in key order no matter how the caller ordered the input.
+  struct Keyed {
+    std::string key;
+    const EvalResult* result;
+  };
+  std::vector<Keyed> sorted;
+  sorted.reserve(points.size());
+  for (const EvalResult& p : points) sorted.push_back({canonical_key(p.point), &p});
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+
+  std::vector<EvalResult> front;
+  const std::string* prev_key = nullptr;
+  for (const Keyed& cand : sorted) {
+    if (prev_key && cand.key == *prev_key) continue;  // exact duplicate config
+    prev_key = &cand.key;
+    bool dominated = false;
+    for (const Keyed& other : sorted) {
+      if (other.result == cand.result ||
+          !dominates(other.result->obj, cand.result->obj))
+        continue;
+      dominated = true;
+      break;
+    }
+    if (!dominated) front.push_back(*cand.result);
+  }
+  return front;
+}
+
+std::vector<EvalResult> pareto_front_by_workload(
+    const std::vector<EvalResult>& points) {
+  std::map<std::string, std::vector<EvalResult>> groups;  // sorted by name
+  for (const EvalResult& p : points) groups[p.point.workload].push_back(p);
+  std::vector<EvalResult> out;
+  for (const auto& [name, group] : groups) {
+    (void)name;
+    std::vector<EvalResult> front = pareto_front(group);
+    out.insert(out.end(), std::make_move_iterator(front.begin()),
+               std::make_move_iterator(front.end()));
+  }
+  return out;
+}
+
+}  // namespace apsq::dse

@@ -1,0 +1,33 @@
+// 3-objective Pareto-front extraction (energy ↓, area ↓, error ↓) with
+// deterministic output: candidates are ordered by canonical key before the
+// dominance filter, so serial and parallel sweeps — and any permutation of
+// the input — produce byte-identical fronts.
+#pragma once
+
+#include <vector>
+
+#include "dse/design_point.hpp"
+
+namespace apsq::dse {
+
+/// The non-dominated subset of `points`, sorted by canonical_key.
+/// Points with identical objectives but different configurations tie and
+/// are all kept; exact duplicates (same canonical key) are collapsed to
+/// one entry.
+std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points);
+
+/// The "scenario" view: the workload is something the accelerator must
+/// serve, not a knob to tune, so dominance is only meaningful between
+/// points of the same workload. Partitions by workload, extracts each
+/// group's front, and concatenates them in workload-name order (each
+/// group internally in canonical-key order — still fully deterministic).
+std::vector<EvalResult> pareto_front_by_workload(
+    const std::vector<EvalResult>& points);
+
+/// True iff `candidate` is dominated by some element of `points`
+/// (comparison against itself — same canonical key — is skipped).
+/// Exposed for the front-verification tests.
+bool is_dominated(const EvalResult& candidate,
+                  const std::vector<EvalResult>& points);
+
+}  // namespace apsq::dse

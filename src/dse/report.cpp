@@ -1,0 +1,65 @@
+#include "dse/report.hpp"
+
+#include <cstdio>
+
+namespace apsq::dse {
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+namespace {
+
+std::vector<std::string> result_row(const EvalResult& r) {
+  const DesignPoint& p = r.point;
+  return {p.workload,
+          to_string(p.dataflow),
+          std::to_string(p.psum.psum_bits),
+          std::to_string(p.psum.apsq ? 1 : 0),
+          std::to_string(p.psum.group_size),
+          std::to_string(p.acc.po),
+          std::to_string(p.acc.pci),
+          std::to_string(p.acc.pco),
+          std::to_string(p.acc.ifmap_buf_bytes),
+          std::to_string(p.acc.ofmap_buf_bytes),
+          std::to_string(p.acc.weight_buf_bytes),
+          format_double(r.obj.energy_pj),
+          format_double(r.obj.area_um2),
+          format_double(r.obj.error)};
+}
+
+}  // namespace
+
+CsvWriter results_csv(const std::vector<EvalResult>& results) {
+  CsvWriter csv({"workload", "dataflow", "psum_bits", "apsq", "group_size",
+                 "po", "pci", "pco", "ifmap_buf_bytes", "ofmap_buf_bytes",
+                 "weight_buf_bytes", "energy_pj", "area_um2", "error"});
+  for (const EvalResult& r : results) csv.add_row(result_row(r));
+  return csv;
+}
+
+Table front_table(const std::vector<EvalResult>& front) {
+  Table t({"Workload", "Dataflow", "PSUM", "gs", "PE (Po,Pci,Pco)",
+           "Bufs (KB)", "Energy (uJ)", "Area (mm2)", "Error"});
+  for (const EvalResult& r : front) {
+    const DesignPoint& p = r.point;
+    const std::string psum_label =
+        (p.psum.apsq ? "APSQ INT" : (p.psum.psum_bits >= 32 ? "INT" : "PSQ INT")) +
+        std::to_string(p.psum.psum_bits);
+    t.add_row({p.workload, to_string(p.dataflow), psum_label,
+               std::to_string(p.psum.group_size),
+               std::to_string(p.acc.po) + "," + std::to_string(p.acc.pci) +
+                   "," + std::to_string(p.acc.pco),
+               std::to_string(p.acc.ifmap_buf_bytes / 1024) + "/" +
+                   std::to_string(p.acc.ofmap_buf_bytes / 1024) + "/" +
+                   std::to_string(p.acc.weight_buf_bytes / 1024),
+               Table::num(r.obj.energy_pj / 1e6, 1),
+               Table::num(r.obj.area_um2 / 1e6, 3),
+               Table::num(r.obj.error, 6)});
+  }
+  return t;
+}
+
+}  // namespace apsq::dse

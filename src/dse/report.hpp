@@ -1,0 +1,25 @@
+// CSV / table rendering for DSE results. Formatting is centralized here
+// so the CLI, the bench, and the determinism tests all agree: doubles are
+// printed with "%.17g" (round-trip exact), making "parallel == serial"
+// checkable as byte equality on the emitted CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "dse/design_point.hpp"
+
+namespace apsq::dse {
+
+/// Round-trip-exact decimal rendering of a double.
+std::string format_double(double v);
+
+/// One row per result: the full configuration plus the three objectives.
+CsvWriter results_csv(const std::vector<EvalResult>& results);
+
+/// Human-readable front table, rows ordered as given.
+Table front_table(const std::vector<EvalResult>& front);
+
+}  // namespace apsq::dse

@@ -1,0 +1,115 @@
+#include "dse/thread_pool.hpp"
+
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace apsq::dse {
+
+// A mutex-guarded deque is plenty here: DSE tasks are microseconds to
+// milliseconds each, so lock traffic is noise next to the work. (A
+// lock-free Chase–Lev deque would buy nothing at this granularity.)
+struct WorkStealingPool::Queue {
+  std::mutex mu;
+  std::deque<index_t> items;
+};
+
+WorkStealingPool::WorkStealingPool(int num_threads)
+    : num_threads_(num_threads) {
+  APSQ_CHECK_MSG(num_threads >= 1, "pool needs at least one thread");
+  queues_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+}
+
+WorkStealingPool::~WorkStealingPool() = default;
+
+int WorkStealingPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool WorkStealingPool::try_pop_own(index_t w, index_t& idx) {
+  Queue& q = *queues_[static_cast<size_t>(w)];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.items.empty()) return false;
+  idx = q.items.front();
+  q.items.pop_front();
+  return true;
+}
+
+bool WorkStealingPool::try_steal(index_t thief, index_t& idx) {
+  for (index_t k = 1; k < num_threads_; ++k) {
+    const index_t victim = (thief + k) % num_threads_;
+    Queue& q = *queues_[static_cast<size_t>(victim)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.items.empty()) continue;
+    idx = q.items.back();
+    q.items.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::worker_loop(index_t w,
+                                   const std::function<void(index_t)>& fn) {
+  index_t idx;
+  for (;;) {
+    if (try_pop_own(w, idx) || try_steal(w, idx))
+      fn(idx);
+    else
+      return;  // every deque drained; in-flight tasks belong to other workers
+  }
+}
+
+void WorkStealingPool::parallel_for(index_t n,
+                                    const std::function<void(index_t)>& fn) {
+  APSQ_CHECK(n >= 0);
+  if (n == 0) return;
+  if (num_threads_ == 1) {
+    for (index_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Seed each deque with a contiguous chunk (owner pops front, thieves
+  // take the back, so steals grab the work the owner would reach last).
+  for (index_t w = 0; w < num_threads_; ++w) {
+    const index_t lo = w * n / num_threads_;
+    const index_t hi = (w + 1) * n / num_threads_;
+    Queue& q = *queues_[static_cast<size_t>(w)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    for (index_t i = lo; i < hi; ++i) q.items.push_back(i);
+  }
+
+  // Mirror the single-thread error behaviour as closely as threads allow:
+  // after the first captured exception no further tasks start (in-flight
+  // ones finish), instead of running the rest of the sweep to completion.
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::atomic<bool> stop{false};
+  auto guarded = [&](index_t i) {
+    if (stop.load(std::memory_order_relaxed)) return;
+    try {
+      fn(i);
+    } catch (...) {
+      stop.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads_) - 1);
+  for (index_t w = 1; w < num_threads_; ++w)
+    workers.emplace_back([&, w] { worker_loop(w, guarded); });
+  worker_loop(0, guarded);  // the calling thread is worker 0
+  for (auto& t : workers) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace apsq::dse

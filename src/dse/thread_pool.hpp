@@ -1,0 +1,57 @@
+// Work-stealing parallel-for pool for the DSE evaluator.
+//
+// Each worker owns a deque seeded with a contiguous chunk of the index
+// range; it pops work from the front of its own deque and, when empty,
+// steals from the back of a victim's. Stealing keeps the pool busy when
+// per-point cost is skewed (cache misses evaluate full workloads, hits
+// return instantly). Determinism comes from the caller: tasks write to
+// disjoint, index-addressed slots, so scheduling order never affects
+// results.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace apsq::dse {
+
+class WorkStealingPool {
+ public:
+  /// `num_threads` >= 1; values above the task count are harmless.
+  explicit WorkStealingPool(int num_threads);
+  ~WorkStealingPool();  // out-of-line: Queue is an incomplete type here
+
+  /// Run fn(i) at most once for every i in [0, n) — exactly once when no
+  /// task throws — blocking until done. fn must be safe to call from
+  /// multiple threads. Exceptions: the first captured exception is
+  /// rethrown here and stops the run early; tasks not yet started when it
+  /// was captured are skipped (in-flight ones finish), mirroring the
+  /// abort-at-first-throw behaviour of the single-thread path.
+  /// num_threads == 1 runs inline on the calling thread (no worker
+  /// threads at all).
+  void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Tasks executed by a worker other than the one whose deque initially
+  /// held them (diagnostic; exercised by tests and the bench).
+  i64 steal_count() const { return steals_.load(); }
+
+  /// Threads the hardware supports (>= 1 even when unknown).
+  static int hardware_threads();
+
+ private:
+  struct Queue;
+  void worker_loop(index_t w, const std::function<void(index_t)>& fn);
+  bool try_pop_own(index_t w, index_t& idx);
+  bool try_steal(index_t thief, index_t& idx);
+
+  int num_threads_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::atomic<i64> steals_{0};
+};
+
+}  // namespace apsq::dse

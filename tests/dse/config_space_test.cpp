@@ -1,0 +1,80 @@
+#include "dse/config_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace apsq::dse {
+namespace {
+
+TEST(ConfigSpace, SizeIsAxisProduct) {
+  const ConfigSpace s = ConfigSpace::smoke();
+  EXPECT_EQ(s.size(), static_cast<index_t>(s.workloads.size() *
+                                           s.dataflows.size() *
+                                           s.psum_configs.size() *
+                                           s.geometries.size() *
+                                           s.buffers.size()));
+}
+
+TEST(ConfigSpace, EnumerationIsExhaustiveAndDuplicateFree) {
+  const ConfigSpace s = ConfigSpace::smoke();
+  std::set<std::string> keys;
+  for (index_t i = 0; i < s.size(); ++i) {
+    const DesignPoint p = s.at(i);
+    p.validate();
+    keys.insert(canonical_key(p));
+  }
+  EXPECT_EQ(static_cast<index_t>(keys.size()), s.size());
+}
+
+TEST(ConfigSpace, AtIsDeterministic) {
+  const ConfigSpace s = ConfigSpace::paper_default();
+  for (index_t i : {index_t{0}, s.size() / 2, s.size() - 1})
+    EXPECT_EQ(canonical_key(s.at(i)), canonical_key(s.at(i)));
+}
+
+TEST(ConfigSpace, PaperDefaultCoversTheAcceptanceSweep) {
+  const ConfigSpace s = ConfigSpace::paper_default();
+  EXPECT_GE(s.size(), 500);  // ≥500-point sweep
+  EXPECT_EQ(s.workloads.size(), 4u);
+  std::set<std::string> wl;
+  std::set<Dataflow> df;
+  std::set<int> bits;
+  bool has_psq = false, has_apsq = false, has_baseline = false;
+  for (index_t i = 0; i < s.size(); ++i) {
+    const DesignPoint p = s.at(i);
+    wl.insert(p.workload);
+    df.insert(p.dataflow);
+    bits.insert(p.psum.psum_bits);
+    if (p.psum.apsq) has_apsq = true;
+    if (!p.psum.apsq && p.psum.psum_bits < 32) has_psq = true;
+    if (!p.psum.apsq && p.psum.psum_bits == 32) has_baseline = true;
+  }
+  EXPECT_EQ(wl.size(), 4u);
+  EXPECT_EQ(df.size(), 3u);
+  EXPECT_TRUE(bits.count(4) && bits.count(8) && bits.count(16));
+  EXPECT_TRUE(has_apsq && has_psq && has_baseline);
+}
+
+TEST(ConfigSpace, DefaultPsumAxisHasGroupSizesOneToFour) {
+  std::set<index_t> gs;
+  for (const PsumConfig& pc : ConfigSpace::default_psum_axis())
+    if (pc.apsq) gs.insert(pc.group_size);
+  EXPECT_EQ(gs, (std::set<index_t>{1, 2, 3, 4}));
+}
+
+TEST(ConfigSpace, OutOfRangeIndexThrows) {
+  const ConfigSpace s = ConfigSpace::smoke();
+  EXPECT_THROW(s.at(-1), std::logic_error);
+  EXPECT_THROW(s.at(s.size()), std::logic_error);
+}
+
+TEST(ConfigSpace, EmptyAxisFailsValidation) {
+  ConfigSpace s = ConfigSpace::smoke();
+  s.dataflows.clear();
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apsq::dse

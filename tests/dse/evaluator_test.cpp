@@ -1,0 +1,160 @@
+#include "dse/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "dse/pareto.hpp"
+#include "dse/report.hpp"
+
+namespace apsq::dse {
+namespace {
+
+DesignPoint bert_point(PsumConfig psum) {
+  DesignPoint p;
+  p.workload = "bert";
+  p.dataflow = Dataflow::kWS;
+  p.psum = psum;
+  return p;
+}
+
+TEST(Evaluator, ObjectivesAreSane) {
+  Evaluator eval;
+  const EvalResult base = eval.evaluate(bert_point(PsumConfig::baseline_int32()));
+  const EvalResult apsq8 = eval.evaluate(bert_point(PsumConfig::apsq_int8(2)));
+
+  // APSQ INT8 saves energy vs the INT32 baseline (the paper's headline).
+  EXPECT_LT(apsq8.obj.energy_pj, base.obj.energy_pj);
+  // Full-precision storage has zero quantization error; APSQ has some.
+  EXPECT_EQ(base.obj.error, 0.0);
+  EXPECT_GT(apsq8.obj.error, 0.0);
+  // The RAE costs area on top of the baseline accelerator.
+  EXPECT_GT(apsq8.obj.area_um2, base.obj.area_um2);
+  EXPECT_GT(base.obj.area_um2, 0.0);
+}
+
+TEST(Evaluator, ErrorProxyImprovesWithBitsAndGroupSize) {
+  Evaluator eval;
+  const double e4 = eval.evaluate(bert_point(PsumConfig::apsq_bits(4, 1))).obj.error;
+  const double e8 = eval.evaluate(bert_point(PsumConfig::apsq_bits(8, 1))).obj.error;
+  EXPECT_GT(e4, e8);  // fewer bits, more error (Fig. 5 trend)
+
+  const double gs1 = eval.evaluate(bert_point(PsumConfig::apsq_bits(4, 1))).obj.error;
+  const double gs4 = eval.evaluate(bert_point(PsumConfig::apsq_bits(4, 4))).obj.error;
+  EXPECT_GE(gs1, gs4);  // larger groups fold history less often (§III-B)
+}
+
+TEST(Evaluator, RepeatedEvaluationHitsTheCacheAndMatches) {
+  Evaluator eval;
+  const DesignPoint p = bert_point(PsumConfig::apsq_int8(2));
+  const EvalResult a = eval.evaluate(p);
+  const CacheStats after_first = eval.energy_cache_stats();
+  EXPECT_EQ(after_first.misses, 1);
+  EXPECT_EQ(after_first.hits, 0);
+
+  const EvalResult b = eval.evaluate(p);
+  const CacheStats after_second = eval.energy_cache_stats();
+  EXPECT_EQ(after_second.misses, 1);
+  EXPECT_EQ(after_second.hits, 1);
+
+  // Bit-identical, not just close.
+  EXPECT_EQ(a.obj.energy_pj, b.obj.energy_pj);
+  EXPECT_EQ(a.obj.area_um2, b.obj.area_um2);
+  EXPECT_EQ(a.obj.error, b.obj.error);
+}
+
+TEST(Evaluator, SubEvaluationCachesShareAcrossPoints) {
+  // Same geometry + psum mode, different dataflow: area and accuracy are
+  // sub-key cache hits even though the full points differ.
+  Evaluator eval;
+  DesignPoint a = bert_point(PsumConfig::apsq_int8(2));
+  DesignPoint b = a;
+  b.dataflow = Dataflow::kIS;
+  eval.evaluate(a);
+  eval.evaluate(b);
+  EXPECT_EQ(eval.area_cache_stats().hits, 1);
+  EXPECT_EQ(eval.accuracy_cache_stats().hits, 1);
+  EXPECT_EQ(eval.energy_cache_stats().hits, 0);  // energy depends on dataflow
+}
+
+TEST(Evaluator, ParallelEqualsSerialByteIdentical) {
+  const ConfigSpace space = ConfigSpace::smoke();
+
+  EvaluatorOptions serial_opt;
+  serial_opt.threads = 1;
+  Evaluator serial(serial_opt);
+  const std::string serial_csv =
+      results_csv(serial.evaluate_space(space)).to_string();
+
+  for (int threads : {2, 4}) {
+    EvaluatorOptions par_opt;
+    par_opt.threads = threads;
+    Evaluator parallel(par_opt);
+    const std::string par_csv =
+        results_csv(parallel.evaluate_space(space)).to_string();
+    EXPECT_EQ(serial_csv, par_csv) << "threads=" << threads;
+  }
+}
+
+TEST(Evaluator, SeedChangesProxyButNotEnergyOrArea) {
+  EvaluatorOptions a_opt, b_opt;
+  a_opt.seed = 1;
+  b_opt.seed = 2;
+  Evaluator a(a_opt), b(b_opt);
+  const DesignPoint p = bert_point(PsumConfig::apsq_bits(4, 1));
+  const EvalResult ra = a.evaluate(p), rb = b.evaluate(p);
+  EXPECT_EQ(ra.obj.energy_pj, rb.obj.energy_pj);
+  EXPECT_EQ(ra.obj.area_um2, rb.obj.area_um2);
+  EXPECT_NE(ra.obj.error, rb.obj.error);  // different synthetic tile stream
+}
+
+TEST(Evaluator, PaperSweepFrontIsVerifiedNonDominated) {
+  // The acceptance sweep: ≥500 points across all four workloads; every
+  // front point must be non-dominated within the full result set and
+  // every non-front point dominated by someone.
+  const ConfigSpace space = ConfigSpace::paper_default();
+  ASSERT_GE(space.size(), 500);
+
+  EvaluatorOptions opt;
+  opt.threads = 4;
+  Evaluator eval(opt);
+  const std::vector<EvalResult> results = eval.evaluate_space(space);
+  ASSERT_EQ(static_cast<index_t>(results.size()), space.size());
+
+  const std::vector<EvalResult> front = pareto_front(results);
+  ASSERT_FALSE(front.empty());
+  ASSERT_LT(front.size(), results.size());
+  for (const EvalResult& f : front)
+    EXPECT_FALSE(is_dominated(f, results)) << canonical_key(f.point);
+
+  std::set<std::string> front_keys;
+  for (const EvalResult& f : front) front_keys.insert(canonical_key(f.point));
+  for (const EvalResult& r : results)
+    if (!front_keys.count(canonical_key(r.point)))
+      EXPECT_TRUE(is_dominated(r, results)) << canonical_key(r.point);
+
+  // Per-workload (scenario) front: every point non-dominated within the
+  // subset that shares its workload.
+  for (const EvalResult& f : pareto_front_by_workload(results)) {
+    std::vector<EvalResult> same;
+    for (const EvalResult& r : results)
+      if (r.point.workload == f.point.workload) same.push_back(r);
+    EXPECT_FALSE(is_dominated(f, same)) << canonical_key(f.point);
+  }
+}
+
+TEST(Evaluator, UnknownWorkloadThrows) {
+  Evaluator eval;
+  DesignPoint p = bert_point(PsumConfig::apsq_int8(1));
+  p.workload = "resnet";
+  EXPECT_THROW(eval.evaluate(p), std::logic_error);
+}
+
+TEST(Evaluator, WorkloadRegistryServesAllFour) {
+  for (const char* name : {"bert", "llama2", "segformer", "efficientvit"})
+    EXPECT_FALSE(Evaluator::workload(name).layers.empty()) << name;
+}
+
+}  // namespace
+}  // namespace apsq::dse

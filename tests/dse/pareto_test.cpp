@@ -1,0 +1,169 @@
+#include "dse/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace apsq::dse {
+namespace {
+
+EvalResult make(const std::string& wl, int bits, index_t gs, double e,
+                double a, double err) {
+  EvalResult r;
+  r.point.workload = wl;
+  r.point.psum = PsumConfig{bits, true, gs};
+  r.obj = Objectives{e, a, err};
+  return r;
+}
+
+TEST(Dominance, StrictInAllObjectives) {
+  EXPECT_TRUE(dominates({1, 1, 1}, {2, 2, 2}));
+  EXPECT_FALSE(dominates({2, 2, 2}, {1, 1, 1}));
+}
+
+TEST(Dominance, EqualObjectivesDoNotDominate) {
+  EXPECT_FALSE(dominates({1, 2, 3}, {1, 2, 3}));
+}
+
+TEST(Dominance, OneBetterRestEqualDominates) {
+  EXPECT_TRUE(dominates({1, 2, 3}, {1, 2, 4}));
+  EXPECT_TRUE(dominates({0, 2, 3}, {1, 2, 3}));
+}
+
+TEST(Dominance, TradeOffNeitherDominates) {
+  EXPECT_FALSE(dominates({1, 5, 1}, {2, 2, 2}));
+  EXPECT_FALSE(dominates({2, 2, 2}, {1, 5, 1}));
+}
+
+TEST(ParetoFront, HandBuiltThreeObjectiveSet) {
+  // Front: a (best energy), b (best area), c (best error).
+  // d is dominated by a; e is dominated by everything.
+  const std::vector<EvalResult> pts = {
+      make("w", 4, 1, 1.0, 9.0, 9.0),   // a
+      make("w", 6, 1, 9.0, 1.0, 9.0),   // b
+      make("w", 8, 1, 9.0, 9.0, 1.0),   // c
+      make("w", 4, 2, 2.0, 9.5, 9.5),   // d — dominated by a
+      make("w", 4, 3, 10.0, 10.0, 10.0) // e — dominated by all
+  };
+  const std::vector<EvalResult> front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 3u);
+  for (const auto& f : front)
+    EXPECT_FALSE(is_dominated(f, pts)) << canonical_key(f.point);
+  // Dominated points really are dominated.
+  EXPECT_TRUE(is_dominated(pts[3], pts));
+  EXPECT_TRUE(is_dominated(pts[4], pts));
+}
+
+TEST(ParetoFront, TiedObjectivesBothKept) {
+  const std::vector<EvalResult> pts = {
+      make("w", 4, 1, 1.0, 2.0, 3.0),
+      make("w", 8, 2, 1.0, 2.0, 3.0),  // identical objectives, different config
+  };
+  EXPECT_EQ(pareto_front(pts).size(), 2u);
+}
+
+TEST(ParetoFront, ExactDuplicateConfigCollapsed) {
+  const std::vector<EvalResult> pts = {
+      make("w", 4, 1, 1.0, 2.0, 3.0),
+      make("w", 4, 1, 1.0, 2.0, 3.0),
+  };
+  EXPECT_EQ(pareto_front(pts).size(), 1u);
+}
+
+TEST(ParetoFront, SingletonAndEmpty) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  const std::vector<EvalResult> one = {make("w", 8, 1, 1, 1, 1)};
+  EXPECT_EQ(pareto_front(one).size(), 1u);
+}
+
+TEST(ParetoFront, OutputSortedByCanonicalKey) {
+  const std::vector<EvalResult> pts = {
+      make("zeta", 8, 1, 1.0, 9.0, 9.0),
+      make("alpha", 8, 1, 9.0, 1.0, 9.0),
+      make("mid", 8, 1, 9.0, 9.0, 1.0),
+  };
+  const std::vector<EvalResult> front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 3u);
+  for (size_t i = 1; i < front.size(); ++i)
+    EXPECT_LT(canonical_key(front[i - 1].point), canonical_key(front[i].point));
+}
+
+TEST(ParetoFront, PermutationInvariant) {
+  // Random objective cloud; shuffling the input must not change the front.
+  Rng rng(42);
+  std::vector<EvalResult> pts;
+  for (int i = 0; i < 64; ++i)
+    pts.push_back(make("w" + std::to_string(i), 4 + (i % 13), 1 + (i % 4),
+                       rng.uniform(0, 10), rng.uniform(0, 10),
+                       rng.uniform(0, 10)));
+  const std::vector<EvalResult> front_a = pareto_front(pts);
+
+  std::vector<index_t> perm(pts.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<index_t>(i);
+  rng.shuffle(perm);
+  std::vector<EvalResult> shuffled;
+  for (index_t i : perm) shuffled.push_back(pts[static_cast<size_t>(i)]);
+  const std::vector<EvalResult> front_b = pareto_front(shuffled);
+
+  ASSERT_EQ(front_a.size(), front_b.size());
+  for (size_t i = 0; i < front_a.size(); ++i)
+    EXPECT_EQ(canonical_key(front_a[i].point), canonical_key(front_b[i].point));
+}
+
+TEST(ParetoFrontByWorkload, CrossWorkloadDominationIsIgnored) {
+  // b's point is strictly worse than a's on every objective, but it is the
+  // only point of workload "b" — per-workload it survives; globally not.
+  const std::vector<EvalResult> pts = {
+      make("a", 8, 1, 1.0, 1.0, 1.0),
+      make("b", 8, 1, 2.0, 2.0, 2.0),
+  };
+  EXPECT_EQ(pareto_front(pts).size(), 1u);
+  const std::vector<EvalResult> front = pareto_front_by_workload(pts);
+  ASSERT_EQ(front.size(), 2u);
+  // Groups are emitted in workload-name order.
+  EXPECT_EQ(front[0].point.workload, "a");
+  EXPECT_EQ(front[1].point.workload, "b");
+}
+
+TEST(ParetoFrontByWorkload, MatchesPerGroupExtraction) {
+  Rng rng(11);
+  std::vector<EvalResult> pts;
+  for (int i = 0; i < 40; ++i)
+    pts.push_back(make(i % 2 ? "odd" : "even", 4 + (i % 13), 1 + (i % 4),
+                       rng.uniform(0, 4), rng.uniform(0, 4),
+                       rng.uniform(0, 4)));
+  const std::vector<EvalResult> combined = pareto_front_by_workload(pts);
+  std::vector<EvalResult> evens, odds;
+  for (const auto& p : pts)
+    (p.point.workload == "even" ? evens : odds).push_back(p);
+  const std::vector<EvalResult> fe = pareto_front(evens);
+  const std::vector<EvalResult> fo = pareto_front(odds);
+  ASSERT_EQ(combined.size(), fe.size() + fo.size());
+  for (size_t i = 0; i < fe.size(); ++i)
+    EXPECT_EQ(canonical_key(combined[i].point), canonical_key(fe[i].point));
+  for (size_t i = 0; i < fo.size(); ++i)
+    EXPECT_EQ(canonical_key(combined[fe.size() + i].point),
+              canonical_key(fo[i].point));
+}
+
+TEST(ParetoFront, EveryNonFrontPointIsDominated) {
+  Rng rng(7);
+  std::vector<EvalResult> pts;
+  for (int i = 0; i < 48; ++i)
+    pts.push_back(make("w" + std::to_string(i), 4 + (i % 13), 1 + (i % 4),
+                       rng.uniform(0, 4), rng.uniform(0, 4),
+                       rng.uniform(0, 4)));
+  const std::vector<EvalResult> front = pareto_front(pts);
+  for (const auto& p : pts) {
+    const bool in_front =
+        std::any_of(front.begin(), front.end(), [&](const EvalResult& f) {
+          return canonical_key(f.point) == canonical_key(p.point);
+        });
+    EXPECT_EQ(!in_front, is_dominated(p, pts)) << canonical_key(p.point);
+  }
+}
+
+}  // namespace
+}  // namespace apsq::dse

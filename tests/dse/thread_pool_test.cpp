@@ -1,0 +1,83 @@
+#include "dse/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace apsq::dse {
+namespace {
+
+TEST(WorkStealingPool, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    WorkStealingPool pool(threads);
+    constexpr index_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h = 0;
+    pool.parallel_for(n, [&](index_t i) { ++hits[static_cast<size_t>(i)]; });
+    for (index_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "i=" << i << " threads=" << threads;
+  }
+}
+
+TEST(WorkStealingPool, MoreThreadsThanTasks) {
+  WorkStealingPool pool(8);
+  std::atomic<index_t> sum{0};
+  pool.parallel_for(3, [&](index_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(WorkStealingPool, ZeroTasksIsANoOp) {
+  WorkStealingPool pool(4);
+  pool.parallel_for(0, [](index_t) { FAIL() << "must not be called"; });
+}
+
+TEST(WorkStealingPool, SingleThreadRunsInline) {
+  WorkStealingPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.parallel_for(16, [&](index_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(pool.steal_count(), 0);
+}
+
+TEST(WorkStealingPool, SkewedTasksGetStolen) {
+  // Worker 0's chunk is made pathologically slow; with stealing the other
+  // workers take over the tail of its deque.
+  WorkStealingPool pool(4);
+  constexpr index_t n = 64;
+  std::atomic<int> done{0};
+  pool.parallel_for(n, [&](index_t i) {
+    if (i < n / 4)  // worker 0's initial chunk
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ++done;
+  });
+  EXPECT_EQ(done.load(), n);
+  if (std::thread::hardware_concurrency() > 1)
+    EXPECT_GT(pool.steal_count(), 0);
+}
+
+TEST(WorkStealingPool, FirstExceptionPropagates) {
+  WorkStealingPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](index_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(WorkStealingPool, RejectsZeroThreads) {
+  EXPECT_THROW(WorkStealingPool(0), std::logic_error);
+}
+
+TEST(WorkStealingPool, HardwareThreadsPositive) {
+  EXPECT_GE(WorkStealingPool::hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace apsq::dse
