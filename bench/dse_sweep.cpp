@@ -6,10 +6,10 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "dse/config_space.hpp"
 #include "dse/evaluator.hpp"
 #include "dse/pareto.hpp"
-#include "dse/thread_pool.hpp"
 
 using namespace apsq;
 using namespace apsq::dse;

@@ -1,0 +1,133 @@
+// Simulator-in-the-loop DSE throughput — the fidelity/speed trade the
+// evaluator's EvalBackend option exposes.
+//
+// Three sections:
+//   1. analytic vs sim backend over the smoke space at 1 and N threads
+//      (points/s, front size over all four objectives);
+//   2. layer-parallel run_workload scaling on one workload (threads 1..N);
+//   3. persistent-pool reuse: repeated small parallel_for calls on one
+//      long-lived pool vs constructing a fresh pool per call — the number
+//      that motivated hoisting pool ownership into the Evaluator.
+#include <atomic>
+#include <chrono>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "dse/config_space.hpp"
+#include "dse/evaluator.hpp"
+#include "dse/pareto.hpp"
+#include "models/bert.hpp"
+
+using namespace apsq;
+using namespace apsq::dse;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void backend_section(int hw) {
+  const ConfigSpace space = ConfigSpace::smoke();
+  Table t({"Backend", "Threads", "Time (s)", "Points/s", "Front size"});
+  std::vector<int> thread_counts = {1};
+  if (hw > 1) thread_counts.push_back(hw);
+  for (EvalBackend backend : {EvalBackend::kAnalytic, EvalBackend::kSim}) {
+    for (int threads : thread_counts) {
+      EvaluatorOptions opt;
+      opt.threads = threads;
+      opt.backend = backend;
+      opt.sim.shrink = 32;
+      opt.sim.max_dim = 48;
+      Evaluator eval(opt);
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::vector<EvalResult> results = eval.evaluate_space(space);
+      const double secs = seconds_since(t0);
+      t.add_row({to_string(backend), std::to_string(threads),
+                 Table::num(secs, 3),
+                 Table::num(static_cast<double>(space.size()) / secs, 1),
+                 std::to_string(pareto_front_by_workload(results).size())});
+    }
+  }
+  std::cout << "--- backend comparison (smoke space, " << space.size()
+            << " points, shrink 32 / max-dim 48) ---\n";
+  t.print(std::cout);
+}
+
+void layer_parallel_section(int hw) {
+  const Workload bert = bert_base_workload();
+  SimConfig cfg;
+  cfg.arch.po = 4;
+  cfg.arch.pci = 4;
+  cfg.arch.pco = 4;
+  cfg.psum = PsumConfig::apsq_int8(2);
+  Table t({"Threads", "Time (s)", "Speedup", "Calibrations"});
+  double base = 0.0;
+  std::vector<int> thread_counts = {1};
+  if (hw >= 2) thread_counts.push_back(2);
+  if (hw > 2) thread_counts.push_back(hw);
+  for (int threads : thread_counts) {
+    WorkloadRunOptions opt;
+    opt.shrink = 8;
+    opt.max_dim = 96;
+    opt.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const WorkloadRunResult r = run_workload(bert, cfg, opt);
+    const double secs = seconds_since(t0);
+    if (threads == 1) base = secs;
+    t.add_row({std::to_string(threads), Table::num(secs, 3),
+               base > 0.0 ? Table::ratio(base / secs) : "-",
+               std::to_string(r.calibration_count)});
+  }
+  std::cout << "\n--- layer-parallel run_workload (bert, shrink 8 / max-dim "
+               "96, APSQ INT8 gs2) ---\n";
+  t.print(std::cout);
+}
+
+void pool_reuse_section(int hw) {
+  const int threads = hw > 1 ? hw : 2;
+  constexpr int kCalls = 300;
+  constexpr index_t kTasksPerCall = 64;
+  std::atomic<i64> sink{0};  // keeps the task from being optimized away
+  auto tiny_task = [&](index_t i) {
+    sink.fetch_add(i, std::memory_order_relaxed);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    WorkStealingPool pool(threads);
+    for (int c = 0; c < kCalls; ++c) pool.parallel_for(kTasksPerCall, tiny_task);
+  }
+  const double reused = seconds_since(t0);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int c = 0; c < kCalls; ++c) {
+    WorkStealingPool pool(threads);  // spawn + join per call (old behaviour)
+    pool.parallel_for(kTasksPerCall, tiny_task);
+  }
+  const double fresh = seconds_since(t1);
+
+  std::cout << "\n--- pool reuse (" << kCalls << " × parallel_for("
+            << kTasksPerCall << " tiny tasks), " << threads << " threads) ---\n";
+  Table t({"Strategy", "Total (s)", "Per call (us)", "Speedup"});
+  t.add_row({"fresh pool per call", Table::num(fresh, 3),
+             Table::num(fresh / kCalls * 1e6, 1), "-"});
+  t.add_row({"one persistent pool", Table::num(reused, 3),
+             Table::num(reused / kCalls * 1e6, 1),
+             Table::ratio(fresh / reused)});
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const int hw = WorkStealingPool::hardware_threads();
+  std::cout << "=== sim-backend DSE sweep (hardware threads: " << hw
+            << ") ===\n\n";
+  backend_section(hw);
+  layer_parallel_section(hw);
+  pool_reuse_section(hw);
+  return 0;
+}

@@ -1,14 +1,17 @@
 // apsq_dse — multi-threaded design-space exploration with a Pareto
-// frontier over energy × area × accuracy.
+// frontier over energy × area × accuracy × latency.
 //
 // Sweeps dataflow × PSUM handling × PE geometry × buffer sizing across the
-// paper's four workloads, scores every point with the analytical energy
-// model, the RAE area model, and the PSUM quantization-error proxy, and
-// extracts the 3-objective Pareto front:
+// paper's four workloads, scores every point with either the analytical
+// models (fast) or the cycle-level simulator (high fidelity, scaled
+// workloads), and extracts the Pareto front over a selectable objective
+// subset:
 //
 //   apsq_dse                                  # paper_default space, all cores
 //   apsq_dse --threads 4 --csv points.csv --front-csv front.csv
 //   apsq_dse --space smoke --threads 1
+//   apsq_dse --backend sim --shrink 32        # simulator-in-the-loop scoring
+//   apsq_dse --objectives energy,latency      # 2-objective front
 //   apsq_dse --verify-serial                  # assert parallel == serial
 //
 // Run with --help for the full flag list.
@@ -16,11 +19,11 @@
 #include <iostream>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "dse/config_space.hpp"
 #include "dse/evaluator.hpp"
 #include "dse/pareto.hpp"
 #include "dse/report.hpp"
-#include "dse/thread_pool.hpp"
 
 using namespace apsq;
 using namespace apsq::dse;
@@ -29,8 +32,12 @@ namespace {
 
 struct Options {
   std::string space = "paper";
+  std::string backend = "analytic";
+  std::string objectives = "energy,area,error,latency";
   int threads = 0;  // 0 = hardware concurrency
   u64 seed = 0xD5EULL;
+  index_t shrink = 32;   // sim backend: dimension divisor
+  index_t max_dim = 48;  // sim backend: dimension clamp
   std::string csv_path;
   std::string front_csv_path;
   int top = 20;
@@ -42,8 +49,15 @@ void print_help() {
   std::cout <<
       "apsq_dse — design-space exploration with Pareto frontier\n\n"
       "  --space NAME      paper | smoke (default paper; 1248 / 8 points)\n"
+      "  --backend NAME    analytic | sim (default analytic). sim drives the\n"
+      "                    cycle-level simulator per point on shrunken\n"
+      "                    workloads and scores measured traffic/cycles\n"
+      "  --objectives LIST comma list of energy,area,error,latency used for\n"
+      "                    Pareto dominance (default: all four)\n"
       "  --threads N       worker threads (default: hardware concurrency)\n"
-      "  --seed S          accuracy-proxy stream seed (default 0xD5E)\n"
+      "  --seed S          accuracy-proxy / sim operand seed (default 0xD5E)\n"
+      "  --shrink N        sim backend: divide layer dims by N (default 32)\n"
+      "  --max-dim N       sim backend: clamp scaled dims to N (default 48)\n"
       "  --csv PATH        write every evaluated point as CSV\n"
       "  --front-csv PATH  write the Pareto front as CSV\n"
       "  --top N           front rows to print (default 20; 0 = all)\n"
@@ -70,6 +84,14 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next("--space");
       if (!v) return false;
       o.space = v;
+    } else if (a == "--backend") {
+      const char* v = next("--backend");
+      if (!v) return false;
+      o.backend = v;
+    } else if (a == "--objectives") {
+      const char* v = next("--objectives");
+      if (!v) return false;
+      o.objectives = v;
     } else if (a == "--threads") {
       const char* v = next("--threads");
       if (!v) return false;
@@ -78,6 +100,14 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next("--seed");
       if (!v) return false;
       o.seed = static_cast<u64>(std::strtoull(v, nullptr, 0));
+    } else if (a == "--shrink") {
+      const char* v = next("--shrink");
+      if (!v) return false;
+      o.shrink = std::atoll(v);
+    } else if (a == "--max-dim") {
+      const char* v = next("--max-dim");
+      if (!v) return false;
+      o.max_dim = std::atoll(v);
     } else if (a == "--csv") {
       const char* v = next("--csv");
       if (!v) return false;
@@ -100,6 +130,12 @@ bool parse(int argc, char** argv, Options& o) {
   return true;
 }
 
+void print_cache_line(const char* name, const CacheStats& s, bool last) {
+  std::cout << name << " " << s.hits << "/" << s.misses;
+  if (s.races > 0) std::cout << "/" << s.races << "r";
+  std::cout << (last ? "\n" : ", ");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,34 +151,54 @@ int main(int argc, char** argv) {
     std::cerr << "unknown space: " << o.space << " (try --help)\n";
     return 1;
   }
+  if (o.shrink < 1 || o.max_dim < 1) {
+    std::cerr << "--shrink and --max-dim must be >= 1\n";
+    return 1;
+  }
   const int threads =
       o.threads > 0 ? o.threads : WorkStealingPool::hardware_threads();
 
   EvaluatorOptions eopt;
   eopt.threads = threads;
   eopt.seed = o.seed;
+  ObjectiveSet objectives;
+  try {
+    eopt.backend = parse_backend(o.backend);
+    objectives = ObjectiveSet::parse(o.objectives);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  eopt.sim.shrink = o.shrink;
+  eopt.sim.max_dim = o.max_dim;
+  eopt.sim.seed = o.seed;
   Evaluator eval(eopt);
 
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<EvalResult> results = eval.evaluate_space(space);
   // Workload is a scenario, not a knob: the headline front is per
   // workload; the cross-workload (global) front is reported as a count.
-  const std::vector<EvalResult> front = pareto_front_by_workload(results);
-  const size_t global_front_size = pareto_front(results).size();
+  const std::vector<EvalResult> front =
+      pareto_front_by_workload(results, objectives);
+  const size_t global_front_size = pareto_front(results, objectives).size();
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  const CacheStats es = eval.energy_cache_stats();
-  const CacheStats as = eval.area_cache_stats();
-  const CacheStats cs = eval.accuracy_cache_stats();
   std::cout << "evaluated " << results.size() << " design points ("
             << space.workloads.size() << " workloads) with " << threads
-            << " threads in " << Table::num(secs, 2) << " s\n"
-            << "cache hits/misses — energy " << es.hits << "/" << es.misses
-            << ", area " << as.hits << "/" << as.misses << ", accuracy "
-            << cs.hits << "/" << cs.misses << "\n"
-            << "Pareto front: " << front.size()
+            << " threads / " << to_string(eopt.backend) << " backend in "
+            << Table::num(secs, 2) << " s\n"
+            << "objectives: " << objectives.to_string() << "\n"
+            << "cache hits/misses[/races] — ";
+  print_cache_line("energy", eval.energy_cache_stats(), false);
+  print_cache_line("area", eval.area_cache_stats(), false);
+  print_cache_line("accuracy", eval.accuracy_cache_stats(), false);
+  if (eopt.backend == EvalBackend::kSim)
+    print_cache_line("sim", eval.sim_cache_stats(), true);
+  else
+    print_cache_line("latency", eval.latency_cache_stats(), true);
+  std::cout << "Pareto front: " << front.size()
             << " non-dominated points across workloads (" << global_front_size
             << " in the cross-workload front)\n\n";
 
@@ -174,7 +230,8 @@ int main(int argc, char** argv) {
     sopt.threads = 1;
     Evaluator serial(sopt);
     const std::vector<EvalResult> sres = serial.evaluate_space(space);
-    const std::string a = results_csv(pareto_front_by_workload(sres)).to_string();
+    const std::string a =
+        results_csv(pareto_front_by_workload(sres, objectives)).to_string();
     const std::string b = results_csv(front).to_string();
     if (a != b) {
       std::cerr << "FAIL: serial and parallel Pareto fronts differ\n";

@@ -1,0 +1,178 @@
+#include "common/thread_pool.hpp"
+
+#include <deque>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace apsq {
+
+namespace {
+// Which pool (if any) the current thread is a worker of. Lets a nested
+// parallel_for on the same pool degrade to an inline loop instead of
+// deadlocking on the pool's own completion signal.
+thread_local const WorkStealingPool* tls_worker_of = nullptr;
+}  // namespace
+
+// A mutex-guarded deque is plenty here: pool tasks are microseconds to
+// milliseconds each, so lock traffic is noise next to the work. (A
+// lock-free Chase–Lev deque would buy nothing at this granularity.)
+struct WorkStealingPool::Queue {
+  std::mutex mu;
+  std::deque<index_t> items;
+};
+
+// One parallel_for invocation. `remaining` counts seeded indices not yet
+// popped-and-accounted; the caller sleeps until it hits zero. Workers may
+// only touch a Run while they hold an unaccounted index, so the object can
+// live on the caller's stack.
+struct WorkStealingPool::Run {
+  const std::function<void(index_t)>* fn = nullptr;
+  std::atomic<index_t> remaining{0};
+  std::atomic<bool> stop{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+};
+
+WorkStealingPool::WorkStealingPool(int num_threads)
+    : num_threads_(num_threads) {
+  APSQ_CHECK_MSG(num_threads >= 1, "pool needs at least one thread");
+  queues_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  if (num_threads_ > 1) {
+    workers_.reserve(static_cast<size_t>(num_threads_));
+    for (index_t w = 0; w < num_threads_; ++w)
+      workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+int WorkStealingPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool WorkStealingPool::try_pop_own(index_t w, index_t& idx) {
+  Queue& q = *queues_[static_cast<size_t>(w)];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.items.empty()) return false;
+  idx = q.items.front();
+  q.items.pop_front();
+  return true;
+}
+
+bool WorkStealingPool::try_steal(index_t thief, index_t& idx) {
+  for (index_t k = 1; k < num_threads_; ++k) {
+    const index_t victim = (thief + k) % num_threads_;
+    Queue& q = *queues_[static_cast<size_t>(victim)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.items.empty()) continue;
+    idx = q.items.back();
+    q.items.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::drain(index_t w, Run& run) {
+  index_t idx;
+  while (try_pop_own(w, idx) || try_steal(w, idx)) {
+    if (!run.stop.load(std::memory_order_relaxed)) {
+      try {
+        (*run.fn)(idx);
+      } catch (...) {
+        run.stop.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(run.err_mu);
+        if (!run.first_error) run.first_error = std::current_exception();
+      }
+    }
+    // Account last: once remaining hits 0 the caller may wake and destroy
+    // the Run, so nothing may touch it after this worker's final decrement.
+    if (run.remaining.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkStealingPool::worker_loop(index_t w) {
+  tls_worker_of = this;
+  u64 seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // run_ != nullptr distinguishes "a new run is live" from "the
+    // generation moved on while we slept and already completed" — in the
+    // latter case there is nothing to drain and run_ is null again.
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (run_ != nullptr && generation_ != seen);
+    });
+    if (shutdown_) return;
+    seen = generation_;
+    Run* run = run_;
+    ++active_;
+    lock.unlock();
+    drain(w, *run);
+    lock.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkStealingPool::parallel_for(index_t n,
+                                    const std::function<void(index_t)>& fn) {
+  APSQ_CHECK(n >= 0);
+  if (n == 0) return;
+  if (num_threads_ == 1 || tls_worker_of == this) {
+    for (index_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mu_);
+
+  // A straggler from the previous run may still be scanning the (empty)
+  // deques; wait it out so it cannot pop this run's indices against the
+  // previous (destroyed) Run.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+  }
+
+  // Seed each deque with a contiguous chunk (owner pops front, thieves
+  // take the back, so steals grab the work the owner would reach last).
+  for (index_t w = 0; w < num_threads_; ++w) {
+    const index_t lo = w * n / num_threads_;
+    const index_t hi = (w + 1) * n / num_threads_;
+    Queue& q = *queues_[static_cast<size_t>(w)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    for (index_t i = lo; i < hi; ++i) q.items.push_back(i);
+  }
+
+  Run run;
+  run.fn = &fn;
+  run.remaining.store(n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    run_ = &run;
+    ++generation_;
+  }
+  runs_.fetch_add(1, std::memory_order_relaxed);
+  work_cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return run.remaining.load() == 0; });
+    run_ = nullptr;
+  }
+  if (run.first_error) std::rethrow_exception(run.first_error);
+}
+
+}  // namespace apsq

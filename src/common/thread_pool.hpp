@@ -1,0 +1,84 @@
+// Work-stealing parallel-for pool shared by the DSE evaluator and the
+// simulator's workload runner.
+//
+// Worker threads are spawned once in the constructor and persist across
+// parallel_for calls (the original DSE-local pool respawned its workers on
+// every call, which dominated the cost of small repeated sweeps). Each
+// worker owns a deque seeded with a contiguous chunk of the index range;
+// it pops work from the front of its own deque and, when empty, steals
+// from the back of a victim's. Stealing keeps the pool busy when per-task
+// cost is skewed (cache misses evaluate full workloads, hits return
+// instantly). Determinism comes from the caller: tasks write to disjoint,
+// index-addressed slots, so scheduling order never affects results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace apsq {
+
+class WorkStealingPool {
+ public:
+  /// `num_threads` >= 1; values above the task count are harmless.
+  /// num_threads > 1 spawns that many persistent workers immediately.
+  explicit WorkStealingPool(int num_threads);
+  ~WorkStealingPool();  // signals shutdown and joins the workers
+
+  /// Run fn(i) at most once for every i in [0, n) — exactly once when no
+  /// task throws — blocking until done. fn must be safe to call from
+  /// multiple threads. Exceptions: the first captured exception is
+  /// rethrown here and stops the run early; tasks not yet started when it
+  /// was captured are skipped (in-flight ones finish), mirroring the
+  /// abort-at-first-throw behaviour of the single-thread path.
+  /// num_threads == 1 runs inline on the calling thread (no worker
+  /// threads at all). Calls from within one of this pool's own workers
+  /// (nested parallelism) also run inline instead of deadlocking.
+  /// Concurrent calls from distinct external threads are serialized.
+  void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Tasks executed by a worker other than the one whose deque initially
+  /// held them (diagnostic; cumulative across parallel_for calls).
+  i64 steal_count() const { return steals_.load(); }
+
+  /// parallel_for invocations dispatched to the persistent workers
+  /// (diagnostic; inline runs — n == 0, single thread, nested — excluded).
+  i64 run_count() const { return runs_.load(); }
+
+  /// Threads the hardware supports (>= 1 even when unknown).
+  static int hardware_threads();
+
+ private:
+  struct Queue;
+  struct Run;
+  void worker_loop(index_t w);
+  void drain(index_t w, Run& run);
+  bool try_pop_own(index_t w, index_t& idx);
+  bool try_steal(index_t thief, index_t& idx);
+
+  int num_threads_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::atomic<i64> steals_{0};
+  std::atomic<i64> runs_{0};
+
+  std::mutex submit_mu_;  ///< serializes external parallel_for callers
+
+  std::mutex mu_;  ///< guards generation_ / run_ / active_ / shutdown_
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  u64 generation_ = 0;
+  Run* run_ = nullptr;
+  int active_ = 0;  ///< workers currently draining a run
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace apsq

@@ -24,12 +24,106 @@ std::string canonical_key(const DesignPoint& p) {
   return os.str();
 }
 
-bool dominates(const Objectives& a, const Objectives& b) {
-  if (a.energy_pj > b.energy_pj || a.area_um2 > b.area_um2 ||
-      a.error > b.error)
-    return false;
-  return a.energy_pj < b.energy_pj || a.area_um2 < b.area_um2 ||
-         a.error < b.error;
+const char* to_string(Objective o) {
+  switch (o) {
+    case Objective::kEnergy: return "energy";
+    case Objective::kArea: return "area";
+    case Objective::kError: return "error";
+    case Objective::kLatency: return "latency";
+  }
+  APSQ_CHECK_MSG(false, "unknown objective");
+  return "";
+}
+
+const char* objective_column(Objective o) {
+  switch (o) {
+    case Objective::kEnergy: return "energy_pj";
+    case Objective::kArea: return "area_um2";
+    case Objective::kError: return "error";
+    case Objective::kLatency: return "latency_s";
+  }
+  APSQ_CHECK_MSG(false, "unknown objective");
+  return "";
+}
+
+double Objectives::get(Objective o) const {
+  switch (o) {
+    case Objective::kEnergy: return energy_pj;
+    case Objective::kArea: return area_um2;
+    case Objective::kError: return error;
+    case Objective::kLatency: return latency_s;
+  }
+  APSQ_CHECK_MSG(false, "unknown objective");
+  return 0.0;
+}
+
+void Objectives::set(Objective o, double v) {
+  switch (o) {
+    case Objective::kEnergy: energy_pj = v; return;
+    case Objective::kArea: area_um2 = v; return;
+    case Objective::kError: error = v; return;
+    case Objective::kLatency: latency_s = v; return;
+  }
+  APSQ_CHECK_MSG(false, "unknown objective");
+}
+
+ObjectiveSet::ObjectiveSet() {
+  active_.fill(true);
+  rebuild_list();
+}
+
+void ObjectiveSet::rebuild_list() {
+  list_.clear();
+  for (int i = 0; i < kObjectiveCount; ++i)
+    if (active_[static_cast<size_t>(i)])
+      list_.push_back(static_cast<Objective>(i));
+}
+
+ObjectiveSet ObjectiveSet::parse(const std::string& csv) {
+  ObjectiveSet s;
+  s.active_.fill(false);
+  std::stringstream in(csv);
+  std::string name;
+  bool any = false;
+  while (std::getline(in, name, ',')) {
+    if (name.empty()) continue;
+    bool found = false;
+    for (int i = 0; i < kObjectiveCount; ++i) {
+      if (name == dse::to_string(static_cast<Objective>(i))) {
+        APSQ_CHECK_MSG(!s.active_[static_cast<size_t>(i)],
+                       "duplicate objective: " << name);
+        s.active_[static_cast<size_t>(i)] = true;
+        found = true;
+        break;
+      }
+    }
+    APSQ_CHECK_MSG(found, "unknown objective: " << name
+                              << " (expected energy|area|error|latency)");
+    any = true;
+  }
+  APSQ_CHECK_MSG(any, "objective list is empty");
+  s.rebuild_list();
+  return s;
+}
+
+std::string ObjectiveSet::to_string() const {
+  std::string out;
+  for (Objective o : list_) {
+    if (!out.empty()) out += ',';
+    out += dse::to_string(o);
+  }
+  return out;
+}
+
+bool dominates(const Objectives& a, const Objectives& b,
+               const ObjectiveSet& objectives) {
+  bool strictly_better = false;
+  for (Objective o : objectives.list()) {
+    const double av = a.get(o), bv = b.get(o);
+    if (av > bv) return false;
+    if (av < bv) strictly_better = true;
+  }
+  return strictly_better;
 }
 
 }  // namespace apsq::dse

@@ -1,9 +1,11 @@
-// A single point in the accelerator design space and its three scoring
+// A single point in the accelerator design space and its scoring
 // objectives. The DSE engine (config_space / evaluator / pareto) sweeps
 // thousands of these across the paper's four workloads.
 #pragma once
 
+#include <array>
 #include <string>
+#include <vector>
 
 #include "energy/access_counts.hpp"
 #include "energy/accelerator_config.hpp"
@@ -31,16 +33,72 @@ struct DesignPoint {
 /// deterministic (pure integers, fixed field order, no doubles).
 std::string canonical_key(const DesignPoint& p);
 
-/// The three DSE objectives — all minimized.
-struct Objectives {
-  double energy_pj = 0.0;  ///< workload energy (analytical model, Eq. 1)
-  double area_um2 = 0.0;   ///< synthesis-area model (Table II composition)
-  double error = 0.0;      ///< PSUM quantization-error accuracy proxy (MSE)
+/// The DSE objectives, in storage order — all minimized. Extending the
+/// engine with a new objective means adding an enumerator here, a field +
+/// switch case in Objectives, and a name in to_string/objective_column;
+/// dominance, Pareto extraction, and CSV emission pick it up generically.
+enum class Objective : int {
+  kEnergy = 0,   ///< workload energy in pJ
+  kArea = 1,     ///< accelerator area in µm²
+  kError = 2,    ///< PSUM quantization-error accuracy proxy
+  kLatency = 3,  ///< end-to-end workload latency in seconds
 };
 
-/// Strict Pareto dominance: `a` is no worse than `b` in every objective
-/// and strictly better in at least one.
-bool dominates(const Objectives& a, const Objectives& b);
+inline constexpr int kObjectiveCount = 4;
+
+/// Short flag-style name ("energy", "area", "error", "latency").
+const char* to_string(Objective o);
+/// CSV column name ("energy_pj", "area_um2", "error", "latency_s").
+const char* objective_column(Objective o);
+
+/// The DSE objective values for one point — all minimized.
+struct Objectives {
+  double energy_pj = 0.0;  ///< workload energy (Eq. 1; analytic or measured)
+  double area_um2 = 0.0;   ///< synthesis-area model (Table II composition)
+  double error = 0.0;      ///< PSUM quantization-error accuracy proxy (MSE)
+  double latency_s = 0.0;  ///< workload latency (performance model / sim)
+
+  double get(Objective o) const;
+  void set(Objective o, double v);
+};
+
+/// An ordered subset of the objectives, used to parameterize dominance and
+/// Pareto extraction. Defaults to all kObjectiveCount objectives; parse()
+/// accepts a comma list of to_string names (e.g. "energy,area,latency").
+class ObjectiveSet {
+ public:
+  /// All objectives active (the default everywhere).
+  ObjectiveSet();
+
+  static ObjectiveSet all() { return ObjectiveSet(); }
+
+  /// Parse a comma-separated name list. Throws on unknown or duplicate
+  /// names and on an empty list.
+  static ObjectiveSet parse(const std::string& csv);
+
+  bool contains(Objective o) const {
+    return active_[static_cast<size_t>(o)];
+  }
+
+  /// Active objectives in enum (storage) order, independent of the order
+  /// names were listed in parse() — keeps downstream iteration canonical.
+  const std::vector<Objective>& list() const { return list_; }
+
+  size_t size() const { return list_.size(); }
+
+  /// Canonical comma list of the active objective names.
+  std::string to_string() const;
+
+ private:
+  std::array<bool, kObjectiveCount> active_{};
+  std::vector<Objective> list_;
+  void rebuild_list();
+};
+
+/// Strict Pareto dominance over the active objectives: `a` is no worse
+/// than `b` in every active objective and strictly better in at least one.
+bool dominates(const Objectives& a, const Objectives& b,
+               const ObjectiveSet& objectives = ObjectiveSet::all());
 
 /// A scored design point.
 struct EvalResult {

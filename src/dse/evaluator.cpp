@@ -3,19 +3,67 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "dse/accuracy_proxy.hpp"
-#include "dse/thread_pool.hpp"
 #include "energy/energy_model.hpp"
 #include "models/bert.hpp"
 #include "models/efficientvit.hpp"
 #include "models/llama2.hpp"
 #include "models/segformer.hpp"
+#include "sim/performance.hpp"
 
 namespace apsq::dse {
 
+const char* to_string(EvalBackend b) {
+  switch (b) {
+    case EvalBackend::kAnalytic: return "analytic";
+    case EvalBackend::kSim: return "sim";
+  }
+  APSQ_CHECK_MSG(false, "unknown backend");
+  return "";
+}
+
+EvalBackend parse_backend(const std::string& name) {
+  if (name == "analytic") return EvalBackend::kAnalytic;
+  if (name == "sim") return EvalBackend::kSim;
+  APSQ_CHECK_MSG(false, "unknown backend: " << name
+                            << " (expected analytic|sim)");
+  return EvalBackend::kAnalytic;
+}
+
+namespace {
+
+/// The simulator configuration a design point denotes. OS keeps PSUMs in
+/// PE registers, so APSQ has nothing to quantize there — the simulator
+/// refuses the combination; map it to the traffic-equivalent INT32
+/// baseline (the analytic model likewise charges OS zero PSUM traffic).
+SimConfig sim_config_for(const DesignPoint& p) {
+  SimConfig c;
+  c.arch = p.acc;
+  c.dataflow = p.dataflow;
+  c.psum = p.psum;
+  if (p.dataflow == Dataflow::kOS && p.psum.apsq)
+    c.psum = PsumConfig::baseline_int32();
+  return c;
+}
+
+}  // namespace
+
 Evaluator::Evaluator(EvaluatorOptions opt) : opt_(opt) {
   APSQ_CHECK_MSG(opt_.threads >= 1, "Evaluator needs >= 1 thread");
+  APSQ_CHECK_MSG(opt_.sim.threads >= 1, "sim runner needs >= 1 thread");
+  // One pool for the evaluator's lifetime: repeated evaluate_space /
+  // evaluate_points calls reuse its persistent workers instead of
+  // respawning threads per call.
+  pool_ = std::make_unique<WorkStealingPool>(opt_.threads);
+  // With a single-threaded evaluator, layer-parallel sim runs get their
+  // own persistent pool at the requested width (see sim_score_for).
+  if (opt_.backend == EvalBackend::kSim && opt_.threads == 1 &&
+      opt_.sim.threads > 1)
+    sim_pool_ = std::make_unique<WorkStealingPool>(opt_.sim.threads);
 }
+
+Evaluator::~Evaluator() = default;
 
 const Workload& Evaluator::workload(const std::string& name) {
   // Built once, never mutated afterwards — safe to share across workers.
@@ -32,8 +80,8 @@ const Workload& Evaluator::workload(const std::string& name) {
   return it->second;
 }
 
-template <typename Fn>
-double Evaluator::cached(Cache& cache, const std::string& key, Fn&& compute) {
+template <typename V, typename Fn>
+V Evaluator::cached(Cache<V>& cache, const std::string& key, Fn&& compute) {
   {
     std::lock_guard<std::mutex> lock(cache.mu);
     const auto it = cache.map.find(key);
@@ -44,10 +92,20 @@ double Evaluator::cached(Cache& cache, const std::string& key, Fn&& compute) {
   }
   // Compute outside the lock; a racing duplicate computes the identical
   // value (all scoring functions are pure), so first-writer-wins is safe.
-  const double value = compute();
+  const V value = compute();
   std::lock_guard<std::mutex> lock(cache.mu);
-  ++cache.stats.misses;
-  return cache.map.emplace(key, value).first->second;
+  const auto [it, inserted] = cache.map.emplace(key, value);
+  if (inserted)
+    ++cache.stats.misses;
+  else
+    ++cache.stats.races;  // a racing worker beat us to the insert
+  return it->second;
+}
+
+template <typename V>
+CacheStats Evaluator::stats_of(const Cache<V>& cache) const {
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.stats;
 }
 
 double Evaluator::energy_for(const DesignPoint& p) {
@@ -85,45 +143,77 @@ double Evaluator::error_for(const DesignPoint& p) {
   });
 }
 
+double Evaluator::latency_for(const DesignPoint& p) {
+  return cached(latency_cache_, canonical_key(p), [&] {
+    return workload_performance(p.dataflow, workload(p.workload), p.acc,
+                                p.psum, opt_.perf)
+        .total_latency_s;
+  });
+}
+
+Evaluator::SimScore Evaluator::sim_score_for(const DesignPoint& p) {
+  return cached(sim_cache_, canonical_key(p), [&]() -> SimScore {
+    WorkloadRunOptions run_opt = opt_.sim;
+    // Points are the outer parallelism; layer workers would oversubscribe
+    // (and nesting on the same pool degrades to inline anyway). With a
+    // single-threaded evaluator, sim.threads is honored via the dedicated
+    // persistent sim pool built in the constructor.
+    WorkStealingPool* inner_pool = pool_.get();
+    if (opt_.threads > 1)
+      run_opt.threads = 1;
+    else if (sim_pool_)
+      inner_pool = sim_pool_.get();
+    const WorkloadRunResult r = run_workload(
+        workload(p.workload), sim_config_for(p), run_opt, inner_pool);
+    return SimScore{r.energy_pj(opt_.costs), r.latency_s(opt_.perf)};
+  });
+}
+
 EvalResult Evaluator::evaluate(const DesignPoint& p) {
   p.validate();
   EvalResult r;
   r.point = p;
-  r.obj.energy_pj = energy_for(p);
   r.obj.area_um2 = area_for(p);
   r.obj.error = error_for(p);
+  if (opt_.backend == EvalBackend::kSim) {
+    const SimScore s = sim_score_for(p);
+    r.obj.energy_pj = s.energy_pj;
+    r.obj.latency_s = s.latency_s;
+  } else {
+    r.obj.energy_pj = energy_for(p);
+    r.obj.latency_s = latency_for(p);
+  }
   return r;
 }
 
 std::vector<EvalResult> Evaluator::evaluate_space(const ConfigSpace& space) {
   space.validate();
   std::vector<EvalResult> out(static_cast<size_t>(space.size()));
-  WorkStealingPool pool(opt_.threads);
-  pool.parallel_for(space.size(),
-                    [&](index_t i) { out[static_cast<size_t>(i)] = evaluate(space.at(i)); });
+  pool_->parallel_for(space.size(), [&](index_t i) {
+    out[static_cast<size_t>(i)] = evaluate(space.at(i));
+  });
   return out;
 }
 
 std::vector<EvalResult> Evaluator::evaluate_points(
     const std::vector<DesignPoint>& pts) {
   std::vector<EvalResult> out(pts.size());
-  WorkStealingPool pool(opt_.threads);
-  pool.parallel_for(static_cast<index_t>(pts.size()),
-                    [&](index_t i) { out[static_cast<size_t>(i)] = evaluate(pts[static_cast<size_t>(i)]); });
+  pool_->parallel_for(static_cast<index_t>(pts.size()), [&](index_t i) {
+    out[static_cast<size_t>(i)] = evaluate(pts[static_cast<size_t>(i)]);
+  });
   return out;
 }
 
 CacheStats Evaluator::energy_cache_stats() const {
-  std::lock_guard<std::mutex> lock(energy_cache_.mu);
-  return energy_cache_.stats;
+  return stats_of(energy_cache_);
 }
-CacheStats Evaluator::area_cache_stats() const {
-  std::lock_guard<std::mutex> lock(area_cache_.mu);
-  return area_cache_.stats;
-}
+CacheStats Evaluator::area_cache_stats() const { return stats_of(area_cache_); }
 CacheStats Evaluator::accuracy_cache_stats() const {
-  std::lock_guard<std::mutex> lock(accuracy_cache_.mu);
-  return accuracy_cache_.stats;
+  return stats_of(accuracy_cache_);
 }
+CacheStats Evaluator::latency_cache_stats() const {
+  return stats_of(latency_cache_);
+}
+CacheStats Evaluator::sim_cache_stats() const { return stats_of(sim_cache_); }
 
 }  // namespace apsq::dse

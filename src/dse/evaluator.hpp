@@ -1,19 +1,35 @@
-// Parallel, memoizing design-point scorer.
+// Parallel, memoizing design-point scorer with pluggable fidelity.
 //
-// Each point is scored on three objectives by the repo's analytical
-// models: workload energy (src/energy), synthesis area ±RAE (src/rae),
-// and the PSUM quantization-error accuracy proxy (accuracy_proxy.hpp).
-// The three sub-evaluations are memoized independently under canonical
-// sub-keys. Area depends only on the accelerator geometry and the accuracy
-// proxy only on (workload, psum, pci), so a cartesian sweep reuses the
-// overwhelming majority of those two; energy depends on every field of the
-// point, so its cache pays off for repeated evaluations of the same point
-// (re-runs, overlapping spaces), not within one cartesian sweep. All scoring functions are
-// pure, every worker derives its randomness per work item via
-// Rng::stream, and results land in index-addressed slots, so a parallel
-// sweep is byte-identical to a serial one.
+// Each point is scored on four objectives: workload energy, synthesis
+// area ±RAE (src/rae), the PSUM quantization-error accuracy proxy
+// (accuracy_proxy.hpp), and workload latency. Two backends supply the
+// energy/latency pair:
+//
+//   analytic — closed-form access counts (src/energy, Eqs. 1–6) and the
+//              tile/bandwidth performance model (src/sim/performance);
+//   sim      — drives the bit-accurate simulator (run_workload /
+//              Accelerator::run_gemm) with a per-point SimConfig and
+//              converts the *measured* SRAM/DRAM byte counts into energy
+//              via the same EnergyCosts table, and measured cycles/DRAM
+//              traffic into latency. Sim scores are of the scaled proxy
+//              workload (WorkloadRunOptions.shrink / max_dim), so absolute
+//              values are smaller than analytic full-scale ones; rankings
+//              and fronts are what sweeps compare.
+//
+// Sub-evaluations are memoized independently under canonical sub-keys.
+// Area depends only on the accelerator geometry and the accuracy proxy
+// only on (workload, psum, pci), so a cartesian sweep reuses the
+// overwhelming majority of those two; energy/latency depend on every field
+// of the point, so their caches pay off for repeated evaluations of the
+// same point (re-runs, overlapping spaces), not within one cartesian
+// sweep. All scoring functions are pure, every worker derives its
+// randomness per work item via Rng::stream, and results land in
+// index-addressed slots, so a parallel sweep is byte-identical to a serial
+// one. The work-stealing pool is owned by the evaluator and reused across
+// evaluate_space / evaluate_points calls (its workers persist).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,37 +38,63 @@
 #include "dse/design_point.hpp"
 #include "energy/costs.hpp"
 #include "rae/area_model.hpp"
+#include "sim/workload_runner.hpp"
 
 #include <mutex>
 
+namespace apsq {
+class WorkStealingPool;
+}
+
 namespace apsq::dse {
+
+/// Fidelity backend for the energy and latency objectives.
+enum class EvalBackend {
+  kAnalytic,  ///< closed-form models (fast; full-scale workloads)
+  kSim,       ///< cycle-level simulator (slow; scaled proxy workloads)
+};
+
+const char* to_string(EvalBackend b);
+/// Parse "analytic" | "sim"; throws on anything else.
+EvalBackend parse_backend(const std::string& name);
 
 struct EvaluatorOptions {
   int threads = 1;         ///< worker count for evaluate_space
   u64 seed = 0xD5EULL;     ///< accuracy-proxy stream seed
+  EvalBackend backend = EvalBackend::kAnalytic;
   EnergyCosts costs = EnergyCosts::horowitz();
   AreaLibrary area_lib = AreaLibrary::tsmc28_typical();
+  PerfConfig perf;         ///< clock / DRAM bandwidth for the latency objective
+  /// Scaling and seed for the sim backend. Its `threads` field is ignored
+  /// when the evaluator itself runs multi-threaded (points are the outer
+  /// parallelism; nesting layer workers would oversubscribe).
+  WorkloadRunOptions sim;
 };
 
-/// Hit/miss counters for one sub-evaluation cache. Under contention two
-/// workers may both compute the same missing entry (both count a miss);
-/// the cached value is identical either way, so only the counters — never
-/// the results — are schedule-dependent.
+/// Counters for one sub-evaluation cache. Under contention two workers may
+/// both compute the same missing entry; the loser's insert is counted as a
+/// `race` (the cached value is identical either way, so only the counters
+/// — never the results — are schedule-dependent). For any schedule,
+/// hits + misses + races == number of lookups.
 struct CacheStats {
   i64 hits = 0;
   i64 misses = 0;
+  i64 races = 0;
+
+  i64 lookups() const { return hits + misses + races; }
 };
 
 class Evaluator {
  public:
   explicit Evaluator(EvaluatorOptions opt = EvaluatorOptions{});
+  ~Evaluator();
 
   /// Score one point (memoized, thread-safe).
   EvalResult evaluate(const DesignPoint& p);
 
-  /// Score every point of the space with the work-stealing pool.
-  /// Output order is the space's enumeration order regardless of thread
-  /// count.
+  /// Score every point of the space with the evaluator's persistent
+  /// work-stealing pool. Output order is the space's enumeration order
+  /// regardless of thread count.
   std::vector<EvalResult> evaluate_space(const ConfigSpace& space);
 
   /// Score an explicit point list (same determinism guarantees).
@@ -61,6 +103,8 @@ class Evaluator {
   CacheStats energy_cache_stats() const;
   CacheStats area_cache_stats() const;
   CacheStats accuracy_cache_stats() const;
+  CacheStats latency_cache_stats() const;
+  CacheStats sim_cache_stats() const;
 
   const EvaluatorOptions& options() const { return opt_; }
 
@@ -69,22 +113,39 @@ class Evaluator {
   static const Workload& workload(const std::string& name);
 
  private:
+  /// Energy + latency of one simulated (scaled) workload run.
+  struct SimScore {
+    double energy_pj = 0.0;
+    double latency_s = 0.0;
+  };
+
+  template <typename V>
   struct Cache {
     mutable std::mutex mu;
-    std::unordered_map<std::string, double> map;
+    std::unordered_map<std::string, V> map;
     CacheStats stats;
   };
-  template <typename Fn>
-  double cached(Cache& cache, const std::string& key, Fn&& compute);
+  template <typename V, typename Fn>
+  V cached(Cache<V>& cache, const std::string& key, Fn&& compute);
+  template <typename V>
+  CacheStats stats_of(const Cache<V>& cache) const;
 
   double energy_for(const DesignPoint& p);
   double area_for(const DesignPoint& p);
   double error_for(const DesignPoint& p);
+  double latency_for(const DesignPoint& p);
+  SimScore sim_score_for(const DesignPoint& p);
 
   EvaluatorOptions opt_;
-  Cache energy_cache_;
-  Cache area_cache_;
-  Cache accuracy_cache_;
+  Cache<double> energy_cache_;
+  Cache<double> area_cache_;
+  Cache<double> accuracy_cache_;
+  Cache<double> latency_cache_;
+  Cache<SimScore> sim_cache_;
+  std::unique_ptr<WorkStealingPool> pool_;  ///< persistent across calls
+  /// Layer-parallel pool for sim runs when the evaluator itself is
+  /// single-threaded (opt_.sim.threads wide); null otherwise.
+  std::unique_ptr<WorkStealingPool> sim_pool_;
 };
 
 }  // namespace apsq::dse

@@ -7,17 +7,19 @@
 namespace apsq::dse {
 
 bool is_dominated(const EvalResult& candidate,
-                  const std::vector<EvalResult>& points) {
+                  const std::vector<EvalResult>& points,
+                  const ObjectiveSet& objectives) {
   const std::string key = canonical_key(candidate.point);
   for (const EvalResult& other : points) {
-    if (!dominates(other.obj, candidate.obj)) continue;
+    if (!dominates(other.obj, candidate.obj, objectives)) continue;
     if (canonical_key(other.point) == key) continue;
     return true;
   }
   return false;
 }
 
-std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points) {
+std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points,
+                                     const ObjectiveSet& objectives) {
   // Sort by precomputed key first: the filter below then emits the front
   // in key order no matter how the caller ordered the input.
   struct Keyed {
@@ -38,7 +40,7 @@ std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points) {
     bool dominated = false;
     for (const Keyed& other : sorted) {
       if (other.result == cand.result ||
-          !dominates(other.result->obj, cand.result->obj))
+          !dominates(other.result->obj, cand.result->obj, objectives))
         continue;
       dominated = true;
       break;
@@ -49,13 +51,13 @@ std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points) {
 }
 
 std::vector<EvalResult> pareto_front_by_workload(
-    const std::vector<EvalResult>& points) {
+    const std::vector<EvalResult>& points, const ObjectiveSet& objectives) {
   std::map<std::string, std::vector<EvalResult>> groups;  // sorted by name
   for (const EvalResult& p : points) groups[p.point.workload].push_back(p);
   std::vector<EvalResult> out;
   for (const auto& [name, group] : groups) {
     (void)name;
-    std::vector<EvalResult> front = pareto_front(group);
+    std::vector<EvalResult> front = pareto_front(group, objectives);
     out.insert(out.end(), std::make_move_iterator(front.begin()),
                std::make_move_iterator(front.end()));
   }

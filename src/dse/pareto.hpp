@@ -1,7 +1,10 @@
-// 3-objective Pareto-front extraction (energy ↓, area ↓, error ↓) with
+// N-objective Pareto-front extraction (all objectives minimized) with
 // deterministic output: candidates are ordered by canonical key before the
 // dominance filter, so serial and parallel sweeps — and any permutation of
-// the input — produce byte-identical fronts.
+// the input — produce byte-identical fronts. The active objective subset
+// (default: energy, area, error, latency) parameterizes dominance, so the
+// same scored sweep can be re-sliced into e.g. an energy × latency front
+// without re-evaluation.
 #pragma once
 
 #include <vector>
@@ -10,11 +13,13 @@
 
 namespace apsq::dse {
 
-/// The non-dominated subset of `points`, sorted by canonical_key.
-/// Points with identical objectives but different configurations tie and
-/// are all kept; exact duplicates (same canonical key) are collapsed to
-/// one entry.
-std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points);
+/// The non-dominated subset of `points` under the active objectives,
+/// sorted by canonical_key. Points with identical objectives but different
+/// configurations tie and are all kept; exact duplicates (same canonical
+/// key) are collapsed to one entry.
+std::vector<EvalResult> pareto_front(
+    const std::vector<EvalResult>& points,
+    const ObjectiveSet& objectives = ObjectiveSet::all());
 
 /// The "scenario" view: the workload is something the accelerator must
 /// serve, not a knob to tune, so dominance is only meaningful between
@@ -22,12 +27,14 @@ std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points);
 /// group's front, and concatenates them in workload-name order (each
 /// group internally in canonical-key order — still fully deterministic).
 std::vector<EvalResult> pareto_front_by_workload(
-    const std::vector<EvalResult>& points);
+    const std::vector<EvalResult>& points,
+    const ObjectiveSet& objectives = ObjectiveSet::all());
 
-/// True iff `candidate` is dominated by some element of `points`
-/// (comparison against itself — same canonical key — is skipped).
-/// Exposed for the front-verification tests.
+/// True iff `candidate` is dominated by some element of `points` under the
+/// active objectives (comparison against itself — same canonical key — is
+/// skipped). Exposed for the front-verification tests.
 bool is_dominated(const EvalResult& candidate,
-                  const std::vector<EvalResult>& points);
+                  const std::vector<EvalResult>& points,
+                  const ObjectiveSet& objectives = ObjectiveSet::all());
 
 }  // namespace apsq::dse

@@ -14,50 +14,82 @@ namespace {
 
 std::vector<std::string> result_row(const EvalResult& r) {
   const DesignPoint& p = r.point;
-  return {p.workload,
-          to_string(p.dataflow),
-          std::to_string(p.psum.psum_bits),
-          std::to_string(p.psum.apsq ? 1 : 0),
-          std::to_string(p.psum.group_size),
-          std::to_string(p.acc.po),
-          std::to_string(p.acc.pci),
-          std::to_string(p.acc.pco),
-          std::to_string(p.acc.ifmap_buf_bytes),
-          std::to_string(p.acc.ofmap_buf_bytes),
-          std::to_string(p.acc.weight_buf_bytes),
-          format_double(r.obj.energy_pj),
-          format_double(r.obj.area_um2),
-          format_double(r.obj.error)};
+  std::vector<std::string> row = {p.workload,
+                                  to_string(p.dataflow),
+                                  std::to_string(p.psum.psum_bits),
+                                  std::to_string(p.psum.apsq ? 1 : 0),
+                                  std::to_string(p.psum.group_size),
+                                  std::to_string(p.acc.po),
+                                  std::to_string(p.acc.pci),
+                                  std::to_string(p.acc.pco),
+                                  std::to_string(p.acc.ifmap_buf_bytes),
+                                  std::to_string(p.acc.ofmap_buf_bytes),
+                                  std::to_string(p.acc.weight_buf_bytes)};
+  for (int i = 0; i < kObjectiveCount; ++i)
+    row.push_back(format_double(r.obj.get(static_cast<Objective>(i))));
+  return row;
+}
+
+/// Human-readable column header / rendering for one objective. Extend
+/// alongside the Objective enum so the front table stays generic.
+const char* objective_header(Objective o) {
+  switch (o) {
+    case Objective::kEnergy: return "Energy (uJ)";
+    case Objective::kArea: return "Area (mm2)";
+    case Objective::kError: return "Error";
+    case Objective::kLatency: return "Latency (ms)";
+  }
+  return "";
+}
+
+std::string objective_display(Objective o, double v) {
+  switch (o) {
+    case Objective::kEnergy: return Table::num(v / 1e6, 1);
+    case Objective::kArea: return Table::num(v / 1e6, 3);
+    case Objective::kError: return Table::num(v, 6);
+    case Objective::kLatency: return Table::num(v * 1e3, 3);
+  }
+  return "";
 }
 
 }  // namespace
 
 CsvWriter results_csv(const std::vector<EvalResult>& results) {
-  CsvWriter csv({"workload", "dataflow", "psum_bits", "apsq", "group_size",
-                 "po", "pci", "pco", "ifmap_buf_bytes", "ofmap_buf_bytes",
-                 "weight_buf_bytes", "energy_pj", "area_um2", "error"});
+  std::vector<std::string> header = {
+      "workload", "dataflow",        "psum_bits",       "apsq",
+      "group_size", "po",            "pci",             "pco",
+      "ifmap_buf_bytes", "ofmap_buf_bytes", "weight_buf_bytes"};
+  for (int i = 0; i < kObjectiveCount; ++i)
+    header.push_back(objective_column(static_cast<Objective>(i)));
+  CsvWriter csv(header);
   for (const EvalResult& r : results) csv.add_row(result_row(r));
   return csv;
 }
 
 Table front_table(const std::vector<EvalResult>& front) {
-  Table t({"Workload", "Dataflow", "PSUM", "gs", "PE (Po,Pci,Pco)",
-           "Bufs (KB)", "Energy (uJ)", "Area (mm2)", "Error"});
+  std::vector<std::string> header = {"Workload", "Dataflow", "PSUM", "gs",
+                                     "PE (Po,Pci,Pco)", "Bufs (KB)"};
+  for (int i = 0; i < kObjectiveCount; ++i)
+    header.push_back(objective_header(static_cast<Objective>(i)));
+  Table t(header);
   for (const EvalResult& r : front) {
     const DesignPoint& p = r.point;
     const std::string psum_label =
         (p.psum.apsq ? "APSQ INT" : (p.psum.psum_bits >= 32 ? "INT" : "PSQ INT")) +
         std::to_string(p.psum.psum_bits);
-    t.add_row({p.workload, to_string(p.dataflow), psum_label,
-               std::to_string(p.psum.group_size),
-               std::to_string(p.acc.po) + "," + std::to_string(p.acc.pci) +
-                   "," + std::to_string(p.acc.pco),
-               std::to_string(p.acc.ifmap_buf_bytes / 1024) + "/" +
-                   std::to_string(p.acc.ofmap_buf_bytes / 1024) + "/" +
-                   std::to_string(p.acc.weight_buf_bytes / 1024),
-               Table::num(r.obj.energy_pj / 1e6, 1),
-               Table::num(r.obj.area_um2 / 1e6, 3),
-               Table::num(r.obj.error, 6)});
+    std::vector<std::string> row = {
+        p.workload, to_string(p.dataflow), psum_label,
+        std::to_string(p.psum.group_size),
+        std::to_string(p.acc.po) + "," + std::to_string(p.acc.pci) + "," +
+            std::to_string(p.acc.pco),
+        std::to_string(p.acc.ifmap_buf_bytes / 1024) + "/" +
+            std::to_string(p.acc.ofmap_buf_bytes / 1024) + "/" +
+            std::to_string(p.acc.weight_buf_bytes / 1024)};
+    for (int i = 0; i < kObjectiveCount; ++i) {
+      const Objective o = static_cast<Objective>(i);
+      row.push_back(objective_display(o, r.obj.get(o)));
+    }
+    t.add_row(row);
   }
   return t;
 }

@@ -16,7 +16,8 @@ namespace apsq::dse {
 /// Round-trip-exact decimal rendering of a double.
 std::string format_double(double v);
 
-/// One row per result: the full configuration plus the three objectives.
+/// One row per result: the full configuration plus every objective (one
+/// column per Objective, in enum order).
 CsvWriter results_csv(const std::vector<EvalResult>& results);
 
 /// Human-readable front table, rows ordered as given.

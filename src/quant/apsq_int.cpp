@@ -12,7 +12,10 @@ i32 psum_quantize_shift(i64 x, int exp, const QuantSpec& spec) {
 
 i64 psum_dequantize_shift(i32 code, int exp) {
   APSQ_DCHECK(exp >= 0 && exp < 32);
-  return static_cast<i64>(code) << exp;
+  // Shift in the unsigned domain: a left shift of a negative signed value
+  // is UB before C++20 (flagged by UBSan); the two's-complement result is
+  // identical.
+  return static_cast<i64>(static_cast<u64>(static_cast<i64>(code)) << exp);
 }
 
 GroupedApsqInt::GroupedApsqInt(Shape tile_shape, Options options)

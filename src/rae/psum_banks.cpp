@@ -2,16 +2,22 @@
 
 namespace apsq {
 
-PsumBanks::PsumBanks(index_t tile_elems) : tile_elems_(tile_elems) {
+PsumBanks::PsumBanks(index_t tile_elems, int code_bits)
+    : tile_elems_(tile_elems), code_bits_(code_bits) {
   APSQ_CHECK(tile_elems > 0);
+  APSQ_CHECK_MSG(code_bits >= 2 && code_bits <= 32,
+                 "bank word width out of range");
 }
 
 void PsumBanks::write(index_t bank, const TensorI32& codes, int exponent) {
   check_bank(bank);
   APSQ_CHECK_MSG(codes.numel() == tile_elems_, "tile size mismatch");
+  const i64 lo = -(i64{1} << (code_bits_ - 1));
+  const i64 hi = (i64{1} << (code_bits_ - 1)) - 1;
   for (index_t e = 0; e < codes.numel(); ++e)
-    APSQ_CHECK_MSG(codes[e] >= -128 && codes[e] <= 127,
-                   "bank stores INT8 codes; got " << codes[e]);
+    APSQ_CHECK_MSG(codes[e] >= lo && codes[e] <= hi,
+                   "bank stores INT" << code_bits_ << " codes; got "
+                                     << codes[e]);
   codes_[static_cast<size_t>(bank)] = codes;
   exps_[static_cast<size_t>(bank)] = exponent;
   valid_[static_cast<size_t>(bank)] = true;

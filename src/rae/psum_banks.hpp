@@ -1,5 +1,8 @@
 // The RAE's PSUM buffer: four independently addressable SRAM banks of
-// INT8 codes (Fig. 2, "PSUM Bank0..3").
+// quantized PSUM codes (Fig. 2, "PSUM Bank0..3"). The bank word width
+// follows the configured PSUM storage precision — INT8 in the paper's
+// main setting, narrower for the Fig. 5 INT4/INT6 variants, wider for the
+// hypothetical 12/16-bit design points the DSE sweep probes.
 //
 // Bank discipline (matches the §III-C walk-through):
 //  * plain-quantized tiles of the current group occupy banks 0 … gs-2;
@@ -21,12 +24,14 @@ class PsumBanks {
  public:
   static constexpr index_t kNumBanks = 4;
 
-  /// `tile_elems` — elements per stored PSUM tile (bank word count).
-  explicit PsumBanks(index_t tile_elems);
+  /// `tile_elems` — elements per stored PSUM tile (bank word count);
+  /// `code_bits` — stored code width (signed; default the paper's INT8).
+  explicit PsumBanks(index_t tile_elems, int code_bits = 8);
 
   index_t tile_elems() const { return tile_elems_; }
+  int code_bits() const { return code_bits_; }
 
-  /// Store a tile of INT8 codes (values must fit the signed 8-bit range;
+  /// Store a tile of codes (values must fit the signed code_bits range;
   /// checked) together with its shift exponent.
   void write(index_t bank, const TensorI32& codes, int exponent);
 
@@ -47,6 +52,7 @@ class PsumBanks {
   }
 
   index_t tile_elems_;
+  int code_bits_;
   std::array<TensorI32, kNumBanks> codes_;
   std::array<int, kNumBanks> exps_{};
   std::array<bool, kNumBanks> valid_{};

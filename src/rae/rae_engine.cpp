@@ -6,7 +6,7 @@ RaeEngine::RaeEngine(Shape tile_shape, Options options)
     : tile_shape_(std::move(tile_shape)),
       opt_(std::move(options)),
       cfg_(rae_config_for_group_size(opt_.group_size)),
-      banks_(shape_numel(tile_shape_)),
+      banks_(shape_numel(tile_shape_), opt_.spec.bits),
       quant_(opt_.spec) {
   APSQ_CHECK(opt_.num_tiles >= 1);
   APSQ_CHECK(!opt_.exponents.empty());

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/math_util.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/matmul.hpp"
 
 namespace apsq {
@@ -15,6 +18,19 @@ TensorI8 random_operand(Shape s, Rng& rng) {
   for (index_t i = 0; i < t.numel(); ++i)
     t[i] = static_cast<i8>(static_cast<i64>(rng.next_u64() % 256) - 128);
   return t;
+}
+
+/// Deterministic RNG stream index for a scaled shape: operands are drawn
+/// per shape (not per layer position), so identical shapes see identical
+/// operands regardless of execution order — the property that makes the
+/// per-shape calibration memo sound and layer-parallel runs byte-identical.
+u64 shape_stream_key(const LayerShape& s) {
+  u64 h = 0x243F6A8885A308D3ULL;  // arbitrary non-zero offset basis
+  for (u64 d : {static_cast<u64>(s.rows), static_cast<u64>(s.ci),
+                static_cast<u64>(s.co)}) {
+    h ^= d + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
 }
 
 void accumulate(SimStats& total, const SimStats& s, index_t repeat) {
@@ -33,6 +49,32 @@ void accumulate(SimStats& total, const SimStats& s, index_t repeat) {
   total.psum_spilled = total.psum_spilled || s.psum_spilled;
 }
 
+/// Per-(shape, seed) memo for the calibration exponent. The exact GEMM it
+/// avoids costs as much as the simulated layer itself, so workloads with
+/// repeated shapes (every transformer) roughly halve their APSQ sim time.
+/// Thread-safe; a race double-computes the identical value (benign).
+class CalibrationMemo {
+ public:
+  int get_or_compute(const LayerShape& shape, const TensorI8& x,
+                     const TensorI8& wt, index_t& computed) {
+    const u64 key = shape_stream_key(shape);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = map_.find(key);
+      if (it != map_.end()) return it->second;
+    }
+    const TensorI32 exact = matmul_i8(x, wt);
+    const int e = calibrate_psum_exponent(exact);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++computed;
+    return map_.emplace(key, e).first->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<u64, int> map_;
+};
+
 }  // namespace
 
 LayerShape scale_layer(const LayerShape& layer, const WorkloadRunOptions& opt) {
@@ -47,37 +89,83 @@ LayerShape scale_layer(const LayerShape& layer, const WorkloadRunOptions& opt) {
   return s;
 }
 
-WorkloadRunResult run_workload(const Workload& w, const SimConfig& cfg,
-                               const WorkloadRunOptions& opt) {
-  WorkloadRunResult result;
-  Rng rng(opt.seed);
+int psum_exponent_for_max(i64 max_abs) {
+  APSQ_CHECK(max_abs >= 0);
+  // Nearest-pow2 rule, matching the QAT calibrator; clamped to the RAE
+  // shifter's representable exponents [0, 31] (psum_dequantize_shift is a
+  // left shift of an i32 code — 32 and above would be unrepresentable).
+  const double needed = static_cast<double>(std::max<i64>(1, max_abs)) / 127.0;
+  const int e = static_cast<int>(round_half_away(std::log2(needed)));
+  return std::min(31, std::max(0, e));
+}
 
-  for (const auto& layer : w.layers) {
+int calibrate_psum_exponent(const TensorI32& exact) {
+  i64 mx = 1;
+  for (index_t i = 0; i < exact.numel(); ++i)
+    mx = std::max<i64>(mx, std::abs(static_cast<i64>(exact[i])));
+  return psum_exponent_for_max(mx);
+}
+
+double WorkloadRunResult::latency_s(const PerfConfig& perf) const {
+  APSQ_CHECK(perf.clock_hz > 0.0 && perf.dram_bandwidth_gbps > 0.0);
+  double total_s = 0.0;
+  for (const LayerRunStats& lr : layers) {
+    const double compute_s =
+        static_cast<double>(lr.stats.cycles) / perf.clock_hz;
+    const double dram_s = static_cast<double>(lr.stats.dram.total_bytes()) /
+                          (perf.dram_bandwidth_gbps * 1e9);
+    total_s += std::max(compute_s, dram_s) * static_cast<double>(lr.repeat);
+  }
+  return total_s;
+}
+
+WorkloadRunResult run_workload(const Workload& w, const SimConfig& cfg,
+                               const WorkloadRunOptions& opt,
+                               WorkStealingPool* pool) {
+  APSQ_CHECK(opt.threads >= 1);
+  WorkloadRunResult result;
+  const index_t n = static_cast<index_t>(w.layers.size());
+  result.layers.resize(static_cast<size_t>(n));
+
+  CalibrationMemo memo;
+  index_t calibrations = 0;  // guarded by the memo's mutex
+
+  auto run_layer = [&](index_t li) {
+    const LayerShape& layer = w.layers[static_cast<size_t>(li)];
     const LayerShape scaled = scale_layer(layer, opt);
+    Rng rng = Rng::stream(opt.seed, shape_stream_key(scaled));
     const TensorI8 x = random_operand({scaled.rows, scaled.ci}, rng);
     const TensorI8 wt = random_operand({scaled.ci, scaled.co}, rng);
 
     SimConfig layer_cfg = cfg;
     if (cfg.psum.apsq || cfg.psq_prior_work) {
-      // Auto-calibrate the PSUM shift from the exact outputs, matching the
-      // nearest-pow2 rule the QAT calibrator uses.
-      const TensorI32 exact = matmul_i8(x, wt);
-      i64 mx = 1;
-      for (index_t i = 0; i < exact.numel(); ++i)
-        mx = std::max<i64>(mx, std::abs(static_cast<i64>(exact[i])));
-      const double needed = static_cast<double>(mx) / 127.0;
-      const int e = std::max(
-          0, static_cast<int>(round_half_away(std::log2(needed))));
-      layer_cfg.psum_exponents = {e};
+      // Auto-calibrate the PSUM shift from the exact outputs (memoized:
+      // identical shapes share operands, hence the exponent).
+      layer_cfg.psum_exponents = {
+          memo.get_or_compute(scaled, x, wt, calibrations)};
     }
 
     Accelerator acc(layer_cfg);
     SimResult r = acc.run_gemm(x, wt);
+    result.layers[static_cast<size_t>(li)] =
+        LayerRunStats{layer.name, scaled, std::move(r.stats), layer.repeat};
+  };
 
-    accumulate(result.total, r.stats, layer.repeat);
-    result.layers.push_back(
-        LayerRunStats{layer.name, scaled, std::move(r.stats), layer.repeat});
+  if (opt.threads > 1 && n > 1) {
+    if (pool) {
+      pool->parallel_for(n, run_layer);
+    } else {
+      WorkStealingPool local(opt.threads);
+      local.parallel_for(n, run_layer);
+    }
+  } else {
+    for (index_t li = 0; li < n; ++li) run_layer(li);
   }
+
+  // Aggregate serially in layer order so totals are schedule-independent.
+  for (const LayerRunStats& lr : result.layers)
+    accumulate(result.total, lr.stats, lr.repeat);
+  result.calibration_count = calibrations;
   return result;
 }
 

@@ -1,4 +1,4 @@
-#include "dse/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
@@ -8,7 +8,7 @@
 #include <thread>
 #include <vector>
 
-namespace apsq::dse {
+namespace apsq {
 namespace {
 
 TEST(WorkStealingPool, RunsEveryIndexExactlyOnce) {
@@ -71,6 +71,53 @@ TEST(WorkStealingPool, FirstExceptionPropagates) {
                std::runtime_error);
 }
 
+TEST(WorkStealingPool, UsableAgainAfterAnException) {
+  // The persistent workers must survive a throwing run.
+  WorkStealingPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(50, [&](index_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<index_t> sum{0};
+  pool.parallel_for(10, [&](index_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(WorkStealingPool, WorkersPersistAcrossParallelForCalls) {
+  // The pool-reuse contract: repeated calls are served by the same
+  // long-lived workers (run_count ticks; every call completes fully).
+  WorkStealingPool pool(4);
+  constexpr int kCalls = 25;
+  for (int c = 0; c < kCalls; ++c) {
+    std::atomic<index_t> sum{0};
+    pool.parallel_for(100, [&](index_t i) { sum += i; });
+    ASSERT_EQ(sum.load(), 4950) << "call " << c;
+  }
+  EXPECT_EQ(pool.run_count(), kCalls);
+}
+
+TEST(WorkStealingPool, NestedParallelForRunsInline) {
+  // A task that re-enters its own pool must not deadlock; the inner loop
+  // degrades to inline execution on the worker thread.
+  WorkStealingPool pool(3);
+  std::atomic<index_t> total{0};
+  pool.parallel_for(6, [&](index_t) {
+    pool.parallel_for(5, [&](index_t j) { total += j; });
+  });
+  EXPECT_EQ(total.load(), 6 * 10);
+}
+
+TEST(WorkStealingPool, ConcurrentExternalCallersAreSerialized) {
+  WorkStealingPool pool(2);
+  std::atomic<index_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c)
+    callers.emplace_back([&] {
+      pool.parallel_for(50, [&](index_t i) { total += i; });
+    });
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4 * (49 * 50 / 2));
+}
+
 TEST(WorkStealingPool, RejectsZeroThreads) {
   EXPECT_THROW(WorkStealingPool(0), std::logic_error);
 }
@@ -80,4 +127,4 @@ TEST(WorkStealingPool, HardwareThreadsPositive) {
 }
 
 }  // namespace
-}  // namespace apsq::dse
+}  // namespace apsq

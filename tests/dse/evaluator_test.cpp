@@ -97,6 +97,125 @@ TEST(Evaluator, ParallelEqualsSerialByteIdentical) {
   }
 }
 
+TEST(Evaluator, CacheStatsReconcileWithLookups) {
+  // hits + misses + races must equal the lookup count for any schedule —
+  // the races counter absorbs duplicate computes under contention.
+  const ConfigSpace space = ConfigSpace::smoke();
+  EvaluatorOptions opt;
+  opt.threads = 4;
+  Evaluator eval(opt);
+  eval.evaluate_space(space);
+  eval.evaluate_space(space);  // warm re-run: all hits
+  const i64 lookups = 2 * space.size();
+  EXPECT_EQ(eval.energy_cache_stats().lookups(), lookups);
+  EXPECT_EQ(eval.area_cache_stats().lookups(), lookups);
+  EXPECT_EQ(eval.accuracy_cache_stats().lookups(), lookups);
+  EXPECT_EQ(eval.latency_cache_stats().lookups(), lookups);
+  // Distinct-key counts are schedule-independent: misses + races ==
+  // first-run computes, and the warm run added pure hits.
+  const CacheStats es = eval.energy_cache_stats();
+  EXPECT_EQ(es.misses, space.size());  // all smoke keys are distinct
+  EXPECT_EQ(es.hits + es.races, space.size());
+}
+
+TEST(Evaluator, RepeatedCallsReuseThePersistentPool) {
+  // Pool ownership is hoisted into the evaluator: back-to-back
+  // evaluate_points calls are served by the same workers and stay
+  // bit-identical to the first answer.
+  EvaluatorOptions opt;
+  opt.threads = 4;
+  Evaluator eval(opt);
+  const std::vector<DesignPoint> pts = {
+      bert_point(PsumConfig::baseline_int32()),
+      bert_point(PsumConfig::apsq_int8(1)),
+      bert_point(PsumConfig::apsq_int8(4))};
+  const std::vector<EvalResult> first = eval.evaluate_points(pts);
+  for (int call = 0; call < 10; ++call) {
+    const std::vector<EvalResult> again = eval.evaluate_points(pts);
+    ASSERT_EQ(again.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(again[i].obj.energy_pj, first[i].obj.energy_pj);
+      EXPECT_EQ(again[i].obj.latency_s, first[i].obj.latency_s);
+    }
+  }
+}
+
+TEST(Evaluator, LatencyObjectiveMatchesPerformanceModel) {
+  Evaluator eval;
+  const DesignPoint p = bert_point(PsumConfig::apsq_int8(2));
+  const EvalResult r = eval.evaluate(p);
+  EXPECT_GT(r.obj.latency_s, 0.0);
+  const WorkloadPerformance perf = workload_performance(
+      p.dataflow, Evaluator::workload(p.workload), p.acc, p.psum);
+  EXPECT_EQ(r.obj.latency_s, perf.total_latency_s);
+}
+
+EvaluatorOptions sim_opt(int threads) {
+  EvaluatorOptions opt;
+  opt.threads = threads;
+  opt.backend = EvalBackend::kSim;
+  opt.sim.shrink = 32;
+  opt.sim.max_dim = 32;
+  return opt;
+}
+
+TEST(Evaluator, SimBackendParallelEqualsSerialByteIdentical) {
+  // The acceptance property behind `apsq_dse --backend sim
+  // --verify-serial`: simulator-backed sweeps stay deterministic across
+  // thread counts.
+  const ConfigSpace space = ConfigSpace::smoke();
+  Evaluator serial(sim_opt(1));
+  const std::string serial_csv =
+      results_csv(serial.evaluate_space(space)).to_string();
+  for (int threads : {2, 4}) {
+    Evaluator parallel(sim_opt(threads));
+    EXPECT_EQ(serial_csv,
+              results_csv(parallel.evaluate_space(space)).to_string())
+        << "threads=" << threads;
+  }
+}
+
+TEST(Evaluator, SimBackendLayerParallelismIsDeterministic) {
+  // Single-threaded evaluator + multi-threaded sim runner (the dedicated
+  // sim pool): scores must match the fully serial configuration exactly.
+  const ConfigSpace space = ConfigSpace::smoke();
+  Evaluator serial(sim_opt(1));
+  EvaluatorOptions layer_par = sim_opt(1);
+  layer_par.sim.threads = 4;
+  Evaluator parallel(layer_par);
+  EXPECT_EQ(results_csv(serial.evaluate_space(space)).to_string(),
+            results_csv(parallel.evaluate_space(space)).to_string());
+}
+
+TEST(Evaluator, SimBackendScoresMeasuredObjectives) {
+  Evaluator eval(sim_opt(1));
+  const EvalResult base = eval.evaluate(bert_point(PsumConfig::baseline_int32()));
+  const EvalResult apsq8 = eval.evaluate(bert_point(PsumConfig::apsq_int8(2)));
+  // The paper's headline must also hold on measured traffic.
+  EXPECT_GT(base.obj.energy_pj, 0.0);
+  EXPECT_LT(apsq8.obj.energy_pj, base.obj.energy_pj);
+  EXPECT_GT(apsq8.obj.latency_s, 0.0);
+  // Area and the accuracy proxy are backend-independent.
+  Evaluator analytic;
+  const EvalResult a = analytic.evaluate(bert_point(PsumConfig::apsq_int8(2)));
+  EXPECT_EQ(apsq8.obj.area_um2, a.obj.area_um2);
+  EXPECT_EQ(apsq8.obj.error, a.obj.error);
+  // Sim scores are of the scaled proxy workload — far below full scale.
+  EXPECT_LT(apsq8.obj.energy_pj, a.obj.energy_pj);
+}
+
+TEST(Evaluator, SimBackendHandlesOsApsqPoints) {
+  // OS keeps PSUMs in PE registers; the simulator refuses OS+APSQ, so the
+  // evaluator maps it to the traffic-equivalent INT32 baseline.
+  Evaluator eval(sim_opt(1));
+  DesignPoint p = bert_point(PsumConfig::apsq_int8(2));
+  p.dataflow = Dataflow::kOS;
+  const EvalResult r = eval.evaluate(p);
+  DesignPoint base = p;
+  base.psum = PsumConfig::baseline_int32();
+  EXPECT_EQ(r.obj.energy_pj, eval.evaluate(base).obj.energy_pj);
+}
+
 TEST(Evaluator, SeedChangesProxyButNotEnergyOrArea) {
   EvaluatorOptions a_opt, b_opt;
   a_opt.seed = 1;

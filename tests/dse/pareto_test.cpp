@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 
@@ -35,6 +36,63 @@ TEST(Dominance, OneBetterRestEqualDominates) {
 TEST(Dominance, TradeOffNeitherDominates) {
   EXPECT_FALSE(dominates({1, 5, 1}, {2, 2, 2}));
   EXPECT_FALSE(dominates({2, 2, 2}, {1, 5, 1}));
+}
+
+TEST(Dominance, LatencyIsAFullObjective) {
+  // Equal on the classic three, better latency → dominates under the
+  // default (all-objective) set.
+  EXPECT_TRUE(dominates({1, 2, 3, 4}, {1, 2, 3, 5}));
+  // A latency win can break three-objective dominance.
+  EXPECT_FALSE(dominates({1, 2, 3, 9}, {2, 3, 4, 5}));
+}
+
+TEST(ObjectiveSet, DefaultIsAllObjectives) {
+  const ObjectiveSet all;
+  EXPECT_EQ(all.size(), static_cast<size_t>(kObjectiveCount));
+  for (int i = 0; i < kObjectiveCount; ++i)
+    EXPECT_TRUE(all.contains(static_cast<Objective>(i)));
+  EXPECT_EQ(all.to_string(), "energy,area,error,latency");
+}
+
+TEST(ObjectiveSet, ParseSubsetInAnyOrderIsCanonical) {
+  const ObjectiveSet s = ObjectiveSet::parse("latency,energy");
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(Objective::kEnergy));
+  EXPECT_TRUE(s.contains(Objective::kLatency));
+  EXPECT_FALSE(s.contains(Objective::kArea));
+  EXPECT_FALSE(s.contains(Objective::kError));
+  // list()/to_string are in storage order, not parse order.
+  EXPECT_EQ(s.to_string(), "energy,latency");
+}
+
+TEST(ObjectiveSet, ParseRejectsBadInput) {
+  EXPECT_THROW(ObjectiveSet::parse(""), std::logic_error);
+  EXPECT_THROW(ObjectiveSet::parse("energy,throughput"), std::logic_error);
+  EXPECT_THROW(ObjectiveSet::parse("energy,energy"), std::logic_error);
+}
+
+TEST(Dominance, SubsetChangesTheVerdict) {
+  const ObjectiveSet el = ObjectiveSet::parse("energy,latency");
+  const Objectives a{1, 9, 9, 1};  // best energy+latency, terrible rest
+  const Objectives b{2, 1, 1, 2};
+  EXPECT_TRUE(dominates(a, b, el));
+  EXPECT_FALSE(dominates(a, b));  // full set: area/error trade off
+}
+
+TEST(ParetoFront, ObjectiveSubsetReslicesTheFront) {
+  // c is dominated in the energy×latency plane but survives the full
+  // 4-objective front through its area advantage.
+  const std::vector<EvalResult> pts = {
+      make("w", 4, 1, 1.0, 9.0, 9.0),  // a: best energy
+      make("w", 6, 1, 9.0, 1.0, 9.0),  // b: best area
+      make("w", 8, 1, 2.0, 5.0, 9.0),  // c: dominated by a on energy/latency
+  };
+  // (error and latency default to the same value for all three points.)
+  EXPECT_EQ(pareto_front(pts).size(), 3u);
+  const ObjectiveSet el = ObjectiveSet::parse("energy,latency");
+  const std::vector<EvalResult> front = pareto_front(pts, el);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].point.psum.psum_bits, 4);
 }
 
 TEST(ParetoFront, HandBuiltThreeObjectiveSet) {

@@ -33,7 +33,7 @@ TEST(SelfAttention, SingleTokenIsPureProjection) {
   auto params = attn.params();
   params[0]->value.fill(0.0f);  // wq.weight
   const TensorF y2 = attn.forward(x);
-  for (index_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y(i), y2(i), 1e-5);
+  for (index_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], y2[i], 1e-5);
 }
 
 TEST(SelfAttention, QuantizedProjectionsRun) {

@@ -1,0 +1,138 @@
+// Cross-validation of the two DSE fidelity backends: for the same
+// buffer-fit regimes counts_vs_analytical_test sweeps, the simulator's
+// *measured* energy (Eq. 1 over measured traffic) and latency must agree
+// with the closed-form models evaluated at the same (scaled) shape.
+//
+// Traffic is element-exact (counts_vs_analytical_test), so the only
+// admissible daylight is PSUM byte rounding: the simulator charges whole
+// tiles at ⌈elems·bits/8⌉ bytes while the analytic model charges
+// fractional bytes — sub-percent at these shapes. Configurations whose
+// per-tile byte count is exact (8/16/32-bit PSUMs) must match to
+// floating-point precision.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "energy/energy_model.hpp"
+#include "sim/performance.hpp"
+#include "sim/workload_runner.hpp"
+
+namespace apsq {
+namespace {
+
+struct CrossCase {
+  Dataflow df;
+  index_t m, k, n;
+  PsumConfig psum;
+  i64 ibuf, wbuf, obuf;
+  const char* label;
+};
+
+constexpr i64 kBig = i64{1} << 24;
+
+SimConfig config_of(const CrossCase& c) {
+  SimConfig cfg;
+  cfg.arch.po = 4;
+  cfg.arch.pci = 4;
+  cfg.arch.pco = 4;
+  cfg.arch.ifmap_buf_bytes = c.ibuf;
+  cfg.arch.weight_buf_bytes = c.wbuf;
+  cfg.arch.ofmap_buf_bytes = c.obuf;
+  cfg.dataflow = c.df;
+  cfg.psum = c.psum;
+  return cfg;
+}
+
+Workload one_layer(const CrossCase& c) {
+  Workload w;
+  w.name = c.label;
+  w.layers.push_back({"layer", c.m, c.k, c.n, 1});
+  return w;
+}
+
+class CrossValidation : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(CrossValidation, SimEnergyMatchesAnalytic) {
+  const CrossCase& c = GetParam();
+  const SimConfig cfg = config_of(c);
+  const Workload w = one_layer(c);
+
+  WorkloadRunOptions opt;
+  opt.shrink = 1;  // simulate the exact analytic shape
+  opt.max_dim = kBig;
+  const WorkloadRunResult r = run_workload(w, cfg, opt);
+
+  const double analytic =
+      workload_energy(c.df, w, cfg.arch, c.psum).total_pj();
+  const double sim = r.energy_pj();
+  ASSERT_GT(analytic, 0.0) << c.label;
+
+  // Whole-tile PSUM byte rounding is the only modelled difference.
+  const bool exact_bytes = c.psum.psum_bits % 8 == 0;
+  const double tol = exact_bytes ? 1e-9 : 0.01;
+  EXPECT_NEAR(sim / analytic, 1.0, tol) << c.label;
+}
+
+TEST_P(CrossValidation, SimLatencyMatchesPerformanceModel) {
+  const CrossCase& c = GetParam();
+  const SimConfig cfg = config_of(c);
+  const Workload w = one_layer(c);
+
+  WorkloadRunOptions opt;
+  opt.shrink = 1;
+  opt.max_dim = kBig;
+  const WorkloadRunResult r = run_workload(w, cfg, opt);
+
+  const WorkloadPerformance perf =
+      workload_performance(c.df, w, cfg.arch, c.psum);
+  // Tile-issue cycles are exact by construction.
+  EXPECT_EQ(r.total.cycles, perf.total_cycles) << c.label;
+  EXPECT_EQ(r.total.mac_ops, perf.total_macs) << c.label;
+  const bool exact_bytes = c.psum.psum_bits % 8 == 0;
+  EXPECT_NEAR(r.latency_s() / perf.total_latency_s, 1.0,
+              exact_bytes ? 1e-9 : 0.01)
+      << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegimes, CrossValidation,
+    ::testing::Values(
+        CrossCase{Dataflow::kWS, 16, 32, 16, PsumConfig::baseline_int32(),
+                  kBig, kBig, kBig, "ws_resident"},
+        CrossCase{Dataflow::kWS, 32, 32, 16, PsumConfig::baseline_int32(),
+                  kBig, kBig, 256, "ws_psum_spill"},
+        CrossCase{Dataflow::kWS, 64, 16, 16, PsumConfig::baseline_int32(),
+                  128, kBig, kBig, "ws_ifmap_spill"},
+        CrossCase{Dataflow::kWS, 16, 48, 8, PsumConfig::apsq_int8(1), kBig,
+                  kBig, kBig, "ws_apsq_gs1"},
+        CrossCase{Dataflow::kWS, 16, 48, 8, PsumConfig::apsq_int8(3), kBig,
+                  kBig, kBig, "ws_apsq_gs3"},
+        CrossCase{Dataflow::kWS, 32, 32, 8, PsumConfig::apsq_int8(4), kBig,
+                  kBig, 256, "ws_apsq_gs4_spill"},
+        CrossCase{Dataflow::kWS, 16, 48, 8, PsumConfig::apsq_bits(4, 2), kBig,
+                  kBig, kBig, "ws_apsq_int4"},
+        CrossCase{Dataflow::kWS, 16, 48, 8, PsumConfig::apsq_bits(12, 2),
+                  kBig, kBig, kBig, "ws_apsq_int12"},
+        CrossCase{Dataflow::kIS, 16, 32, 16, PsumConfig::baseline_int32(),
+                  kBig, kBig, kBig, "is_resident"},
+        CrossCase{Dataflow::kIS, 32, 32, 32, PsumConfig::baseline_int32(),
+                  kBig, 512, kBig, "is_weight_spill"},
+        CrossCase{Dataflow::kIS, 16, 32, 64, PsumConfig::baseline_int32(),
+                  kBig, kBig, 512, "is_psum_spill"},
+        CrossCase{Dataflow::kIS, 12, 40, 12, PsumConfig::apsq_int8(2), kBig,
+                  kBig, kBig, "is_apsq_gs2"},
+        CrossCase{Dataflow::kWS, 13, 26, 9, PsumConfig::baseline_int32(),
+                  kBig, kBig, kBig, "ws_ragged"},
+        CrossCase{Dataflow::kIS, 13, 26, 9, PsumConfig::apsq_int8(3), kBig,
+                  kBig, kBig, "is_ragged_apsq"},
+        CrossCase{Dataflow::kOS, 16, 32, 16, PsumConfig::baseline_int32(),
+                  kBig, kBig, kBig, "os_resident"},
+        CrossCase{Dataflow::kOS, 32, 32, 32, PsumConfig::baseline_int32(),
+                  kBig, 512, kBig, "os_weight_spill"},
+        CrossCase{Dataflow::kOS, 13, 26, 9, PsumConfig::baseline_int32(),
+                  kBig, kBig, kBig, "os_ragged"}),
+    [](const ::testing::TestParamInfo<CrossCase>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace
+}  // namespace apsq

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "energy/energy_model.hpp"
 #include "models/bert.hpp"
 
@@ -108,6 +110,98 @@ TEST(WorkloadRunner, ApsqReducesMeasuredEnergy) {
   const double eb = run_workload(w, base, opt).energy_pj();
   const double ea = run_workload(w, apsq, opt).energy_pj();
   EXPECT_GT(eb, 2.0 * ea);
+}
+
+TEST(CalibratePsumExponent, MatchesNearestPow2Rule) {
+  // max |psum| = 127 → needed scale 1 → exponent 0.
+  TensorI32 t({2, 2}, 0);
+  t[0] = 127;
+  EXPECT_EQ(calibrate_psum_exponent(t), 0);
+  // max 127·16 → log2(16) = 4.
+  t[0] = 127 * 16;
+  EXPECT_EQ(calibrate_psum_exponent(t), 4);
+  // Negative extrema count via |·|.
+  t[0] = -(127 * 16);
+  EXPECT_EQ(calibrate_psum_exponent(t), 4);
+}
+
+TEST(CalibratePsumExponent, ClampedToRepresentableRange) {
+  // All-zero outputs must not push the exponent below 0 …
+  TensorI32 zeros({2, 2}, 0);
+  EXPECT_EQ(calibrate_psum_exponent(zeros), 0);
+  EXPECT_EQ(psum_exponent_for_max(0), 0);
+  // … and magnitudes beyond 127·2^31 must clamp at the top of the RAE
+  // shifter's range (dequantize is a left shift of an i32 code; exponents
+  // are checked < 32 downstream — without the clamp this CHECK-crashes).
+  EXPECT_EQ(psum_exponent_for_max(i64{1} << 62), 31);
+  EXPECT_EQ(psum_exponent_for_max(std::numeric_limits<i64>::max()), 31);
+  // INT32-range extrema stay comfortably inside.
+  TensorI32 huge({2, 2}, 0);
+  huge[0] = std::numeric_limits<i32>::max();
+  const int e = calibrate_psum_exponent(huge);
+  EXPECT_LE(e, 31);
+  EXPECT_GE(e, 0);
+}
+
+TEST(WorkloadRunner, CalibrationMemoizedPerShape) {
+  // Four layers, two distinct scaled shapes: the exact-GEMM calibration
+  // runs once per shape, not once per layer.
+  Workload w;
+  w.name = "memo";
+  w.layers.push_back({"a0", 32, 32, 32, 1});
+  w.layers.push_back({"a1", 32, 32, 32, 1});
+  w.layers.push_back({"b", 32, 64, 32, 1});
+  w.layers.push_back({"a2", 32, 32, 32, 2});
+  const SimConfig cfg = small_arch(Dataflow::kWS, PsumConfig::apsq_int8(2));
+  WorkloadRunOptions opt;
+  opt.shrink = 1;
+  const WorkloadRunResult r = run_workload(w, cfg, opt);
+  EXPECT_EQ(r.calibration_count, 2);
+  // Identical shapes draw identical operands, so their per-layer stats —
+  // not just the traffic, which is shape-driven anyway — coincide.
+  EXPECT_EQ(r.layers[0].stats.sram.total_bytes(),
+            r.layers[1].stats.sram.total_bytes());
+  EXPECT_EQ(r.layers[0].stats.cycles, r.layers[3].stats.cycles);
+}
+
+TEST(WorkloadRunner, BaselineRunsNeedNoCalibration) {
+  Workload w;
+  w.name = "base";
+  w.layers.push_back({"l", 32, 32, 32, 1});
+  const SimConfig cfg = small_arch(Dataflow::kWS, PsumConfig::baseline_int32());
+  WorkloadRunOptions opt;
+  opt.shrink = 1;
+  EXPECT_EQ(run_workload(w, cfg, opt).calibration_count, 0);
+}
+
+TEST(WorkloadRunner, ParallelMatchesSerialExactly) {
+  // Layer-parallel execution must be byte-identical to the serial run:
+  // per-layer stats, aggregated totals, and derived energy/latency.
+  const Workload bert = bert_base_workload();
+  const SimConfig cfg = small_arch(Dataflow::kWS, PsumConfig::apsq_int8(2));
+  WorkloadRunOptions serial_opt;
+  serial_opt.shrink = 32;
+  serial_opt.max_dim = 48;
+  serial_opt.threads = 1;
+  const WorkloadRunResult serial = run_workload(bert, cfg, serial_opt);
+
+  for (int threads : {2, 4}) {
+    WorkloadRunOptions par_opt = serial_opt;
+    par_opt.threads = threads;
+    const WorkloadRunResult par = run_workload(bert, cfg, par_opt);
+    ASSERT_EQ(par.layers.size(), serial.layers.size());
+    for (size_t i = 0; i < par.layers.size(); ++i) {
+      EXPECT_EQ(par.layers[i].stats.cycles, serial.layers[i].stats.cycles);
+      EXPECT_EQ(par.layers[i].stats.sram.total_bytes(),
+                serial.layers[i].stats.sram.total_bytes());
+      EXPECT_EQ(par.layers[i].stats.dram.total_bytes(),
+                serial.layers[i].stats.dram.total_bytes());
+    }
+    EXPECT_EQ(par.total.cycles, serial.total.cycles);
+    EXPECT_EQ(par.total.mac_ops, serial.total.mac_ops);
+    EXPECT_EQ(par.energy_pj(), serial.energy_pj());     // bit-identical
+    EXPECT_EQ(par.latency_s(), serial.latency_s());
+  }
 }
 
 TEST(WorkloadRunner, PsqPriorWorkKeepsBaselineTraffic) {
