@@ -1,17 +1,24 @@
 // Simulator-in-the-loop DSE throughput — the fidelity/speed trade the
 // evaluator's EvalBackend option exposes.
 //
-// Three sections:
+// Five sections:
 //   1. analytic vs sim backend over the smoke space at 1 and N threads
 //      (points/s, front size over all four objectives);
-//   2. layer-parallel run_workload scaling on one workload (threads 1..N);
-//   3. persistent-pool reuse: repeated small parallel_for calls on one
-//      long-lived pool vs constructing a fresh pool per call — the number
-//      that motivated hoisting pool ownership into the Evaluator.
+//   2. nested (evaluator × layer) parallelism on a point list smaller
+//      than the machine: inner-serial (the old behaviour, where a
+//      parallel evaluator forced each point's layers serial) vs nested
+//      scopes on the shared pool — the tentpole speedup;
+//   3. layer-parallel run_workload scaling on one workload;
+//   4. persistent-pool reuse: repeated small parallel_for calls on one
+//      long-lived pool vs constructing a fresh pool per call;
+//   5. Pareto-front extraction throughput on a large synthetic result set
+//      (the sort-based sweep that replaced the O(n²) scan).
 #include <atomic>
 #include <chrono>
 #include <iostream>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "dse/config_space.hpp"
@@ -56,6 +63,47 @@ void backend_section(int hw) {
   t.print(std::cout);
 }
 
+void nested_parallel_section(int hw) {
+  // Two sim-heavy points — fewer points than cores, so point-level
+  // parallelism alone cannot fill the machine. Before the shared pool,
+  // a parallel evaluator forced each point's layer loop serial
+  // (sim.threads was ignored); nested scopes let the idle workers take
+  // the layer-level work instead.
+  std::vector<DesignPoint> pts(2);
+  pts[0].workload = "bert";
+  pts[0].psum = PsumConfig::apsq_int8(2);
+  pts[1].workload = "bert";
+  pts[1].psum = PsumConfig::baseline_int32();
+
+  auto timed = [&](int threads, int sim_threads) {
+    EvaluatorOptions opt;
+    opt.threads = threads;
+    opt.backend = EvalBackend::kSim;
+    opt.sim.shrink = 8;
+    opt.sim.max_dim = 96;
+    opt.sim.threads = sim_threads;
+    Evaluator eval(opt);  // fresh evaluator: no cache reuse between rows
+    const auto t0 = std::chrono::steady_clock::now();
+    eval.evaluate_points(pts);
+    return seconds_since(t0);
+  };
+
+  const double serial = timed(1, 1);
+  const double inner_serial = timed(hw, 1);
+  const double nested = timed(hw, hw);
+
+  std::cout << "\n--- nested (evaluator x layer) parallelism (2 bert points, "
+               "shrink 8 / max-dim 96, "
+            << hw << " threads) ---\n";
+  Table t({"Configuration", "Time (s)", "Speedup vs inner-serial"});
+  t.add_row({"fully serial (1 thread)", Table::num(serial, 3), "-"});
+  t.add_row({"points parallel, layers serial (old behaviour)",
+             Table::num(inner_serial, 3), "-"});
+  t.add_row({"nested point x layer scopes (shared pool)",
+             Table::num(nested, 3), Table::ratio(inner_serial / nested)});
+  t.print(std::cout);
+}
+
 void layer_parallel_section(int hw) {
   const Workload bert = bert_base_workload();
   SimConfig cfg;
@@ -63,12 +111,11 @@ void layer_parallel_section(int hw) {
   cfg.arch.pci = 4;
   cfg.arch.pco = 4;
   cfg.psum = PsumConfig::apsq_int8(2);
-  Table t({"Threads", "Time (s)", "Speedup", "Calibrations"});
+  // threads == 1 runs the layer loop inline; threads > 1 runs it on the
+  // process-wide shared pool (width fixed at hardware_threads).
+  Table t({"Mode", "Time (s)", "Speedup", "Calibrations"});
   double base = 0.0;
-  std::vector<int> thread_counts = {1};
-  if (hw >= 2) thread_counts.push_back(2);
-  if (hw > 2) thread_counts.push_back(hw);
-  for (int threads : thread_counts) {
+  for (int threads : {1, hw > 1 ? hw : 2}) {
     WorkloadRunOptions opt;
     opt.shrink = 8;
     opt.max_dim = 96;
@@ -77,8 +124,9 @@ void layer_parallel_section(int hw) {
     const WorkloadRunResult r = run_workload(bert, cfg, opt);
     const double secs = seconds_since(t0);
     if (threads == 1) base = secs;
-    t.add_row({std::to_string(threads), Table::num(secs, 3),
-               base > 0.0 ? Table::ratio(base / secs) : "-",
+    t.add_row({threads == 1 ? "serial" : "shared pool",
+               Table::num(secs, 3),
+               threads == 1 ? "-" : Table::ratio(base / secs),
                std::to_string(r.calibration_count)});
   }
   std::cout << "\n--- layer-parallel run_workload (bert, shrink 8 / max-dim "
@@ -120,6 +168,32 @@ void pool_reuse_section(int hw) {
   t.print(std::cout);
 }
 
+void pareto_extraction_section() {
+  // Synthetic 20k-point result set on a coarse objective grid (plenty of
+  // dominated points and ties) — front extraction must not stall sweeps.
+  Rng rng(42);
+  std::vector<EvalResult> pts;
+  pts.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    EvalResult r;
+    r.point.workload = "w";
+    r.point.psum = PsumConfig::apsq_bits(4 + (i % 13), 1 + (i % 4));
+    r.point.acc.po = 1 + (i / 52) % 64;
+    r.point.acc.pci = 1 + (i / 3328) % 8;
+    r.obj.energy_pj = rng.uniform(0, 8);
+    r.obj.area_um2 = rng.uniform(0, 8);
+    r.obj.error = rng.uniform(0, 8);
+    r.obj.latency_s = rng.uniform(0, 8);
+    pts.push_back(r);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t front = pareto_front(pts).size();
+  const double secs = seconds_since(t0);
+  std::cout << "\n--- Pareto extraction (sort-based sweep, 20000 points) ---\n"
+            << "front " << front << " points in " << Table::num(secs, 3)
+            << " s (" << Table::num(20000.0 / secs, 0) << " points/s)\n";
+}
+
 }  // namespace
 
 int main() {
@@ -127,7 +201,9 @@ int main() {
   std::cout << "=== sim-backend DSE sweep (hardware threads: " << hw
             << ") ===\n\n";
   backend_section(hw);
+  nested_parallel_section(hw);
   layer_parallel_section(hw);
   pool_reuse_section(hw);
+  pareto_extraction_section();
   return 0;
 }

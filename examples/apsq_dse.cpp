@@ -11,15 +11,20 @@
 //   apsq_dse --threads 4 --csv points.csv --front-csv front.csv
 //   apsq_dse --space smoke --threads 1
 //   apsq_dse --backend sim --shrink 32        # simulator-in-the-loop scoring
+//   apsq_dse --backend sim --calibrate        # ... in analytic absolute units
 //   apsq_dse --objectives energy,latency      # 2-objective front
 //   apsq_dse --verify-serial                  # assert parallel == serial
 //
 // Run with --help for the full flag list.
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/cli.hpp"
 #include "common/thread_pool.hpp"
+#include "dse/calibrate.hpp"
 #include "dse/config_space.hpp"
 #include "dse/evaluator.hpp"
 #include "dse/pareto.hpp"
@@ -34,10 +39,13 @@ struct Options {
   std::string space = "paper";
   std::string backend = "analytic";
   std::string objectives = "energy,area,error,latency";
-  int threads = 0;  // 0 = hardware concurrency
+  int threads = 0;      // 0 = hardware concurrency
+  int sim_threads = 0;  // 0 = follow --threads (sim backend only)
   u64 seed = 0xD5EULL;
-  index_t shrink = 32;   // sim backend: dimension divisor
-  index_t max_dim = 48;  // sim backend: dimension clamp
+  i64 shrink = 32;   // sim backend: dimension divisor
+  i64 max_dim = 48;  // sim backend: dimension clamp
+  bool calibrate = false;
+  std::string calibration_csv_path;
   std::string csv_path;
   std::string front_csv_path;
   int top = 20;
@@ -52,9 +60,22 @@ void print_help() {
       "  --backend NAME    analytic | sim (default analytic). sim drives the\n"
       "                    cycle-level simulator per point on shrunken\n"
       "                    workloads and scores measured traffic/cycles\n"
+      "  --calibrate       sim backend: rescale measured energies/latencies\n"
+      "                    into the analytic backend's absolute units via\n"
+      "                    per-family anchor runs (see dse/calibrate.hpp)\n"
+      "  --calibration-csv PATH\n"
+      "                    load fitted calibration unit factors from PATH if\n"
+      "                    it exists (skipping the anchor runs), and save the\n"
+      "                    factors there after the sweep\n"
       "  --objectives LIST comma list of energy,area,error,latency used for\n"
       "                    Pareto dominance (default: all four)\n"
-      "  --threads N       worker threads (default: hardware concurrency)\n"
+      "  --threads N       width of the process-wide worker pool (default:\n"
+      "                    hardware concurrency; 1 = fully serial; an\n"
+      "                    explicit APSQ_POOL_THREADS env var wins)\n"
+      "  --sim-threads N   sim backend: >1 lets each point's layer loop run\n"
+      "                    as a nested scope on the same shared pool (so the\n"
+      "                    pool width, not N, bounds concurrency; default:\n"
+      "                    follow --threads)\n"
       "  --seed S          accuracy-proxy / sim operand seed (default 0xD5E)\n"
       "  --shrink N        sim backend: divide layer dims by N (default 32)\n"
       "  --max-dim N       sim backend: clamp scaled dims to N (default 48)\n"
@@ -67,6 +88,7 @@ void print_help() {
 }
 
 bool parse(int argc, char** argv, Options& o) {
+  constexpr i64 kDimMax = i64{1} << 30;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -88,26 +110,35 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next("--backend");
       if (!v) return false;
       o.backend = v;
+    } else if (a == "--calibrate") {
+      o.calibrate = true;
+    } else if (a == "--calibration-csv") {
+      const char* v = next("--calibration-csv");
+      if (!v) return false;
+      o.calibration_csv_path = v;
     } else if (a == "--objectives") {
       const char* v = next("--objectives");
       if (!v) return false;
       o.objectives = v;
     } else if (a == "--threads") {
       const char* v = next("--threads");
-      if (!v) return false;
-      o.threads = std::atoi(v);
+      if (!v || !parse_int_flag("--threads", v, 1, 4096, o.threads))
+        return false;
+    } else if (a == "--sim-threads") {
+      const char* v = next("--sim-threads");
+      if (!v || !parse_int_flag("--sim-threads", v, 1, 4096, o.sim_threads))
+        return false;
     } else if (a == "--seed") {
       const char* v = next("--seed");
-      if (!v) return false;
-      o.seed = static_cast<u64>(std::strtoull(v, nullptr, 0));
+      if (!v || !parse_u64_flag("--seed", v, o.seed)) return false;
     } else if (a == "--shrink") {
       const char* v = next("--shrink");
-      if (!v) return false;
-      o.shrink = std::atoll(v);
+      if (!v || !parse_i64_flag("--shrink", v, 1, kDimMax, o.shrink))
+        return false;
     } else if (a == "--max-dim") {
       const char* v = next("--max-dim");
-      if (!v) return false;
-      o.max_dim = std::atoll(v);
+      if (!v || !parse_i64_flag("--max-dim", v, 1, kDimMax, o.max_dim))
+        return false;
     } else if (a == "--csv") {
       const char* v = next("--csv");
       if (!v) return false;
@@ -118,8 +149,7 @@ bool parse(int argc, char** argv, Options& o) {
       o.front_csv_path = v;
     } else if (a == "--top") {
       const char* v = next("--top");
-      if (!v) return false;
-      o.top = std::atoi(v);
+      if (!v || !parse_int_flag("--top", v, 0, 1 << 20, o.top)) return false;
     } else if (a == "--verify-serial") {
       o.verify_serial = true;
     } else {
@@ -151,12 +181,13 @@ int main(int argc, char** argv) {
     std::cerr << "unknown space: " << o.space << " (try --help)\n";
     return 1;
   }
-  if (o.shrink < 1 || o.max_dim < 1) {
-    std::cerr << "--shrink and --max-dim must be >= 1\n";
-    return 1;
-  }
   const int threads =
       o.threads > 0 ? o.threads : WorkStealingPool::hardware_threads();
+  // The shared pool is built lazily on first use; pinning its width here
+  // makes --threads an honest concurrency bound rather than a serial/pool
+  // mode switch. An explicit APSQ_POOL_THREADS in the environment wins.
+  setenv("APSQ_POOL_THREADS", std::to_string(threads).c_str(),
+         /*overwrite=*/0);
 
   EvaluatorOptions eopt;
   eopt.threads = threads;
@@ -169,10 +200,35 @@ int main(int argc, char** argv) {
     std::cerr << e.what() << "\n";
     return 1;
   }
+  if (o.calibrate && eopt.backend != EvalBackend::kSim) {
+    std::cerr << "--calibrate requires --backend sim\n";
+    return 1;
+  }
   eopt.sim.shrink = o.shrink;
   eopt.sim.max_dim = o.max_dim;
   eopt.sim.seed = o.seed;
+  // Nested scopes share one pool, so layer-level parallelism defaults on:
+  // it fills the workers whenever there are fewer ready points than cores.
+  if (eopt.backend == EvalBackend::kSim)
+    eopt.sim.threads = o.sim_threads > 0 ? o.sim_threads : threads;
+  eopt.calibrate = o.calibrate;
   Evaluator eval(eopt);
+
+  const std::string scored_by =
+      std::string(to_string(eopt.backend)) + (o.calibrate ? "+cal" : "");
+
+  if (eval.calibrator() && !o.calibration_csv_path.empty() &&
+      std::ifstream(o.calibration_csv_path).good()) {
+    try {
+      const index_t n =
+          eval.calibrator()->load_unit_factors_csv(o.calibration_csv_path);
+      std::cout << "loaded " << n << " calibration families from "
+                << o.calibration_csv_path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<EvalResult> results = eval.evaluate_space(space);
@@ -187,7 +243,7 @@ int main(int argc, char** argv) {
 
   std::cout << "evaluated " << results.size() << " design points ("
             << space.workloads.size() << " workloads) with " << threads
-            << " threads / " << to_string(eopt.backend) << " backend in "
+            << " threads / " << scored_by << " backend in "
             << Table::num(secs, 2) << " s\n"
             << "objectives: " << objectives.to_string() << "\n"
             << "cache hits/misses[/races] — ";
@@ -198,6 +254,9 @@ int main(int argc, char** argv) {
     print_cache_line("sim", eval.sim_cache_stats(), true);
   else
     print_cache_line("latency", eval.latency_cache_stats(), true);
+  if (eval.calibrator())
+    std::cout << "calibration: " << eval.calibrator()->family_count()
+              << " (workload, dataflow, psum) families fitted\n";
   std::cout << "Pareto front: " << front.size()
             << " non-dominated points across workloads (" << global_front_size
             << " in the cross-workload front)\n\n";
@@ -210,15 +269,22 @@ int main(int argc, char** argv) {
     std::cout << "… " << front.size() - shown.size()
               << " more rows (use --top 0 or --front-csv)\n";
 
+  if (eval.calibrator() && !o.calibration_csv_path.empty()) {
+    if (!eval.calibrator()->unit_factors_csv().write(o.calibration_csv_path)) {
+      std::cerr << "failed to write " << o.calibration_csv_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << o.calibration_csv_path << "\n";
+  }
   if (!o.csv_path.empty()) {
-    if (!results_csv(results).write(o.csv_path)) {
+    if (!results_csv(results, scored_by).write(o.csv_path)) {
       std::cerr << "failed to write " << o.csv_path << "\n";
       return 1;
     }
     std::cout << "\nwrote " << o.csv_path << "\n";
   }
   if (!o.front_csv_path.empty()) {
-    if (!results_csv(front).write(o.front_csv_path)) {
+    if (!results_csv(front, scored_by).write(o.front_csv_path)) {
       std::cerr << "failed to write " << o.front_csv_path << "\n";
       return 1;
     }
@@ -228,11 +294,18 @@ int main(int argc, char** argv) {
   if (o.verify_serial) {
     EvaluatorOptions sopt = eopt;
     sopt.threads = 1;
+    sopt.sim.threads = 1;  // fully serial: no layer-level parallelism either
     Evaluator serial(sopt);
+    // Identical calibration inputs: preload the saved factors when a CSV
+    // path is in play; otherwise the serial run refits the same (pure)
+    // anchor values.
+    if (serial.calibrator() && !o.calibration_csv_path.empty())
+      serial.calibrator()->load_unit_factors_csv(o.calibration_csv_path);
     const std::vector<EvalResult> sres = serial.evaluate_space(space);
     const std::string a =
-        results_csv(pareto_front_by_workload(sres, objectives)).to_string();
-    const std::string b = results_csv(front).to_string();
+        results_csv(pareto_front_by_workload(sres, objectives), scored_by)
+            .to_string();
+    const std::string b = results_csv(front, scored_by).to_string();
     if (a != b) {
       std::cerr << "FAIL: serial and parallel Pareto fronts differ\n";
       return 1;

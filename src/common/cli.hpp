@@ -1,0 +1,86 @@
+// Checked command-line value parsing for the example CLIs.
+//
+// std::atoi-style parsing turns "--threads foo" into 0 and accepts
+// "12abc" silently; these helpers require the whole token to parse, apply
+// a range check, and report the offending flag by name so a typo exits
+// with a diagnostic instead of running a misconfigured sweep.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace apsq {
+
+/// Parse `text` as a decimal integer in [lo, hi] into `out`. On failure
+/// prints "<flag>: ..." to `err` and returns false, leaving `out`
+/// untouched.
+inline bool parse_i64_flag(const char* flag, const char* text, i64 lo, i64 hi,
+                           i64& out, std::ostream& err = std::cerr) {
+  if (text == nullptr || *text == '\0') {
+    err << flag << ": empty value\n";
+    return false;
+  }
+  // strtoll skips leading whitespace; the whole token must be the number.
+  if (std::isspace(static_cast<unsigned char>(*text))) {
+    err << flag << ": expected an integer, got '" << text << "'\n";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    err << flag << ": expected an integer, got '" << text << "'\n";
+    return false;
+  }
+  if (errno == ERANGE || v < lo || v > hi) {
+    err << flag << ": value " << text << " out of range [" << lo << ", " << hi
+        << "]\n";
+    return false;
+  }
+  out = static_cast<i64>(v);
+  return true;
+}
+
+/// Same contract for an `int`-typed option.
+inline bool parse_int_flag(const char* flag, const char* text, int lo, int hi,
+                           int& out, std::ostream& err = std::cerr) {
+  i64 wide = 0;
+  if (!parse_i64_flag(flag, text, lo, hi, wide, err)) return false;
+  out = static_cast<int>(wide);
+  return true;
+}
+
+/// Parse an unsigned 64-bit value; base 0, so "0xD5E" and "1234" both
+/// work (seeds are conventionally written in hex). A leading '-' is
+/// rejected — strtoull would silently wrap it.
+inline bool parse_u64_flag(const char* flag, const char* text, u64& out,
+                           std::ostream& err = std::cerr) {
+  if (text == nullptr || *text == '\0') {
+    err << flag << ": empty value\n";
+    return false;
+  }
+  if (*text == '-' || std::isspace(static_cast<unsigned char>(*text))) {
+    err << flag << ": expected a non-negative integer, got '" << text << "'\n";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') {
+    err << flag << ": expected an integer, got '" << text << "'\n";
+    return false;
+  }
+  if (errno == ERANGE) {
+    err << flag << ": value " << text << " out of range\n";
+    return false;
+  }
+  out = static_cast<u64>(v);
+  return true;
+}
+
+}  // namespace apsq

@@ -47,7 +47,10 @@ class CsvWriter {
 
  private:
   static std::string quote(const std::string& s) {
-    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    // RFC 4180 §2.6: fields containing commas, quotes, or CR/LF must be
+    // quoted — \r included, or a field ending in \r silently corrupts the
+    // row for readers that split on \r\n.
+    if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
     std::string q = "\"";
     for (char ch : s) {
       if (ch == '"') q += '"';

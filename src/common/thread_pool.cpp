@@ -1,5 +1,6 @@
 #include "common/thread_pool.hpp"
 
+#include <cstdlib>
 #include <deque>
 #include <exception>
 
@@ -8,30 +9,41 @@
 namespace apsq {
 
 namespace {
-// Which pool (if any) the current thread is a worker of. Lets a nested
-// parallel_for on the same pool degrade to an inline loop instead of
-// deadlocking on the pool's own completion signal.
+// Which pool (if any) the current thread is a worker of, and its worker
+// index there. Lets a nested parallel_for on the same pool seed its child
+// scope into the worker's own deque (LIFO, so the worker drains its inner
+// work first) instead of degrading to an inline loop.
 thread_local const WorkStealingPool* tls_worker_of = nullptr;
+thread_local index_t tls_worker_index = -1;
 }  // namespace
 
-// A mutex-guarded deque is plenty here: pool tasks are microseconds to
-// milliseconds each, so lock traffic is noise next to the work. (A
-// lock-free Chase–Lev deque would buy nothing at this granularity.)
-struct WorkStealingPool::Queue {
-  std::mutex mu;
-  std::deque<index_t> items;
-};
-
-// One parallel_for invocation. `remaining` counts seeded indices not yet
-// popped-and-accounted; the caller sleeps until it hits zero. Workers may
-// only touch a Run while they hold an unaccounted index, so the object can
-// live on the caller's stack.
+// One parallel_for invocation (a task scope). `remaining` counts seeded
+// indices not yet popped-and-accounted; the submitter helps drain and then
+// sleeps until it hits zero. Threads may only touch a Run while they hold
+// an unaccounted index, so the object can live on the submitter's stack.
 struct WorkStealingPool::Run {
   const std::function<void(index_t)>* fn = nullptr;
   std::atomic<index_t> remaining{0};
   std::atomic<bool> stop{false};
   std::mutex err_mu;
   std::exception_ptr first_error;
+};
+
+// A queued work item: which run it belongs to and which index to execute.
+// Tagging tasks with their Run is what lets multiple runs — including
+// nested child scopes — share one set of deques safely: a straggler
+// scanning empty deques holds no Task and therefore touches no Run.
+struct WorkStealingPool::Task {
+  Run* run = nullptr;
+  index_t idx = 0;
+};
+
+// A mutex-guarded deque is plenty here: pool tasks are microseconds to
+// milliseconds each, so lock traffic is noise next to the work. (A
+// lock-free Chase–Lev deque would buy nothing at this granularity.)
+struct WorkStealingPool::Queue {
+  std::mutex mu;
+  std::deque<Task> items;
 };
 
 WorkStealingPool::WorkStealingPool(int num_threads)
@@ -61,69 +73,96 @@ int WorkStealingPool::hardware_threads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-bool WorkStealingPool::try_pop_own(index_t w, index_t& idx) {
+WorkStealingPool& WorkStealingPool::shared() {
+  static WorkStealingPool pool([] {
+    if (const char* env = std::getenv("APSQ_POOL_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+        return static_cast<int>(v);
+    }
+    return hardware_threads();
+  }());
+  return pool;
+}
+
+bool WorkStealingPool::try_pop_own(index_t w, Task& t) {
   Queue& q = *queues_[static_cast<size_t>(w)];
   std::lock_guard<std::mutex> lock(q.mu);
   if (q.items.empty()) return false;
-  idx = q.items.front();
+  t = q.items.front();
   q.items.pop_front();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
-bool WorkStealingPool::try_steal(index_t thief, index_t& idx) {
-  for (index_t k = 1; k < num_threads_; ++k) {
-    const index_t victim = (thief + k) % num_threads_;
+bool WorkStealingPool::try_steal(index_t skip, Task& t) {
+  for (index_t k = 0; k < num_threads_; ++k) {
+    const index_t victim =
+        skip >= 0 ? (skip + 1 + k) % num_threads_ : k;
+    if (victim == skip) continue;
     Queue& q = *queues_[static_cast<size_t>(victim)];
     std::lock_guard<std::mutex> lock(q.mu);
     if (q.items.empty()) continue;
-    idx = q.items.back();
+    t = q.items.back();
     q.items.pop_back();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
     steals_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
 }
 
-void WorkStealingPool::drain(index_t w, Run& run) {
-  index_t idx;
-  while (try_pop_own(w, idx) || try_steal(w, idx)) {
-    if (!run.stop.load(std::memory_order_relaxed)) {
-      try {
-        (*run.fn)(idx);
-      } catch (...) {
-        run.stop.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(run.err_mu);
-        if (!run.first_error) run.first_error = std::current_exception();
-      }
+void WorkStealingPool::execute(const Task& t) {
+  Run& run = *t.run;
+  if (!run.stop.load(std::memory_order_relaxed)) {
+    try {
+      (*run.fn)(t.idx);
+    } catch (...) {
+      run.stop.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(run.err_mu);
+      if (!run.first_error) run.first_error = std::current_exception();
     }
-    // Account last: once remaining hits 0 the caller may wake and destroy
-    // the Run, so nothing may touch it after this worker's final decrement.
-    if (run.remaining.fetch_sub(1) == 1) {
-      std::lock_guard<std::mutex> lock(mu_);
-      done_cv_.notify_all();
-    }
+  }
+  // Account last: once remaining hits 0 the submitter may wake and destroy
+  // the Run, so nothing may touch it after this thread's final decrement.
+  if (run.remaining.fetch_sub(1) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_cv_.notify_all();
   }
 }
 
 void WorkStealingPool::worker_loop(index_t w) {
   tls_worker_of = this;
-  u64 seen = 0;
+  tls_worker_index = w;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    // run_ != nullptr distinguishes "a new run is live" from "the
-    // generation moved on while we slept and already completed" — in the
-    // latter case there is nothing to drain and run_ is null again.
     work_cv_.wait(lock, [&] {
-      return shutdown_ || (run_ != nullptr && generation_ != seen);
+      return shutdown_ || pending_.load(std::memory_order_relaxed) > 0;
     });
     if (shutdown_) return;
-    seen = generation_;
-    Run* run = run_;
-    ++active_;
     lock.unlock();
-    drain(w, *run);
+    Task t;
+    while (try_pop_own(w, t) || try_steal(w, t)) execute(t);
     lock.lock();
-    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkStealingPool::help_until_done(Run& run, index_t self) {
+  // Drain tasks — own deque first when we have one, then steals — until
+  // the run completes. Tasks seeded all at once and never re-enqueued, so
+  // a full scan that finds nothing means every task of this run is either
+  // done or in flight on another thread; then it is safe to sleep on the
+  // completion signal. Executing another run's task while waiting is fine:
+  // it cannot depend on this run, and it keeps the pool making progress.
+  Task t;
+  while (run.remaining.load() != 0) {
+    if ((self >= 0 && try_pop_own(self, t)) || try_steal(self, t)) {
+      execute(t);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return run.remaining.load() == 0; });
   }
 }
 
@@ -131,47 +170,45 @@ void WorkStealingPool::parallel_for(index_t n,
                                     const std::function<void(index_t)>& fn) {
   APSQ_CHECK(n >= 0);
   if (n == 0) return;
-  if (num_threads_ == 1 || tls_worker_of == this) {
+  if (num_threads_ == 1) {
     for (index_t i = 0; i < n; ++i) fn(i);
     return;
-  }
-
-  std::lock_guard<std::mutex> submit(submit_mu_);
-
-  // A straggler from the previous run may still be scanning the (empty)
-  // deques; wait it out so it cannot pop this run's indices against the
-  // previous (destroyed) Run.
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return active_ == 0; });
-  }
-
-  // Seed each deque with a contiguous chunk (owner pops front, thieves
-  // take the back, so steals grab the work the owner would reach last).
-  for (index_t w = 0; w < num_threads_; ++w) {
-    const index_t lo = w * n / num_threads_;
-    const index_t hi = (w + 1) * n / num_threads_;
-    Queue& q = *queues_[static_cast<size_t>(w)];
-    std::lock_guard<std::mutex> lock(q.mu);
-    for (index_t i = lo; i < hi; ++i) q.items.push_back(i);
   }
 
   Run run;
   run.fn = &fn;
   run.remaining.store(n);
+
+  const bool nested = tls_worker_of == this;
+  const index_t self = nested ? tls_worker_index : -1;
+  if (nested) {
+    // Child scope: push LIFO onto our own deque so this worker drains its
+    // inner work before anything else; idle threads steal from the back.
+    Queue& q = *queues_[static_cast<size_t>(self)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    for (index_t i = n; i-- > 0;) q.items.push_front(Task{&run, i});
+  } else {
+    // Top-level scope: seed each deque with a contiguous chunk (owner pops
+    // the front, thieves take the back, so steals grab the work the owner
+    // would reach last).
+    for (index_t w = 0; w < num_threads_; ++w) {
+      const index_t lo = w * n / num_threads_;
+      const index_t hi = (w + 1) * n / num_threads_;
+      Queue& q = *queues_[static_cast<size_t>(w)];
+      std::lock_guard<std::mutex> lock(q.mu);
+      for (index_t i = lo; i < hi; ++i) q.items.push_back(Task{&run, i});
+    }
+  }
   {
+    // pending_ moves under mu_ so a worker cannot check the work_cv_
+    // predicate and fall asleep between our increment and notify.
     std::lock_guard<std::mutex> lock(mu_);
-    run_ = &run;
-    ++generation_;
+    pending_.fetch_add(n, std::memory_order_relaxed);
   }
   runs_.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_all();
 
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return run.remaining.load() == 0; });
-    run_ = nullptr;
-  }
+  help_until_done(run, self);
   if (run.first_error) std::rethrow_exception(run.first_error);
 }
 

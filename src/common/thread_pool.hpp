@@ -2,13 +2,23 @@
 // simulator's workload runner.
 //
 // Worker threads are spawned once in the constructor and persist across
-// parallel_for calls (the original DSE-local pool respawned its workers on
-// every call, which dominated the cost of small repeated sweeps). Each
-// worker owns a deque seeded with a contiguous chunk of the index range;
-// it pops work from the front of its own deque and, when empty, steals
-// from the back of a victim's. Stealing keeps the pool busy when per-task
-// cost is skewed (cache misses evaluate full workloads, hits return
-// instantly). Determinism comes from the caller: tasks write to disjoint,
+// parallel_for calls. Each queued task is tagged with the run (the
+// parallel_for invocation) it belongs to, so any number of runs may be in
+// flight at once: a worker pops work from the front of its own deque and,
+// when empty, steals from the back of a victim's, executing whatever task
+// it finds regardless of which run seeded it. Stealing keeps the pool busy
+// when per-task cost is skewed (cache misses evaluate full workloads, hits
+// return instantly).
+//
+// Nested parallelism composes instead of degrading to inline: a task that
+// calls parallel_for on its own pool seeds a child scope and then *helps*
+// — it drains its own deque (where the child's tasks were pushed LIFO)
+// and steals until the child scope completes, so the DSE evaluator's
+// point-level loop and run_workload's layer-level loop share one set of
+// workers without oversubscription or deadlock. External callers help the
+// same way while their run is live, then sleep until stragglers finish.
+//
+// Determinism comes from the caller: tasks write to disjoint,
 // index-addressed slots, so scheduling order never affects results.
 #pragma once
 
@@ -33,50 +43,60 @@ class WorkStealingPool {
 
   /// Run fn(i) at most once for every i in [0, n) — exactly once when no
   /// task throws — blocking until done. fn must be safe to call from
-  /// multiple threads. Exceptions: the first captured exception is
-  /// rethrown here and stops the run early; tasks not yet started when it
-  /// was captured are skipped (in-flight ones finish), mirroring the
-  /// abort-at-first-throw behaviour of the single-thread path.
+  /// multiple threads. Exceptions: the first captured exception of the run
+  /// is rethrown here and stops the run early; tasks not yet started when
+  /// it was captured are skipped (in-flight ones finish), mirroring the
+  /// abort-at-first-throw behaviour of the single-thread path. A nested
+  /// run's exception therefore propagates out of the enclosing task and is
+  /// captured by the enclosing run.
   /// num_threads == 1 runs inline on the calling thread (no worker
   /// threads at all). Calls from within one of this pool's own workers
-  /// (nested parallelism) also run inline instead of deadlocking.
-  /// Concurrent calls from distinct external threads are serialized.
+  /// (nested parallelism) submit a child scope into the shared deques and
+  /// help drain it. Concurrent calls from distinct external threads also
+  /// compose: each run completes independently.
   void parallel_for(index_t n, const std::function<void(index_t)>& fn);
 
   int num_threads() const { return num_threads_; }
 
-  /// Tasks executed by a worker other than the one whose deque initially
+  /// Tasks executed by a thread other than the one whose deque initially
   /// held them (diagnostic; cumulative across parallel_for calls).
   i64 steal_count() const { return steals_.load(); }
 
-  /// parallel_for invocations dispatched to the persistent workers
-  /// (diagnostic; inline runs — n == 0, single thread, nested — excluded).
+  /// parallel_for invocations dispatched to the shared deques, nested
+  /// scopes included (diagnostic; inline runs — n == 0 or a single-thread
+  /// pool — excluded).
   i64 run_count() const { return runs_.load(); }
 
   /// Threads the hardware supports (>= 1 even when unknown).
   static int hardware_threads();
 
+  /// The process-wide pool, shared by the DSE evaluator's point-level
+  /// parallelism and run_workload's layer-level parallelism so the two
+  /// compose instead of oversubscribing. Sized to hardware_threads(),
+  /// overridable via the APSQ_POOL_THREADS environment variable (useful
+  /// for pinning sanitizer jobs or forcing concurrency on small
+  /// machines). Constructed on first use; lives until exit.
+  static WorkStealingPool& shared();
+
  private:
   struct Queue;
   struct Run;
+  struct Task;
   void worker_loop(index_t w);
-  void drain(index_t w, Run& run);
-  bool try_pop_own(index_t w, index_t& idx);
-  bool try_steal(index_t thief, index_t& idx);
+  void execute(const Task& t);
+  void help_until_done(Run& run, index_t self);
+  bool try_pop_own(index_t w, Task& t);
+  bool try_steal(index_t skip, Task& t);
 
   int num_threads_;
   std::vector<std::unique_ptr<Queue>> queues_;
   std::atomic<i64> steals_{0};
   std::atomic<i64> runs_{0};
 
-  std::mutex submit_mu_;  ///< serializes external parallel_for callers
-
-  std::mutex mu_;  ///< guards generation_ / run_ / active_ / shutdown_
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  u64 generation_ = 0;
-  Run* run_ = nullptr;
-  int active_ = 0;  ///< workers currently draining a run
+  std::mutex mu_;  ///< guards pending_ increments / shutdown_ for the CVs
+  std::condition_variable work_cv_;  ///< wakes idle workers on new tasks
+  std::condition_variable done_cv_;  ///< wakes waiters when a run finishes
+  std::atomic<i64> pending_{0};  ///< tasks seeded but not yet popped
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

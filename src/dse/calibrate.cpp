@@ -1,0 +1,363 @@
+#include "dse/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "dse/report.hpp"
+#include "energy/energy_model.hpp"
+#include "sim/performance.hpp"
+
+namespace apsq::dse {
+
+SimConfig sim_config_for(const DesignPoint& p) {
+  SimConfig c;
+  c.arch = p.acc;
+  c.dataflow = p.dataflow;
+  c.psum = p.psum;
+  if (p.dataflow == Dataflow::kOS && p.psum.apsq)
+    c.psum = PsumConfig::baseline_int32();
+  return c;
+}
+
+namespace {
+
+/// The calibrated component vector, in the same units the simulator
+/// measures: bytes moved per memory level, tile cycles, MAC ops.
+struct Components {
+  double sram_bytes = 0.0;
+  double dram_bytes = 0.0;
+  double cycles = 0.0;
+  double macs = 0.0;
+};
+
+/// Closed-form components of a workload under (dataflow, arch, psum) —
+/// the analytic side of every calibration ratio.
+Components analytic_components(Dataflow df, const Workload& w,
+                               const AcceleratorConfig& acc,
+                               const PsumConfig& psum,
+                               const EnergyCosts& costs,
+                               const PerfConfig& perf) {
+  const EnergyBreakdown e = workload_energy(df, w, acc, psum, costs);
+  const WorkloadPerformance p = workload_performance(df, w, acc, psum, perf);
+  Components c;
+  c.sram_bytes = e.sram_pj / costs.esram_pj_per_byte;
+  c.dram_bytes = e.dram_pj / costs.edram_pj_per_byte;
+  c.cycles = static_cast<double>(p.total_cycles);
+  c.macs = static_cast<double>(p.total_macs);
+  return c;
+}
+
+Components measured_components(const SimStats& s) {
+  Components c;
+  c.sram_bytes = static_cast<double>(s.sram.total_bytes());
+  c.dram_bytes = static_cast<double>(s.dram.total_bytes());
+  c.cycles = static_cast<double>(s.cycles);
+  c.macs = static_cast<double>(s.mac_ops);
+  return c;
+}
+
+/// Component ratio with identity fallback: a component absent on either
+/// side (an empty workload, a zero-traffic lane) calibrates to 1 rather
+/// than 0 or inf, so downstream math stays finite.
+double ratio(double num, double den) {
+  return (den > 0.0 && num > 0.0) ? num / den : 1.0;
+}
+
+CalibrationFactors component_ratios(const Components& num,
+                                    const Components& den) {
+  CalibrationFactors f;
+  f.sram_bytes = ratio(num.sram_bytes, den.sram_bytes);
+  f.dram_bytes = ratio(num.dram_bytes, den.dram_bytes);
+  f.cycles = ratio(num.cycles, den.cycles);
+  f.macs = ratio(num.macs, den.macs);
+  return f;
+}
+
+/// Anchor geometry: the small fully-resident array + fat-buffer regime of
+/// tests/sim/sim_vs_analytic_test.cpp, where sim and analytic agree to
+/// floating-point precision except for PSUM byte rounding — exactly the
+/// daylight the unit factors are meant to absorb.
+AcceleratorConfig anchor_arch() {
+  AcceleratorConfig a;
+  a.po = 4;
+  a.pci = 4;
+  a.pco = 4;
+  a.ifmap_buf_bytes = i64{1} << 24;
+  a.ofmap_buf_bytes = i64{1} << 24;
+  a.weight_buf_bytes = i64{1} << 24;
+  return a;
+}
+
+/// The workload's distinct scaled layer shapes, largest MACs first (ties
+/// keep workload order) — a deterministic anchor list.
+std::vector<LayerShape> anchor_shapes(const Workload& w,
+                                      const WorkloadRunOptions& sweep,
+                                      index_t max_anchors) {
+  std::vector<LayerShape> distinct;
+  for (const LayerShape& layer : w.layers) {
+    const LayerShape s = scale_layer(layer, sweep);
+    const bool seen =
+        std::any_of(distinct.begin(), distinct.end(), [&](const LayerShape& d) {
+          return d.rows == s.rows && d.ci == s.ci && d.co == s.co;
+        });
+    if (!seen) distinct.push_back(s);
+  }
+  std::stable_sort(
+      distinct.begin(), distinct.end(),
+      [](const LayerShape& a, const LayerShape& b) { return a.macs() > b.macs(); });
+  if (static_cast<index_t>(distinct.size()) > max_anchors)
+    distinct.resize(static_cast<size_t>(max_anchors));
+  return distinct;
+}
+
+i64 parse_csv_i64(const std::string& field, const std::string& path) {
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  APSQ_CHECK_MSG(end && *end == '\0' && !field.empty(),
+                 "bad integer '" << field << "' in " << path);
+  return static_cast<i64>(v);
+}
+
+u64 parse_csv_u64(const std::string& field, const std::string& path) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  APSQ_CHECK_MSG(end && *end == '\0' && !field.empty() && field[0] != '-',
+                 "bad unsigned integer '" << field << "' in " << path);
+  return static_cast<u64>(v);
+}
+
+/// The one place the family-key format lives: family_key() and the CSV
+/// loader both build keys here, so they can never drift apart.
+std::string family_key_from_fields(const std::string& workload,
+                                   const std::string& dataflow, int psum_bits,
+                                   int apsq, int group_size) {
+  std::ostringstream os;
+  os << "wl=" << workload << "|df=" << dataflow << "|pb=" << psum_bits
+     << "|apsq=" << apsq << "|gs=" << group_size;
+  return os.str();
+}
+
+double parse_csv_double(const std::string& field, const std::string& path) {
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  APSQ_CHECK_MSG(end && *end == '\0' && !field.empty() && std::isfinite(v),
+                 "bad number '" << field << "' in " << path);
+  return v;
+}
+
+}  // namespace
+
+Calibrator::Calibrator(Options opt) : opt_(std::move(opt)) {
+  APSQ_CHECK_MSG(opt_.anchors_per_family >= 1,
+                 "calibration needs at least one anchor per family");
+}
+
+std::string Calibrator::family_key(const std::string& workload,
+                                   const SimConfig& cfg) {
+  return family_key_from_fields(workload, to_string(cfg.dataflow),
+                                cfg.psum.psum_bits, cfg.psum.apsq ? 1 : 0,
+                                static_cast<int>(cfg.psum.group_size));
+}
+
+CalibrationFactors Calibrator::fit_unit_factors(const Workload& w,
+                                                const SimConfig& cfg) const {
+  // Anchor runs execute the sweep's scaled shapes *unscaled* (shrink = 1),
+  // serially — they are small by construction and may already be running
+  // inside a pool task.
+  WorkloadRunOptions anchor_opt;
+  anchor_opt.shrink = 1;
+  anchor_opt.max_dim = i64{1} << 30;
+  anchor_opt.seed = opt_.sim.seed;
+  anchor_opt.threads = 1;
+
+  SimConfig anchor_cfg = cfg;
+  anchor_cfg.arch = anchor_arch();
+
+  Components sim_sum, analytic_sum;
+  for (const LayerShape& shape :
+       anchor_shapes(w, opt_.sim, opt_.anchors_per_family)) {
+    Workload anchor;
+    anchor.name = "anchor";
+    anchor.layers.push_back({shape.name, shape.rows, shape.ci, shape.co, 1});
+
+    const WorkloadRunResult r = run_workload(anchor, anchor_cfg, anchor_opt);
+    const Components m = measured_components(r.total);
+    const Components a =
+        analytic_components(anchor_cfg.dataflow, anchor, anchor_cfg.arch,
+                            anchor_cfg.psum, opt_.costs, opt_.perf);
+    sim_sum.sram_bytes += m.sram_bytes;
+    sim_sum.dram_bytes += m.dram_bytes;
+    sim_sum.cycles += m.cycles;
+    sim_sum.macs += m.macs;
+    analytic_sum.sram_bytes += a.sram_bytes;
+    analytic_sum.dram_bytes += a.dram_bytes;
+    analytic_sum.cycles += a.cycles;
+    analytic_sum.macs += a.macs;
+  }
+  return component_ratios(analytic_sum, sim_sum);
+}
+
+CalibrationFactors Calibrator::unit_factors(const std::string& workload_name,
+                                            const Workload& w,
+                                            const SimConfig& cfg) {
+  const std::string key = family_key(workload_name, cfg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = families_.find(key);
+    if (it != families_.end()) return it->second.f;
+  }
+  // Fit outside the lock; a racing duplicate fit computes the identical
+  // value (pure function of family + options), so first-writer-wins.
+  Family fam;
+  fam.workload = workload_name;
+  fam.dataflow = to_string(cfg.dataflow);
+  fam.psum_bits = cfg.psum.psum_bits;
+  fam.apsq = cfg.psum.apsq ? 1 : 0;
+  fam.group_size = static_cast<int>(cfg.psum.group_size);
+  fam.f = fit_unit_factors(w, cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.emplace(key, fam).first->second.f;
+}
+
+CalibrationFactors Calibrator::scale_factors(const Workload& w,
+                                             const DesignPoint& p) const {
+  const SimConfig cfg = sim_config_for(p);
+  const Workload scaled = scale_workload(w, opt_.sim);
+  const Components full = analytic_components(cfg.dataflow, w, cfg.arch,
+                                              cfg.psum, opt_.costs, opt_.perf);
+  const Components small = analytic_components(
+      cfg.dataflow, scaled, cfg.arch, cfg.psum, opt_.costs, opt_.perf);
+  return component_ratios(full, small);
+}
+
+CalibrationFactors Calibrator::factors_for(const std::string& workload_name,
+                                           const Workload& w,
+                                           const DesignPoint& p) {
+  return unit_factors(workload_name, w, sim_config_for(p))
+      .compose(scale_factors(w, p));
+}
+
+double Calibrator::calibrated_energy_pj(const WorkloadRunResult& r,
+                                        const CalibrationFactors& f) const {
+  // Eq. 1 over the calibrated components — identical to
+  // SimStats::energy_pj when every factor is 1.
+  return f.sram_bytes * static_cast<double>(r.total.sram.total_bytes()) *
+             opt_.costs.esram_pj_per_byte +
+         f.dram_bytes * static_cast<double>(r.total.dram.total_bytes()) *
+             opt_.costs.edram_pj_per_byte +
+         f.macs * static_cast<double>(r.total.mac_ops) * opt_.costs.emac_pj;
+}
+
+double Calibrator::calibrated_latency_s(const WorkloadRunResult& r,
+                                        const CalibrationFactors& f) const {
+  const PerfConfig& perf = opt_.perf;
+  APSQ_CHECK(std::isfinite(perf.clock_hz) && perf.clock_hz > 0.0);
+  APSQ_CHECK(std::isfinite(perf.dram_bandwidth_gbps) &&
+             perf.dram_bandwidth_gbps > 0.0);
+  double total_s = 0.0;
+  for (const LayerRunStats& lr : r.layers) {
+    const double compute_s =
+        f.cycles * static_cast<double>(lr.stats.cycles) / perf.clock_hz;
+    const double dram_s = f.dram_bytes *
+                          static_cast<double>(lr.stats.dram.total_bytes()) /
+                          (perf.dram_bandwidth_gbps * 1e9);
+    total_s += std::max(compute_s, dram_s) * static_cast<double>(lr.repeat);
+  }
+  return total_s;
+}
+
+index_t Calibrator::family_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<index_t>(families_.size());
+}
+
+CsvWriter Calibrator::unit_factors_csv() const {
+  // The shrink/max_dim/seed/anchors columns record the fit context: unit
+  // factors are a function of the anchor shapes (hence of the sweep's
+  // scaling) and of the operand seed, so the loader refuses rows fitted
+  // under different options instead of silently applying them.
+  CsvWriter csv({"workload", "dataflow", "psum_bits", "apsq", "group_size",
+                 "shrink", "max_dim", "seed", "anchors", "sram_factor",
+                 "dram_factor", "cycle_factor", "mac_factor"});
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, fam] : families_) {  // std::map: sorted by key
+    (void)key;
+    csv.add_row({fam.workload, fam.dataflow, std::to_string(fam.psum_bits),
+                 std::to_string(fam.apsq), std::to_string(fam.group_size),
+                 std::to_string(opt_.sim.shrink),
+                 std::to_string(opt_.sim.max_dim),
+                 std::to_string(opt_.sim.seed),
+                 std::to_string(opt_.anchors_per_family),
+                 format_double(fam.f.sram_bytes),
+                 format_double(fam.f.dram_bytes), format_double(fam.f.cycles),
+                 format_double(fam.f.macs)});
+  }
+  return csv;
+}
+
+index_t Calibrator::load_unit_factors_csv(const std::string& path) {
+  std::ifstream in(path);
+  APSQ_CHECK_MSG(in, "cannot open calibration CSV: " << path);
+  std::string line;
+  APSQ_CHECK_MSG(std::getline(in, line), "empty calibration CSV: " << path);
+  // Tolerate a trailing \r (a CSV edited on Windows).
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  APSQ_CHECK_MSG(
+      line ==
+          "workload,dataflow,psum_bits,apsq,group_size,shrink,max_dim,seed,"
+          "anchors,sram_factor,dram_factor,cycle_factor,mac_factor",
+      "unexpected calibration CSV header in " << path << ": " << line);
+
+  index_t loaded = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::stringstream row(line);
+    std::string field;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    APSQ_CHECK_MSG(fields.size() == 13,
+                   "expected 13 fields, got " << fields.size() << " in "
+                                              << path << ": " << line);
+    Family fam;
+    fam.workload = fields[0];
+    fam.dataflow = fields[1];
+    fam.psum_bits = static_cast<int>(parse_csv_i64(fields[2], path));
+    fam.apsq = static_cast<int>(parse_csv_i64(fields[3], path));
+    fam.group_size = static_cast<int>(parse_csv_i64(fields[4], path));
+    // Reject rows fitted under a different scaling or seed: the anchor
+    // shapes — and therefore the factors — would not match this sweep.
+    const i64 shrink = parse_csv_i64(fields[5], path);
+    const i64 max_dim = parse_csv_i64(fields[6], path);
+    const u64 seed = parse_csv_u64(fields[7], path);
+    const i64 anchors = parse_csv_i64(fields[8], path);
+    APSQ_CHECK_MSG(shrink == opt_.sim.shrink && max_dim == opt_.sim.max_dim &&
+                       seed == opt_.sim.seed &&
+                       anchors == opt_.anchors_per_family,
+                   path << " was fitted with shrink=" << shrink << " max_dim="
+                        << max_dim << " seed=" << seed << " anchors="
+                        << anchors << ", but this sweep uses shrink="
+                        << opt_.sim.shrink << " max_dim=" << opt_.sim.max_dim
+                        << " seed=" << opt_.sim.seed << " anchors="
+                        << opt_.anchors_per_family << " — refit (delete the "
+                        << "CSV) or rerun with matching options");
+    fam.f.sram_bytes = parse_csv_double(fields[9], path);
+    fam.f.dram_bytes = parse_csv_double(fields[10], path);
+    fam.f.cycles = parse_csv_double(fields[11], path);
+    fam.f.macs = parse_csv_double(fields[12], path);
+
+    const std::string key = family_key_from_fields(
+        fam.workload, fam.dataflow, fam.psum_bits, fam.apsq, fam.group_size);
+    std::lock_guard<std::mutex> lock(mu_);
+    families_[key] = fam;  // a loaded row overrides a fitted one
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace apsq::dse

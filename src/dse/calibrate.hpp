@@ -1,0 +1,152 @@
+// Sim↔analytic calibration for simulator-backed DSE sweeps.
+//
+// The sim backend scores *scaled* proxy workloads (WorkloadRunOptions
+// shrink / max_dim), so its raw energies and latencies are orders of
+// magnitude below the analytic backend's full-scale numbers — fine for
+// ranking points within one sweep, useless for mixing fronts across
+// backends. Like an instrument calibration chain that ties raw detector
+// counts to physical units, the Calibrator closes that gap in two links:
+//
+//   unit factors  — per (workload, dataflow, PSUM-config) family, a small
+//                   set of *unscaled* anchor shapes (shrink = 1 at the
+//                   sweep's scaled dimensions, the regime
+//                   tests/sim/sim_vs_analytic_test.cpp cross-validates)
+//                   is run through the simulator and through the
+//                   closed-form models; the per-component ratios
+//                   Σ analytic / Σ measured absorb any systematic
+//                   daylight between the two (e.g. whole-tile PSUM byte
+//                   rounding). By construction they are ≈ 1.
+//   scale factors — per design point, the closed-form models — which are
+//                   element-exact at every size — are evaluated at the
+//                   full workload dimensions and at the sweep's scaled
+//                   dimensions; the component ratios full / scaled carry
+//                   the measurement up to full scale, including regime
+//                   changes the naive MAC ratio misses (a layer that fits
+//                   in the buffers when shrunk but spills at full size).
+//
+// Components are calibrated independently — SRAM bytes, DRAM bytes,
+// cycles, MACs — and recombined through the same cost/performance
+// formulas the uncalibrated paths use, so a calibrated sim energy is in
+// the same absolute pJ as the analytic backend while retaining whatever
+// the simulator measured beyond the closed forms. All fits are pure
+// functions of (family, options); fitting is memoized and thread-safe,
+// and results are byte-identical regardless of evaluation order. Unit
+// factors persist to CSV so repeated sweeps can skip the anchor runs.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/csv.hpp"
+#include "dse/design_point.hpp"
+#include "sim/workload_runner.hpp"
+
+namespace apsq::dse {
+
+/// The simulator configuration a design point denotes. OS keeps PSUMs in
+/// PE registers, so APSQ has nothing to quantize there — the simulator
+/// refuses the combination; map it to the traffic-equivalent INT32
+/// baseline (the analytic model likewise charges OS zero PSUM traffic).
+SimConfig sim_config_for(const DesignPoint& p);
+
+/// Per-component multiplicative factors applied to a scaled sim
+/// measurement. Identity factors leave the measurement untouched.
+struct CalibrationFactors {
+  double sram_bytes = 1.0;
+  double dram_bytes = 1.0;
+  double cycles = 1.0;
+  double macs = 1.0;
+
+  CalibrationFactors compose(const CalibrationFactors& other) const {
+    return {sram_bytes * other.sram_bytes, dram_bytes * other.dram_bytes,
+            cycles * other.cycles, macs * other.macs};
+  }
+};
+
+class Calibrator {
+ public:
+  struct Options {
+    /// The sweep's scaling (shrink / max_dim / seed). Anchor runs reuse
+    /// the seed but always execute at shrink = 1.
+    WorkloadRunOptions sim;
+    EnergyCosts costs = EnergyCosts::horowitz();
+    PerfConfig perf;
+    /// Unscaled anchor shapes fitted per family (the workload's largest
+    /// distinct scaled layer shapes). More anchors, better unit fit.
+    index_t anchors_per_family = 3;
+  };
+
+  explicit Calibrator(Options opt);
+
+  /// Stable identity of a calibration family: the fields the unit fit
+  /// depends on (workload, dataflow, effective PSUM handling).
+  static std::string family_key(const std::string& workload,
+                                const SimConfig& cfg);
+
+  /// Unit factors for the family of (workload `w` named `workload_name`,
+  /// cfg.dataflow, cfg.psum) — fitted from unscaled anchor runs on first
+  /// use, memoized (and loadable from CSV) afterwards. Thread-safe; a
+  /// racing duplicate fit computes the identical value.
+  CalibrationFactors unit_factors(const std::string& workload_name,
+                                  const Workload& w, const SimConfig& cfg);
+
+  /// Scale-up factors for one point: closed-form components at the full
+  /// workload dimensions over the same components at the sweep's scaled
+  /// dimensions. Pure and cheap (no simulation).
+  CalibrationFactors scale_factors(const Workload& w,
+                                   const DesignPoint& p) const;
+
+  /// unit_factors ∘ scale_factors for one point.
+  CalibrationFactors factors_for(const std::string& workload_name,
+                                 const Workload& w, const DesignPoint& p);
+
+  /// Measured scaled run → absolute full-scale energy (pJ), via the same
+  /// Eq. 1 cost table the uncalibrated path uses.
+  double calibrated_energy_pj(const WorkloadRunResult& r,
+                              const CalibrationFactors& f) const;
+
+  /// Measured scaled run → absolute full-scale latency (s): per layer
+  /// max(calibrated cycles / clock, calibrated DRAM bytes / bandwidth),
+  /// × repeat, summed — the measured twin of workload_performance.
+  double calibrated_latency_s(const WorkloadRunResult& r,
+                              const CalibrationFactors& f) const;
+
+  const Options& options() const { return opt_; }
+
+  /// Families fitted (or loaded) so far.
+  index_t family_count() const;
+
+  /// Fitted unit factors as CSV (rows sorted by family key — stable
+  /// across runs and thread counts). Each row also records the fit
+  /// context (shrink / max_dim / seed / anchor count) the factors depend
+  /// on.
+  CsvWriter unit_factors_csv() const;
+
+  /// Seed the unit-factor memo from a CSV produced by unit_factors_csv();
+  /// returns the number of families loaded. Throws on malformed rows and
+  /// on rows whose fit context does not match this calibrator's options —
+  /// factors fitted under a different scaling or seed must be refit, not
+  /// silently applied.
+  index_t load_unit_factors_csv(const std::string& path);
+
+ private:
+  /// One fitted family, with the fields needed to round-trip the CSV.
+  struct Family {
+    std::string workload;
+    std::string dataflow;
+    int psum_bits = 32;
+    int apsq = 0;
+    int group_size = 1;
+    CalibrationFactors f;
+  };
+
+  CalibrationFactors fit_unit_factors(const Workload& w,
+                                      const SimConfig& cfg) const;
+
+  Options opt_;
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;  ///< key → fitted unit factors
+};
+
+}  // namespace apsq::dse

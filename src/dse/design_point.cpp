@@ -1,5 +1,6 @@
 #include "dse/design_point.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -55,6 +56,12 @@ double Objectives::get(Objective o) const {
   }
   APSQ_CHECK_MSG(false, "unknown objective");
   return 0.0;
+}
+
+bool Objectives::all_finite() const {
+  for (int i = 0; i < kObjectiveCount; ++i)
+    if (!std::isfinite(get(static_cast<Objective>(i)))) return false;
+  return true;
 }
 
 void Objectives::set(Objective o, double v) {

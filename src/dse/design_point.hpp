@@ -60,6 +60,12 @@ struct Objectives {
 
   double get(Objective o) const;
   void set(Objective o, double v);
+
+  /// True iff every objective is a finite number. NaN breaks the
+  /// transitivity Pareto dominance relies on (a NaN point is dominated by
+  /// nothing and dominates nothing), so scorers reject non-finite values
+  /// at ingestion and pareto_front refuses them outright.
+  bool all_finite() const;
 };
 
 /// An ordered subset of the objectives, used to parameterize dominance and

@@ -31,36 +31,16 @@ EvalBackend parse_backend(const std::string& name) {
   return EvalBackend::kAnalytic;
 }
 
-namespace {
-
-/// The simulator configuration a design point denotes. OS keeps PSUMs in
-/// PE registers, so APSQ has nothing to quantize there — the simulator
-/// refuses the combination; map it to the traffic-equivalent INT32
-/// baseline (the analytic model likewise charges OS zero PSUM traffic).
-SimConfig sim_config_for(const DesignPoint& p) {
-  SimConfig c;
-  c.arch = p.acc;
-  c.dataflow = p.dataflow;
-  c.psum = p.psum;
-  if (p.dataflow == Dataflow::kOS && p.psum.apsq)
-    c.psum = PsumConfig::baseline_int32();
-  return c;
-}
-
-}  // namespace
-
 Evaluator::Evaluator(EvaluatorOptions opt) : opt_(opt) {
   APSQ_CHECK_MSG(opt_.threads >= 1, "Evaluator needs >= 1 thread");
   APSQ_CHECK_MSG(opt_.sim.threads >= 1, "sim runner needs >= 1 thread");
-  // One pool for the evaluator's lifetime: repeated evaluate_space /
-  // evaluate_points calls reuse its persistent workers instead of
-  // respawning threads per call.
-  pool_ = std::make_unique<WorkStealingPool>(opt_.threads);
-  // With a single-threaded evaluator, layer-parallel sim runs get their
-  // own persistent pool at the requested width (see sim_score_for).
-  if (opt_.backend == EvalBackend::kSim && opt_.threads == 1 &&
-      opt_.sim.threads > 1)
-    sim_pool_ = std::make_unique<WorkStealingPool>(opt_.sim.threads);
+  if (opt_.backend == EvalBackend::kSim && opt_.calibrate) {
+    Calibrator::Options copt;
+    copt.sim = opt_.sim;
+    copt.costs = opt_.costs;
+    copt.perf = opt_.perf;
+    calibrator_ = std::make_unique<Calibrator>(copt);
+  }
 }
 
 Evaluator::~Evaluator() = default;
@@ -153,18 +133,17 @@ double Evaluator::latency_for(const DesignPoint& p) {
 
 Evaluator::SimScore Evaluator::sim_score_for(const DesignPoint& p) {
   return cached(sim_cache_, canonical_key(p), [&]() -> SimScore {
-    WorkloadRunOptions run_opt = opt_.sim;
-    // Points are the outer parallelism; layer workers would oversubscribe
-    // (and nesting on the same pool degrades to inline anyway). With a
-    // single-threaded evaluator, sim.threads is honored via the dedicated
-    // persistent sim pool built in the constructor.
-    WorkStealingPool* inner_pool = pool_.get();
-    if (opt_.threads > 1)
-      run_opt.threads = 1;
-    else if (sim_pool_)
-      inner_pool = sim_pool_.get();
-    const WorkloadRunResult r = run_workload(
-        workload(p.workload), sim_config_for(p), run_opt, inner_pool);
+    // With sim.threads > 1 the layer loop submits a nested scope into the
+    // process-wide shared pool — the same pool a parallel evaluate_space
+    // is running on — so point- and layer-level parallelism compose
+    // without oversubscription (the pool's width bounds concurrency).
+    const Workload& w = workload(p.workload);
+    const WorkloadRunResult r = run_workload(w, sim_config_for(p), opt_.sim);
+    if (calibrator_) {
+      const CalibrationFactors f = calibrator_->factors_for(p.workload, w, p);
+      return SimScore{calibrator_->calibrated_energy_pj(r, f),
+                      calibrator_->calibrated_latency_s(r, f)};
+    }
     return SimScore{r.energy_pj(opt_.costs), r.latency_s(opt_.perf)};
   });
 }
@@ -183,13 +162,18 @@ EvalResult Evaluator::evaluate(const DesignPoint& p) {
     r.obj.energy_pj = energy_for(p);
     r.obj.latency_s = latency_for(p);
   }
+  // A NaN objective would make Pareto dominance non-transitive and poison
+  // front extraction; reject it at ingestion, where the offending point is
+  // still known.
+  APSQ_CHECK_MSG(r.obj.all_finite(),
+                 "non-finite objective for " << canonical_key(p));
   return r;
 }
 
 std::vector<EvalResult> Evaluator::evaluate_space(const ConfigSpace& space) {
   space.validate();
   std::vector<EvalResult> out(static_cast<size_t>(space.size()));
-  pool_->parallel_for(space.size(), [&](index_t i) {
+  parallel_for_points(space.size(), [&](index_t i) {
     out[static_cast<size_t>(i)] = evaluate(space.at(i));
   });
   return out;
@@ -198,10 +182,19 @@ std::vector<EvalResult> Evaluator::evaluate_space(const ConfigSpace& space) {
 std::vector<EvalResult> Evaluator::evaluate_points(
     const std::vector<DesignPoint>& pts) {
   std::vector<EvalResult> out(pts.size());
-  pool_->parallel_for(static_cast<index_t>(pts.size()), [&](index_t i) {
+  parallel_for_points(static_cast<index_t>(pts.size()), [&](index_t i) {
     out[static_cast<size_t>(i)] = evaluate(pts[static_cast<size_t>(i)]);
   });
   return out;
+}
+
+void Evaluator::parallel_for_points(
+    index_t n, const std::function<void(index_t)>& fn) {
+  if (opt_.threads > 1) {
+    WorkStealingPool::shared().parallel_for(n, fn);
+  } else {
+    for (index_t i = 0; i < n; ++i) fn(i);
+  }
 }
 
 CacheStats Evaluator::energy_cache_stats() const {

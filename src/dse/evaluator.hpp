@@ -11,10 +11,12 @@
 //              Accelerator::run_gemm) with a per-point SimConfig and
 //              converts the *measured* SRAM/DRAM byte counts into energy
 //              via the same EnergyCosts table, and measured cycles/DRAM
-//              traffic into latency. Sim scores are of the scaled proxy
-//              workload (WorkloadRunOptions.shrink / max_dim), so absolute
-//              values are smaller than analytic full-scale ones; rankings
-//              and fronts are what sweeps compare.
+//              traffic into latency. Raw sim scores are of the scaled
+//              proxy workload (WorkloadRunOptions.shrink / max_dim), so
+//              absolute values are smaller than analytic full-scale ones;
+//              with `calibrate` set, a dse::Calibrator (calibrate.hpp)
+//              rescales the measured components into the analytic
+//              backend's absolute units, so the two backends' fronts mix.
 //
 // Sub-evaluations are memoized independently under canonical sub-keys.
 // Area depends only on the accelerator geometry and the accuracy proxy
@@ -25,15 +27,19 @@
 // sweep. All scoring functions are pure, every worker derives its
 // randomness per work item via Rng::stream, and results land in
 // index-addressed slots, so a parallel sweep is byte-identical to a serial
-// one. The work-stealing pool is owned by the evaluator and reused across
-// evaluate_space / evaluate_points calls (its workers persist).
+// one. Parallel evaluation runs on the process-wide
+// WorkStealingPool::shared(): the point-level loop and run_workload's
+// layer-level loop submit into the same pool (nested scopes compose), so
+// sim-backed sweeps parallelize at both levels without oversubscribing.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "dse/calibrate.hpp"
 #include "dse/config_space.hpp"
 #include "dse/design_point.hpp"
 #include "energy/costs.hpp"
@@ -41,10 +47,6 @@
 #include "sim/workload_runner.hpp"
 
 #include <mutex>
-
-namespace apsq {
-class WorkStealingPool;
-}
 
 namespace apsq::dse {
 
@@ -59,16 +61,23 @@ const char* to_string(EvalBackend b);
 EvalBackend parse_backend(const std::string& name);
 
 struct EvaluatorOptions {
-  int threads = 1;         ///< worker count for evaluate_space
+  /// 1 = score points serially on the calling thread; > 1 = score them on
+  /// the process-wide shared pool (whose width is hardware_threads(), or
+  /// APSQ_POOL_THREADS if set — see WorkStealingPool::shared()). Results
+  /// are byte-identical either way.
+  int threads = 1;
   u64 seed = 0xD5EULL;     ///< accuracy-proxy stream seed
   EvalBackend backend = EvalBackend::kAnalytic;
   EnergyCosts costs = EnergyCosts::horowitz();
   AreaLibrary area_lib = AreaLibrary::tsmc28_typical();
   PerfConfig perf;         ///< clock / DRAM bandwidth for the latency objective
-  /// Scaling and seed for the sim backend. Its `threads` field is ignored
-  /// when the evaluator itself runs multi-threaded (points are the outer
-  /// parallelism; nesting layer workers would oversubscribe).
+  /// Scaling and seed for the sim backend. With sim.threads > 1 each
+  /// point's layers run as a nested scope on the same shared pool, so
+  /// point- and layer-level parallelism compose.
   WorkloadRunOptions sim;
+  /// Sim backend only: rescale measured energies/latencies into the
+  /// analytic backend's absolute units via dse::Calibrator.
+  bool calibrate = false;
 };
 
 /// Counters for one sub-evaluation cache. Under contention two workers may
@@ -108,6 +117,11 @@ class Evaluator {
 
   const EvaluatorOptions& options() const { return opt_; }
 
+  /// The sim↔analytic calibrator, non-null iff options().calibrate and the
+  /// sim backend are both active. Exposed so callers can persist / preload
+  /// its fitted unit factors (apsq_dse --calibration-csv).
+  Calibrator* calibrator() { return calibrator_.get(); }
+
   /// Bundled-workload registry ("bert", "llama2", "segformer",
   /// "efficientvit" at the paper's input sizes). Throws on unknown names.
   static const Workload& workload(const std::string& name);
@@ -135,6 +149,9 @@ class Evaluator {
   double error_for(const DesignPoint& p);
   double latency_for(const DesignPoint& p);
   SimScore sim_score_for(const DesignPoint& p);
+  /// Index loop over points: inline when threads == 1, on the shared pool
+  /// otherwise.
+  void parallel_for_points(index_t n, const std::function<void(index_t)>& fn);
 
   EvaluatorOptions opt_;
   Cache<double> energy_cache_;
@@ -142,10 +159,7 @@ class Evaluator {
   Cache<double> accuracy_cache_;
   Cache<double> latency_cache_;
   Cache<SimScore> sim_cache_;
-  std::unique_ptr<WorkStealingPool> pool_;  ///< persistent across calls
-  /// Layer-parallel pool for sim runs when the evaluator itself is
-  /// single-threaded (opt_.sim.threads wide); null otherwise.
-  std::unique_ptr<WorkStealingPool> sim_pool_;
+  std::unique_ptr<Calibrator> calibrator_;  ///< sim backend + calibrate only
 };
 
 }  // namespace apsq::dse

@@ -16,7 +16,13 @@ namespace apsq::dse {
 /// The non-dominated subset of `points` under the active objectives,
 /// sorted by canonical_key. Points with identical objectives but different
 /// configurations tie and are all kept; exact duplicates (same canonical
-/// key) are collapsed to one entry.
+/// key) are collapsed to one entry. Extraction uses a sort-based sweep
+/// (candidates in ascending lexicographic objective order are only ever
+/// dominated by the incremental front built so far), so large sweeps cost
+/// roughly O(n·|front|) comparisons instead of O(n²) while emitting a
+/// byte-identical front. Every *active* objective must be finite — NaN
+/// breaks dominance transitivity — and non-finite candidates throw;
+/// inactive objective fields are never read and may hold sentinels.
 std::vector<EvalResult> pareto_front(
     const std::vector<EvalResult>& points,
     const ObjectiveSet& objectives = ObjectiveSet::all());

@@ -54,15 +54,21 @@ std::string objective_display(Objective o, double v) {
 
 }  // namespace
 
-CsvWriter results_csv(const std::vector<EvalResult>& results) {
+CsvWriter results_csv(const std::vector<EvalResult>& results,
+                      const std::string& scored_by) {
   std::vector<std::string> header = {
       "workload", "dataflow",        "psum_bits",       "apsq",
       "group_size", "po",            "pci",             "pco",
       "ifmap_buf_bytes", "ofmap_buf_bytes", "weight_buf_bytes"};
   for (int i = 0; i < kObjectiveCount; ++i)
     header.push_back(objective_column(static_cast<Objective>(i)));
+  if (!scored_by.empty()) header.push_back("scored_by");
   CsvWriter csv(header);
-  for (const EvalResult& r : results) csv.add_row(result_row(r));
+  for (const EvalResult& r : results) {
+    std::vector<std::string> row = result_row(r);
+    if (!scored_by.empty()) row.push_back(scored_by);
+    csv.add_row(row);
+  }
   return csv;
 }
 

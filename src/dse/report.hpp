@@ -17,8 +17,12 @@ namespace apsq::dse {
 std::string format_double(double v);
 
 /// One row per result: the full configuration plus every objective (one
-/// column per Objective, in enum order).
-CsvWriter results_csv(const std::vector<EvalResult>& results);
+/// column per Objective, in enum order). A non-empty `scored_by` label
+/// (e.g. "analytic", "sim", "sim+cal") appends a `scored_by` column so a
+/// persisted CSV records which backend — and whether calibration — stands
+/// behind its absolute numbers.
+CsvWriter results_csv(const std::vector<EvalResult>& results,
+                      const std::string& scored_by = "");
 
 /// Human-readable front table, rows ordered as given.
 Table front_table(const std::vector<EvalResult>& front);

@@ -1,15 +1,32 @@
 #include "sim/performance.hpp"
 
+#include <cmath>
+
 #include "common/math_util.hpp"
 
 namespace apsq {
+
+namespace {
+
+/// A zero or non-finite clock / bandwidth would turn every division below
+/// into inf or NaN, which then poisons Objectives and breaks Pareto
+/// dominance transitivity — reject it at the boundary instead.
+void validate_perf(const PerfConfig& perf) {
+  APSQ_CHECK_MSG(std::isfinite(perf.clock_hz) && perf.clock_hz > 0.0,
+                 "PerfConfig.clock_hz must be finite and positive");
+  APSQ_CHECK_MSG(std::isfinite(perf.dram_bandwidth_gbps) &&
+                     perf.dram_bandwidth_gbps > 0.0,
+                 "PerfConfig.dram_bandwidth_gbps must be finite and positive");
+}
+
+}  // namespace
 
 LayerPerformance layer_performance(Dataflow df, const LayerShape& layer,
                                    const AcceleratorConfig& acc,
                                    const PsumConfig& psum,
                                    const PerfConfig& perf) {
   acc.validate();
-  APSQ_CHECK(perf.clock_hz > 0.0 && perf.dram_bandwidth_gbps > 0.0);
+  validate_perf(perf);
 
   LayerPerformance p;
   const i64 nrow = ceil_div(layer.rows, acc.po);
@@ -19,8 +36,12 @@ LayerPerformance layer_performance(Dataflow df, const LayerShape& layer,
   p.mac_ops = layer.macs();
   const double array_macs =
       static_cast<double>(acc.po) * acc.pci * acc.pco;
-  p.utilization = static_cast<double>(p.mac_ops) /
-                  (static_cast<double>(p.tile_cycles) * array_macs);
+  // A degenerate (zero-dimension) layer issues no tiles; 0/0 here would
+  // leak NaN into the MAC-weighted utilization roll-up.
+  p.utilization = p.tile_cycles > 0
+                      ? static_cast<double>(p.mac_ops) /
+                            (static_cast<double>(p.tile_cycles) * array_macs)
+                      : 0.0;
   p.compute_time_s = static_cast<double>(p.tile_cycles) / perf.clock_hz;
 
   // DRAM traffic from the access-count model (Eqs. 4 / 6).

@@ -89,6 +89,15 @@ LayerShape scale_layer(const LayerShape& layer, const WorkloadRunOptions& opt) {
   return s;
 }
 
+Workload scale_workload(const Workload& w, const WorkloadRunOptions& opt) {
+  Workload scaled;
+  scaled.name = w.name;
+  scaled.layers.reserve(w.layers.size());
+  for (const LayerShape& layer : w.layers)
+    scaled.layers.push_back(scale_layer(layer, opt));
+  return scaled;
+}
+
 int psum_exponent_for_max(i64 max_abs) {
   APSQ_CHECK(max_abs >= 0);
   // Nearest-pow2 rule, matching the QAT calibrator; clamped to the RAE
@@ -107,7 +116,9 @@ int calibrate_psum_exponent(const TensorI32& exact) {
 }
 
 double WorkloadRunResult::latency_s(const PerfConfig& perf) const {
-  APSQ_CHECK(perf.clock_hz > 0.0 && perf.dram_bandwidth_gbps > 0.0);
+  APSQ_CHECK(std::isfinite(perf.clock_hz) && perf.clock_hz > 0.0);
+  APSQ_CHECK(std::isfinite(perf.dram_bandwidth_gbps) &&
+             perf.dram_bandwidth_gbps > 0.0);
   double total_s = 0.0;
   for (const LayerRunStats& lr : layers) {
     const double compute_s =
@@ -152,12 +163,7 @@ WorkloadRunResult run_workload(const Workload& w, const SimConfig& cfg,
   };
 
   if (opt.threads > 1 && n > 1) {
-    if (pool) {
-      pool->parallel_for(n, run_layer);
-    } else {
-      WorkStealingPool local(opt.threads);
-      local.parallel_for(n, run_layer);
-    }
+    (pool ? *pool : WorkStealingPool::shared()).parallel_for(n, run_layer);
   } else {
     for (index_t li = 0; li < n; ++li) run_layer(li);
   }

@@ -67,6 +67,12 @@ struct WorkloadRunResult {
 /// Scale a layer for simulation (each dim max(1, dim/shrink), clamped).
 LayerShape scale_layer(const LayerShape& layer, const WorkloadRunOptions& opt);
 
+/// scale_layer applied to every layer (repeat counts preserved) — the
+/// proxy workload a sim-backed sweep actually executes. The calibrator
+/// evaluates the analytic models at exactly this scaled workload to fit
+/// scaled→full factors (dse/calibrate.hpp).
+Workload scale_workload(const Workload& w, const WorkloadRunOptions& opt);
+
 /// Nearest-pow2 shift exponent for a PSUM magnitude (the rule the QAT
 /// calibrator uses), clamped to the RAE shifter's representable range
 /// [0, 31]. Exposed for the clamp tests.
@@ -76,8 +82,11 @@ int psum_exponent_for_max(i64 max_abs);
 int calibrate_psum_exponent(const TensorI32& exact);
 
 /// Execute a whole workload through the accelerator simulator. With
-/// opt.threads > 1 layers run on `pool` (or a transient pool when null);
-/// results are byte-identical to a serial run.
+/// opt.threads > 1 layers run on `pool` (or the process-wide
+/// WorkStealingPool::shared() when null); calls from inside a pool task —
+/// e.g. a parallel DSE sweep's per-point evaluation — submit a nested
+/// scope into the same pool, so point- and layer-level parallelism
+/// compose. Results are byte-identical to a serial run either way.
 WorkloadRunResult run_workload(const Workload& w, const SimConfig& cfg,
                                const WorkloadRunOptions& opt = {},
                                WorkStealingPool* pool = nullptr);

@@ -1,0 +1,80 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace apsq {
+namespace {
+
+TEST(CliParse, AcceptsWellFormedIntegers) {
+  i64 v = -1;
+  std::ostringstream err;
+  EXPECT_TRUE(parse_i64_flag("--n", "42", 0, 100, v, err));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_i64_flag("--n", "-7", -10, 10, v, err));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(parse_i64_flag("--n", "0", 0, 0, v, err));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(CliParse, RejectsNonNumericTextByFlagName) {
+  // The std::atoi failure mode this replaces: "--threads foo" became 0.
+  i64 v = 123;
+  std::ostringstream err;
+  EXPECT_FALSE(parse_i64_flag("--threads", "foo", 1, 64, v, err));
+  EXPECT_EQ(v, 123);  // untouched on failure
+  EXPECT_NE(err.str().find("--threads"), std::string::npos);
+  EXPECT_NE(err.str().find("foo"), std::string::npos);
+}
+
+TEST(CliParse, RejectsTrailingJunkAndEmpty) {
+  i64 v = 0;
+  std::ostringstream err;
+  EXPECT_FALSE(parse_i64_flag("--n", "12abc", 0, 100, v, err));
+  EXPECT_FALSE(parse_i64_flag("--n", "", 0, 100, v, err));
+  EXPECT_FALSE(parse_i64_flag("--n", "1.5", 0, 100, v, err));
+  EXPECT_FALSE(parse_i64_flag("--n", " 7", 0, 100, v, err));  // no trimming
+}
+
+TEST(CliParse, EnforcesRange) {
+  // Negative --top / --shrink used to slip through inconsistently.
+  i64 v = 0;
+  std::ostringstream err;
+  EXPECT_FALSE(parse_i64_flag("--top", "-3", 0, 1 << 20, v, err));
+  EXPECT_NE(err.str().find("--top"), std::string::npos);
+  EXPECT_FALSE(parse_i64_flag("--shrink", "0", 1, 100, v, err));
+  EXPECT_FALSE(parse_i64_flag("--n", "101", 0, 100, v, err));
+  EXPECT_FALSE(
+      parse_i64_flag("--n", "99999999999999999999999", 0, 100, v, err));
+}
+
+TEST(CliParse, IntVariantNarrowsSafely) {
+  int v = 0;
+  std::ostringstream err;
+  EXPECT_TRUE(parse_int_flag("--threads", "8", 1, 4096, v, err));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(parse_int_flag("--threads", "5000", 1, 4096, v, err));
+}
+
+TEST(CliParse, U64AcceptsHexAndDecimal) {
+  u64 v = 0;
+  std::ostringstream err;
+  EXPECT_TRUE(parse_u64_flag("--seed", "0xD5E", v, err));
+  EXPECT_EQ(v, 0xD5EULL);
+  EXPECT_TRUE(parse_u64_flag("--seed", "12345", v, err));
+  EXPECT_EQ(v, 12345ULL);
+}
+
+TEST(CliParse, U64RejectsNegativeAndJunk) {
+  u64 v = 7;
+  std::ostringstream err;
+  EXPECT_FALSE(parse_u64_flag("--seed", "-1", v, err));  // strtoull would wrap
+  EXPECT_FALSE(parse_u64_flag("--seed", "seed", v, err));
+  EXPECT_FALSE(parse_u64_flag("--seed", "", v, err));
+  EXPECT_EQ(v, 7ULL);
+}
+
+}  // namespace
+}  // namespace apsq

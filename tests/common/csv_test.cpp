@@ -30,6 +30,15 @@ TEST(Csv, QuotesSpecialCharacters) {
             "x\n\"has,comma\"\n\"has\"\"quote\"\nplain\n");
 }
 
+TEST(Csv, QuotesCarriageReturnPerRfc4180) {
+  // An unquoted \r makes readers that split records on \r\n see a phantom
+  // row boundary; RFC 4180 requires quoting CR just like LF.
+  CsvWriter csv({"x"});
+  csv.add_row({"has\rreturn"});
+  csv.add_row({"has\r\npair"});
+  EXPECT_EQ(csv.to_string(), "x\n\"has\rreturn\"\n\"has\r\npair\"\n");
+}
+
 TEST(Csv, WritesFile) {
   const std::string path = "/tmp/apsq_csv_test.csv";
   CsvWriter csv({"h"});

@@ -4,6 +4,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -95,18 +98,84 @@ TEST(WorkStealingPool, WorkersPersistAcrossParallelForCalls) {
   EXPECT_EQ(pool.run_count(), kCalls);
 }
 
-TEST(WorkStealingPool, NestedParallelForRunsInline) {
-  // A task that re-enters its own pool must not deadlock; the inner loop
-  // degrades to inline execution on the worker thread.
+TEST(WorkStealingPool, NestedParallelForComposesOnSharedWorkers) {
+  // A task that re-enters its own pool submits a child scope into the
+  // shared deques (it must not deadlock, and every nested index runs).
   WorkStealingPool pool(3);
   std::atomic<index_t> total{0};
   pool.parallel_for(6, [&](index_t) {
     pool.parallel_for(5, [&](index_t j) { total += j; });
   });
   EXPECT_EQ(total.load(), 6 * 10);
+  // Outer run + one child scope per outer task all dispatched to the pool.
+  EXPECT_EQ(pool.run_count(), 1 + 6);
 }
 
-TEST(WorkStealingPool, ConcurrentExternalCallersAreSerialized) {
+TEST(WorkStealingPool, NestedParallelForSpreadsAcrossWorkers) {
+  // With one slow outer task fanning out many inner tasks, the other
+  // workers must be able to steal and execute the nested scope's work.
+  WorkStealingPool pool(4);
+  std::set<std::thread::id> inner_threads;
+  std::mutex mu;
+  pool.parallel_for(1, [&](index_t) {
+    pool.parallel_for(64, [&](index_t) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        inner_threads.insert(std::this_thread::get_id());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  });
+  if (std::thread::hardware_concurrency() > 1)
+    EXPECT_GT(inner_threads.size(), 1u);
+}
+
+TEST(WorkStealingPool, DeeplyNestedScopesComplete) {
+  WorkStealingPool pool(2);
+  std::atomic<index_t> total{0};
+  pool.parallel_for(4, [&](index_t) {
+    pool.parallel_for(3, [&](index_t) {
+      pool.parallel_for(2, [&](index_t k) { total += k + 1; });
+    });
+  });
+  EXPECT_EQ(total.load(), 4 * 3 * (1 + 2));
+}
+
+TEST(WorkStealingPool, NestedExceptionPropagatesThroughOuterRun) {
+  // An inner scope's exception rethrows out of the enclosing task and is
+  // captured by the enclosing run; the pool stays usable afterwards.
+  WorkStealingPool pool(3);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](index_t) {
+                                   pool.parallel_for(4, [&](index_t j) {
+                                     if (j == 2)
+                                       throw std::runtime_error("inner");
+                                   });
+                                 }),
+               std::runtime_error);
+  std::atomic<index_t> sum{0};
+  pool.parallel_for(10, [&](index_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(WorkStealingPool, SingleThreadPoolNestsInline) {
+  WorkStealingPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  index_t total = 0;
+  pool.parallel_for(3, [&](index_t) {
+    pool.parallel_for(3, [&](index_t j) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      total += j;
+    });
+  });
+  EXPECT_EQ(total, 9);
+  EXPECT_EQ(pool.run_count(), 0);  // inline runs are not dispatched
+}
+
+TEST(WorkStealingPool, ConcurrentExternalCallersAllComplete) {
+  // Distinct external threads may have runs in flight at once; each run's
+  // tasks execute exactly once and each call returns when its own scope
+  // is done.
   WorkStealingPool pool(2);
   std::atomic<index_t> total{0};
   std::vector<std::thread> callers;
@@ -116,6 +185,19 @@ TEST(WorkStealingPool, ConcurrentExternalCallersAreSerialized) {
     });
   for (auto& t : callers) t.join();
   EXPECT_EQ(total.load(), 4 * (49 * 50 / 2));
+}
+
+TEST(WorkStealingPool, SharedPoolIsProcessWideAndSizedToHardware) {
+  WorkStealingPool& a = WorkStealingPool::shared();
+  WorkStealingPool& b = WorkStealingPool::shared();
+  EXPECT_EQ(&a, &b);
+  if (std::getenv("APSQ_POOL_THREADS") == nullptr)
+    EXPECT_EQ(a.num_threads(), WorkStealingPool::hardware_threads());
+  else
+    EXPECT_GE(a.num_threads(), 1);
+  std::atomic<index_t> sum{0};
+  a.parallel_for(100, [&](index_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
 }
 
 TEST(WorkStealingPool, RejectsZeroThreads) {

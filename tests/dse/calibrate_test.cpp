@@ -1,0 +1,238 @@
+// The calibration chain's contract: on *unscaled* anchor regimes —
+// shrink = 1, the cross-validation regimes of sim_vs_analytic_test — a
+// calibrated sim energy must land on the analytic backend's number, and
+// on scaled sweeps the calibrated score must be reported in the analytic
+// backend's absolute units (same order of magnitude, same headline
+// ordering), not the scaled proxy's.
+#include "dse/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dse/evaluator.hpp"
+#include "energy/energy_model.hpp"
+#include "sim/performance.hpp"
+
+namespace apsq::dse {
+namespace {
+
+constexpr i64 kBig = i64{1} << 24;
+
+/// The anchor-regime geometry of tests/sim/sim_vs_analytic_test.cpp.
+DesignPoint anchor_point(Dataflow df, PsumConfig psum,
+                         const std::string& workload) {
+  DesignPoint p;
+  p.workload = workload;
+  p.dataflow = df;
+  p.psum = psum;
+  p.acc.po = 4;
+  p.acc.pci = 4;
+  p.acc.pco = 4;
+  p.acc.ifmap_buf_bytes = kBig;
+  p.acc.ofmap_buf_bytes = kBig;
+  p.acc.weight_buf_bytes = kBig;
+  return p;
+}
+
+Workload one_layer(const std::string& name, index_t m, index_t k, index_t n) {
+  Workload w;
+  w.name = name;
+  w.layers.push_back({"layer", m, k, n, 1});
+  return w;
+}
+
+Calibrator::Options unscaled_options() {
+  Calibrator::Options opt;
+  opt.sim.shrink = 1;
+  opt.sim.max_dim = kBig;
+  return opt;
+}
+
+TEST(Calibrator, UnscaledAnchorRegimesMatchAnalyticWithinFivePercent) {
+  struct Regime {
+    Dataflow df;
+    index_t m, k, n;
+    PsumConfig psum;
+    const char* label;
+  };
+  const Regime regimes[] = {
+      {Dataflow::kWS, 16, 32, 16, PsumConfig::baseline_int32(), "ws_resident"},
+      {Dataflow::kWS, 16, 48, 8, PsumConfig::apsq_int8(3), "ws_apsq_gs3"},
+      {Dataflow::kWS, 16, 48, 8, PsumConfig::apsq_bits(12, 2), "ws_apsq_int12"},
+      {Dataflow::kIS, 12, 40, 12, PsumConfig::apsq_int8(2), "is_apsq_gs2"},
+      {Dataflow::kOS, 13, 26, 9, PsumConfig::baseline_int32(), "os_ragged"},
+  };
+  for (const Regime& r : regimes) {
+    const Workload w = one_layer(r.label, r.m, r.k, r.n);
+    const DesignPoint p = anchor_point(r.df, r.psum, r.label);
+    Calibrator cal(unscaled_options());
+
+    WorkloadRunOptions run_opt = cal.options().sim;
+    const WorkloadRunResult run = run_workload(w, sim_config_for(p), run_opt);
+    const CalibrationFactors f = cal.factors_for(r.label, w, p);
+
+    const double analytic_e =
+        workload_energy(r.df, w, p.acc, sim_config_for(p).psum).total_pj();
+    const double analytic_l =
+        workload_performance(r.df, w, p.acc, sim_config_for(p).psum)
+            .total_latency_s;
+    ASSERT_GT(analytic_e, 0.0) << r.label;
+    EXPECT_NEAR(cal.calibrated_energy_pj(run, f) / analytic_e, 1.0, 0.05)
+        << r.label;
+    EXPECT_NEAR(cal.calibrated_latency_s(run, f) / analytic_l, 1.0, 0.05)
+        << r.label;
+  }
+}
+
+TEST(Calibrator, ScaleFactorsAreIdentityAtShrinkOne) {
+  const Workload w = one_layer("id", 16, 32, 16);
+  const DesignPoint p =
+      anchor_point(Dataflow::kWS, PsumConfig::baseline_int32(), "id");
+  Calibrator cal(unscaled_options());
+  const CalibrationFactors f = cal.scale_factors(w, p);
+  EXPECT_DOUBLE_EQ(f.sram_bytes, 1.0);
+  EXPECT_DOUBLE_EQ(f.dram_bytes, 1.0);
+  EXPECT_DOUBLE_EQ(f.cycles, 1.0);
+  EXPECT_DOUBLE_EQ(f.macs, 1.0);
+}
+
+TEST(Calibrator, ScaleFactorsCarryScaledRunsUpToFullDimensions) {
+  // At shrink 4 on a uniform layer the MAC ratio is 4³; traffic ratios
+  // depend on the regime but must scale the measurement *up*.
+  Calibrator::Options opt;
+  opt.sim.shrink = 4;
+  opt.sim.max_dim = kBig;
+  Calibrator cal(opt);
+  const Workload w = one_layer("up", 64, 64, 64);
+  const DesignPoint p =
+      anchor_point(Dataflow::kWS, PsumConfig::baseline_int32(), "up");
+  const CalibrationFactors f = cal.scale_factors(w, p);
+  EXPECT_DOUBLE_EQ(f.macs, 64.0);  // (64/16)³... = 4³
+  EXPECT_GT(f.sram_bytes, 1.0);
+  EXPECT_GT(f.dram_bytes, 1.0);
+  EXPECT_GT(f.cycles, 1.0);
+}
+
+TEST(Calibrator, UnitFactorsAreMemoizedPerFamily) {
+  const Workload w = one_layer("memo", 16, 32, 16);
+  const DesignPoint p =
+      anchor_point(Dataflow::kWS, PsumConfig::apsq_int8(2), "memo");
+  Calibrator cal(unscaled_options());
+  EXPECT_EQ(cal.family_count(), 0);
+  const CalibrationFactors a = cal.unit_factors("memo", w, sim_config_for(p));
+  EXPECT_EQ(cal.family_count(), 1);
+  const CalibrationFactors b = cal.unit_factors("memo", w, sim_config_for(p));
+  EXPECT_EQ(cal.family_count(), 1);  // second call: memo hit, no refit
+  EXPECT_EQ(a.sram_bytes, b.sram_bytes);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.macs, b.macs);
+}
+
+TEST(Calibrator, UnitFactorsCsvRoundTrips) {
+  const std::string path = "/tmp/apsq_calibration_roundtrip.csv";
+  const Workload w = one_layer("rt", 16, 48, 8);
+  Calibrator::Options opt = unscaled_options();
+
+  Calibrator fitted(opt);
+  for (const PsumConfig& psum :
+       {PsumConfig::baseline_int32(), PsumConfig::apsq_int8(2),
+        PsumConfig::apsq_bits(12, 2)}) {
+    const DesignPoint p = anchor_point(Dataflow::kWS, psum, "rt");
+    fitted.unit_factors("rt", w, sim_config_for(p));
+  }
+  ASSERT_EQ(fitted.family_count(), 3);
+  ASSERT_TRUE(fitted.unit_factors_csv().write(path));
+
+  Calibrator loaded(opt);
+  EXPECT_EQ(loaded.load_unit_factors_csv(path), 3);
+  EXPECT_EQ(loaded.family_count(), 3);
+  // Loaded factors short-circuit the anchor fit and agree exactly.
+  EXPECT_EQ(loaded.unit_factors_csv().to_string(),
+            fitted.unit_factors_csv().to_string());
+  std::remove(path.c_str());
+}
+
+TEST(Calibrator, LoadRejectsMismatchedFitContext) {
+  // Unit factors depend on the anchor shapes (the sweep's scaling) and
+  // the operand seed; a CSV fitted under different options must refuse to
+  // load instead of silently degrading the calibration.
+  const std::string path = "/tmp/apsq_calibration_ctx.csv";
+  const Workload w = one_layer("ctx", 16, 32, 16);
+  Calibrator::Options fit_opt = unscaled_options();
+  Calibrator fitted(fit_opt);
+  fitted.unit_factors(
+      "ctx", w,
+      sim_config_for(anchor_point(Dataflow::kWS, PsumConfig::baseline_int32(),
+                                  "ctx")));
+  ASSERT_TRUE(fitted.unit_factors_csv().write(path));
+
+  Calibrator::Options other = fit_opt;
+  other.sim.shrink = 2;
+  EXPECT_THROW(Calibrator(other).load_unit_factors_csv(path),
+               std::logic_error);
+  Calibrator::Options reseeded = fit_opt;
+  reseeded.sim.seed = fit_opt.sim.seed + 1;
+  EXPECT_THROW(Calibrator(reseeded).load_unit_factors_csv(path),
+               std::logic_error);
+  EXPECT_EQ(Calibrator(fit_opt).load_unit_factors_csv(path), 1);
+  std::remove(path.c_str());
+}
+
+TEST(Calibrator, LoadRejectsMalformedCsv) {
+  const std::string path = "/tmp/apsq_calibration_bad.csv";
+  CsvWriter bad({"not", "the", "header"});
+  ASSERT_TRUE(bad.write(path));
+  Calibrator cal(unscaled_options());
+  EXPECT_THROW(cal.load_unit_factors_csv(path), std::logic_error);
+  EXPECT_THROW(cal.load_unit_factors_csv("/nonexistent_zz/c.csv"),
+               std::logic_error);
+  std::remove(path.c_str());
+}
+
+TEST(Evaluator, CalibratedSimReportsAnalyticAbsoluteUnits) {
+  // The acceptance property behind `apsq_dse --backend sim --calibrate`:
+  // calibrated sim energies/latencies of the bundled workloads land within
+  // 5% of the analytic backend — same absolute units — while the
+  // uncalibrated sim backend reports the (far smaller) scaled proxy.
+  EvaluatorOptions sim_opt;
+  sim_opt.backend = EvalBackend::kSim;
+  sim_opt.sim.shrink = 32;
+  sim_opt.sim.max_dim = 32;
+  EvaluatorOptions cal_opt = sim_opt;
+  cal_opt.calibrate = true;
+
+  Evaluator analytic;
+  Evaluator raw(sim_opt);
+  Evaluator calibrated(cal_opt);
+  ASSERT_EQ(raw.calibrator(), nullptr);
+  ASSERT_NE(calibrated.calibrator(), nullptr);
+
+  for (const PsumConfig& psum :
+       {PsumConfig::baseline_int32(), PsumConfig::apsq_int8(2)}) {
+    DesignPoint p;
+    p.workload = "bert";
+    p.dataflow = Dataflow::kWS;
+    p.psum = psum;
+    const EvalResult a = analytic.evaluate(p);
+    const EvalResult r = raw.evaluate(p);
+    const EvalResult c = calibrated.evaluate(p);
+    EXPECT_NEAR(c.obj.energy_pj / a.obj.energy_pj, 1.0, 0.05);
+    EXPECT_NEAR(c.obj.latency_s / a.obj.latency_s, 1.0, 0.05);
+    EXPECT_LT(r.obj.energy_pj, 0.01 * a.obj.energy_pj);  // scaled proxy
+    // Calibration rescales energy/latency only.
+    EXPECT_EQ(c.obj.area_um2, a.obj.area_um2);
+    EXPECT_EQ(c.obj.error, a.obj.error);
+  }
+  // The paper's headline survives calibration.
+  DesignPoint base, apsq8;
+  base.workload = apsq8.workload = "bert";
+  base.psum = PsumConfig::baseline_int32();
+  apsq8.psum = PsumConfig::apsq_int8(2);
+  EXPECT_LT(calibrated.evaluate(apsq8).obj.energy_pj,
+            calibrated.evaluate(base).obj.energy_pj);
+}
+
+}  // namespace
+}  // namespace apsq::dse

@@ -176,8 +176,9 @@ TEST(Evaluator, SimBackendParallelEqualsSerialByteIdentical) {
 }
 
 TEST(Evaluator, SimBackendLayerParallelismIsDeterministic) {
-  // Single-threaded evaluator + multi-threaded sim runner (the dedicated
-  // sim pool): scores must match the fully serial configuration exactly.
+  // Single-threaded evaluator + multi-threaded sim runner (layers run on
+  // the shared pool): scores must match the fully serial configuration
+  // exactly.
   const ConfigSpace space = ConfigSpace::smoke();
   Evaluator serial(sim_opt(1));
   EvaluatorOptions layer_par = sim_opt(1);
@@ -185,6 +186,31 @@ TEST(Evaluator, SimBackendLayerParallelismIsDeterministic) {
   Evaluator parallel(layer_par);
   EXPECT_EQ(results_csv(serial.evaluate_space(space)).to_string(),
             results_csv(parallel.evaluate_space(space)).to_string());
+}
+
+TEST(Evaluator, NestedPointAndLayerParallelismMatchesFullySerial) {
+  // The tentpole determinism property: point-level and layer-level
+  // parallelism composed as nested scopes on the process-wide shared pool
+  // must stay byte-identical to the fully serial evaluator.
+  const ConfigSpace space = ConfigSpace::smoke();
+  Evaluator serial(sim_opt(1));  // sim.threads defaults to 1 → fully serial
+  const std::string serial_csv =
+      results_csv(serial.evaluate_space(space)).to_string();
+
+  EvaluatorOptions nested = sim_opt(4);
+  nested.sim.threads = 4;
+  Evaluator parallel(nested);
+  EXPECT_EQ(serial_csv, results_csv(parallel.evaluate_space(space)).to_string());
+
+  // And with calibration on: anchor fits race-free and deterministic.
+  EvaluatorOptions cal_serial = sim_opt(1);
+  cal_serial.calibrate = true;
+  EvaluatorOptions cal_nested = sim_opt(4);
+  cal_nested.sim.threads = 4;
+  cal_nested.calibrate = true;
+  Evaluator cs(cal_serial), cn(cal_nested);
+  EXPECT_EQ(results_csv(cs.evaluate_space(space)).to_string(),
+            results_csv(cn.evaluate_space(space)).to_string());
 }
 
 TEST(Evaluator, SimBackendScoresMeasuredObjectives) {

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "common/rng.hpp"
 
@@ -220,6 +223,87 @@ TEST(ParetoFront, EveryNonFrontPointIsDominated) {
           return canonical_key(f.point) == canonical_key(p.point);
         });
     EXPECT_EQ(!in_front, is_dominated(p, pts)) << canonical_key(p.point);
+  }
+}
+
+TEST(ParetoFront, NonFiniteObjectivesNeverEnterAFront) {
+  // NaN breaks dominance transitivity (a NaN point neither dominates nor
+  // is dominated), so extraction refuses it outright instead of emitting
+  // a schedule-dependent front.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {nan, inf, -inf}) {
+    std::vector<EvalResult> pts = {make("w", 4, 1, 1.0, 1.0, 1.0),
+                                   make("w", 6, 1, bad, 2.0, 2.0)};
+    EXPECT_THROW(pareto_front(pts), std::logic_error);
+    EXPECT_THROW(pareto_front_by_workload(pts), std::logic_error);
+  }
+  // Only *active* objectives are checked: an unused field may hold a
+  // sentinel without blocking extraction over the rest.
+  std::vector<EvalResult> pts = {make("w", 4, 1, 1.0, 1.0, 1.0),
+                                 make("w", 6, 1, 2.0, 2.0, 2.0)};
+  pts[1].obj.latency_s = nan;
+  EXPECT_THROW(pareto_front(pts), std::logic_error);
+  EXPECT_EQ(pareto_front(pts, ObjectiveSet::parse("energy,area")).size(), 1u);
+
+  // The guard sits on ingestion into Objectives too.
+  Objectives o;
+  o.set(Objective::kLatency, nan);
+  EXPECT_FALSE(o.all_finite());
+  EXPECT_TRUE((Objectives{1.0, 2.0, 3.0, 4.0}).all_finite());
+}
+
+TEST(ParetoFront, SweepPrefilterMatchesBruteForceScan) {
+  // The sort-based sweep must emit the byte-identical front the full
+  // O(n²) scan would. Brute force re-derived here from dominates().
+  auto brute_force = [](const std::vector<EvalResult>& pts,
+                        const ObjectiveSet& objectives) {
+    std::vector<EvalResult> front;
+    std::vector<std::string> seen;
+    std::vector<std::pair<std::string, const EvalResult*>> keyed;
+    for (const auto& p : pts) keyed.emplace_back(canonical_key(p.point), &p);
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::string* prev = nullptr;
+    for (const auto& [key, p] : keyed) {
+      if (prev && key == *prev) continue;
+      prev = &key;
+      bool dom = false;
+      for (const auto& [okey, o] : keyed)
+        if (okey != key && dominates(o->obj, p->obj, objectives)) {
+          dom = true;
+          break;
+        }
+      if (!dom) front.push_back(*p);
+    }
+    return front;
+  };
+
+  Rng rng(0xF117E5);
+  for (const char* objs : {"energy,area,error,latency", "energy,latency",
+                           "energy", "area,error"}) {
+    const ObjectiveSet objectives = ObjectiveSet::parse(objs);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<EvalResult> pts;
+      const int n = 20 + round * 40;
+      for (int i = 0; i < n; ++i) {
+        // Coarse integer grid: plenty of exact ties and duplicates.
+        EvalResult r = make("w" + std::to_string(i % 7), 4 + (i % 13),
+                            1 + (i % 4), rng.uniform(0, 4), rng.uniform(0, 4),
+                            rng.uniform(0, 4));
+        r.obj.latency_s = std::floor(rng.uniform(0, 3));
+        pts.push_back(r);
+      }
+      const std::vector<EvalResult> fast = pareto_front(pts, objectives);
+      const std::vector<EvalResult> slow = brute_force(pts, objectives);
+      ASSERT_EQ(fast.size(), slow.size()) << objs << " round " << round;
+      for (size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(canonical_key(fast[i].point), canonical_key(slow[i].point));
+        for (int k = 0; k < kObjectiveCount; ++k)
+          EXPECT_EQ(fast[i].obj.get(static_cast<Objective>(k)),
+                    slow[i].obj.get(static_cast<Objective>(k)));
+      }
+    }
   }
 }
 

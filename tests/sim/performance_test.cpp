@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
 #include "models/bert.hpp"
 #include "models/llama2.hpp"
 
@@ -65,6 +69,52 @@ TEST(WorkloadPerformance, BertRollUp) {
   EXPECT_GT(p.mean_utilization, 0.5);
   EXPECT_LE(p.mean_utilization, 1.0);
   EXPECT_GT(p.effective_gmacs(), 0.0);
+}
+
+TEST(LayerPerformance, ZeroDimensionLayerIsRejectedNotNaN) {
+  // A degenerate layer must never leak 0/0 NaN into utilization (and from
+  // there into the MAC-weighted roll-up and the Objectives): the
+  // access-count model rejects it with a diagnostic instead.
+  for (const LayerShape& layer :
+       {LayerShape{"r0", 0, 64, 64, 1}, LayerShape{"ci0", 64, 0, 64, 1},
+        LayerShape{"co0", 64, 64, 0, 1}}) {
+    EXPECT_THROW(layer_performance(Dataflow::kWS, layer, arch(),
+                                   PsumConfig::baseline_int32()),
+                 std::logic_error)
+        << layer.name;
+  }
+}
+
+TEST(LayerPerformance, RejectsZeroOrNonFinitePerfConfig) {
+  // inf/NaN from a zero bandwidth or clock would make Pareto dominance
+  // non-transitive downstream; the model refuses the config instead.
+  const LayerShape layer{"l", 64, 64, 64, 1};
+  for (const double bad :
+       {0.0, -1.0, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    PerfConfig pc;
+    pc.dram_bandwidth_gbps = bad;
+    EXPECT_THROW(layer_performance(Dataflow::kWS, layer, arch(),
+                                   PsumConfig::baseline_int32(), pc),
+                 std::logic_error)
+        << "bandwidth " << bad;
+    PerfConfig pc2;
+    pc2.clock_hz = bad;
+    EXPECT_THROW(layer_performance(Dataflow::kWS, layer, arch(),
+                                   PsumConfig::baseline_int32(), pc2),
+                 std::logic_error)
+        << "clock " << bad;
+  }
+}
+
+TEST(WorkloadPerformance, EmptyWorkloadRollsUpToFiniteZeros) {
+  const Workload empty;
+  const WorkloadPerformance p = workload_performance(
+      Dataflow::kWS, empty, arch(), PsumConfig::baseline_int32());
+  EXPECT_EQ(p.total_macs, 0);
+  EXPECT_EQ(p.mean_utilization, 0.0);
+  EXPECT_EQ(p.effective_gmacs(), 0.0);
+  EXPECT_TRUE(std::isfinite(p.total_latency_s));
 }
 
 TEST(WorkloadPerformance, ApsqReducesLatencyOnSpillingModels) {
