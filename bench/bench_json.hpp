@@ -1,0 +1,147 @@
+// Minimal google-benchmark-compatible JSON reporting for the plain
+// benches.
+//
+// Only micro_kernels links google-benchmark; the figure/table/DSE sweeps
+// are plain executables with hand-rolled timing. The bench-regression CI
+// job still wants one artifact format it can diff against a committed
+// baseline, so this helper mirrors the two google-benchmark flags the job
+// uses —
+//
+//   bench_dse_sweep --benchmark_out=BENCH_dse.json --benchmark_out_format=json
+//
+// — and emits the subset of the google-benchmark JSON schema that
+// tools/check_bench.py (and most benchmark-diff tooling) reads: a
+// `context` block plus `benchmarks[]` entries with name / iterations /
+// real_time / cpu_time / time_unit. Benches register wall-clock sections
+// via add() and flush() once at exit; without --benchmark_out the
+// reporter is a no-op, so the human-readable tables keep working
+// unchanged. Benchmark names should be host-independent (use
+// "threads:max", not the machine's core count) so one committed baseline
+// serves every runner.
+#pragma once
+
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace apsq::bench {
+
+class BenchJson {
+ public:
+  BenchJson(int argc, char** argv) {
+    if (argc > 0) executable_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const std::string out_prefix = "--benchmark_out=";
+      const std::string fmt_prefix = "--benchmark_out_format=";
+      if (a.rfind(out_prefix, 0) == 0) {
+        out_path_ = a.substr(out_prefix.size());
+      } else if (a.rfind(fmt_prefix, 0) == 0) {
+        const std::string fmt = a.substr(fmt_prefix.size());
+        if (fmt != "json") {
+          std::cerr << "--benchmark_out_format: only 'json' is supported, got '"
+                    << fmt << "'\n";
+          bad_flag_ = true;
+        }
+      } else {
+        std::cerr << "unknown flag: " << a
+                  << " (supported: --benchmark_out=PATH"
+                     " --benchmark_out_format=json)\n";
+        bad_flag_ = true;
+      }
+    }
+  }
+
+  /// False iff the command line was malformed. Benches check this right
+  /// after construction and exit 1 before running anything, so a typo'd
+  /// CI step fails in seconds instead of after a full sweep.
+  bool ok() const { return !bad_flag_; }
+
+  /// Record one timed section (seconds of wall clock). `iterations` is
+  /// informational — the recorded time is the total, matching how the
+  /// benches measure whole sweeps rather than per-iteration loops.
+  void add(const std::string& name, double real_seconds, long iterations = 1) {
+    entries_.push_back({name, real_seconds * 1e3, iterations});
+  }
+
+  /// Write the JSON if --benchmark_out was given. Returns false on a bad
+  /// flag (belt and braces — ok() should have stopped the run already)
+  /// or an IO failure — benches `return rep.flush() ? 0 : 1;`.
+  bool flush() const {
+    if (bad_flag_) return false;
+    if (out_path_.empty()) return true;
+    std::FILE* f = std::fopen(out_path_.c_str(), "w");
+    if (!f) {
+      std::cerr << "failed to open " << out_path_ << "\n";
+      return false;
+    }
+    char date[64] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_buf{};
+    if (localtime_r(&now, &tm_buf))
+      std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S%z", &tm_buf);
+    std::fprintf(f,
+                 "{\n"
+                 "  \"context\": {\n"
+                 "    \"date\": \"%s\",\n"
+                 "    \"executable\": \"%s\",\n"
+                 "    \"num_cpus\": %u,\n"
+                 "    \"library_build_type\": \"%s\"\n"
+                 "  },\n"
+                 "  \"benchmarks\": [\n",
+                 date, escaped(executable_).c_str(),
+                 std::thread::hardware_concurrency(),
+#ifdef NDEBUG
+                 "release"
+#else
+                 "debug"
+#endif
+    );
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      // cpu_time duplicates real_time: these benches measure wall clock
+      // (the quantity the regression gate cares about), and the schema
+      // requires both fields.
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"run_name\": \"%s\","
+                   " \"run_type\": \"iteration\", \"repetitions\": 1,"
+                   " \"repetition_index\": 0, \"iterations\": %ld,"
+                   " \"real_time\": %.6f, \"cpu_time\": %.6f,"
+                   " \"time_unit\": \"ms\"}%s\n",
+                   escaped(e.name).c_str(), escaped(e.name).c_str(),
+                   e.iterations, e.real_ms, e.real_ms,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::cout << "\nwrote " << out_path_ << "\n";
+    return ok;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double real_ms;
+    long iterations;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string executable_;
+  std::string out_path_;
+  bool bad_flag_ = false;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace apsq::bench

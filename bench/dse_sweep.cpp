@@ -1,10 +1,19 @@
 // DSE sweep throughput — seeds the perf trajectory for the exploration
 // engine. Times the full paper_default space (1248 configs × 4 workloads)
-// cold-cache at 1, 4, and hardware-concurrency threads, plus a warm-cache
-// re-run, and reports points/s and memo-cache hit rates.
+// cold-cache serially and on the process-wide shared pool (whose width is
+// fixed at hardware_threads / APSQ_POOL_THREADS — per-row thread counts
+// would all route to the same pool, so serial-vs-pool is the honest
+// comparison), plus a warm-cache re-run, and reports points/s and
+// memo-cache hit rates. With --benchmark_out=FILE the section timings are
+// also written as google-benchmark-style JSON for the bench-regression CI
+// gate (tools/check_bench.py).
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <memory>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "dse/config_space.hpp"
@@ -26,41 +35,66 @@ double time_sweep(Evaluator& eval, const ConfigSpace& space, size_t& front_size)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  apsq::bench::BenchJson rep(argc, argv);
+  if (!rep.ok()) return 1;
   const ConfigSpace space = ConfigSpace::paper_default();
   const int hw = WorkStealingPool::hardware_threads();
   std::cout << "=== DSE sweep: " << space.size() << " design points, "
             << space.workloads.size() << " workloads (hardware threads: "
             << hw << ") ===\n\n";
 
-  std::vector<int> thread_counts = {1, 4};
-  if (hw != 1 && hw != 4) thread_counts.push_back(hw);
+  // Serial (threads == 1 scores inline) vs the shared pool (threads > 1
+  // routes to WorkStealingPool::shared(), whose width is the hardware's —
+  // distinct per-row counts would all measure that same pool). Names are
+  // host-independent so one committed baseline serves every runner.
+  struct Mode {
+    const char* name;
+    int threads;
+  };
+  const std::vector<Mode> modes = {{"serial", 1}, {"pool", hw > 1 ? hw : 2}};
 
-  Table t({"Threads", "Cache", "Time (s)", "Points/s", "Speedup vs 1T",
+  Table t({"Mode", "Cache", "Time (s)", "Points/s", "Speedup vs serial",
            "Accuracy-cache hit rate", "Front size"});
   double base = 0.0;
-  for (int threads : thread_counts) {
-    EvaluatorOptions opt;
-    opt.threads = threads;
-    Evaluator eval(opt);
-
+  for (const Mode& mode : modes) {
+    // Best-of-3 with a fresh (cold-cache) evaluator per attempt: the cold
+    // times feed the bench-regression gate, and a single cold run is too
+    // noisy on shared CI runners. The last attempt's evaluator carries
+    // the warm-cache re-run and the hit-rate stats.
+    constexpr int kReps = 3;
+    double cold = 0.0;
+    double hit_rate = 0.0;
     size_t front_size = 0;
-    const double cold = time_sweep(eval, space, front_size);
-    if (threads == 1) base = cold;
-    const CacheStats cs = eval.accuracy_cache_stats();
-    const double hit_rate =
-        static_cast<double>(cs.hits) / static_cast<double>(cs.hits + cs.misses);
-    t.add_row({std::to_string(threads), "cold", Table::num(cold, 3),
+    EvaluatorOptions opt;
+    opt.threads = mode.threads;
+    std::unique_ptr<Evaluator> eval;
+    for (int attempt = 0; attempt < kReps; ++attempt) {
+      auto fresh = std::make_unique<Evaluator>(opt);
+      const double secs = time_sweep(*fresh, space, front_size);
+      cold = attempt == 0 ? secs : std::min(cold, secs);
+      if (attempt + 1 == kReps) {
+        const CacheStats cs = fresh->accuracy_cache_stats();
+        hit_rate = static_cast<double>(cs.hits) /
+                   static_cast<double>(cs.hits + cs.misses);
+        eval = std::move(fresh);
+      }
+    }
+
+    rep.add(std::string("dse_sweep/cold/") + mode.name, cold);
+    if (mode.threads == 1) base = cold;
+    t.add_row({mode.name, "cold", Table::num(cold, 3),
                Table::num(static_cast<double>(space.size()) / cold, 0),
                base > 0.0 ? Table::ratio(base / cold) : "-",
                Table::pct(hit_rate), std::to_string(front_size)});
 
-    const double warm = time_sweep(eval, space, front_size);
-    t.add_row({std::to_string(threads), "warm", Table::num(warm, 3),
+    const double warm = time_sweep(*eval, space, front_size);
+    rep.add(std::string("dse_sweep/warm/") + mode.name, warm);
+    t.add_row({mode.name, "warm", Table::num(warm, 3),
                Table::num(static_cast<double>(space.size()) / warm, 0),
                base > 0.0 ? Table::ratio(base / warm) : "-", "-",
                std::to_string(front_size)});
   }
   t.print(std::cout);
-  return 0;
+  return rep.flush() ? 0 : 1;
 }

@@ -1,29 +1,40 @@
 // Simulator-in-the-loop DSE throughput — the fidelity/speed trade the
 // evaluator's EvalBackend option exposes.
 //
-// Five sections:
+// Six sections:
 //   1. analytic vs sim backend over the smoke space at 1 and N threads
 //      (points/s, front size over all four objectives);
-//   2. nested (evaluator × layer) parallelism on a point list smaller
+//   2. mixed-fidelity vs pure calibrated sim on a 78-point space: the
+//      wall-time the analytic prefilter saves, at what fraction of the
+//      pure-sim front recovered byte-identically;
+//   3. nested (evaluator × layer) parallelism on a point list smaller
 //      than the machine: inner-serial (the old behaviour, where a
 //      parallel evaluator forced each point's layers serial) vs nested
 //      scopes on the shared pool — the tentpole speedup;
-//   3. layer-parallel run_workload scaling on one workload;
-//   4. persistent-pool reuse: repeated small parallel_for calls on one
+//   4. layer-parallel run_workload scaling on one workload;
+//   5. persistent-pool reuse: repeated small parallel_for calls on one
 //      long-lived pool vs constructing a fresh pool per call;
-//   5. Pareto-front extraction throughput on a large synthetic result set
+//   6. Pareto-front extraction throughput on a large synthetic result set
 //      (the sort-based sweep that replaced the O(n²) scan).
+//
+// With --benchmark_out=FILE the section timings are written as
+// google-benchmark-style JSON for the bench-regression CI gate
+// (tools/check_bench.py).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "dse/config_space.hpp"
 #include "dse/evaluator.hpp"
 #include "dse/pareto.hpp"
+#include "dse/report.hpp"
 #include "models/bert.hpp"
 
 using namespace apsq;
@@ -36,7 +47,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-void backend_section(int hw) {
+void backend_section(int hw, apsq::bench::BenchJson& rep) {
   const ConfigSpace space = ConfigSpace::smoke();
   Table t({"Backend", "Threads", "Time (s)", "Points/s", "Front size"});
   std::vector<int> thread_counts = {1};
@@ -52,6 +63,9 @@ void backend_section(int hw) {
       const auto t0 = std::chrono::steady_clock::now();
       const std::vector<EvalResult> results = eval.evaluate_space(space);
       const double secs = seconds_since(t0);
+      rep.add(std::string("sim_backend/") + to_string(backend) +
+                  "/threads:" + (threads == 1 ? "1" : "max"),
+              secs);
       t.add_row({to_string(backend), std::to_string(threads),
                  Table::num(secs, 3),
                  Table::num(static_cast<double>(space.size()) / secs, 1),
@@ -63,7 +77,97 @@ void backend_section(int hw) {
   t.print(std::cout);
 }
 
-void nested_parallel_section(int hw) {
+void mixed_vs_sim_section(int hw, apsq::bench::BenchJson& rep) {
+  // One workload × all dataflows × the full PSUM axis: 78 points — big
+  // enough that the analytic prefilter pays, small enough for CI. Both
+  // sweeps use the same scaling, so phase-2 scores are byte-comparable
+  // with the pure sim's.
+  ConfigSpace space;
+  space.workloads = {"bert"};
+  space.dataflows = {Dataflow::kIS, Dataflow::kWS, Dataflow::kOS};
+  space.psum_configs = ConfigSpace::default_psum_axis();
+  space.geometries = {PeGeometry{16, 8, 8}};
+  space.buffers = {BufferSizing{}};
+  const ObjectiveSet el = ObjectiveSet::parse("energy,latency");
+
+  auto opts = [&](EvalBackend backend) {
+    EvaluatorOptions o;
+    o.threads = hw;
+    o.backend = backend;
+    o.sim.shrink = 32;
+    o.sim.max_dim = 32;
+    o.sim.threads = hw;
+    return o;
+  };
+
+  // Best-of-3 with a fresh evaluator (cold caches, anchor refits) per
+  // repetition: these two times feed the bench-regression gate, and a
+  // single cold run is too noisy on shared CI runners.
+  constexpr int kReps = 3;
+  EvaluatorOptions sim_opt = opts(EvalBackend::kSim);
+  sim_opt.calibrate = true;  // the fidelity mixed phase 2 must reproduce
+  double sim_secs = 0.0;
+  std::vector<EvalResult> sres;
+  for (int attempt = 0; attempt < kReps; ++attempt) {
+    Evaluator sim_eval(sim_opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    sres = sim_eval.evaluate_space(space);
+    const double secs = seconds_since(t0);
+    sim_secs = attempt == 0 ? secs : std::min(sim_secs, secs);
+  }
+  const std::vector<EvalResult> sim_front = pareto_front_by_workload(sres, el);
+
+  EvaluatorOptions mix_opt = opts(EvalBackend::kMixed);
+  mix_opt.promote_band = 0.05;
+  mix_opt.promote_objectives = el;
+  double mixed_secs = 0.0;
+  std::vector<EvalResult> mres;
+  MixedSweepStats ms;
+  for (int attempt = 0; attempt < kReps; ++attempt) {
+    Evaluator mix_eval(mix_opt);
+    const auto t1 = std::chrono::steady_clock::now();
+    mres = mix_eval.evaluate_space(space);
+    const double secs = seconds_since(t1);
+    mixed_secs = attempt == 0 ? secs : std::min(mixed_secs, secs);
+    ms = mix_eval.mixed_stats();
+  }
+  const std::vector<EvalResult> mixed_front =
+      pareto_front_by_workload(promoted_subset(mres), el);
+
+  // Matched front quality: pure-sim front members the mixed front
+  // reproduces with byte-identical objectives.
+  size_t recovered = 0;
+  for (const EvalResult& f : sim_front) {
+    for (const EvalResult& m : mixed_front) {
+      if (canonical_key(m.point) != canonical_key(f.point)) continue;
+      bool same = true;
+      for (int k = 0; k < kObjectiveCount && same; ++k) {
+        const Objective o = static_cast<Objective>(k);
+        same = format_double(m.obj.get(o)) == format_double(f.obj.get(o));
+      }
+      recovered += same ? 1 : 0;
+      break;
+    }
+  }
+
+  std::cout << "\n--- mixed-fidelity vs pure calibrated sim (" << space.size()
+            << " points, band 0.05 over " << el.to_string() << ", " << hw
+            << " threads) ---\n";
+  Table t({"Backend", "Time (s)", "Points simulated", "Front size",
+           "Sim front recovered", "Speedup"});
+  t.add_row({"sim+cal", Table::num(sim_secs, 3),
+             std::to_string(space.size()), std::to_string(sim_front.size()),
+             "-", "-"});
+  t.add_row({"mixed", Table::num(mixed_secs, 3), std::to_string(ms.promoted),
+             std::to_string(mixed_front.size()),
+             std::to_string(recovered) + "/" + std::to_string(sim_front.size()),
+             Table::ratio(sim_secs / mixed_secs)});
+  t.print(std::cout);
+  rep.add("mixed_vs_sim/pure_sim", sim_secs);
+  rep.add("mixed_vs_sim/mixed", mixed_secs);
+}
+
+void nested_parallel_section(int hw, apsq::bench::BenchJson& rep) {
   // Two sim-heavy points — fewer points than cores, so point-level
   // parallelism alone cannot fill the machine. Before the shared pool,
   // a parallel evaluator forced each point's layer loop serial
@@ -91,6 +195,9 @@ void nested_parallel_section(int hw) {
   const double serial = timed(1, 1);
   const double inner_serial = timed(hw, 1);
   const double nested = timed(hw, hw);
+  rep.add("nested/serial", serial);
+  rep.add("nested/inner_serial", inner_serial);
+  rep.add("nested/nested_scopes", nested);
 
   std::cout << "\n--- nested (evaluator x layer) parallelism (2 bert points, "
                "shrink 8 / max-dim 96, "
@@ -104,7 +211,7 @@ void nested_parallel_section(int hw) {
   t.print(std::cout);
 }
 
-void layer_parallel_section(int hw) {
+void layer_parallel_section(int hw, apsq::bench::BenchJson& rep) {
   const Workload bert = bert_base_workload();
   SimConfig cfg;
   cfg.arch.po = 4;
@@ -123,6 +230,8 @@ void layer_parallel_section(int hw) {
     const auto t0 = std::chrono::steady_clock::now();
     const WorkloadRunResult r = run_workload(bert, cfg, opt);
     const double secs = seconds_since(t0);
+    rep.add(threads == 1 ? "layer_parallel/serial" : "layer_parallel/pool",
+            secs);
     if (threads == 1) base = secs;
     t.add_row({threads == 1 ? "serial" : "shared pool",
                Table::num(secs, 3),
@@ -134,7 +243,7 @@ void layer_parallel_section(int hw) {
   t.print(std::cout);
 }
 
-void pool_reuse_section(int hw) {
+void pool_reuse_section(int hw, apsq::bench::BenchJson& rep) {
   const int threads = hw > 1 ? hw : 2;
   constexpr int kCalls = 300;
   constexpr index_t kTasksPerCall = 64;
@@ -156,6 +265,8 @@ void pool_reuse_section(int hw) {
     pool.parallel_for(kTasksPerCall, tiny_task);
   }
   const double fresh = seconds_since(t1);
+  rep.add("pool/persistent", reused);
+  rep.add("pool/fresh_per_call", fresh);
 
   std::cout << "\n--- pool reuse (" << kCalls << " × parallel_for("
             << kTasksPerCall << " tiny tasks), " << threads << " threads) ---\n";
@@ -168,7 +279,7 @@ void pool_reuse_section(int hw) {
   t.print(std::cout);
 }
 
-void pareto_extraction_section() {
+void pareto_extraction_section(apsq::bench::BenchJson& rep) {
   // Synthetic 20k-point result set on a coarse objective grid (plenty of
   // dominated points and ties) — front extraction must not stall sweeps.
   Rng rng(42);
@@ -189,6 +300,7 @@ void pareto_extraction_section() {
   const auto t0 = std::chrono::steady_clock::now();
   const size_t front = pareto_front(pts).size();
   const double secs = seconds_since(t0);
+  rep.add("pareto_front/extract_20k", secs);
   std::cout << "\n--- Pareto extraction (sort-based sweep, 20000 points) ---\n"
             << "front " << front << " points in " << Table::num(secs, 3)
             << " s (" << Table::num(20000.0 / secs, 0) << " points/s)\n";
@@ -196,14 +308,17 @@ void pareto_extraction_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  apsq::bench::BenchJson rep(argc, argv);
+  if (!rep.ok()) return 1;
   const int hw = WorkStealingPool::hardware_threads();
   std::cout << "=== sim-backend DSE sweep (hardware threads: " << hw
             << ") ===\n\n";
-  backend_section(hw);
-  nested_parallel_section(hw);
-  layer_parallel_section(hw);
-  pool_reuse_section(hw);
-  pareto_extraction_section();
-  return 0;
+  backend_section(hw, rep);
+  mixed_vs_sim_section(hw, rep);
+  nested_parallel_section(hw, rep);
+  layer_parallel_section(hw, rep);
+  pool_reuse_section(hw, rep);
+  pareto_extraction_section(rep);
+  return rep.flush() ? 0 : 1;
 }

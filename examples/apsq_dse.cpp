@@ -12,6 +12,8 @@
 //   apsq_dse --space smoke --threads 1
 //   apsq_dse --backend sim --shrink 32        # simulator-in-the-loop scoring
 //   apsq_dse --backend sim --calibrate        # ... in analytic absolute units
+//   apsq_dse --backend mixed --promote-band 0.05  # analytic prefilter, then
+//                                             # calibrated sim on the ε-band
 //   apsq_dse --objectives energy,latency      # 2-objective front
 //   apsq_dse --verify-serial                  # assert parallel == serial
 //
@@ -20,6 +22,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "common/cli.hpp"
@@ -37,14 +40,16 @@ namespace {
 
 struct Options {
   std::string space = "paper";
-  std::string backend = "analytic";
-  std::string objectives = "energy,area,error,latency";
+  EvalBackend backend = EvalBackend::kAnalytic;
+  ObjectiveSet objectives = ObjectiveSet::all();
   int threads = 0;      // 0 = hardware concurrency
-  int sim_threads = 0;  // 0 = follow --threads (sim backend only)
+  int sim_threads = 0;  // 0 = follow --threads (sim/mixed backends only)
   u64 seed = 0xD5EULL;
   i64 shrink = 32;   // sim backend: dimension divisor
   i64 max_dim = 48;  // sim backend: dimension clamp
   bool calibrate = false;
+  double promote_band = 0.05;      // mixed backend: ε-dominance slack
+  bool promote_band_set = false;   // flag given explicitly
   std::string calibration_csv_path;
   std::string csv_path;
   std::string front_csv_path;
@@ -57,12 +62,19 @@ void print_help() {
   std::cout <<
       "apsq_dse — design-space exploration with Pareto frontier\n\n"
       "  --space NAME      paper | smoke (default paper; 1248 / 8 points)\n"
-      "  --backend NAME    analytic | sim (default analytic). sim drives the\n"
-      "                    cycle-level simulator per point on shrunken\n"
-      "                    workloads and scores measured traffic/cycles\n"
+      "  --backend NAME    analytic | sim | mixed (default analytic). sim\n"
+      "                    drives the cycle-level simulator per point on\n"
+      "                    shrunken workloads and scores measured\n"
+      "                    traffic/cycles; mixed scores everything\n"
+      "                    analytically first, then re-scores the analytic\n"
+      "                    front plus its ε-band with the calibrated sim\n"
+      "  --promote-band X  mixed backend: relative ε-dominance slack per\n"
+      "                    objective selecting the promoted near-front set\n"
+      "                    (default 0.05; 0 = front only; inf = everything)\n"
       "  --calibrate       sim backend: rescale measured energies/latencies\n"
       "                    into the analytic backend's absolute units via\n"
-      "                    per-family anchor runs (see dse/calibrate.hpp)\n"
+      "                    per-family anchor runs (see dse/calibrate.hpp);\n"
+      "                    implied by --backend mixed\n"
       "  --calibration-csv PATH\n"
       "                    load fitted calibration unit factors from PATH if\n"
       "                    it exists (skipping the anchor runs), and save the\n"
@@ -108,18 +120,28 @@ bool parse(int argc, char** argv, Options& o) {
       o.space = v;
     } else if (a == "--backend") {
       const char* v = next("--backend");
-      if (!v) return false;
-      o.backend = v;
+      // Validate at parse time: an unrecognized backend must exit 1 with
+      // the flag named, never fall back to a default sweep.
+      if (!v || !parse_enum_flag("--backend", v, parse_backend, o.backend))
+        return false;
     } else if (a == "--calibrate") {
       o.calibrate = true;
+    } else if (a == "--promote-band") {
+      const char* v = next("--promote-band");
+      if (!v || !parse_double_flag("--promote-band", v, 0.0,
+                                   std::numeric_limits<double>::infinity(),
+                                   o.promote_band))
+        return false;
+      o.promote_band_set = true;
     } else if (a == "--calibration-csv") {
       const char* v = next("--calibration-csv");
       if (!v) return false;
       o.calibration_csv_path = v;
     } else if (a == "--objectives") {
       const char* v = next("--objectives");
-      if (!v) return false;
-      o.objectives = v;
+      if (!v ||
+          !parse_enum_flag("--objectives", v, ObjectiveSet::parse, o.objectives))
+        return false;
     } else if (a == "--threads") {
       const char* v = next("--threads");
       if (!v || !parse_int_flag("--threads", v, 1, 4096, o.threads))
@@ -192,16 +214,21 @@ int main(int argc, char** argv) {
   EvaluatorOptions eopt;
   eopt.threads = threads;
   eopt.seed = o.seed;
-  ObjectiveSet objectives;
-  try {
-    eopt.backend = parse_backend(o.backend);
-    objectives = ObjectiveSet::parse(o.objectives);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n";
+  eopt.backend = o.backend;
+  const ObjectiveSet objectives = o.objectives;
+  const bool mixed = eopt.backend == EvalBackend::kMixed;
+  if (o.calibrate && eopt.backend == EvalBackend::kAnalytic) {
+    std::cerr << "--calibrate requires --backend sim or mixed\n";
     return 1;
   }
-  if (o.calibrate && eopt.backend != EvalBackend::kSim) {
-    std::cerr << "--calibrate requires --backend sim\n";
+  if (o.promote_band_set && !mixed) {
+    std::cerr << "--promote-band requires --backend mixed\n";
+    return 1;
+  }
+  // Without a calibrator the CSV would be silently neither loaded nor
+  // written — reject the ineffective flag like any other misuse.
+  if (!o.calibration_csv_path.empty() && !o.calibrate && !mixed) {
+    std::cerr << "--calibration-csv requires --calibrate or --backend mixed\n";
     return 1;
   }
   eopt.sim.shrink = o.shrink;
@@ -209,13 +236,20 @@ int main(int argc, char** argv) {
   eopt.sim.seed = o.seed;
   // Nested scopes share one pool, so layer-level parallelism defaults on:
   // it fills the workers whenever there are fewer ready points than cores.
-  if (eopt.backend == EvalBackend::kSim)
+  if (eopt.backend != EvalBackend::kAnalytic)
     eopt.sim.threads = o.sim_threads > 0 ? o.sim_threads : threads;
   eopt.calibrate = o.calibrate;
+  eopt.promote_band = o.promote_band;
+  // Promote in the same objective plane the front is extracted in, so the
+  // promoted set provably covers the reported front.
+  eopt.promote_objectives = objectives;
   Evaluator eval(eopt);
 
+  // Sweep-level fallback label; evaluator-produced rows carry their own
+  // per-point provenance (which is what distinguishes a mixed CSV).
   const std::string scored_by =
-      std::string(to_string(eopt.backend)) + (o.calibrate ? "+cal" : "");
+      mixed ? "mixed"
+            : std::string(to_string(eopt.backend)) + (o.calibrate ? "+cal" : "");
 
   if (eval.calibrator() && !o.calibration_csv_path.empty() &&
       std::ifstream(o.calibration_csv_path).good()) {
@@ -234,9 +268,14 @@ int main(int argc, char** argv) {
   const std::vector<EvalResult> results = eval.evaluate_space(space);
   // Workload is a scenario, not a knob: the headline front is per
   // workload; the cross-workload (global) front is reported as a count.
+  // A mixed sweep's front is extracted over the sim-re-scored (promoted)
+  // subset only, so dominance always compares equal-fidelity scores.
+  const std::vector<EvalResult> front_basis =
+      mixed ? promoted_subset(results) : results;
   const std::vector<EvalResult> front =
-      pareto_front_by_workload(results, objectives);
-  const size_t global_front_size = pareto_front(results, objectives).size();
+      pareto_front_by_workload(front_basis, objectives);
+  const size_t global_front_size =
+      pareto_front(front_basis, objectives).size();
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -250,10 +289,25 @@ int main(int argc, char** argv) {
   print_cache_line("energy", eval.energy_cache_stats(), false);
   print_cache_line("area", eval.area_cache_stats(), false);
   print_cache_line("accuracy", eval.accuracy_cache_stats(), false);
-  if (eopt.backend == EvalBackend::kSim)
-    print_cache_line("sim", eval.sim_cache_stats(), true);
-  else
+  if (eopt.backend == EvalBackend::kAnalytic) {
     print_cache_line("latency", eval.latency_cache_stats(), true);
+  } else if (eopt.backend == EvalBackend::kSim) {
+    print_cache_line("sim", eval.sim_cache_stats(), true);
+  } else {
+    print_cache_line("latency", eval.latency_cache_stats(), false);
+    print_cache_line("sim", eval.sim_cache_stats(), true);
+  }
+  if (mixed) {
+    const MixedSweepStats& ms = eval.mixed_stats();
+    const double pct = ms.total > 0 ? 100.0 * static_cast<double>(ms.promoted) /
+                                          static_cast<double>(ms.total)
+                                    : 0.0;
+    std::cout << "mixed phases — analytic: " << ms.total << " pts in "
+              << Table::num(ms.phase1_secs, 2) << " s; band "
+              << Table::num(ms.band, 3) << " promoted " << ms.promoted
+              << " pts (" << Table::num(pct, 1) << "%) to sim+cal in "
+              << Table::num(ms.phase2_secs, 2) << " s\n";
+  }
   if (eval.calibrator())
     std::cout << "calibration: " << eval.calibrator()->family_count()
               << " (workload, dataflow, psum) families fitted\n";
@@ -302,8 +356,10 @@ int main(int argc, char** argv) {
     if (serial.calibrator() && !o.calibration_csv_path.empty())
       serial.calibrator()->load_unit_factors_csv(o.calibration_csv_path);
     const std::vector<EvalResult> sres = serial.evaluate_space(space);
+    const std::vector<EvalResult> sbasis =
+        mixed ? promoted_subset(sres) : sres;
     const std::string a =
-        results_csv(pareto_front_by_workload(sres, objectives), scored_by)
+        results_csv(pareto_front_by_workload(sbasis, objectives), scored_by)
             .to_string();
     const std::string b = results_csv(front, scored_by).to_string();
     if (a != b) {

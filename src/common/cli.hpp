@@ -8,9 +8,12 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "common/types.hpp"
 
@@ -81,6 +84,54 @@ inline bool parse_u64_flag(const char* flag, const char* text, u64& out,
   }
   out = static_cast<u64>(v);
   return true;
+}
+
+/// Parse a floating-point value in [lo, hi]. NaN is always rejected;
+/// "inf" is accepted when `hi` is infinite (e.g. --promote-band inf =
+/// promote everything). Same whole-token / flag-naming contract as the
+/// integer parsers.
+inline bool parse_double_flag(const char* flag, const char* text, double lo,
+                              double hi, double& out,
+                              std::ostream& err = std::cerr) {
+  if (text == nullptr || *text == '\0') {
+    err << flag << ": empty value\n";
+    return false;
+  }
+  if (std::isspace(static_cast<unsigned char>(*text))) {
+    err << flag << ": expected a number, got '" << text << "'\n";
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || std::isnan(v)) {
+    err << flag << ": expected a number, got '" << text << "'\n";
+    return false;
+  }
+  if (v < lo || v > hi) {
+    err << flag << ": value " << text << " out of range [" << lo << ", " << hi
+        << "]\n";
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+/// Run a throwing enum parser (parse_backend, ObjectiveSet::parse, …)
+/// over a flag value. On an unrecognized value the parser's exception is
+/// reported as "<flag>: <message>" and false is returned, so the CLI
+/// exits 1 naming the offending flag instead of silently falling back to
+/// a default. `out` is untouched on failure.
+template <typename T, typename Parser>
+inline bool parse_enum_flag(const char* flag, const char* text,
+                            Parser&& parse, T& out,
+                            std::ostream& err = std::cerr) {
+  try {
+    out = std::forward<Parser>(parse)(text);
+    return true;
+  } catch (const std::exception& e) {
+    err << flag << ": " << e.what() << "\n";
+    return false;
+  }
 }
 
 }  // namespace apsq

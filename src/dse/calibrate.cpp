@@ -276,6 +276,17 @@ index_t Calibrator::family_count() const {
   return static_cast<index_t>(families_.size());
 }
 
+std::vector<std::string> Calibrator::family_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(families_.size());
+  for (const auto& [key, family] : families_) {
+    (void)family;
+    keys.push_back(key);
+  }
+  return keys;  // families_ is a std::map — already key-sorted
+}
+
 CsvWriter Calibrator::unit_factors_csv() const {
   // The shrink/max_dim/seed/anchors columns record the fit context: unit
   // factors are a function of the anchor shapes (hence of the sweep's

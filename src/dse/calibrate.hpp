@@ -114,8 +114,15 @@ class Calibrator {
 
   const Options& options() const { return opt_; }
 
-  /// Families fitted (or loaded) so far.
+  /// Families fitted (or loaded) so far. Fitting is lazy — a family pays
+  /// for its anchor runs only when factors_for first touches it — so a
+  /// mixed-fidelity sweep, which simulates only ε-band-promoted points,
+  /// fits only the promoted families.
   index_t family_count() const;
+
+  /// Their keys, sorted (family_key format). The mixed sweep summary
+  /// reports these to show which slice of the space paid for anchors.
+  std::vector<std::string> family_keys() const;
 
   /// Fitted unit factors as CSV (rows sorted by family key — stable
   /// across runs and thread counts). Each row also records the fit

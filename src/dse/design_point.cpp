@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/check.hpp"
 
@@ -87,6 +88,9 @@ void ObjectiveSet::rebuild_list() {
 }
 
 ObjectiveSet ObjectiveSet::parse(const std::string& csv) {
+  // invalid_argument (a logic_error, but without APSQ_CHECK's file/line
+  // prefix) keeps the message clean for CLI diagnostics — parse_enum_flag
+  // prints it verbatim after the flag name.
   ObjectiveSet s;
   s.active_.fill(false);
   std::stringstream in(csv);
@@ -97,18 +101,19 @@ ObjectiveSet ObjectiveSet::parse(const std::string& csv) {
     bool found = false;
     for (int i = 0; i < kObjectiveCount; ++i) {
       if (name == dse::to_string(static_cast<Objective>(i))) {
-        APSQ_CHECK_MSG(!s.active_[static_cast<size_t>(i)],
-                       "duplicate objective: " << name);
+        if (s.active_[static_cast<size_t>(i)])
+          throw std::invalid_argument("duplicate objective: " + name);
         s.active_[static_cast<size_t>(i)] = true;
         found = true;
         break;
       }
     }
-    APSQ_CHECK_MSG(found, "unknown objective: " << name
-                              << " (expected energy|area|error|latency)");
+    if (!found)
+      throw std::invalid_argument("unknown objective: " + name +
+                                  " (expected energy|area|error|latency)");
     any = true;
   }
-  APSQ_CHECK_MSG(any, "objective list is empty");
+  if (!any) throw std::invalid_argument("objective list is empty");
   s.rebuild_list();
   return s;
 }

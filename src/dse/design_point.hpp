@@ -106,10 +106,15 @@ class ObjectiveSet {
 bool dominates(const Objectives& a, const Objectives& b,
                const ObjectiveSet& objectives = ObjectiveSet::all());
 
-/// A scored design point.
+/// A scored design point. `scored_by` records the fidelity provenance of
+/// the objective values ("analytic", "sim", "sim+cal"); a mixed-fidelity
+/// sweep returns results of both provenances side by side, so the label
+/// lives on the result, not on the sweep. Empty means "unspecified"
+/// (hand-built results in tests / benches).
 struct EvalResult {
   DesignPoint point;
   Objectives obj;
+  std::string scored_by;
 };
 
 }  // namespace apsq::dse

@@ -1,10 +1,14 @@
 #include "dse/evaluator.hpp"
 
+#include <chrono>
 #include <sstream>
+#include <stdexcept>
+#include <unordered_set>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "dse/accuracy_proxy.hpp"
+#include "dse/pareto.hpp"
 #include "energy/energy_model.hpp"
 #include "models/bert.hpp"
 #include "models/efficientvit.hpp"
@@ -18,6 +22,7 @@ const char* to_string(EvalBackend b) {
   switch (b) {
     case EvalBackend::kAnalytic: return "analytic";
     case EvalBackend::kSim: return "sim";
+    case EvalBackend::kMixed: return "mixed";
   }
   APSQ_CHECK_MSG(false, "unknown backend");
   return "";
@@ -26,15 +31,23 @@ const char* to_string(EvalBackend b) {
 EvalBackend parse_backend(const std::string& name) {
   if (name == "analytic") return EvalBackend::kAnalytic;
   if (name == "sim") return EvalBackend::kSim;
-  APSQ_CHECK_MSG(false, "unknown backend: " << name
-                            << " (expected analytic|sim)");
-  return EvalBackend::kAnalytic;
+  if (name == "mixed") return EvalBackend::kMixed;
+  // invalid_argument (not APSQ_CHECK) keeps the message clean for CLI
+  // diagnostics — parse_enum_flag prints it verbatim after the flag name.
+  throw std::invalid_argument("unknown backend: " + name +
+                              " (expected analytic|sim|mixed)");
 }
 
 Evaluator::Evaluator(EvaluatorOptions opt) : opt_(opt) {
   APSQ_CHECK_MSG(opt_.threads >= 1, "Evaluator needs >= 1 thread");
   APSQ_CHECK_MSG(opt_.sim.threads >= 1, "sim runner needs >= 1 thread");
-  if (opt_.backend == EvalBackend::kSim && opt_.calibrate) {
+  APSQ_CHECK_MSG(opt_.promote_band >= 0.0,
+                 "promote_band must be >= 0, got " << opt_.promote_band);
+  // Mixed puts phase-2 sim scores next to phase-1 analytic ones, so the
+  // sim scores must be in analytic absolute units: calibration is not
+  // optional there.
+  if (opt_.backend == EvalBackend::kMixed) opt_.calibrate = true;
+  if (opt_.calibrate && opt_.backend != EvalBackend::kAnalytic) {
     Calibrator::Options copt;
     copt.sim = opt_.sim;
     copt.costs = opt_.costs;
@@ -148,19 +161,21 @@ Evaluator::SimScore Evaluator::sim_score_for(const DesignPoint& p) {
   });
 }
 
-EvalResult Evaluator::evaluate(const DesignPoint& p) {
+EvalResult Evaluator::evaluate_at(const DesignPoint& p, EvalBackend fidelity) {
   p.validate();
   EvalResult r;
   r.point = p;
   r.obj.area_um2 = area_for(p);
   r.obj.error = error_for(p);
-  if (opt_.backend == EvalBackend::kSim) {
+  if (fidelity == EvalBackend::kSim) {
     const SimScore s = sim_score_for(p);
     r.obj.energy_pj = s.energy_pj;
     r.obj.latency_s = s.latency_s;
+    r.scored_by = calibrator_ ? "sim+cal" : "sim";
   } else {
     r.obj.energy_pj = energy_for(p);
     r.obj.latency_s = latency_for(p);
+    r.scored_by = "analytic";
   }
   // A NaN objective would make Pareto dominance non-transitive and poison
   // front extraction; reject it at ingestion, where the offending point is
@@ -170,8 +185,24 @@ EvalResult Evaluator::evaluate(const DesignPoint& p) {
   return r;
 }
 
+EvalResult Evaluator::evaluate(const DesignPoint& p) {
+  // A single point is trivially its own Pareto front, so the mixed
+  // backend always promotes it: score it at sim fidelity.
+  return evaluate_at(p, opt_.backend == EvalBackend::kAnalytic
+                            ? EvalBackend::kAnalytic
+                            : EvalBackend::kSim);
+}
+
 std::vector<EvalResult> Evaluator::evaluate_space(const ConfigSpace& space) {
   space.validate();
+  std::vector<DesignPoint> pts;
+  if (opt_.backend == EvalBackend::kMixed) {
+    // Materialize the space once; the mixed pipeline indexes the point
+    // list twice (phase 1 everywhere, phase 2 on the promoted slots).
+    pts.reserve(static_cast<size_t>(space.size()));
+    for (index_t i = 0; i < space.size(); ++i) pts.push_back(space.at(i));
+    return mixed_sweep(pts);
+  }
   std::vector<EvalResult> out(static_cast<size_t>(space.size()));
   parallel_for_points(space.size(), [&](index_t i) {
     out[static_cast<size_t>(i)] = evaluate(space.at(i));
@@ -181,10 +212,68 @@ std::vector<EvalResult> Evaluator::evaluate_space(const ConfigSpace& space) {
 
 std::vector<EvalResult> Evaluator::evaluate_points(
     const std::vector<DesignPoint>& pts) {
+  if (opt_.backend == EvalBackend::kMixed) return mixed_sweep(pts);
   std::vector<EvalResult> out(pts.size());
   parallel_for_points(static_cast<index_t>(pts.size()), [&](index_t i) {
     out[static_cast<size_t>(i)] = evaluate(pts[static_cast<size_t>(i)]);
   });
+  return out;
+}
+
+std::vector<EvalResult> Evaluator::mixed_sweep(
+    const std::vector<DesignPoint>& pts) {
+  using clock = std::chrono::steady_clock;
+  MixedSweepStats stats;
+  stats.total = static_cast<index_t>(pts.size());
+  stats.band = opt_.promote_band;
+
+  // Phase 1: cheap analytic scores for every point, in parallel on the
+  // shared pool. Deterministic: results land in index-addressed slots.
+  const auto t0 = clock::now();
+  std::vector<EvalResult> out(pts.size());
+  parallel_for_points(static_cast<index_t>(pts.size()), [&](index_t i) {
+    out[static_cast<size_t>(i)] =
+        evaluate_at(pts[static_cast<size_t>(i)], EvalBackend::kAnalytic);
+  });
+  stats.phase1_secs = std::chrono::duration<double>(clock::now() - t0).count();
+
+  // Promotion: the per-workload analytic front plus its ε-band. The band
+  // is computed per workload because the workload is a scenario, not a
+  // knob — a point must survive against its own workload's candidates.
+  // (Every cross-workload front member is also a per-workload front
+  // member, so the global front is covered too.) The extraction is pure
+  // and key-ordered, hence identical across thread counts.
+  const auto t1 = clock::now();
+  const std::vector<EvalResult> band = epsilon_band_by_workload(
+      out, opt_.promote_band, opt_.promote_objectives);
+  std::unordered_set<std::string> promoted_keys;
+  promoted_keys.reserve(band.size());
+  for (const EvalResult& b : band) promoted_keys.insert(canonical_key(b.point));
+  std::vector<index_t> promoted;  // result slots to re-score, index order
+  for (size_t i = 0; i < pts.size(); ++i)
+    if (promoted_keys.count(canonical_key(pts[i])))
+      promoted.push_back(static_cast<index_t>(i));
+  stats.promoted = static_cast<index_t>(promoted.size());
+
+  // Phase 2: calibrated sim re-scores for the promoted slots only. The
+  // calibrator fits anchor families lazily, so only the promoted
+  // (workload, dataflow, psum) families ever pay for anchor runs.
+  parallel_for_points(static_cast<index_t>(promoted.size()), [&](index_t j) {
+    const index_t i = promoted[static_cast<size_t>(j)];
+    out[static_cast<size_t>(i)] =
+        evaluate_at(pts[static_cast<size_t>(i)], EvalBackend::kSim);
+  });
+  stats.phase2_secs = std::chrono::duration<double>(clock::now() - t1).count();
+
+  mixed_stats_ = stats;
+  return out;
+}
+
+std::vector<EvalResult> promoted_subset(
+    const std::vector<EvalResult>& results) {
+  std::vector<EvalResult> out;
+  for (const EvalResult& r : results)
+    if (r.scored_by == "sim" || r.scored_by == "sim+cal") out.push_back(r);
   return out;
 }
 

@@ -17,6 +17,15 @@
 //              with `calibrate` set, a dse::Calibrator (calibrate.hpp)
 //              rescales the measured components into the analytic
 //              backend's absolute units, so the two backends' fronts mix.
+//   mixed    — multi-fidelity: phase 1 scores the whole space with the
+//              analytic backend, phase 2 promotes the analytic Pareto
+//              front plus an ε-dominance band of near-front points
+//              (promote_band) to the *calibrated* sim backend and
+//              re-scores only those. Each result records its provenance
+//              in EvalResult::scored_by; the front is then extracted over
+//              the promoted (uniform-fidelity) subset. This buys sim
+//              fidelity where it matters — on and near the front — at a
+//              small multiple of the analytic sweep's cost.
 //
 // Sub-evaluations are memoized independently under canonical sub-keys.
 // Area depends only on the accelerator geometry and the accuracy proxy
@@ -54,11 +63,23 @@ namespace apsq::dse {
 enum class EvalBackend {
   kAnalytic,  ///< closed-form models (fast; full-scale workloads)
   kSim,       ///< cycle-level simulator (slow; scaled proxy workloads)
+  kMixed,     ///< analytic prefilter → calibrated-sim promotion (two-phase)
 };
 
 const char* to_string(EvalBackend b);
-/// Parse "analytic" | "sim"; throws on anything else.
+/// Parse "analytic" | "sim" | "mixed"; throws on anything else.
 EvalBackend parse_backend(const std::string& name);
+
+/// Per-phase accounting of the last mixed-fidelity sweep: how many points
+/// the analytic prefilter scored, how many the ε-band promoted into the
+/// calibrated simulator, and the wall time each phase took.
+struct MixedSweepStats {
+  index_t total = 0;     ///< points in the sweep (phase-1 evaluations)
+  index_t promoted = 0;  ///< points re-scored by the sim (phase-2 evaluations)
+  double band = 0.0;     ///< the ε-dominance slack that selected them
+  double phase1_secs = 0.0;
+  double phase2_secs = 0.0;
+};
 
 struct EvaluatorOptions {
   /// 1 = score points serially on the calling thread; > 1 = score them on
@@ -76,8 +97,19 @@ struct EvaluatorOptions {
   /// point- and layer-level parallelism compose.
   WorkloadRunOptions sim;
   /// Sim backend only: rescale measured energies/latencies into the
-  /// analytic backend's absolute units via dse::Calibrator.
+  /// analytic backend's absolute units via dse::Calibrator. The mixed
+  /// backend forces this on — phase-2 sim scores must be comparable with
+  /// the phase-1 analytic scores they sit next to.
   bool calibrate = false;
+  /// Mixed backend: relative ε-dominance slack selecting which analytic
+  /// points phase 2 promotes to the calibrated simulator (see
+  /// epsilon_band in dse/pareto.hpp). 0 promotes the analytic front only;
+  /// a non-finite band promotes everything (degenerates to --backend sim
+  /// --calibrate).
+  double promote_band = 0.05;
+  /// Mixed backend: the objective subset the promotion band is measured
+  /// in. Should match the objectives the caller extracts fronts over.
+  ObjectiveSet promote_objectives = ObjectiveSet::all();
 };
 
 /// Counters for one sub-evaluation cache. Under contention two workers may
@@ -115,6 +147,10 @@ class Evaluator {
   CacheStats latency_cache_stats() const;
   CacheStats sim_cache_stats() const;
 
+  /// Phase accounting of the most recent mixed-backend evaluate_space /
+  /// evaluate_points call (all-zero before the first one).
+  const MixedSweepStats& mixed_stats() const { return mixed_stats_; }
+
   const EvaluatorOptions& options() const { return opt_; }
 
   /// The sim↔analytic calibrator, non-null iff options().calibrate and the
@@ -149,17 +185,31 @@ class Evaluator {
   double error_for(const DesignPoint& p);
   double latency_for(const DesignPoint& p);
   SimScore sim_score_for(const DesignPoint& p);
+  /// Score one point at an explicit single-fidelity backend (kAnalytic or
+  /// kSim — never kMixed). The building block both the single-backend
+  /// paths and the two mixed phases go through.
+  EvalResult evaluate_at(const DesignPoint& p, EvalBackend fidelity);
+  /// The two-phase mixed-fidelity pipeline over an explicit point list;
+  /// records mixed_stats_.
+  std::vector<EvalResult> mixed_sweep(const std::vector<DesignPoint>& pts);
   /// Index loop over points: inline when threads == 1, on the shared pool
   /// otherwise.
   void parallel_for_points(index_t n, const std::function<void(index_t)>& fn);
 
   EvaluatorOptions opt_;
+  MixedSweepStats mixed_stats_;
   Cache<double> energy_cache_;
   Cache<double> area_cache_;
   Cache<double> accuracy_cache_;
   Cache<double> latency_cache_;
   Cache<SimScore> sim_cache_;
-  std::unique_ptr<Calibrator> calibrator_;  ///< sim backend + calibrate only
+  std::unique_ptr<Calibrator> calibrator_;  ///< sim/mixed + calibrate only
 };
+
+/// The results a mixed sweep re-scored with the simulator (scored_by
+/// "sim" / "sim+cal"). The mixed Pareto front is extracted over this
+/// subset — all its members carry the same fidelity, so dominance never
+/// compares an analytic score against a measured one.
+std::vector<EvalResult> promoted_subset(const std::vector<EvalResult>& results);
 
 }  // namespace apsq::dse

@@ -37,31 +37,22 @@ bool objectives_less(const Objectives& a, const Objectives& b,
   return false;
 }
 
-}  // namespace
-
-std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points,
-                                     const ObjectiveSet& objectives) {
-  // Sort by precomputed key first: the filter below then emits the front
-  // in key order no matter how the caller ordered the input, and exact
-  // duplicate configurations collapse to one candidate.
+/// Shared preamble of pareto_front and epsilon_band: candidates in
+/// canonical-key order with exact duplicate configurations collapsed to
+/// the first occurrence.
+std::vector<const EvalResult*> deduped_in_key_order(
+    const std::vector<EvalResult>& points) {
   struct Keyed {
     std::string key;
     const EvalResult* result;
   };
   std::vector<Keyed> sorted;
   sorted.reserve(points.size());
-  for (const EvalResult& p : points) {
-    for (const Objective o : objectives.list())
-      APSQ_CHECK_MSG(std::isfinite(p.obj.get(o)),
-                     "non-finite " << to_string(o)
-                                   << " in pareto_front candidate "
-                                   << canonical_key(p.point));
+  for (const EvalResult& p : points)
     sorted.push_back({canonical_key(p.point), &p});
-  }
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
-
-  std::vector<const EvalResult*> candidates;  // key order, deduped
+  std::vector<const EvalResult*> candidates;
   candidates.reserve(sorted.size());
   const std::string* prev_key = nullptr;
   for (const Keyed& cand : sorted) {
@@ -69,7 +60,16 @@ std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points,
     prev_key = &cand.key;
     candidates.push_back(cand.result);
   }
+  return candidates;
+}
 
+/// The dominance filter of pareto_front over already-validated, deduped,
+/// key-ordered candidates — shared with epsilon_band so the promotion
+/// path never re-keys or re-validates the input. Survivors come back in
+/// key order.
+std::vector<const EvalResult*> front_of(
+    const std::vector<const EvalResult*>& candidates,
+    const ObjectiveSet& objectives) {
   // Sweep in ascending lexicographic objective order: any dominator of a
   // point sorts strictly before it, and (by transitivity over finite
   // values) every dominated point is dominated by a member of the
@@ -100,11 +100,109 @@ std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points,
   }
 
   // Emit survivors in key order — byte-identical to the full O(n²) scan.
-  std::vector<EvalResult> front;
+  std::vector<const EvalResult*> front;
   front.reserve(front_members.size());
   for (size_t i = 0; i < candidates.size(); ++i)
-    if (!dominated[i]) front.push_back(*candidates[i]);
+    if (!dominated[i]) front.push_back(candidates[i]);
   return front;
+}
+
+}  // namespace
+
+std::vector<EvalResult> pareto_front(const std::vector<EvalResult>& points,
+                                     const ObjectiveSet& objectives) {
+  // Sort by precomputed key first: the filter below then emits the front
+  // in key order no matter how the caller ordered the input, and exact
+  // duplicate configurations collapse to one candidate.
+  for (const EvalResult& p : points)
+    for (const Objective o : objectives.list())
+      APSQ_CHECK_MSG(std::isfinite(p.obj.get(o)),
+                     "non-finite " << to_string(o)
+                                   << " in pareto_front candidate "
+                                   << canonical_key(p.point));
+  const std::vector<const EvalResult*> candidates =
+      deduped_in_key_order(points);
+  const std::vector<const EvalResult*> survivors =
+      front_of(candidates, objectives);
+  std::vector<EvalResult> front;
+  front.reserve(survivors.size());
+  for (const EvalResult* s : survivors) front.push_back(*s);
+  return front;
+}
+
+bool epsilon_dominates(const Objectives& a, const Objectives& b, double band,
+                       const ObjectiveSet& objectives) {
+  APSQ_CHECK_MSG(band >= 0.0, "epsilon band must be >= 0, got " << band);
+  bool strictly_better = false;
+  for (Objective o : objectives.list()) {
+    const double av = a.get(o) * (1.0 + band), bv = b.get(o);
+    if (av > bv) return false;
+    if (av < bv) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<EvalResult> epsilon_band(const std::vector<EvalResult>& points,
+                                     double band,
+                                     const ObjectiveSet& objectives) {
+  APSQ_CHECK_MSG(band >= 0.0, "epsilon band must be >= 0, got " << band);
+  for (const EvalResult& p : points)
+    for (const Objective o : objectives.list()) {
+      const double v = p.obj.get(o);
+      // The band is a multiplicative slack, so besides the usual
+      // finiteness requirement every active objective must be >= 0 (true
+      // of all DSE objectives: pJ, µm², MSE, seconds).
+      APSQ_CHECK_MSG(std::isfinite(v) && v >= 0.0,
+                     "epsilon_band needs finite non-negative objectives; got "
+                         << to_string(o) << " = " << v << " for "
+                         << canonical_key(p.point));
+    }
+  const std::vector<const EvalResult*> candidates =
+      deduped_in_key_order(points);
+
+  std::vector<EvalResult> out;
+  out.reserve(candidates.size());
+  if (!std::isfinite(band)) {
+    // Infinite slack keeps everything (and sidesteps 0 · ∞ in the
+    // comparison): the mixed sweep's "promote every point" degenerate.
+    for (const EvalResult* c : candidates) out.push_back(*c);
+    return out;
+  }
+
+  // If any point ε-dominates p, so does some front member: a dominator f
+  // of the ε-dominator q satisfies f·(1+band) ≤ q·(1+band) ≤ p
+  // componentwise, strict wherever q was strict. Checking candidates
+  // against the front alone is therefore exact and keeps the scan
+  // O(n·|front|). Front members themselves are never ε-dominated
+  // (ε-dominance within the front would imply plain dominance for
+  // non-negative objectives), so the band always contains the front.
+  const std::vector<const EvalResult*> front = front_of(candidates, objectives);
+  for (const EvalResult* cand : candidates) {
+    bool dominated = false;
+    for (const EvalResult* f : front) {
+      if (epsilon_dominates(f->obj, cand->obj, band, objectives)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(*cand);
+  }
+  return out;
+}
+
+std::vector<EvalResult> epsilon_band_by_workload(
+    const std::vector<EvalResult>& points, double band,
+    const ObjectiveSet& objectives) {
+  std::map<std::string, std::vector<EvalResult>> groups;  // sorted by name
+  for (const EvalResult& p : points) groups[p.point.workload].push_back(p);
+  std::vector<EvalResult> out;
+  for (const auto& [name, group] : groups) {
+    (void)name;
+    std::vector<EvalResult> band_set = epsilon_band(group, band, objectives);
+    out.insert(out.end(), std::make_move_iterator(band_set.begin()),
+               std::make_move_iterator(band_set.end()));
+  }
+  return out;
 }
 
 std::vector<EvalResult> pareto_front_by_workload(

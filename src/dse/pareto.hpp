@@ -43,4 +43,31 @@ bool is_dominated(const EvalResult& candidate,
                   const std::vector<EvalResult>& points,
                   const ObjectiveSet& objectives = ObjectiveSet::all());
 
+/// ε-dominance with relative slack `band` >= 0: `a` ε-dominates `b` iff
+/// a·(1 + band) is no worse than `b` in every active objective and
+/// strictly better in at least one. band == 0 reduces exactly to
+/// `dominates`. Active objectives must be non-negative (the relative band
+/// is multiplicative), which every DSE objective is.
+bool epsilon_dominates(const Objectives& a, const Objectives& b, double band,
+                       const ObjectiveSet& objectives = ObjectiveSet::all());
+
+/// The ε-band of `points`: every point NOT ε-dominated by any other point
+/// under relative slack `band` — i.e. the Pareto front plus the near-front
+/// shell within `band` relative distance of it. Output is deduped and
+/// sorted by canonical key exactly like pareto_front. Properties the tests
+/// pin down: band == 0 yields the front itself; the band grows
+/// monotonically with `band`; a non-finite band keeps every point. This is
+/// the promotion set of the mixed-fidelity sweep: cheap analytic scores
+/// select it, the calibrated simulator re-scores it.
+std::vector<EvalResult> epsilon_band(
+    const std::vector<EvalResult>& points, double band,
+    const ObjectiveSet& objectives = ObjectiveSet::all());
+
+/// Per-workload ε-band (the scenario view, mirroring
+/// pareto_front_by_workload): groups by workload, extracts each group's
+/// band, concatenates in workload-name order.
+std::vector<EvalResult> epsilon_band_by_workload(
+    const std::vector<EvalResult>& points, double band,
+    const ObjectiveSet& objectives = ObjectiveSet::all());
+
 }  // namespace apsq::dse

@@ -66,7 +66,8 @@ CsvWriter results_csv(const std::vector<EvalResult>& results,
   CsvWriter csv(header);
   for (const EvalResult& r : results) {
     std::vector<std::string> row = result_row(r);
-    if (!scored_by.empty()) row.push_back(scored_by);
+    if (!scored_by.empty())
+      row.push_back(r.scored_by.empty() ? scored_by : r.scored_by);
     csv.add_row(row);
   }
   return csv;

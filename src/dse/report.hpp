@@ -18,9 +18,12 @@ std::string format_double(double v);
 
 /// One row per result: the full configuration plus every objective (one
 /// column per Objective, in enum order). A non-empty `scored_by` label
-/// (e.g. "analytic", "sim", "sim+cal") appends a `scored_by` column so a
-/// persisted CSV records which backend — and whether calibration — stands
-/// behind its absolute numbers.
+/// (e.g. "analytic", "sim", "sim+cal", "mixed") appends a `scored_by`
+/// column so a persisted CSV records which backend — and whether
+/// calibration — stands behind its absolute numbers. Rows carrying their
+/// own EvalResult::scored_by provenance (every evaluator-produced result;
+/// mandatory for mixed sweeps, whose rows differ in fidelity) print that
+/// instead of the sweep-level label.
 CsvWriter results_csv(const std::vector<EvalResult>& results,
                       const std::string& scored_by = "");
 

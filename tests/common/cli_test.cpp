@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
+
+#include "dse/evaluator.hpp"
 
 namespace apsq {
 namespace {
@@ -74,6 +78,64 @@ TEST(CliParse, U64RejectsNegativeAndJunk) {
   EXPECT_FALSE(parse_u64_flag("--seed", "seed", v, err));
   EXPECT_FALSE(parse_u64_flag("--seed", "", v, err));
   EXPECT_EQ(v, 7ULL);
+}
+
+TEST(CliParse, DoubleAcceptsDecimalsAndInf) {
+  double v = -1.0;
+  const double inf = std::numeric_limits<double>::infinity();
+  std::ostringstream err;
+  EXPECT_TRUE(parse_double_flag("--promote-band", "0.05", 0.0, inf, v, err));
+  EXPECT_EQ(v, 0.05);
+  EXPECT_TRUE(parse_double_flag("--promote-band", "0", 0.0, inf, v, err));
+  EXPECT_EQ(v, 0.0);
+  EXPECT_TRUE(parse_double_flag("--promote-band", "inf", 0.0, inf, v, err));
+  EXPECT_TRUE(std::isinf(v));
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(CliParse, DoubleRejectsJunkRangeAndNan) {
+  double v = 0.25;
+  std::ostringstream err;
+  EXPECT_FALSE(parse_double_flag("--promote-band", "band", 0.0, 1.0, v, err));
+  EXPECT_NE(err.str().find("--promote-band"), std::string::npos);
+  EXPECT_FALSE(parse_double_flag("--promote-band", "0.5x", 0.0, 1.0, v, err));
+  EXPECT_FALSE(parse_double_flag("--promote-band", "", 0.0, 1.0, v, err));
+  EXPECT_FALSE(parse_double_flag("--promote-band", "-0.1", 0.0, 1.0, v, err));
+  EXPECT_FALSE(parse_double_flag("--promote-band", "2.0", 0.0, 1.0, v, err));
+  EXPECT_FALSE(parse_double_flag("--promote-band", "nan", 0.0, 1.0, v, err));
+  EXPECT_EQ(v, 0.25);  // untouched on failure
+}
+
+TEST(CliParse, EnumFlagRejectsUnknownValuesByFlagName) {
+  // The silent-fallback failure mode: a typo'd --backend must fail the
+  // parse (→ exit 1) with the flag named, never run a default sweep.
+  dse::EvalBackend backend = dse::EvalBackend::kAnalytic;
+  std::ostringstream err;
+  EXPECT_FALSE(
+      parse_enum_flag("--backend", "bogus", dse::parse_backend, backend, err));
+  EXPECT_EQ(backend, dse::EvalBackend::kAnalytic);  // untouched
+  EXPECT_NE(err.str().find("--backend"), std::string::npos);
+  EXPECT_NE(err.str().find("bogus"), std::string::npos);
+
+  std::ostringstream err2;
+  dse::ObjectiveSet objectives;
+  EXPECT_FALSE(parse_enum_flag("--objectives", "energy,throughput",
+                               dse::ObjectiveSet::parse, objectives, err2));
+  EXPECT_NE(err2.str().find("--objectives"), std::string::npos);
+  EXPECT_NE(err2.str().find("throughput"), std::string::npos);
+  EXPECT_EQ(objectives.size(), static_cast<size_t>(dse::kObjectiveCount));
+}
+
+TEST(CliParse, EnumFlagParsesAllBackends) {
+  dse::EvalBackend backend = dse::EvalBackend::kAnalytic;
+  std::ostringstream err;
+  EXPECT_TRUE(
+      parse_enum_flag("--backend", "mixed", dse::parse_backend, backend, err));
+  EXPECT_EQ(backend, dse::EvalBackend::kMixed);
+  EXPECT_TRUE(
+      parse_enum_flag("--backend", "sim", dse::parse_backend, backend, err));
+  EXPECT_EQ(backend, dse::EvalBackend::kSim);
+  EXPECT_TRUE(err.str().empty());
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+// Mixed-fidelity (analytic prefilter → calibrated-sim promotion) sweep
+// tests: provenance, front containment, degeneration to the pure
+// calibrated-sim sweep at band = ∞, byte-identical determinism across
+// thread counts, and the promotion-fraction budget on the paper space.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "dse/config_space.hpp"
+#include "dse/evaluator.hpp"
+#include "dse/pareto.hpp"
+#include "dse/report.hpp"
+
+namespace apsq::dse {
+namespace {
+
+EvaluatorOptions mixed_opt(int threads, double band) {
+  EvaluatorOptions opt;
+  opt.threads = threads;
+  opt.backend = EvalBackend::kMixed;
+  opt.promote_band = band;
+  opt.sim.shrink = 32;
+  opt.sim.max_dim = 32;
+  return opt;
+}
+
+EvaluatorOptions pure_sim_opt(int threads) {
+  EvaluatorOptions opt = mixed_opt(threads, 0.0);
+  opt.backend = EvalBackend::kSim;
+  opt.calibrate = true;  // mixed phase 2 is always calibrated
+  return opt;
+}
+
+std::set<std::string> keys_of(const std::vector<EvalResult>& pts) {
+  std::set<std::string> keys;
+  for (const auto& p : pts) keys.insert(canonical_key(p.point));
+  return keys;
+}
+
+TEST(MixedSweep, ProvenancePartitionsTheResults) {
+  const ConfigSpace space = ConfigSpace::smoke();
+  Evaluator eval(mixed_opt(1, 0.0));  // band 0: promote the front only
+  const std::vector<EvalResult> results = eval.evaluate_space(space);
+  ASSERT_EQ(static_cast<index_t>(results.size()), space.size());
+
+  index_t analytic = 0, sim_cal = 0;
+  for (const EvalResult& r : results) {
+    if (r.scored_by == "analytic")
+      ++analytic;
+    else if (r.scored_by == "sim+cal")
+      ++sim_cal;
+    else
+      FAIL() << "unexpected provenance '" << r.scored_by << "'";
+  }
+  const MixedSweepStats& ms = eval.mixed_stats();
+  EXPECT_EQ(ms.total, space.size());
+  EXPECT_EQ(ms.promoted, sim_cal);
+  EXPECT_EQ(ms.band, 0.0);
+  EXPECT_EQ(analytic + sim_cal, space.size());
+  EXPECT_GT(sim_cal, 0);  // the front itself is always promoted
+  EXPECT_EQ(static_cast<size_t>(sim_cal), promoted_subset(results).size());
+}
+
+TEST(MixedSweep, FrontIsContainedInThePromotedSet) {
+  const ConfigSpace space = ConfigSpace::smoke();
+  Evaluator eval(mixed_opt(1, 0.05));
+  const std::vector<EvalResult> results = eval.evaluate_space(space);
+  const std::vector<EvalResult> promoted = promoted_subset(results);
+  const std::set<std::string> promoted_keys = keys_of(promoted);
+
+  for (const EvalResult& f : pareto_front_by_workload(promoted))
+    EXPECT_TRUE(promoted_keys.count(canonical_key(f.point)));
+  // And every promoted point carries uniform sim+cal fidelity, so the
+  // front never compares analytic numbers against measured ones.
+  for (const EvalResult& p : promoted) EXPECT_EQ(p.scored_by, "sim+cal");
+}
+
+TEST(MixedSweep, PromotedScoresMatchThePureCalibratedSimByteExactly) {
+  // The acceptance property: wherever the mixed sweep simulated, its
+  // objectives must be byte-identical to what a pure --backend sim
+  // --calibrate sweep of the same space produces.
+  const ConfigSpace space = ConfigSpace::smoke();
+  Evaluator mixed(mixed_opt(1, 0.05));
+  const std::vector<EvalResult> mres = mixed.evaluate_space(space);
+
+  Evaluator pure(pure_sim_opt(1));
+  const std::vector<EvalResult> sres = pure.evaluate_space(space);
+  ASSERT_EQ(mres.size(), sres.size());
+
+  index_t checked = 0;
+  for (size_t i = 0; i < mres.size(); ++i) {
+    if (mres[i].scored_by != "sim+cal") continue;
+    ++checked;
+    ASSERT_EQ(canonical_key(mres[i].point), canonical_key(sres[i].point));
+    for (int k = 0; k < kObjectiveCount; ++k) {
+      const Objective o = static_cast<Objective>(k);
+      EXPECT_EQ(format_double(mres[i].obj.get(o)),
+                format_double(sres[i].obj.get(o)))
+          << to_string(o) << " for " << canonical_key(mres[i].point);
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(MixedSweep, InfiniteBandReproducesThePureSimFront) {
+  // band = ∞ promotes every point, so the mixed sweep degenerates to the
+  // pure calibrated-sim sweep — same per-point scores, same front, byte
+  // for byte.
+  const ConfigSpace space = ConfigSpace::smoke();
+  Evaluator mixed(mixed_opt(1, std::numeric_limits<double>::infinity()));
+  const std::vector<EvalResult> mres = mixed.evaluate_space(space);
+  EXPECT_EQ(mixed.mixed_stats().promoted, space.size());
+
+  Evaluator pure(pure_sim_opt(1));
+  const std::vector<EvalResult> sres = pure.evaluate_space(space);
+
+  const std::string mixed_front_csv =
+      results_csv(pareto_front_by_workload(promoted_subset(mres))).to_string();
+  const std::string sim_front_csv =
+      results_csv(pareto_front_by_workload(sres)).to_string();
+  EXPECT_EQ(mixed_front_csv, sim_front_csv);
+}
+
+TEST(MixedSweep, ParallelEqualsSerialByteIdentical) {
+  // Including the scored_by column: the *promotion decisions*, not just
+  // the scores, must be schedule-independent.
+  const ConfigSpace space = ConfigSpace::smoke();
+  Evaluator serial(mixed_opt(1, 0.05));
+  const std::string serial_csv =
+      results_csv(serial.evaluate_space(space), "mixed").to_string();
+  for (int threads : {2, 4}) {
+    Evaluator parallel(mixed_opt(threads, 0.05));
+    EXPECT_EQ(serial_csv,
+              results_csv(parallel.evaluate_space(space), "mixed").to_string())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.mixed_stats().promoted, serial.mixed_stats().promoted);
+  }
+}
+
+TEST(MixedSweep, NestedLayerParallelismStaysDeterministic) {
+  const ConfigSpace space = ConfigSpace::smoke();
+  Evaluator serial(mixed_opt(1, 0.05));
+  const std::string serial_csv =
+      results_csv(serial.evaluate_space(space), "mixed").to_string();
+  EvaluatorOptions nested = mixed_opt(4, 0.05);
+  nested.sim.threads = 4;  // phase-2 layer loops join the shared pool
+  Evaluator parallel(nested);
+  EXPECT_EQ(serial_csv,
+            results_csv(parallel.evaluate_space(space), "mixed").to_string());
+}
+
+TEST(MixedSweep, SinglePointEvaluationIsSimFidelity) {
+  // A lone point is its own front — always promoted.
+  Evaluator eval(mixed_opt(1, 0.05));
+  DesignPoint p;
+  p.workload = "bert";
+  p.psum = PsumConfig::apsq_int8(2);
+  const EvalResult r = eval.evaluate(p);
+  EXPECT_EQ(r.scored_by, "sim+cal");
+
+  Evaluator pure(pure_sim_opt(1));
+  EXPECT_EQ(format_double(r.obj.energy_pj),
+            format_double(pure.evaluate(p).obj.energy_pj));
+}
+
+TEST(MixedSweep, CalibrationIsRestrictedToPromotedFamilies) {
+  // Anchor fitting is lazy, so only families containing a promoted point
+  // ever pay for anchor sims.
+  const ConfigSpace space = ConfigSpace::smoke();
+  Evaluator eval(mixed_opt(1, 0.0));
+  const std::vector<EvalResult> results = eval.evaluate_space(space);
+  ASSERT_NE(eval.calibrator(), nullptr);
+
+  std::set<std::string> promoted_families;
+  for (const EvalResult& r : promoted_subset(results))
+    promoted_families.insert(
+        Calibrator::family_key(r.point.workload, sim_config_for(r.point)));
+  const std::vector<std::string> fitted = eval.calibrator()->family_keys();
+  EXPECT_EQ(fitted.size(), promoted_families.size());
+  for (const std::string& key : fitted)
+    EXPECT_TRUE(promoted_families.count(key)) << key;
+  // With band 0 the smoke space leaves some families unpromoted.
+  EXPECT_LT(eval.calibrator()->family_count(), space.size());
+}
+
+TEST(MixedSweep, PaperSpacePromotionFractionStaysUnderBudget) {
+  // The acceptance budget: with --promote-band 0.05 over the
+  // energy×latency plane, the mixed sweep re-simulates ≤ 20% of the
+  // default 1248-point space. Phase 1 and the promotion decision are
+  // pure analytic computations, so this pins the budget without paying
+  // for any phase-2 simulation.
+  const ConfigSpace space = ConfigSpace::paper_default();
+  ASSERT_EQ(space.size(), 1248);
+  EvaluatorOptions opt;
+  opt.threads = 4;
+  Evaluator analytic(opt);
+  const std::vector<EvalResult> results = analytic.evaluate_space(space);
+
+  const ObjectiveSet el = ObjectiveSet::parse("energy,latency");
+  const std::vector<EvalResult> band =
+      epsilon_band_by_workload(results, 0.05, el);
+  EXPECT_LE(band.size(), static_cast<size_t>(space.size()) / 5)
+      << "promotion band grew past the 20% re-simulation budget";
+  // ... while still containing every per-workload front member.
+  const std::set<std::string> band_keys = keys_of(band);
+  for (const EvalResult& f : pareto_front_by_workload(results, el))
+    EXPECT_TRUE(band_keys.count(canonical_key(f.point)));
+}
+
+}  // namespace
+}  // namespace apsq::dse

@@ -253,6 +253,154 @@ TEST(ParetoFront, NonFiniteObjectivesNeverEnterAFront) {
   EXPECT_TRUE((Objectives{1.0, 2.0, 3.0, 4.0}).all_finite());
 }
 
+TEST(EpsilonDominance, BandZeroReducesToPlainDominance) {
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const Objectives a{rng.uniform(0, 4), rng.uniform(0, 4), rng.uniform(0, 4),
+                       rng.uniform(0, 4)};
+    const Objectives b{rng.uniform(0, 4), rng.uniform(0, 4), rng.uniform(0, 4),
+                       rng.uniform(0, 4)};
+    EXPECT_EQ(epsilon_dominates(a, b, 0.0), dominates(a, b));
+  }
+}
+
+TEST(EpsilonDominance, RelativeSlackIsPerObjective) {
+  // b is 4% worse than a everywhere: inside a 5% band (not ε-dominated),
+  // outside a 3% one.
+  const Objectives a{1.0, 1.0, 1.0, 1.0};
+  const Objectives b{1.04, 1.04, 1.04, 1.04};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(epsilon_dominates(a, b, 0.05));
+  EXPECT_TRUE(epsilon_dominates(a, b, 0.03));
+  // Negative band is malformed.
+  EXPECT_THROW(epsilon_dominates(a, b, -0.1), std::logic_error);
+}
+
+/// Key set of a result list, for set-inclusion checks.
+std::vector<std::string> keys_of(const std::vector<EvalResult>& pts) {
+  std::vector<std::string> keys;
+  for (const auto& p : pts) keys.push_back(canonical_key(p.point));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<EvalResult> random_cloud(u64 seed, int n) {
+  Rng rng(seed);
+  std::vector<EvalResult> pts;
+  for (int i = 0; i < n; ++i)
+    pts.push_back(make("w" + std::to_string(i % 5), 4 + (i % 13), 1 + (i % 4),
+                       rng.uniform(0, 4), rng.uniform(0, 4),
+                       rng.uniform(0, 4)));
+  return pts;
+}
+
+TEST(EpsilonBand, BandZeroEqualsTheFront) {
+  const std::vector<EvalResult> pts = random_cloud(0xE9, 80);
+  EXPECT_EQ(keys_of(epsilon_band(pts, 0.0)), keys_of(pareto_front(pts)));
+  const ObjectiveSet el = ObjectiveSet::parse("energy,latency");
+  EXPECT_EQ(keys_of(epsilon_band(pts, 0.0, el)),
+            keys_of(pareto_front(pts, el)));
+}
+
+TEST(EpsilonBand, GrowsMonotonicallyWithBandAndContainsTheFront) {
+  const std::vector<EvalResult> pts = random_cloud(0xBAD, 120);
+  const std::vector<std::string> front_keys = keys_of(pareto_front(pts));
+  std::vector<std::string> prev;
+  for (const double band : {0.0, 0.02, 0.05, 0.1, 0.5, 2.0}) {
+    const std::vector<std::string> cur = keys_of(epsilon_band(pts, band));
+    EXPECT_TRUE(std::includes(cur.begin(), cur.end(), front_keys.begin(),
+                              front_keys.end()))
+        << "band " << band << " lost a front member";
+    if (!prev.empty())
+      EXPECT_TRUE(std::includes(cur.begin(), cur.end(), prev.begin(),
+                                prev.end()))
+          << "band " << band << " is not a superset of the previous band";
+    prev = cur;
+  }
+}
+
+TEST(EpsilonBand, InfiniteBandKeepsEveryPoint) {
+  const std::vector<EvalResult> pts = random_cloud(7, 40);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(epsilon_band(pts, inf).size(), pts.size());  // all keys distinct
+  // ... including points whose objectives contain exact zeros (0 · ∞
+  // must not poison the comparison).
+  std::vector<EvalResult> with_zero = pts;
+  with_zero.push_back(make("z", 4, 1, 0.0, 0.0, 0.0));
+  EXPECT_EQ(epsilon_band(with_zero, inf).size(), with_zero.size());
+}
+
+TEST(EpsilonBand, TiesOnEqualObjectivesAllKept) {
+  // Identical objectives, different configs: neither ε-dominates the
+  // other at any band (no strict win), so both stay — at band 0 and up.
+  const std::vector<EvalResult> pts = {
+      make("w", 4, 1, 1.0, 2.0, 3.0),
+      make("w", 8, 2, 1.0, 2.0, 3.0),
+      make("w", 8, 4, 2.0, 3.0, 4.0),  // strictly dominated, outside 5%
+  };
+  for (const double band : {0.0, 0.05}) {
+    const std::vector<EvalResult> b = epsilon_band(pts, band);
+    ASSERT_EQ(b.size(), 2u) << "band " << band;
+    EXPECT_EQ(b[0].point.psum.group_size, 1);
+    EXPECT_EQ(b[1].point.psum.group_size, 2);
+  }
+  // A wide enough band pulls the dominated point back in (it is 100%
+  // worse, so band 1.0 reaches it).
+  EXPECT_EQ(epsilon_band(pts, 1.0).size(), 3u);
+  // Exact duplicate configurations still collapse to one entry.
+  std::vector<EvalResult> dup = {make("w", 4, 1, 1.0, 2.0, 3.0),
+                                 make("w", 4, 1, 1.0, 2.0, 3.0)};
+  EXPECT_EQ(epsilon_band(dup, 0.05).size(), 1u);
+}
+
+TEST(EpsilonBand, MembershipMatchesBruteForceDefinition) {
+  // A point is in the band iff no *other* point ε-dominates it. The
+  // implementation only scans front members; cross-check the definition.
+  const std::vector<EvalResult> pts = random_cloud(0xF00D, 90);
+  for (const double band : {0.02, 0.1}) {
+    const std::vector<std::string> got = keys_of(epsilon_band(pts, band));
+    std::vector<std::string> expected;
+    for (const auto& p : pts) {
+      bool dominated = false;
+      for (const auto& q : pts)
+        if (canonical_key(q.point) != canonical_key(p.point) &&
+            epsilon_dominates(q.obj, p.obj, band)) {
+          dominated = true;
+          break;
+        }
+      if (!dominated) expected.push_back(canonical_key(p.point));
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "band " << band;
+  }
+}
+
+TEST(EpsilonBand, RejectsNegativeObjectivesAndNegativeBand) {
+  const std::vector<EvalResult> ok = {make("w", 4, 1, 1.0, 1.0, 1.0)};
+  EXPECT_THROW(epsilon_band(ok, -0.05), std::logic_error);
+  const std::vector<EvalResult> neg = {make("w", 4, 1, -1.0, 1.0, 1.0)};
+  EXPECT_THROW(epsilon_band(neg, 0.05), std::logic_error);
+  // A negative value on an *inactive* objective is fine.
+  EXPECT_EQ(epsilon_band(neg, 0.05, ObjectiveSet::parse("area,error")).size(),
+            1u);
+}
+
+TEST(EpsilonBandByWorkload, GroupsLikeParetoFrontByWorkload) {
+  // b's only point is far outside a's band but owns its own workload
+  // group, so the per-workload band keeps it.
+  const std::vector<EvalResult> pts = {
+      make("a", 8, 1, 1.0, 1.0, 1.0),
+      make("a", 4, 1, 1.02, 1.02, 1.02),  // inside a 5% band of the front
+      make("a", 6, 1, 9.0, 9.0, 9.0),     // far outside
+      make("b", 8, 1, 50.0, 50.0, 50.0),
+  };
+  const std::vector<EvalResult> band = epsilon_band_by_workload(pts, 0.05);
+  ASSERT_EQ(band.size(), 3u);
+  EXPECT_EQ(band[0].point.workload, "a");
+  EXPECT_EQ(band[1].point.workload, "a");
+  EXPECT_EQ(band[2].point.workload, "b");
+}
+
 TEST(ParetoFront, SweepPrefilterMatchesBruteForceScan) {
   // The sort-based sweep must emit the byte-identical front the full
   // O(n²) scan would. Brute force re-derived here from dominates().

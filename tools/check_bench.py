@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the bench-regression CI job.
+
+Compares a freshly produced google-benchmark-style JSON (what the plain
+benches emit via --benchmark_out, and what bench_micro_kernels emits
+natively) against a committed baseline and fails on wall-time regressions
+beyond a relative tolerance:
+
+    tools/check_bench.py bench/baselines/BENCH_dse.json BENCH_dse.json
+    tools/check_bench.py --tolerance 0.25 baseline.json candidate.json
+    tools/check_bench.py --update baseline.json candidate.json   # refresh
+
+Rules:
+  * a benchmark present in the baseline but missing from the candidate
+    fails (a timed section silently disappeared);
+  * a candidate slower than baseline * (1 + tolerance) fails, unless the
+    baseline time is under --min-ms (single-run times that short are
+    noise on shared CI runners — reported, never gated);
+  * benchmarks only in the candidate are reported as new and pass —
+    refresh the baseline (--update) to start gating them;
+  * speedups never fail, but large ones are flagged so the baseline gets
+    refreshed and keeps the gate tight.
+
+Exit code 0 = no regression, 1 = regression or malformed input.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_times(path):
+    """(name -> real_time in ms, num_cpus). Aggregate entries (e.g. gbench
+    repetition rows like "foo/repeats:3_mean") are skipped: only run_type
+    "iteration" rows (or rows without run_type) are gated."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    num_cpus = doc.get("context", {}).get("num_cpus")
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        name = b.get("name")
+        if name is None or "real_time" not in b:
+            sys.exit(f"error: malformed benchmark entry in {path}: {b}")
+        unit = b.get("time_unit", "ns")
+        if unit not in TIME_UNIT_TO_MS:
+            sys.exit(f"error: unknown time_unit '{unit}' in {path}")
+        times[name] = float(b["real_time"]) * TIME_UNIT_TO_MS[unit]
+    if not times:
+        sys.exit(f"error: no benchmarks found in {path}")
+    return times, num_cpus
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("candidate", help="freshly produced JSON")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="relative slowdown that fails (default 0.25)")
+    ap.add_argument("--min-ms", type=float, default=20.0,
+                    help="baseline times under this are never gated "
+                         "(single-run noise floor; default 20)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy candidate over baseline and exit 0")
+    args = ap.parse_args()
+
+    base, base_cpus = load_times(args.baseline)
+    cand, cand_cpus = load_times(args.candidate)
+    if base_cpus is not None and cand_cpus is not None and base_cpus != cand_cpus:
+        # A baseline recorded on different hardware still catches gross
+        # regressions on the serial sections but is miscalibrated for the
+        # parallel ones — the tolerance only means what it says once the
+        # baseline comes from the same runner class (--update from a CI
+        # artifact).
+        print(f"warning: baseline recorded with num_cpus={base_cpus}, "
+              f"candidate with num_cpus={cand_cpus}; refresh the baseline "
+              f"with --update from this runner class to calibrate the gate",
+              file=sys.stderr)
+
+    failures = []
+    rows = []
+    for name in sorted(base):
+        if name not in cand:
+            failures.append(f"{name}: missing from candidate")
+            rows.append((name, base[name], None, "MISSING"))
+            continue
+        ratio = cand[name] / base[name] if base[name] > 0 else float("inf")
+        if base[name] < args.min_ms:
+            verdict = "skip (noise floor)"
+        elif ratio > 1.0 + args.tolerance:
+            verdict = f"FAIL (+{(ratio - 1) * 100:.0f}%)"
+            failures.append(
+                f"{name}: {base[name]:.1f} ms -> {cand[name]:.1f} ms "
+                f"(+{(ratio - 1) * 100:.0f}%, tolerance "
+                f"{args.tolerance * 100:.0f}%)")
+        elif ratio < 1.0 - args.tolerance:
+            verdict = f"ok (-{(1 - ratio) * 100:.0f}%, refresh baseline?)"
+        else:
+            verdict = f"ok ({(ratio - 1) * 100:+.0f}%)"
+        rows.append((name, base[name], cand[name], verdict))
+    for name in sorted(set(cand) - set(base)):
+        rows.append((name, None, cand[name], "new (ungated)"))
+
+    width = max(len(r[0]) for r in rows)
+    fmt_ms = lambda v: f"{v:10.1f}" if v is not None else " " * 9 + "-"
+    print(f"{'benchmark':<{width}}  {'base ms':>10}  {'cand ms':>10}  verdict")
+    for name, b, c, verdict in rows:
+        print(f"{name:<{width}}  {fmt_ms(b)}  {fmt_ms(c)}  {verdict}")
+
+    if args.update:
+        shutil.copyfile(args.candidate, args.baseline)
+        print(f"\nupdated {args.baseline} from {args.candidate}")
+        return 0
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(base)} gated benchmarks within "
+          f"{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
