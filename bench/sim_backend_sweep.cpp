@@ -1,12 +1,15 @@
 // Simulator-in-the-loop DSE throughput — the fidelity/speed trade the
 // evaluator's EvalBackend option exposes.
 //
-// Six sections:
+// Seven sections:
 //   1. analytic vs sim backend over the smoke space at 1 and N threads
 //      (points/s, front size over all four objectives);
 //   2. mixed-fidelity vs pure calibrated sim on a 78-point space: the
 //      wall-time the analytic prefilter saves, at what fraction of the
 //      pure-sim front recovered byte-identically;
+//   2b. the three mixed promotion rules head to head — fixed ε-band,
+//      adaptive front-stability, margin budget — on the same space:
+//      points simulated, rounds, front agreement;
 //   3. nested (evaluator × layer) parallelism on a point list smaller
 //      than the machine: inner-serial (the old behaviour, where a
 //      parallel evaluator forced each point's layers serial) vs nested
@@ -167,6 +170,86 @@ void mixed_vs_sim_section(int hw, apsq::bench::BenchJson& rep) {
   rep.add("mixed_vs_sim/mixed", mixed_secs);
 }
 
+void adaptive_vs_fixed_section(int hw, apsq::bench::BenchJson& rep) {
+  // Same 78-point space as the mixed-vs-sim section, comparing the three
+  // promotion rules of the mixed backend: the hand-tuned fixed band, the
+  // adaptive front-stability rule, and a margin budget pinned to the
+  // fixed band's point count. The interesting columns are how many points
+  // each rule simulates and whether each recovers the same front.
+  ConfigSpace space;
+  space.workloads = {"bert"};
+  space.dataflows = {Dataflow::kIS, Dataflow::kWS, Dataflow::kOS};
+  space.psum_configs = ConfigSpace::default_psum_axis();
+  space.geometries = {PeGeometry{16, 8, 8}};
+  space.buffers = {BufferSizing{}};
+  const ObjectiveSet el = ObjectiveSet::parse("energy,latency");
+
+  auto base_opts = [&] {
+    EvaluatorOptions o;
+    o.threads = hw;
+    o.backend = EvalBackend::kMixed;
+    o.sim.shrink = 32;
+    o.sim.max_dim = 32;
+    o.sim.threads = hw;
+    o.promote_objectives = el;
+    return o;
+  };
+  constexpr int kReps = 3;
+  struct Row {
+    const char* name;
+    double secs = 0.0;
+    MixedSweepStats ms;
+    std::string front_csv;
+    size_t rounds = 0;
+  };
+  // Best-of-3 with a fresh evaluator per repetition (cold caches, anchor
+  // refits) — these times feed the bench-regression gate.
+  auto timed = [&](const char* name, const EvaluatorOptions& opt) {
+    Row row;
+    row.name = name;
+    for (int attempt = 0; attempt < kReps; ++attempt) {
+      Evaluator eval(opt);
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::vector<EvalResult> res = eval.evaluate_space(space);
+      const double secs = seconds_since(t0);
+      row.secs = attempt == 0 ? secs : std::min(row.secs, secs);
+      row.ms = eval.mixed_stats();
+      row.rounds = eval.mixed_stats().rounds.size();
+      row.front_csv =
+          results_csv(pareto_front_by_workload(promoted_subset(res), el))
+              .to_string();
+    }
+    return row;
+  };
+
+  EvaluatorOptions fixed_opt = base_opts();
+  fixed_opt.promote_band = 0.05;
+  const Row fixed = timed("fixed band 0.05", fixed_opt);
+
+  EvaluatorOptions adaptive_opt = base_opts();
+  adaptive_opt.promote_adaptive = true;
+  const Row adaptive = timed("adaptive (front-stability)", adaptive_opt);
+
+  EvaluatorOptions budget_opt = base_opts();
+  budget_opt.promote_budget = fixed.ms.promoted;  // same simulation budget
+  const Row budget = timed("budget = fixed's count", budget_opt);
+
+  std::cout << "\n--- mixed promotion rules (" << space.size()
+            << " points, " << el.to_string() << ", " << hw
+            << " threads) ---\n";
+  Table t({"Promotion", "Time (s)", "Points simulated", "Rounds",
+           "Front == fixed band"});
+  for (const Row* r : {&fixed, &adaptive, &budget})
+    t.add_row({r->name, Table::num(r->secs, 3),
+               std::to_string(r->ms.promoted), std::to_string(r->rounds),
+               r == &fixed ? "-"
+                           : (r->front_csv == fixed.front_csv ? "yes" : "NO")});
+  t.print(std::cout);
+  rep.add("mixed_promotion/fixed_band", fixed.secs);
+  rep.add("mixed_promotion/adaptive", adaptive.secs);
+  rep.add("mixed_promotion/budget", budget.secs);
+}
+
 void nested_parallel_section(int hw, apsq::bench::BenchJson& rep) {
   // Two sim-heavy points — fewer points than cores, so point-level
   // parallelism alone cannot fill the machine. Before the shared pool,
@@ -316,6 +399,7 @@ int main(int argc, char** argv) {
             << ") ===\n\n";
   backend_section(hw, rep);
   mixed_vs_sim_section(hw, rep);
+  adaptive_vs_fixed_section(hw, rep);
   nested_parallel_section(hw, rep);
   layer_parallel_section(hw, rep);
   pool_reuse_section(hw, rep);

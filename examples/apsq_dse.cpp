@@ -50,6 +50,9 @@ struct Options {
   bool calibrate = false;
   double promote_band = 0.05;      // mixed backend: ε-dominance slack
   bool promote_band_set = false;   // flag given explicitly
+  bool promote_adaptive = false;   // mixed backend: front-stability rule
+  i64 promote_budget = 0;          // mixed backend: margin budget (0 = off)
+  bool promote_budget_set = false;
   std::string calibration_csv_path;
   std::string csv_path;
   std::string front_csv_path;
@@ -71,6 +74,18 @@ void print_help() {
       "  --promote-band X  mixed backend: relative ε-dominance slack per\n"
       "                    objective selecting the promoted near-front set\n"
       "                    (default 0.05; 0 = front only; inf = everything)\n"
+      "  --promote-adaptive\n"
+      "                    mixed backend: replace the fixed band with the\n"
+      "                    front-stability rule — promote the analytic\n"
+      "                    front, then widen the band geometrically,\n"
+      "                    re-simulating only newly promoted points, until\n"
+      "                    the promoted front is unchanged for 2\n"
+      "                    consecutive widenings\n"
+      "  --promote-budget N\n"
+      "                    mixed backend: promote exactly the N best\n"
+      "                    points by ε-dominance margin instead of a band\n"
+      "                    (N >= 1; N >= the space size promotes\n"
+      "                    everything)\n"
       "  --calibrate       sim backend: rescale measured energies/latencies\n"
       "                    into the analytic backend's absolute units via\n"
       "                    per-family anchor runs (see dse/calibrate.hpp);\n"
@@ -133,6 +148,18 @@ bool parse(int argc, char** argv, Options& o) {
                                    o.promote_band))
         return false;
       o.promote_band_set = true;
+    } else if (a == "--promote-adaptive") {
+      o.promote_adaptive = true;
+    } else if (a == "--promote-budget") {
+      const char* v = next("--promote-budget");
+      // 1 is the smallest meaningful budget: a budget of 0 would simulate
+      // nothing and report an empty front — reject it like any other
+      // out-of-range value.
+      if (!v ||
+          !parse_i64_flag("--promote-budget", v, 1, i64{1} << 40,
+                          o.promote_budget))
+        return false;
+      o.promote_budget_set = true;
     } else if (a == "--calibration-csv") {
       const char* v = next("--calibration-csv");
       if (!v) return false;
@@ -217,20 +244,30 @@ int main(int argc, char** argv) {
   eopt.backend = o.backend;
   const ObjectiveSet objectives = o.objectives;
   const bool mixed = eopt.backend == EvalBackend::kMixed;
-  if (o.calibrate && eopt.backend == EvalBackend::kAnalytic) {
-    std::cerr << "--calibrate requires --backend sim or mixed\n";
+  // A promotion flag outside the mixed backend, a calibration flag on the
+  // analytic backend, or two conflicting promotion rules would silently
+  // not do what was asked — exit 1 naming the flags instead.
+  if (!flag_requires(o.calibrate, "--calibrate",
+                     eopt.backend != EvalBackend::kAnalytic,
+                     "--backend sim or mixed") ||
+      !flag_requires(o.promote_band_set, "--promote-band", mixed,
+                     "--backend mixed") ||
+      !flag_requires(o.promote_adaptive, "--promote-adaptive", mixed,
+                     "--backend mixed") ||
+      !flag_requires(o.promote_budget_set, "--promote-budget", mixed,
+                     "--backend mixed") ||
+      !flags_exclusive(o.promote_band_set, "--promote-band",
+                       o.promote_adaptive, "--promote-adaptive") ||
+      !flags_exclusive(o.promote_band_set, "--promote-band",
+                       o.promote_budget_set, "--promote-budget") ||
+      !flags_exclusive(o.promote_adaptive, "--promote-adaptive",
+                       o.promote_budget_set, "--promote-budget") ||
+      // Without a calibrator the CSV would be silently neither loaded nor
+      // written — reject the ineffective flag like any other misuse.
+      !flag_requires(!o.calibration_csv_path.empty(), "--calibration-csv",
+                     o.calibrate || mixed,
+                     "--calibrate or --backend mixed"))
     return 1;
-  }
-  if (o.promote_band_set && !mixed) {
-    std::cerr << "--promote-band requires --backend mixed\n";
-    return 1;
-  }
-  // Without a calibrator the CSV would be silently neither loaded nor
-  // written — reject the ineffective flag like any other misuse.
-  if (!o.calibration_csv_path.empty() && !o.calibrate && !mixed) {
-    std::cerr << "--calibration-csv requires --calibrate or --backend mixed\n";
-    return 1;
-  }
   eopt.sim.shrink = o.shrink;
   eopt.sim.max_dim = o.max_dim;
   eopt.sim.seed = o.seed;
@@ -240,6 +277,8 @@ int main(int argc, char** argv) {
     eopt.sim.threads = o.sim_threads > 0 ? o.sim_threads : threads;
   eopt.calibrate = o.calibrate;
   eopt.promote_band = o.promote_band;
+  eopt.promote_adaptive = o.promote_adaptive;
+  eopt.promote_budget = o.promote_budget_set ? o.promote_budget : 0;
   // Promote in the same objective plane the front is extracted in, so the
   // promoted set provably covers the reported front.
   eopt.promote_objectives = objectives;
@@ -303,10 +342,28 @@ int main(int argc, char** argv) {
                                           static_cast<double>(ms.total)
                                     : 0.0;
     std::cout << "mixed phases — analytic: " << ms.total << " pts in "
-              << Table::num(ms.phase1_secs, 2) << " s; band "
-              << Table::num(ms.band, 3) << " promoted " << ms.promoted
-              << " pts (" << Table::num(pct, 1) << "%) to sim+cal in "
-              << Table::num(ms.phase2_secs, 2) << " s\n";
+              << Table::num(ms.phase1_secs, 2) << " s; "
+              << to_string(ms.mode) << " promotion ";
+    if (ms.mode == PromoteMode::kBudget)
+      std::cout << "(budget " << ms.budget << ", effective band "
+                << Table::num(ms.band, 3) << ")";
+    else
+      std::cout << "(band " << Table::num(ms.band, 3) << ")";
+    std::cout << " sent " << ms.promoted << " pts (" << Table::num(pct, 1)
+              << "%) to sim+cal in " << Table::num(ms.phase2_secs, 2)
+              << " s\n";
+    // Adaptive sweeps: show the ladder so the stopping decision is
+    // auditable — which widenings still moved the front, and what each
+    // one cost in newly simulated points.
+    if (ms.mode == PromoteMode::kAdaptive)
+      for (size_t r = 0; r < ms.rounds.size(); ++r) {
+        const MixedRoundStats& rs = ms.rounds[r];
+        std::cout << "  round " << r << ": band " << Table::num(rs.band, 4)
+                  << " +" << rs.promoted_new << " pts (total "
+                  << rs.promoted_total << "), front " << rs.front_size
+                  << (rs.front_changed ? " (changed)" : " (stable)") << ", "
+                  << Table::num(rs.secs, 2) << " s\n";
+      }
   }
   if (eval.calibrator())
     std::cout << "calibration: " << eval.calibrator()->family_count()

@@ -116,6 +116,29 @@ inline bool parse_double_flag(const char* flag, const char* text, double lo,
   return true;
 }
 
+/// Cross-flag validation: a flag that only makes sense in some mode (e.g.
+/// --promote-budget without --backend mixed) must exit 1 naming the flag
+/// and the requirement, never run a sweep that silently ignores it.
+/// Returns true when the combination is fine (flag absent, or requirement
+/// met).
+inline bool flag_requires(bool flag_given, const char* flag,
+                          bool requirement_met, const char* requirement,
+                          std::ostream& err = std::cerr) {
+  if (!flag_given || requirement_met) return true;
+  err << flag << ": requires " << requirement << "\n";
+  return false;
+}
+
+/// Cross-flag validation: two flags that select conflicting behaviours
+/// (e.g. --promote-band vs --promote-adaptive) must exit 1 naming both,
+/// never let one silently win. Returns true when at most one is given.
+inline bool flags_exclusive(bool a_given, const char* a, bool b_given,
+                            const char* b, std::ostream& err = std::cerr) {
+  if (!a_given || !b_given) return true;
+  err << a << " and " << b << " are mutually exclusive\n";
+  return false;
+}
+
 /// Run a throwing enum parser (parse_backend, ObjectiveSet::parse, …)
 /// over a flag value. On an unrecognized value the parser's exception is
 /// reported as "<flag>: <message>" and false is returned, so the CLI

@@ -116,8 +116,11 @@ class Calibrator {
 
   /// Families fitted (or loaded) so far. Fitting is lazy — a family pays
   /// for its anchor runs only when factors_for first touches it — so a
-  /// mixed-fidelity sweep, which simulates only ε-band-promoted points,
-  /// fits only the promoted families.
+  /// mixed-fidelity sweep, which simulates only promoted points, fits
+  /// only the promoted families; an *adaptive* mixed sweep additionally
+  /// reuses every fit across its widening rounds (the memo is keyed by
+  /// family, not by round), so each round pays anchors only for families
+  /// its newly promoted points introduce.
   index_t family_count() const;
 
   /// Their keys, sorted (family_key format). The mixed sweep summary

@@ -1,6 +1,7 @@
 #include "dse/evaluator.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
@@ -38,11 +39,34 @@ EvalBackend parse_backend(const std::string& name) {
                               " (expected analytic|sim|mixed)");
 }
 
+const char* to_string(PromoteMode m) {
+  switch (m) {
+    case PromoteMode::kBand: return "band";
+    case PromoteMode::kAdaptive: return "adaptive";
+    case PromoteMode::kBudget: return "budget";
+  }
+  APSQ_CHECK_MSG(false, "unknown promote mode");
+  return "";
+}
+
 Evaluator::Evaluator(EvaluatorOptions opt) : opt_(opt) {
   APSQ_CHECK_MSG(opt_.threads >= 1, "Evaluator needs >= 1 thread");
   APSQ_CHECK_MSG(opt_.sim.threads >= 1, "sim runner needs >= 1 thread");
   APSQ_CHECK_MSG(opt_.promote_band >= 0.0,
                  "promote_band must be >= 0, got " << opt_.promote_band);
+  APSQ_CHECK_MSG(opt_.promote_budget >= 0,
+                 "promote_budget must be >= 0, got " << opt_.promote_budget);
+  APSQ_CHECK_MSG(!(opt_.promote_adaptive && opt_.promote_budget > 0),
+                 "adaptive and budgeted promotion are mutually exclusive");
+  APSQ_CHECK_MSG(opt_.adaptive_start > 0.0 &&
+                     std::isfinite(opt_.adaptive_start),
+                 "adaptive_start must be a positive finite band, got "
+                     << opt_.adaptive_start);
+  APSQ_CHECK_MSG(opt_.adaptive_growth > 1.0,
+                 "adaptive_growth must be > 1, got " << opt_.adaptive_growth);
+  APSQ_CHECK_MSG(opt_.adaptive_stability >= 1,
+                 "adaptive_stability must be >= 1, got "
+                     << opt_.adaptive_stability);
   // Mixed puts phase-2 sim scores next to phase-1 analytic ones, so the
   // sim scores must be in analytic absolute units: calibration is not
   // optional there.
@@ -225,7 +249,10 @@ std::vector<EvalResult> Evaluator::mixed_sweep(
   using clock = std::chrono::steady_clock;
   MixedSweepStats stats;
   stats.total = static_cast<index_t>(pts.size());
-  stats.band = opt_.promote_band;
+  stats.mode = opt_.promote_adaptive  ? PromoteMode::kAdaptive
+               : opt_.promote_budget > 0 ? PromoteMode::kBudget
+                                         : PromoteMode::kBand;
+  stats.budget = opt_.promote_budget;
 
   // Phase 1: cheap analytic scores for every point, in parallel on the
   // shared pool. Deterministic: results land in index-addressed slots.
@@ -237,34 +264,144 @@ std::vector<EvalResult> Evaluator::mixed_sweep(
   });
   stats.phase1_secs = std::chrono::duration<double>(clock::now() - t0).count();
 
-  // Promotion: the per-workload analytic front plus its ε-band. The band
-  // is computed per workload because the workload is a scenario, not a
-  // knob — a point must survive against its own workload's candidates.
-  // (Every cross-workload front member is also a per-workload front
-  // member, so the global front is covered too.) The extraction is pure
-  // and key-ordered, hence identical across thread counts.
+  // Phase 2: promotion rounds. Every mode selects per workload — the
+  // workload is a scenario, not a knob, so a point must survive against
+  // its own workload's candidates (every cross-workload front member is
+  // also a per-workload front member, so the global front is covered
+  // too). Selection is pure and key-ordered, hence identical across
+  // thread counts.
   const auto t1 = clock::now();
-  const std::vector<EvalResult> band = epsilon_band_by_workload(
-      out, opt_.promote_band, opt_.promote_objectives);
-  std::unordered_set<std::string> promoted_keys;
-  promoted_keys.reserve(band.size());
-  for (const EvalResult& b : band) promoted_keys.insert(canonical_key(b.point));
-  std::vector<index_t> promoted;  // result slots to re-score, index order
-  for (size_t i = 0; i < pts.size(); ++i)
-    if (promoted_keys.count(canonical_key(pts[i])))
-      promoted.push_back(static_cast<index_t>(i));
-  stats.promoted = static_cast<index_t>(promoted.size());
+  std::vector<std::string> keys;
+  keys.reserve(pts.size());
+  for (const DesignPoint& p : pts) keys.push_back(canonical_key(p));
+  std::vector<bool> simulated(pts.size(), false);
+  index_t promoted_total = 0;
 
-  // Phase 2: calibrated sim re-scores for the promoted slots only. The
-  // calibrator fits anchor families lazily, so only the promoted
-  // (workload, dataflow, psum) families ever pay for anchor runs.
-  parallel_for_points(static_cast<index_t>(promoted.size()), [&](index_t j) {
-    const index_t i = promoted[static_cast<size_t>(j)];
-    out[static_cast<size_t>(i)] =
-        evaluate_at(pts[static_cast<size_t>(i)], EvalBackend::kSim);
-  });
+  // Re-score every not-yet-simulated slot whose key the selection names
+  // with the calibrated sim, in slot order. The calibrator fits anchor
+  // families lazily, so only promoted (workload, dataflow, psum) families
+  // ever pay for anchor runs — and across adaptive rounds the sim and
+  // calibration memo caches carry everything already paid for, so a round
+  // only simulates its newly promoted points. `r0` is the caller's
+  // selection start time, so rs.secs covers selection + simulation.
+  const auto run_round = [&](double band, clock::time_point r0,
+                             const std::unordered_set<std::string>& selected) {
+    std::vector<index_t> fresh;  // slots to re-score, index order
+    for (size_t i = 0; i < pts.size(); ++i)
+      if (!simulated[i] && selected.count(keys[i])) {
+        simulated[i] = true;
+        fresh.push_back(static_cast<index_t>(i));
+      }
+    parallel_for_points(static_cast<index_t>(fresh.size()), [&](index_t j) {
+      const index_t i = fresh[static_cast<size_t>(j)];
+      out[static_cast<size_t>(i)] =
+          evaluate_at(pts[static_cast<size_t>(i)], EvalBackend::kSim);
+    });
+    promoted_total += static_cast<index_t>(fresh.size());
+    MixedRoundStats rs;
+    rs.band = band;
+    rs.promoted_new = static_cast<index_t>(fresh.size());
+    rs.promoted_total = promoted_total;
+    rs.secs = std::chrono::duration<double>(clock::now() - r0).count();
+    return rs;
+  };
+  const auto keys_of_results = [](const std::vector<EvalResult>& results) {
+    std::unordered_set<std::string> selected;
+    selected.reserve(results.size());
+    for (const EvalResult& r : results) selected.insert(canonical_key(r.point));
+    return selected;
+  };
+  // The promoted front as a key list. Keys alone decide front stability:
+  // a point's sim score is memoized and pure, so its objectives are
+  // byte-identical in every round it appears — the front changes iff its
+  // membership does.
+  const auto front_keys_now = [&] {
+    std::vector<std::string> fk;
+    for (const EvalResult& f : pareto_front_by_workload(
+             promoted_subset(out), opt_.promote_objectives))
+      fk.push_back(canonical_key(f.point));
+    return fk;
+  };
+
+  if (stats.mode == PromoteMode::kBudget) {
+    const auto r0 = clock::now();
+    std::vector<PromotionMargin> ranked =
+        ranked_margins_by_workload(out, opt_.promote_objectives);
+    if (static_cast<size_t>(opt_.promote_budget) < ranked.size())
+      ranked.resize(static_cast<size_t>(opt_.promote_budget));
+    std::unordered_set<std::string> selected;
+    selected.reserve(ranked.size());
+    for (const PromotionMargin& m : ranked)
+      selected.insert(canonical_key(m.result.point));
+    // The effective band the budget bought: the largest selected margin —
+    // the rank order is margin-ascending, so that is the cut's last entry.
+    const double effective_band =
+        ranked.empty() ? 0.0 : ranked.back().enter_band;
+    MixedRoundStats rs = run_round(effective_band, r0, selected);
+    rs.front_size = static_cast<index_t>(front_keys_now().size());
+    rs.front_changed = true;
+    stats.band = effective_band;
+    stats.rounds.push_back(rs);
+  } else if (stats.mode == PromoteMode::kBand) {
+    const auto r0 = clock::now();
+    MixedRoundStats rs = run_round(
+        opt_.promote_band, r0,
+        keys_of_results(epsilon_band_by_workload(out, opt_.promote_band,
+                                                 opt_.promote_objectives)));
+    rs.front_size = static_cast<index_t>(front_keys_now().size());
+    rs.front_changed = true;
+    stats.band = opt_.promote_band;
+    stats.rounds.push_back(rs);
+  } else {
+    // Adaptive: band ladder 0, start, start·growth, … — round 0 promotes
+    // the analytic front itself, each widening adds its ε-shell. Stop
+    // when the promoted front has been stable for adaptive_stability
+    // consecutive widenings (the front-stability rule), or when every
+    // point is already promoted (wider bands can select nothing new).
+    //
+    // Margins are computed once, over the phase-1 scores `out` still
+    // holds here: from round 0 on, `out` mixes fidelities as promoted
+    // slots acquire calibrated-sim values, and bands re-derived from
+    // those would silently reshape the analytic prefilter geometry (a
+    // sim score landing below its analytic estimate widens its
+    // neighbours' apparent gaps, which could starve true front points
+    // the same band over analytic scores — and the fixed --promote-band
+    // path — would promote). Each round then just thresholds the fixed
+    // margins at its band, so successive selections are nested and the
+    // per-round work is O(n) instead of a fresh front extraction.
+    std::vector<std::pair<std::string, PromotionMargin>> margins;
+    for (PromotionMargin& m :
+         promotion_margins_by_workload(out, opt_.promote_objectives)) {
+      std::string key = canonical_key(m.result.point);
+      margins.emplace_back(std::move(key), std::move(m));
+    }
+    double band = 0.0;
+    int stable = 0;
+    std::vector<std::string> prev_front;
+    for (int round = 0;; ++round) {
+      const auto r0 = clock::now();
+      if (round == 1)
+        band = opt_.adaptive_start;
+      else if (round > 1)
+        band *= opt_.adaptive_growth;
+      std::unordered_set<std::string> selected;
+      for (const auto& [key, margin] : margins)
+        if (margin.in_band(band)) selected.insert(key);
+      MixedRoundStats rs = run_round(band, r0, selected);
+      std::vector<std::string> front = front_keys_now();
+      rs.front_size = static_cast<index_t>(front.size());
+      rs.front_changed = round == 0 || front != prev_front;
+      prev_front = std::move(front);
+      stats.rounds.push_back(rs);
+      if (promoted_total == stats.total) break;
+      if (round > 0) stable = rs.front_changed ? 0 : stable + 1;
+      if (stable >= opt_.adaptive_stability) break;
+    }
+    stats.band = band;
+  }
+
+  stats.promoted = promoted_total;
   stats.phase2_secs = std::chrono::duration<double>(clock::now() - t1).count();
-
   mixed_stats_ = stats;
   return out;
 }

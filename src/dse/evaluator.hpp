@@ -18,11 +18,16 @@
 //              rescales the measured components into the analytic
 //              backend's absolute units, so the two backends' fronts mix.
 //   mixed    — multi-fidelity: phase 1 scores the whole space with the
-//              analytic backend, phase 2 promotes the analytic Pareto
-//              front plus an ε-dominance band of near-front points
-//              (promote_band) to the *calibrated* sim backend and
-//              re-scores only those. Each result records its provenance
-//              in EvalResult::scored_by; the front is then extracted over
+//              analytic backend, phase 2 promotes near-front points to
+//              the *calibrated* sim backend and re-scores only those.
+//              Three promotion rules share one ranked-margin primitive
+//              (dse/pareto): a fixed ε-dominance band (promote_band), an
+//              adaptive band that widens geometrically until the promoted
+//              front is stable for K consecutive rounds (promote_adaptive
+//              — the front-stability stopping rule), and a hard budget of
+//              the N best points by ε-dominance margin (promote_budget).
+//              Each result records its provenance in
+//              EvalResult::scored_by; the front is then extracted over
 //              the promoted (uniform-fidelity) subset. This buys sim
 //              fidelity where it matters — on and near the front — at a
 //              small multiple of the analytic sweep's cost.
@@ -70,13 +75,44 @@ const char* to_string(EvalBackend b);
 /// Parse "analytic" | "sim" | "mixed"; throws on anything else.
 EvalBackend parse_backend(const std::string& name);
 
+/// How the mixed backend selects the analytic points phase 2 promotes to
+/// the calibrated simulator.
+enum class PromoteMode {
+  kBand,      ///< fixed ε-dominance slack (promote_band)
+  kAdaptive,  ///< widen the band geometrically until the sim front is stable
+  kBudget,    ///< the promote_budget best points by ε-dominance margin
+};
+
+const char* to_string(PromoteMode m);
+
+/// One promotion round of a mixed sweep. A fixed-band or budget sweep has
+/// exactly one; an adaptive sweep has one per band widening, so the
+/// per-round counts show where the simulation time went and when the
+/// front-stability rule fired.
+struct MixedRoundStats {
+  /// The ε slack this round promoted at. Budget mode records the largest
+  /// selected margin — the fixed band the budget turned out to buy.
+  double band = 0.0;
+  index_t promoted_new = 0;    ///< points first simulated this round
+  index_t promoted_total = 0;  ///< cumulative sim-scored points
+  index_t front_size = 0;      ///< promoted-front size after this round
+  bool front_changed = false;  ///< did this round's front differ from the last?
+  double secs = 0.0;           ///< selection + simulation wall time
+};
+
 /// Per-phase accounting of the last mixed-fidelity sweep: how many points
-/// the analytic prefilter scored, how many the ε-band promoted into the
-/// calibrated simulator, and the wall time each phase took.
+/// the analytic prefilter scored, how many the promotion rule handed to
+/// the calibrated simulator (and in which rounds), and the wall time each
+/// phase took.
 struct MixedSweepStats {
   index_t total = 0;     ///< points in the sweep (phase-1 evaluations)
   index_t promoted = 0;  ///< points re-scored by the sim (phase-2 evaluations)
-  double band = 0.0;     ///< the ε-dominance slack that selected them
+  PromoteMode mode = PromoteMode::kBand;
+  /// The final ε slack: the fixed band, the adaptive stopping band, or the
+  /// effective band a budget bought (its largest selected margin).
+  double band = 0.0;
+  index_t budget = 0;  ///< budget mode only: the requested N
+  std::vector<MixedRoundStats> rounds;
   double phase1_secs = 0.0;
   double phase2_secs = 0.0;
 };
@@ -105,10 +141,34 @@ struct EvaluatorOptions {
   /// points phase 2 promotes to the calibrated simulator (see
   /// epsilon_band in dse/pareto.hpp). 0 promotes the analytic front only;
   /// a non-finite band promotes everything (degenerates to --backend sim
-  /// --calibrate).
+  /// --calibrate). Ignored when promote_adaptive or promote_budget is set.
   double promote_band = 0.05;
-  /// Mixed backend: the objective subset the promotion band is measured
-  /// in. Should match the objectives the caller extracts fronts over.
+  /// Mixed backend: adaptive promotion (the front-stability stopping
+  /// rule). Phase 2 starts from the analytic front (band 0), then widens
+  /// the band geometrically — adaptive_start, ·growth, ·growth², … —
+  /// re-simulating only the newly promoted points each round (the sim and
+  /// calibration memo caches carry everything already paid for) and
+  /// re-extracting the promoted front. It stops once the front is
+  /// unchanged for adaptive_stability consecutive widenings, or when
+  /// every point is promoted. Replaces the hand-tuned fixed band with a
+  /// rule that spends simulation only while it still moves the answer.
+  bool promote_adaptive = false;
+  double adaptive_start = 0.0125;  ///< first non-zero band in the ladder
+  double adaptive_growth = 2.0;    ///< band multiplier per widening (> 1)
+  int adaptive_stability = 2;      ///< unchanged-front rounds before stopping
+  /// Mixed backend: promote exactly this many *distinct configurations* —
+  /// the best by ε-dominance margin (best_by_margin in dse/pareto.hpp) —
+  /// instead of a band. 0 disables budget mode; a budget >= the space
+  /// size promotes everything (the budget analogue of band = ∞). If the
+  /// evaluated point list repeats a configuration, every duplicate slot
+  /// of a selected one is re-scored — they must agree in fidelity, and
+  /// the sim memo makes the repeats free — so the slot counts in
+  /// MixedSweepStats can exceed the budget by the number of selected
+  /// duplicates. Mutually exclusive with promote_adaptive.
+  index_t promote_budget = 0;
+  /// Mixed backend: the objective subset the promotion band / margin is
+  /// measured in. Should match the objectives the caller extracts fronts
+  /// over.
   ObjectiveSet promote_objectives = ObjectiveSet::all();
 };
 

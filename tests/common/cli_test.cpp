@@ -126,6 +126,57 @@ TEST(CliParse, EnumFlagRejectsUnknownValuesByFlagName) {
   EXPECT_EQ(objectives.size(), static_cast<size_t>(dse::kObjectiveCount));
 }
 
+TEST(CliParse, PromoteBudgetRejectsZeroByFlagName) {
+  // apsq_dse parses --promote-budget with a lower bound of 1: a budget of
+  // 0 would simulate nothing and report an empty front, so it must exit 1
+  // naming the flag instead of running a useless sweep.
+  i64 v = 77;
+  std::ostringstream err;
+  EXPECT_FALSE(
+      parse_i64_flag("--promote-budget", "0", 1, i64{1} << 40, v, err));
+  EXPECT_EQ(v, 77);  // untouched on failure
+  EXPECT_NE(err.str().find("--promote-budget"), std::string::npos);
+  EXPECT_NE(err.str().find("out of range"), std::string::npos);
+  EXPECT_FALSE(
+      parse_i64_flag("--promote-budget", "-5", 1, i64{1} << 40, v, err));
+  EXPECT_TRUE(
+      parse_i64_flag("--promote-budget", "100", 1, i64{1} << 40, v, err));
+  EXPECT_EQ(v, 100);
+}
+
+TEST(CliParse, FlagRequiresNamesTheFlagAndTheRequirement) {
+  // The --promote-budget-with---backend-analytic misuse: the flag is only
+  // meaningful on the mixed backend, so the combination exits 1 with both
+  // sides named rather than silently ignoring the budget.
+  std::ostringstream err;
+  EXPECT_FALSE(flag_requires(/*flag_given=*/true, "--promote-budget",
+                             /*requirement_met=*/false, "--backend mixed",
+                             err));
+  EXPECT_NE(err.str().find("--promote-budget"), std::string::npos);
+  EXPECT_NE(err.str().find("--backend mixed"), std::string::npos);
+  // Flag absent, or requirement met: no complaint either way.
+  std::ostringstream quiet;
+  EXPECT_TRUE(flag_requires(false, "--promote-budget", false,
+                            "--backend mixed", quiet));
+  EXPECT_TRUE(flag_requires(true, "--promote-budget", true,
+                            "--backend mixed", quiet));
+  EXPECT_TRUE(quiet.str().empty());
+}
+
+TEST(CliParse, FlagsExclusiveNamesBothFlags) {
+  std::ostringstream err;
+  EXPECT_FALSE(flags_exclusive(true, "--promote-adaptive", true,
+                               "--promote-budget", err));
+  EXPECT_NE(err.str().find("--promote-adaptive"), std::string::npos);
+  EXPECT_NE(err.str().find("--promote-budget"), std::string::npos);
+  std::ostringstream quiet;
+  EXPECT_TRUE(flags_exclusive(true, "--promote-adaptive", false,
+                              "--promote-budget", quiet));
+  EXPECT_TRUE(flags_exclusive(false, "--promote-adaptive", true,
+                              "--promote-budget", quiet));
+  EXPECT_TRUE(quiet.str().empty());
+}
+
 TEST(CliParse, EnumFlagParsesAllBackends) {
   dse::EvalBackend backend = dse::EvalBackend::kAnalytic;
   std::ostringstream err;

@@ -186,6 +186,184 @@ TEST(MixedSweep, CalibrationIsRestrictedToPromotedFamilies) {
   EXPECT_LT(eval.calibrator()->family_count(), space.size());
 }
 
+TEST(MixedSweep, AdaptiveStopsWhenTheFrontIsStableAndAccountsEveryRound) {
+  const ConfigSpace space = ConfigSpace::smoke();
+  EvaluatorOptions opt = mixed_opt(1, 0.0);
+  opt.promote_adaptive = true;
+  Evaluator eval(opt);
+  const std::vector<EvalResult> results = eval.evaluate_space(space);
+  const MixedSweepStats& ms = eval.mixed_stats();
+  EXPECT_EQ(ms.mode, PromoteMode::kAdaptive);
+  ASSERT_GE(ms.rounds.size(), 1u);
+
+  // Round 0 promotes the analytic front at band 0; each widening
+  // multiplies the band by adaptive_growth exactly.
+  EXPECT_EQ(ms.rounds[0].band, 0.0);
+  if (ms.rounds.size() > 1) {
+    EXPECT_EQ(ms.rounds[1].band, opt.adaptive_start);
+  }
+  for (size_t r = 2; r < ms.rounds.size(); ++r)
+    EXPECT_EQ(ms.rounds[r].band,
+              ms.rounds[r - 1].band * opt.adaptive_growth);
+
+  // Per-round accounting: cumulative counts are consistent and monotone,
+  // and the final total is what the sweep reports (and what the results
+  // carry as sim+cal provenance).
+  index_t running = 0;
+  for (const MixedRoundStats& rs : ms.rounds) {
+    running += rs.promoted_new;
+    EXPECT_EQ(rs.promoted_total, running);
+    EXPECT_GT(rs.front_size, 0);
+  }
+  EXPECT_EQ(ms.promoted, running);
+  EXPECT_EQ(static_cast<size_t>(ms.promoted),
+            promoted_subset(results).size());
+
+  // The stopping rule: either the front sat still for adaptive_stability
+  // consecutive widenings, or every point was promoted first.
+  if (ms.promoted < space.size()) {
+    ASSERT_GE(ms.rounds.size(), static_cast<size_t>(opt.adaptive_stability));
+    for (size_t r = ms.rounds.size() -
+                    static_cast<size_t>(opt.adaptive_stability);
+         r < ms.rounds.size(); ++r)
+      EXPECT_FALSE(ms.rounds[r].front_changed) << "round " << r;
+  } else {
+    EXPECT_EQ(ms.rounds.back().promoted_total, space.size());
+  }
+}
+
+TEST(MixedSweep, AdaptiveParallelEqualsSerialByteIdentical) {
+  // The promotion *trajectory* — every round's band and promotion
+  // decisions, not just the final scores — must be schedule-independent.
+  const ConfigSpace space = ConfigSpace::smoke();
+  EvaluatorOptions sopt = mixed_opt(1, 0.0);
+  sopt.promote_adaptive = true;
+  Evaluator serial(sopt);
+  const std::string serial_csv =
+      results_csv(serial.evaluate_space(space), "mixed").to_string();
+  const MixedSweepStats& sms = serial.mixed_stats();
+  for (int threads : {2, 4}) {
+    EvaluatorOptions popt = mixed_opt(threads, 0.0);
+    popt.promote_adaptive = true;
+    Evaluator parallel(popt);
+    EXPECT_EQ(serial_csv,
+              results_csv(parallel.evaluate_space(space), "mixed").to_string())
+        << "threads=" << threads;
+    const MixedSweepStats& pms = parallel.mixed_stats();
+    ASSERT_EQ(pms.rounds.size(), sms.rounds.size()) << "threads=" << threads;
+    for (size_t r = 0; r < pms.rounds.size(); ++r) {
+      EXPECT_EQ(pms.rounds[r].band, sms.rounds[r].band);
+      EXPECT_EQ(pms.rounds[r].promoted_new, sms.rounds[r].promoted_new);
+      EXPECT_EQ(pms.rounds[r].front_size, sms.rounds[r].front_size);
+      EXPECT_EQ(pms.rounds[r].front_changed, sms.rounds[r].front_changed);
+    }
+  }
+}
+
+TEST(MixedSweep, BudgetPromotesExactlyTheBestPointsByMargin) {
+  const ConfigSpace space = ConfigSpace::smoke();
+  EvaluatorOptions opt = mixed_opt(1, 0.0);
+  opt.promote_budget = 3;
+  Evaluator eval(opt);
+  const std::vector<EvalResult> results = eval.evaluate_space(space);
+  const MixedSweepStats& ms = eval.mixed_stats();
+  EXPECT_EQ(ms.mode, PromoteMode::kBudget);
+  EXPECT_EQ(ms.budget, 3);
+  EXPECT_EQ(ms.promoted, 3);
+  ASSERT_EQ(ms.rounds.size(), 1u);
+  EXPECT_EQ(ms.rounds[0].promoted_new, 3);
+
+  // The promoted keys are exactly the budget's ranked-margin selection
+  // over the analytic phase-1 scores.
+  Evaluator analytic(EvaluatorOptions{});
+  const std::vector<EvalResult> ares = analytic.evaluate_space(space);
+  const std::set<std::string> expected =
+      keys_of(best_by_margin(ares, 3, opt.promote_objectives));
+  EXPECT_EQ(keys_of(promoted_subset(results)), expected);
+  // ... and the reported effective band is the largest selected margin.
+  double max_margin = 0.0;
+  for (const PromotionMargin& m :
+       promotion_margins_by_workload(ares, opt.promote_objectives))
+    if (expected.count(canonical_key(m.result.point)))
+      max_margin = std::max(max_margin, m.enter_band);
+  EXPECT_EQ(ms.band, max_margin);
+}
+
+TEST(MixedSweep, BudgetParallelEqualsSerialByteIdentical) {
+  // Stable tie-breaking at the budget boundary: the cut must land on the
+  // same points for every thread count.
+  const ConfigSpace space = ConfigSpace::smoke();
+  EvaluatorOptions sopt = mixed_opt(1, 0.0);
+  sopt.promote_budget = 3;
+  Evaluator serial(sopt);
+  const std::string serial_csv =
+      results_csv(serial.evaluate_space(space), "mixed").to_string();
+  for (int threads : {2, 4}) {
+    EvaluatorOptions popt = mixed_opt(threads, 0.0);
+    popt.promote_budget = 3;
+    Evaluator parallel(popt);
+    EXPECT_EQ(serial_csv,
+              results_csv(parallel.evaluate_space(space), "mixed").to_string())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.mixed_stats().promoted, serial.mixed_stats().promoted);
+  }
+}
+
+TEST(MixedSweep, InfiniteBudgetDegeneratesToInfiniteBand) {
+  // A budget at or past the space size promotes everything — the same
+  // sweep (scores, provenance, stats) as band = ∞, byte for byte.
+  const ConfigSpace space = ConfigSpace::smoke();
+  EvaluatorOptions bopt = mixed_opt(1, 0.0);
+  bopt.promote_budget = space.size() + 1000;
+  Evaluator budget(bopt);
+  const std::string budget_csv =
+      results_csv(budget.evaluate_space(space), "mixed").to_string();
+  EXPECT_EQ(budget.mixed_stats().promoted, space.size());
+
+  Evaluator band(mixed_opt(1, std::numeric_limits<double>::infinity()));
+  const std::string band_csv =
+      results_csv(band.evaluate_space(space), "mixed").to_string();
+  EXPECT_EQ(band.mixed_stats().promoted, space.size());
+  EXPECT_EQ(budget_csv, band_csv);
+}
+
+TEST(MixedSweep, AdaptiveFrontMatchesPureCalibratedSimOnPaperSpace) {
+  // The acceptance property of adaptive promotion: on the full 1248-point
+  // paper space over the energy×latency plane, the front-stability rule
+  // recovers the pure calibrated-sim front byte-identically while
+  // simulating no more points than the hand-tuned fixed band 0.05 did.
+  const ConfigSpace space = ConfigSpace::paper_default();
+  ASSERT_EQ(space.size(), 1248);
+  const ObjectiveSet el = ObjectiveSet::parse("energy,latency");
+
+  EvaluatorOptions aopt = mixed_opt(4, 0.0);
+  aopt.promote_adaptive = true;
+  aopt.promote_objectives = el;
+  Evaluator adaptive(aopt);
+  const std::vector<EvalResult> ares = adaptive.evaluate_space(space);
+  const std::string adaptive_front_csv =
+      results_csv(pareto_front_by_workload(promoted_subset(ares), el))
+          .to_string();
+
+  EvaluatorOptions popt = pure_sim_opt(4);
+  popt.promote_objectives = el;
+  Evaluator pure(popt);
+  const std::string pure_front_csv =
+      results_csv(pareto_front_by_workload(pure.evaluate_space(space), el))
+          .to_string();
+  EXPECT_EQ(adaptive_front_csv, pure_front_csv);
+
+  // Simulation cost: no more than the fixed band would have paid (the
+  // band the adaptive rule replaced — 242 points at 0.05 on this space).
+  Evaluator analytic(EvaluatorOptions{});
+  const std::vector<EvalResult> full = analytic.evaluate_space(space);
+  const size_t fixed_band_cost =
+      epsilon_band_by_workload(full, 0.05, el).size();
+  EXPECT_LE(adaptive.mixed_stats().promoted,
+            static_cast<index_t>(fixed_band_cost));
+  EXPECT_GT(adaptive.mixed_stats().rounds.size(), 1u);
+}
+
 TEST(MixedSweep, PaperSpacePromotionFractionStaysUnderBudget) {
   // The acceptance budget: with --promote-band 0.05 over the
   // energy×latency plane, the mixed sweep re-simulates ≤ 20% of the

@@ -69,6 +69,9 @@ def main():
                          "(single-run noise floor; default 20)")
     ap.add_argument("--update", action="store_true",
                     help="copy candidate over baseline and exit 0")
+    ap.add_argument("--allow-cpu-mismatch", action="store_true",
+                    help="downgrade a num_cpus mismatch between baseline "
+                         "and candidate from an error to a warning")
     args = ap.parse_args()
 
     base, base_cpus = load_times(args.baseline)
@@ -77,12 +80,20 @@ def main():
         # A baseline recorded on different hardware still catches gross
         # regressions on the serial sections but is miscalibrated for the
         # parallel ones — the tolerance only means what it says once the
-        # baseline comes from the same runner class (--update from a CI
-        # artifact).
-        print(f"warning: baseline recorded with num_cpus={base_cpus}, "
-              f"candidate with num_cpus={cand_cpus}; refresh the baseline "
-              f"with --update from this runner class to calibrate the gate",
-              file=sys.stderr)
+        # baseline comes from the same runner class. This used to be a
+        # warning, which let a miscalibrated gate pass silently for whole
+        # PR sequences; now it fails unless the caller either refreshes
+        # the baseline (--update, which is the fix) or explicitly accepts
+        # the mismatch (--allow-cpu-mismatch).
+        msg = (f"baseline recorded with num_cpus={base_cpus}, candidate "
+               f"with num_cpus={cand_cpus}; refresh the baseline with "
+               f"--update from this runner class to calibrate the gate")
+        if args.update or args.allow_cpu_mismatch:
+            print(f"warning: {msg}", file=sys.stderr)
+        else:
+            print(f"error: {msg} (or pass --allow-cpu-mismatch to gate "
+                  f"anyway)", file=sys.stderr)
+            return 1
 
     failures = []
     rows = []
