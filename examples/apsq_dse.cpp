@@ -15,9 +15,15 @@
 //   apsq_dse --backend mixed --promote-band 0.05  # analytic prefilter, then
 //                                             # calibrated sim on the ε-band
 //   apsq_dse --objectives energy,latency      # 2-objective front
+//   apsq_dse --objectives energy,latency,pe_utilization,dram_bw_headroom
+//                                             # mixing minimized + maximized
+//   apsq_dse --layer-stats-csv layers.csv     # per-layer telemetry of the
+//                                             # top front rows
+//   apsq_dse --stats --stats-json stats.json  # cache/pool/phase counters
 //   apsq_dse --verify-serial                  # assert parallel == serial
 //
 // Run with --help for the full flag list.
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -26,12 +32,14 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/stats_writer.hpp"
 #include "common/thread_pool.hpp"
 #include "dse/calibrate.hpp"
 #include "dse/config_space.hpp"
 #include "dse/evaluator.hpp"
 #include "dse/pareto.hpp"
 #include "dse/report.hpp"
+#include "sim/stats.hpp"
 
 using namespace apsq;
 using namespace apsq::dse;
@@ -41,7 +49,7 @@ namespace {
 struct Options {
   std::string space = "paper";
   EvalBackend backend = EvalBackend::kAnalytic;
-  ObjectiveSet objectives = ObjectiveSet::all();
+  ObjectiveSet objectives;  // default-constructed: the core quartet
   int threads = 0;      // 0 = hardware concurrency
   int sim_threads = 0;  // 0 = follow --threads (sim/mixed backends only)
   u64 seed = 0xD5EULL;
@@ -53,9 +61,15 @@ struct Options {
   bool promote_adaptive = false;   // mixed backend: front-stability rule
   i64 promote_budget = 0;          // mixed backend: margin budget (0 = off)
   bool promote_budget_set = false;
+  bool calibrate_per_class = false;
   std::string calibration_csv_path;
   std::string csv_path;
   std::string front_csv_path;
+  std::string layer_stats_csv_path;
+  int dump_stats_top = 5;
+  bool dump_stats_top_set = false;
+  bool stats = false;
+  std::string stats_json_path;
   int top = 20;
   bool verify_serial = false;
   bool help = false;
@@ -94,8 +108,16 @@ void print_help() {
       "                    load fitted calibration unit factors from PATH if\n"
       "                    it exists (skipping the anchor runs), and save the\n"
       "                    factors there after the sweep\n"
-      "  --objectives LIST comma list of energy,area,error,latency used for\n"
-      "                    Pareto dominance (default: all four)\n"
+      "  --calibrate-per-class\n"
+      "                    fit calibration factors per layer class instead of\n"
+      "                    one blended vector per workload (finer for\n"
+      "                    workloads mixing DRAM-bound and resident layers;\n"
+      "                    needs --calibrate or --backend mixed)\n"
+      "  --objectives LIST comma list drawn from energy,area,error,latency,\n"
+      "                    pe_utilization,dram_bw_headroom,\n"
+      "                    throughput_per_area used for Pareto dominance\n"
+      "                    (default: the core four energy,area,error,latency;\n"
+      "                    the last three are maximized, the rest minimized)\n"
       "  --threads N       width of the process-wide worker pool (default:\n"
       "                    hardware concurrency; 1 = fully serial; an\n"
       "                    explicit APSQ_POOL_THREADS env var wins)\n"
@@ -108,6 +130,19 @@ void print_help() {
       "  --max-dim N       sim backend: clamp scaled dims to N (default 48)\n"
       "  --csv PATH        write every evaluated point as CSV\n"
       "  --front-csv PATH  write the Pareto front as CSV\n"
+      "  --layer-stats-csv PATH\n"
+      "                    re-score the top front rows at their own fidelity\n"
+      "                    and write one per-layer telemetry row each\n"
+      "                    (cycles, utilization, stall/idle split, SRAM/DRAM\n"
+      "                    traffic by operand, bandwidth occupancy) to PATH\n"
+      "  --dump-stats-top K\n"
+      "                    front rows dumped by --layer-stats-csv\n"
+      "                    (default 5; 0 = every front row)\n"
+      "  --stats           print cache hit/miss/race counters, pool\n"
+      "                    run/steal counts and mixed-sweep phase timings\n"
+      "                    after the sweep\n"
+      "  --stats-json PATH write the same counters as a JSON array of\n"
+      "                    {stat, value} objects\n"
       "  --top N           front rows to print (default 20; 0 = all)\n"
       "  --verify-serial   re-run single-threaded and require the Pareto\n"
       "                    front CSV to be byte-identical (exit 1 if not)\n"
@@ -141,6 +176,8 @@ bool parse(int argc, char** argv, Options& o) {
         return false;
     } else if (a == "--calibrate") {
       o.calibrate = true;
+    } else if (a == "--calibrate-per-class") {
+      o.calibrate_per_class = true;
     } else if (a == "--promote-band") {
       const char* v = next("--promote-band");
       if (!v || !parse_double_flag("--promote-band", v, 0.0,
@@ -196,6 +233,22 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next("--front-csv");
       if (!v) return false;
       o.front_csv_path = v;
+    } else if (a == "--layer-stats-csv") {
+      const char* v = next("--layer-stats-csv");
+      if (!v) return false;
+      o.layer_stats_csv_path = v;
+    } else if (a == "--dump-stats-top") {
+      const char* v = next("--dump-stats-top");
+      if (!v ||
+          !parse_int_flag("--dump-stats-top", v, 0, 1 << 20, o.dump_stats_top))
+        return false;
+      o.dump_stats_top_set = true;
+    } else if (a == "--stats") {
+      o.stats = true;
+    } else if (a == "--stats-json") {
+      const char* v = next("--stats-json");
+      if (!v) return false;
+      o.stats_json_path = v;
     } else if (a == "--top") {
       const char* v = next("--top");
       if (!v || !parse_int_flag("--top", v, 0, 1 << 20, o.top)) return false;
@@ -266,7 +319,12 @@ int main(int argc, char** argv) {
       // written — reject the ineffective flag like any other misuse.
       !flag_requires(!o.calibration_csv_path.empty(), "--calibration-csv",
                      o.calibrate || mixed,
-                     "--calibrate or --backend mixed"))
+                     "--calibrate or --backend mixed") ||
+      !flag_requires(o.calibrate_per_class, "--calibrate-per-class",
+                     o.calibrate || mixed,
+                     "--calibrate or --backend mixed") ||
+      !flag_requires(o.dump_stats_top_set, "--dump-stats-top",
+                     !o.layer_stats_csv_path.empty(), "--layer-stats-csv"))
     return 1;
   eopt.sim.shrink = o.shrink;
   eopt.sim.max_dim = o.max_dim;
@@ -276,6 +334,7 @@ int main(int argc, char** argv) {
   if (eopt.backend != EvalBackend::kAnalytic)
     eopt.sim.threads = o.sim_threads > 0 ? o.sim_threads : threads;
   eopt.calibrate = o.calibrate;
+  eopt.calibrate_per_class = o.calibrate_per_class;
   eopt.promote_band = o.promote_band;
   eopt.promote_adaptive = o.promote_adaptive;
   eopt.promote_budget = o.promote_budget_set ? o.promote_budget : 0;
@@ -323,20 +382,26 @@ int main(int argc, char** argv) {
             << space.workloads.size() << " workloads) with " << threads
             << " threads / " << scored_by << " backend in "
             << Table::num(secs, 2) << " s\n"
-            << "objectives: " << objectives.to_string() << "\n"
-            << "cache hits/misses[/races] — ";
-  print_cache_line("energy", eval.energy_cache_stats(), false);
-  print_cache_line("area", eval.area_cache_stats(), false);
-  print_cache_line("accuracy", eval.accuracy_cache_stats(), false);
-  if (eopt.backend == EvalBackend::kAnalytic) {
-    print_cache_line("latency", eval.latency_cache_stats(), true);
-  } else if (eopt.backend == EvalBackend::kSim) {
-    print_cache_line("sim", eval.sim_cache_stats(), true);
-  } else {
-    print_cache_line("latency", eval.latency_cache_stats(), false);
-    print_cache_line("sim", eval.sim_cache_stats(), true);
+            << "objectives: " << objectives.to_string() << "\n";
+  if (o.stats) {
+    std::cout << "cache hits/misses[/races] — ";
+    print_cache_line("energy", eval.energy_cache_stats(), false);
+    print_cache_line("area", eval.area_cache_stats(), false);
+    print_cache_line("accuracy", eval.accuracy_cache_stats(), false);
+    if (eopt.backend == EvalBackend::kAnalytic) {
+      print_cache_line("latency", eval.latency_cache_stats(), true);
+    } else if (eopt.backend == EvalBackend::kSim) {
+      print_cache_line("sim", eval.sim_cache_stats(), true);
+    } else {
+      print_cache_line("latency", eval.latency_cache_stats(), false);
+      print_cache_line("sim", eval.sim_cache_stats(), true);
+    }
+    const WorkStealingPool& pool = WorkStealingPool::shared();
+    std::cout << "pool: " << pool.num_threads() << " threads, "
+              << pool.run_count() << " runs, " << pool.steal_count()
+              << " steals\n";
   }
-  if (mixed) {
+  if (mixed && o.stats) {
     const MixedSweepStats& ms = eval.mixed_stats();
     const double pct = ms.total > 0 ? 100.0 * static_cast<double>(ms.promoted) /
                                           static_cast<double>(ms.total)
@@ -400,6 +465,121 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "wrote " << o.front_csv_path << "\n";
+  }
+  if (!o.layer_stats_csv_path.empty()) {
+    // Re-score the leading front rows at their own fidelity and dump one
+    // telemetry row per layer instance, prefixed with the same point
+    // identity columns results_csv uses so the two files join on them.
+    StatsWriter sw({"workload", "dataflow", "psum_bits", "apsq", "group_size",
+                    "po", "pci", "pco", "ifmap_buf_bytes", "ofmap_buf_bytes",
+                    "weight_buf_bytes", "scored_by", "layer", "layer_class",
+                    "rows", "ci", "co", "repeat", "tile_cycles", "mac_ops",
+                    "pe_utilization", "compute_s", "dram_s", "latency_s",
+                    "compute_stall_s", "dram_idle_s", "sram_bytes",
+                    "dram_bytes", "dram_ifmap_bytes", "dram_weight_bytes",
+                    "dram_psum_bytes", "dram_ofmap_bytes",
+                    "dram_bw_occupancy", "dram_bound"});
+    const size_t k = o.dump_stats_top == 0
+                         ? front.size()
+                         : std::min(front.size(),
+                                    static_cast<size_t>(o.dump_stats_top));
+    for (size_t i = 0; i < k; ++i) {
+      const EvalResult& r = front[i];
+      const std::string provenance =
+          r.scored_by.empty() ? scored_by : r.scored_by;
+      const EvalBackend fidelity = provenance == "analytic"
+                                       ? EvalBackend::kAnalytic
+                                       : EvalBackend::kSim;
+      const WorkloadTelemetry t = eval.telemetry_for(r.point, fidelity);
+      const DesignPoint& p = r.point;
+      for (const LayerStats& ls : t.rows) {
+        sw.begin_row();
+        sw.add(p.workload);
+        sw.add(to_string(p.dataflow));
+        sw.add(p.psum.psum_bits);
+        sw.add(p.psum.apsq ? 1 : 0);
+        sw.add(p.psum.group_size);
+        sw.add(p.acc.po);
+        sw.add(p.acc.pci);
+        sw.add(p.acc.pco);
+        sw.add(p.acc.ifmap_buf_bytes);
+        sw.add(p.acc.ofmap_buf_bytes);
+        sw.add(p.acc.weight_buf_bytes);
+        sw.add(t.source);
+        sw.add(ls.layer_name);
+        sw.add(ls.layer_class);
+        sw.add(ls.shape.rows);
+        sw.add(ls.shape.ci);
+        sw.add(ls.shape.co);
+        sw.add(ls.repeat);
+        sw.add(ls.perf.tile_cycles);
+        sw.add(ls.perf.mac_ops);
+        sw.add(ls.perf.utilization);
+        sw.add(ls.perf.compute_time_s);
+        sw.add(ls.perf.dram_time_s);
+        sw.add(ls.perf.latency_s);
+        sw.add(ls.compute_stall_s);
+        sw.add(ls.dram_idle_s);
+        sw.add(ls.sram_bytes);
+        sw.add(ls.perf.dram_bytes);
+        sw.add(ls.dram_operand_bytes[0]);
+        sw.add(ls.dram_operand_bytes[1]);
+        sw.add(ls.dram_operand_bytes[2]);
+        sw.add(ls.dram_operand_bytes[3]);
+        sw.add(ls.dram_bw_occupancy);
+        sw.add(ls.perf.dram_bound);
+      }
+    }
+    if (!sw.write_csv(o.layer_stats_csv_path)) {
+      std::cerr << "failed to write " << o.layer_stats_csv_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << o.layer_stats_csv_path << " ("
+              << sw.row_count() << " layer rows from " << k
+              << " front points)\n";
+  }
+  if (!o.stats_json_path.empty()) {
+    StatsWriter sw({"stat", "value"});
+    const auto put = [&](const std::string& name, auto v) {
+      sw.begin_row();
+      sw.add(name);
+      sw.add(v);
+    };
+    const auto put_cache = [&](const std::string& name, const CacheStats& s) {
+      put(name + "_cache_hits", s.hits);
+      put(name + "_cache_misses", s.misses);
+      put(name + "_cache_races", s.races);
+    };
+    put("eval_points", static_cast<i64>(results.size()));
+    put("eval_secs", secs);
+    put("threads", threads);
+    put_cache("energy", eval.energy_cache_stats());
+    put_cache("area", eval.area_cache_stats());
+    put_cache("accuracy", eval.accuracy_cache_stats());
+    if (eopt.backend != EvalBackend::kSim)
+      put_cache("latency", eval.latency_cache_stats());
+    if (eopt.backend != EvalBackend::kAnalytic)
+      put_cache("sim", eval.sim_cache_stats());
+    const WorkStealingPool& pool = WorkStealingPool::shared();
+    put("pool_threads", pool.num_threads());
+    put("pool_runs", pool.run_count());
+    put("pool_steals", pool.steal_count());
+    if (eval.calibrator())
+      put("calibration_families", eval.calibrator()->family_count());
+    if (mixed) {
+      const MixedSweepStats& ms = eval.mixed_stats();
+      put("mixed_total", ms.total);
+      put("mixed_promoted", ms.promoted);
+      put("mixed_band", ms.band);
+      put("mixed_phase1_secs", ms.phase1_secs);
+      put("mixed_phase2_secs", ms.phase2_secs);
+      put("mixed_rounds", static_cast<i64>(ms.rounds.size()));
+    }
+    if (!sw.write_json(o.stats_json_path)) {
+      std::cerr << "failed to write " << o.stats_json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << o.stats_json_path << "\n";
   }
 
   if (o.verify_serial) {

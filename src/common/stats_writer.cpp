@@ -1,0 +1,120 @@
+#include "common/stats_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace apsq {
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+StatsWriter::StatsWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  APSQ_CHECK_MSG(!header_.empty(), "StatsWriter needs a non-empty header");
+}
+
+void StatsWriter::check_complete() const {
+  APSQ_CHECK_MSG(rows_.empty() || rows_.back().size() == header_.size(),
+                 "StatsWriter row has " << rows_.back().size()
+                                        << " cells, header has "
+                                        << header_.size());
+}
+
+void StatsWriter::begin_row() {
+  check_complete();
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+}
+
+void StatsWriter::push(Cell cell) {
+  APSQ_CHECK_MSG(!rows_.empty(), "StatsWriter::add before begin_row");
+  APSQ_CHECK_MSG(rows_.back().size() < header_.size(),
+                 "StatsWriter row overflows the " << header_.size()
+                                                  << "-column header");
+  rows_.back().push_back(std::move(cell));
+}
+
+void StatsWriter::add(const std::string& v) { push({v, true}); }
+void StatsWriter::add(double v) { push({format_double(v), false}); }
+void StatsWriter::add(i64 v) { push({std::to_string(v), false}); }
+
+CsvWriter StatsWriter::csv() const {
+  check_complete();
+  CsvWriter out(header_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Cell& c : row) cells.push_back(c.text);
+    out.add_row(std::move(cells));
+  }
+  return out;
+}
+
+std::string StatsWriter::to_json() const {
+  check_complete();
+  std::string out = "[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out += r ? ",\n {" : "\n {";
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c) out += ", ";
+      out += '"';
+      out += json_escape(header_[c]);
+      out += "\": ";
+      const Cell& cell = rows_[r][c];
+      if (cell.quoted) {
+        out += '"';
+        out += json_escape(cell.text);
+        out += '"';
+      } else {
+        out += cell.text;
+      }
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool StatsWriter::write_csv(const std::string& path) const {
+  return csv().write(path);
+}
+
+bool StatsWriter::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json();
+  return static_cast<bool>(os);
+}
+
+}  // namespace apsq

@@ -1,0 +1,70 @@
+// Typed stats table with CSV and JSON serialization — the dump side of
+// the telemetry registry (sim/stats.hpp) and of the apsq_dse --stats
+// block. A StatsWriter remembers which cells are numeric, so the same
+// table serializes as CSV (numbers and strings alike, RFC-4180 quoting
+// via CsvWriter) and as a JSON array of objects (numbers unquoted,
+// strings escaped) without the caller formatting twice. Doubles render
+// with "%.17g" (round-trip exact), the same contract dse::format_double
+// delegates to, so dumps stay byte-comparable across serial and parallel
+// runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/types.hpp"
+
+namespace apsq {
+
+/// Round-trip-exact decimal rendering of a double ("%.17g").
+std::string format_double(double v);
+
+/// JSON string-body escaping (quotes, backslashes, control characters —
+/// output is the escaped body, without surrounding quotes).
+std::string json_escape(const std::string& s);
+
+class StatsWriter {
+ public:
+  explicit StatsWriter(std::vector<std::string> header);
+
+  /// Start the next row. Rows must be filled to exactly the header arity
+  /// before the next begin_row() / serialization (checked).
+  void begin_row();
+
+  /// Append a string cell (JSON-quoted) to the current row.
+  void add(const std::string& v);
+  void add(const char* v) { add(std::string(v)); }
+  /// Append numeric cells (JSON-unquoted). index_t aliases i64, so the
+  /// i64 overload covers it.
+  void add(double v);
+  void add(i64 v);
+  void add(int v) { add(static_cast<i64>(v)); }
+  void add(bool v) { add(static_cast<i64>(v ? 1 : 0)); }
+
+  size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// The table as a CsvWriter (header + all rows).
+  CsvWriter csv() const;
+  /// The table as a JSON array of objects keyed by the header names.
+  std::string to_json() const;
+
+  /// Serialize to a file; false on I/O failure.
+  bool write_csv(const std::string& path) const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  struct Cell {
+    std::string text;
+    bool quoted = true;  ///< string (true) vs numeric (false) in JSON
+  };
+
+  void push(Cell cell);
+  void check_complete() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace apsq

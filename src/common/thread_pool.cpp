@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <deque>
 #include <exception>
+#include <fstream>
 
 #include "common/check.hpp"
 
@@ -23,6 +24,7 @@ thread_local index_t tls_worker_index = -1;
 // an unaccounted index, so the object can live on the submitter's stack.
 struct WorkStealingPool::Run {
   const std::function<void(index_t)>* fn = nullptr;
+  i64 id = 0;  ///< 1-based dispatch order; tags this run's trace events
   std::atomic<index_t> remaining{0};
   std::atomic<bool> stop{false};
   std::mutex err_mu;
@@ -52,6 +54,7 @@ WorkStealingPool::WorkStealingPool(int num_threads)
   queues_.reserve(static_cast<size_t>(num_threads_));
   for (int i = 0; i < num_threads_; ++i)
     queues_.push_back(std::make_unique<Queue>());
+  worker_trace_.resize(static_cast<size_t>(num_threads_));
   if (num_threads_ > 1) {
     workers_.reserve(static_cast<size_t>(num_threads_));
     for (index_t w = 0; w < num_threads_; ++w)
@@ -66,6 +69,49 @@ WorkStealingPool::~WorkStealingPool() {
   }
   work_cv_.notify_all();
   for (auto& t : workers_) t.join();
+  flush_trace();  // after the joins: every buffer is quiescent now
+}
+
+void WorkStealingPool::enable_tracing(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_path_ = path;
+  }
+  tracing_.store(true, std::memory_order_relaxed);
+}
+
+void WorkStealingPool::record_trace(const TraceEvent& e) {
+  if (tls_worker_of == this) {
+    worker_trace_[static_cast<size_t>(tls_worker_index)].push_back(e);
+  } else {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    external_trace_.push_back(e);
+  }
+}
+
+void WorkStealingPool::flush_trace() {
+  if (!tracing_.load(std::memory_order_relaxed)) return;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    path = trace_path_;
+  }
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) return;  // an unwritable path must not crash shutdown
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const TraceEvent& e) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"task\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
+        << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+        << ",\"args\":{\"run\":" << e.run << ",\"index\":" << e.idx << "}}";
+  };
+  for (const auto& buf : worker_trace_)
+    for (const TraceEvent& e : buf) emit(e);
+  for (const TraceEvent& e : external_trace_) emit(e);
+  out << "\n]}\n";
 }
 
 int WorkStealingPool::hardware_threads() {
@@ -83,6 +129,12 @@ WorkStealingPool& WorkStealingPool::shared() {
     }
     return hardware_threads();
   }());
+  static const bool trace_env_checked = [] {
+    const char* env = std::getenv("APSQ_TRACE");
+    if (env != nullptr && *env != '\0') pool.enable_tracing(env);
+    return true;
+  }();
+  (void)trace_env_checked;
   return pool;
 }
 
@@ -115,6 +167,9 @@ bool WorkStealingPool::try_steal(index_t skip, Task& t) {
 
 void WorkStealingPool::execute(const Task& t) {
   Run& run = *t.run;
+  const bool tracing = tracing_.load(std::memory_order_relaxed);
+  std::chrono::steady_clock::time_point t0;
+  if (tracing) t0 = std::chrono::steady_clock::now();
   if (!run.stop.load(std::memory_order_relaxed)) {
     try {
       (*run.fn)(t.idx);
@@ -123,6 +178,21 @@ void WorkStealingPool::execute(const Task& t) {
       std::lock_guard<std::mutex> lock(run.err_mu);
       if (!run.first_error) run.first_error = std::current_exception();
     }
+  }
+  if (tracing) {
+    // Record before the final decrement below: the Run may be destroyed
+    // the moment remaining hits zero, and we read run.id here.
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto us = [](std::chrono::steady_clock::duration d) {
+      return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+    };
+    TraceEvent e;
+    e.ts_us = us(t0 - trace_epoch_);
+    e.dur_us = us(t1 - t0);
+    e.tid = tls_worker_of == this ? tls_worker_index : -1;
+    e.run = run.id;
+    e.idx = t.idx;
+    record_trace(e);
   }
   // Account last: once remaining hits 0 the submitter may wake and destroy
   // the Run, so nothing may touch it after this thread's final decrement.
@@ -177,6 +247,7 @@ void WorkStealingPool::parallel_for(index_t n,
 
   Run run;
   run.fn = &fn;
+  run.id = runs_.fetch_add(1, std::memory_order_relaxed) + 1;
   run.remaining.store(n);
 
   const bool nested = tls_worker_of == this;
@@ -205,7 +276,6 @@ void WorkStealingPool::parallel_for(index_t n,
     std::lock_guard<std::mutex> lock(mu_);
     pending_.fetch_add(n, std::memory_order_relaxed);
   }
-  runs_.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_all();
 
   help_until_done(run, self);

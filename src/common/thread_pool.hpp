@@ -23,10 +23,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -67,6 +69,18 @@ class WorkStealingPool {
   /// pool — excluded).
   i64 run_count() const { return runs_.load(); }
 
+  /// Record every task executed through the pool's deques and, on
+  /// destruction, write them to `path` in the chrome://tracing JSON
+  /// format ({"traceEvents": [...]}): one complete ("ph": "X") event per
+  /// task, timestamped in µs since pool construction, with the executing
+  /// worker's index as the tid (-1 for an external helper thread) and the
+  /// run id + task index as args. Load the file in chrome://tracing or
+  /// https://ui.perfetto.dev to see where a sweep's wall-clock went.
+  /// Covers pooled execution only: a single-thread pool (and n == 0)
+  /// runs inline and emits no events. Safe to call at any time; tasks
+  /// already executed before the call are not retroactively recorded.
+  void enable_tracing(const std::string& path);
+
   /// Threads the hardware supports (>= 1 even when unknown).
   static int hardware_threads();
 
@@ -75,23 +89,46 @@ class WorkStealingPool {
   /// compose instead of oversubscribing. Sized to hardware_threads(),
   /// overridable via the APSQ_POOL_THREADS environment variable (useful
   /// for pinning sanitizer jobs or forcing concurrency on small
-  /// machines). Constructed on first use; lives until exit.
+  /// machines). Constructed on first use; lives until exit. When the
+  /// APSQ_TRACE environment variable names a file, tracing is enabled on
+  /// the shared pool and the trace is flushed there at process exit.
   static WorkStealingPool& shared();
 
  private:
   struct Queue;
   struct Run;
   struct Task;
+  /// One recorded task execution, ready to serialize as a trace event.
+  struct TraceEvent {
+    i64 ts_us = 0;   ///< start, µs since pool construction (steady clock)
+    i64 dur_us = 0;  ///< task body duration, µs
+    i64 tid = 0;     ///< worker index, or -1 for an external helper thread
+    i64 run = 0;     ///< parallel_for scope id (1-based, dispatch order)
+    i64 idx = 0;     ///< task index within the run
+  };
   void worker_loop(index_t w);
   void execute(const Task& t);
   void help_until_done(Run& run, index_t self);
   bool try_pop_own(index_t w, Task& t);
   bool try_steal(index_t skip, Task& t);
+  void record_trace(const TraceEvent& e);
+  void flush_trace();
 
   int num_threads_;
   std::vector<std::unique_ptr<Queue>> queues_;
   std::atomic<i64> steals_{0};
   std::atomic<i64> runs_{0};
+
+  std::atomic<bool> tracing_{false};
+  const std::chrono::steady_clock::time_point trace_epoch_ =
+      std::chrono::steady_clock::now();
+  /// Worker w appends to worker_trace_[w] from its own thread only, so
+  /// the per-worker buffers need no locks; external helper threads share
+  /// external_trace_ under trace_mu_ (which also guards trace_path_).
+  std::vector<std::vector<TraceEvent>> worker_trace_;
+  std::vector<TraceEvent> external_trace_;
+  std::string trace_path_;
+  std::mutex trace_mu_;
 
   std::mutex mu_;  ///< guards pending_ increments / shutdown_ for the CVs
   std::condition_variable work_cv_;  ///< wakes idle workers on new tasks

@@ -242,6 +242,49 @@ CalibrationFactors Calibrator::factors_for(const std::string& workload_name,
       .compose(scale_factors(w, p));
 }
 
+CalibrationFactors Calibrator::class_unit_factors(
+    const std::string& workload_name, const std::string& layer_class,
+    const Workload& class_workload, const SimConfig& cfg) {
+  const std::string key =
+      family_key(workload_name, cfg) + "|lc=" + layer_class;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = class_families_.find(key);
+    if (it != class_families_.end()) return it->second;
+  }
+  // Pure function of (family, class layers, options): a racing duplicate
+  // fit computes the identical value, first-writer-wins.
+  const CalibrationFactors f = fit_unit_factors(class_workload, cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  return class_families_.emplace(key, f).first->second;
+}
+
+ClassFactors Calibrator::class_factors_for(const std::string& workload_name,
+                                           const Workload& w,
+                                           const DesignPoint& p) {
+  const SimConfig cfg = sim_config_for(p);
+  // Partition the workload by layer class, preserving layer order inside
+  // each class (std::map: classes iterate in name order — deterministic).
+  std::map<std::string, Workload> by_class;
+  for (const LayerShape& layer : w.layers) {
+    Workload& sub = by_class[layer_class_of(layer.name)];
+    if (sub.name.empty()) sub.name = w.name;
+    sub.layers.push_back(layer);
+  }
+
+  ClassFactors cf;
+  cf.fallback = factors_for(workload_name, w, p);
+  for (const auto& [cls, sub] : by_class) {
+    // Per-class unit ∘ scale chain, each side restricted to the class's
+    // own layers. DesignPoint carries no layer list, so scale_factors(sub,
+    // p) evaluates the closed forms at exactly these layers.
+    const CalibrationFactors unit =
+        class_unit_factors(workload_name, cls, sub, cfg);
+    cf.by_class.emplace(cls, unit.compose(scale_factors(sub, p)));
+  }
+  return cf;
+}
+
 double Calibrator::calibrated_energy_pj(const WorkloadRunResult& r,
                                         const CalibrationFactors& f) const {
   // Eq. 1 over the calibrated components — identical to
@@ -261,6 +304,42 @@ double Calibrator::calibrated_latency_s(const WorkloadRunResult& r,
              perf.dram_bandwidth_gbps > 0.0);
   double total_s = 0.0;
   for (const LayerRunStats& lr : r.layers) {
+    const double compute_s =
+        f.cycles * static_cast<double>(lr.stats.cycles) / perf.clock_hz;
+    const double dram_s = f.dram_bytes *
+                          static_cast<double>(lr.stats.dram.total_bytes()) /
+                          (perf.dram_bandwidth_gbps * 1e9);
+    total_s += std::max(compute_s, dram_s) * static_cast<double>(lr.repeat);
+  }
+  return total_s;
+}
+
+double Calibrator::calibrated_energy_pj(const WorkloadRunResult& r,
+                                        const ClassFactors& cf) const {
+  // Eq. 1 per layer with that layer's class factors, × repeat, summed.
+  double total_pj = 0.0;
+  for (const LayerRunStats& lr : r.layers) {
+    const CalibrationFactors& f = cf.for_class(layer_class_of(lr.name));
+    const double layer_pj =
+        f.sram_bytes * static_cast<double>(lr.stats.sram.total_bytes()) *
+            opt_.costs.esram_pj_per_byte +
+        f.dram_bytes * static_cast<double>(lr.stats.dram.total_bytes()) *
+            opt_.costs.edram_pj_per_byte +
+        f.macs * static_cast<double>(lr.stats.mac_ops) * opt_.costs.emac_pj;
+    total_pj += layer_pj * static_cast<double>(lr.repeat);
+  }
+  return total_pj;
+}
+
+double Calibrator::calibrated_latency_s(const WorkloadRunResult& r,
+                                        const ClassFactors& cf) const {
+  const PerfConfig& perf = opt_.perf;
+  APSQ_CHECK(std::isfinite(perf.clock_hz) && perf.clock_hz > 0.0);
+  APSQ_CHECK(std::isfinite(perf.dram_bandwidth_gbps) &&
+             perf.dram_bandwidth_gbps > 0.0);
+  double total_s = 0.0;
+  for (const LayerRunStats& lr : r.layers) {
+    const CalibrationFactors& f = cf.for_class(layer_class_of(lr.name));
     const double compute_s =
         f.cycles * static_cast<double>(lr.stats.cycles) / perf.clock_hz;
     const double dram_s = f.dram_bytes *

@@ -40,6 +40,7 @@
 
 #include "common/csv.hpp"
 #include "dse/design_point.hpp"
+#include "sim/stats.hpp"
 #include "sim/workload_runner.hpp"
 
 namespace apsq::dse {
@@ -51,16 +52,25 @@ namespace apsq::dse {
 SimConfig sim_config_for(const DesignPoint& p);
 
 /// Per-component multiplicative factors applied to a scaled sim
-/// measurement. Identity factors leave the measurement untouched.
-struct CalibrationFactors {
-  double sram_bytes = 1.0;
-  double dram_bytes = 1.0;
-  double cycles = 1.0;
-  double macs = 1.0;
+/// measurement. Identity factors leave the measurement untouched. An
+/// alias of the sim layer's ComponentScale (sim/stats.hpp), so telemetry
+/// code can consume calibration factors without a dse dependency.
+using CalibrationFactors = ComponentScale;
 
-  CalibrationFactors compose(const CalibrationFactors& other) const {
-    return {sram_bytes * other.sram_bytes, dram_bytes * other.dram_bytes,
-            cycles * other.cycles, macs * other.macs};
+/// Per-layer-class calibration factors for one (workload, design point):
+/// the finer-grained alternative to a single per-workload factor vector.
+/// A workload mixing regimes — huge DRAM-bound GEMMs next to tiny
+/// resident depthwise layers — gets one cycle factor per layer class
+/// instead of one blended factor that is wrong for both.
+struct ClassFactors {
+  std::map<std::string, CalibrationFactors> by_class;  ///< layer_class → f
+  /// Applied to layers whose class has no dedicated fit (defensive; the
+  /// fitting path covers every class present in the workload).
+  CalibrationFactors fallback;
+
+  const CalibrationFactors& for_class(const std::string& layer_class) const {
+    const auto it = by_class.find(layer_class);
+    return it != by_class.end() ? it->second : fallback;
   }
 };
 
@@ -101,6 +111,19 @@ class Calibrator {
   CalibrationFactors factors_for(const std::string& workload_name,
                                  const Workload& w, const DesignPoint& p);
 
+  /// Per-layer-class factors for one point: the workload is partitioned
+  /// by layer_class_of, and each class gets its own unit ∘ scale chain
+  /// fitted on the class-restricted sub-workload (anchors from that
+  /// class's scaled shapes, scale ratios from that class's closed-form
+  /// components). Classes whose buffer-fit regime changes differently
+  /// under scaling — the blind spot of the per-workload fit — calibrate
+  /// independently. Class unit fits are memoized separately from the
+  /// per-workload families (same thread-safety contract) and are not
+  /// persisted to the unit-factors CSV. The fallback is the per-workload
+  /// factors_for vector.
+  ClassFactors class_factors_for(const std::string& workload_name,
+                                 const Workload& w, const DesignPoint& p);
+
   /// Measured scaled run → absolute full-scale energy (pJ), via the same
   /// Eq. 1 cost table the uncalibrated path uses.
   double calibrated_energy_pj(const WorkloadRunResult& r,
@@ -111,6 +134,18 @@ class Calibrator {
   /// × repeat, summed — the measured twin of workload_performance.
   double calibrated_latency_s(const WorkloadRunResult& r,
                               const CalibrationFactors& f) const;
+
+  /// Per-layer-class twins of the two methods above: each measured layer
+  /// is lifted by its own class's factors before the roll-up. With every
+  /// class mapped to the same factor vector these match the per-workload
+  /// results (up to FP summation order in the energy case — the
+  /// per-workload path sums traffic before scaling, this one scales
+  /// before summing), which is why the per-workload path stays the
+  /// default and per-class is opt-in.
+  double calibrated_energy_pj(const WorkloadRunResult& r,
+                              const ClassFactors& cf) const;
+  double calibrated_latency_s(const WorkloadRunResult& r,
+                              const ClassFactors& cf) const;
 
   const Options& options() const { return opt_; }
 
@@ -154,9 +189,19 @@ class Calibrator {
   CalibrationFactors fit_unit_factors(const Workload& w,
                                       const SimConfig& cfg) const;
 
+  /// Class-scoped unit factors (family_key + "|lc=<class>"), fitted from
+  /// the class-restricted sub-workload. Memoized like unit_factors; kept
+  /// out of families_ so the persisted CSV format stays unchanged.
+  CalibrationFactors class_unit_factors(const std::string& workload_name,
+                                        const std::string& layer_class,
+                                        const Workload& class_workload,
+                                        const SimConfig& cfg);
+
   Options opt_;
   mutable std::mutex mu_;
   std::map<std::string, Family> families_;  ///< key → fitted unit factors
+  /// key|lc=class → fitted class unit factors (not persisted).
+  std::map<std::string, CalibrationFactors> class_families_;
 };
 
 }  // namespace apsq::dse

@@ -1,5 +1,6 @@
 #include "dse/design_point.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -32,6 +33,9 @@ const char* to_string(Objective o) {
     case Objective::kArea: return "area";
     case Objective::kError: return "error";
     case Objective::kLatency: return "latency";
+    case Objective::kPeUtilization: return "pe_utilization";
+    case Objective::kDramBwHeadroom: return "dram_bw_headroom";
+    case Objective::kThroughputPerArea: return "throughput_per_area";
   }
   APSQ_CHECK_MSG(false, "unknown objective");
   return "";
@@ -43,9 +47,28 @@ const char* objective_column(Objective o) {
     case Objective::kArea: return "area_um2";
     case Objective::kError: return "error";
     case Objective::kLatency: return "latency_s";
+    case Objective::kPeUtilization: return "pe_utilization";
+    case Objective::kDramBwHeadroom: return "dram_bw_headroom";
+    case Objective::kThroughputPerArea: return "throughput_per_area";
   }
   APSQ_CHECK_MSG(false, "unknown objective");
   return "";
+}
+
+Direction objective_direction(Objective o) {
+  switch (o) {
+    case Objective::kEnergy:
+    case Objective::kArea:
+    case Objective::kError:
+    case Objective::kLatency:
+      return Direction::kMinimize;
+    case Objective::kPeUtilization:
+    case Objective::kDramBwHeadroom:
+    case Objective::kThroughputPerArea:
+      return Direction::kMaximize;
+  }
+  APSQ_CHECK_MSG(false, "unknown objective");
+  return Direction::kMinimize;
 }
 
 double Objectives::get(Objective o) const {
@@ -54,9 +77,30 @@ double Objectives::get(Objective o) const {
     case Objective::kArea: return area_um2;
     case Objective::kError: return error;
     case Objective::kLatency: return latency_s;
+    case Objective::kPeUtilization: return pe_utilization;
+    case Objective::kDramBwHeadroom: return dram_bw_headroom;
+    case Objective::kThroughputPerArea: return throughput_per_area;
   }
   APSQ_CHECK_MSG(false, "unknown objective");
   return 0.0;
+}
+
+double Objectives::minimized(Objective o) const {
+  switch (o) {
+    case Objective::kPeUtilization:
+    case Objective::kDramBwHeadroom:
+      // Both live in [0, 1]; clamp so factor noise slightly above 1 can
+      // never produce a negative value (the ε-band machinery requires
+      // non-negative minimized objectives).
+      return std::max(0.0, 1.0 - get(o));
+    case Objective::kThroughputPerArea:
+      // Monotone-decreasing and finite for every v >= 0, including the
+      // default-constructed 0 (1/v would be +inf there and trip the
+      // finiteness gate on hand-built results).
+      return 1.0 / (1.0 + std::max(0.0, get(o)));
+    default:
+      return get(o);
+  }
 }
 
 bool Objectives::all_finite() const {
@@ -71,13 +115,25 @@ void Objectives::set(Objective o, double v) {
     case Objective::kArea: area_um2 = v; return;
     case Objective::kError: error = v; return;
     case Objective::kLatency: latency_s = v; return;
+    case Objective::kPeUtilization: pe_utilization = v; return;
+    case Objective::kDramBwHeadroom: dram_bw_headroom = v; return;
+    case Objective::kThroughputPerArea: throughput_per_area = v; return;
   }
   APSQ_CHECK_MSG(false, "unknown objective");
 }
 
 ObjectiveSet::ObjectiveSet() {
-  active_.fill(true);
+  active_.fill(false);
+  for (int i = 0; i < kCoreObjectiveCount; ++i)
+    active_[static_cast<size_t>(i)] = true;
   rebuild_list();
+}
+
+ObjectiveSet ObjectiveSet::all() {
+  ObjectiveSet s;
+  s.active_.fill(true);
+  s.rebuild_list();
+  return s;
 }
 
 void ObjectiveSet::rebuild_list() {
@@ -109,8 +165,10 @@ ObjectiveSet ObjectiveSet::parse(const std::string& csv) {
       }
     }
     if (!found)
-      throw std::invalid_argument("unknown objective: " + name +
-                                  " (expected energy|area|error|latency)");
+      throw std::invalid_argument(
+          "unknown objective: " + name +
+          " (expected energy|area|error|latency|pe_utilization|"
+          "dram_bw_headroom|throughput_per_area)");
     any = true;
   }
   if (!any) throw std::invalid_argument("objective list is empty");
@@ -131,7 +189,7 @@ bool dominates(const Objectives& a, const Objectives& b,
                const ObjectiveSet& objectives) {
   bool strictly_better = false;
   for (Objective o : objectives.list()) {
-    const double av = a.get(o), bv = b.get(o);
+    const double av = a.minimized(o), bv = b.minimized(o);
     if (av > bv) return false;
     if (av < bv) strictly_better = true;
   }

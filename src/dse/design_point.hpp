@@ -33,33 +33,67 @@ struct DesignPoint {
 /// deterministic (pure integers, fixed field order, no doubles).
 std::string canonical_key(const DesignPoint& p);
 
-/// The DSE objectives, in storage order — all minimized. Extending the
-/// engine with a new objective means adding an enumerator here, a field +
-/// switch case in Objectives, and a name in to_string/objective_column;
+/// The DSE objectives, in storage order. The first four (the core set)
+/// are minimized; the telemetry-derived trio is maximized — dominance and
+/// Pareto extraction read them through Objectives::minimized(), which maps
+/// every objective into minimize-space, so the front machinery stays
+/// uniform. Extending the engine with a new objective means adding an
+/// enumerator here, a field + switch case in Objectives, a direction in
+/// objective_direction, and a name in to_string/objective_column;
 /// dominance, Pareto extraction, and CSV emission pick it up generically.
 enum class Objective : int {
   kEnergy = 0,   ///< workload energy in pJ
   kArea = 1,     ///< accelerator area in µm²
   kError = 2,    ///< PSUM quantization-error accuracy proxy
   kLatency = 3,  ///< end-to-end workload latency in seconds
+  kPeUtilization = 4,     ///< MAC-weighted mean PE-array utilization (max)
+  kDramBwHeadroom = 5,    ///< 1 − DRAM-bandwidth occupancy (max)
+  kThroughputPerArea = 6, ///< effective GMAC/s per mm² (max)
 };
 
-inline constexpr int kObjectiveCount = 4;
+inline constexpr int kObjectiveCount = 7;
+/// The always-on minimize quartet (energy, area, error, latency) — the
+/// default objective set and the plane mixed-fidelity promotion measures
+/// margins in unless told otherwise.
+inline constexpr int kCoreObjectiveCount = 4;
 
-/// Short flag-style name ("energy", "area", "error", "latency").
+/// Whether better means smaller or larger for an objective.
+enum class Direction { kMinimize, kMaximize };
+
+Direction objective_direction(Objective o);
+
+/// Short flag-style name ("energy", ..., "pe_utilization").
 const char* to_string(Objective o);
-/// CSV column name ("energy_pj", "area_um2", "error", "latency_s").
+/// CSV column name ("energy_pj", "area_um2", "error", "latency_s",
+/// "pe_utilization", "dram_bw_headroom", "throughput_per_area").
 const char* objective_column(Objective o);
 
-/// The DSE objective values for one point — all minimized.
+/// The DSE objective values for one point, stored in natural units (a
+/// maximize objective stores the value a user would want to see — e.g.
+/// utilization 0.92 — not its minimized transform).
 struct Objectives {
   double energy_pj = 0.0;  ///< workload energy (Eq. 1; analytic or measured)
   double area_um2 = 0.0;   ///< synthesis-area model (Table II composition)
   double error = 0.0;      ///< PSUM quantization-error accuracy proxy (MSE)
   double latency_s = 0.0;  ///< workload latency (performance model / sim)
+  /// MAC-weighted mean per-layer PE-array utilization in [0, 1]
+  /// (telemetry registry, sim/stats.hpp). Maximized.
+  double pe_utilization = 0.0;
+  /// 1 − DRAM-bandwidth occupancy (occupancy = total DRAM time / total
+  /// latency) in [0, 1]. Maximized: headroom left for co-located traffic.
+  double dram_bw_headroom = 0.0;
+  /// Effective throughput per silicon area, GMAC/s per mm². Maximized.
+  double throughput_per_area = 0.0;
 
   double get(Objective o) const;
   void set(Objective o, double v);
+
+  /// The value the dominance/front machinery compares: the natural value
+  /// for a minimize objective, a monotone-decreasing non-negative
+  /// transform for a maximize one (1 − v for the two unit-interval
+  /// metrics, 1 / (1 + v) for throughput_per_area — finite even at the
+  /// default 0). Finite natural values map to finite minimized values.
+  double minimized(Objective o) const;
 
   /// True iff every objective is a finite number. NaN breaks the
   /// transitivity Pareto dominance relies on (a NaN point is dominated by
@@ -69,14 +103,18 @@ struct Objectives {
 };
 
 /// An ordered subset of the objectives, used to parameterize dominance and
-/// Pareto extraction. Defaults to all kObjectiveCount objectives; parse()
-/// accepts a comma list of to_string names (e.g. "energy,area,latency").
+/// Pareto extraction. Defaults to the core quartet; parse() accepts a
+/// comma list of to_string names (e.g. "energy,area,latency" or
+/// "energy,latency,pe_utilization").
 class ObjectiveSet {
  public:
-  /// All objectives active (the default everywhere).
+  /// The core objectives (energy, area, error, latency) — the default.
   ObjectiveSet();
 
-  static ObjectiveSet all() { return ObjectiveSet(); }
+  static ObjectiveSet core() { return ObjectiveSet(); }
+
+  /// Every objective, telemetry trio included.
+  static ObjectiveSet all();
 
   /// Parse a comma-separated name list. Throws on unknown or duplicate
   /// names and on an empty list.
@@ -101,10 +139,12 @@ class ObjectiveSet {
   void rebuild_list();
 };
 
-/// Strict Pareto dominance over the active objectives: `a` is no worse
-/// than `b` in every active objective and strictly better in at least one.
+/// Strict Pareto dominance over the active objectives, compared in
+/// minimized space (so maximize objectives participate with the right
+/// sense): `a` is no worse than `b` in every active objective and
+/// strictly better in at least one.
 bool dominates(const Objectives& a, const Objectives& b,
-               const ObjectiveSet& objectives = ObjectiveSet::all());
+               const ObjectiveSet& objectives = ObjectiveSet::core());
 
 /// A scored design point. `scored_by` records the fidelity provenance of
 /// the objective values ("analytic", "sim", "sim+cal"); a mixed-fidelity

@@ -1,5 +1,6 @@
 #include "dse/evaluator.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <sstream>
@@ -16,6 +17,7 @@
 #include "models/llama2.hpp"
 #include "models/segformer.hpp"
 #include "sim/performance.hpp"
+#include "sim/stats.hpp"
 
 namespace apsq::dse {
 
@@ -160,11 +162,18 @@ double Evaluator::error_for(const DesignPoint& p) {
   });
 }
 
-double Evaluator::latency_for(const DesignPoint& p) {
-  return cached(latency_cache_, canonical_key(p), [&] {
-    return workload_performance(p.dataflow, workload(p.workload), p.acc,
-                                p.psum, opt_.perf)
-        .total_latency_s;
+Evaluator::PerfScore Evaluator::perf_score_for(const DesignPoint& p) {
+  return cached(latency_cache_, canonical_key(p), [&]() -> PerfScore {
+    const WorkloadPerformance perf = workload_performance(
+        p.dataflow, workload(p.workload), p.acc, p.psum, opt_.perf);
+    PerfScore s;
+    s.latency_s = perf.total_latency_s;
+    s.pe_utilization = perf.mean_utilization;
+    s.dram_bw_occupancy = perf.total_latency_s > 0.0
+                              ? perf.total_dram_time_s / perf.total_latency_s
+                              : 0.0;
+    s.macs = static_cast<double>(perf.total_macs);
+    return s;
   });
 }
 
@@ -175,14 +184,60 @@ Evaluator::SimScore Evaluator::sim_score_for(const DesignPoint& p) {
     // is running on — so point- and layer-level parallelism compose
     // without oversubscription (the pool's width bounds concurrency).
     const Workload& w = workload(p.workload);
-    const WorkloadRunResult r = run_workload(w, sim_config_for(p), opt_.sim);
+    const SimConfig cfg = sim_config_for(p);
+    const WorkloadRunResult r = run_workload(w, cfg, opt_.sim);
+    SimScore s;
+    // Utilization is a ratio of the scaled proxy's own measurements, so it
+    // needs no calibration — and the run_* helpers are allocation-free,
+    // keeping the scoring hot path free of telemetry-row construction.
+    s.pe_utilization = run_pe_utilization(
+        r, static_cast<double>(cfg.arch.po) * cfg.arch.pci * cfg.arch.pco);
+    if (calibrator_) {
+      if (opt_.calibrate_per_class) {
+        const ClassFactors cf = calibrator_->class_factors_for(p.workload, w, p);
+        s.energy_pj = calibrator_->calibrated_energy_pj(r, cf);
+        s.latency_s = calibrator_->calibrated_latency_s(r, cf);
+        s.dram_bw_occupancy = run_dram_bw_occupancy(r, opt_.perf, cf.fallback);
+        s.macs = cf.fallback.macs * static_cast<double>(r.total.mac_ops);
+      } else {
+        const CalibrationFactors f = calibrator_->factors_for(p.workload, w, p);
+        s.energy_pj = calibrator_->calibrated_energy_pj(r, f);
+        s.latency_s = calibrator_->calibrated_latency_s(r, f);
+        s.dram_bw_occupancy = run_dram_bw_occupancy(r, opt_.perf, f);
+        s.macs = f.macs * static_cast<double>(r.total.mac_ops);
+      }
+    } else {
+      s.energy_pj = r.energy_pj(opt_.costs);
+      s.latency_s = r.latency_s(opt_.perf);
+      s.dram_bw_occupancy =
+          run_dram_bw_occupancy(r, opt_.perf, CalibrationFactors{});
+      s.macs = static_cast<double>(r.total.mac_ops);
+    }
+    return s;
+  });
+}
+
+WorkloadTelemetry Evaluator::telemetry_for(const DesignPoint& p,
+                                           EvalBackend fidelity) {
+  p.validate();
+  APSQ_CHECK_MSG(fidelity != EvalBackend::kMixed,
+                 "telemetry_for needs a single-fidelity backend");
+  const Workload& w = workload(p.workload);
+  WorkloadTelemetry t;
+  if (fidelity == EvalBackend::kAnalytic) {
+    t = analytic_telemetry(p.dataflow, w, p.acc, p.psum, opt_.perf);
+  } else {
+    const SimConfig cfg = sim_config_for(p);
+    const WorkloadRunResult r = run_workload(w, cfg, opt_.sim);
     if (calibrator_) {
       const CalibrationFactors f = calibrator_->factors_for(p.workload, w, p);
-      return SimScore{calibrator_->calibrated_energy_pj(r, f),
-                      calibrator_->calibrated_latency_s(r, f)};
+      t = sim_telemetry(r, cfg, opt_.perf, f, "sim+cal");
+    } else {
+      t = sim_telemetry(r, cfg, opt_.perf);
     }
-    return SimScore{r.energy_pj(opt_.costs), r.latency_s(opt_.perf)};
-  });
+  }
+  t.workload = p.workload;  // the registry key, matching results_csv rows
+  return t;
 }
 
 EvalResult Evaluator::evaluate_at(const DesignPoint& p, EvalBackend fidelity) {
@@ -191,16 +246,30 @@ EvalResult Evaluator::evaluate_at(const DesignPoint& p, EvalBackend fidelity) {
   r.point = p;
   r.obj.area_um2 = area_for(p);
   r.obj.error = error_for(p);
+  double macs = 0.0;
   if (fidelity == EvalBackend::kSim) {
     const SimScore s = sim_score_for(p);
     r.obj.energy_pj = s.energy_pj;
     r.obj.latency_s = s.latency_s;
+    r.obj.pe_utilization = s.pe_utilization;
+    r.obj.dram_bw_headroom = std::max(0.0, 1.0 - s.dram_bw_occupancy);
+    macs = s.macs;
     r.scored_by = calibrator_ ? "sim+cal" : "sim";
   } else {
+    const PerfScore s = perf_score_for(p);
     r.obj.energy_pj = energy_for(p);
-    r.obj.latency_s = latency_for(p);
+    r.obj.latency_s = s.latency_s;
+    r.obj.pe_utilization = s.pe_utilization;
+    r.obj.dram_bw_headroom = std::max(0.0, 1.0 - s.dram_bw_occupancy);
+    macs = s.macs;
     r.scored_by = "analytic";
   }
+  // Effective GMAC/s per mm² of silicon; 0 for a degenerate point rather
+  // than inf/NaN (the finiteness gate below would reject those).
+  r.obj.throughput_per_area =
+      r.obj.latency_s > 0.0 && r.obj.area_um2 > 0.0
+          ? (macs / 1e9 / r.obj.latency_s) / (r.obj.area_um2 / 1e6)
+          : 0.0;
   // A NaN objective would make Pareto dominance non-transitive and poison
   // front extraction; reject it at ingestion, where the offending point is
   // still known.

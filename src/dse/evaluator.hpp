@@ -1,9 +1,11 @@
 // Parallel, memoizing design-point scorer with pluggable fidelity.
 //
-// Each point is scored on four objectives: workload energy, synthesis
-// area ±RAE (src/rae), the PSUM quantization-error accuracy proxy
-// (accuracy_proxy.hpp), and workload latency. Two backends supply the
-// energy/latency pair:
+// Each point is scored on the full objective vector: the core minimize
+// quartet — workload energy, synthesis area ±RAE (src/rae), the PSUM
+// quantization-error accuracy proxy (accuracy_proxy.hpp), and workload
+// latency — plus the telemetry-derived maximize trio (pe_utilization,
+// dram_bw_headroom, throughput_per_area; see sim/stats.hpp). Two backends
+// supply the performance-derived objectives:
 //
 //   analytic — closed-form access counts (src/energy, Eqs. 1–6) and the
 //              tile/bandwidth performance model (src/sim/performance);
@@ -166,10 +168,18 @@ struct EvaluatorOptions {
   /// MixedSweepStats can exceed the budget by the number of selected
   /// duplicates. Mutually exclusive with promote_adaptive.
   index_t promote_budget = 0;
+  /// Sim backend with calibrate: fit latency/energy factors per
+  /// (workload, dataflow, psum, layer-class) instead of per workload
+  /// (Calibrator::class_factors_for). Finer-grained — a class whose
+  /// buffer-fit regime changes differently under scaling gets its own
+  /// cycle factor — but the per-layer roll-up sums in a different FP
+  /// order than the per-workload aggregate formula, so it is opt-in to
+  /// keep default sweeps byte-stable.
+  bool calibrate_per_class = false;
   /// Mixed backend: the objective subset the promotion band / margin is
   /// measured in. Should match the objectives the caller extracts fronts
   /// over.
-  ObjectiveSet promote_objectives = ObjectiveSet::all();
+  ObjectiveSet promote_objectives = ObjectiveSet::core();
 };
 
 /// Counters for one sub-evaluation cache. Under contention two workers may
@@ -192,6 +202,14 @@ class Evaluator {
 
   /// Score one point (memoized, thread-safe).
   EvalResult evaluate(const DesignPoint& p);
+
+  /// Per-layer telemetry of one point at an explicit single-fidelity
+  /// backend (kAnalytic or kSim — never kMixed). The sim flavour re-runs
+  /// the workload (the scoring cache keeps scalars, not layer rows), so
+  /// this is for dumping a handful of front points (--layer-stats-csv),
+  /// not for the scoring hot path; with an active calibrator the rows are
+  /// lifted by the point's per-workload factors (source "sim+cal").
+  WorkloadTelemetry telemetry_for(const DesignPoint& p, EvalBackend fidelity);
 
   /// Score every point of the space with the evaluator's persistent
   /// work-stealing pool. Output order is the space's enumeration order
@@ -223,10 +241,24 @@ class Evaluator {
   static const Workload& workload(const std::string& name);
 
  private:
-  /// Energy + latency of one simulated (scaled) workload run.
+  /// Scalars of one simulated (scaled) workload run: the energy/latency
+  /// pair plus the telemetry-derived objective inputs. Cached per point,
+  /// so every objective a mixed sweep compares is pure and memoized.
   struct SimScore {
     double energy_pj = 0.0;
     double latency_s = 0.0;
+    double pe_utilization = 0.0;     ///< MAC-weighted mean (dimensionless)
+    double dram_bw_occupancy = 0.0;  ///< Σ dram_time / Σ latency
+    double macs = 0.0;               ///< full-scale useful MACs
+  };
+
+  /// Analytic performance scalars of one point (the latency objective and
+  /// the telemetry-derived objective inputs), one cache entry per point.
+  struct PerfScore {
+    double latency_s = 0.0;
+    double pe_utilization = 0.0;
+    double dram_bw_occupancy = 0.0;
+    double macs = 0.0;
   };
 
   template <typename V>
@@ -243,7 +275,7 @@ class Evaluator {
   double energy_for(const DesignPoint& p);
   double area_for(const DesignPoint& p);
   double error_for(const DesignPoint& p);
-  double latency_for(const DesignPoint& p);
+  PerfScore perf_score_for(const DesignPoint& p);
   SimScore sim_score_for(const DesignPoint& p);
   /// Score one point at an explicit single-fidelity backend (kAnalytic or
   /// kSim — never kMixed). The building block both the single-backend
@@ -261,7 +293,7 @@ class Evaluator {
   Cache<double> energy_cache_;
   Cache<double> area_cache_;
   Cache<double> accuracy_cache_;
-  Cache<double> latency_cache_;
+  Cache<PerfScore> latency_cache_;
   Cache<SimScore> sim_cache_;
   std::unique_ptr<Calibrator> calibrator_;  ///< sim/mixed + calibrate only
 };

@@ -24,15 +24,15 @@ bool is_dominated(const EvalResult& candidate,
 
 namespace {
 
-/// Lexicographic order over the active objectives. A dominator is ≤ the
-/// dominated point in every active objective and < in at least one, so it
-/// sorts strictly earlier — the invariant the sweep in pareto_front
-/// builds on. (This is also why non-finite objectives are rejected:
-/// NaN breaks both this order and dominance transitivity.)
+/// Lexicographic order over the active objectives in minimized space. A
+/// dominator is ≤ the dominated point in every active objective and < in
+/// at least one, so it sorts strictly earlier — the invariant the sweep
+/// in pareto_front builds on. (This is also why non-finite objectives are
+/// rejected: NaN breaks both this order and dominance transitivity.)
 bool objectives_less(const Objectives& a, const Objectives& b,
                      const ObjectiveSet& objectives) {
   for (Objective o : objectives.list()) {
-    const double av = a.get(o), bv = b.get(o);
+    const double av = a.minimized(o), bv = b.minimized(o);
     if (av != bv) return av < bv;
   }
   return false;
@@ -138,8 +138,8 @@ bool epsilon_dominates(const Objectives& a, const Objectives& b, double band,
                  "epsilon abs_floor must be >= 0, got " << abs_floor);
   bool strictly_better = false;
   for (Objective o : objectives.list()) {
-    const double av = a.get(o) * (1.0 + band) + band * abs_floor;
-    const double bv = b.get(o);
+    const double av = a.minimized(o) * (1.0 + band) + band * abs_floor;
+    const double bv = b.minimized(o);
     if (av > bv) return false;
     if (av < bv) strictly_better = true;
   }
@@ -158,8 +158,11 @@ void check_band_objectives(const std::vector<EvalResult>& points,
                  "epsilon abs_floor must be >= 0, got " << abs_floor);
   for (const EvalResult& p : points)
     for (const Objective o : objectives.list()) {
+      // Finiteness is checked on the natural value: the clamps inside
+      // minimized() would silently map NaN to a finite number (e.g.
+      // std::max(0.0, NaN) == 0.0) and mask a broken scorer.
       const double v = p.obj.get(o);
-      APSQ_CHECK_MSG(std::isfinite(v) && v >= 0.0,
+      APSQ_CHECK_MSG(std::isfinite(v) && p.obj.minimized(o) >= 0.0,
                      "epsilon_band needs finite non-negative objectives; got "
                          << to_string(o) << " = " << v << " for "
                          << canonical_key(p.point));
@@ -197,7 +200,7 @@ std::vector<PromotionMargin> margins_of(
       double min_hold = std::numeric_limits<double>::infinity();
       double max_strict = -std::numeric_limits<double>::infinity();
       for (Objective o : objectives.list()) {
-        const double fv = f->obj.get(o), cv = cand->obj.get(o);
+        const double fv = f->obj.minimized(o), cv = cand->obj.minimized(o);
         const double denom = fv + abs_floor;
         double hold, strict;
         if (denom > 0.0) {

@@ -1,10 +1,12 @@
-// N-objective Pareto-front extraction (all objectives minimized) with
-// deterministic output: candidates are ordered by canonical key before the
-// dominance filter, so serial and parallel sweeps — and any permutation of
-// the input — produce byte-identical fronts. The active objective subset
-// (default: energy, area, error, latency) parameterizes dominance, so the
-// same scored sweep can be re-sliced into e.g. an energy × latency front
-// without re-evaluation.
+// N-objective Pareto-front extraction with deterministic output:
+// candidates are ordered by canonical key before the dominance filter, so
+// serial and parallel sweeps — and any permutation of the input — produce
+// byte-identical fronts. Every comparison happens in minimized space
+// (Objectives::minimized), so maximize objectives such as pe_utilization
+// participate with the right sense. The active objective subset (default:
+// the core minimize quartet energy, area, error, latency) parameterizes
+// dominance, so the same scored sweep can be re-sliced into e.g. an
+// energy × latency front without re-evaluation.
 #pragma once
 
 #include <vector>
@@ -25,7 +27,7 @@ namespace apsq::dse {
 /// inactive objective fields are never read and may hold sentinels.
 std::vector<EvalResult> pareto_front(
     const std::vector<EvalResult>& points,
-    const ObjectiveSet& objectives = ObjectiveSet::all());
+    const ObjectiveSet& objectives = ObjectiveSet::core());
 
 /// The "scenario" view: the workload is something the accelerator must
 /// serve, not a knob to tune, so dominance is only meaningful between
@@ -34,14 +36,14 @@ std::vector<EvalResult> pareto_front(
 /// group internally in canonical-key order — still fully deterministic).
 std::vector<EvalResult> pareto_front_by_workload(
     const std::vector<EvalResult>& points,
-    const ObjectiveSet& objectives = ObjectiveSet::all());
+    const ObjectiveSet& objectives = ObjectiveSet::core());
 
 /// True iff `candidate` is dominated by some element of `points` under the
 /// active objectives (comparison against itself — same canonical key — is
 /// skipped). Exposed for the front-verification tests.
 bool is_dominated(const EvalResult& candidate,
                   const std::vector<EvalResult>& points,
-                  const ObjectiveSet& objectives = ObjectiveSet::all());
+                  const ObjectiveSet& objectives = ObjectiveSet::core());
 
 /// Absolute-slack floor added to the relative ε-dominance band. A purely
 /// relative band is zero-width around an objective whose value is exactly
@@ -54,14 +56,16 @@ bool is_dominated(const EvalResult& candidate,
 /// numerically untouched.
 inline constexpr double kEpsilonBandAbsFloor = 1e-12;
 
-/// ε-dominance with relative slack `band` >= 0: `a` ε-dominates `b` iff
-/// a·(1 + band) + band·abs_floor is no worse than `b` in every active
-/// objective and strictly better in at least one. band == 0 reduces
-/// exactly to `dominates` (the floor term vanishes). Active objectives
-/// must be non-negative (the relative band is multiplicative), which
-/// every DSE objective is.
+/// ε-dominance with relative slack `band` >= 0, evaluated in minimized
+/// space: `a` ε-dominates `b` iff a·(1 + band) + band·abs_floor is no
+/// worse than `b` in every active (minimized) objective and strictly
+/// better in at least one. band == 0 reduces exactly to `dominates` (the
+/// floor term vanishes). Active objectives must be non-negative in
+/// minimized space (the relative band is multiplicative), which every DSE
+/// objective is — minimize objectives natively, maximize ones by the
+/// clamped transforms in Objectives::minimized.
 bool epsilon_dominates(const Objectives& a, const Objectives& b, double band,
-                       const ObjectiveSet& objectives = ObjectiveSet::all(),
+                       const ObjectiveSet& objectives = ObjectiveSet::core(),
                        double abs_floor = kEpsilonBandAbsFloor);
 
 /// Per-candidate promotion margin: the smallest relative band whose
@@ -97,7 +101,7 @@ struct PromotionMargin {
 /// front member.
 std::vector<PromotionMargin> promotion_margins(
     const std::vector<EvalResult>& points,
-    const ObjectiveSet& objectives = ObjectiveSet::all(),
+    const ObjectiveSet& objectives = ObjectiveSet::core(),
     double abs_floor = kEpsilonBandAbsFloor);
 
 /// Per-workload margins (the scenario view): each point's margin is
@@ -105,7 +109,7 @@ std::vector<PromotionMargin> promotion_margins(
 /// workload-name order.
 std::vector<PromotionMargin> promotion_margins_by_workload(
     const std::vector<EvalResult>& points,
-    const ObjectiveSet& objectives = ObjectiveSet::all(),
+    const ObjectiveSet& objectives = ObjectiveSet::core(),
     double abs_floor = kEpsilonBandAbsFloor);
 
 /// promotion_margins_by_workload re-ordered into promotion rank: margins
@@ -118,7 +122,7 @@ std::vector<PromotionMargin> promotion_margins_by_workload(
 /// margins.
 std::vector<PromotionMargin> ranked_margins_by_workload(
     const std::vector<EvalResult>& points,
-    const ObjectiveSet& objectives = ObjectiveSet::all(),
+    const ObjectiveSet& objectives = ObjectiveSet::core(),
     double abs_floor = kEpsilonBandAbsFloor);
 
 /// The `n` candidates closest to the front by ranked ε-dominance margin —
@@ -131,7 +135,7 @@ std::vector<PromotionMargin> ranked_margins_by_workload(
 /// band = ∞.
 std::vector<EvalResult> best_by_margin(
     const std::vector<EvalResult>& points, index_t n,
-    const ObjectiveSet& objectives = ObjectiveSet::all(),
+    const ObjectiveSet& objectives = ObjectiveSet::core(),
     double abs_floor = kEpsilonBandAbsFloor);
 
 /// The ε-band of `points`: every point NOT ε-dominated by any other point
@@ -145,7 +149,7 @@ std::vector<EvalResult> best_by_margin(
 /// select it, the calibrated simulator re-scores it.
 std::vector<EvalResult> epsilon_band(
     const std::vector<EvalResult>& points, double band,
-    const ObjectiveSet& objectives = ObjectiveSet::all(),
+    const ObjectiveSet& objectives = ObjectiveSet::core(),
     double abs_floor = kEpsilonBandAbsFloor);
 
 /// Per-workload ε-band (the scenario view, mirroring
@@ -153,7 +157,7 @@ std::vector<EvalResult> epsilon_band(
 /// band, concatenates in workload-name order.
 std::vector<EvalResult> epsilon_band_by_workload(
     const std::vector<EvalResult>& points, double band,
-    const ObjectiveSet& objectives = ObjectiveSet::all(),
+    const ObjectiveSet& objectives = ObjectiveSet::core(),
     double abs_floor = kEpsilonBandAbsFloor);
 
 }  // namespace apsq::dse

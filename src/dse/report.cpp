@@ -1,14 +1,10 @@
 #include "dse/report.hpp"
 
-#include <cstdio>
+#include "common/stats_writer.hpp"
 
 namespace apsq::dse {
 
-std::string format_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return std::string(buf);
-}
+std::string format_double(double v) { return apsq::format_double(v); }
 
 namespace {
 
@@ -38,6 +34,9 @@ const char* objective_header(Objective o) {
     case Objective::kArea: return "Area (mm2)";
     case Objective::kError: return "Error";
     case Objective::kLatency: return "Latency (ms)";
+    case Objective::kPeUtilization: return "PE util";
+    case Objective::kDramBwHeadroom: return "BW headroom";
+    case Objective::kThroughputPerArea: return "GMAC/s/mm2";
   }
   return "";
 }
@@ -48,6 +47,9 @@ std::string objective_display(Objective o, double v) {
     case Objective::kArea: return Table::num(v / 1e6, 3);
     case Objective::kError: return Table::num(v, 6);
     case Objective::kLatency: return Table::num(v * 1e3, 3);
+    case Objective::kPeUtilization: return Table::num(v, 3);
+    case Objective::kDramBwHeadroom: return Table::num(v, 3);
+    case Objective::kThroughputPerArea: return Table::num(v, 2);
   }
   return "";
 }

@@ -37,6 +37,16 @@ struct TrafficCounters {
     APSQ_DCHECK(bytes >= 0);
     write_bytes[static_cast<size_t>(op)] += bytes;
   }
+
+  /// Accumulate `other` × repeat into this counter (integer arithmetic —
+  /// order-independent, so aggregates stay schedule-independent).
+  void add_scaled(const TrafficCounters& other, i64 repeat) {
+    APSQ_DCHECK(repeat >= 0);
+    for (size_t k = 0; k < 4; ++k) {
+      read_bytes[k] += other.read_bytes[k] * repeat;
+      write_bytes[k] += other.write_bytes[k] * repeat;
+    }
+  }
 };
 
 /// On-chip SRAM buffer: capacity-checked byte accounting.

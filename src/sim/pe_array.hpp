@@ -25,6 +25,18 @@ class PeArray {
 
   i64 cycles() const { return cycles_; }
   i64 mac_ops() const { return mac_ops_; }
+
+  /// MAC issue slots offered so far: cycles · po · pci · pco.
+  i64 mac_slots() const { return cycles_ * po_ * pci_ * pco_; }
+
+  /// Fraction of issue slots that performed useful MACs (< 1 on ragged
+  /// edge tiles) — the per-array view of LayerPerformance::utilization.
+  double utilization() const {
+    return cycles_ > 0 ? static_cast<double>(mac_ops_) /
+                             static_cast<double>(mac_slots())
+                       : 0.0;
+  }
+
   void reset();
 
  private:

@@ -63,6 +63,28 @@ LayerPerformance layer_performance(Dataflow df, const LayerShape& layer,
   return p;
 }
 
+void accumulate_layer_performance(WorkloadPerformance& total,
+                                  const LayerPerformance& p, index_t repeat,
+                                  double& util_weighted) {
+  const double rep = static_cast<double>(repeat);
+  total.total_latency_s += p.latency_s * rep;
+  total.total_compute_time_s += p.compute_time_s * rep;
+  total.total_dram_time_s += p.dram_time_s * rep;
+  total.total_cycles += p.tile_cycles * repeat;
+  total.total_macs += p.mac_ops * repeat;
+  util_weighted += p.utilization * static_cast<double>(p.mac_ops) * rep;
+  if (p.dram_bound) total.dram_bound_layers += repeat;
+  total.layer_count += repeat;
+}
+
+void finalize_mean_utilization(WorkloadPerformance& total,
+                               double util_weighted) {
+  total.mean_utilization =
+      total.total_macs > 0
+          ? util_weighted / static_cast<double>(total.total_macs)
+          : 0.0;
+}
+
 WorkloadPerformance workload_performance(Dataflow df, const Workload& w,
                                          const AcceleratorConfig& acc,
                                          const PsumConfig& psum,
@@ -71,20 +93,9 @@ WorkloadPerformance workload_performance(Dataflow df, const Workload& w,
   double util_weighted = 0.0;
   for (const auto& layer : w.layers) {
     const LayerPerformance p = layer_performance(df, layer, acc, psum, perf);
-    const double rep = static_cast<double>(layer.repeat);
-    total.total_latency_s += p.latency_s * rep;
-    total.total_compute_time_s += p.compute_time_s * rep;
-    total.total_dram_time_s += p.dram_time_s * rep;
-    total.total_cycles += p.tile_cycles * layer.repeat;
-    total.total_macs += p.mac_ops * layer.repeat;
-    util_weighted += p.utilization * static_cast<double>(p.mac_ops) * rep;
-    if (p.dram_bound) total.dram_bound_layers += layer.repeat;
-    total.layer_count += layer.repeat;
+    accumulate_layer_performance(total, p, layer.repeat, util_weighted);
   }
-  total.mean_utilization =
-      total.total_macs > 0
-          ? util_weighted / static_cast<double>(total.total_macs)
-          : 0.0;
+  finalize_mean_utilization(total, util_weighted);
   return total;
 }
 

@@ -51,6 +51,22 @@ LayerPerformance layer_performance(Dataflow df, const LayerShape& layer,
                                    const PsumConfig& psum,
                                    const PerfConfig& perf = PerfConfig{});
 
+/// Add one layer instance (× repeat) into a workload roll-up. The exact
+/// accumulation expressions live here — shared by workload_performance and
+/// the telemetry registry's WorkloadTelemetry::roll_up (sim/stats.hpp) —
+/// so per-layer rows sum to the aggregate bit-for-bit, not merely within
+/// tolerance. `util_weighted` carries the MAC-weighted utilization
+/// numerator across calls; hand it to finalize_mean_utilization once all
+/// layers are in.
+void accumulate_layer_performance(WorkloadPerformance& total,
+                                  const LayerPerformance& p, index_t repeat,
+                                  double& util_weighted);
+
+/// Close out a roll-up: mean_utilization = util_weighted / total_macs
+/// (0 for an empty workload).
+void finalize_mean_utilization(WorkloadPerformance& total,
+                               double util_weighted);
+
 /// Whole-workload roll-up (sums layers × repeat).
 WorkloadPerformance workload_performance(Dataflow df, const Workload& w,
                                          const AcceleratorConfig& acc,

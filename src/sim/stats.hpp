@@ -1,0 +1,143 @@
+// Per-layer telemetry registry for both fidelity backends.
+//
+// The simulator and the analytic models both roll a workload up to a
+// handful of aggregates (WorkloadPerformance, SimStats totals); everything
+// per-layer — which layers are DRAM-bound, where the PE array runs ragged,
+// how the traffic splits by operand — was thrown away at the roll-up.
+// This registry keeps it: one LayerStats row per layer instance, built
+// from either backend, with the invariant that summing the rows
+// reproduces the existing aggregates *bit-for-bit* (the accumulation
+// expressions are shared with workload_performance via
+// accumulate_layer_performance, and the sim rows use the exact
+// per-component expressions of WorkloadRunResult::latency_s /
+// Calibrator::calibrated_latency_s). The registry feeds the StatsWriter
+// CSV dumps, the pe_utilization / dram_bw_headroom DSE objectives, and
+// the per-layer-class calibration fits.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/performance.hpp"
+#include "sim/workload_runner.hpp"
+
+namespace apsq {
+
+/// Per-component multiplicative factors applied to a measured (scaled)
+/// simulator run — SRAM bytes, DRAM bytes, cycles, MACs scale
+/// independently. Identity factors leave a measurement untouched
+/// (1.0 · x == x exactly, so telemetry built with the default scale is
+/// byte-identical to the raw measurement). dse::CalibrationFactors is an
+/// alias of this type; it lives here so the sim layer can consume
+/// calibration factors without depending on dse.
+struct ComponentScale {
+  double sram_bytes = 1.0;
+  double dram_bytes = 1.0;
+  double cycles = 1.0;
+  double macs = 1.0;
+
+  ComponentScale compose(const ComponentScale& other) const {
+    return {sram_bytes * other.sram_bytes, dram_bytes * other.dram_bytes,
+            cycles * other.cycles, macs * other.macs};
+  }
+};
+
+/// One telemetry row: a layer instance (× repeat) as one backend saw it.
+struct LayerStats {
+  std::string layer_name;
+  std::string layer_class;  ///< layer_class_of(layer_name)
+  index_t repeat = 1;
+  /// The shape this row describes — the full layer for the analytic
+  /// backend, the scaled proxy shape for the simulator.
+  LayerShape shape;
+
+  /// One-instance performance. tile_cycles / mac_ops stay the measured
+  /// integers even under a non-identity ComponentScale (a calibrated
+  /// cycle count is fractional); the time fields carry the scale.
+  LayerPerformance perf;
+
+  double sram_bytes = 0.0;  ///< on-chip traffic (scaled), one instance
+  /// DRAM traffic split by operand (ifmap, weight, psum, ofmap — the
+  /// Operand enum order), one instance, scaled. Informational split of
+  /// perf.dram_bytes; the sum may differ from it in the last ulp.
+  std::array<double, 4> dram_operand_bytes{};
+
+  /// dram_time / latency for this layer, in [0, 1] (dram_time ≤ latency
+  /// by the max() in the overlap model).
+  double dram_bw_occupancy = 0.0;
+  /// Time the PE array sits stalled behind DRAM on a DRAM-bound layer
+  /// (dram_time − compute_time), else 0.
+  double compute_stall_s = 0.0;
+  /// Time the DRAM channel sits idle on a compute-bound layer
+  /// (compute_time − dram_time), else 0.
+  double dram_idle_s = 0.0;
+};
+
+/// A whole run's telemetry: per-layer rows plus the roll-up contract.
+struct WorkloadTelemetry {
+  std::string workload;
+  /// Fidelity provenance: "analytic", "sim", or "sim+cal".
+  std::string source;
+  std::vector<LayerStats> rows;
+
+  /// Sum the rows back into the aggregate view. Bit-identical to
+  /// workload_performance for analytic telemetry and to
+  /// WorkloadRunResult::latency_s / Calibrator::calibrated_latency_s for
+  /// sim telemetry (identity / calibration scale respectively) — the
+  /// tests in tests/sim/stats_test.cpp pin this down with EXPECT_EQ on
+  /// doubles. total_cycles / total_macs are the measured integers even
+  /// under calibration (see LayerStats::perf).
+  WorkloadPerformance roll_up() const;
+
+  /// Σ rows' sram_bytes × repeat.
+  double total_sram_bytes() const;
+  /// Σ rows' perf.dram_bytes × repeat.
+  double total_dram_bytes() const;
+  /// Whole-run DRAM-bandwidth occupancy: Σ dram_time / Σ latency
+  /// (0 for an empty run). The complement 1 − occupancy is the
+  /// dram_bw_headroom DSE objective.
+  double dram_bw_occupancy() const;
+};
+
+/// Canonical layer class of a layer-instance name: the stage prefix
+/// "s<digits>_" (Segformer / EfficientViT stage tags) and a trailing
+/// instance index are stripped, so e.g. "s1_q_proj".."s4_q_proj" and
+/// "patch_embed1".."patch_embed4" each collapse to one class. Kernel-shape
+/// suffixes ("dw3x3", "aggreg5x5") and the functionally distinct
+/// "mlp_fc1"/"mlp_fc2" pair keep their digits. This is the key the
+/// per-layer-class calibration fits group by.
+std::string layer_class_of(const std::string& layer_name);
+
+/// Telemetry of the closed-form models: one row per workload layer at
+/// full scale, built from layer_performance and the access-count model
+/// (the same per-operand byte sizes the energy model charges).
+WorkloadTelemetry analytic_telemetry(Dataflow df, const Workload& w,
+                                     const AcceleratorConfig& acc,
+                                     const PsumConfig& psum,
+                                     const PerfConfig& perf = PerfConfig{});
+
+/// Telemetry of a simulator run: one row per executed layer at the scaled
+/// proxy shape, components multiplied by `scale` (identity for raw
+/// measurements; a calibrator's factors to lift to full-scale units —
+/// pass source "sim+cal" then).
+WorkloadTelemetry sim_telemetry(const WorkloadRunResult& r,
+                                const SimConfig& cfg,
+                                const PerfConfig& perf = PerfConfig{},
+                                const ComponentScale& scale = ComponentScale{},
+                                const std::string& source = "sim");
+
+/// MAC-weighted mean per-layer PE-array utilization of a run —
+/// bit-identical to sim_telemetry(...).roll_up().mean_utilization but
+/// allocation-free, for the DSE scoring hot path. `array_macs_per_cycle`
+/// is po·pci·pco. Dimensionless, so calibration-independent.
+double run_pe_utilization(const WorkloadRunResult& r,
+                          double array_macs_per_cycle);
+
+/// Whole-run DRAM-bandwidth occupancy of a run under component scale `f`
+/// — bit-identical to sim_telemetry(...).dram_bw_occupancy() but
+/// allocation-free, for the DSE scoring hot path.
+double run_dram_bw_occupancy(const WorkloadRunResult& r,
+                             const PerfConfig& perf, const ComponentScale& f);
+
+}  // namespace apsq

@@ -36,12 +36,8 @@ u64 shape_stream_key(const LayerShape& s) {
 void accumulate(SimStats& total, const SimStats& s, index_t repeat) {
   total.cycles += s.cycles * repeat;
   total.mac_ops += s.mac_ops * repeat;
-  for (size_t k = 0; k < 4; ++k) {
-    total.sram.read_bytes[k] += s.sram.read_bytes[k] * repeat;
-    total.sram.write_bytes[k] += s.sram.write_bytes[k] * repeat;
-    total.dram.read_bytes[k] += s.dram.read_bytes[k] * repeat;
-    total.dram.write_bytes[k] += s.dram.write_bytes[k] * repeat;
-  }
+  total.sram.add_scaled(s.sram, repeat);
+  total.dram.add_scaled(s.dram, repeat);
   total.psum_boundary.init_write_sram_bytes +=
       s.psum_boundary.init_write_sram_bytes * repeat;
   total.psum_boundary.final_read_sram_bytes +=

@@ -1,0 +1,100 @@
+#include "common/stats_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace apsq {
+namespace {
+
+TEST(FormatDouble, RoundTripExact) {
+  // %.17g survives a string → double → string round trip for doubles that
+  // have no short decimal form — the property the CSV byte-identity
+  // contract rests on.
+  for (double v : {1.0 / 3.0, 0.1, 6.02214076e23, -0.0, 1.25e-300}) {
+    const std::string s = format_double(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(0.5), "0.5");
+}
+
+TEST(JsonEscape, EscapesControlAndStructuralCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(StatsWriter, CsvGoldenHeaderAndEscaping) {
+  StatsWriter sw({"name", "count", "ratio", "flag"});
+  sw.begin_row();
+  sw.add(std::string("plain"));
+  sw.add(i64{42});
+  sw.add(0.25);
+  sw.add(true);
+  sw.begin_row();
+  sw.add(std::string("comma, quote \" and\nnewline"));
+  sw.add(i64{-1});
+  sw.add(1.0 / 3.0);
+  sw.add(false);
+
+  EXPECT_EQ(sw.row_count(), 2u);
+  const std::string csv = sw.csv().to_string();
+  // Golden: RFC-4180 quoting for the cell containing comma/quote/newline,
+  // %.17g for the non-terminating double, bools as 0/1.
+  EXPECT_EQ(csv,
+            "name,count,ratio,flag\n"
+            "plain,42,0.25,1\n"
+            "\"comma, quote \"\" and\nnewline\",-1,"
+            "0.33333333333333331,0\n");
+}
+
+TEST(StatsWriter, JsonTypesCellsByOrigin) {
+  StatsWriter sw({"stat", "value"});
+  sw.begin_row();
+  sw.add(std::string("points"));
+  sw.add(i64{8});
+  sw.begin_row();
+  sw.add(std::string("se\"cs"));
+  sw.add(0.5);
+
+  const std::string json = sw.to_json();
+  EXPECT_EQ(json,
+            "[\n"
+            " {\"stat\": \"points\", \"value\": 8},\n"
+            " {\"stat\": \"se\\\"cs\", \"value\": 0.5}\n"
+            "]\n");
+}
+
+TEST(StatsWriter, ShortRowIsRejected) {
+  StatsWriter sw({"a", "b"});
+  sw.begin_row();
+  sw.add(i64{1});
+  EXPECT_THROW(sw.begin_row(), std::exception);  // row not at header arity
+}
+
+TEST(StatsWriter, WritesFiles) {
+  StatsWriter sw({"k", "v"});
+  sw.begin_row();
+  sw.add(std::string("x"));
+  sw.add(i64{7});
+  const std::string base = ::testing::TempDir() + "stats_writer_test";
+  ASSERT_TRUE(sw.write_csv(base + ".csv"));
+  ASSERT_TRUE(sw.write_json(base + ".json"));
+  std::ifstream csv(base + ".csv"), json(base + ".json");
+  std::stringstream cs, js;
+  cs << csv.rdbuf();
+  js << json.rdbuf();
+  EXPECT_EQ(cs.str(), "k,v\nx,7\n");
+  EXPECT_NE(js.str().find("\"k\": \"x\""), std::string::npos);
+  std::remove((base + ".csv").c_str());
+  std::remove((base + ".json").c_str());
+}
+
+}  // namespace
+}  // namespace apsq

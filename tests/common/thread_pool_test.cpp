@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -206,6 +209,46 @@ TEST(WorkStealingPool, RejectsZeroThreads) {
 
 TEST(WorkStealingPool, HardwareThreadsPositive) {
   EXPECT_GE(WorkStealingPool::hardware_threads(), 1);
+}
+
+TEST(WorkStealingPool, TracingWritesChromeTraceJson) {
+  const std::string path = ::testing::TempDir() + "pool_trace_test.json";
+  std::remove(path.c_str());
+  std::atomic<int> count{0};
+  {
+    WorkStealingPool pool(3);
+    pool.enable_tracing(path);
+    pool.parallel_for(8, [&](index_t) { ++count; });
+    pool.parallel_for(4, [&](index_t) { ++count; });
+  }  // destructor joins the workers, then flushes the trace
+  EXPECT_EQ(count.load(), 12);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  // One complete event per executed task, tagged with its run and index.
+  size_t events = 0;
+  for (size_t pos = s.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = s.find("\"ph\":\"X\"", pos + 1))
+    ++events;
+  EXPECT_EQ(events, 12u);
+  EXPECT_NE(s.find("\"args\":{\"run\":1,"), std::string::npos);
+  EXPECT_NE(s.find("\"args\":{\"run\":2,"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WorkStealingPool, TracingOffByDefaultWritesNothing) {
+  const std::string path = ::testing::TempDir() + "pool_no_trace_test.json";
+  std::remove(path.c_str());
+  {
+    WorkStealingPool pool(2);
+    pool.parallel_for(4, [](index_t) {});
+  }
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 
 #include "dse/evaluator.hpp"
@@ -232,6 +233,100 @@ TEST(Evaluator, CalibratedSimReportsAnalyticAbsoluteUnits) {
   apsq8.psum = PsumConfig::apsq_int8(2);
   EXPECT_LT(calibrated.evaluate(apsq8).obj.energy_pj,
             calibrated.evaluate(base).obj.energy_pj);
+}
+
+TEST(Calibrator, CalibratedTelemetryRollUpMatchesCalibratedLatency) {
+  // The telemetry registry's sim+cal rows use the exact per-component
+  // expressions of calibrated_latency_s, so the roll-up must land on the
+  // same double bit-for-bit — the contract that lets --layer-stats-csv
+  // decompose a calibrated score without re-deriving it differently.
+  Calibrator::Options opt;
+  opt.sim.shrink = 4;
+  opt.sim.max_dim = 32;
+  Calibrator cal(opt);
+
+  const Workload w = one_layer("roll", 128, 128, 128);
+  const DesignPoint p = anchor_point(Dataflow::kWS,
+                                     PsumConfig::baseline_int32(), "roll");
+  const SimConfig cfg = sim_config_for(p);
+  const WorkloadRunResult r = run_workload(w, cfg, opt.sim);
+  const CalibrationFactors f = cal.factors_for("roll", w, p);
+
+  const WorkloadTelemetry t =
+      sim_telemetry(r, cfg, opt.perf, f, "sim+cal");
+  EXPECT_EQ(t.source, "sim+cal");
+  EXPECT_EQ(t.roll_up().total_latency_s, cal.calibrated_latency_s(r, f));
+  // Integer counters stay the measured values even under calibration.
+  EXPECT_EQ(t.roll_up().total_cycles, r.total.cycles);
+  EXPECT_EQ(t.roll_up().total_macs, r.total.mac_ops);
+}
+
+TEST(Calibrator, ClassFactorsMatchPerWorkloadOnSingleClassLatency) {
+  // A workload with one layer class gives the per-class path nothing to
+  // split: its latency must equal the per-workload path exactly (the
+  // latency roll-up is per-layer in both).
+  Calibrator::Options opt;
+  opt.sim.shrink = 4;
+  opt.sim.max_dim = 32;
+  Calibrator cal(opt);
+
+  Workload w;
+  w.name = "single";
+  w.layers.push_back({"proj", 64, 64, 64, 2});
+  w.layers.push_back({"proj", 96, 64, 48, 1});
+  const DesignPoint p = anchor_point(Dataflow::kWS,
+                                     PsumConfig::baseline_int32(), "single");
+  const WorkloadRunResult r = run_workload(w, sim_config_for(p), opt.sim);
+
+  const CalibrationFactors f = cal.factors_for("single", w, p);
+  const ClassFactors cf = cal.class_factors_for("single", w, p);
+  ASSERT_EQ(cf.by_class.size(), 1u);
+  EXPECT_EQ(cal.calibrated_latency_s(r, cf.for_class("proj")),
+            cal.calibrated_latency_s(r, f));
+}
+
+TEST(Calibrator, PerClassCalibrationBeatsPerWorkloadOnMixedRegimes) {
+  // Two layer classes in *different boundness regimes* defeat the single
+  // blended per-workload factor vector: when every layer is bound on the
+  // same component the blend is exact in aggregate, so the test pairs a
+  // compute-bound big GEMM with a wide-input thin layer whose arithmetic
+  // intensity is low enough to be DRAM-bound on an 8×8×8 array. The
+  // blended cycles/dram factors are then wrong for both; the per-class
+  // fit must land closer to the analytic full-scale latency.
+  Calibrator::Options opt;
+  opt.sim.shrink = 4;
+  opt.sim.max_dim = 32;
+  Calibrator cal(opt);
+
+  Workload w;
+  w.name = "mix";
+  w.layers.push_back({"gemm_big", 256, 256, 256, 1});
+  w.layers.push_back({"wide_in", 8, 4096, 8, 1});
+  DesignPoint p = anchor_point(Dataflow::kWS, PsumConfig::baseline_int32(),
+                               "mix");
+  // An 8×8×8 array puts the arithmetic-intensity break-even between the
+  // two shapes: 256³ is compute-bound, 8×4096×8 is DRAM-bound.
+  p.acc.po = 8;
+  p.acc.pci = 8;
+  p.acc.pco = 8;
+
+  const SimConfig cfg = sim_config_for(p);
+  const WorkloadRunResult r = run_workload(w, cfg, opt.sim);
+  const double analytic =
+      workload_performance(p.dataflow, w, p.acc, cfg.psum, opt.perf)
+          .total_latency_s;
+  ASSERT_GT(analytic, 0.0);
+
+  const CalibrationFactors f = cal.factors_for("mix", w, p);
+  const ClassFactors cf = cal.class_factors_for("mix", w, p);
+  ASSERT_EQ(cf.by_class.size(), 2u);
+  const double wl_err =
+      std::abs(cal.calibrated_latency_s(r, f) / analytic - 1.0);
+  const double class_err =
+      std::abs(cal.calibrated_latency_s(r, cf) / analytic - 1.0);
+  EXPECT_LT(class_err, wl_err);
+  // And the finer fit is not merely relatively better — it is close.
+  EXPECT_NEAR(cal.calibrated_latency_s(r, cf) / analytic, 1.0, 0.10);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -299,6 +300,84 @@ TEST(Evaluator, UnknownWorkloadThrows) {
 TEST(Evaluator, WorkloadRegistryServesAllFour) {
   for (const char* name : {"bert", "llama2", "segformer", "efficientvit"})
     EXPECT_FALSE(Evaluator::workload(name).layers.empty()) << name;
+}
+
+TEST(Evaluator, NewObjectivesAreSaneOnBothBackends) {
+  Evaluator analytic;
+  EvaluatorOptions sopt;
+  sopt.backend = EvalBackend::kSim;
+  sopt.sim.shrink = 32;
+  sopt.sim.max_dim = 32;
+  Evaluator sim(sopt);
+  const DesignPoint p = bert_point(PsumConfig::baseline_int32());
+  for (Evaluator* e : {&analytic, &sim}) {
+    const EvalResult r = e->evaluate(p);
+    EXPECT_GT(r.obj.pe_utilization, 0.0) << r.scored_by;
+    EXPECT_LE(r.obj.pe_utilization, 1.0) << r.scored_by;
+    EXPECT_GE(r.obj.dram_bw_headroom, 0.0) << r.scored_by;
+    EXPECT_LE(r.obj.dram_bw_headroom, 1.0) << r.scored_by;
+    EXPECT_GT(r.obj.throughput_per_area, 0.0) << r.scored_by;
+  }
+}
+
+TEST(Evaluator, NewObjectivesMatchTelemetry) {
+  // The scoring hot path computes pe_utilization / dram_bw_headroom with
+  // allocation-free helpers; the dump path rebuilds them from the
+  // telemetry registry. Both derivations must agree exactly, on both
+  // fidelities.
+  Evaluator analytic;
+  const DesignPoint p = bert_point(PsumConfig::apsq_int8(2));
+  const EvalResult a = analytic.evaluate(p);
+  const WorkloadTelemetry at =
+      analytic.telemetry_for(p, EvalBackend::kAnalytic);
+  EXPECT_EQ(at.source, "analytic");
+  EXPECT_EQ(at.roll_up().mean_utilization, a.obj.pe_utilization);
+  EXPECT_EQ(std::max(0.0, 1.0 - at.dram_bw_occupancy()),
+            a.obj.dram_bw_headroom);
+
+  EvaluatorOptions sopt;
+  sopt.backend = EvalBackend::kSim;
+  sopt.sim.shrink = 32;
+  sopt.sim.max_dim = 32;
+  Evaluator sim(sopt);
+  const EvalResult s = sim.evaluate(p);
+  const WorkloadTelemetry st = sim.telemetry_for(p, EvalBackend::kSim);
+  EXPECT_EQ(st.source, "sim");
+  EXPECT_EQ(st.workload, "bert");
+  EXPECT_EQ(st.roll_up().mean_utilization, s.obj.pe_utilization);
+  EXPECT_EQ(std::max(0.0, 1.0 - st.dram_bw_occupancy()),
+            s.obj.dram_bw_headroom);
+}
+
+TEST(Evaluator, NewObjectiveFrontParallelEqualsSerialByteIdentical) {
+  // The acceptance property behind `apsq_dse --objectives
+  // energy,latency,pe_utilization,dram_bw_headroom --verify-serial`:
+  // fronts over maximize objectives stay deterministic across threads.
+  const ConfigSpace space = ConfigSpace::smoke();
+  const ObjectiveSet objectives =
+      ObjectiveSet::parse("energy,latency,pe_utilization,dram_bw_headroom");
+
+  EvaluatorOptions serial_opt;
+  serial_opt.threads = 1;
+  Evaluator serial(serial_opt);
+  const std::string serial_csv =
+      results_csv(pareto_front_by_workload(serial.evaluate_space(space),
+                                           objectives))
+          .to_string();
+  EXPECT_NE(serial_csv.find("pe_utilization"), std::string::npos);
+  EXPECT_NE(serial_csv.find("dram_bw_headroom"), std::string::npos);
+  EXPECT_NE(serial_csv.find("throughput_per_area"), std::string::npos);
+
+  for (int threads : {2, 4}) {
+    EvaluatorOptions par_opt;
+    par_opt.threads = threads;
+    Evaluator parallel(par_opt);
+    EXPECT_EQ(serial_csv,
+              results_csv(pareto_front_by_workload(
+                              parallel.evaluate_space(space), objectives))
+                  .to_string())
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -49,12 +49,61 @@ TEST(Dominance, LatencyIsAFullObjective) {
   EXPECT_FALSE(dominates({1, 2, 3, 9}, {2, 3, 4, 5}));
 }
 
-TEST(ObjectiveSet, DefaultIsAllObjectives) {
-  const ObjectiveSet all;
+TEST(ObjectiveSet, DefaultIsTheCoreQuartet) {
+  // The default set stays the paper's four objectives so existing sweeps
+  // and their goldens are untouched by the maximize-objective additions;
+  // opting into the full seven takes an explicit all().
+  const ObjectiveSet core;
+  EXPECT_EQ(core.size(), static_cast<size_t>(kCoreObjectiveCount));
+  for (int i = 0; i < kCoreObjectiveCount; ++i)
+    EXPECT_TRUE(core.contains(static_cast<Objective>(i)));
+  EXPECT_FALSE(core.contains(Objective::kPeUtilization));
+  EXPECT_FALSE(core.contains(Objective::kDramBwHeadroom));
+  EXPECT_FALSE(core.contains(Objective::kThroughputPerArea));
+  EXPECT_EQ(core.to_string(), "energy,area,error,latency");
+  EXPECT_EQ(ObjectiveSet::core().to_string(), core.to_string());
+
+  const ObjectiveSet all = ObjectiveSet::all();
   EXPECT_EQ(all.size(), static_cast<size_t>(kObjectiveCount));
   for (int i = 0; i < kObjectiveCount; ++i)
     EXPECT_TRUE(all.contains(static_cast<Objective>(i)));
-  EXPECT_EQ(all.to_string(), "energy,area,error,latency");
+  EXPECT_EQ(all.to_string(),
+            "energy,area,error,latency,pe_utilization,dram_bw_headroom,"
+            "throughput_per_area");
+}
+
+TEST(ObjectiveSet, MaximizeObjectivesCompareInMinimizedSpace) {
+  // pe_utilization / dram_bw_headroom / throughput_per_area are maximized:
+  // a point that is better (higher) on one of them must dominate in the
+  // minimized space every comparison runs in.
+  EXPECT_EQ(objective_direction(Objective::kEnergy), Direction::kMinimize);
+  EXPECT_EQ(objective_direction(Objective::kPeUtilization),
+            Direction::kMaximize);
+  EXPECT_EQ(objective_direction(Objective::kDramBwHeadroom),
+            Direction::kMaximize);
+  EXPECT_EQ(objective_direction(Objective::kThroughputPerArea),
+            Direction::kMaximize);
+
+  Objectives hi, lo;
+  hi.pe_utilization = 0.9;
+  lo.pe_utilization = 0.2;
+  EXPECT_LT(hi.minimized(Objective::kPeUtilization),
+            lo.minimized(Objective::kPeUtilization));
+  // Minimize objectives pass through untouched — byte-identical behavior.
+  hi.energy_pj = 123.25;
+  EXPECT_EQ(hi.minimized(Objective::kEnergy), 123.25);
+
+  ObjectiveSet set = ObjectiveSet::parse("energy,pe_utilization");
+  Objectives a, b;
+  a.energy_pj = 1.0;
+  a.pe_utilization = 0.9;
+  b.energy_pj = 1.0;
+  b.pe_utilization = 0.2;
+  EXPECT_TRUE(dominates(a, b, set));
+  EXPECT_FALSE(dominates(b, a, set));
+  // throughput_per_area's transform is finite at the default value 0, so
+  // a point that never filled it still participates in dominance.
+  EXPECT_EQ(a.minimized(Objective::kThroughputPerArea), 1.0);
 }
 
 TEST(ObjectiveSet, ParseSubsetInAnyOrderIsCanonical) {
