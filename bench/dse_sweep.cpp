@@ -4,11 +4,15 @@
 // fixed at hardware_threads / APSQ_POOL_THREADS — per-row thread counts
 // would all route to the same pool, so serial-vs-pool is the honest
 // comparison), plus a warm-cache re-run, and reports points/s and
-// memo-cache hit rates. With --benchmark_out=FILE the section timings are
-// also written as google-benchmark-style JSON for the bench-regression CI
-// gate (tools/check_bench.py).
+// memo-cache hit rates, then times the evaluated-space store path: a cold
+// sweep that snapshots the space versus a warm re-slice answered entirely
+// from the reloaded snapshot (0 fresh evaluations). With
+// --benchmark_out=FILE the section timings are also written as
+// google-benchmark-style JSON for the bench-regression CI gate
+// (tools/check_bench.py).
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -19,6 +23,8 @@
 #include "dse/config_space.hpp"
 #include "dse/evaluator.hpp"
 #include "dse/pareto.hpp"
+#include "dse/store.hpp"
+#include "dse/sweep.hpp"
 
 using namespace apsq;
 using namespace apsq::dse;
@@ -96,5 +102,60 @@ int main(int argc, char** argv) {
                std::to_string(front_size)});
   }
   t.print(std::cout);
+
+  // ---- evaluated-space store: cold sweep + snapshot vs warm re-slice.
+  // The warm row re-slices the snapshot over a different objective subset
+  // without paying a single evaluation — the batch-query speedup the
+  // store exists to buy. Best-of-3 each, like the sweeps above.
+  std::cout << "\n=== Evaluated-space store: snapshot vs warm re-slice ===\n\n";
+  const std::string store_path = "bench_dse_store_snapshot.json";
+  constexpr int kReps = 3;
+  double cold_store = 0.0;
+  double warm_reslice = 0.0;
+  size_t warm_front = 0;
+  for (int attempt = 0; attempt < kReps; ++attempt) {
+    {
+      SweepConfig cfg;
+      cfg.threads = 1;
+      cfg.store_out = store_path;
+      const auto t0 = std::chrono::steady_clock::now();
+      SweepSession session(cfg);
+      session.run();
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      cold_store = attempt == 0 ? secs : std::min(cold_store, secs);
+    }
+    {
+      SweepConfig cfg;
+      cfg.threads = 1;
+      cfg.store_in = store_path;
+      cfg.objectives = ObjectiveSet::parse("energy,latency");
+      const auto t0 = std::chrono::steady_clock::now();
+      SweepSession session(cfg);
+      const SweepOutcome out = session.run();
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      warm_reslice = attempt == 0 ? secs : std::min(warm_reslice, secs);
+      warm_front = out.front.size();
+      if (out.fresh_evaluations != 0) {
+        std::cerr << "store re-slice unexpectedly evaluated "
+                  << out.fresh_evaluations << " points\n";
+        return 1;
+      }
+    }
+  }
+  std::remove(store_path.c_str());
+  rep.add("dse_sweep/store/cold_snapshot", cold_store);
+  rep.add("dse_sweep/store/warm_reslice", warm_reslice);
+  Table st({"Phase", "Time (s)", "Points/s", "Front size"});
+  st.add_row({"cold sweep + snapshot", Table::num(cold_store, 3),
+              Table::num(static_cast<double>(space.size()) / cold_store, 0),
+              "-"});
+  st.add_row({"warm re-slice (0 evals)", Table::num(warm_reslice, 3),
+              Table::num(static_cast<double>(space.size()) / warm_reslice, 0),
+              std::to_string(warm_front)});
+  st.print(std::cout);
   return rep.flush() ? 0 : 1;
 }

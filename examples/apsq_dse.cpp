@@ -5,7 +5,9 @@
 // paper's four workloads, scores every point with either the analytical
 // models (fast) or the cycle-level simulator (high fidelity, scaled
 // workloads), and extracts the Pareto front over a selectable objective
-// subset:
+// subset. The orchestration itself lives in the library (dse/sweep.hpp);
+// this binary is flag parsing, SweepConfig construction, and report
+// printing:
 //
 //   apsq_dse                                  # paper_default space, all cores
 //   apsq_dse --threads 4 --csv points.csv --front-csv front.csv
@@ -15,8 +17,11 @@
 //   apsq_dse --backend mixed --promote-band 0.05  # analytic prefilter, then
 //                                             # calibrated sim on the ε-band
 //   apsq_dse --objectives energy,latency      # 2-objective front
-//   apsq_dse --objectives energy,latency,pe_utilization,dram_bw_headroom
-//                                             # mixing minimized + maximized
+//   apsq_dse --store-out space.json           # snapshot the evaluated space
+//   apsq_dse --store-in space.json --objectives energy,latency
+//                                             # re-slice it: 0 fresh evals
+//   apsq_dse --jobs spec.json                 # many experiments, one process,
+//                                             # one shared store
 //   apsq_dse --layer-stats-csv layers.csv     # per-layer telemetry of the
 //                                             # top front rows
 //   apsq_dse --stats --stats-json stats.json  # cache/pool/phase counters
@@ -24,9 +29,6 @@
 //
 // Run with --help for the full flag list.
 #include <algorithm>
-#include <chrono>
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -34,12 +36,11 @@
 #include "common/cli.hpp"
 #include "common/stats_writer.hpp"
 #include "common/thread_pool.hpp"
-#include "dse/calibrate.hpp"
-#include "dse/config_space.hpp"
 #include "dse/evaluator.hpp"
-#include "dse/pareto.hpp"
+#include "dse/jobspec.hpp"
 #include "dse/report.hpp"
-#include "sim/stats.hpp"
+#include "dse/store.hpp"
+#include "dse/sweep.hpp"
 
 using namespace apsq;
 using namespace apsq::dse;
@@ -47,22 +48,8 @@ using namespace apsq::dse;
 namespace {
 
 struct Options {
-  std::string space = "paper";
-  EvalBackend backend = EvalBackend::kAnalytic;
-  ObjectiveSet objectives;  // default-constructed: the core quartet
-  int threads = 0;      // 0 = hardware concurrency
-  int sim_threads = 0;  // 0 = follow --threads (sim/mixed backends only)
-  u64 seed = 0xD5EULL;
-  i64 shrink = 32;   // sim backend: dimension divisor
-  i64 max_dim = 48;  // sim backend: dimension clamp
-  bool calibrate = false;
-  double promote_band = 0.05;      // mixed backend: ε-dominance slack
-  bool promote_band_set = false;   // flag given explicitly
-  bool promote_adaptive = false;   // mixed backend: front-stability rule
-  i64 promote_budget = 0;          // mixed backend: margin budget (0 = off)
-  bool promote_budget_set = false;
-  bool calibrate_per_class = false;
-  std::string calibration_csv_path;
+  SweepConfig cfg;
+  std::string jobs_path;
   std::string csv_path;
   std::string front_csv_path;
   std::string layer_stats_csv_path;
@@ -73,6 +60,10 @@ struct Options {
   int top = 20;
   bool verify_serial = false;
   bool help = false;
+  /// Any flag other than --jobs / --help seen — --jobs runs the spec's
+  /// experiments, so combining it with single-sweep flags is an error,
+  /// not a silent ignore.
+  bool non_jobs_flag = false;
 };
 
 void print_help() {
@@ -100,6 +91,11 @@ void print_help() {
       "                    points by ε-dominance margin instead of a band\n"
       "                    (N >= 1; N >= the space size promotes\n"
       "                    everything)\n"
+      "  --promote-objectives LIST\n"
+      "                    mixed backend: measure promotion margins in this\n"
+      "                    objective subset instead of following\n"
+      "                    --objectives (pin it to keep a stored mixed\n"
+      "                    sweep re-sliceable under different --objectives)\n"
       "  --calibrate       sim backend: rescale measured energies/latencies\n"
       "                    into the analytic backend's absolute units via\n"
       "                    per-family anchor runs (see dse/calibrate.hpp);\n"
@@ -118,6 +114,18 @@ void print_help() {
       "                    throughput_per_area used for Pareto dominance\n"
       "                    (default: the core four energy,area,error,latency;\n"
       "                    the last three are maximized, the rest minimized)\n"
+      "  --where LIST      constraint-filter the front basis before\n"
+      "                    extraction: comma list of objective<=value /\n"
+      "                    objective>=value terms in natural units\n"
+      "                    (e.g. \"area<=2.5e6,latency<=0.01\")\n"
+      "  --store-in PATH   answer the sweep from this evaluated-space\n"
+      "                    snapshot (exit 1 if it holds no snapshot of this\n"
+      "                    space under the current scoring identity);\n"
+      "                    missing points are evaluated in one batch\n"
+      "  --store-out PATH  snapshot the evaluated space to PATH afterwards\n"
+      "  --jobs PATH       run the JSON job spec's experiments in one\n"
+      "                    process, sharing one evaluated-space store (see\n"
+      "                    dse/jobspec.hpp; not combinable with other flags)\n"
       "  --threads N       width of the process-wide worker pool (default:\n"
       "                    hardware concurrency; 1 = fully serial; an\n"
       "                    explicit APSQ_POOL_THREADS env var wins)\n"
@@ -160,33 +168,38 @@ bool parse(int argc, char** argv, Options& o) {
       }
       return argv[++i];
     };
+    if (a != "--help" && a != "-h" && a != "--jobs") o.non_jobs_flag = true;
     if (a == "--help" || a == "-h") {
       print_help();
       o.help = true;
       return false;
+    } else if (a == "--jobs") {
+      const char* v = next("--jobs");
+      if (!v) return false;
+      o.jobs_path = v;
     } else if (a == "--space") {
       const char* v = next("--space");
       if (!v) return false;
-      o.space = v;
+      o.cfg.space = v;
     } else if (a == "--backend") {
       const char* v = next("--backend");
       // Validate at parse time: an unrecognized backend must exit 1 with
       // the flag named, never fall back to a default sweep.
-      if (!v || !parse_enum_flag("--backend", v, parse_backend, o.backend))
+      if (!v || !parse_enum_flag("--backend", v, parse_backend, o.cfg.backend))
         return false;
     } else if (a == "--calibrate") {
-      o.calibrate = true;
+      o.cfg.calibrate = true;
     } else if (a == "--calibrate-per-class") {
-      o.calibrate_per_class = true;
+      o.cfg.calibrate_per_class = true;
     } else if (a == "--promote-band") {
       const char* v = next("--promote-band");
       if (!v || !parse_double_flag("--promote-band", v, 0.0,
                                    std::numeric_limits<double>::infinity(),
-                                   o.promote_band))
+                                   o.cfg.promote_band))
         return false;
-      o.promote_band_set = true;
+      o.cfg.promote_band_set = true;
     } else if (a == "--promote-adaptive") {
-      o.promote_adaptive = true;
+      o.cfg.promote_adaptive = true;
     } else if (a == "--promote-budget") {
       const char* v = next("--promote-budget");
       // 1 is the smallest meaningful budget: a budget of 0 would simulate
@@ -194,36 +207,62 @@ bool parse(int argc, char** argv, Options& o) {
       // out-of-range value.
       if (!v ||
           !parse_i64_flag("--promote-budget", v, 1, i64{1} << 40,
-                          o.promote_budget))
+                          o.cfg.promote_budget))
         return false;
-      o.promote_budget_set = true;
+      o.cfg.promote_budget_set = true;
+    } else if (a == "--promote-objectives") {
+      const char* v = next("--promote-objectives");
+      if (!v || !parse_enum_flag("--promote-objectives", v,
+                                 ObjectiveSet::parse, o.cfg.promote_objectives))
+        return false;
+      o.cfg.promote_objectives_set = true;
     } else if (a == "--calibration-csv") {
       const char* v = next("--calibration-csv");
       if (!v) return false;
-      o.calibration_csv_path = v;
+      o.cfg.calibration_csv = v;
     } else if (a == "--objectives") {
       const char* v = next("--objectives");
-      if (!v ||
-          !parse_enum_flag("--objectives", v, ObjectiveSet::parse, o.objectives))
+      if (!v || !parse_enum_flag("--objectives", v, ObjectiveSet::parse,
+                                 o.cfg.objectives))
         return false;
+    } else if (a == "--where") {
+      const char* v = next("--where");
+      if (!v) return false;
+      // Reject a malformed filter at parse time with the flag named, like
+      // every other flag value.
+      try {
+        parse_constraints(v);
+      } catch (const std::exception& e) {
+        std::cerr << "--where: " << e.what() << "\n";
+        return false;
+      }
+      o.cfg.where = v;
+    } else if (a == "--store-in") {
+      const char* v = next("--store-in");
+      if (!v) return false;
+      o.cfg.store_in = v;
+    } else if (a == "--store-out") {
+      const char* v = next("--store-out");
+      if (!v) return false;
+      o.cfg.store_out = v;
     } else if (a == "--threads") {
       const char* v = next("--threads");
-      if (!v || !parse_int_flag("--threads", v, 1, 4096, o.threads))
+      if (!v || !parse_int_flag("--threads", v, 1, 4096, o.cfg.threads))
         return false;
     } else if (a == "--sim-threads") {
       const char* v = next("--sim-threads");
-      if (!v || !parse_int_flag("--sim-threads", v, 1, 4096, o.sim_threads))
+      if (!v || !parse_int_flag("--sim-threads", v, 1, 4096, o.cfg.sim_threads))
         return false;
     } else if (a == "--seed") {
       const char* v = next("--seed");
-      if (!v || !parse_u64_flag("--seed", v, o.seed)) return false;
+      if (!v || !parse_u64_flag("--seed", v, o.cfg.seed)) return false;
     } else if (a == "--shrink") {
       const char* v = next("--shrink");
-      if (!v || !parse_i64_flag("--shrink", v, 1, kDimMax, o.shrink))
+      if (!v || !parse_i64_flag("--shrink", v, 1, kDimMax, o.cfg.shrink))
         return false;
     } else if (a == "--max-dim") {
       const char* v = next("--max-dim");
-      if (!v || !parse_i64_flag("--max-dim", v, 1, kDimMax, o.max_dim))
+      if (!v || !parse_i64_flag("--max-dim", v, 1, kDimMax, o.cfg.max_dim))
         return false;
     } else if (a == "--csv") {
       const char* v = next("--csv");
@@ -268,129 +307,49 @@ void print_cache_line(const char* name, const CacheStats& s, bool last) {
   std::cout << (last ? "\n" : ", ");
 }
 
-}  // namespace
+/// How one sweep's outcome is reported — shared by the single-sweep path
+/// and the per-experiment loop of --jobs.
+struct ReportOptions {
+  bool stats = false;
+  int top = 20;
+  std::string csv_path;
+  std::string front_csv_path;
+  std::string layer_stats_csv_path;
+  int dump_stats_top = 5;
+  std::string stats_json_path;
+};
 
-int main(int argc, char** argv) {
-  Options o;
-  if (!parse(argc, argv, o)) return o.help ? 0 : 1;
+/// Print the sweep report (summary, optional stats, front table) and
+/// write the configured output files. Returns false — after a diagnostic
+/// on stderr — on any write failure.
+bool print_report(SweepSession& session, const SweepOutcome& out,
+                  const ReportOptions& ro) {
+  const SweepConfig& cfg = session.config();
+  Evaluator& eval = session.evaluator();
+  const std::string scored_by = cfg.scored_by_label();
 
-  ConfigSpace space;
-  if (o.space == "paper") {
-    space = ConfigSpace::paper_default();
-  } else if (o.space == "smoke") {
-    space = ConfigSpace::smoke();
-  } else {
-    std::cerr << "unknown space: " << o.space << " (try --help)\n";
-    return 1;
-  }
-  const int threads =
-      o.threads > 0 ? o.threads : WorkStealingPool::hardware_threads();
-  // The shared pool is built lazily on first use; pinning its width here
-  // makes --threads an honest concurrency bound rather than a serial/pool
-  // mode switch. An explicit APSQ_POOL_THREADS in the environment wins.
-  setenv("APSQ_POOL_THREADS", std::to_string(threads).c_str(),
-         /*overwrite=*/0);
+  if (out.calibration_families_loaded >= 0)
+    std::cout << "loaded " << out.calibration_families_loaded
+              << " calibration families from " << cfg.calibration_csv << "\n";
 
-  EvaluatorOptions eopt;
-  eopt.threads = threads;
-  eopt.seed = o.seed;
-  eopt.backend = o.backend;
-  const ObjectiveSet objectives = o.objectives;
-  const bool mixed = eopt.backend == EvalBackend::kMixed;
-  // A promotion flag outside the mixed backend, a calibration flag on the
-  // analytic backend, or two conflicting promotion rules would silently
-  // not do what was asked — exit 1 naming the flags instead.
-  if (!flag_requires(o.calibrate, "--calibrate",
-                     eopt.backend != EvalBackend::kAnalytic,
-                     "--backend sim or mixed") ||
-      !flag_requires(o.promote_band_set, "--promote-band", mixed,
-                     "--backend mixed") ||
-      !flag_requires(o.promote_adaptive, "--promote-adaptive", mixed,
-                     "--backend mixed") ||
-      !flag_requires(o.promote_budget_set, "--promote-budget", mixed,
-                     "--backend mixed") ||
-      !flags_exclusive(o.promote_band_set, "--promote-band",
-                       o.promote_adaptive, "--promote-adaptive") ||
-      !flags_exclusive(o.promote_band_set, "--promote-band",
-                       o.promote_budget_set, "--promote-budget") ||
-      !flags_exclusive(o.promote_adaptive, "--promote-adaptive",
-                       o.promote_budget_set, "--promote-budget") ||
-      // Without a calibrator the CSV would be silently neither loaded nor
-      // written — reject the ineffective flag like any other misuse.
-      !flag_requires(!o.calibration_csv_path.empty(), "--calibration-csv",
-                     o.calibrate || mixed,
-                     "--calibrate or --backend mixed") ||
-      !flag_requires(o.calibrate_per_class, "--calibrate-per-class",
-                     o.calibrate || mixed,
-                     "--calibrate or --backend mixed") ||
-      !flag_requires(o.dump_stats_top_set, "--dump-stats-top",
-                     !o.layer_stats_csv_path.empty(), "--layer-stats-csv"))
-    return 1;
-  eopt.sim.shrink = o.shrink;
-  eopt.sim.max_dim = o.max_dim;
-  eopt.sim.seed = o.seed;
-  // Nested scopes share one pool, so layer-level parallelism defaults on:
-  // it fills the workers whenever there are fewer ready points than cores.
-  if (eopt.backend != EvalBackend::kAnalytic)
-    eopt.sim.threads = o.sim_threads > 0 ? o.sim_threads : threads;
-  eopt.calibrate = o.calibrate;
-  eopt.calibrate_per_class = o.calibrate_per_class;
-  eopt.promote_band = o.promote_band;
-  eopt.promote_adaptive = o.promote_adaptive;
-  eopt.promote_budget = o.promote_budget_set ? o.promote_budget : 0;
-  // Promote in the same objective plane the front is extracted in, so the
-  // promoted set provably covers the reported front.
-  eopt.promote_objectives = objectives;
-  Evaluator eval(eopt);
-
-  // Sweep-level fallback label; evaluator-produced rows carry their own
-  // per-point provenance (which is what distinguishes a mixed CSV).
-  const std::string scored_by =
-      mixed ? "mixed"
-            : std::string(to_string(eopt.backend)) + (o.calibrate ? "+cal" : "");
-
-  if (eval.calibrator() && !o.calibration_csv_path.empty() &&
-      std::ifstream(o.calibration_csv_path).good()) {
-    try {
-      const index_t n =
-          eval.calibrator()->load_unit_factors_csv(o.calibration_csv_path);
-      std::cout << "loaded " << n << " calibration families from "
-                << o.calibration_csv_path << "\n";
-    } catch (const std::exception& e) {
-      std::cerr << e.what() << "\n";
-      return 1;
-    }
-  }
-
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<EvalResult> results = eval.evaluate_space(space);
-  // Workload is a scenario, not a knob: the headline front is per
-  // workload; the cross-workload (global) front is reported as a count.
-  // A mixed sweep's front is extracted over the sim-re-scored (promoted)
-  // subset only, so dominance always compares equal-fidelity scores.
-  const std::vector<EvalResult> front_basis =
-      mixed ? promoted_subset(results) : results;
-  const std::vector<EvalResult> front =
-      pareto_front_by_workload(front_basis, objectives);
-  const size_t global_front_size =
-      pareto_front(front_basis, objectives).size();
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-
-  std::cout << "evaluated " << results.size() << " design points ("
-            << space.workloads.size() << " workloads) with " << threads
-            << " threads / " << scored_by << " backend in "
-            << Table::num(secs, 2) << " s\n"
-            << "objectives: " << objectives.to_string() << "\n";
-  if (o.stats) {
+  std::cout << "evaluated " << out.results.size() << " design points ("
+            << session.space().workloads.size() << " workloads) with "
+            << cfg.resolved_threads() << " threads / " << scored_by
+            << " backend in " << Table::num(out.secs, 2) << " s\n"
+            << "objectives: " << cfg.objectives.to_string() << "\n";
+  if (!cfg.where.empty()) std::cout << "where: " << cfg.where << "\n";
+  if (session.store() != nullptr)
+    std::cout << "store: " << out.store_hits
+              << " points answered from the evaluated-space store, "
+              << out.fresh_evaluations << " fresh evaluations\n";
+  if (ro.stats) {
     std::cout << "cache hits/misses[/races] — ";
     print_cache_line("energy", eval.energy_cache_stats(), false);
     print_cache_line("area", eval.area_cache_stats(), false);
     print_cache_line("accuracy", eval.accuracy_cache_stats(), false);
-    if (eopt.backend == EvalBackend::kAnalytic) {
+    if (cfg.backend == EvalBackend::kAnalytic) {
       print_cache_line("latency", eval.latency_cache_stats(), true);
-    } else if (eopt.backend == EvalBackend::kSim) {
+    } else if (cfg.backend == EvalBackend::kSim) {
       print_cache_line("sim", eval.sim_cache_stats(), true);
     } else {
       print_cache_line("latency", eval.latency_cache_stats(), false);
@@ -401,7 +360,7 @@ int main(int argc, char** argv) {
               << pool.run_count() << " runs, " << pool.steal_count()
               << " steals\n";
   }
-  if (mixed && o.stats) {
+  if (cfg.mixed() && ro.stats) {
     const MixedSweepStats& ms = eval.mixed_stats();
     const double pct = ms.total > 0 ? 100.0 * static_cast<double>(ms.promoted) /
                                           static_cast<double>(ms.total)
@@ -433,178 +392,150 @@ int main(int argc, char** argv) {
   if (eval.calibrator())
     std::cout << "calibration: " << eval.calibrator()->family_count()
               << " (workload, dataflow, psum) families fitted\n";
-  std::cout << "Pareto front: " << front.size()
-            << " non-dominated points across workloads (" << global_front_size
-            << " in the cross-workload front)\n\n";
+  std::cout << "Pareto front: " << out.front.size()
+            << " non-dominated points across workloads ("
+            << out.global_front_size << " in the cross-workload front)\n\n";
 
-  std::vector<EvalResult> shown = front;
-  if (o.top > 0 && static_cast<size_t>(o.top) < shown.size())
-    shown.resize(static_cast<size_t>(o.top));
+  std::vector<EvalResult> shown = out.front;
+  if (ro.top > 0 && static_cast<size_t>(ro.top) < shown.size())
+    shown.resize(static_cast<size_t>(ro.top));
   front_table(shown).print(std::cout);
-  if (shown.size() < front.size())
-    std::cout << "… " << front.size() - shown.size()
+  if (shown.size() < out.front.size())
+    std::cout << "… " << out.front.size() - shown.size()
               << " more rows (use --top 0 or --front-csv)\n";
 
-  if (eval.calibrator() && !o.calibration_csv_path.empty()) {
-    if (!eval.calibrator()->unit_factors_csv().write(o.calibration_csv_path)) {
-      std::cerr << "failed to write " << o.calibration_csv_path << "\n";
-      return 1;
+  if (eval.calibrator() && !cfg.calibration_csv.empty())
+    std::cout << "\nwrote " << cfg.calibration_csv << "\n";
+  if (!cfg.store_out.empty())
+    std::cout << "wrote " << cfg.store_out << "\n";
+  if (!ro.csv_path.empty()) {
+    if (!results_csv(out.results, scored_by).write(ro.csv_path)) {
+      std::cerr << "failed to write " << ro.csv_path << "\n";
+      return false;
     }
-    std::cout << "\nwrote " << o.calibration_csv_path << "\n";
+    std::cout << "\nwrote " << ro.csv_path << "\n";
   }
-  if (!o.csv_path.empty()) {
-    if (!results_csv(results, scored_by).write(o.csv_path)) {
-      std::cerr << "failed to write " << o.csv_path << "\n";
-      return 1;
+  if (!ro.front_csv_path.empty()) {
+    if (!results_csv(out.front, scored_by).write(ro.front_csv_path)) {
+      std::cerr << "failed to write " << ro.front_csv_path << "\n";
+      return false;
     }
-    std::cout << "\nwrote " << o.csv_path << "\n";
+    std::cout << "wrote " << ro.front_csv_path << "\n";
   }
-  if (!o.front_csv_path.empty()) {
-    if (!results_csv(front, scored_by).write(o.front_csv_path)) {
-      std::cerr << "failed to write " << o.front_csv_path << "\n";
-      return 1;
+  if (!ro.layer_stats_csv_path.empty()) {
+    const size_t k = ro.dump_stats_top == 0
+                         ? out.front.size()
+                         : static_cast<size_t>(ro.dump_stats_top);
+    const StatsWriter sw =
+        layer_stats_writer(eval, out.front, k, scored_by);
+    if (!sw.write_csv(ro.layer_stats_csv_path)) {
+      std::cerr << "failed to write " << ro.layer_stats_csv_path << "\n";
+      return false;
     }
-    std::cout << "wrote " << o.front_csv_path << "\n";
-  }
-  if (!o.layer_stats_csv_path.empty()) {
-    // Re-score the leading front rows at their own fidelity and dump one
-    // telemetry row per layer instance, prefixed with the same point
-    // identity columns results_csv uses so the two files join on them.
-    StatsWriter sw({"workload", "dataflow", "psum_bits", "apsq", "group_size",
-                    "po", "pci", "pco", "ifmap_buf_bytes", "ofmap_buf_bytes",
-                    "weight_buf_bytes", "scored_by", "layer", "layer_class",
-                    "rows", "ci", "co", "repeat", "tile_cycles", "mac_ops",
-                    "pe_utilization", "compute_s", "dram_s", "latency_s",
-                    "compute_stall_s", "dram_idle_s", "sram_bytes",
-                    "dram_bytes", "dram_ifmap_bytes", "dram_weight_bytes",
-                    "dram_psum_bytes", "dram_ofmap_bytes",
-                    "dram_bw_occupancy", "dram_bound"});
-    const size_t k = o.dump_stats_top == 0
-                         ? front.size()
-                         : std::min(front.size(),
-                                    static_cast<size_t>(o.dump_stats_top));
-    for (size_t i = 0; i < k; ++i) {
-      const EvalResult& r = front[i];
-      const std::string provenance =
-          r.scored_by.empty() ? scored_by : r.scored_by;
-      const EvalBackend fidelity = provenance == "analytic"
-                                       ? EvalBackend::kAnalytic
-                                       : EvalBackend::kSim;
-      const WorkloadTelemetry t = eval.telemetry_for(r.point, fidelity);
-      const DesignPoint& p = r.point;
-      for (const LayerStats& ls : t.rows) {
-        sw.begin_row();
-        sw.add(p.workload);
-        sw.add(to_string(p.dataflow));
-        sw.add(p.psum.psum_bits);
-        sw.add(p.psum.apsq ? 1 : 0);
-        sw.add(p.psum.group_size);
-        sw.add(p.acc.po);
-        sw.add(p.acc.pci);
-        sw.add(p.acc.pco);
-        sw.add(p.acc.ifmap_buf_bytes);
-        sw.add(p.acc.ofmap_buf_bytes);
-        sw.add(p.acc.weight_buf_bytes);
-        sw.add(t.source);
-        sw.add(ls.layer_name);
-        sw.add(ls.layer_class);
-        sw.add(ls.shape.rows);
-        sw.add(ls.shape.ci);
-        sw.add(ls.shape.co);
-        sw.add(ls.repeat);
-        sw.add(ls.perf.tile_cycles);
-        sw.add(ls.perf.mac_ops);
-        sw.add(ls.perf.utilization);
-        sw.add(ls.perf.compute_time_s);
-        sw.add(ls.perf.dram_time_s);
-        sw.add(ls.perf.latency_s);
-        sw.add(ls.compute_stall_s);
-        sw.add(ls.dram_idle_s);
-        sw.add(ls.sram_bytes);
-        sw.add(ls.perf.dram_bytes);
-        sw.add(ls.dram_operand_bytes[0]);
-        sw.add(ls.dram_operand_bytes[1]);
-        sw.add(ls.dram_operand_bytes[2]);
-        sw.add(ls.dram_operand_bytes[3]);
-        sw.add(ls.dram_bw_occupancy);
-        sw.add(ls.perf.dram_bound);
-      }
-    }
-    if (!sw.write_csv(o.layer_stats_csv_path)) {
-      std::cerr << "failed to write " << o.layer_stats_csv_path << "\n";
-      return 1;
-    }
-    std::cout << "wrote " << o.layer_stats_csv_path << " ("
-              << sw.row_count() << " layer rows from " << k
+    std::cout << "wrote " << ro.layer_stats_csv_path << " (" << sw.row_count()
+              << " layer rows from " << std::min(out.front.size(), k)
               << " front points)\n";
   }
-  if (!o.stats_json_path.empty()) {
-    StatsWriter sw({"stat", "value"});
-    const auto put = [&](const std::string& name, auto v) {
-      sw.begin_row();
-      sw.add(name);
-      sw.add(v);
-    };
-    const auto put_cache = [&](const std::string& name, const CacheStats& s) {
-      put(name + "_cache_hits", s.hits);
-      put(name + "_cache_misses", s.misses);
-      put(name + "_cache_races", s.races);
-    };
-    put("eval_points", static_cast<i64>(results.size()));
-    put("eval_secs", secs);
-    put("threads", threads);
-    put_cache("energy", eval.energy_cache_stats());
-    put_cache("area", eval.area_cache_stats());
-    put_cache("accuracy", eval.accuracy_cache_stats());
-    if (eopt.backend != EvalBackend::kSim)
-      put_cache("latency", eval.latency_cache_stats());
-    if (eopt.backend != EvalBackend::kAnalytic)
-      put_cache("sim", eval.sim_cache_stats());
-    const WorkStealingPool& pool = WorkStealingPool::shared();
-    put("pool_threads", pool.num_threads());
-    put("pool_runs", pool.run_count());
-    put("pool_steals", pool.steal_count());
-    if (eval.calibrator())
-      put("calibration_families", eval.calibrator()->family_count());
-    if (mixed) {
-      const MixedSweepStats& ms = eval.mixed_stats();
-      put("mixed_total", ms.total);
-      put("mixed_promoted", ms.promoted);
-      put("mixed_band", ms.band);
-      put("mixed_phase1_secs", ms.phase1_secs);
-      put("mixed_phase2_secs", ms.phase2_secs);
-      put("mixed_rounds", static_cast<i64>(ms.rounds.size()));
+  if (!ro.stats_json_path.empty()) {
+    if (!session.stats_writer(out).write_json(ro.stats_json_path)) {
+      std::cerr << "failed to write " << ro.stats_json_path << "\n";
+      return false;
     }
-    if (!sw.write_json(o.stats_json_path)) {
-      std::cerr << "failed to write " << o.stats_json_path << "\n";
-      return 1;
-    }
-    std::cout << "wrote " << o.stats_json_path << "\n";
+    std::cout << "wrote " << ro.stats_json_path << "\n";
   }
+  return true;
+}
 
-  if (o.verify_serial) {
-    EvaluatorOptions sopt = eopt;
-    sopt.threads = 1;
-    sopt.sim.threads = 1;  // fully serial: no layer-level parallelism either
-    Evaluator serial(sopt);
-    // Identical calibration inputs: preload the saved factors when a CSV
-    // path is in play; otherwise the serial run refits the same (pure)
-    // anchor values.
-    if (serial.calibrator() && !o.calibration_csv_path.empty())
-      serial.calibrator()->load_unit_factors_csv(o.calibration_csv_path);
-    const std::vector<EvalResult> sres = serial.evaluate_space(space);
-    const std::vector<EvalResult> sbasis =
-        mixed ? promoted_subset(sres) : sres;
-    const std::string a =
-        results_csv(pareto_front_by_workload(sbasis, objectives), scored_by)
-            .to_string();
-    const std::string b = results_csv(front, scored_by).to_string();
-    if (a != b) {
-      std::cerr << "FAIL: serial and parallel Pareto fronts differ\n";
-      return 1;
+int run_single(const Options& o) {
+  // Cross-field consistency: the library rules (shared with the job-spec
+  // path), plus the one CLI-only pairing — --dump-stats-top shapes
+  // --layer-stats-csv output that would otherwise not be written.
+  if (!o.cfg.validate() ||
+      !flag_requires(o.dump_stats_top_set, "--dump-stats-top",
+                     !o.layer_stats_csv_path.empty(), "--layer-stats-csv"))
+    return 1;
+  try {
+    SweepSession session(o.cfg);
+    const SweepOutcome out = session.run();
+    ReportOptions ro;
+    ro.stats = o.stats;
+    ro.top = o.top;
+    ro.csv_path = o.csv_path;
+    ro.front_csv_path = o.front_csv_path;
+    ro.layer_stats_csv_path = o.layer_stats_csv_path;
+    ro.dump_stats_top = o.dump_stats_top;
+    ro.stats_json_path = o.stats_json_path;
+    if (!print_report(session, out, ro)) return 1;
+    if (o.verify_serial) {
+      if (!session.verify_serial(out)) return 1;
+      std::cout << "verify-serial: fronts byte-identical ("
+                << out.front.size() << " rows)\n";
     }
-    std::cout << "verify-serial: fronts byte-identical ("
-              << results_csv(front).row_count() << " rows)\n";
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
   }
   return 0;
+}
+
+int run_jobs(const Options& o) {
+  try {
+    const JobSpec spec = JobSpec::parse_file(o.jobs_path);
+    EvalStore store;
+    if (!spec.store_in.empty()) {
+      store.load_file(spec.store_in);
+      std::cout << "loaded store: " << store.entry_count() << " entries ("
+                << store.result_count() << " results) from " << spec.store_in
+                << "\n";
+    }
+    std::cout << "running " << spec.experiments.size() << " experiments from "
+              << o.jobs_path << "\n";
+    for (const JobExperiment& e : spec.experiments) {
+      std::cout << "\n--- experiment " << e.name << " ---\n";
+      if (!e.config.validate()) {
+        std::cerr << "(in experiment " << e.name << " of " << o.jobs_path
+                  << ")\n";
+        return 1;
+      }
+      // Every experiment answers from — and records into — the one shared
+      // store, so a batch of re-slices over the same space pays for the
+      // evaluation exactly once.
+      SweepSession session(e.config, &store);
+      const SweepOutcome out = session.run();
+      ReportOptions ro;
+      ro.stats = o.stats;
+      ro.top = e.top;
+      ro.csv_path = e.csv;
+      ro.front_csv_path = e.front_csv;
+      if (!print_report(session, out, ro)) return 1;
+    }
+    if (!spec.store_out.empty()) {
+      if (!store.save_file(spec.store_out)) {
+        std::cerr << "failed to write " << spec.store_out << "\n";
+        return 1;
+      }
+      std::cout << "\nwrote " << spec.store_out << " (" << store.entry_count()
+                << " entries, " << store.result_count() << " results)\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) return o.help ? 0 : 1;
+  if (!o.jobs_path.empty()) {
+    if (o.non_jobs_flag) {
+      std::cerr << "--jobs: cannot be combined with other flags (the spec "
+                   "describes each experiment)\n";
+      return 1;
+    }
+    return run_jobs(o);
+  }
+  return run_single(o);
 }

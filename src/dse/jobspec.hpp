@@ -1,0 +1,65 @@
+// JSON job specs: many sweep experiments described declaratively and run
+// in one process (apsq_dse --jobs spec.json), sharing one EvalStore and
+// the process-wide worker pool — so a batch of re-slices over the same
+// space pays for the evaluation once.
+//
+// Spec shape:
+//
+//   {
+//     "store_in":  "space.json",        // optional: preload the shared store
+//     "store_out": "space.json",        // optional: snapshot it afterwards
+//     "defaults":  { "space": "paper", "backend": "analytic", ... },
+//     "experiments": [
+//       { "name": "core-front" },
+//       { "name": "energy-latency", "objectives": "energy,latency" }
+//     ]
+//   }
+//
+// An experiment starts from `defaults` and overrides field by field; the
+// recognized fields mirror the apsq_dse flags one-to-one (see
+// kExperimentKeys in jobspec.cpp). Parsing is strict: an unknown key, a
+// wrong type, or an out-of-range value throws with the file, the
+// experiment, and the key named — the cross-field consistency rules
+// (SweepConfig::validate()) stay with the driver, so the flag path and
+// the spec path reject inconsistent configs with identical messages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dse/sweep.hpp"
+
+namespace apsq {
+class JsonValue;
+}
+
+namespace apsq::dse {
+
+/// One experiment of a job spec: a sweep plus its report shape.
+struct JobExperiment {
+  std::string name;  ///< defaults to "exp<index>"
+  SweepConfig config;
+  std::string csv;        ///< write every evaluated point here
+  std::string front_csv;  ///< write the front here
+  int top = 20;           ///< front rows to print (0 = all)
+};
+
+struct JobSpec {
+  /// Spec-level store paths — the *shared* store every experiment answers
+  /// from and records into (per-experiment store_in/store_out are
+  /// intentionally not spec fields; one batch, one store).
+  std::string store_in;
+  std::string store_out;
+  std::vector<JobExperiment> experiments;
+
+  /// Parse a spec file. Throws std::runtime_error — message prefixed with
+  /// `path` — on unreadable files, JSON errors, unknown keys, wrong
+  /// types, out-of-range values, or an empty experiment list.
+  static JobSpec parse_file(const std::string& path);
+
+  /// Parse an already-loaded document; `source` prefixes error messages
+  /// (the file path, or a label like "<inline>" in tests).
+  static JobSpec parse(const JsonValue& doc, const std::string& source);
+};
+
+}  // namespace apsq::dse

@@ -1,6 +1,10 @@
 #include "dse/report.hpp"
 
+#include <algorithm>
+
 #include "common/stats_writer.hpp"
+#include "dse/evaluator.hpp"
+#include "sim/stats.hpp"
 
 namespace apsq::dse {
 
@@ -101,6 +105,68 @@ Table front_table(const std::vector<EvalResult>& front) {
     t.add_row(row);
   }
   return t;
+}
+
+StatsWriter layer_stats_writer(Evaluator& eval,
+                               const std::vector<EvalResult>& front, size_t k,
+                               const std::string& fallback_label) {
+  StatsWriter sw({"workload", "dataflow", "psum_bits", "apsq", "group_size",
+                  "po", "pci", "pco", "ifmap_buf_bytes", "ofmap_buf_bytes",
+                  "weight_buf_bytes", "scored_by", "layer", "layer_class",
+                  "rows", "ci", "co", "repeat", "tile_cycles", "mac_ops",
+                  "pe_utilization", "compute_s", "dram_s", "latency_s",
+                  "compute_stall_s", "dram_idle_s", "sram_bytes", "dram_bytes",
+                  "dram_ifmap_bytes", "dram_weight_bytes", "dram_psum_bytes",
+                  "dram_ofmap_bytes", "dram_bw_occupancy", "dram_bound"});
+  const size_t n = k == 0 ? front.size() : std::min(front.size(), k);
+  for (size_t i = 0; i < n; ++i) {
+    const EvalResult& r = front[i];
+    const std::string provenance =
+        r.scored_by.empty() ? fallback_label : r.scored_by;
+    const EvalBackend fidelity = provenance == "analytic"
+                                     ? EvalBackend::kAnalytic
+                                     : EvalBackend::kSim;
+    const WorkloadTelemetry t = eval.telemetry_for(r.point, fidelity);
+    const DesignPoint& p = r.point;
+    for (const LayerStats& ls : t.rows) {
+      sw.begin_row();
+      sw.add(p.workload);
+      sw.add(to_string(p.dataflow));
+      sw.add(p.psum.psum_bits);
+      sw.add(p.psum.apsq ? 1 : 0);
+      sw.add(p.psum.group_size);
+      sw.add(p.acc.po);
+      sw.add(p.acc.pci);
+      sw.add(p.acc.pco);
+      sw.add(p.acc.ifmap_buf_bytes);
+      sw.add(p.acc.ofmap_buf_bytes);
+      sw.add(p.acc.weight_buf_bytes);
+      sw.add(t.source);
+      sw.add(ls.layer_name);
+      sw.add(ls.layer_class);
+      sw.add(ls.shape.rows);
+      sw.add(ls.shape.ci);
+      sw.add(ls.shape.co);
+      sw.add(ls.repeat);
+      sw.add(ls.perf.tile_cycles);
+      sw.add(ls.perf.mac_ops);
+      sw.add(ls.perf.utilization);
+      sw.add(ls.perf.compute_time_s);
+      sw.add(ls.perf.dram_time_s);
+      sw.add(ls.perf.latency_s);
+      sw.add(ls.compute_stall_s);
+      sw.add(ls.dram_idle_s);
+      sw.add(ls.sram_bytes);
+      sw.add(ls.perf.dram_bytes);
+      sw.add(ls.dram_operand_bytes[0]);
+      sw.add(ls.dram_operand_bytes[1]);
+      sw.add(ls.dram_operand_bytes[2]);
+      sw.add(ls.dram_operand_bytes[3]);
+      sw.add(ls.dram_bw_occupancy);
+      sw.add(ls.perf.dram_bound);
+    }
+  }
+  return sw;
 }
 
 }  // namespace apsq::dse

@@ -11,7 +11,16 @@
 #include "common/table.hpp"
 #include "dse/design_point.hpp"
 
+// Forward-declared (not included) so report.hpp doesn't re-export
+// apsq::format_double next to apsq::dse::format_double — consumers of
+// layer_stats_writer include common/stats_writer.hpp themselves.
+namespace apsq {
+class StatsWriter;
+}
+
 namespace apsq::dse {
+
+class Evaluator;
 
 /// Round-trip-exact decimal rendering of a double.
 std::string format_double(double v);
@@ -29,5 +38,17 @@ CsvWriter results_csv(const std::vector<EvalResult>& results,
 
 /// Human-readable front table, rows ordered as given.
 Table front_table(const std::vector<EvalResult>& front);
+
+/// Per-layer telemetry of the leading `k` front rows (0 = every row): each
+/// point is re-scored at its own fidelity (scored_by "analytic" → the
+/// analytic models, anything else → the simulator; `fallback_label` stands
+/// in for rows without provenance) and contributes one row per layer
+/// instance — cycles, utilization, stall/idle split, SRAM/DRAM traffic by
+/// operand, bandwidth occupancy — prefixed with the same point-identity
+/// columns results_csv uses, so the two files join on them. The apsq_dse
+/// --layer-stats-csv table.
+StatsWriter layer_stats_writer(Evaluator& eval,
+                               const std::vector<EvalResult>& front, size_t k,
+                               const std::string& fallback_label);
 
 }  // namespace apsq::dse

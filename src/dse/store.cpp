@@ -1,0 +1,233 @@
+#include "dse/store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+#include "common/stats_writer.hpp"
+
+namespace apsq::dse {
+
+namespace {
+
+constexpr const char* kFormat = "apsq-evalstore";
+constexpr int kVersion = 1;
+
+Dataflow parse_dataflow(const std::string& name) {
+  if (name == "IS") return Dataflow::kIS;
+  if (name == "WS") return Dataflow::kWS;
+  if (name == "OS") return Dataflow::kOS;
+  throw std::invalid_argument("unknown dataflow: " + name +
+                              " (expected IS|WS|OS)");
+}
+
+/// FNV-1a over a byte string — deterministic, dependency-free, and plenty
+/// for addressing (a collision additionally has to survive the per-row
+/// canonical-key check the consumer runs).
+u64 fnv1a(const std::string& s) {
+  u64 h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<u64>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string entry_key(const std::string& space_hash,
+                      const std::string& scoring) {
+  return space_hash + '\n' + scoring;
+}
+
+}  // namespace
+
+std::string config_space_hash(const ConfigSpace& space) {
+  // A canonical text rendering of every axis value, in axis order. The
+  // mixed-radix enumeration is a pure function of this description, so
+  // equal descriptions ⇒ identical point sequences.
+  std::ostringstream os;
+  os << "workloads=";
+  for (const std::string& w : space.workloads) os << w << ';';
+  os << "|dataflows=";
+  for (const Dataflow df : space.dataflows) os << to_string(df) << ';';
+  os << "|psum=";
+  for (const PsumConfig& pc : space.psum_configs)
+    os << pc.psum_bits << ',' << (pc.apsq ? 1 : 0) << ',' << pc.group_size
+       << ';';
+  os << "|geom=";
+  for (const PeGeometry& g : space.geometries)
+    os << g.po << ',' << g.pci << ',' << g.pco << ';';
+  os << "|buf=";
+  for (const BufferSizing& b : space.buffers)
+    os << b.ifmap_bytes << ',' << b.ofmap_bytes << ',' << b.weight_bytes
+       << ';';
+  os << "|ab=" << space.act_bits << "|wb=" << space.weight_bits;
+  const u64 h = fnv1a(os.str());
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(hex);
+}
+
+const EvalStore::Entry* EvalStore::find(const std::string& space_hash,
+                                        const std::string& scoring) const {
+  const auto it = entries_.find(entry_key(space_hash, scoring));
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+void EvalStore::put(const std::string& space_hash, const std::string& scoring,
+                    const std::string& backend_label, index_t space_points,
+                    const std::vector<EvalResult>& results) {
+  Entry e;
+  e.space_hash = space_hash;
+  e.scoring = scoring;
+  e.backend = backend_label;
+  e.space_points = space_points;
+  for (size_t i = 0; i < results.size(); ++i)
+    e.results.emplace(static_cast<index_t>(i), results[i]);
+  entries_[entry_key(space_hash, scoring)] = std::move(e);
+}
+
+index_t EvalStore::result_count() const {
+  index_t n = 0;
+  for (const auto& [key, e] : entries_)
+    n += static_cast<index_t>(e.results.size());
+  return n;
+}
+
+std::string EvalStore::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"format\": \"" << kFormat << "\",\n  \"version\": " << kVersion
+     << ",\n  \"entries\": [";
+  bool first_entry = true;
+  for (const auto& [key, e] : entries_) {
+    os << (first_entry ? "\n" : ",\n");
+    first_entry = false;
+    os << "    {\"space_hash\": \"" << json_escape(e.space_hash)
+       << "\", \"scoring\": \"" << json_escape(e.scoring)
+       << "\", \"backend\": \"" << json_escape(e.backend)
+       << "\", \"points\": " << e.space_points << ", \"results\": [";
+    bool first_row = true;
+    for (const auto& [idx, r] : e.results) {
+      os << (first_row ? "\n" : ",\n");
+      first_row = false;
+      const DesignPoint& p = r.point;
+      os << "      {\"i\": " << idx << ", \"workload\": \""
+         << json_escape(p.workload) << "\", \"dataflow\": \""
+         << to_string(p.dataflow) << "\", \"psum_bits\": " << p.psum.psum_bits
+         << ", \"apsq\": " << (p.psum.apsq ? 1 : 0)
+         << ", \"group_size\": " << p.psum.group_size << ", \"po\": " << p.acc.po
+         << ", \"pci\": " << p.acc.pci << ", \"pco\": " << p.acc.pco
+         << ", \"ifmap_buf_bytes\": " << p.acc.ifmap_buf_bytes
+         << ", \"ofmap_buf_bytes\": " << p.acc.ofmap_buf_bytes
+         << ", \"weight_buf_bytes\": " << p.acc.weight_buf_bytes
+         << ", \"act_bits\": " << p.acc.act_bits
+         << ", \"weight_bits\": " << p.acc.weight_bits << ", \"scored_by\": \""
+         << json_escape(r.scored_by) << "\"";
+      for (int o = 0; o < kObjectiveCount; ++o) {
+        const Objective obj = static_cast<Objective>(o);
+        os << ", \"" << objective_column(obj)
+           << "\": " << format_double(r.obj.get(obj));
+      }
+      os << "}";
+    }
+    os << (first_row ? "]}" : "\n    ]}");
+  }
+  os << (first_entry ? "]\n}\n" : "\n  ]\n}\n");
+  return os.str();
+}
+
+bool EvalStore::save_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+size_t EvalStore::load_file(const std::string& path) {
+  // Every failure below names the file and the reason — a snapshot that
+  // cannot be trusted must be rejected loudly, never crashed on or
+  // silently replaced by a fresh evaluation the caller didn't ask for.
+  const auto bad = [&](const std::string& reason) -> std::runtime_error {
+    return std::runtime_error(path + ": " + reason);
+  };
+  JsonValue doc = json_parse_file(path);  // already path-prefixed
+  try {
+    if (!doc.is_object()) throw bad("not an evaluated-space snapshot (top-level value is not an object)");
+    const JsonValue* format = doc.find("format");
+    if (format == nullptr || !format->is_string() ||
+        format->as_string() != kFormat)
+      throw bad(std::string("not an evaluated-space snapshot (missing ") +
+                "\"format\": \"" + kFormat + "\")");
+    const i64 version = doc.get("version").as_i64();
+    if (version != kVersion)
+      throw bad("unsupported snapshot version " + std::to_string(version) +
+                " (this build reads version " + std::to_string(kVersion) +
+                ")");
+    const JsonValue& entries = doc.get("entries");
+    size_t loaded = 0;
+    for (size_t ei = 0; ei < entries.size(); ++ei) {
+      const JsonValue& je = entries.at(ei);
+      Entry e;
+      e.space_hash = je.get("space_hash").as_string();
+      e.scoring = je.get("scoring").as_string();
+      e.backend = je.get("backend").as_string();
+      e.space_points = je.get("points").as_i64();
+      if (e.space_points <= 0)
+        throw bad("entry " + std::to_string(ei) +
+                  ": non-positive point count");
+      const JsonValue& rows = je.get("results");
+      if (static_cast<index_t>(rows.size()) > e.space_points)
+        throw bad("entry " + std::to_string(ei) + ": " +
+                  std::to_string(rows.size()) + " results for a " +
+                  std::to_string(e.space_points) + "-point space");
+      for (size_t ri = 0; ri < rows.size(); ++ri) {
+        const JsonValue& row = rows.at(ri);
+        const index_t idx = row.get("i").as_i64();
+        if (idx < 0 || idx >= e.space_points)
+          throw bad("entry " + std::to_string(ei) + ": point index " +
+                    std::to_string(idx) + " out of range [0, " +
+                    std::to_string(e.space_points) + ")");
+        EvalResult r;
+        DesignPoint& p = r.point;
+        p.workload = row.get("workload").as_string();
+        p.dataflow = parse_dataflow(row.get("dataflow").as_string());
+        p.psum.psum_bits = static_cast<int>(row.get("psum_bits").as_i64());
+        p.psum.apsq = row.get("apsq").as_i64() != 0;
+        p.psum.group_size = row.get("group_size").as_i64();
+        p.acc.po = row.get("po").as_i64();
+        p.acc.pci = row.get("pci").as_i64();
+        p.acc.pco = row.get("pco").as_i64();
+        p.acc.ifmap_buf_bytes = row.get("ifmap_buf_bytes").as_i64();
+        p.acc.ofmap_buf_bytes = row.get("ofmap_buf_bytes").as_i64();
+        p.acc.weight_buf_bytes = row.get("weight_buf_bytes").as_i64();
+        p.acc.act_bits = static_cast<int>(row.get("act_bits").as_i64());
+        p.acc.weight_bits = static_cast<int>(row.get("weight_bits").as_i64());
+        p.validate();
+        r.scored_by = row.get("scored_by").as_string();
+        for (int o = 0; o < kObjectiveCount; ++o) {
+          const Objective obj = static_cast<Objective>(o);
+          r.obj.set(obj, row.get(objective_column(obj)).as_number());
+        }
+        if (!r.obj.all_finite())
+          throw bad("entry " + std::to_string(ei) + ", point " +
+                    std::to_string(idx) + ": non-finite objective value");
+        if (!e.results.emplace(idx, std::move(r)).second)
+          throw bad("entry " + std::to_string(ei) + ": duplicate point index " +
+                    std::to_string(idx));
+      }
+      entries_[entry_key(e.space_hash, e.scoring)] = std::move(e);
+      ++loaded;
+    }
+    source_ = path;
+    return loaded;
+  } catch (const std::runtime_error&) {
+    throw;  // already file-prefixed
+  } catch (const std::exception& e) {
+    // JsonValue accessor / DesignPoint::validate failures: wrap with the
+    // file name so "missing key \"po\"" is attributable.
+    throw bad(std::string("malformed snapshot: ") + e.what());
+  }
+}
+
+}  // namespace apsq::dse

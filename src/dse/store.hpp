@@ -1,0 +1,90 @@
+// Persistent evaluated-space store: snapshot / reload of scored design
+// points, so follow-up queries re-slice a paid-for sweep instead of
+// re-paying it.
+//
+// A snapshot entry is keyed by the *canonical config-space hash* (what
+// was swept) plus a *scoring key* (how it was scored —
+// SweepConfig::scoring_key(): backend, seed, scaling, calibration mode,
+// promotion rule). Within an entry, results are keyed by point index in
+// the space's enumeration order; each row carries the full point
+// identity, its scored_by provenance, and every objective of
+// ObjectiveSet::all() — so a reloaded entry can be re-sliced over any
+// objective subset, constraint-filtered, or margin-ranked without
+// touching the evaluator, and the fronts come out byte-identical to a
+// fresh sweep (doubles round-trip through "%.17g").
+//
+// Snapshots are JSON (the emit side mirrors StatsWriter's conventions;
+// the read side is common/json.hpp). Loading is strict: an unreadable,
+// truncated, malformed, or version-mismatched file throws
+// std::runtime_error naming the file and the reason — a corrupt snapshot
+// must never crash the process or silently stand in for real results.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dse/config_space.hpp"
+#include "dse/design_point.hpp"
+
+namespace apsq::dse {
+
+/// Canonical 64-bit FNV-1a hash (16 hex digits) of a config space: every
+/// axis value in order, plus the shared precisions. Two spaces with equal
+/// hashes enumerate the identical point sequence, which is what lets a
+/// snapshot be addressed by (hash, index) instead of shipping the space.
+std::string config_space_hash(const ConfigSpace& space);
+
+class EvalStore {
+ public:
+  /// One snapshot: a scored space under one scoring identity.
+  struct Entry {
+    std::string space_hash;
+    std::string scoring;       ///< SweepConfig::scoring_key()
+    std::string backend;       ///< sweep-level provenance label
+    index_t space_points = 0;  ///< space size when snapshotted
+    std::map<index_t, EvalResult> results;  ///< point index → scored result
+
+    bool complete() const {
+      return static_cast<index_t>(results.size()) == space_points;
+    }
+  };
+
+  EvalStore() = default;
+
+  /// Merge-load a snapshot file. An entry with the same (hash, scoring)
+  /// key replaces any in-memory one. Returns the number of entries
+  /// loaded. Throws std::runtime_error — message prefixed with `path` —
+  /// on an unreadable file, a parse error, a wrong format marker or
+  /// version, or any malformed/duplicate/out-of-range row.
+  size_t load_file(const std::string& path);
+
+  /// Serialize every entry (sorted by key — byte-stable across runs).
+  std::string to_json() const;
+  /// Write to `path`; false on I/O failure.
+  bool save_file(const std::string& path) const;
+
+  /// The entry for (space_hash, scoring), or nullptr.
+  const Entry* find(const std::string& space_hash,
+                    const std::string& scoring) const;
+
+  /// Record a full sweep: results[i] is point index i of the space.
+  /// Replaces any existing entry under the same key.
+  void put(const std::string& space_hash, const std::string& scoring,
+           const std::string& backend_label, index_t space_points,
+           const std::vector<EvalResult>& results);
+
+  size_t entry_count() const { return entries_.size(); }
+  index_t result_count() const;
+
+  /// The last load_file path ("" before any load) — for diagnostics that
+  /// should name the snapshot a stale result came from.
+  const std::string& source() const { return source_; }
+
+ private:
+  /// key = space_hash + '\n' + scoring (neither contains '\n').
+  std::map<std::string, Entry> entries_;
+  std::string source_;
+};
+
+}  // namespace apsq::dse

@@ -1,0 +1,387 @@
+#include "dse/sweep.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/thread_pool.hpp"
+#include "dse/pareto.hpp"
+#include "dse/report.hpp"
+#include "dse/store.hpp"
+
+namespace apsq::dse {
+
+bool SweepConfig::validate(std::ostream& err) const {
+  // The name must be vetted before make_space() — the job-spec path has
+  // no parse-time guard the way the CLI flags do.
+  if (space != "paper" && space != "smoke") {
+    err << "unknown space: " << space << " (try --help)\n";
+    return false;
+  }
+  // A promotion flag outside the mixed backend, a calibration flag on the
+  // analytic backend, or two conflicting promotion rules would silently
+  // not do what was asked — fail naming the flags instead. These are the
+  // former apsq_dse main() rules verbatim; CLI and job-spec configs both
+  // come through here, so the two paths reject identically.
+  return flag_requires(calibrate, "--calibrate",
+                       backend != EvalBackend::kAnalytic,
+                       "--backend sim or mixed", err) &&
+         flag_requires(promote_band_set, "--promote-band", mixed(),
+                       "--backend mixed", err) &&
+         flag_requires(promote_adaptive, "--promote-adaptive", mixed(),
+                       "--backend mixed", err) &&
+         flag_requires(promote_budget_set, "--promote-budget", mixed(),
+                       "--backend mixed", err) &&
+         flag_requires(promote_objectives_set, "--promote-objectives", mixed(),
+                       "--backend mixed", err) &&
+         flags_exclusive(promote_band_set, "--promote-band", promote_adaptive,
+                         "--promote-adaptive", err) &&
+         flags_exclusive(promote_band_set, "--promote-band",
+                         promote_budget_set, "--promote-budget", err) &&
+         flags_exclusive(promote_adaptive, "--promote-adaptive",
+                         promote_budget_set, "--promote-budget", err) &&
+         // Without a calibrator the CSV would be silently neither loaded
+         // nor written — reject the ineffective flag like any other
+         // misuse.
+         flag_requires(!calibration_csv.empty(), "--calibration-csv",
+                       calibrate || mixed(), "--calibrate or --backend mixed",
+                       err) &&
+         flag_requires(calibrate_per_class, "--calibrate-per-class",
+                       calibrate || mixed(), "--calibrate or --backend mixed",
+                       err);
+}
+
+ConfigSpace SweepConfig::make_space() const {
+  if (space == "paper") return ConfigSpace::paper_default();
+  if (space == "smoke") return ConfigSpace::smoke();
+  throw std::invalid_argument("unknown space: " + space);
+}
+
+int SweepConfig::resolved_threads() const {
+  return threads > 0 ? threads : WorkStealingPool::hardware_threads();
+}
+
+ObjectiveSet SweepConfig::effective_promote_objectives() const {
+  return promote_objectives_set ? promote_objectives : objectives;
+}
+
+EvaluatorOptions SweepConfig::evaluator_options() const {
+  EvaluatorOptions eopt;
+  eopt.threads = resolved_threads();
+  eopt.seed = seed;
+  eopt.backend = backend;
+  eopt.sim.shrink = shrink;
+  eopt.sim.max_dim = max_dim;
+  eopt.sim.seed = seed;
+  // Nested scopes share one pool, so layer-level parallelism defaults on:
+  // it fills the workers whenever there are fewer ready points than cores.
+  if (backend != EvalBackend::kAnalytic)
+    eopt.sim.threads = sim_threads > 0 ? sim_threads : resolved_threads();
+  eopt.calibrate = calibrate;
+  eopt.calibrate_per_class = calibrate_per_class;
+  eopt.promote_band = promote_band;
+  eopt.promote_adaptive = promote_adaptive;
+  eopt.promote_budget = promote_budget_set ? promote_budget : 0;
+  // Promote in the same objective plane the front is extracted in (unless
+  // pinned explicitly), so the promoted set provably covers the reported
+  // front.
+  eopt.promote_objectives = effective_promote_objectives();
+  return eopt;
+}
+
+std::string SweepConfig::scored_by_label() const {
+  if (mixed()) return "mixed";
+  return std::string(to_string(backend)) + (calibrate ? "+cal" : "");
+}
+
+std::string SweepConfig::scoring_key() const {
+  // Everything that can change a result's *value*. Threads are excluded
+  // (parallel == serial byte-identical is an engine invariant), as are
+  // the slicing objectives and all output paths. Sim scaling and
+  // calibration only matter once the simulator is in the loop; the
+  // promotion rule only under the mixed backend — excluding them
+  // otherwise lets an analytic snapshot keep answering when an irrelevant
+  // knob differs.
+  std::ostringstream os;
+  os << "backend=" << to_string(backend) << "|seed=" << seed;
+  if (backend != EvalBackend::kAnalytic) {
+    os << "|shrink=" << shrink << "|max_dim=" << max_dim
+       << "|cal=" << (calibrate || mixed() ? 1 : 0)
+       << "|percls=" << (calibrate_per_class ? 1 : 0);
+  }
+  if (mixed()) {
+    if (promote_adaptive)
+      os << "|promote=adaptive";
+    else if (promote_budget_set)
+      os << "|promote=budget:" << promote_budget;
+    else
+      os << "|promote=band:" << format_double(promote_band);
+    os << "|plane=" << effective_promote_objectives().to_string();
+  }
+  return os.str();
+}
+
+std::vector<Constraint> parse_constraints(const std::string& text) {
+  std::vector<Constraint> out;
+  std::stringstream in(text);
+  std::string term;
+  while (std::getline(in, term, ',')) {
+    if (term.empty()) continue;
+    size_t op = term.find("<=");
+    bool upper = true;
+    if (op == std::string::npos) {
+      op = term.find(">=");
+      upper = false;
+    }
+    if (op == std::string::npos || op == 0)
+      throw std::invalid_argument("malformed constraint '" + term +
+                                  "' (expected objective<=value or "
+                                  "objective>=value)");
+    Constraint c;
+    c.upper_bound = upper;
+    const std::string name = term.substr(0, op);
+    bool found = false;
+    for (int i = 0; i < kObjectiveCount; ++i) {
+      if (name == to_string(static_cast<Objective>(i))) {
+        c.objective = static_cast<Objective>(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw std::invalid_argument("unknown objective in constraint: " + name);
+    const std::string value = term.substr(op + 2);
+    char* end = nullptr;
+    c.bound = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == nullptr || *end != '\0' ||
+        !std::isfinite(c.bound))
+      throw std::invalid_argument("malformed constraint bound '" + value +
+                                  "' in '" + term + "'");
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<EvalResult> filter_results(const std::vector<EvalResult>& results,
+                                       const std::vector<Constraint>& cs) {
+  if (cs.empty()) return results;
+  std::vector<EvalResult> out;
+  for (const EvalResult& r : results) {
+    bool keep = true;
+    for (const Constraint& c : cs) {
+      const double v = r.obj.get(c.objective);
+      if (c.upper_bound ? v > c.bound : v < c.bound) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(r);
+  }
+  return out;
+}
+
+SweepSession::SweepSession(SweepConfig cfg, EvalStore* store)
+    : cfg_(std::move(cfg)), external_store_(store) {
+  // Re-run the consistency rules so a programmatic embedder that skipped
+  // validate() still cannot construct a session the CLI would reject.
+  std::ostringstream err;
+  if (!cfg_.validate(err)) throw std::invalid_argument(err.str());
+  constraints_ = parse_constraints(cfg_.where);
+  space_ = cfg_.make_space();
+  // The shared pool is built lazily on first use; pinning its width here
+  // makes the thread count an honest concurrency bound rather than a
+  // serial/pool mode switch. An explicit APSQ_POOL_THREADS env var wins.
+  setenv("APSQ_POOL_THREADS", std::to_string(cfg_.resolved_threads()).c_str(),
+         /*overwrite=*/0);
+  eval_ = std::make_unique<Evaluator>(cfg_.evaluator_options());
+  if (external_store_ == nullptr &&
+      (!cfg_.store_in.empty() || !cfg_.store_out.empty()))
+    owned_store_ = std::make_unique<EvalStore>();
+}
+
+SweepSession::~SweepSession() = default;
+
+EvalStore* SweepSession::store() {
+  return external_store_ != nullptr ? external_store_ : owned_store_.get();
+}
+
+std::vector<EvalResult> SweepSession::slice_front(
+    const std::vector<EvalResult>& results, size_t& global_front_size) const {
+  // Workload is a scenario, not a knob: the headline front is per
+  // workload; the cross-workload (global) front is reported as a count.
+  // A mixed sweep's front is extracted over the sim-re-scored (promoted)
+  // subset only, so dominance always compares equal-fidelity scores.
+  const std::vector<EvalResult> basis = filter_results(
+      cfg_.mixed() ? promoted_subset(results) : results, constraints_);
+  global_front_size = pareto_front(basis, cfg_.objectives).size();
+  return pareto_front_by_workload(basis, cfg_.objectives);
+}
+
+SweepOutcome SweepSession::run() {
+  SweepOutcome out;
+  EvalStore* st = store();
+  // A private store loads its own snapshot; an external (shared) store is
+  // the batch runner's to load once up front.
+  if (owned_store_ != nullptr && !cfg_.store_in.empty())
+    owned_store_->load_file(cfg_.store_in);
+
+  if (eval_->calibrator() && !cfg_.calibration_csv.empty() &&
+      std::ifstream(cfg_.calibration_csv).good())
+    out.calibration_families_loaded = static_cast<i64>(
+        eval_->calibrator()->load_unit_factors_csv(cfg_.calibration_csv));
+
+  const std::string hash = config_space_hash(space_);
+  const std::string scoring = cfg_.scoring_key();
+  const auto t0 = std::chrono::steady_clock::now();
+  const EvalStore::Entry* entry = st ? st->find(hash, scoring) : nullptr;
+  if (entry != nullptr && entry->space_points != space_.size()) {
+    // Same hash, different size can only mean a corrupted snapshot or a
+    // hash collision — either way the entry must not answer queries.
+    throw std::runtime_error(
+        (st->source().empty() ? std::string("evaluated-space store")
+                              : st->source()) +
+        ": snapshot for space hash " + hash + " records " +
+        std::to_string(entry->space_points) + " points but the space has " +
+        std::to_string(space_.size()));
+  }
+  if (entry == nullptr && owned_store_ != nullptr && !cfg_.store_in.empty()) {
+    // The caller explicitly asked to answer from this snapshot file; a
+    // missing match must fail loudly, not silently re-evaluate 1248
+    // points.
+    throw std::runtime_error(cfg_.store_in +
+                             ": no snapshot for space hash " + hash +
+                             " under scoring \"" + scoring +
+                             "\" — re-run the sweep with --store-out to "
+                             "record one");
+  }
+
+  // The mixed pipeline's promotion set depends on the whole space, so a
+  // partial mixed snapshot cannot be completed point-by-point — only a
+  // complete one answers; otherwise the two-phase sweep runs in full.
+  if (entry != nullptr && (entry->complete() || !cfg_.mixed())) {
+    out.results.resize(static_cast<size_t>(space_.size()));
+    std::vector<index_t> misses;
+    for (index_t i = 0; i < space_.size(); ++i) {
+      const auto it = entry->results.find(i);
+      if (it == entry->results.end()) {
+        misses.push_back(i);
+        continue;
+      }
+      const DesignPoint p = space_.at(i);
+      // Guard against collisions and stale snapshots: the stored row must
+      // denote exactly the point the space enumerates at this index.
+      if (canonical_key(it->second.point) != canonical_key(p))
+        throw std::runtime_error(
+            (st->source().empty() ? std::string("evaluated-space store")
+                                  : st->source()) +
+            ": snapshot point " + std::to_string(i) +
+            " does not match the space (stored " +
+            canonical_key(it->second.point) + ", expected " +
+            canonical_key(p) + ")");
+      out.results[static_cast<size_t>(i)] = it->second;
+    }
+    out.store_hits = space_.size() - static_cast<index_t>(misses.size());
+    if (!misses.empty()) {
+      // Batched misses: one evaluate_points call, so they share the
+      // process-wide pool (and each other's memo-cache warmth).
+      std::vector<DesignPoint> pts;
+      pts.reserve(misses.size());
+      for (const index_t i : misses) pts.push_back(space_.at(i));
+      const std::vector<EvalResult> fresh = eval_->evaluate_points(pts);
+      for (size_t j = 0; j < misses.size(); ++j)
+        out.results[static_cast<size_t>(misses[j])] = fresh[j];
+      out.fresh_evaluations = static_cast<index_t>(misses.size());
+    }
+  } else {
+    out.results = eval_->evaluate_space(space_);
+    out.fresh_evaluations = space_.size();
+  }
+  out.front = slice_front(out.results, out.global_front_size);
+  out.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+
+  if (st != nullptr && out.fresh_evaluations > 0)
+    st->put(hash, scoring, cfg_.scored_by_label(), space_.size(), out.results);
+  if (owned_store_ != nullptr && !cfg_.store_out.empty() &&
+      !owned_store_->save_file(cfg_.store_out))
+    throw std::runtime_error("failed to write " + cfg_.store_out);
+
+  if (eval_->calibrator() && !cfg_.calibration_csv.empty() &&
+      !eval_->calibrator()->unit_factors_csv().write(cfg_.calibration_csv))
+    throw std::runtime_error("failed to write " + cfg_.calibration_csv);
+  return out;
+}
+
+bool SweepSession::verify_serial(const SweepOutcome& out, std::ostream& err) {
+  SweepConfig scfg = cfg_;
+  scfg.threads = 1;
+  scfg.sim_threads = 1;  // fully serial: no layer-level parallelism either
+  // The serial run must actually evaluate — a store answering both runs
+  // would verify nothing but the store's own determinism.
+  scfg.store_in.clear();
+  scfg.store_out.clear();
+  SweepSession serial(scfg);
+  // Identical calibration inputs: the serial evaluator preloads the saved
+  // factors when a CSV path is in play (run() above just wrote them);
+  // otherwise it refits the same (pure) anchor values.
+  SweepOutcome sout = serial.run();
+  const std::string a =
+      results_csv(sout.front, scfg.scored_by_label()).to_string();
+  const std::string b =
+      results_csv(out.front, cfg_.scored_by_label()).to_string();
+  if (a != b) {
+    err << "FAIL: serial and parallel Pareto fronts differ\n";
+    return false;
+  }
+  return true;
+}
+
+StatsWriter SweepSession::stats_writer(const SweepOutcome& out) const {
+  StatsWriter sw({"stat", "value"});
+  const auto put = [&](const std::string& name, auto v) {
+    sw.begin_row();
+    sw.add(name);
+    sw.add(v);
+  };
+  const auto put_cache = [&](const std::string& name, const CacheStats& s) {
+    put(name + "_cache_hits", s.hits);
+    put(name + "_cache_misses", s.misses);
+    put(name + "_cache_races", s.races);
+  };
+  put("eval_points", static_cast<i64>(out.results.size()));
+  put("fresh_evaluations", out.fresh_evaluations);
+  put("store_hits", out.store_hits);
+  put("eval_secs", out.secs);
+  put("threads", cfg_.resolved_threads());
+  put_cache("energy", eval_->energy_cache_stats());
+  put_cache("area", eval_->area_cache_stats());
+  put_cache("accuracy", eval_->accuracy_cache_stats());
+  if (cfg_.backend != EvalBackend::kSim)
+    put_cache("latency", eval_->latency_cache_stats());
+  if (cfg_.backend != EvalBackend::kAnalytic)
+    put_cache("sim", eval_->sim_cache_stats());
+  const WorkStealingPool& pool = WorkStealingPool::shared();
+  put("pool_threads", pool.num_threads());
+  put("pool_runs", pool.run_count());
+  put("pool_steals", pool.steal_count());
+  if (eval_->calibrator())
+    put("calibration_families", eval_->calibrator()->family_count());
+  if (cfg_.mixed()) {
+    const MixedSweepStats& ms = eval_->mixed_stats();
+    put("mixed_total", ms.total);
+    put("mixed_promoted", ms.promoted);
+    put("mixed_band", ms.band);
+    put("mixed_phase1_secs", ms.phase1_secs);
+    put("mixed_phase2_secs", ms.phase2_secs);
+    put("mixed_rounds", static_cast<i64>(ms.rounds.size()));
+  }
+  return sw;
+}
+
+}  // namespace apsq::dse

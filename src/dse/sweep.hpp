@@ -1,0 +1,201 @@
+// Library-level sweep engine: the orchestration `apsq_dse` used to
+// hand-assemble, packaged so any embedder — the CLI, tests, benches, a
+// batch job runner, a future daemon — runs identical sweeps
+// programmatically.
+//
+//   SweepConfig   — one declarative sweep description: space, fidelity
+//                   backend, objective planes, promotion rule,
+//                   calibration, scaling, threading. validate() holds the
+//                   cross-field consistency rules (the CLI's former
+//                   flag_requires / flags_exclusive block), so the flag
+//                   path and the JSON job-spec path reject inconsistent
+//                   configs with identical messages.
+//   SweepSession  — owns the ConfigSpace and the Evaluator a config
+//                   denotes, runs the sweep (optionally answering from /
+//                   recording into an EvalStore), extracts the fronts,
+//                   and can re-verify the result against a fully serial
+//                   re-run.
+//
+// A session attached to an EvalStore answers warm queries without
+// evaluating: if the store holds a snapshot for this space (canonical
+// hash) under this scoring identity (scoring_key()), the stored results
+// are re-sliced — a different objective subset, a constraint filter, a
+// margin ranking — and only missing points are evaluated, batched
+// together through the process-wide shared pool.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats_writer.hpp"
+#include "dse/config_space.hpp"
+#include "dse/evaluator.hpp"
+
+namespace apsq::dse {
+
+class EvalStore;
+
+/// Everything one sweep needs, declaratively. Field semantics and
+/// defaults mirror the apsq_dse flags one-to-one (the *_set booleans
+/// record "explicitly given", which the consistency rules need — an
+/// explicit --promote-band outside the mixed backend is an error, the
+/// default value is not).
+struct SweepConfig {
+  std::string space = "paper";  ///< "paper" (1248 pts) | "smoke" (8 pts)
+  EvalBackend backend = EvalBackend::kAnalytic;
+  /// The plane fronts are extracted (and re-sliced) in.
+  ObjectiveSet objectives;
+  /// Mixed backend: the plane promotion margins are measured in. Follows
+  /// `objectives` unless explicitly set — fixing it while varying
+  /// `objectives` is how a stored mixed sweep stays re-sliceable.
+  ObjectiveSet promote_objectives;
+  bool promote_objectives_set = false;
+  int threads = 0;      ///< 0 = hardware concurrency
+  int sim_threads = 0;  ///< 0 = follow threads (sim/mixed backends only)
+  u64 seed = 0xD5EULL;
+  i64 shrink = 32;   ///< sim backend: dimension divisor
+  i64 max_dim = 48;  ///< sim backend: dimension clamp
+  bool calibrate = false;
+  double promote_band = 0.05;
+  bool promote_band_set = false;
+  bool promote_adaptive = false;
+  i64 promote_budget = 0;
+  bool promote_budget_set = false;
+  bool calibrate_per_class = false;
+  /// Load fitted calibration unit factors from here if the file exists,
+  /// and persist them here after the sweep.
+  std::string calibration_csv;
+  /// Answer this sweep from a snapshot file (error if it has no matching
+  /// snapshot) / snapshot the evaluated space here afterwards.
+  std::string store_in;
+  std::string store_out;
+  /// Optional constraint filter applied to the front basis before
+  /// extraction — comma list of `objective<=value` / `objective>=value`
+  /// terms (e.g. "area<=2.5e6,latency<=0.01"), values in natural units.
+  std::string where;
+
+  bool mixed() const { return backend == EvalBackend::kMixed; }
+
+  /// Cross-field consistency rules — the single authority both the CLI
+  /// and the job-spec path run, so both reject an inconsistent config
+  /// with the identical message and exit 1. Writes the first violation to
+  /// `err` and returns false.
+  bool validate(std::ostream& err = std::cerr) const;
+
+  /// The ConfigSpace `space` names. validate() has already vetted the
+  /// name; this throws std::invalid_argument on an unknown one.
+  ConfigSpace make_space() const;
+
+  /// threads, with 0 resolved to the hardware concurrency.
+  int resolved_threads() const;
+
+  /// promote_objectives if explicitly set, else objectives — the plane
+  /// the evaluator's promotion actually runs in.
+  ObjectiveSet effective_promote_objectives() const;
+
+  /// The EvaluatorOptions this config denotes (what the CLI's main() used
+  /// to assemble inline).
+  EvaluatorOptions evaluator_options() const;
+
+  /// Sweep-level provenance label ("analytic", "sim", "sim+cal",
+  /// "mixed") — the results_csv fallback for rows without their own.
+  std::string scored_by_label() const;
+
+  /// Canonical identity of everything that determines the *values* of
+  /// this sweep's results (backend, seed, scaling, calibration mode,
+  /// promotion rule and plane — but not threads, output paths, or the
+  /// slicing objectives, which never change a score). Two configs with
+  /// equal scoring keys over the same space produce byte-identical result
+  /// sets, which is what lets an EvalStore snapshot stand in for a fresh
+  /// evaluation.
+  std::string scoring_key() const;
+};
+
+/// One term of a `where` constraint filter.
+struct Constraint {
+  Objective objective = Objective::kEnergy;
+  bool upper_bound = true;  ///< true: value <= bound; false: value >= bound
+  double bound = 0.0;
+};
+
+/// Parse a comma list of "objective<=value" / "objective>=value" terms.
+/// Throws std::invalid_argument on unknown objective names, malformed
+/// terms, or a non-finite bound. An empty string yields no constraints.
+std::vector<Constraint> parse_constraints(const std::string& text);
+
+/// The subset of `results` satisfying every constraint (natural units).
+std::vector<EvalResult> filter_results(const std::vector<EvalResult>& results,
+                                       const std::vector<Constraint>& cs);
+
+/// What one sweep produced, plus the accounting a report needs.
+struct SweepOutcome {
+  /// Every point of the space, in enumeration order.
+  std::vector<EvalResult> results;
+  /// Per-workload Pareto front over cfg.objectives (after the `where`
+  /// filter; over the promoted subset for mixed sweeps).
+  std::vector<EvalResult> front;
+  /// Size of the cross-workload (global) front over the same basis.
+  size_t global_front_size = 0;
+  double secs = 0.0;  ///< wall time of the evaluate/lookup phase
+  /// Points actually scored by this run. A fully warm store re-slice
+  /// reports 0 here — the acceptance signal that no evaluation was paid.
+  index_t fresh_evaluations = 0;
+  index_t store_hits = 0;  ///< points answered from the EvalStore
+  /// Families loaded from calibration_csv (-1: no load happened).
+  i64 calibration_families_loaded = -1;
+};
+
+class SweepSession {
+ public:
+  /// The config must already be validate()d — the constructor re-checks
+  /// and throws std::invalid_argument on a violation (so programmatic
+  /// embedders cannot skip the rules), and pins the shared pool width to
+  /// the config's thread count (first session wins, like the CLI did).
+  ///
+  /// `store` attaches an external evaluated-space store shared across
+  /// sessions (the batch job runner's mode); the caller keeps ownership
+  /// and handles load/save. Without one, the session creates a private
+  /// store on demand when store_in / store_out are set, loading store_in
+  /// itself (and failing hard if it has no snapshot for this sweep).
+  explicit SweepSession(SweepConfig cfg, EvalStore* store = nullptr);
+  ~SweepSession();
+
+  /// Run the sweep: answer from the store where possible, evaluate the
+  /// (batched) misses, record the full result set back into the store,
+  /// extract the fronts, persist calibration factors / the store snapshot
+  /// when configured. Throws std::runtime_error on store/calibration I/O
+  /// or consistency failures.
+  SweepOutcome run();
+
+  /// Re-run fully serially (threads = 1, no store) and require the
+  /// per-workload front CSV to be byte-identical to `out`'s. Returns
+  /// false (after writing a diagnostic to `err`) on a mismatch — the
+  /// CLI's --verify-serial.
+  bool verify_serial(const SweepOutcome& out, std::ostream& err = std::cerr);
+
+  /// The --stats-json table for one outcome: eval/cache/pool counters,
+  /// store hit accounting, calibration family count, mixed phase
+  /// timings.
+  StatsWriter stats_writer(const SweepOutcome& out) const;
+
+  Evaluator& evaluator() { return *eval_; }
+  const ConfigSpace& space() const { return space_; }
+  const SweepConfig& config() const { return cfg_; }
+  /// The attached store (external or private), nullptr when none.
+  EvalStore* store();
+
+ private:
+  std::vector<EvalResult> slice_front(const std::vector<EvalResult>& results,
+                                      size_t& global_front_size) const;
+
+  SweepConfig cfg_;
+  ConfigSpace space_;
+  std::vector<Constraint> constraints_;
+  std::unique_ptr<Evaluator> eval_;
+  EvalStore* external_store_ = nullptr;
+  std::unique_ptr<EvalStore> owned_store_;
+};
+
+}  // namespace apsq::dse

@@ -1,0 +1,188 @@
+// The job-spec layer's contract: defaults merge field-by-field under each
+// experiment, every recognized field maps onto SweepConfig exactly as the
+// CLI flag would, and parsing is strict — unknown keys, wrong types, and
+// out-of-range values throw naming the source, the experiment, and the
+// key. Cross-field consistency stays with SweepConfig::validate(), so the
+// spec path rejects inconsistent configs with the CLI's exact messages.
+#include "dse/jobspec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace apsq::dse {
+namespace {
+
+JobSpec parse_text(const std::string& text) {
+  return JobSpec::parse(json_parse(text), "<spec>");
+}
+
+void expect_parse_error(const std::string& text,
+                        const std::string& fragment) {
+  try {
+    parse_text(text);
+    FAIL() << "expected parse to throw for: " << text;
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("<spec>"), 0u) << what;
+    EXPECT_NE(what.find(fragment), std::string::npos) << what;
+  }
+}
+
+TEST(JobSpec, DefaultsMergeUnderEachExperiment) {
+  const JobSpec spec = parse_text(
+      "{\"store_in\": \"in.json\", \"store_out\": \"out.json\","
+      " \"defaults\": {\"space\": \"smoke\", \"threads\": 2, \"seed\": 7},"
+      " \"experiments\": ["
+      "   {\"name\": \"a\"},"
+      "   {\"name\": \"b\", \"threads\": 3,"
+      "    \"objectives\": \"energy,latency\", \"top\": 0}]}");
+  EXPECT_EQ(spec.store_in, "in.json");
+  EXPECT_EQ(spec.store_out, "out.json");
+  ASSERT_EQ(spec.experiments.size(), 2u);
+  const JobExperiment& a = spec.experiments[0];
+  EXPECT_EQ(a.name, "a");
+  EXPECT_EQ(a.config.space, "smoke");
+  EXPECT_EQ(a.config.threads, 2);
+  EXPECT_EQ(a.config.seed, 7u);
+  EXPECT_EQ(a.config.objectives.to_string(), "energy,area,error,latency");
+  EXPECT_EQ(a.top, 20);
+  const JobExperiment& b = spec.experiments[1];
+  EXPECT_EQ(b.config.space, "smoke");   // inherited
+  EXPECT_EQ(b.config.threads, 3);       // overridden
+  EXPECT_EQ(b.config.seed, 7u);         // inherited
+  EXPECT_EQ(b.config.objectives.to_string(), "energy,latency");
+  EXPECT_EQ(b.top, 0);
+}
+
+TEST(JobSpec, UnnamedExperimentsGetIndexNames) {
+  const JobSpec spec =
+      parse_text("{\"experiments\": [{}, {\"space\": \"smoke\"}]}");
+  EXPECT_EQ(spec.experiments[0].name, "exp0");
+  EXPECT_EQ(spec.experiments[1].name, "exp1");
+}
+
+TEST(JobSpec, FieldsMapOntoSweepConfigLikeTheFlags) {
+  const JobSpec spec = parse_text(
+      "{\"experiments\": [{"
+      " \"backend\": \"mixed\", \"promote_adaptive\": true,"
+      " \"promote_objectives\": \"energy,latency\","
+      " \"calibrate_per_class\": true, \"calibration_csv\": \"cal.csv\","
+      " \"sim_threads\": 2, \"shrink\": 16, \"max_dim\": 32,"
+      " \"where\": \"area<=2.5e6\","
+      " \"csv\": \"pts.csv\", \"front_csv\": \"front.csv\"}]}");
+  const JobExperiment& e = spec.experiments[0];
+  EXPECT_EQ(e.config.backend, EvalBackend::kMixed);
+  EXPECT_TRUE(e.config.promote_adaptive);
+  EXPECT_TRUE(e.config.promote_objectives_set);
+  EXPECT_EQ(e.config.promote_objectives.to_string(), "energy,latency");
+  EXPECT_TRUE(e.config.calibrate_per_class);
+  EXPECT_EQ(e.config.calibration_csv, "cal.csv");
+  EXPECT_EQ(e.config.sim_threads, 2);
+  EXPECT_EQ(e.config.shrink, 16);
+  EXPECT_EQ(e.config.max_dim, 32);
+  EXPECT_EQ(e.config.where, "area<=2.5e6");
+  EXPECT_EQ(e.csv, "pts.csv");
+  EXPECT_EQ(e.front_csv, "front.csv");
+  // The merged config passes the same consistency rules the CLI runs.
+  std::ostringstream err;
+  EXPECT_TRUE(e.config.validate(err));
+}
+
+TEST(JobSpec, RejectsUnknownKeysNamingExperimentAndKey) {
+  expect_parse_error("{\"experiments\": [{\"nme\": \"x\"}]}",
+                     "experiment 0: unknown key \"nme\"");
+  expect_parse_error(
+      "{\"defaults\": {\"spce\": \"paper\"}, \"experiments\": [{}]}",
+      "defaults: unknown key \"spce\"");
+  expect_parse_error("{\"experimnts\": []}", "spec: unknown key");
+  expect_parse_error("{\"defaults\": {\"name\": \"x\"}, \"experiments\": [{}]}",
+                     "\"name\" is not a defaults field");
+}
+
+TEST(JobSpec, RejectsWrongTypesAndOutOfRangeValues) {
+  expect_parse_error("{\"experiments\": [{\"threads\": \"four\"}]}",
+                     "\"threads\"");
+  expect_parse_error("{\"experiments\": [{\"threads\": 0}]}",
+                     "\"threads\" must be in [1, 4096]");
+  expect_parse_error("{\"experiments\": [{\"threads\": 2.5}]}",
+                     "expected an integer");
+  expect_parse_error("{\"experiments\": [{\"seed\": -1}]}",
+                     "\"seed\" must be >= 0");
+  expect_parse_error("{\"experiments\": [{\"promote_band\": -0.5}]}",
+                     "\"promote_band\" must be >= 0");
+  expect_parse_error("{\"experiments\": [{\"promote_budget\": 0}]}",
+                     "\"promote_budget\" must be in");
+  expect_parse_error("{\"experiments\": [{\"backend\": \"warp\"}]}",
+                     "\"backend\"");
+  expect_parse_error("{\"experiments\": [{\"objectives\": \"energy,joy\"}]}",
+                     "unknown objective");
+  expect_parse_error("{\"experiments\": [{\"where\": \"area=1\"}]}",
+                     "\"where\"");
+}
+
+TEST(JobSpec, RejectsStructuralMistakes) {
+  expect_parse_error("{}", "missing \"experiments\" array");
+  expect_parse_error("{\"experiments\": []}", "\"experiments\" is empty");
+  expect_parse_error("{\"experiments\": {}}", "expected an array");
+  expect_parse_error("[]", "top-level value is not an object");
+}
+
+TEST(JobSpec, InconsistentConfigsFailValidateWithTheCliMessage) {
+  // The spec parses — promotion flags are per-field legal — but the
+  // merged config violates the same cross-field rule the CLI enforces,
+  // with the identical message.
+  const JobSpec spec = parse_text(
+      "{\"experiments\": [{\"backend\": \"analytic\","
+      " \"promote_band\": 0.1}]}");
+  std::ostringstream err;
+  EXPECT_FALSE(spec.experiments[0].config.validate(err));
+  EXPECT_EQ(err.str(), "--promote-band: requires --backend mixed\n");
+}
+
+TEST(JobSpec, ParseFilePrefixesErrorsWithThePath) {
+  const std::string path = ::testing::TempDir() + "jobspec_test_bad.json";
+  std::ofstream(path) << "{\"experiments\": [{\"zzz\": 1}]}";
+  try {
+    JobSpec::parse_file(path);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).find(path), 0u) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+/// The bundled specs, findable whether the test runs from the repo root
+/// or from a build directory one level below it.
+std::string bundled_spec(const std::string& name) {
+  for (const char* prefix : {"examples/jobs/", "../examples/jobs/"}) {
+    const std::string path = prefix + name;
+    if (std::ifstream(path).good()) return path;
+  }
+  return "";
+}
+
+TEST(JobSpec, BundledExampleSpecsParse) {
+  // The specs shipped under examples/jobs must stay loadable; CI runs the
+  // smoke one end-to-end.
+  const std::string smoke_path = bundled_spec("smoke_jobs.json");
+  const std::string paper_path = bundled_spec("paper_space.json");
+  if (smoke_path.empty() || paper_path.empty())
+    GTEST_SKIP() << "examples/jobs not reachable from the test cwd";
+  const JobSpec smoke = JobSpec::parse_file(smoke_path);
+  EXPECT_EQ(smoke.experiments.size(), 2u);
+  const JobSpec paper = JobSpec::parse_file(paper_path);
+  EXPECT_EQ(paper.experiments.size(), 4u);
+  for (const JobExperiment& e : paper.experiments) {
+    std::ostringstream err;
+    EXPECT_TRUE(e.config.validate(err)) << e.name << ": " << err.str();
+  }
+}
+
+}  // namespace
+}  // namespace apsq::dse

@@ -1,0 +1,338 @@
+// The evaluated-space store's contract: snapshots round-trip
+// byte-stably; a warm reload answers re-slices over any objective subset
+// with zero fresh evaluations and a front byte-identical to a fresh
+// sweep; and every cold-path failure — corrupt, truncated, wrong-format,
+// wrong-version, index-damaged, or space-mismatched snapshots — throws a
+// std::runtime_error naming the file and the reason, never crashes, and
+// never silently stands in for real results.
+#include "dse/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dse/report.hpp"
+#include "dse/sweep.hpp"
+
+namespace apsq::dse {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "apsq_store_test_" + name;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream(path, std::ios::binary) << text;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// EXPECT the load to throw a runtime_error whose message contains both
+/// the file path and `reason_fragment` (the "names file and reason"
+/// contract), and leave the store empty.
+void expect_load_error(const std::string& path,
+                       const std::string& reason_fragment) {
+  EvalStore store;
+  try {
+    store.load_file(path);
+    FAIL() << "expected load_file(" << path << ") to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find(reason_fragment), std::string::npos) << what;
+  }
+  EXPECT_EQ(store.entry_count(), 0u);
+}
+
+TEST(ConfigSpaceHash, IdenticalSpacesHashEqualDifferentSpacesDont) {
+  EXPECT_EQ(config_space_hash(ConfigSpace::smoke()),
+            config_space_hash(ConfigSpace::smoke()));
+  EXPECT_NE(config_space_hash(ConfigSpace::smoke()),
+            config_space_hash(ConfigSpace::paper_default()));
+  ConfigSpace tweaked = ConfigSpace::smoke();
+  tweaked.act_bits = 16;
+  EXPECT_NE(config_space_hash(tweaked), config_space_hash(ConfigSpace::smoke()));
+}
+
+TEST(EvalStore, RoundTripPreservesEveryResultByteExactly) {
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  SweepSession session(cfg);
+  const SweepOutcome out = session.run();
+  const std::string hash = config_space_hash(session.space());
+
+  EvalStore store;
+  store.put(hash, cfg.scoring_key(), cfg.scored_by_label(), 8, out.results);
+  const std::string path = temp_path("roundtrip.json");
+  ASSERT_TRUE(store.save_file(path));
+
+  EvalStore reloaded;
+  EXPECT_EQ(reloaded.load_file(path), 1u);
+  EXPECT_EQ(reloaded.source(), path);
+  const EvalStore::Entry* e = reloaded.find(hash, cfg.scoring_key());
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->complete());
+  EXPECT_EQ(e->backend, "analytic");
+  std::vector<EvalResult> restored;
+  for (const auto& [idx, r] : e->results) restored.push_back(r);
+  EXPECT_EQ(results_csv(restored, "analytic").to_string(),
+            results_csv(out.results, "analytic").to_string());
+  // Serialization is byte-stable: saving the reloaded store reproduces
+  // the file.
+  EXPECT_EQ(reloaded.to_json(), read_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(EvalStore, ColdPathRejectsCorruptAndTruncatedSnapshots) {
+  const std::string bad = temp_path("corrupt.json");
+  write_file(bad, "{\"format\": \"apsq-evalstore\", ");
+  expect_load_error(bad, "expected a string key");
+
+  // A truncated tail of a real snapshot: valid prefix, severed mid-array.
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  cfg.store_out = temp_path("whole.json");
+  SweepSession(cfg).run();
+  const std::string whole = read_file(cfg.store_out);
+  write_file(bad, whole.substr(0, whole.size() / 2));
+  expect_load_error(bad, "unterminated");
+
+  expect_load_error(temp_path("absent.json"), "cannot open file");
+  std::remove(bad.c_str());
+  std::remove(cfg.store_out.c_str());
+}
+
+TEST(EvalStore, ColdPathRejectsWrongFormatVersionAndDamagedRows) {
+  const std::string path = temp_path("damaged.json");
+  write_file(path, "[1, 2, 3]");
+  expect_load_error(path, "not an evaluated-space snapshot");
+  write_file(path, "{\"format\": \"something-else\", \"version\": 1}");
+  expect_load_error(path, "not an evaluated-space snapshot");
+
+  // Build one genuine snapshot, then damage it in targeted ways.
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  cfg.store_out = temp_path("genuine.json");
+  SweepSession(cfg).run();
+  const std::string good = read_file(cfg.store_out);
+  std::remove(cfg.store_out.c_str());
+
+  auto replace_first = [&](const std::string& from, const std::string& to) {
+    std::string s = good;
+    const size_t at = s.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    s.replace(at, from.size(), to);
+    return s;
+  };
+
+  write_file(path, replace_first("\"version\": 1", "\"version\": 99"));
+  expect_load_error(path, "unsupported snapshot version 99");
+  write_file(path, replace_first("\"i\": 3", "\"i\": 12"));
+  expect_load_error(path, "out of range");
+  write_file(path, replace_first("\"i\": 3", "\"i\": 0"));
+  expect_load_error(path, "duplicate point index 0");
+  write_file(path, replace_first("\"points\": 8", "\"points\": 0"));
+  // 8 results against a claimed 0-point space: rejected either as a bad
+  // count or as too many results — both name the entry.
+  expect_load_error(path, "entry 0");
+  write_file(path, replace_first("\"error\": ", "\"error\": 1e999; "));
+  expect_load_error(path, "");  // any parse/range error, file named
+  std::remove(path.c_str());
+}
+
+TEST(EvalStore, SessionRejectsSnapshotsOfADifferentSpace) {
+  // Snapshot the smoke space, then ask a paper-space sweep to answer from
+  // it: the scoring key matches but the hash doesn't, so --store-in must
+  // fail loudly instead of silently re-evaluating.
+  SweepConfig cold;
+  cold.space = "smoke";
+  cold.threads = 1;
+  cold.store_out = temp_path("smoke_space.json");
+  SweepSession(cold).run();
+
+  SweepConfig warm;
+  warm.space = "paper";
+  warm.threads = 1;
+  warm.store_in = cold.store_out;
+  SweepSession session(warm);
+  try {
+    session.run();
+    FAIL() << "expected run() to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(cold.store_out), std::string::npos) << what;
+    EXPECT_NE(what.find("no snapshot for space hash"), std::string::npos)
+        << what;
+  }
+  std::remove(cold.store_out.c_str());
+}
+
+TEST(EvalStore, SessionRejectsPointCountAndIdentityMismatches) {
+  SweepConfig cold;
+  cold.space = "smoke";
+  cold.threads = 1;
+  cold.store_out = temp_path("tampered.json");
+  SweepSession(cold).run();
+  const std::string good = read_file(cold.store_out);
+
+  auto run_warm = [&]() {
+    SweepConfig warm;
+    warm.space = "smoke";
+    warm.threads = 1;
+    warm.store_in = cold.store_out;
+    SweepSession session(warm);
+    return session.run();
+  };
+
+  // Same hash, different recorded size: a corrupted or colliding entry.
+  std::string tampered = good;
+  const size_t at = tampered.find("\"points\": 8");
+  ASSERT_NE(at, std::string::npos);
+  tampered.replace(at, 11, "\"points\": 9");
+  write_file(cold.store_out, tampered);
+  EXPECT_THROW(run_warm(), std::runtime_error);
+
+  // Same hash and size, but a row denotes a different configuration than
+  // the space enumerates at its index — the per-row canonical-key guard.
+  tampered = good;
+  const size_t wl = tampered.find("\"workload\": \"bert\"");
+  ASSERT_NE(wl, std::string::npos);
+  tampered.replace(wl, 18, "\"workload\": \"zzzz\"");
+  write_file(cold.store_out, tampered);
+  try {
+    run_warm();
+    FAIL() << "expected run() to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("does not match the space"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(cold.store_out.c_str());
+}
+
+/// Satellite 3 — re-slice equivalence: a front re-sliced from a loaded
+/// store over a different ObjectiveSet subset must be byte-identical to a
+/// fresh sweep run directly with those objectives, and must pay zero
+/// fresh evaluations.
+void expect_reslice_equivalence(SweepConfig base, const std::string& tag,
+                                const std::string& new_objectives) {
+  const std::string path = temp_path("reslice_" + tag + ".json");
+  SweepConfig cold = base;
+  cold.store_out = path;
+  SweepSession(cold).run();
+
+  SweepConfig warm = base;
+  warm.store_in = path;
+  warm.objectives = ObjectiveSet::parse(new_objectives);
+  SweepSession warm_session(warm);
+  const SweepOutcome warm_out = warm_session.run();
+  EXPECT_EQ(warm_out.fresh_evaluations, 0) << tag;
+  EXPECT_EQ(warm_out.store_hits, 8) << tag;
+
+  SweepConfig fresh = base;
+  fresh.objectives = warm.objectives;
+  SweepSession fresh_session(fresh);
+  const SweepOutcome fresh_out = fresh_session.run();
+  EXPECT_GT(fresh_out.fresh_evaluations, 0) << tag;
+
+  EXPECT_EQ(
+      results_csv(warm_out.front, warm.scored_by_label()).to_string(),
+      results_csv(fresh_out.front, fresh.scored_by_label()).to_string())
+      << tag;
+  std::remove(path.c_str());
+}
+
+TEST(EvalStore, ResliceEquivalenceAnalytic) {
+  SweepConfig base;
+  base.space = "smoke";
+  base.threads = 1;
+  expect_reslice_equivalence(base, "analytic", "energy,latency");
+  expect_reslice_equivalence(base, "analytic_max",
+                             "energy,latency,pe_utilization");
+}
+
+TEST(EvalStore, ResliceEquivalenceSimCalibrated) {
+  SweepConfig base;
+  base.space = "smoke";
+  base.threads = 1;
+  base.backend = EvalBackend::kSim;
+  base.calibrate = true;
+  base.max_dim = 32;
+  expect_reslice_equivalence(base, "simcal", "energy,latency");
+}
+
+TEST(EvalStore, ResliceEquivalenceMixedAdaptive) {
+  SweepConfig base;
+  base.space = "smoke";
+  base.threads = 1;
+  base.backend = EvalBackend::kMixed;
+  base.promote_adaptive = true;
+  base.max_dim = 32;
+  // Pin the promotion plane: the scoring identity (which points were
+  // promoted, and to which values) must not move when the slicing
+  // objectives do — that is exactly what keeps a stored mixed sweep
+  // re-sliceable.
+  base.promote_objectives = ObjectiveSet::core();
+  base.promote_objectives_set = true;
+  expect_reslice_equivalence(base, "mixed_adaptive", "energy,latency");
+}
+
+TEST(EvalStore, PartialSnapshotBatchesOnlyTheMisses) {
+  // Evaluate the space, drop half the rows, and reload: the session must
+  // answer the surviving rows from the store and evaluate exactly the
+  // missing ones, and the merged front must match a fresh sweep's.
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  SweepSession full(cfg);
+  const SweepOutcome full_out = full.run();
+
+  ConfigSpace space = ConfigSpace::smoke();
+  const std::string hash = config_space_hash(space);
+  EvalStore store;
+  std::vector<EvalResult> half(full_out.results.begin(),
+                               full_out.results.begin() + 4);
+  store.put(hash, cfg.scoring_key(), cfg.scored_by_label(), 8, half);
+
+  SweepSession warm(cfg, &store);
+  const SweepOutcome warm_out = warm.run();
+  EXPECT_EQ(warm_out.store_hits, 4);
+  EXPECT_EQ(warm_out.fresh_evaluations, 4);
+  EXPECT_EQ(results_csv(warm_out.front).to_string(),
+            results_csv(full_out.front).to_string());
+  // The merged sweep was recorded back: the entry is now complete.
+  const EvalStore::Entry* e = store.find(hash, cfg.scoring_key());
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->complete());
+}
+
+TEST(EvalStore, SharedStoreAnswersAcrossSessions) {
+  // The batch-runner pattern: two sessions over one external store — the
+  // second pays nothing.
+  EvalStore store;
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  SweepSession first(cfg, &store);
+  EXPECT_EQ(first.run().fresh_evaluations, 8);
+  SweepConfig resliced = cfg;
+  resliced.objectives = ObjectiveSet::parse("energy,area");
+  SweepSession second(resliced, &store);
+  const SweepOutcome out = second.run();
+  EXPECT_EQ(out.fresh_evaluations, 0);
+  EXPECT_EQ(out.store_hits, 8);
+}
+
+}  // namespace
+}  // namespace apsq::dse

@@ -1,0 +1,235 @@
+// The sweep engine's contract: SweepConfig::validate() is the single
+// authority on cross-field consistency (same messages the CLI used to
+// print), constraint filters parse strictly, scoring_key() separates what
+// changes result values from what doesn't, and a SweepSession reproduces
+// the hand-assembled orchestration byte-for-byte.
+#include "dse/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "dse/pareto.hpp"
+#include "dse/report.hpp"
+
+namespace apsq::dse {
+namespace {
+
+std::string validate_message(const SweepConfig& cfg) {
+  std::ostringstream err;
+  EXPECT_FALSE(cfg.validate(err));
+  return err.str();
+}
+
+TEST(SweepConfig, DefaultConfigValidates) {
+  std::ostringstream err;
+  EXPECT_TRUE(SweepConfig{}.validate(err));
+  EXPECT_EQ(err.str(), "");
+}
+
+TEST(SweepConfig, ValidateMessagesMatchTheCliFlagRules) {
+  SweepConfig c;
+  c.space = "nope";
+  EXPECT_EQ(validate_message(c), "unknown space: nope (try --help)\n");
+
+  c = SweepConfig{};
+  c.calibrate = true;
+  EXPECT_EQ(validate_message(c),
+            "--calibrate: requires --backend sim or mixed\n");
+
+  c = SweepConfig{};
+  c.promote_band_set = true;
+  EXPECT_EQ(validate_message(c),
+            "--promote-band: requires --backend mixed\n");
+
+  c = SweepConfig{};
+  c.promote_adaptive = true;
+  EXPECT_EQ(validate_message(c),
+            "--promote-adaptive: requires --backend mixed\n");
+
+  c = SweepConfig{};
+  c.promote_budget = 4;
+  c.promote_budget_set = true;
+  EXPECT_EQ(validate_message(c),
+            "--promote-budget: requires --backend mixed\n");
+
+  c = SweepConfig{};
+  c.promote_objectives_set = true;
+  EXPECT_EQ(validate_message(c),
+            "--promote-objectives: requires --backend mixed\n");
+
+  c = SweepConfig{};
+  c.backend = EvalBackend::kMixed;
+  c.promote_band_set = true;
+  c.promote_adaptive = true;
+  EXPECT_EQ(validate_message(c),
+            "--promote-band and --promote-adaptive are mutually exclusive\n");
+
+  c = SweepConfig{};
+  c.backend = EvalBackend::kMixed;
+  c.promote_adaptive = true;
+  c.promote_budget = 4;
+  c.promote_budget_set = true;
+  EXPECT_EQ(
+      validate_message(c),
+      "--promote-adaptive and --promote-budget are mutually exclusive\n");
+
+  c = SweepConfig{};
+  c.calibration_csv = "cal.csv";
+  EXPECT_EQ(validate_message(c),
+            "--calibration-csv: requires --calibrate or --backend mixed\n");
+
+  c = SweepConfig{};
+  c.calibrate_per_class = true;
+  EXPECT_EQ(validate_message(c),
+            "--calibrate-per-class: requires --calibrate or --backend mixed\n");
+}
+
+TEST(SweepConfig, SessionConstructorEnforcesValidation) {
+  SweepConfig c;
+  c.calibrate = true;  // analytic backend: inconsistent
+  EXPECT_THROW(SweepSession{c}, std::invalid_argument);
+}
+
+TEST(SweepConfig, ScoringKeyIgnoresThreadsSlicingAndOutputs) {
+  SweepConfig a;
+  a.threads = 1;
+  SweepConfig b;
+  b.threads = 7;
+  b.objectives = ObjectiveSet::parse("energy,latency");
+  b.store_out = "x.json";
+  EXPECT_EQ(a.scoring_key(), b.scoring_key());
+}
+
+TEST(SweepConfig, ScoringKeySeparatesValueChangingKnobs) {
+  const SweepConfig base;
+  SweepConfig c = base;
+  c.seed = 1;
+  EXPECT_NE(c.scoring_key(), base.scoring_key());
+  c = base;
+  c.backend = EvalBackend::kSim;
+  EXPECT_NE(c.scoring_key(), base.scoring_key());
+  // Sim scaling is irrelevant to the analytic backend but part of the sim
+  // identity.
+  SweepConfig an = base;
+  an.shrink = 16;
+  EXPECT_EQ(an.scoring_key(), base.scoring_key());
+  SweepConfig sim = base;
+  sim.backend = EvalBackend::kSim;
+  SweepConfig sim2 = sim;
+  sim2.shrink = 16;
+  EXPECT_NE(sim2.scoring_key(), sim.scoring_key());
+  // The promotion rule and plane are part of the mixed identity only.
+  SweepConfig mx = base;
+  mx.backend = EvalBackend::kMixed;
+  SweepConfig mx2 = mx;
+  mx2.promote_band = 0.2;
+  mx2.promote_band_set = true;
+  EXPECT_NE(mx2.scoring_key(), mx.scoring_key());
+  SweepConfig mx3 = mx;
+  mx3.promote_objectives = ObjectiveSet::parse("energy,latency");
+  mx3.promote_objectives_set = true;
+  EXPECT_NE(mx3.scoring_key(), mx.scoring_key());
+}
+
+TEST(SweepConfig, EffectivePromoteObjectivesFollowObjectivesUnlessPinned) {
+  SweepConfig c;
+  c.objectives = ObjectiveSet::parse("energy,latency");
+  EXPECT_EQ(c.effective_promote_objectives().to_string(), "energy,latency");
+  c.promote_objectives = ObjectiveSet::parse("energy,area");
+  c.promote_objectives_set = true;
+  EXPECT_EQ(c.effective_promote_objectives().to_string(), "energy,area");
+}
+
+TEST(Constraints, ParseAcceptsBothSensesAndLists) {
+  const auto cs = parse_constraints("area<=2.5e6,pe_utilization>=0.5");
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].objective, Objective::kArea);
+  EXPECT_TRUE(cs[0].upper_bound);
+  EXPECT_DOUBLE_EQ(cs[0].bound, 2.5e6);
+  EXPECT_EQ(cs[1].objective, Objective::kPeUtilization);
+  EXPECT_FALSE(cs[1].upper_bound);
+  EXPECT_DOUBLE_EQ(cs[1].bound, 0.5);
+  EXPECT_TRUE(parse_constraints("").empty());
+}
+
+TEST(Constraints, ParseRejectsUnknownNamesAndMalformedTerms) {
+  EXPECT_THROW(parse_constraints("watts<=1"), std::invalid_argument);
+  EXPECT_THROW(parse_constraints("area=1"), std::invalid_argument);
+  EXPECT_THROW(parse_constraints("area<=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_constraints("<=5"), std::invalid_argument);
+}
+
+TEST(Constraints, FilterKeepsExactlyTheSatisfyingResults) {
+  std::vector<EvalResult> rs(3);
+  rs[0].obj.area_um2 = 1.0;
+  rs[1].obj.area_um2 = 2.0;
+  rs[2].obj.area_um2 = 3.0;
+  const auto kept = filter_results(rs, parse_constraints("area<=2"));
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[1].obj.area_um2, 2.0);
+}
+
+TEST(SweepSession, SmokeSweepMatchesHandAssembledOrchestration) {
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  SweepSession session(cfg);
+  const SweepOutcome out = session.run();
+  EXPECT_EQ(out.results.size(), 8u);
+  EXPECT_EQ(out.fresh_evaluations, 8);
+  EXPECT_EQ(out.store_hits, 0);
+  // The front the session extracts is the front the pareto machinery
+  // extracts from the same results.
+  const auto expect = pareto_front_by_workload(out.results, cfg.objectives);
+  EXPECT_EQ(results_csv(out.front).to_string(),
+            results_csv(expect).to_string());
+  EXPECT_EQ(out.global_front_size,
+            pareto_front(out.results, cfg.objectives).size());
+}
+
+TEST(SweepSession, WhereFilterShrinksTheFrontBasis) {
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  cfg.objectives = ObjectiveSet::parse("energy,latency");
+  SweepSession unfiltered(cfg);
+  const SweepOutcome all = unfiltered.run();
+  // Constrain area below the smallest value present: nothing survives.
+  cfg.where = "area<=1";
+  SweepSession filtered(cfg);
+  const SweepOutcome none = filtered.run();
+  EXPECT_GT(all.front.size(), 0u);
+  EXPECT_EQ(none.front.size(), 0u);
+  EXPECT_EQ(none.global_front_size, 0u);
+}
+
+TEST(SweepSession, VerifySerialHoldsOnSmokeSpace) {
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 2;
+  SweepSession session(cfg);
+  const SweepOutcome out = session.run();
+  std::ostringstream err;
+  EXPECT_TRUE(session.verify_serial(out, err));
+  EXPECT_EQ(err.str(), "");
+}
+
+TEST(SweepSession, StatsWriterReportsEvalAndStoreAccounting) {
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  SweepSession session(cfg);
+  const SweepOutcome out = session.run();
+  const std::string json = session.stats_writer(out).to_json();
+  EXPECT_NE(json.find("\"stat\": \"eval_points\", \"value\": 8"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"stat\": \"fresh_evaluations\", \"value\": 8"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"stat\": \"store_hits\", \"value\": 0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace apsq::dse
