@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "energy/energy_model.hpp"
@@ -76,22 +77,20 @@ bool parse(int argc, char** argv, Options& o) {
       o.dataflow = v;
     } else if (a == "--psum-bits") {
       const char* v = next("--psum-bits");
-      if (!v) return false;
-      o.psum_bits = std::atoi(v);
+      if (!v || !parse_int_flag("--psum-bits", v, 1, 64, o.psum_bits))
+        return false;
     } else if (a == "--no-apsq") {
       o.apsq = false;
     } else if (a == "--gs") {
       const char* v = next("--gs");
-      if (!v) return false;
-      o.gs = std::atoll(v);
+      if (!v || !parse_i64_flag("--gs", v, 1, 1024, o.gs)) return false;
     } else if (a == "--seq") {
       const char* v = next("--seq");
-      if (!v) return false;
-      o.seq = std::atoll(v);
+      if (!v || !parse_i64_flag("--seq", v, 1, 1 << 24, o.seq)) return false;
     } else if (a == "--ofmap-kb") {
       const char* v = next("--ofmap-kb");
-      if (!v) return false;
-      o.ofmap_kb = std::atoll(v);
+      if (!v || !parse_i64_flag("--ofmap-kb", v, 0, 1 << 24, o.ofmap_kb))
+        return false;
     } else if (a == "--sweep-gs") {
       o.sweep_gs = true;
     } else if (a == "--csv") {

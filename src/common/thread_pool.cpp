@@ -27,8 +27,16 @@ struct WorkStealingPool::Run {
   i64 id = 0;  ///< 1-based dispatch order; tags this run's trace events
   std::atomic<index_t> remaining{0};
   std::atomic<bool> stop{false};
-  std::mutex err_mu;
-  std::exception_ptr first_error;
+  Mutex err_mu;
+  std::exception_ptr first_error APSQ_GUARDED_BY(err_mu);
+
+  /// The error slot, read by the submitter once the run has quiesced
+  /// (remaining == 0 and help_until_done returned, so no task can still
+  /// be writing it).
+  std::exception_ptr take_error() APSQ_EXCLUDES(err_mu) {
+    MutexLock lock(err_mu);
+    return first_error;
+  }
 };
 
 // A queued work item: which run it belongs to and which index to execute.
@@ -44,8 +52,8 @@ struct WorkStealingPool::Task {
 // milliseconds each, so lock traffic is noise next to the work. (A
 // lock-free Chase–Lev deque would buy nothing at this granularity.)
 struct WorkStealingPool::Queue {
-  std::mutex mu;
-  std::deque<Task> items;
+  Mutex mu;
+  std::deque<Task> items APSQ_GUARDED_BY(mu);
 };
 
 WorkStealingPool::WorkStealingPool(int num_threads)
@@ -64,7 +72,7 @@ WorkStealingPool::WorkStealingPool(int num_threads)
 
 WorkStealingPool::~WorkStealingPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -74,7 +82,7 @@ WorkStealingPool::~WorkStealingPool() {
 
 void WorkStealingPool::enable_tracing(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(trace_mu_);
+    MutexLock lock(trace_mu_);
     trace_path_ = path;
   }
   tracing_.store(true, std::memory_order_relaxed);
@@ -82,22 +90,22 @@ void WorkStealingPool::enable_tracing(const std::string& path) {
 
 void WorkStealingPool::record_trace(const TraceEvent& e) {
   if (tls_worker_of == this) {
+    // Single-writer by construction: worker w is the only thread that
+    // ever appends to worker_trace_[w], and readers wait for the joins.
     worker_trace_[static_cast<size_t>(tls_worker_index)].push_back(e);
   } else {
-    std::lock_guard<std::mutex> lock(trace_mu_);
+    MutexLock lock(trace_mu_);
     external_trace_.push_back(e);
   }
 }
 
 void WorkStealingPool::flush_trace() {
   if (!tracing_.load(std::memory_order_relaxed)) return;
-  std::string path;
-  {
-    std::lock_guard<std::mutex> lock(trace_mu_);
-    path = trace_path_;
-  }
-  if (path.empty()) return;
-  std::ofstream out(path);
+  // Called from the destructor after the joins, so holding trace_mu_
+  // across the file write contends with nothing.
+  MutexLock lock(trace_mu_);
+  if (trace_path_.empty()) return;
+  std::ofstream out(trace_path_);
   if (!out) return;  // an unwritable path must not crash shutdown
   out << "{\"traceEvents\":[";
   bool first = true;
@@ -140,7 +148,7 @@ WorkStealingPool& WorkStealingPool::shared() {
 
 bool WorkStealingPool::try_pop_own(index_t w, Task& t) {
   Queue& q = *queues_[static_cast<size_t>(w)];
-  std::lock_guard<std::mutex> lock(q.mu);
+  MutexLock lock(q.mu);
   if (q.items.empty()) return false;
   t = q.items.front();
   q.items.pop_front();
@@ -154,7 +162,7 @@ bool WorkStealingPool::try_steal(index_t skip, Task& t) {
         skip >= 0 ? (skip + 1 + k) % num_threads_ : k;
     if (victim == skip) continue;
     Queue& q = *queues_[static_cast<size_t>(victim)];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (q.items.empty()) continue;
     t = q.items.back();
     q.items.pop_back();
@@ -175,7 +183,7 @@ void WorkStealingPool::execute(const Task& t) {
       (*run.fn)(t.idx);
     } catch (...) {
       run.stop.store(true, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(run.err_mu);
+      MutexLock lock(run.err_mu);
       if (!run.first_error) run.first_error = std::current_exception();
     }
   }
@@ -197,7 +205,7 @@ void WorkStealingPool::execute(const Task& t) {
   // Account last: once remaining hits 0 the submitter may wake and destroy
   // the Run, so nothing may touch it after this thread's final decrement.
   if (run.remaining.fetch_sub(1) == 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     done_cv_.notify_all();
   }
 }
@@ -205,16 +213,17 @@ void WorkStealingPool::execute(const Task& t) {
 void WorkStealingPool::worker_loop(index_t w) {
   tls_worker_of = this;
   tls_worker_index = w;
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return shutdown_ || pending_.load(std::memory_order_relaxed) > 0;
-    });
-    if (shutdown_) return;
-    lock.unlock();
+    {
+      // Manual wait loop (not a predicate lambda) so the shutdown_ read
+      // happens where the analysis can see mu_ is held.
+      MutexLock lock(mu_);
+      while (!shutdown_ && pending_.load(std::memory_order_relaxed) <= 0)
+        work_cv_.wait(mu_);
+      if (shutdown_) return;
+    }
     Task t;
     while (try_pop_own(w, t) || try_steal(w, t)) execute(t);
-    lock.lock();
   }
 }
 
@@ -231,8 +240,8 @@ void WorkStealingPool::help_until_done(Run& run, index_t self) {
       execute(t);
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return run.remaining.load() == 0; });
+    MutexLock lock(mu_);
+    while (run.remaining.load() != 0) done_cv_.wait(mu_);
   }
 }
 
@@ -256,7 +265,7 @@ void WorkStealingPool::parallel_for(index_t n,
     // Child scope: push LIFO onto our own deque so this worker drains its
     // inner work before anything else; idle threads steal from the back.
     Queue& q = *queues_[static_cast<size_t>(self)];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     for (index_t i = n; i-- > 0;) q.items.push_front(Task{&run, i});
   } else {
     // Top-level scope: seed each deque with a contiguous chunk (owner pops
@@ -266,20 +275,20 @@ void WorkStealingPool::parallel_for(index_t n,
       const index_t lo = w * n / num_threads_;
       const index_t hi = (w + 1) * n / num_threads_;
       Queue& q = *queues_[static_cast<size_t>(w)];
-      std::lock_guard<std::mutex> lock(q.mu);
+      MutexLock lock(q.mu);
       for (index_t i = lo; i < hi; ++i) q.items.push_back(Task{&run, i});
     }
   }
   {
     // pending_ moves under mu_ so a worker cannot check the work_cv_
     // predicate and fall asleep between our increment and notify.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_.fetch_add(n, std::memory_order_relaxed);
   }
   work_cv_.notify_all();
 
   help_until_done(run, self);
-  if (run.first_error) std::rethrow_exception(run.first_error);
+  if (std::exception_ptr err = run.take_error()) std::rethrow_exception(err);
 }
 
 }  // namespace apsq

@@ -18,20 +18,28 @@
 // workers without oversubscription or deadlock. External callers help the
 // same way while their run is live, then sleep until stragglers finish.
 //
+// Locking discipline (statically checked via common/annotations.hpp under
+// Clang -Wthread-safety): each Queue's deque is guarded by its own
+// Queue::mu; shutdown_ is guarded by mu_, which also serializes pending_
+// increments against the work_cv_ predicate; the trace path / external
+// trace buffer are guarded by trace_mu_. The per-worker trace buffers are
+// single-writer by construction (worker w appends from its own thread
+// only) and are read only after the joins — the one place the story leans
+// on APSQ_NO_THREAD_SAFETY_ANALYSIS instead of a capability.
+//
 // Determinism comes from the caller: tasks write to disjoint,
 // index-addressed slots, so scheduling order never affects results.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/types.hpp"
 
 namespace apsq {
@@ -79,7 +87,7 @@ class WorkStealingPool {
   /// Covers pooled execution only: a single-thread pool (and n == 0)
   /// runs inline and emits no events. Safe to call at any time; tasks
   /// already executed before the call are not retroactively recorded.
-  void enable_tracing(const std::string& path);
+  void enable_tracing(const std::string& path) APSQ_EXCLUDES(trace_mu_);
 
   /// Threads the hardware supports (>= 1 even when unknown).
   static int hardware_threads();
@@ -109,10 +117,10 @@ class WorkStealingPool {
   void worker_loop(index_t w);
   void execute(const Task& t);
   void help_until_done(Run& run, index_t self);
-  bool try_pop_own(index_t w, Task& t);
-  bool try_steal(index_t skip, Task& t);
-  void record_trace(const TraceEvent& e);
-  void flush_trace();
+  bool try_pop_own(index_t w, Task& t) APSQ_EXCLUDES(mu_);
+  bool try_steal(index_t skip, Task& t) APSQ_EXCLUDES(mu_);
+  void record_trace(const TraceEvent& e) APSQ_EXCLUDES(trace_mu_);
+  void flush_trace() APSQ_EXCLUDES(trace_mu_);
 
   int num_threads_;
   std::vector<std::unique_ptr<Queue>> queues_;
@@ -123,18 +131,19 @@ class WorkStealingPool {
   const std::chrono::steady_clock::time_point trace_epoch_ =
       std::chrono::steady_clock::now();
   /// Worker w appends to worker_trace_[w] from its own thread only, so
-  /// the per-worker buffers need no locks; external helper threads share
-  /// external_trace_ under trace_mu_ (which also guards trace_path_).
+  /// the per-worker buffers need no locks (and carry no capability — see
+  /// record_trace / flush_trace); external helper threads share
+  /// external_trace_ under trace_mu_, which also guards trace_path_.
   std::vector<std::vector<TraceEvent>> worker_trace_;
-  std::vector<TraceEvent> external_trace_;
-  std::string trace_path_;
-  std::mutex trace_mu_;
+  std::vector<TraceEvent> external_trace_ APSQ_GUARDED_BY(trace_mu_);
+  std::string trace_path_ APSQ_GUARDED_BY(trace_mu_);
+  Mutex trace_mu_;
 
-  std::mutex mu_;  ///< guards pending_ increments / shutdown_ for the CVs
-  std::condition_variable work_cv_;  ///< wakes idle workers on new tasks
-  std::condition_variable done_cv_;  ///< wakes waiters when a run finishes
+  Mutex mu_;  ///< guards shutdown_ / pending_ increments for the CVs
+  CondVar work_cv_;  ///< wakes idle workers on new tasks
+  CondVar done_cv_;  ///< wakes waiters when a run finishes
   std::atomic<i64> pending_{0};  ///< tasks seeded but not yet popped
-  bool shutdown_ = false;
+  bool shutdown_ APSQ_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -207,7 +207,7 @@ CalibrationFactors Calibrator::unit_factors(const std::string& workload_name,
                                             const SimConfig& cfg) {
   const std::string key = family_key(workload_name, cfg);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = families_.find(key);
     if (it != families_.end()) return it->second.f;
   }
@@ -220,7 +220,7 @@ CalibrationFactors Calibrator::unit_factors(const std::string& workload_name,
   fam.apsq = cfg.psum.apsq ? 1 : 0;
   fam.group_size = static_cast<int>(cfg.psum.group_size);
   fam.f = fit_unit_factors(w, cfg);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return families_.emplace(key, fam).first->second.f;
 }
 
@@ -248,14 +248,14 @@ CalibrationFactors Calibrator::class_unit_factors(
   const std::string key =
       family_key(workload_name, cfg) + "|lc=" + layer_class;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = class_families_.find(key);
     if (it != class_families_.end()) return it->second;
   }
   // Pure function of (family, class layers, options): a racing duplicate
   // fit computes the identical value, first-writer-wins.
   const CalibrationFactors f = fit_unit_factors(class_workload, cfg);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return class_families_.emplace(key, f).first->second;
 }
 
@@ -351,12 +351,12 @@ double Calibrator::calibrated_latency_s(const WorkloadRunResult& r,
 }
 
 index_t Calibrator::family_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<index_t>(families_.size());
 }
 
 std::vector<std::string> Calibrator::family_keys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> keys;
   keys.reserve(families_.size());
   for (const auto& [key, family] : families_) {
@@ -374,7 +374,7 @@ CsvWriter Calibrator::unit_factors_csv() const {
   CsvWriter csv({"workload", "dataflow", "psum_bits", "apsq", "group_size",
                  "shrink", "max_dim", "seed", "anchors", "sram_factor",
                  "dram_factor", "cycle_factor", "mac_factor"});
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [key, fam] : families_) {  // std::map: sorted by key
     (void)key;
     csv.add_row({fam.workload, fam.dataflow, std::to_string(fam.psum_bits),
@@ -443,7 +443,7 @@ index_t Calibrator::load_unit_factors_csv(const std::string& path) {
 
     const std::string key = family_key_from_fields(
         fam.workload, fam.dataflow, fam.psum_bits, fam.apsq, fam.group_size);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     families_[key] = fam;  // a loaded row overrides a fitted one
     ++loaded;
   }

@@ -35,9 +35,9 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "common/csv.hpp"
 #include "dse/design_point.hpp"
 #include "sim/stats.hpp"
@@ -198,10 +198,12 @@ class Calibrator {
                                         const SimConfig& cfg);
 
   Options opt_;
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;  ///< key → fitted unit factors
+  mutable Mutex mu_;
+  /// key → fitted unit factors.
+  std::map<std::string, Family> families_ APSQ_GUARDED_BY(mu_);
   /// key|lc=class → fitted class unit factors (not persisted).
-  std::map<std::string, CalibrationFactors> class_families_;
+  std::map<std::string, CalibrationFactors> class_families_
+      APSQ_GUARDED_BY(mu_);
 };
 
 }  // namespace apsq::dse

@@ -102,7 +102,7 @@ const Workload& Evaluator::workload(const std::string& name) {
 template <typename V, typename Fn>
 V Evaluator::cached(Cache<V>& cache, const std::string& key, Fn&& compute) {
   {
-    std::lock_guard<std::mutex> lock(cache.mu);
+    MutexLock lock(cache.mu);
     const auto it = cache.map.find(key);
     if (it != cache.map.end()) {
       ++cache.stats.hits;
@@ -112,7 +112,7 @@ V Evaluator::cached(Cache<V>& cache, const std::string& key, Fn&& compute) {
   // Compute outside the lock; a racing duplicate computes the identical
   // value (all scoring functions are pure), so first-writer-wins is safe.
   const V value = compute();
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   const auto [it, inserted] = cache.map.emplace(key, value);
   if (inserted)
     ++cache.stats.misses;
@@ -123,7 +123,7 @@ V Evaluator::cached(Cache<V>& cache, const std::string& key, Fn&& compute) {
 
 template <typename V>
 CacheStats Evaluator::stats_of(const Cache<V>& cache) const {
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   return cache.stats;
 }
 
@@ -191,7 +191,8 @@ Evaluator::SimScore Evaluator::sim_score_for(const DesignPoint& p) {
     // needs no calibration — and the run_* helpers are allocation-free,
     // keeping the scoring hot path free of telemetry-row construction.
     s.pe_utilization = run_pe_utilization(
-        r, static_cast<double>(cfg.arch.po) * cfg.arch.pci * cfg.arch.pco);
+        r, static_cast<double>(cfg.arch.po) * static_cast<double>(cfg.arch.pci) *
+               static_cast<double>(cfg.arch.pco));
     if (calibrator_) {
       if (opt_.calibrate_per_class) {
         const ClassFactors cf = calibrator_->class_factors_for(p.workload, w, p);

@@ -55,14 +55,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "dse/calibrate.hpp"
 #include "dse/config_space.hpp"
 #include "dse/design_point.hpp"
 #include "energy/costs.hpp"
 #include "rae/area_model.hpp"
 #include "sim/workload_runner.hpp"
-
-#include <mutex>
 
 namespace apsq::dse {
 
@@ -261,11 +260,15 @@ class Evaluator {
     double macs = 0.0;
   };
 
+  /// One memo cache: map and its hit/miss/race counters move together
+  /// under one mutex, so a counter update outside the map's critical
+  /// section is a compile error under Clang -Wthread-safety, not a
+  /// TSan-lottery ticket.
   template <typename V>
   struct Cache {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, V> map;
-    CacheStats stats;
+    mutable Mutex mu;
+    std::unordered_map<std::string, V> map APSQ_GUARDED_BY(mu);
+    CacheStats stats APSQ_GUARDED_BY(mu);
   };
   template <typename V, typename Fn>
   V cached(Cache<V>& cache, const std::string& key, Fn&& compute);

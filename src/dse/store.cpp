@@ -69,38 +69,62 @@ std::string config_space_hash(const ConfigSpace& space) {
   return std::string(hex);
 }
 
-const EvalStore::Entry* EvalStore::find(const std::string& space_hash,
-                                        const std::string& scoring) const {
+std::shared_ptr<const EvalStore::Entry> EvalStore::find(
+    const std::string& space_hash, const std::string& scoring) const {
+  MutexLock lock(mu_);
   const auto it = entries_.find(entry_key(space_hash, scoring));
-  return it != entries_.end() ? &it->second : nullptr;
+  return it != entries_.end() ? it->second : nullptr;
 }
 
 void EvalStore::put(const std::string& space_hash, const std::string& scoring,
                     const std::string& backend_label, index_t space_points,
                     const std::vector<EvalResult>& results) {
-  Entry e;
-  e.space_hash = space_hash;
-  e.scoring = scoring;
-  e.backend = backend_label;
-  e.space_points = space_points;
+  // Build the entry outside the lock (copying 10³–10⁶ results is the
+  // expensive part), publish it with a pointer swap under it.
+  auto e = std::make_shared<Entry>();
+  e->space_hash = space_hash;
+  e->scoring = scoring;
+  e->backend = backend_label;
+  e->space_points = space_points;
   for (size_t i = 0; i < results.size(); ++i)
-    e.results.emplace(static_cast<index_t>(i), results[i]);
+    e->results.emplace(static_cast<index_t>(i), results[i]);
+  MutexLock lock(mu_);
   entries_[entry_key(space_hash, scoring)] = std::move(e);
 }
 
+size_t EvalStore::entry_count() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+std::string EvalStore::source() const {
+  MutexLock lock(mu_);
+  return source_;
+}
+
 index_t EvalStore::result_count() const {
+  MutexLock lock(mu_);
   index_t n = 0;
   for (const auto& [key, e] : entries_)
-    n += static_cast<index_t>(e.results.size());
+    n += static_cast<index_t>(e->results.size());
   return n;
 }
 
 std::string EvalStore::to_json() const {
+  // Pin a consistent view: copy the (small) pointer map under the lock,
+  // then serialize the immutable entries without holding it — a put()
+  // racing a save lands wholly before or wholly after this snapshot.
+  std::map<std::string, std::shared_ptr<const Entry>> entries;
+  {
+    MutexLock lock(mu_);
+    entries = entries_;
+  }
   std::ostringstream os;
   os << "{\n  \"format\": \"" << kFormat << "\",\n  \"version\": " << kVersion
      << ",\n  \"entries\": [";
   bool first_entry = true;
-  for (const auto& [key, e] : entries_) {
+  for (const auto& [key, ep] : entries) {
+    const Entry& e = *ep;
     os << (first_entry ? "\n" : ",\n");
     first_entry = false;
     os << "    {\"space_hash\": \"" << json_escape(e.space_hash)
@@ -165,7 +189,11 @@ size_t EvalStore::load_file(const std::string& path) {
                 " (this build reads version " + std::to_string(kVersion) +
                 ")");
     const JsonValue& entries = doc.get("entries");
-    size_t loaded = 0;
+    // Stage into a local list and commit in one step at the end: a file
+    // whose 40th entry is malformed must not leave entries 1–39 merged
+    // (they would silently answer queries for a snapshot that was
+    // rejected).
+    std::vector<std::shared_ptr<const Entry>> staged;
     for (size_t ei = 0; ei < entries.size(); ++ei) {
       const JsonValue& je = entries.at(ei);
       Entry e;
@@ -216,11 +244,13 @@ size_t EvalStore::load_file(const std::string& path) {
           throw bad("entry " + std::to_string(ei) + ": duplicate point index " +
                     std::to_string(idx));
       }
-      entries_[entry_key(e.space_hash, e.scoring)] = std::move(e);
-      ++loaded;
+      staged.push_back(std::make_shared<const Entry>(std::move(e)));
     }
+    MutexLock lock(mu_);
+    for (std::shared_ptr<const Entry>& ep : staged)
+      entries_[entry_key(ep->space_hash, ep->scoring)] = std::move(ep);
     source_ = path;
-    return loaded;
+    return staged.size();
   } catch (const std::runtime_error&) {
     throw;  // already file-prefixed
   } catch (const std::exception& e) {

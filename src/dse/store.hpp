@@ -14,16 +14,29 @@
 // fresh sweep (doubles round-trip through "%.17g").
 //
 // Snapshots are JSON (the emit side mirrors StatsWriter's conventions;
-// the read side is common/json.hpp). Loading is strict: an unreadable,
-// truncated, malformed, or version-mismatched file throws
-// std::runtime_error naming the file and the reason — a corrupt snapshot
-// must never crash the process or silently stand in for real results.
+// the read side is common/json.hpp). Loading is strict *and atomic*: an
+// unreadable, truncated, malformed, or version-mismatched file throws
+// std::runtime_error naming the file and the reason, and leaves the
+// in-memory store exactly as it was — a corrupt snapshot must never
+// crash the process, silently stand in for real results, or leave a
+// half-merged entry set behind.
+//
+// Thread safety: the store is internally synchronized (one batch of job
+// specs shares a single store across sessions today; the planned resident
+// daemon will serve it to concurrent front queries). Entries are
+// copy-on-write — find() hands out a shared_ptr to an immutable Entry, so
+// a reader re-slicing a snapshot is never invalidated by a concurrent
+// put() or load_file() replacing the entry under the same key. The map
+// and source path are APSQ_GUARDED_BY(mu_); entries themselves are
+// immutable once published and need no lock.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "dse/config_space.hpp"
 #include "dse/design_point.hpp"
 
@@ -37,7 +50,9 @@ std::string config_space_hash(const ConfigSpace& space);
 
 class EvalStore {
  public:
-  /// One snapshot: a scored space under one scoring identity.
+  /// One snapshot: a scored space under one scoring identity. Immutable
+  /// once published into a store (copy-on-write: put() replaces the whole
+  /// entry).
   struct Entry {
     std::string space_hash;
     std::string scoring;       ///< SweepConfig::scoring_key()
@@ -56,35 +71,44 @@ class EvalStore {
   /// key replaces any in-memory one. Returns the number of entries
   /// loaded. Throws std::runtime_error — message prefixed with `path` —
   /// on an unreadable file, a parse error, a wrong format marker or
-  /// version, or any malformed/duplicate/out-of-range row.
-  size_t load_file(const std::string& path);
+  /// version, or any malformed/duplicate/out-of-range row; on a throw the
+  /// store is left unchanged (all-or-nothing merge).
+  size_t load_file(const std::string& path) APSQ_EXCLUDES(mu_);
 
   /// Serialize every entry (sorted by key — byte-stable across runs).
-  std::string to_json() const;
-  /// Write to `path`; false on I/O failure.
-  bool save_file(const std::string& path) const;
+  std::string to_json() const APSQ_EXCLUDES(mu_);
+  /// Write to `path`; false on I/O failure. The snapshot is a consistent
+  /// point-in-time view: a concurrent put() lands either wholly before or
+  /// wholly after it, never half-way through a row.
+  bool save_file(const std::string& path) const APSQ_EXCLUDES(mu_);
 
-  /// The entry for (space_hash, scoring), or nullptr.
-  const Entry* find(const std::string& space_hash,
-                    const std::string& scoring) const;
+  /// The entry for (space_hash, scoring), or nullptr. The returned entry
+  /// is an immutable snapshot: it stays valid (and unchanged) even if a
+  /// concurrent put() replaces the store's entry under the same key.
+  std::shared_ptr<const Entry> find(const std::string& space_hash,
+                                    const std::string& scoring) const
+      APSQ_EXCLUDES(mu_);
 
   /// Record a full sweep: results[i] is point index i of the space.
   /// Replaces any existing entry under the same key.
   void put(const std::string& space_hash, const std::string& scoring,
            const std::string& backend_label, index_t space_points,
-           const std::vector<EvalResult>& results);
+           const std::vector<EvalResult>& results) APSQ_EXCLUDES(mu_);
 
-  size_t entry_count() const { return entries_.size(); }
-  index_t result_count() const;
+  size_t entry_count() const APSQ_EXCLUDES(mu_);
+  index_t result_count() const APSQ_EXCLUDES(mu_);
 
   /// The last load_file path ("" before any load) — for diagnostics that
   /// should name the snapshot a stale result came from.
-  const std::string& source() const { return source_; }
+  std::string source() const APSQ_EXCLUDES(mu_);
 
  private:
-  /// key = space_hash + '\n' + scoring (neither contains '\n').
-  std::map<std::string, Entry> entries_;
-  std::string source_;
+  /// key = space_hash + '\n' + scoring (neither contains '\n'). Values
+  /// are shared with readers; replaced, never mutated, under mu_.
+  std::map<std::string, std::shared_ptr<const Entry>> entries_
+      APSQ_GUARDED_BY(mu_);
+  std::string source_ APSQ_GUARDED_BY(mu_);
+  mutable Mutex mu_;
 };
 
 }  // namespace apsq::dse

@@ -238,7 +238,10 @@ SweepOutcome SweepSession::run() {
   const std::string hash = config_space_hash(space_);
   const std::string scoring = cfg_.scoring_key();
   const auto t0 = std::chrono::steady_clock::now();
-  const EvalStore::Entry* entry = st ? st->find(hash, scoring) : nullptr;
+  // An immutable snapshot of the entry: stays valid and unchanged even if
+  // another session concurrently replaces it in a shared store.
+  const std::shared_ptr<const EvalStore::Entry> entry =
+      st != nullptr ? st->find(hash, scoring) : nullptr;
   if (entry != nullptr && entry->space_points != space_.size()) {
     // Same hash, different size can only mean a corrupted snapshot or a
     // hash collision — either way the entry must not answer queries.

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
 #include "common/math_util.hpp"
 #include "common/thread_pool.hpp"
 #include "tensor/matmul.hpp"
@@ -52,23 +52,34 @@ void accumulate(SimStats& total, const SimStats& s, index_t repeat) {
 class CalibrationMemo {
  public:
   int get_or_compute(const LayerShape& shape, const TensorI8& x,
-                     const TensorI8& wt, index_t& computed) {
+                     const TensorI8& wt) {
     const u64 key = shape_stream_key(shape);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const auto it = map_.find(key);
       if (it != map_.end()) return it->second;
     }
     const TensorI32 exact = matmul_i8(x, wt);
     const int e = calibrate_psum_exponent(exact);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++computed;
+    MutexLock lock(mu_);
+    ++computed_;
     return map_.emplace(key, e).first->second;
   }
 
+  /// Exact GEMMs actually run (losers of a compute race included — the
+  /// work was done even if the insert wasn't first). The memo owns its
+  /// counter so the count moves under the same mutex as the map it
+  /// describes, instead of a caller-stack reference the static analysis
+  /// cannot tie to the lock.
+  index_t computed() const {
+    MutexLock lock(mu_);
+    return computed_;
+  }
+
  private:
-  std::mutex mu_;
-  std::unordered_map<u64, int> map_;
+  mutable Mutex mu_;
+  std::unordered_map<u64, int> map_ APSQ_GUARDED_BY(mu_);
+  index_t computed_ APSQ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace
@@ -135,7 +146,6 @@ WorkloadRunResult run_workload(const Workload& w, const SimConfig& cfg,
   result.layers.resize(static_cast<size_t>(n));
 
   CalibrationMemo memo;
-  index_t calibrations = 0;  // guarded by the memo's mutex
 
   auto run_layer = [&](index_t li) {
     const LayerShape& layer = w.layers[static_cast<size_t>(li)];
@@ -148,8 +158,7 @@ WorkloadRunResult run_workload(const Workload& w, const SimConfig& cfg,
     if (cfg.psum.apsq || cfg.psq_prior_work) {
       // Auto-calibrate the PSUM shift from the exact outputs (memoized:
       // identical shapes share operands, hence the exponent).
-      layer_cfg.psum_exponents = {
-          memo.get_or_compute(scaled, x, wt, calibrations)};
+      layer_cfg.psum_exponents = {memo.get_or_compute(scaled, x, wt)};
     }
 
     Accelerator acc(layer_cfg);
@@ -167,7 +176,7 @@ WorkloadRunResult run_workload(const Workload& w, const SimConfig& cfg,
   // Aggregate serially in layer order so totals are schedule-independent.
   for (const LayerRunStats& lr : result.layers)
     accumulate(result.total, lr.stats, lr.repeat);
-  result.calibration_count = calibrations;
+  result.calibration_count = memo.computed();
   return result;
 }
 

@@ -7,7 +7,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <set>
 #include <stdexcept>
@@ -63,8 +62,9 @@ TEST(WorkStealingPool, SkewedTasksGetStolen) {
     ++done;
   });
   EXPECT_EQ(done.load(), n);
-  if (std::thread::hardware_concurrency() > 1)
+  if (std::thread::hardware_concurrency() > 1) {
     EXPECT_GT(pool.steal_count(), 0);
+  }
 }
 
 TEST(WorkStealingPool, FirstExceptionPropagates) {
@@ -119,18 +119,19 @@ TEST(WorkStealingPool, NestedParallelForSpreadsAcrossWorkers) {
   // workers must be able to steal and execute the nested scope's work.
   WorkStealingPool pool(4);
   std::set<std::thread::id> inner_threads;
-  std::mutex mu;
+  apsq::Mutex mu;
   pool.parallel_for(1, [&](index_t) {
     pool.parallel_for(64, [&](index_t) {
       {
-        std::lock_guard<std::mutex> lock(mu);
+        apsq::MutexLock lock(mu);
         inner_threads.insert(std::this_thread::get_id());
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     });
   });
-  if (std::thread::hardware_concurrency() > 1)
+  if (std::thread::hardware_concurrency() > 1) {
     EXPECT_GT(inner_threads.size(), 1u);
+  }
 }
 
 TEST(WorkStealingPool, DeeplyNestedScopesComplete) {

@@ -276,9 +276,11 @@ TEST(Evaluator, PaperSweepFrontIsVerifiedNonDominated) {
 
   std::set<std::string> front_keys;
   for (const EvalResult& f : front) front_keys.insert(canonical_key(f.point));
-  for (const EvalResult& r : results)
-    if (!front_keys.count(canonical_key(r.point)))
+  for (const EvalResult& r : results) {
+    if (!front_keys.count(canonical_key(r.point))) {
       EXPECT_TRUE(is_dominated(r, results)) << canonical_key(r.point);
+    }
+  }
 
   // Per-workload (scenario) front: every point non-dominated within the
   // subset that shares its workload.

@@ -366,10 +366,11 @@ TEST(EpsilonBand, GrowsMonotonicallyWithBandAndContainsTheFront) {
     EXPECT_TRUE(std::includes(cur.begin(), cur.end(), front_keys.begin(),
                               front_keys.end()))
         << "band " << band << " lost a front member";
-    if (!prev.empty())
+    if (!prev.empty()) {
       EXPECT_TRUE(std::includes(cur.begin(), cur.end(), prev.begin(),
                                 prev.end()))
           << "band " << band << " is not a superset of the previous band";
+    }
     prev = cur;
   }
 }

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "dse/report.hpp"
 #include "dse/sweep.hpp"
@@ -78,7 +81,8 @@ TEST(EvalStore, RoundTripPreservesEveryResultByteExactly) {
   EvalStore reloaded;
   EXPECT_EQ(reloaded.load_file(path), 1u);
   EXPECT_EQ(reloaded.source(), path);
-  const EvalStore::Entry* e = reloaded.find(hash, cfg.scoring_key());
+  const std::shared_ptr<const EvalStore::Entry> e =
+      reloaded.find(hash, cfg.scoring_key());
   ASSERT_NE(e, nullptr);
   EXPECT_TRUE(e->complete());
   EXPECT_EQ(e->backend, "analytic");
@@ -312,7 +316,8 @@ TEST(EvalStore, PartialSnapshotBatchesOnlyTheMisses) {
   EXPECT_EQ(results_csv(warm_out.front).to_string(),
             results_csv(full_out.front).to_string());
   // The merged sweep was recorded back: the entry is now complete.
-  const EvalStore::Entry* e = store.find(hash, cfg.scoring_key());
+  const std::shared_ptr<const EvalStore::Entry> e =
+      store.find(hash, cfg.scoring_key());
   ASSERT_NE(e, nullptr);
   EXPECT_TRUE(e->complete());
 }
@@ -332,6 +337,103 @@ TEST(EvalStore, SharedStoreAnswersAcrossSessions) {
   const SweepOutcome out = second.run();
   EXPECT_EQ(out.fresh_evaluations, 0);
   EXPECT_EQ(out.store_hits, 8);
+}
+
+TEST(EvalStore, LoadIsAllOrNothing) {
+  // A multi-entry file whose LATER entry is malformed must load nothing:
+  // a half-merged snapshot would silently answer queries for a file that
+  // was rejected. (Regression for the staged-commit load path.)
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  SweepSession session(cfg);
+  const SweepOutcome out = session.run();
+  const std::string hash = config_space_hash(session.space());
+
+  // Two entries: the real one plus a copy under an all-f hash, which
+  // sorts last among 16-digit lowercase-hex keys — so damaging the text
+  // after its marker damages the second entry in file order.
+  const std::string fake_hash(16, 'f');
+  EvalStore two;
+  two.put(hash, cfg.scoring_key(), cfg.scored_by_label(), 8, out.results);
+  two.put(fake_hash, cfg.scoring_key(), cfg.scored_by_label(), 8, out.results);
+  std::string text = two.to_json();
+  const size_t marker = text.find("\"space_hash\": \"" + fake_hash + "\"");
+  ASSERT_NE(marker, std::string::npos);
+  const size_t damage = text.find("\"i\": 3", marker);
+  ASSERT_NE(damage, std::string::npos);
+  text.replace(damage, 6, "\"i\": 99");
+
+  const std::string path = temp_path("all_or_nothing.json");
+  write_file(path, text);
+
+  // Cold store: the throw leaves it empty — entry 0 must not survive.
+  expect_load_error(path, "out of range");
+
+  // Warm store: prior entries and provenance survive a failed merge
+  // untouched.
+  EvalStore warm;
+  warm.put(hash, cfg.scoring_key(), cfg.scored_by_label(), 8, out.results);
+  EXPECT_THROW(warm.load_file(path), std::runtime_error);
+  EXPECT_EQ(warm.entry_count(), 1u);
+  EXPECT_EQ(warm.source(), "");
+  const std::shared_ptr<const EvalStore::Entry> e =
+      warm.find(hash, cfg.scoring_key());
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->complete());
+  std::remove(path.c_str());
+}
+
+TEST(EvalStore, ConcurrentPutFindSaveSeesOnlyWholeEntries) {
+  // The store's thread-safety contract (the shape the resident daemon
+  // will lean on): concurrent put / find / snapshot never exposes a
+  // half-written entry. find() hands back an immutable copy-on-write
+  // entry, so a reader's view stays complete even while a writer
+  // replaces the entry under the same key, and to_json() pins a
+  // consistent point-in-time set. Runs under TSan in CI.
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  SweepSession session(cfg);
+  const SweepOutcome out = session.run();
+  const std::string hash = config_space_hash(session.space());
+  const std::string scoring = cfg.scoring_key();
+
+  EvalStore store;
+  store.put(hash, scoring, "analytic", 8, out.results);
+  const std::string baseline = store.to_json();
+
+  constexpr int kIters = 200;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  // Writers: republish the same entry (copy-on-write swap each time).
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i)
+        store.put(hash, scoring, "analytic", 8, out.results);
+    });
+  }
+  // Readers: every observed entry must be whole — 8 results, complete().
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::shared_ptr<const EvalStore::Entry> e =
+            store.find(hash, scoring);
+        if (e == nullptr || !e->complete() || e->results.size() != 8u)
+          failed.store(true);
+      }
+    });
+  }
+  // Snapshotter: a racing serialization always matches the (stable)
+  // single-entry rendering, because put() republishes identical bytes.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIters / 10; ++i)
+      if (store.to_json() != baseline) failed.store(true);
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(store.entry_count(), 1u);
+  EXPECT_EQ(store.to_json(), baseline);
 }
 
 }  // namespace

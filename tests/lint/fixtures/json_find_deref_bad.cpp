@@ -1,0 +1,8 @@
+// Fixture: violates json-find-deref (inline deref of a nullable find()).
+#include <string>
+
+#include "common/json.hpp"
+
+std::string backend(const apsq::JsonValue& doc) {
+  return doc.find("backend")->as_string();  // nullptr deref on missing key
+}

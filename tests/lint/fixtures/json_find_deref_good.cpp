@@ -1,0 +1,11 @@
+// Fixture: null-checked find / throwing get — no json-find-deref
+// violation.
+#include <string>
+
+#include "common/json.hpp"
+
+std::string backend(const apsq::JsonValue& doc) {
+  const apsq::JsonValue* v = doc.find("backend");
+  if (v != nullptr && v->is_string()) return v->as_string();
+  return doc.get("backend").as_string();  // throws naming the key
+}

@@ -1,0 +1,10 @@
+// Fixture: violates naked-mutex (raw std::mutex + std::lock_guard).
+#include <mutex>
+
+static std::mutex g_mu;
+static int g_count = 0;
+
+void bump() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++g_count;
+}

@@ -1,0 +1,11 @@
+// Fixture: annotated primitives from common/annotations.hpp — no
+// naked-mutex violation.
+#include "common/annotations.hpp"
+
+static apsq::Mutex g_mu;
+static int g_count APSQ_GUARDED_BY(g_mu) = 0;
+
+void bump() {
+  apsq::MutexLock lock(g_mu);
+  ++g_count;
+}

@@ -1,0 +1,4 @@
+// Fixture: violates raw-atoi (unchecked ato* call).
+#include <cstdlib>
+
+int parse_threads(const char* v) { return std::atoi(v); }

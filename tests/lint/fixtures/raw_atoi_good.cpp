@@ -1,0 +1,10 @@
+// Fixture: checked parsing via common/cli.hpp — no raw-atoi violation.
+// (The comment mention of std::atoi below must NOT trip the rule.)
+#include "common/cli.hpp"
+
+// std::atoi would turn "foo" into 0; parse_int_flag rejects it.
+int parse_threads(const char* v) {
+  int out = 1;
+  apsq::parse_int_flag("--threads", v, 1, 256, out);
+  return out;
+}

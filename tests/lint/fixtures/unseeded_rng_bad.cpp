@@ -1,0 +1,6 @@
+// Fixture: violates unseeded-rng (std::rand + std::random_device).
+#include <cstdlib>
+#include <random>
+
+int noise() { return std::rand(); }
+unsigned entropy() { return std::random_device{}(); }

@@ -1,0 +1,4 @@
+// Fixture: deterministic seeded RNG — no unseeded-rng violation.
+#include "common/rng.hpp"
+
+double noise(apsq::Rng& rng) { return rng.uniform(); }

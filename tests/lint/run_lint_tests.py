@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/apsq_lint.py.
+
+One passing and one failing fixture per rule (tests/lint/fixtures/), plus
+the repo-tree gate: the shipped tree must lint clean. stdlib unittest
+only — the container has no pytest.
+
+Run directly (`python3 tests/lint/run_lint_tests.py`) or via
+`ctest -L quick` (registered as apsq_lint_fixtures / apsq_lint_tree).
+"""
+
+import io
+import os
+import sys
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint", "fixtures")
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import apsq_lint  # noqa: E402
+
+
+def run_lint(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = apsq_lint.main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+class FixtureCase(unittest.TestCase):
+    """Each rule fires on its bad fixture and stays quiet on its good twin."""
+
+    RULES = ["raw-atoi", "unseeded-rng", "naked-mutex", "json-find-deref"]
+
+    def lint_fixture(self, name):
+        path = os.path.join(FIXTURES, name)
+        self.assertTrue(os.path.exists(path), f"missing fixture {name}")
+        return run_lint(["--root", REPO_ROOT, path])
+
+    def test_each_rule_fires_on_bad_fixture(self):
+        for rule in self.RULES:
+            stem = rule.replace("-", "_")
+            with self.subTest(rule=rule):
+                code, out, _ = self.lint_fixture(f"{stem}_bad.cpp")
+                self.assertEqual(code, 1, f"{rule}: bad fixture must fail lint")
+                self.assertIn(f"[{rule}]", out)
+
+    def test_each_rule_quiet_on_good_fixture(self):
+        for rule in self.RULES:
+            stem = rule.replace("-", "_")
+            with self.subTest(rule=rule):
+                code, out, _ = self.lint_fixture(f"{stem}_good.cpp")
+                self.assertEqual(code, 0, f"{rule}: good fixture flagged:\n{out}")
+                self.assertEqual(out, "")
+
+    def test_violation_format_is_path_line_rule(self):
+        code, out, _ = self.lint_fixture("raw_atoi_bad.cpp")
+        self.assertEqual(code, 1)
+        first = out.splitlines()[0]
+        # path:line: [rule] message
+        self.assertRegex(first, r"^\S+\.cpp:\d+: \[raw-atoi\] ")
+
+    def test_comment_mentions_do_not_fire(self):
+        # raw_atoi_good.cpp names std::atoi in a comment on purpose.
+        code, out, _ = self.lint_fixture("raw_atoi_good.cpp")
+        self.assertEqual(code, 0, out)
+
+
+class AllowlistCase(unittest.TestCase):
+    def test_cli_hpp_is_allowlisted_for_raw_atoi(self):
+        code, out, _ = run_lint(
+            ["--root", REPO_ROOT, os.path.join(REPO_ROOT, "src", "common", "cli.hpp")]
+        )
+        self.assertEqual(code, 0, out)
+
+    def test_annotations_hpp_is_allowlisted_for_naked_mutex(self):
+        code, out, _ = run_lint(
+            ["--root", REPO_ROOT,
+             os.path.join(REPO_ROOT, "src", "common", "annotations.hpp")]
+        )
+        self.assertEqual(code, 0, out)
+
+    def test_rng_is_allowlisted_for_unseeded_rng(self):
+        for name in ("rng.hpp", "rng.cpp"):
+            code, out, _ = run_lint(
+                ["--root", REPO_ROOT, os.path.join(REPO_ROOT, "src", "common", name)]
+            )
+            self.assertEqual(code, 0, out)
+
+
+class TreeCase(unittest.TestCase):
+    def test_repo_tree_is_clean(self):
+        code, out, _ = run_lint(["--root", REPO_ROOT])
+        self.assertEqual(code, 0, f"tree has lint violations:\n{out}")
+
+    def test_list_rules_names_every_rule(self):
+        code, out, _ = run_lint(["--list-rules"])
+        self.assertEqual(code, 0)
+        for rule in FixtureCase.RULES:
+            self.assertIn(rule + ":", out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

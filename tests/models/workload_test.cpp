@@ -37,14 +37,19 @@ TEST(BertWorkload, TwelveEncoderLayers) {
       EXPECT_EQ(l.ci, 768);
       EXPECT_EQ(l.co, 3072);
     }
-    if (l.name == "attn_scores") EXPECT_EQ(l.repeat, 12 * 12);  // heads
+    if (l.name == "attn_scores") {
+      EXPECT_EQ(l.repeat, 12 * 12);  // heads
+    }
   }
 }
 
 TEST(BertWorkload, TokenLengthPropagates) {
   const Workload w = bert_base_workload(256);
-  for (const auto& l : w.layers)
-    if (l.name == "qkv_proj") EXPECT_EQ(l.rows, 256);
+  for (const auto& l : w.layers) {
+    if (l.name == "qkv_proj") {
+      EXPECT_EQ(l.rows, 256);
+    }
+  }
 }
 
 TEST(BertLarge, Ffn4096ForPsumPrecisionDiscussion) {

@@ -26,9 +26,11 @@ TEST(PerChannel, OneAlphaPerOutputColumn) {
   Rng rng(1);
   QuantDense qd(8, 5, per_channel_cfg(), rng);
   auto params = qd.params();
-  for (Param* p : params)
-    if (p->name.find("alpha_w") != std::string::npos)
+  for (Param* p : params) {
+    if (p->name.find("alpha_w") != std::string::npos) {
       EXPECT_EQ(p->value.numel(), 5);
+    }
+  }
 }
 
 TEST(PerChannel, AlphasTrackColumnMagnitudes) {

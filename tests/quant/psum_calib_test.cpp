@@ -31,8 +31,9 @@ TEST(PsumCalib, CeilModeTrackedMaxNeverClips) {
     EXPECT_LE(mx / c.scale(), 127.0 + 1e-9) << "max=" << mx;
     // And the next smaller power of two would clip (tightness), unless
     // clamped at exponent 0.
-    if (c.exponent() > 0)
+    if (c.exponent() > 0) {
       EXPECT_GT(mx / (c.scale() / 2), 127.0) << "max=" << mx;
+    }
   }
 }
 

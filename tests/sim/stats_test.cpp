@@ -175,8 +175,8 @@ INSTANTIATE_TEST_SUITE_P(
                   kBig, 512, kBig, "os_weight_spill"},
         CrossCase{Dataflow::kOS, 13, 26, 9, PsumConfig::baseline_int32(),
                   kBig, kBig, kBig, "os_ragged"}),
-    [](const ::testing::TestParamInfo<CrossCase>& info) {
-      return std::string(info.param.label);
+    [](const ::testing::TestParamInfo<CrossCase>& param_info) {
+      return std::string(param_info.param.label);
     });
 
 TEST(TelemetryRollUpMultiLayer, RepeatedLayersSumExactly) {

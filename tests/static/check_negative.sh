@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Negative-compile driver for the thread-safety fixtures.
+#
+#   check_negative.sh <cxx> <include_dir> <fixture.cpp> <expected_regex>
+#   check_negative.sh --positive <cxx> <include_dir> <fixture.cpp>
+#
+# Negative mode: the fixture must FAIL under
+#   -Wthread-safety -Werror=thread-safety-analysis
+# AND the diagnostic must match <expected_regex> — a fixture that fails
+# for an unrelated reason (typo, missing include) is a broken test, not a
+# passing one. Positive mode: the twin must compile clean under the same
+# flags, proving the harness rejects the bug and not the idiom.
+set -u
+
+mode=negative
+if [ "${1:-}" = "--positive" ]; then
+  mode=positive
+  shift
+fi
+cxx="$1"
+inc="$2"
+fixture="$3"
+
+flags=(-std=c++17 "-I$inc" -fsyntax-only -Wthread-safety
+       -Werror=thread-safety-analysis)
+
+if [ "$mode" = positive ]; then
+  if ! out=$("$cxx" "${flags[@]}" "$fixture" 2>&1); then
+    echo "FAIL: positive fixture $fixture did not compile:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "ok: $fixture compiles clean with the analysis on"
+  exit 0
+fi
+
+expected="$4"
+if out=$("$cxx" "${flags[@]}" "$fixture" 2>&1); then
+  echo "FAIL: negative fixture $fixture compiled clean — the" >&2
+  echo "thread-safety analysis did not reject it" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$out" | grep -qE -- "$expected"; then
+  echo "FAIL: $fixture failed to compile, but not with the expected" >&2
+  echo "diagnostic (/$expected/). Actual output:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+echo "ok: $fixture rejected with /$expected/"

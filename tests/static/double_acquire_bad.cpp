@@ -1,0 +1,16 @@
+// NEGATIVE fixture: re-acquiring a mutex already held in the same scope —
+// a self-deadlock at runtime. Must FAIL to compile with "acquiring
+// mutex ... that is already held".
+#include "common/annotations.hpp"
+
+struct Counter {
+  apsq::Mutex mu;
+  int n APSQ_GUARDED_BY(mu) = 0;
+};
+
+void bump_twice(Counter& c) {
+  apsq::MutexLock outer(c.mu);
+  ++c.n;
+  apsq::MutexLock inner(c.mu);  // second acquisition: deadlock — reject
+  ++c.n;
+}

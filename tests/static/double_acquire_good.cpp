@@ -1,0 +1,19 @@
+// POSITIVE twin of double_acquire_bad.cpp: sequential scopes, each
+// acquisition released before the next — compiles clean.
+#include "common/annotations.hpp"
+
+struct Counter {
+  apsq::Mutex mu;
+  int n APSQ_GUARDED_BY(mu) = 0;
+};
+
+void bump_twice(Counter& c) {
+  {
+    apsq::MutexLock lock(c.mu);
+    ++c.n;
+  }
+  {
+    apsq::MutexLock lock(c.mu);
+    ++c.n;
+  }
+}

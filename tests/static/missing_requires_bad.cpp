@@ -1,0 +1,15 @@
+// NEGATIVE fixture: calling an APSQ_REQUIRES(mu) function without holding
+// mu. Must FAIL to compile with "requires holding mutex" — the contract
+// CondVar::wait and every *_locked helper lean on.
+#include "common/annotations.hpp"
+
+struct Queue {
+  apsq::Mutex mu;
+  int depth APSQ_GUARDED_BY(mu) = 0;
+
+  int depth_locked() APSQ_REQUIRES(mu) { return depth; }
+};
+
+int sample(Queue& q) {
+  return q.depth_locked();  // caller holds nothing — analysis must reject
+}

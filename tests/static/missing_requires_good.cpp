@@ -1,0 +1,15 @@
+// POSITIVE twin of missing_requires_bad.cpp: the REQUIRES contract
+// satisfied by a MutexLock in the caller — compiles clean.
+#include "common/annotations.hpp"
+
+struct Queue {
+  apsq::Mutex mu;
+  int depth APSQ_GUARDED_BY(mu) = 0;
+
+  int depth_locked() APSQ_REQUIRES(mu) { return depth; }
+};
+
+int sample(Queue& q) {
+  apsq::MutexLock lock(q.mu);
+  return q.depth_locked();
+}

@@ -1,0 +1,15 @@
+// NEGATIVE fixture: reading an APSQ_GUARDED_BY field without holding its
+// mutex. Must FAIL to compile under
+//   -Wthread-safety -Werror=thread-safety-analysis
+// with "requires holding mutex" — the exact bug class the Evaluator's
+// memo caches had no static guard against.
+#include "common/annotations.hpp"
+
+struct Cache {
+  apsq::Mutex mu;
+  int hits APSQ_GUARDED_BY(mu) = 0;
+};
+
+int peek(Cache& c) {
+  return c.hits;  // no lock held — analysis must reject
+}

@@ -1,0 +1,13 @@
+// POSITIVE twin of unguarded_access_bad.cpp: the same read under a
+// MutexLock compiles clean with the analysis on.
+#include "common/annotations.hpp"
+
+struct Cache {
+  apsq::Mutex mu;
+  int hits APSQ_GUARDED_BY(mu) = 0;
+};
+
+int peek(Cache& c) {
+  apsq::MutexLock lock(c.mu);
+  return c.hits;
+}

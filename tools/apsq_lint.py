@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for the apsq tree.
+
+Each rule encodes a discipline the codebase relies on but a compiler
+cannot check:
+
+  raw-atoi        std::atoi/atol/atoll/atof silently turn garbage into 0;
+                  all CLI parsing goes through the checked helpers in
+                  src/common/cli.hpp.
+  unseeded-rng    std::rand/srand/std::random_device break run-to-run
+                  determinism; all randomness flows from src/common/rng
+                  (splitmix-style, explicitly seeded).
+  naked-mutex     raw std::mutex / lock_guard / unique_lock /
+                  condition_variable bypass the Clang thread-safety
+                  annotations; use apsq::Mutex / MutexLock / CondVar from
+                  src/common/annotations.hpp so every acquisition is
+                  statically visible.
+  json-find-deref JsonValue::find() returns nullptr for a missing key;
+                  dereferencing the result inline (`.find("k")->`) crashes
+                  on malformed input instead of reporting it. Null-check,
+                  or use .get() which throws with the key name.
+
+Rules match call/usage forms in code only (comments are stripped; string
+literals are stripped for all rules except json-find-deref, whose pattern
+needs the key literal). Allowlists are pinned: an exception must be named
+here, in review, not discovered later.
+
+Usage:
+  tools/apsq_lint.py [--root DIR] [--list-rules] [paths...]
+
+With no paths, scans src/, tests/, examples/, bench/ under the root
+(skipping the lint/static-analysis fixture directories, which violate
+rules on purpose). Prints `path:line: [rule] message` per violation;
+exits 0 on a clean tree, 1 otherwise.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "examples", "bench")
+SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc")
+# Directories holding intentional violations (lint fixtures) or
+# compile-failure fixtures; never part of the shipped tree.
+SKIP_DIRS = (
+    os.path.join("tests", "lint", "fixtures"),
+    os.path.join("tests", "static"),
+)
+
+
+class Rule:
+    def __init__(self, name, pattern, message, allow=(), keep_strings=False):
+        self.name = name
+        self.pattern = re.compile(pattern)
+        self.message = message
+        self.allow = frozenset(allow)
+        self.keep_strings = keep_strings
+
+
+RULES = [
+    Rule(
+        "raw-atoi",
+        r"(?<![\w:])(std::)?ato(i|l|ll|f)\s*\(",
+        "raw ato* parses garbage as 0; use the checked parse_*_flag "
+        "helpers from common/cli.hpp",
+        allow=("src/common/cli.hpp",),
+    ),
+    Rule(
+        "unseeded-rng",
+        r"std::rand\b|(?<![\w:.])srand\s*\(|std::random_device\b",
+        "unseeded/global randomness breaks determinism; use the seeded "
+        "apsq::Rng from common/rng.hpp",
+        allow=("src/common/rng.hpp", "src/common/rng.cpp"),
+    ),
+    Rule(
+        "naked-mutex",
+        r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+        r"lock_guard|unique_lock|scoped_lock|condition_variable(_any)?)\b",
+        "raw std synchronization bypasses the thread-safety annotations; "
+        "use apsq::Mutex / MutexLock / CondVar from common/annotations.hpp",
+        allow=("src/common/annotations.hpp",),
+    ),
+    Rule(
+        "json-find-deref",
+        r'\.find\(\s*"[^"]*"\s*\)\s*->',
+        "JsonValue::find() returns nullptr for a missing key; null-check "
+        "the pointer or use .get(), which throws naming the key",
+        allow=(),
+        keep_strings=True,
+    ),
+]
+
+_LEXER = re.compile(
+    r"""
+      //[^\n]*                      # line comment
+    | /\*.*?\*/                     # block comment
+    | "(?:\\.|[^"\\\n])*"           # string literal
+    | '(?:\\.|[^'\\\n])*'           # char literal
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _blank_keep_newlines(text):
+    return re.sub(r"[^\n]", " ", text)
+
+
+def strip_code(text, keep_strings):
+    """Blank out comments (and, unless keep_strings, string/char
+    literals) while preserving line numbers."""
+
+    def repl(m):
+        tok = m.group(0)
+        if keep_strings and (tok.startswith('"') or tok.startswith("'")):
+            return tok
+        return _blank_keep_newlines(tok)
+
+    return _LEXER.sub(repl, text)
+
+
+def scan_file(root, rel, out):
+    try:
+        with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+    except OSError as e:
+        out.append(f"{rel}:0: [io-error] {e}")
+        return 1
+    violations = 0
+    stripped_cache = {}
+    for rule in RULES:
+        if rel.replace(os.sep, "/") in rule.allow:
+            continue
+        text = stripped_cache.get(rule.keep_strings)
+        if text is None:
+            text = strip_code(raw, rule.keep_strings)
+            stripped_cache[rule.keep_strings] = text
+        for m in rule.pattern.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            out.append(
+                f"{rel.replace(os.sep, '/')}:{line}: [{rule.name}] {rule.message}"
+            )
+            violations += 1
+    return violations
+
+
+def collect_files(root, paths):
+    if paths:
+        for p in paths:
+            ap = os.path.abspath(p)
+            yield os.path.relpath(ap, root)
+        return
+    for d in SCAN_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            rel_dir = os.path.relpath(dirpath, root)
+            if any(
+                rel_dir == s or rel_dir.startswith(s + os.sep) for s in SKIP_DIRS
+            ):
+                continue
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(rel_dir, name)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the tree containing this script)",
+    )
+    ap.add_argument(
+        "--list-rules", action="store_true", help="print rule names and exit"
+    )
+    ap.add_argument("paths", nargs="*", help="specific files (default: whole tree)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.name}: {rule.message}")
+        return 0
+
+    out = []
+    total = 0
+    for rel in collect_files(os.path.abspath(args.root), args.paths):
+        total += scan_file(os.path.abspath(args.root), rel, out)
+    for line in out:
+        print(line)
+    if total:
+        print(f"apsq_lint: {total} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
