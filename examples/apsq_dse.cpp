@@ -48,16 +48,15 @@ using namespace apsq::dse;
 namespace {
 
 struct Options {
-  SweepConfig cfg;
+  /// The sweep + report shape — the same validated object a --jobs
+  /// experiment or a daemon request deserializes into.
+  RequestSpec req;
   std::string jobs_path;
-  std::string csv_path;
-  std::string front_csv_path;
   std::string layer_stats_csv_path;
   int dump_stats_top = 5;
   bool dump_stats_top_set = false;
   bool stats = false;
   std::string stats_json_path;
-  int top = 20;
   bool verify_serial = false;
   bool help = false;
   /// Any flag other than --jobs / --help seen — --jobs runs the spec's
@@ -180,26 +179,26 @@ bool parse(int argc, char** argv, Options& o) {
     } else if (a == "--space") {
       const char* v = next("--space");
       if (!v) return false;
-      o.cfg.space = v;
+      o.req.config.space = v;
     } else if (a == "--backend") {
       const char* v = next("--backend");
       // Validate at parse time: an unrecognized backend must exit 1 with
       // the flag named, never fall back to a default sweep.
-      if (!v || !parse_enum_flag("--backend", v, parse_backend, o.cfg.backend))
+      if (!v || !parse_enum_flag("--backend", v, parse_backend, o.req.config.backend))
         return false;
     } else if (a == "--calibrate") {
-      o.cfg.calibrate = true;
+      o.req.config.calibrate = true;
     } else if (a == "--calibrate-per-class") {
-      o.cfg.calibrate_per_class = true;
+      o.req.config.calibrate_per_class = true;
     } else if (a == "--promote-band") {
       const char* v = next("--promote-band");
       if (!v || !parse_double_flag("--promote-band", v, 0.0,
                                    std::numeric_limits<double>::infinity(),
-                                   o.cfg.promote_band))
+                                   o.req.config.promote_band))
         return false;
-      o.cfg.promote_band_set = true;
+      o.req.config.promote_band_set = true;
     } else if (a == "--promote-adaptive") {
-      o.cfg.promote_adaptive = true;
+      o.req.config.promote_adaptive = true;
     } else if (a == "--promote-budget") {
       const char* v = next("--promote-budget");
       // 1 is the smallest meaningful budget: a budget of 0 would simulate
@@ -207,23 +206,23 @@ bool parse(int argc, char** argv, Options& o) {
       // out-of-range value.
       if (!v ||
           !parse_i64_flag("--promote-budget", v, 1, i64{1} << 40,
-                          o.cfg.promote_budget))
+                          o.req.config.promote_budget))
         return false;
-      o.cfg.promote_budget_set = true;
+      o.req.config.promote_budget_set = true;
     } else if (a == "--promote-objectives") {
       const char* v = next("--promote-objectives");
       if (!v || !parse_enum_flag("--promote-objectives", v,
-                                 ObjectiveSet::parse, o.cfg.promote_objectives))
+                                 ObjectiveSet::parse, o.req.config.promote_objectives))
         return false;
-      o.cfg.promote_objectives_set = true;
+      o.req.config.promote_objectives_set = true;
     } else if (a == "--calibration-csv") {
       const char* v = next("--calibration-csv");
       if (!v) return false;
-      o.cfg.calibration_csv = v;
+      o.req.config.calibration_csv = v;
     } else if (a == "--objectives") {
       const char* v = next("--objectives");
       if (!v || !parse_enum_flag("--objectives", v, ObjectiveSet::parse,
-                                 o.cfg.objectives))
+                                 o.req.config.objectives))
         return false;
     } else if (a == "--where") {
       const char* v = next("--where");
@@ -236,42 +235,42 @@ bool parse(int argc, char** argv, Options& o) {
         std::cerr << "--where: " << e.what() << "\n";
         return false;
       }
-      o.cfg.where = v;
+      o.req.config.where = v;
     } else if (a == "--store-in") {
       const char* v = next("--store-in");
       if (!v) return false;
-      o.cfg.store_in = v;
+      o.req.config.store_in = v;
     } else if (a == "--store-out") {
       const char* v = next("--store-out");
       if (!v) return false;
-      o.cfg.store_out = v;
+      o.req.config.store_out = v;
     } else if (a == "--threads") {
       const char* v = next("--threads");
-      if (!v || !parse_int_flag("--threads", v, 1, 4096, o.cfg.threads))
+      if (!v || !parse_int_flag("--threads", v, 1, 4096, o.req.config.threads))
         return false;
     } else if (a == "--sim-threads") {
       const char* v = next("--sim-threads");
-      if (!v || !parse_int_flag("--sim-threads", v, 1, 4096, o.cfg.sim_threads))
+      if (!v || !parse_int_flag("--sim-threads", v, 1, 4096, o.req.config.sim_threads))
         return false;
     } else if (a == "--seed") {
       const char* v = next("--seed");
-      if (!v || !parse_u64_flag("--seed", v, o.cfg.seed)) return false;
+      if (!v || !parse_u64_flag("--seed", v, o.req.config.seed)) return false;
     } else if (a == "--shrink") {
       const char* v = next("--shrink");
-      if (!v || !parse_i64_flag("--shrink", v, 1, kDimMax, o.cfg.shrink))
+      if (!v || !parse_i64_flag("--shrink", v, 1, kDimMax, o.req.config.shrink))
         return false;
     } else if (a == "--max-dim") {
       const char* v = next("--max-dim");
-      if (!v || !parse_i64_flag("--max-dim", v, 1, kDimMax, o.cfg.max_dim))
+      if (!v || !parse_i64_flag("--max-dim", v, 1, kDimMax, o.req.config.max_dim))
         return false;
     } else if (a == "--csv") {
       const char* v = next("--csv");
       if (!v) return false;
-      o.csv_path = v;
+      o.req.csv = v;
     } else if (a == "--front-csv") {
       const char* v = next("--front-csv");
       if (!v) return false;
-      o.front_csv_path = v;
+      o.req.front_csv = v;
     } else if (a == "--layer-stats-csv") {
       const char* v = next("--layer-stats-csv");
       if (!v) return false;
@@ -290,7 +289,7 @@ bool parse(int argc, char** argv, Options& o) {
       o.stats_json_path = v;
     } else if (a == "--top") {
       const char* v = next("--top");
-      if (!v || !parse_int_flag("--top", v, 0, 1 << 20, o.top)) return false;
+      if (!v || !parse_int_flag("--top", v, 0, 1 << 20, o.req.top)) return false;
     } else if (a == "--verify-serial") {
       o.verify_serial = true;
     } else {
@@ -307,13 +306,12 @@ void print_cache_line(const char* name, const CacheStats& s, bool last) {
   std::cout << (last ? "\n" : ", ");
 }
 
-/// How one sweep's outcome is reported — shared by the single-sweep path
-/// and the per-experiment loop of --jobs.
+/// CLI-only report extras — everything a sweep's report needs beyond the
+/// RequestSpec's own shape (top/csv/front_csv). Shared by the
+/// single-sweep path and the per-experiment loop of --jobs.
 struct ReportOptions {
+  RequestSpec req;
   bool stats = false;
-  int top = 20;
-  std::string csv_path;
-  std::string front_csv_path;
   std::string layer_stats_csv_path;
   int dump_stats_top = 5;
   std::string stats_json_path;
@@ -397,8 +395,8 @@ bool print_report(SweepSession& session, const SweepOutcome& out,
             << out.global_front_size << " in the cross-workload front)\n\n";
 
   std::vector<EvalResult> shown = out.front;
-  if (ro.top > 0 && static_cast<size_t>(ro.top) < shown.size())
-    shown.resize(static_cast<size_t>(ro.top));
+  if (ro.req.top > 0 && static_cast<size_t>(ro.req.top) < shown.size())
+    shown.resize(static_cast<size_t>(ro.req.top));
   front_table(shown).print(std::cout);
   if (shown.size() < out.front.size())
     std::cout << "… " << out.front.size() - shown.size()
@@ -408,19 +406,19 @@ bool print_report(SweepSession& session, const SweepOutcome& out,
     std::cout << "\nwrote " << cfg.calibration_csv << "\n";
   if (!cfg.store_out.empty())
     std::cout << "wrote " << cfg.store_out << "\n";
-  if (!ro.csv_path.empty()) {
-    if (!results_csv(out.results, scored_by).write(ro.csv_path)) {
-      std::cerr << "failed to write " << ro.csv_path << "\n";
+  if (!ro.req.csv.empty()) {
+    if (!results_csv(out.results, scored_by).write(ro.req.csv)) {
+      std::cerr << "failed to write " << ro.req.csv << "\n";
       return false;
     }
-    std::cout << "\nwrote " << ro.csv_path << "\n";
+    std::cout << "\nwrote " << ro.req.csv << "\n";
   }
-  if (!ro.front_csv_path.empty()) {
-    if (!results_csv(out.front, scored_by).write(ro.front_csv_path)) {
-      std::cerr << "failed to write " << ro.front_csv_path << "\n";
+  if (!ro.req.front_csv.empty()) {
+    if (!results_csv(out.front, scored_by).write(ro.req.front_csv)) {
+      std::cerr << "failed to write " << ro.req.front_csv << "\n";
       return false;
     }
-    std::cout << "wrote " << ro.front_csv_path << "\n";
+    std::cout << "wrote " << ro.req.front_csv << "\n";
   }
   if (!ro.layer_stats_csv_path.empty()) {
     const size_t k = ro.dump_stats_top == 0
@@ -450,18 +448,16 @@ int run_single(const Options& o) {
   // Cross-field consistency: the library rules (shared with the job-spec
   // path), plus the one CLI-only pairing — --dump-stats-top shapes
   // --layer-stats-csv output that would otherwise not be written.
-  if (!o.cfg.validate() ||
+  if (!o.req.config.validate() ||
       !flag_requires(o.dump_stats_top_set, "--dump-stats-top",
                      !o.layer_stats_csv_path.empty(), "--layer-stats-csv"))
     return 1;
   try {
-    SweepSession session(o.cfg);
+    SweepSession session(o.req.config);
     const SweepOutcome out = session.run();
     ReportOptions ro;
+    ro.req = o.req;
     ro.stats = o.stats;
-    ro.top = o.top;
-    ro.csv_path = o.csv_path;
-    ro.front_csv_path = o.front_csv_path;
     ro.layer_stats_csv_path = o.layer_stats_csv_path;
     ro.dump_stats_top = o.dump_stats_top;
     ro.stats_json_path = o.stats_json_path;
@@ -503,10 +499,8 @@ int run_jobs(const Options& o) {
       SweepSession session(e.config, &store);
       const SweepOutcome out = session.run();
       ReportOptions ro;
+      ro.req = e;
       ro.stats = o.stats;
-      ro.top = e.top;
-      ro.csv_path = e.csv;
-      ro.front_csv_path = e.front_csv;
       if (!print_report(session, out, ro)) return 1;
     }
     if (!spec.store_out.empty()) {

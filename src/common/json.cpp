@@ -357,4 +357,22 @@ JsonValue json_parse_file(const std::string& path) {
   }
 }
 
+i64 json_schema_version(const JsonValue& doc, const std::string& source,
+                        i64 lo, i64 hi, const char* key) {
+  const JsonValue* v = doc.is_object() ? doc.find(key) : nullptr;
+  if (v == nullptr) return lo;  // unversioned document: the original (v1)
+  i64 found = 0;
+  try {
+    found = v->as_i64();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(source + ": " + key + ": " + e.what());
+  }
+  if (found < lo || found > hi)
+    throw std::runtime_error(source + ": unsupported schema_version " +
+                             std::to_string(found) + " (supported: " +
+                             std::to_string(lo) + ".." + std::to_string(hi) +
+                             ")");
+  return found;
+}
+
 }  // namespace apsq

@@ -82,4 +82,17 @@ JsonValue json_parse(const std::string& text);
 /// spec or snapshot names the offending file.
 JsonValue json_parse_file(const std::string& path);
 
+/// Check a document's `schema_version` against the [lo, hi] range this
+/// build understands and return it. A document without the key is treated
+/// as version `lo` (every persisted/wire format predating explicit
+/// versioning is its v1), so existing files keep loading; a version
+/// outside the range throws std::runtime_error naming `source` (the file
+/// path or "request"), the found version, and the supported range —
+/// future formats are rejected up front instead of failing on whatever
+/// key changed. `key` exists for formats that carried the version under
+/// an older name.
+i64 json_schema_version(const JsonValue& doc, const std::string& source,
+                        i64 lo = 1, i64 hi = 1,
+                        const char* key = "schema_version");
+
 }  // namespace apsq

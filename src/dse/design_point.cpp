@@ -6,8 +6,23 @@
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "dse/names.hpp"
 
 namespace apsq::dse {
+
+namespace {
+
+/// Row of the shared naming table (dse/names.hpp) for one objective —
+/// the single place the name/column/direction strings live.
+const ObjectiveName& name_row(Objective o) {
+  const auto& table = objective_names();
+  const size_t i = static_cast<size_t>(o);
+  APSQ_CHECK_MSG(i < table.size() && table[i].objective == o,
+                 "objective naming table out of sync");
+  return table[i];
+}
+
+}  // namespace
 
 void DesignPoint::validate() const {
   APSQ_CHECK_MSG(!workload.empty(), "design point needs a workload name");
@@ -27,49 +42,11 @@ std::string canonical_key(const DesignPoint& p) {
   return os.str();
 }
 
-const char* to_string(Objective o) {
-  switch (o) {
-    case Objective::kEnergy: return "energy";
-    case Objective::kArea: return "area";
-    case Objective::kError: return "error";
-    case Objective::kLatency: return "latency";
-    case Objective::kPeUtilization: return "pe_utilization";
-    case Objective::kDramBwHeadroom: return "dram_bw_headroom";
-    case Objective::kThroughputPerArea: return "throughput_per_area";
-  }
-  APSQ_CHECK_MSG(false, "unknown objective");
-  return "";
-}
+const char* to_string(Objective o) { return name_row(o).name; }
 
-const char* objective_column(Objective o) {
-  switch (o) {
-    case Objective::kEnergy: return "energy_pj";
-    case Objective::kArea: return "area_um2";
-    case Objective::kError: return "error";
-    case Objective::kLatency: return "latency_s";
-    case Objective::kPeUtilization: return "pe_utilization";
-    case Objective::kDramBwHeadroom: return "dram_bw_headroom";
-    case Objective::kThroughputPerArea: return "throughput_per_area";
-  }
-  APSQ_CHECK_MSG(false, "unknown objective");
-  return "";
-}
+const char* objective_column(Objective o) { return name_row(o).column; }
 
-Direction objective_direction(Objective o) {
-  switch (o) {
-    case Objective::kEnergy:
-    case Objective::kArea:
-    case Objective::kError:
-    case Objective::kLatency:
-      return Direction::kMinimize;
-    case Objective::kPeUtilization:
-    case Objective::kDramBwHeadroom:
-    case Objective::kThroughputPerArea:
-      return Direction::kMaximize;
-  }
-  APSQ_CHECK_MSG(false, "unknown objective");
-  return Direction::kMinimize;
-}
+Direction objective_direction(Objective o) { return name_row(o).direction; }
 
 double Objectives::get(Objective o) const {
   switch (o) {
@@ -154,21 +131,13 @@ ObjectiveSet ObjectiveSet::parse(const std::string& csv) {
   bool any = false;
   while (std::getline(in, name, ',')) {
     if (name.empty()) continue;
-    bool found = false;
-    for (int i = 0; i < kObjectiveCount; ++i) {
-      if (name == dse::to_string(static_cast<Objective>(i))) {
-        if (s.active_[static_cast<size_t>(i)])
-          throw std::invalid_argument("duplicate objective: " + name);
-        s.active_[static_cast<size_t>(i)] = true;
-        found = true;
-        break;
-      }
-    }
-    if (!found)
-      throw std::invalid_argument(
-          "unknown objective: " + name +
-          " (expected energy|area|error|latency|pe_utilization|"
-          "dram_bw_headroom|throughput_per_area)");
+    // parse_objective names the valid list in its message (the shared
+    // naming table), so the CLI, spec, and daemon paths all reject with
+    // identical text.
+    const Objective o = parse_objective(name);
+    if (s.active_[static_cast<size_t>(o)])
+      throw std::invalid_argument("duplicate objective: " + name);
+    s.active_[static_cast<size_t>(o)] = true;
     any = true;
   }
   if (!any) throw std::invalid_argument("objective list is empty");

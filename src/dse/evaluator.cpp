@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "dse/accuracy_proxy.hpp"
+#include "dse/names.hpp"
 #include "dse/pareto.hpp"
 #include "energy/energy_model.hpp"
 #include "models/bert.hpp"
@@ -22,23 +23,20 @@
 namespace apsq::dse {
 
 const char* to_string(EvalBackend b) {
-  switch (b) {
-    case EvalBackend::kAnalytic: return "analytic";
-    case EvalBackend::kSim: return "sim";
-    case EvalBackend::kMixed: return "mixed";
-  }
-  APSQ_CHECK_MSG(false, "unknown backend");
-  return "";
+  const auto& table = backend_names();
+  const size_t i = static_cast<size_t>(b);
+  APSQ_CHECK_MSG(i < table.size() && table[i].backend == b,
+                 "backend naming table out of sync");
+  return table[i].name;
 }
 
 EvalBackend parse_backend(const std::string& name) {
-  if (name == "analytic") return EvalBackend::kAnalytic;
-  if (name == "sim") return EvalBackend::kSim;
-  if (name == "mixed") return EvalBackend::kMixed;
+  for (const BackendName& row : backend_names())
+    if (name == row.name) return row.backend;
   // invalid_argument (not APSQ_CHECK) keeps the message clean for CLI
   // diagnostics — parse_enum_flag prints it verbatim after the flag name.
-  throw std::invalid_argument("unknown backend: " + name +
-                              " (expected analytic|sim|mixed)");
+  throw std::invalid_argument("unknown backend: " + name + " (expected " +
+                              backend_name_list() + ")");
 }
 
 const char* to_string(PromoteMode m) {

@@ -1,6 +1,5 @@
 #include "dse/jobspec.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
 #include "common/json.hpp"
@@ -9,141 +8,47 @@ namespace apsq::dse {
 
 namespace {
 
-/// The flag ranges, mirrored so a spec rejects exactly what the CLI does.
-constexpr i64 kDimMax = i64{1} << 30;
-constexpr i64 kBudgetMax = i64{1} << 40;
-constexpr int kThreadsMax = 4096;
-constexpr int kTopMax = 1 << 20;
-
-[[noreturn]] void bad(const std::string& source, const std::string& where,
-                      const std::string& reason) {
-  throw std::runtime_error(source + ": " + where + ": " + reason);
-}
-
-int as_int_in(const JsonValue& v, const std::string& source,
-              const std::string& where, const std::string& key, i64 lo,
-              i64 hi) {
-  const i64 n = v.as_i64();
-  if (n < lo || n > hi)
-    bad(source, where,
-        "\"" + key + "\" must be in [" + std::to_string(lo) + ", " +
-            std::to_string(hi) + "], got " + std::to_string(n));
-  return static_cast<int>(n);
-}
-
-/// Apply one recognized field to an experiment. Returns false on an
-/// unrecognized key (the caller names it — with the experiment — and
-/// throws).
-bool apply_field(const std::string& key, const JsonValue& v, JobExperiment& e,
-                 const std::string& source, const std::string& where) {
-  SweepConfig& c = e.config;
-  try {
-    if (key == "name") {
-      e.name = v.as_string();
-    } else if (key == "space") {
-      c.space = v.as_string();
-    } else if (key == "backend") {
-      c.backend = parse_backend(v.as_string());
-    } else if (key == "objectives") {
-      c.objectives = ObjectiveSet::parse(v.as_string());
-    } else if (key == "promote_objectives") {
-      c.promote_objectives = ObjectiveSet::parse(v.as_string());
-      c.promote_objectives_set = true;
-    } else if (key == "threads") {
-      c.threads = as_int_in(v, source, where, key, 1, kThreadsMax);
-    } else if (key == "sim_threads") {
-      c.sim_threads = as_int_in(v, source, where, key, 1, kThreadsMax);
-    } else if (key == "seed") {
-      // JSON numbers are doubles, so seeds above 2^53 are not exactly
-      // representable — as_i64 rejects them rather than rounding.
-      const i64 s = v.as_i64();
-      if (s < 0) bad(source, where, "\"seed\" must be >= 0");
-      c.seed = static_cast<u64>(s);
-    } else if (key == "shrink") {
-      c.shrink = as_int_in(v, source, where, key, 1, kDimMax);
-    } else if (key == "max_dim") {
-      c.max_dim = as_int_in(v, source, where, key, 1, kDimMax);
-    } else if (key == "calibrate") {
-      c.calibrate = v.as_bool();
-    } else if (key == "calibrate_per_class") {
-      c.calibrate_per_class = v.as_bool();
-    } else if (key == "calibration_csv") {
-      c.calibration_csv = v.as_string();
-    } else if (key == "promote_band") {
-      const double b = v.as_number();
-      if (!(b >= 0.0)) bad(source, where, "\"promote_band\" must be >= 0");
-      c.promote_band = b;
-      c.promote_band_set = true;
-    } else if (key == "promote_adaptive") {
-      c.promote_adaptive = v.as_bool();
-    } else if (key == "promote_budget") {
-      c.promote_budget = as_int_in(v, source, where, key, 1, kBudgetMax);
-      c.promote_budget_set = true;
-    } else if (key == "where") {
-      c.where = v.as_string();
-      parse_constraints(c.where);  // reject malformed filters at parse time
-    } else if (key == "csv") {
-      e.csv = v.as_string();
-    } else if (key == "front_csv") {
-      e.front_csv = v.as_string();
-    } else if (key == "top") {
-      e.top = as_int_in(v, source, where, key, 0, kTopMax);
-    } else {
-      return false;
-    }
-  } catch (const std::runtime_error&) {
-    throw;  // already source-prefixed (the bad() calls above)
-  } catch (const std::exception& ex) {
-    // Type mismatches from the JsonValue accessors and value errors from
-    // parse_backend / ObjectiveSet::parse / parse_constraints: attach the
-    // source, the experiment, and the key they came from.
-    bad(source, where, "\"" + key + "\": " + ex.what());
-  }
-  return true;
-}
-
-void apply_object(const JsonValue& obj, JobExperiment& e,
-                  const std::string& source, const std::string& where,
-                  bool allow_name) {
-  for (const auto& [key, value] : obj.members()) {
-    if (key == "name" && !allow_name)
-      bad(source, where, "\"name\" is not a defaults field");
-    if (!apply_field(key, value, e, source, where))
-      bad(source, where, "unknown key \"" + key + "\"");
-  }
-}
+/// Job-spec files are v1 of the spec schema.
+constexpr i64 kSchemaVersion = 1;
 
 }  // namespace
 
 JobSpec JobSpec::parse(const JsonValue& doc, const std::string& source) {
-  if (!doc.is_object()) bad(source, "spec", "top-level value is not an object");
+  if (!doc.is_object())
+    request_error(source, "spec", "top-level value is not an object");
+  // Version gate first: a future spec is rejected naming the version and
+  // the supported range, not whichever of its keys happens to be new.
+  json_schema_version(doc, source, 1, kSchemaVersion);
   JobSpec spec;
   JobExperiment defaults;
   const JsonValue* experiments = nullptr;
   try {
     for (const auto& [key, value] : doc.members()) {
-      if (key == "store_in") {
+      if (key == "schema_version") {
+        // validated above
+      } else if (key == "store_in") {
         spec.store_in = value.as_string();
       } else if (key == "store_out") {
         spec.store_out = value.as_string();
       } else if (key == "defaults") {
-        apply_object(value, defaults, source, "defaults",
-                     /*allow_name=*/false);
+        apply_request_object(value, defaults, source, "defaults",
+                             /*allow_name=*/false);
       } else if (key == "experiments") {
         experiments = &value;
       } else {
-        bad(source, "spec", "unknown key \"" + key + "\"");
+        request_error(source, "spec", "unknown key \"" + key + "\"");
       }
     }
     if (experiments == nullptr)
-      bad(source, "spec", "missing \"experiments\" array");
+      request_error(source, "spec", "missing \"experiments\" array");
     if (experiments->size() == 0)
-      bad(source, "spec", "\"experiments\" is empty");
+      request_error(source, "spec", "\"experiments\" is empty");
     for (size_t i = 0; i < experiments->size(); ++i) {
       JobExperiment e = defaults;  // field-by-field override starts here
       e.name = "exp" + std::to_string(i);
-      apply_object(experiments->at(i), e, source,
-                   "experiment " + std::to_string(i), /*allow_name=*/true);
+      apply_request_object(experiments->at(i), e, source,
+                           "experiment " + std::to_string(i),
+                           /*allow_name=*/true);
       spec.experiments.push_back(std::move(e));
     }
   } catch (const std::runtime_error&) {

@@ -16,18 +16,20 @@
 //   }
 //
 // An experiment starts from `defaults` and overrides field by field; the
-// recognized fields mirror the apsq_dse flags one-to-one (see
-// kExperimentKeys in jobspec.cpp). Parsing is strict: an unknown key, a
-// wrong type, or an out-of-range value throws with the file, the
-// experiment, and the key named — the cross-field consistency rules
-// (SweepConfig::validate()) stay with the driver, so the flag path and
-// the spec path reject inconsistent configs with identical messages.
+// recognized fields are the RequestSpec fields (dse/request.hpp), which
+// mirror the apsq_dse flags one-to-one. An optional top-level
+// "schema_version" (absent = 1) is checked against the versions this
+// build reads. Parsing is strict: an unknown key, a wrong type, or an
+// out-of-range value throws with the file, the experiment, and the key
+// named — the cross-field consistency rules (SweepConfig::validate())
+// stay with the driver, so the flag path and the spec path reject
+// inconsistent configs with identical messages.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "dse/sweep.hpp"
+#include "dse/request.hpp"
 
 namespace apsq {
 class JsonValue;
@@ -35,14 +37,9 @@ class JsonValue;
 
 namespace apsq::dse {
 
-/// One experiment of a job spec: a sweep plus its report shape.
-struct JobExperiment {
-  std::string name;  ///< defaults to "exp<index>"
-  SweepConfig config;
-  std::string csv;        ///< write every evaluated point here
-  std::string front_csv;  ///< write the front here
-  int top = 20;           ///< front rows to print (0 = all)
-};
+/// One experiment of a job spec — exactly a request (the daemon serves
+/// the same object over the wire). The name defaults to "exp<index>".
+using JobExperiment = RequestSpec;
 
 struct JobSpec {
   /// Spec-level store paths — the *shared* store every experiment answers

@@ -1,5 +1,6 @@
 #include "dse/store.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -12,7 +13,7 @@ namespace apsq::dse {
 namespace {
 
 constexpr const char* kFormat = "apsq-evalstore";
-constexpr int kVersion = 1;
+constexpr int kSchemaVersion = 1;
 
 Dataflow parse_dataflow(const std::string& name) {
   if (name == "IS") return Dataflow::kIS;
@@ -69,6 +70,26 @@ std::string config_space_hash(const ConfigSpace& space) {
   return std::string(hex);
 }
 
+void append_result_json(std::ostream& os, const EvalResult& r) {
+  const DesignPoint& p = r.point;
+  os << "\"workload\": \"" << json_escape(p.workload) << "\", \"dataflow\": \""
+     << to_string(p.dataflow) << "\", \"psum_bits\": " << p.psum.psum_bits
+     << ", \"apsq\": " << (p.psum.apsq ? 1 : 0)
+     << ", \"group_size\": " << p.psum.group_size << ", \"po\": " << p.acc.po
+     << ", \"pci\": " << p.acc.pci << ", \"pco\": " << p.acc.pco
+     << ", \"ifmap_buf_bytes\": " << p.acc.ifmap_buf_bytes
+     << ", \"ofmap_buf_bytes\": " << p.acc.ofmap_buf_bytes
+     << ", \"weight_buf_bytes\": " << p.acc.weight_buf_bytes
+     << ", \"act_bits\": " << p.acc.act_bits
+     << ", \"weight_bits\": " << p.acc.weight_bits << ", \"scored_by\": \""
+     << json_escape(r.scored_by) << "\"";
+  for (int o = 0; o < kObjectiveCount; ++o) {
+    const Objective obj = static_cast<Objective>(o);
+    os << ", \"" << objective_column(obj)
+       << "\": " << format_double(r.obj.get(obj));
+  }
+}
+
 std::shared_ptr<const EvalStore::Entry> EvalStore::find(
     const std::string& space_hash, const std::string& scoring) const {
   MutexLock lock(mu_);
@@ -120,7 +141,8 @@ std::string EvalStore::to_json() const {
     entries = entries_;
   }
   std::ostringstream os;
-  os << "{\n  \"format\": \"" << kFormat << "\",\n  \"version\": " << kVersion
+  os << "{\n  \"format\": \"" << kFormat
+     << "\",\n  \"schema_version\": " << kSchemaVersion
      << ",\n  \"entries\": [";
   bool first_entry = true;
   for (const auto& [key, ep] : entries) {
@@ -135,24 +157,8 @@ std::string EvalStore::to_json() const {
     for (const auto& [idx, r] : e.results) {
       os << (first_row ? "\n" : ",\n");
       first_row = false;
-      const DesignPoint& p = r.point;
-      os << "      {\"i\": " << idx << ", \"workload\": \""
-         << json_escape(p.workload) << "\", \"dataflow\": \""
-         << to_string(p.dataflow) << "\", \"psum_bits\": " << p.psum.psum_bits
-         << ", \"apsq\": " << (p.psum.apsq ? 1 : 0)
-         << ", \"group_size\": " << p.psum.group_size << ", \"po\": " << p.acc.po
-         << ", \"pci\": " << p.acc.pci << ", \"pco\": " << p.acc.pco
-         << ", \"ifmap_buf_bytes\": " << p.acc.ifmap_buf_bytes
-         << ", \"ofmap_buf_bytes\": " << p.acc.ofmap_buf_bytes
-         << ", \"weight_buf_bytes\": " << p.acc.weight_buf_bytes
-         << ", \"act_bits\": " << p.acc.act_bits
-         << ", \"weight_bits\": " << p.acc.weight_bits << ", \"scored_by\": \""
-         << json_escape(r.scored_by) << "\"";
-      for (int o = 0; o < kObjectiveCount; ++o) {
-        const Objective obj = static_cast<Objective>(o);
-        os << ", \"" << objective_column(obj)
-           << "\": " << format_double(r.obj.get(obj));
-      }
+      os << "      {\"i\": " << idx << ", ";
+      append_result_json(os, r);
       os << "}";
     }
     os << (first_row ? "]}" : "\n    ]}");
@@ -162,10 +168,27 @@ std::string EvalStore::to_json() const {
 }
 
 bool EvalStore::save_file(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return false;
-  f << to_json();
-  return static_cast<bool>(f);
+  // Write-to-temp + rename: a crash (or disk-full) mid-write must never
+  // leave a truncated snapshot under `path` — the strict loader would
+  // reject it and the evaluated space would be lost. The temp lives next
+  // to the target so the rename stays within one filesystem.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f << to_json();
+    f.flush();
+    if (!f) {
+      f.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 size_t EvalStore::load_file(const std::string& path) {
@@ -183,11 +206,14 @@ size_t EvalStore::load_file(const std::string& path) {
         format->as_string() != kFormat)
       throw bad(std::string("not an evaluated-space snapshot (missing ") +
                 "\"format\": \"" + kFormat + "\")");
-    const i64 version = doc.get("version").as_i64();
-    if (version != kVersion)
-      throw bad("unsupported snapshot version " + std::to_string(version) +
-                " (this build reads version " + std::to_string(kVersion) +
-                ")");
+    // Pre-daemon snapshots carried the schema version under "version" —
+    // same integer, same meaning — so both spellings load as v1 and both
+    // reject a future version with the same message.
+    const char* vkey = doc.find("schema_version") == nullptr &&
+                               doc.find("version") != nullptr
+                           ? "version"
+                           : "schema_version";
+    json_schema_version(doc, path, 1, kSchemaVersion, vkey);
     const JsonValue& entries = doc.get("entries");
     // Stage into a local list and commit in one step at the end: a file
     // whose 40th entry is malformed must not leave entries 1–39 merged

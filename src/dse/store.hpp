@@ -31,6 +31,7 @@
 // immutable once published and need no lock.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -47,6 +48,13 @@ namespace apsq::dse {
 /// hashes enumerate the identical point sequence, which is what lets a
 /// snapshot be addressed by (hash, index) instead of shipping the space.
 std::string config_space_hash(const ConfigSpace& space);
+
+/// Append one scored result as JSON object members (no braces): the full
+/// point identity, its scored_by provenance, and every objective column —
+/// field names and order exactly as snapshot rows persist them. Shared by
+/// the snapshot serializer and the daemon's wire responses, so the two
+/// formats cannot drift.
+void append_result_json(std::ostream& os, const EvalResult& r);
 
 class EvalStore {
  public:

@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/thread_pool.hpp"
+#include "dse/names.hpp"
 #include "dse/pareto.hpp"
 #include "dse/report.hpp"
 #include "dse/store.hpp"
@@ -19,7 +20,7 @@ namespace apsq::dse {
 bool SweepConfig::validate(std::ostream& err) const {
   // The name must be vetted before make_space() — the job-spec path has
   // no parse-time guard the way the CLI flags do.
-  if (space != "paper" && space != "smoke") {
+  if (!known_space_name(space)) {
     err << "unknown space: " << space << " (try --help)\n";
     return false;
   }
@@ -145,16 +146,13 @@ std::vector<Constraint> parse_constraints(const std::string& text) {
     Constraint c;
     c.upper_bound = upper;
     const std::string name = term.substr(0, op);
-    bool found = false;
-    for (int i = 0; i < kObjectiveCount; ++i) {
-      if (name == to_string(static_cast<Objective>(i))) {
-        c.objective = static_cast<Objective>(i);
-        found = true;
-        break;
-      }
-    }
-    if (!found)
+    try {
+      c.objective = parse_objective(name);
+    } catch (const std::invalid_argument&) {
+      // Re-frame the shared table's message with the constraint context —
+      // the term, not a flag, is what the user mistyped.
       throw std::invalid_argument("unknown objective in constraint: " + name);
+    }
     const std::string value = term.substr(op + 2);
     char* end = nullptr;
     c.bound = std::strtod(value.c_str(), &end);
@@ -210,16 +208,23 @@ EvalStore* SweepSession::store() {
   return external_store_ != nullptr ? external_store_ : owned_store_.get();
 }
 
-std::vector<EvalResult> SweepSession::slice_front(
-    const std::vector<EvalResult>& results, size_t& global_front_size) const {
+std::vector<EvalResult> extract_front(
+    const SweepConfig& cfg, const std::vector<Constraint>& constraints,
+    const std::vector<EvalResult>& results, size_t* global_front_size) {
   // Workload is a scenario, not a knob: the headline front is per
   // workload; the cross-workload (global) front is reported as a count.
   // A mixed sweep's front is extracted over the sim-re-scored (promoted)
   // subset only, so dominance always compares equal-fidelity scores.
   const std::vector<EvalResult> basis = filter_results(
-      cfg_.mixed() ? promoted_subset(results) : results, constraints_);
-  global_front_size = pareto_front(basis, cfg_.objectives).size();
-  return pareto_front_by_workload(basis, cfg_.objectives);
+      cfg.mixed() ? promoted_subset(results) : results, constraints);
+  if (global_front_size != nullptr)
+    *global_front_size = pareto_front(basis, cfg.objectives).size();
+  return pareto_front_by_workload(basis, cfg.objectives);
+}
+
+std::vector<EvalResult> SweepSession::slice_front(
+    const std::vector<EvalResult>& results, size_t& global_front_size) const {
+  return extract_front(cfg_, constraints_, results, &global_front_size);
 }
 
 SweepOutcome SweepSession::run() {

@@ -129,6 +129,18 @@ std::vector<Constraint> parse_constraints(const std::string& text);
 std::vector<EvalResult> filter_results(const std::vector<EvalResult>& results,
                                        const std::vector<Constraint>& cs);
 
+/// The per-workload Pareto front `cfg` denotes over `results`: the basis
+/// is the promoted subset for mixed sweeps (dominance only compares
+/// equal-fidelity scores), filtered by `constraints`;
+/// `global_front_size`, when non-null, receives the size of the
+/// cross-workload front over the same basis. SweepSession and the daemon
+/// dispatcher both extract through here, so their fronts are
+/// byte-identical by construction.
+std::vector<EvalResult> extract_front(const SweepConfig& cfg,
+                                      const std::vector<Constraint>& constraints,
+                                      const std::vector<EvalResult>& results,
+                                      size_t* global_front_size = nullptr);
+
 /// What one sweep produced, plus the accounting a report needs.
 struct SweepOutcome {
   /// Every point of the space, in enumeration order.

@@ -1,0 +1,258 @@
+#include "serve/dispatcher.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "dse/report.hpp"
+#include "dse/store.hpp"
+
+namespace apsq::serve {
+
+using dse::DesignPoint;
+using dse::EvalResult;
+
+namespace {
+
+/// Decrement-on-scope-exit for the inflight counter (queries can throw
+/// out of the coalescing loop).
+struct CounterScope {
+  explicit CounterScope(std::atomic<int>& c) : c_(c) { c_.fetch_add(1); }
+  ~CounterScope() { c_.fetch_sub(1); }
+  std::atomic<int>& c_;
+};
+
+}  // namespace
+
+/// Per-(space hash, scoring key) coalescing state. Requests with equal
+/// keys produce byte-identical values for every point, so any of them may
+/// evaluate a point on behalf of all of them.
+struct Dispatcher::Group {
+  Mutex mu;
+  CondVar cv;
+  /// Built once from the first request's evaluator_options() (members of
+  /// a group share a scoring key, so everything value-relevant agrees).
+  /// Only the group's current leader — serialized by leader_active —
+  /// drives it, which the static analysis cannot see; the leadership
+  /// hand-off below is the actual exclusion.
+  std::unique_ptr<dse::Evaluator> eval;
+  bool leader_active APSQ_GUARDED_BY(mu) = false;
+  std::set<index_t> pending APSQ_GUARDED_BY(mu);   ///< missed, unclaimed
+  std::set<index_t> inflight APSQ_GUARDED_BY(mu);  ///< in the leader's batch
+  std::map<index_t, EvalResult> done APSQ_GUARDED_BY(mu);
+};
+
+Dispatcher::Dispatcher(dse::EvalStore& store) : store_(store) {}
+Dispatcher::~Dispatcher() = default;
+
+Dispatcher::Group& Dispatcher::group_for(const std::string& hash,
+                                         const std::string& scoring,
+                                         const dse::RequestSpec& req) {
+  const std::string key = hash + '\n' + scoring;
+  {
+    MutexLock lock(mu_);
+    const auto it = groups_.find(key);
+    if (it != groups_.end()) return *it->second;
+  }
+  // Build the group outside the dispatcher lock (evaluator construction
+  // may fit calibration anchors); publish under it — first writer wins,
+  // a racing loser's evaluator is simply discarded.
+  auto g = std::make_unique<Group>();
+  // Pin the shared pool's width like SweepSession does (first config
+  // wins; an explicit APSQ_POOL_THREADS env var beats both).
+  setenv("APSQ_POOL_THREADS",
+         std::to_string(req.config.resolved_threads()).c_str(),
+         /*overwrite=*/0);
+  g->eval = std::make_unique<dse::Evaluator>(req.config.evaluator_options());
+  // Preload fitted calibration factors exactly the way a session would,
+  // so calibrated fronts stay byte-identical to batch mode. The daemon
+  // never writes the CSV back — it only answers queries.
+  if (g->eval->calibrator() && !req.config.calibration_csv.empty() &&
+      std::ifstream(req.config.calibration_csv).good())
+    g->eval->calibrator()->load_unit_factors_csv(req.config.calibration_csv);
+  MutexLock lock(mu_);
+  const auto it = groups_.emplace(key, std::move(g)).first;
+  return *it->second;
+}
+
+QueryResult Dispatcher::query(const dse::RequestSpec& req) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // The library consistency rules, verbatim — a daemon request rejects
+  // with the exact message the CLI and the job-spec path print.
+  std::ostringstream verr;
+  if (!req.config.validate(verr)) throw std::invalid_argument(verr.str());
+  const std::vector<dse::Constraint> constraints =
+      dse::parse_constraints(req.config.where);
+  const dse::ConfigSpace space = req.config.make_space();
+  const std::string hash = dse::config_space_hash(space);
+  const std::string scoring = req.config.scoring_key();
+  total_requests_.fetch_add(1);
+
+  QueryResult out;
+  out.results.resize(static_cast<size_t>(space.size()));
+  std::vector<index_t> misses;
+
+  const std::shared_ptr<const dse::EvalStore::Entry> entry =
+      store_.find(hash, scoring);
+  if (entry != nullptr && entry->space_points != space.size()) {
+    // Same hash, different size can only mean a corrupted snapshot or a
+    // hash collision — either way the entry must not answer queries.
+    throw std::runtime_error(
+        (store_.source().empty() ? std::string("evaluated-space store")
+                                 : store_.source()) +
+        ": snapshot for space hash " + hash + " records " +
+        std::to_string(entry->space_points) + " points but the space has " +
+        std::to_string(space.size()));
+  }
+  // The mixed pipeline's promotion set depends on the whole space, so a
+  // partial mixed snapshot cannot be completed point-by-point — only a
+  // complete one answers; otherwise the full space is (re)evaluated in
+  // one batch, which for the mixed backend IS the two-phase sweep.
+  const bool usable =
+      entry != nullptr && (entry->complete() || !req.config.mixed());
+  for (index_t i = 0; i < space.size(); ++i) {
+    if (usable) {
+      const auto it = entry->results.find(i);
+      if (it != entry->results.end()) {
+        const DesignPoint p = space.at(i);
+        // Guard against collisions and stale snapshots: the stored row
+        // must denote exactly the point the space enumerates here.
+        if (canonical_key(it->second.point) != canonical_key(p))
+          throw std::runtime_error(
+              (store_.source().empty() ? std::string("evaluated-space store")
+                                       : store_.source()) +
+              ": snapshot point " + std::to_string(i) +
+              " does not match the space (stored " +
+              canonical_key(it->second.point) + ", expected " +
+              canonical_key(p) + ")");
+        out.results[static_cast<size_t>(i)] = it->second;
+        continue;
+      }
+    }
+    misses.push_back(i);
+  }
+  out.stats.store_hits = space.size() - static_cast<index_t>(misses.size());
+
+  if (!misses.empty()) {
+    Group& g = group_for(hash, scoring, req);
+    const std::set<index_t> need(misses.begin(), misses.end());
+    {
+      // Register the misses nobody has answered or claimed yet.
+      MutexLock lock(g.mu);
+      for (const index_t i : need)
+        if (g.done.count(i) == 0 && g.inflight.count(i) == 0)
+          g.pending.insert(i);
+    }
+    const CounterScope in_group(inflight_);
+    index_t self_answered = 0;
+    for (;;) {
+      bool assembled = false;
+      {
+        MutexLock lock(g.mu);
+        for (;;) {
+          bool all_done = true;
+          for (const index_t i : need)
+            if (g.done.count(i) == 0) {
+              all_done = false;
+              break;
+            }
+          if (all_done) {
+            assembled = true;
+            break;
+          }
+          if (!g.leader_active && !g.pending.empty()) {
+            // Take leadership; the batch itself is frozen below, after
+            // the hook, so late joiners can still merge their misses.
+            g.leader_active = true;
+            break;
+          }
+          g.cv.wait(g.mu);
+        }
+      }
+      if (assembled) break;
+      if (batch_hook_) batch_hook_();
+      std::vector<index_t> batch;
+      {
+        MutexLock lock(g.mu);
+        batch.assign(g.pending.begin(), g.pending.end());
+        g.inflight.insert(batch.begin(), batch.end());
+        g.pending.clear();
+      }
+      std::vector<DesignPoint> pts;
+      pts.reserve(batch.size());
+      for (const index_t i : batch) pts.push_back(space.at(i));
+      std::vector<EvalResult> fresh;
+      try {
+        // ONE evaluate_points call for every pooled miss, on the shared
+        // worker pool — the coalescing the daemon exists for.
+        fresh = g.eval->evaluate_points(pts);
+      } catch (...) {
+        // Hand the batch back so waiters can elect a new leader instead
+        // of blocking forever on results that will never arrive.
+        MutexLock lock(g.mu);
+        for (const index_t i : batch) {
+          g.inflight.erase(i);
+          g.pending.insert(i);
+        }
+        g.leader_active = false;
+        g.cv.notify_all();
+        throw;
+      }
+      {
+        MutexLock lock(g.mu);
+        for (size_t j = 0; j < batch.size(); ++j) {
+          g.done.emplace(batch[j], fresh[j]);
+          g.inflight.erase(batch[j]);
+        }
+        g.leader_active = false;
+      }
+      g.cv.notify_all();
+      for (const index_t i : batch)
+        if (need.count(i) != 0) ++self_answered;
+      out.stats.fresh_evaluations += static_cast<index_t>(batch.size());
+      out.stats.eval_batches += 1;
+      total_fresh_.fetch_add(static_cast<i64>(batch.size()));
+      total_batches_.fetch_add(1);
+    }
+    {
+      // Fan the answers back out into this request's result vector.
+      MutexLock lock(g.mu);
+      for (const index_t i : need)
+        out.results[static_cast<size_t>(i)] = g.done.at(i);
+    }
+    out.stats.coalesced = static_cast<index_t>(need.size()) - self_answered;
+    // Record the merged sweep like a session would (COW put: concurrent
+    // writers publish identical bytes). Warm queries never reach here.
+    if (out.stats.fresh_evaluations > 0)
+      store_.put(hash, scoring, req.config.scored_by_label(), space.size(),
+                 out.results);
+  }
+
+  size_t global_front_size = 0;
+  std::vector<EvalResult> front =
+      dse::extract_front(req.config, constraints, out.results,
+                         &global_front_size);
+  out.front_size = front.size();
+  out.global_front_size = global_front_size;
+  out.front_csv =
+      dse::results_csv(front, req.config.scored_by_label()).to_string();
+  if (req.top > 0 && static_cast<size_t>(req.top) < front.size())
+    front.resize(static_cast<size_t>(req.top));
+  out.front = std::move(front);
+
+  out.stats.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  const WorkStealingPool& pool = WorkStealingPool::shared();
+  out.stats.pool_threads = pool.num_threads();
+  out.stats.pool_runs = pool.run_count();
+  out.stats.pool_steals = pool.steal_count();
+  return out;
+}
+
+}  // namespace apsq::serve

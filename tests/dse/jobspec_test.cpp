@@ -126,6 +126,22 @@ TEST(JobSpec, RejectsWrongTypesAndOutOfRangeValues) {
                      "\"where\"");
 }
 
+TEST(JobSpec, SchemaVersionGateAcceptsV1AndRejectsTheFuture) {
+  // An explicit v1 parses; an absent schema_version means v1; a future
+  // version is rejected naming the source, the version, and the range —
+  // before any other key can produce a misleading "unknown key" error.
+  const JobSpec spec = parse_text(
+      "{\"schema_version\": 1, \"experiments\": [{\"space\": \"smoke\"}]}");
+  EXPECT_EQ(spec.experiments.size(), 1u);
+  expect_parse_error("{\"schema_version\": 2, \"experiments\": [{}]}",
+                     "unsupported schema_version 2 (supported: 1..1)");
+  expect_parse_error(
+      "{\"schema_version\": 3, \"futuristic_key\": true, \"experiments\": []}",
+      "unsupported schema_version 3");
+  expect_parse_error("{\"schema_version\": \"one\", \"experiments\": [{}]}",
+                     "schema_version");
+}
+
 TEST(JobSpec, RejectsStructuralMistakes) {
   expect_parse_error("{}", "missing \"experiments\" array");
   expect_parse_error("{\"experiments\": []}", "\"experiments\" is empty");

@@ -108,7 +108,10 @@ TEST(EvalStore, ColdPathRejectsCorruptAndTruncatedSnapshots) {
   cfg.store_out = temp_path("whole.json");
   SweepSession(cfg).run();
   const std::string whole = read_file(cfg.store_out);
-  write_file(bad, whole.substr(0, whole.size() / 2));
+  // Sever inside a string value so the parse error is deterministic.
+  const size_t mid = whole.find("\"workload\": \"");
+  ASSERT_NE(mid, std::string::npos);
+  write_file(bad, whole.substr(0, mid + 14));
   expect_load_error(bad, "unterminated");
 
   expect_load_error(temp_path("absent.json"), "cannot open file");
@@ -140,8 +143,18 @@ TEST(EvalStore, ColdPathRejectsWrongFormatVersionAndDamagedRows) {
     return s;
   };
 
-  write_file(path, replace_first("\"version\": 1", "\"version\": 99"));
-  expect_load_error(path, "unsupported snapshot version 99");
+  write_file(path,
+             replace_first("\"schema_version\": 1", "\"schema_version\": 99"));
+  expect_load_error(path, "unsupported schema_version 99");
+  // The pre-daemon spelling ("version") is the same schema: it loads as
+  // v1 and rejects future versions with the same message.
+  write_file(path, replace_first("\"schema_version\": 1", "\"version\": 99"));
+  expect_load_error(path, "unsupported schema_version 99");
+  {
+    write_file(path, replace_first("\"schema_version\": 1", "\"version\": 1"));
+    EvalStore legacy;
+    EXPECT_EQ(legacy.load_file(path), 1u);
+  }
   write_file(path, replace_first("\"i\": 3", "\"i\": 12"));
   expect_load_error(path, "out of range");
   write_file(path, replace_first("\"i\": 3", "\"i\": 0"));
@@ -381,6 +394,43 @@ TEST(EvalStore, LoadIsAllOrNothing) {
       warm.find(hash, cfg.scoring_key());
   ASSERT_NE(e, nullptr);
   EXPECT_TRUE(e->complete());
+  std::remove(path.c_str());
+}
+
+TEST(EvalStore, SaveIsAtomicAgainstKilledWriters) {
+  // save_file stages into path+".tmp" and renames: a writer killed
+  // mid-save leaves a partial temp beside the target, never a truncated
+  // snapshot under the target itself. Simulate the aftermath of such a
+  // kill and check the old snapshot still answers.
+  SweepConfig cfg;
+  cfg.space = "smoke";
+  cfg.threads = 1;
+  SweepSession session(cfg);
+  const SweepOutcome out = session.run();
+  const std::string hash = config_space_hash(session.space());
+
+  EvalStore store;
+  store.put(hash, cfg.scoring_key(), cfg.scored_by_label(), 8, out.results);
+  const std::string path = temp_path("atomic.json");
+  ASSERT_TRUE(store.save_file(path));
+  const std::string good = read_file(path);
+
+  // Kill-style partial write: a truncated temp next to an intact target.
+  write_file(path + ".tmp", good.substr(0, good.size() / 3));
+  EvalStore reloaded;
+  EXPECT_EQ(reloaded.load_file(path), 1u);  // the old snapshot is intact
+  EXPECT_EQ(read_file(path), good);
+
+  // The next successful save replaces the target and consumes the temp.
+  ASSERT_TRUE(store.save_file(path));
+  EXPECT_EQ(read_file(path), good);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  // An unwritable destination fails cleanly: no target, no stray temp.
+  const std::string nodir = temp_path("no_such_dir/atomic.json");
+  EXPECT_FALSE(store.save_file(nodir));
+  EXPECT_FALSE(std::ifstream(nodir).good());
+  EXPECT_FALSE(std::ifstream((nodir + ".tmp")).good());
   std::remove(path.c_str());
 }
 
