@@ -17,6 +17,9 @@
 //   apsq_dse --backend mixed --promote-band 0.05  # analytic prefilter, then
 //                                             # calibrated sim on the ε-band
 //   apsq_dse --objectives energy,latency      # 2-objective front
+//   apsq_dse --space fine --mode search --budget 4096 --search-seed 7
+//                                             # budgeted search over the
+//                                             # 61M-point fine space
 //   apsq_dse --store-out space.json           # snapshot the evaluated space
 //   apsq_dse --store-in space.json --objectives energy,latency
 //                                             # re-slice it: 0 fresh evals
@@ -68,7 +71,24 @@ struct Options {
 void print_help() {
   std::cout <<
       "apsq_dse — design-space exploration with Pareto frontier\n\n"
-      "  --space NAME      paper | smoke (default paper; 1248 / 8 points)\n"
+      "  --space NAME      paper | smoke | fine (default paper;\n"
+      "                    1248 / 8 / 61641216 points)\n"
+      "  --mode NAME       sweep | search (default sweep). sweep scores\n"
+      "                    every point of the space; search runs a budgeted\n"
+      "                    search (needs --budget; see --strategy) and is\n"
+      "                    mandatory for spaces beyond the exhaustive limit\n"
+      "  --strategy NAME   search mode: halving | evolve (default: halving\n"
+      "                    for --backend mixed, evolve otherwise). halving\n"
+      "                    runs the analytic prefilter + calibrated-sim\n"
+      "                    promotion ladder under the budget; evolve runs a\n"
+      "                    seeded evolutionary neighborhood search at the\n"
+      "                    backend's own fidelity\n"
+      "  --budget N        search mode: cap on high-fidelity (halving) /\n"
+      "                    total (evolve) point evaluations (N >= 1)\n"
+      "  --search-seed S   search mode: sampling/injection RNG seed — the\n"
+      "                    front is a pure function of (seed, budget,\n"
+      "                    space, scoring), independent of --threads\n"
+      "                    (default 1)\n"
       "  --backend NAME    analytic | sim | mixed (default analytic). sim\n"
       "                    drives the cycle-level simulator per point on\n"
       "                    shrunken workloads and scores measured\n"
@@ -180,6 +200,29 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next("--space");
       if (!v) return false;
       o.req.config.space = v;
+    } else if (a == "--mode") {
+      const char* v = next("--mode");
+      if (!v || !parse_enum_flag("--mode", v, parse_run_mode, o.req.config.mode))
+        return false;
+    } else if (a == "--strategy") {
+      const char* v = next("--strategy");
+      if (!v || !parse_enum_flag("--strategy", v, parse_strategy,
+                                 o.req.config.strategy))
+        return false;
+      o.req.config.strategy_set = true;
+    } else if (a == "--budget") {
+      const char* v = next("--budget");
+      // Like --promote-budget: a budget of 0 would evaluate nothing and
+      // report an empty front — reject it as out of range.
+      if (!v ||
+          !parse_i64_flag("--budget", v, 1, i64{1} << 40, o.req.config.budget))
+        return false;
+      o.req.config.budget_set = true;
+    } else if (a == "--search-seed") {
+      const char* v = next("--search-seed");
+      if (!v || !parse_u64_flag("--search-seed", v, o.req.config.search_seed))
+        return false;
+      o.req.config.search_seed_set = true;
     } else if (a == "--backend") {
       const char* v = next("--backend");
       // Validate at parse time: an unrecognized backend must exit 1 with
@@ -340,6 +383,23 @@ bool print_report(SweepSession& session, const SweepOutcome& out,
     std::cout << "store: " << out.store_hits
               << " points answered from the evaluated-space store, "
               << out.fresh_evaluations << " fresh evaluations\n";
+  if (cfg.search()) {
+    // The "budgeted evaluations" phrasing is load-bearing: CI smoke steps
+    // grep for it to assert the budget held.
+    const SearchStats& ss = out.search;
+    std::cout << "search: " << to_string(cfg.effective_strategy())
+              << " strategy, budget " << cfg.budget << ", " << ss.evaluated
+              << " budgeted evaluations over " << ss.explored
+              << " explored points in " << Table::num(ss.secs, 2) << " s\n";
+    for (size_t r = 0; r < ss.rounds.size(); ++r) {
+      const SearchRoundStats& rs = ss.rounds[r];
+      std::cout << "  round " << r << ": band " << Table::num(rs.band, 4)
+                << ", " << rs.candidates << " candidates, +"
+                << rs.evaluated_new << " evaluated, front " << rs.front_size
+                << (rs.front_changed ? " (changed)" : " (stable)") << ", "
+                << Table::num(rs.secs, 2) << " s\n";
+    }
+  }
   if (ro.stats) {
     std::cout << "cache hits/misses[/races] — ";
     print_cache_line("energy", eval.energy_cache_stats(), false);
@@ -358,7 +418,7 @@ bool print_report(SweepSession& session, const SweepOutcome& out,
               << pool.run_count() << " runs, " << pool.steal_count()
               << " steals\n";
   }
-  if (cfg.mixed() && ro.stats) {
+  if (cfg.mixed() && !cfg.search() && ro.stats) {
     const MixedSweepStats& ms = eval.mixed_stats();
     const double pct = ms.total > 0 ? 100.0 * static_cast<double>(ms.promoted) /
                                           static_cast<double>(ms.total)

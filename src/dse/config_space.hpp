@@ -1,9 +1,14 @@
 // Cartesian design-space generator: dataflow × PSUM handling × PE-array
-// geometry × buffer sizing × workload. Points are indexed 0..size()-1 in a
-// fixed mixed-radix order, so the space never needs materializing and
-// every run (serial or parallel) sees the identical enumeration.
+// geometry × buffer sizing × workload, optionally refined by per-component
+// buffer-byte and operand-precision axes. Points are indexed 0..size()-1
+// in a fixed mixed-radix order, so the space never needs materializing and
+// every run (serial or parallel) sees the identical enumeration. Axes are
+// declared data (AxisDesc: name, value count, decoder), so the index
+// arithmetic — 64-bit throughout, overflow-checked — lives in one generic
+// decode loop instead of per-axis divmod chains.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,26 +30,54 @@ struct BufferSizing {
   i64 weight_bytes = 128 * 1024;
 };
 
+/// One enumeration axis, declared as data: a name, how many values it
+/// takes, and a decoder writing value index `v` (0 <= v < count) into a
+/// DesignPoint. `apply` captures the owning ConfigSpace by reference, so
+/// descriptors must not outlive the space that produced them.
+struct AxisDesc {
+  std::string name;
+  index_t count = 0;
+  std::function<void(DesignPoint&, index_t)> apply;
+};
+
 class ConfigSpace {
  public:
-  // Axes. Every combination is one design point; empty axes are invalid.
+  // Coarse axes. Every combination is one design point; empty coarse axes
+  // are invalid.
   std::vector<std::string> workloads;
   std::vector<Dataflow> dataflows;
   std::vector<PsumConfig> psum_configs;
   std::vector<PeGeometry> geometries;
   std::vector<BufferSizing> buffers;
 
-  // Operand precisions shared by every point (W8A8 in the paper).
+  // Operand precisions shared by every point (W8A8 in the paper) — unless
+  // the fine precision axes below override them per point.
   int act_bits = 8;
   int weight_bits = 8;
 
-  /// Number of points (product of axis lengths).
+  // Optional fine-grained axes. Each non-empty list multiplies the space
+  // as its own (faster-varying) axis whose decoder overrides the single
+  // field the coarse buffer axis / precision scalars set. Empty lists
+  // leave the legacy five-axis enumeration — indices, sizes, and
+  // config_space_hash — byte-identical.
+  std::vector<i64> ifmap_bytes_axis;
+  std::vector<i64> ofmap_bytes_axis;
+  std::vector<i64> weight_bytes_axis;
+  std::vector<int> act_bits_axis;
+  std::vector<int> weight_bits_axis;
+
+  /// The enumeration axes in decode order: workload slowest, then
+  /// dataflow, psum, geometry, buffers, then any fine axes — the last
+  /// axis varies fastest, so neighbouring indices share workload/energy
+  /// sub-keys and the memo caches warm quickly.
+  std::vector<AxisDesc> axes() const;
+
+  /// Number of points (product of axis lengths), computed in 64-bit with
+  /// an overflow check: a space too large for index_t throws instead of
+  /// silently wrapping into a plausible-looking smaller size.
   index_t size() const;
 
-  /// Decode point `i` (0 <= i < size()). The index is interpreted in
-  /// mixed radix with the workload axis slowest and the buffer axis
-  /// fastest, so neighbouring indices share workload/energy sub-keys and
-  /// the memo cache warms quickly.
+  /// Decode point `i` (0 <= i < size()) by walking axes() in mixed radix.
   DesignPoint at(index_t i) const;
 
   void validate() const;
@@ -58,6 +91,13 @@ class ConfigSpace {
 
   /// A small space (few dozen points) for tests.
   static ConfigSpace smoke();
+
+  /// The fine-grained paper superset: the paper's workload / dataflow /
+  /// PSUM axes crossed with a 96-point PE-geometry grid, per-component
+  /// buffer capacities from 32 KB to 512 KB, and per-point operand
+  /// precisions — ~6.2 × 10⁷ points. Exhaustive enumeration is infeasible
+  /// here by design; this is the budgeted-search target space.
+  static ConfigSpace fine_default();
 
   /// The default PSUM-handling axis: APSQ at {4,6,8,12,16} bits ×
   /// gs {1..4}, PSQ (prior work, independent per-tile quantization) at the

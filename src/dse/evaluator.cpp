@@ -97,36 +97,8 @@ const Workload& Evaluator::workload(const std::string& name) {
   return it->second;
 }
 
-template <typename V, typename Fn>
-V Evaluator::cached(Cache<V>& cache, const std::string& key, Fn&& compute) {
-  {
-    MutexLock lock(cache.mu);
-    const auto it = cache.map.find(key);
-    if (it != cache.map.end()) {
-      ++cache.stats.hits;
-      return it->second;
-    }
-  }
-  // Compute outside the lock; a racing duplicate computes the identical
-  // value (all scoring functions are pure), so first-writer-wins is safe.
-  const V value = compute();
-  MutexLock lock(cache.mu);
-  const auto [it, inserted] = cache.map.emplace(key, value);
-  if (inserted)
-    ++cache.stats.misses;
-  else
-    ++cache.stats.races;  // a racing worker beat us to the insert
-  return it->second;
-}
-
-template <typename V>
-CacheStats Evaluator::stats_of(const Cache<V>& cache) const {
-  MutexLock lock(cache.mu);
-  return cache.stats;
-}
-
 double Evaluator::energy_for(const DesignPoint& p) {
-  return cached(energy_cache_, canonical_key(p), [&] {
+  return energy_tt_.lookup_or_compute(canonical_key(p), [&] {
     return workload_energy(p.dataflow, workload(p.workload), p.acc, p.psum,
                            opt_.costs)
         .total_pj();
@@ -142,7 +114,7 @@ double Evaluator::area_for(const DesignPoint& p) {
       << "|bi=" << p.acc.ifmap_buf_bytes << "|bo=" << p.acc.ofmap_buf_bytes
       << "|bw=" << p.acc.weight_buf_bytes << "|ab=" << p.acc.act_bits
       << "|wb=" << p.acc.weight_bits << "|rae=" << (p.psum.apsq ? 1 : 0);
-  return cached(area_cache_, key.str(), [&] {
+  return area_tt_.lookup_or_compute(key.str(), [&] {
     return p.psum.apsq
                ? accelerator_with_rae_area(p.acc, opt_.area_lib).total_um2()
                : baseline_accelerator_area(p.acc, opt_.area_lib).total_um2();
@@ -154,14 +126,14 @@ double Evaluator::error_for(const DesignPoint& p) {
   key << "wl=" << p.workload << "|pb=" << p.psum.psum_bits
       << "|apsq=" << (p.psum.apsq ? 1 : 0) << "|gs=" << p.psum.group_size
       << "|pci=" << p.acc.pci;
-  return cached(accuracy_cache_, key.str(), [&] {
+  return accuracy_tt_.lookup_or_compute(key.str(), [&] {
     return psum_error_proxy(workload(p.workload), p.psum, p.acc.pci,
                             opt_.seed);
   });
 }
 
 Evaluator::PerfScore Evaluator::perf_score_for(const DesignPoint& p) {
-  return cached(latency_cache_, canonical_key(p), [&]() -> PerfScore {
+  return latency_tt_.lookup_or_compute(canonical_key(p), [&]() -> PerfScore {
     const WorkloadPerformance perf = workload_performance(
         p.dataflow, workload(p.workload), p.acc, p.psum, opt_.perf);
     PerfScore s;
@@ -176,7 +148,7 @@ Evaluator::PerfScore Evaluator::perf_score_for(const DesignPoint& p) {
 }
 
 Evaluator::SimScore Evaluator::sim_score_for(const DesignPoint& p) {
-  return cached(sim_cache_, canonical_key(p), [&]() -> SimScore {
+  return sim_tt_.lookup_or_compute(canonical_key(p), [&]() -> SimScore {
     // With sim.threads > 1 the layer loop submits a nested scope into the
     // process-wide shared pool — the same pool a parallel evaluate_space
     // is running on — so point- and layer-level parallelism compose
@@ -277,12 +249,34 @@ EvalResult Evaluator::evaluate_at(const DesignPoint& p, EvalBackend fidelity) {
   return r;
 }
 
+EvalResult Evaluator::evaluate_point(const DesignPoint& p,
+                                     EvalBackend fidelity) {
+  APSQ_CHECK_MSG(fidelity != EvalBackend::kMixed,
+                 "evaluate_point needs a single-fidelity backend");
+  // Whole-result memo: the fidelity tag keeps one point's analytic and
+  // sim scores as distinct rows — a mixed-pipeline promotion must never
+  // be answered by the analytic prefilter's entry.
+  const std::string key =
+      (fidelity == EvalBackend::kSim ? "s|" : "a|") + canonical_key(p);
+  return score_tt_.lookup_or_compute(key, [&] { return evaluate_at(p, fidelity); });
+}
+
+std::vector<EvalResult> Evaluator::evaluate_points_at(
+    const std::vector<DesignPoint>& pts, EvalBackend fidelity) {
+  std::vector<EvalResult> out(pts.size());
+  parallel_for_points(static_cast<index_t>(pts.size()), [&](index_t i) {
+    out[static_cast<size_t>(i)] =
+        evaluate_point(pts[static_cast<size_t>(i)], fidelity);
+  });
+  return out;
+}
+
 EvalResult Evaluator::evaluate(const DesignPoint& p) {
   // A single point is trivially its own Pareto front, so the mixed
   // backend always promotes it: score it at sim fidelity.
-  return evaluate_at(p, opt_.backend == EvalBackend::kAnalytic
-                            ? EvalBackend::kAnalytic
-                            : EvalBackend::kSim);
+  return evaluate_point(p, opt_.backend == EvalBackend::kAnalytic
+                               ? EvalBackend::kAnalytic
+                               : EvalBackend::kSim);
 }
 
 std::vector<EvalResult> Evaluator::evaluate_space(const ConfigSpace& space) {
@@ -328,7 +322,7 @@ std::vector<EvalResult> Evaluator::mixed_sweep(
   std::vector<EvalResult> out(pts.size());
   parallel_for_points(static_cast<index_t>(pts.size()), [&](index_t i) {
     out[static_cast<size_t>(i)] =
-        evaluate_at(pts[static_cast<size_t>(i)], EvalBackend::kAnalytic);
+        evaluate_point(pts[static_cast<size_t>(i)], EvalBackend::kAnalytic);
   });
   stats.phase1_secs = std::chrono::duration<double>(clock::now() - t0).count();
 
@@ -363,7 +357,7 @@ std::vector<EvalResult> Evaluator::mixed_sweep(
     parallel_for_points(static_cast<index_t>(fresh.size()), [&](index_t j) {
       const index_t i = fresh[static_cast<size_t>(j)];
       out[static_cast<size_t>(i)] =
-          evaluate_at(pts[static_cast<size_t>(i)], EvalBackend::kSim);
+          evaluate_point(pts[static_cast<size_t>(i)], EvalBackend::kSim);
     });
     promoted_total += static_cast<index_t>(fresh.size());
     MixedRoundStats rs;
@@ -491,16 +485,15 @@ void Evaluator::parallel_for_points(
   }
 }
 
-CacheStats Evaluator::energy_cache_stats() const {
-  return stats_of(energy_cache_);
-}
-CacheStats Evaluator::area_cache_stats() const { return stats_of(area_cache_); }
+CacheStats Evaluator::energy_cache_stats() const { return energy_tt_.stats(); }
+CacheStats Evaluator::area_cache_stats() const { return area_tt_.stats(); }
 CacheStats Evaluator::accuracy_cache_stats() const {
-  return stats_of(accuracy_cache_);
+  return accuracy_tt_.stats();
 }
 CacheStats Evaluator::latency_cache_stats() const {
-  return stats_of(latency_cache_);
+  return latency_tt_.stats();
 }
-CacheStats Evaluator::sim_cache_stats() const { return stats_of(sim_cache_); }
+CacheStats Evaluator::sim_cache_stats() const { return sim_tt_.stats(); }
+CacheStats Evaluator::score_tt_stats() const { return score_tt_.stats(); }
 
 }  // namespace apsq::dse

@@ -52,13 +52,12 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "common/annotations.hpp"
 #include "dse/calibrate.hpp"
 #include "dse/config_space.hpp"
 #include "dse/design_point.hpp"
+#include "dse/tt.hpp"
 #include "energy/costs.hpp"
 #include "rae/area_model.hpp"
 #include "sim/workload_runner.hpp"
@@ -181,19 +180,6 @@ struct EvaluatorOptions {
   ObjectiveSet promote_objectives = ObjectiveSet::core();
 };
 
-/// Counters for one sub-evaluation cache. Under contention two workers may
-/// both compute the same missing entry; the loser's insert is counted as a
-/// `race` (the cached value is identical either way, so only the counters
-/// — never the results — are schedule-dependent). For any schedule,
-/// hits + misses + races == number of lookups.
-struct CacheStats {
-  i64 hits = 0;
-  i64 misses = 0;
-  i64 races = 0;
-
-  i64 lookups() const { return hits + misses + races; }
-};
-
 class Evaluator {
  public:
   explicit Evaluator(EvaluatorOptions opt = EvaluatorOptions{});
@@ -201,6 +187,19 @@ class Evaluator {
 
   /// Score one point (memoized, thread-safe).
   EvalResult evaluate(const DesignPoint& p);
+
+  /// The point-at-a-time scoring oracle: score one point at an explicit
+  /// single-fidelity backend (kAnalytic or kSim — never kMixed), memoized
+  /// whole-result in the shared transposition table under the point's
+  /// canonical key + fidelity tag. Thread-safe and pure, so parallel
+  /// search workers hitting overlapping points pay each score once.
+  EvalResult evaluate_point(const DesignPoint& p, EvalBackend fidelity);
+
+  /// Batch flavour of evaluate_point: every point at the same explicit
+  /// fidelity, results in index-addressed slots (byte-identical across
+  /// thread counts), parallel on the shared pool when threads > 1.
+  std::vector<EvalResult> evaluate_points_at(
+      const std::vector<DesignPoint>& pts, EvalBackend fidelity);
 
   /// Per-layer telemetry of one point at an explicit single-fidelity
   /// backend (kAnalytic or kSim — never kMixed). The sim flavour re-runs
@@ -223,6 +222,8 @@ class Evaluator {
   CacheStats accuracy_cache_stats() const;
   CacheStats latency_cache_stats() const;
   CacheStats sim_cache_stats() const;
+  /// Whole-result oracle table (evaluate_point) counters.
+  CacheStats score_tt_stats() const;
 
   /// Phase accounting of the most recent mixed-backend evaluate_space /
   /// evaluate_points call (all-zero before the first one).
@@ -260,21 +261,6 @@ class Evaluator {
     double macs = 0.0;
   };
 
-  /// One memo cache: map and its hit/miss/race counters move together
-  /// under one mutex, so a counter update outside the map's critical
-  /// section is a compile error under Clang -Wthread-safety, not a
-  /// TSan-lottery ticket.
-  template <typename V>
-  struct Cache {
-    mutable Mutex mu;
-    std::unordered_map<std::string, V> map APSQ_GUARDED_BY(mu);
-    CacheStats stats APSQ_GUARDED_BY(mu);
-  };
-  template <typename V, typename Fn>
-  V cached(Cache<V>& cache, const std::string& key, Fn&& compute);
-  template <typename V>
-  CacheStats stats_of(const Cache<V>& cache) const;
-
   double energy_for(const DesignPoint& p);
   double area_for(const DesignPoint& p);
   double error_for(const DesignPoint& p);
@@ -293,11 +279,14 @@ class Evaluator {
 
   EvaluatorOptions opt_;
   MixedSweepStats mixed_stats_;
-  Cache<double> energy_cache_;
-  Cache<double> area_cache_;
-  Cache<double> accuracy_cache_;
-  Cache<PerfScore> latency_cache_;
-  Cache<SimScore> sim_cache_;
+  // Every memo is one sharded TranspositionTable (dse/tt.hpp): the
+  // sub-evaluation tables below plus the whole-result oracle table.
+  TranspositionTable<double> energy_tt_;
+  TranspositionTable<double> area_tt_;
+  TranspositionTable<double> accuracy_tt_;
+  TranspositionTable<PerfScore> latency_tt_;
+  TranspositionTable<SimScore> sim_tt_;
+  TranspositionTable<EvalResult> score_tt_;
   std::unique_ptr<Calibrator> calibrator_;  ///< sim/mixed + calibrate only
 };
 

@@ -64,8 +64,8 @@ std::string backend_name_list(char sep) {
 }
 
 const std::array<const char*, kSpaceCount>& space_names() {
-  static const std::array<const char*, kSpaceCount> kTable = {"paper",
-                                                              "smoke"};
+  static const std::array<const char*, kSpaceCount> kTable = {"paper", "smoke",
+                                                              "fine"};
   return kTable;
 }
 

@@ -53,12 +53,13 @@ const std::array<BackendName, kBackendCount>& backend_names();
 /// "analytic|sim|mixed".
 std::string backend_name_list(char sep = '|');
 
-inline constexpr int kSpaceCount = 2;
+inline constexpr int kSpaceCount = 3;
 
-/// The named config spaces SweepConfig::space accepts ("paper", "smoke").
+/// The named config spaces SweepConfig::space accepts ("paper", "smoke",
+/// "fine").
 const std::array<const char*, kSpaceCount>& space_names();
 
-/// "paper|smoke".
+/// "paper|smoke|fine".
 std::string space_name_list(char sep = '|');
 
 bool known_space_name(const std::string& name);

@@ -16,7 +16,7 @@ constexpr i64 kBudgetMax = i64{1} << 40;
 constexpr int kThreadsMax = 4096;
 constexpr int kTopMax = 1 << 20;
 
-int as_int_in(const JsonValue& v, const std::string& source,
+i64 as_i64_in(const JsonValue& v, const std::string& source,
               const std::string& where, const std::string& key, i64 lo,
               i64 hi) {
   const i64 n = v.as_i64();
@@ -24,7 +24,13 @@ int as_int_in(const JsonValue& v, const std::string& source,
     request_error(source, where,
                   "\"" + key + "\" must be in [" + std::to_string(lo) + ", " +
                       std::to_string(hi) + "], got " + std::to_string(n));
-  return static_cast<int>(n);
+  return n;
+}
+
+int as_int_in(const JsonValue& v, const std::string& source,
+              const std::string& where, const std::string& key, i64 lo,
+              i64 hi) {
+  return static_cast<int>(as_i64_in(v, source, where, key, lo, hi));
 }
 
 }  // namespace
@@ -79,8 +85,21 @@ bool apply_request_field(const std::string& key, const JsonValue& v,
     } else if (key == "promote_adaptive") {
       c.promote_adaptive = v.as_bool();
     } else if (key == "promote_budget") {
-      c.promote_budget = as_int_in(v, source, where, key, 1, kBudgetMax);
+      c.promote_budget = as_i64_in(v, source, where, key, 1, kBudgetMax);
       c.promote_budget_set = true;
+    } else if (key == "mode") {
+      c.mode = parse_run_mode(v.as_string());
+    } else if (key == "strategy") {
+      c.strategy = parse_strategy(v.as_string());
+      c.strategy_set = true;
+    } else if (key == "budget") {
+      c.budget = as_i64_in(v, source, where, key, 1, kBudgetMax);
+      c.budget_set = true;
+    } else if (key == "search_seed") {
+      const i64 s = v.as_i64();
+      if (s < 0) request_error(source, where, "\"search_seed\" must be >= 0");
+      c.search_seed = static_cast<u64>(s);
+      c.search_seed_set = true;
     } else if (key == "where") {
       c.where = v.as_string();
       parse_constraints(c.where);  // reject malformed filters at parse time

@@ -1,0 +1,314 @@
+#include "dse/search.hpp"
+
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "dse/pareto.hpp"
+
+namespace apsq::dse {
+
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+double secs_since(clock_t_::time_point t0) {
+  return std::chrono::duration<double>(clock_t_::now() - t0).count();
+}
+
+/// Front-membership keys of the per-workload Pareto front — keys alone
+/// decide front stability (scores are memoized and pure, so a point's
+/// objectives are byte-identical in every round it appears).
+std::vector<std::string> front_keys(const std::vector<EvalResult>& results,
+                                    const ObjectiveSet& objectives) {
+  std::vector<std::string> keys;
+  for (const EvalResult& f : pareto_front_by_workload(results, objectives))
+    keys.push_back(canonical_key(f.point));
+  return keys;
+}
+
+}  // namespace
+
+const char* to_string(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::kHalving: return "halving";
+    case SearchStrategy::kEvolve: return "evolve";
+  }
+  APSQ_CHECK_MSG(false, "unknown search strategy");
+  return "";
+}
+
+SearchStrategy parse_strategy(const std::string& name) {
+  if (name == "halving") return SearchStrategy::kHalving;
+  if (name == "evolve") return SearchStrategy::kEvolve;
+  throw std::invalid_argument("unknown strategy: " + name +
+                              " (expected halving|evolve)");
+}
+
+SearchDriver::SearchDriver(const ConfigSpace& space, Evaluator& eval,
+                           SearchOptions opt)
+    : space_(space), eval_(eval), opt_(opt) {
+  space_.validate();
+  APSQ_CHECK_MSG(opt_.budget >= 1, "search budget must be >= 1");
+  if (opt_.strategy == SearchStrategy::kHalving) {
+    APSQ_CHECK_MSG(eval_.options().backend == EvalBackend::kMixed,
+                   "halving search needs the mixed backend");
+  } else {
+    APSQ_CHECK_MSG(eval_.options().backend != EvalBackend::kMixed,
+                   "evolve search needs a single-fidelity backend");
+  }
+}
+
+std::vector<index_t> SearchDriver::stratified_sample(index_t n, index_t count,
+                                                     Rng rng) const {
+  APSQ_CHECK_MSG(count >= 1 && count <= n,
+                 "stratified sample count out of range");
+  // Stratum boundaries are n·k/count; guard the product — a space large
+  // enough to overflow it is far beyond what sampling counts here reach.
+  index_t check = 0;
+  APSQ_CHECK_MSG(!__builtin_mul_overflow(n, count, &check),
+                 "stratified sample boundaries overflow 64-bit arithmetic");
+  std::vector<index_t> out;
+  out.reserve(static_cast<size_t>(count));
+  for (index_t k = 0; k < count; ++k) {
+    const index_t lo = n * k / count;
+    const index_t hi = n * (k + 1) / count;
+    out.push_back(lo + rng.uniform_index(hi - lo));
+  }
+  return out;
+}
+
+std::map<index_t, EvalResult> SearchDriver::run() {
+  const auto t0 = clock_t_::now();
+  stats_ = SearchStats{};
+  stats_.strategy = opt_.strategy;
+  stats_.budget = opt_.budget;
+  std::map<index_t, EvalResult> rows = opt_.strategy == SearchStrategy::kHalving
+                                           ? run_halving()
+                                           : run_evolve();
+  stats_.secs = secs_since(t0);
+  return rows;
+}
+
+std::map<index_t, EvalResult> SearchDriver::run_halving() {
+  const index_t n = space_.size();
+  // Exploration cap: analytic scoring is cheap, so explore a generous
+  // multiple of the promotion budget — or the whole space when it fits.
+  const index_t cap =
+      std::min<index_t>(n, std::max<index_t>(4096, 16 * opt_.budget));
+  std::vector<index_t> indices;
+  if (cap == n) {
+    indices.reserve(static_cast<size_t>(n));
+    for (index_t i = 0; i < n; ++i) indices.push_back(i);
+  } else {
+    indices = stratified_sample(n, cap, Rng::stream(opt_.seed, 0));
+  }
+  std::vector<DesignPoint> pts;
+  pts.reserve(indices.size());
+  for (index_t i : indices) pts.push_back(space_.at(i));
+
+  // Exploration: analytic scores for the whole sample (rides free of the
+  // budget, which pays only for sim promotions).
+  std::vector<EvalResult> out =
+      eval_.evaluate_points_at(pts, EvalBackend::kAnalytic);
+  stats_.explored = static_cast<index_t>(out.size());
+
+  // Margins once, over the analytic scores (the same
+  // fixed-analytic-geometry rule as the adaptive mixed sweep — see the
+  // rationale in Evaluator::mixed_sweep). The budget then admits the
+  // best-margin `budget` keys; each ladder round promotes the in-band
+  // subset of that admitted set, so an unconstraining budget replicates
+  // the adaptive trajectory exactly.
+  std::vector<std::pair<std::string, PromotionMargin>> margins;
+  for (PromotionMargin& m :
+       promotion_margins_by_workload(out, opt_.objectives)) {
+    std::string key = canonical_key(m.result.point);
+    margins.emplace_back(std::move(key), std::move(m));
+  }
+  std::vector<PromotionMargin> ranked =
+      ranked_margins_by_workload(out, opt_.objectives);
+  if (static_cast<size_t>(opt_.budget) < ranked.size())
+    ranked.resize(static_cast<size_t>(opt_.budget));
+  std::unordered_set<std::string> allowed;
+  allowed.reserve(ranked.size());
+  for (const PromotionMargin& m : ranked)
+    allowed.insert(canonical_key(m.result.point));
+
+  std::vector<bool> simulated(out.size(), false);
+  index_t promoted_total = 0;
+  double band = 0.0;
+  int stable = 0;
+  std::vector<std::string> prev_front;
+  for (int round = 0;; ++round) {
+    const auto r0 = clock_t_::now();
+    if (round == 1)
+      band = opt_.adaptive_start;
+    else if (round > 1)
+      band *= opt_.adaptive_growth;
+    std::unordered_set<std::string> selected;
+    for (const auto& [key, margin] : margins)
+      if (margin.in_band(band) && allowed.count(key)) selected.insert(key);
+    std::vector<index_t> fresh;  // sample slots to re-score, slot order
+    for (size_t i = 0; i < out.size(); ++i)
+      if (!simulated[i] && selected.count(canonical_key(out[i].point))) {
+        simulated[i] = true;
+        fresh.push_back(static_cast<index_t>(i));
+      }
+    std::vector<DesignPoint> promote;
+    promote.reserve(fresh.size());
+    for (index_t i : fresh) promote.push_back(pts[static_cast<size_t>(i)]);
+    const std::vector<EvalResult> sim =
+        eval_.evaluate_points_at(promote, EvalBackend::kSim);
+    for (size_t j = 0; j < fresh.size(); ++j)
+      out[static_cast<size_t>(fresh[j])] = sim[j];
+    promoted_total += static_cast<index_t>(fresh.size());
+
+    SearchRoundStats rs;
+    rs.band = band;
+    rs.candidates = static_cast<index_t>(selected.size());
+    rs.evaluated_new = static_cast<index_t>(fresh.size());
+    std::vector<std::string> front =
+        front_keys(promoted_subset(out), opt_.objectives);
+    rs.front_size = static_cast<index_t>(front.size());
+    rs.front_changed = round == 0 || front != prev_front;
+    rs.secs = secs_since(r0);
+    prev_front = std::move(front);
+    stats_.rounds.push_back(rs);
+    if (promoted_total >= static_cast<index_t>(allowed.size())) break;
+    if (round > 0) stable = rs.front_changed ? 0 : stable + 1;
+    if (stable >= opt_.adaptive_stability) break;
+  }
+  stats_.evaluated = promoted_total;
+
+  std::map<index_t, EvalResult> rows;
+  for (size_t i = 0; i < indices.size(); ++i)
+    rows.emplace(indices[i], std::move(out[i]));
+  return rows;
+}
+
+std::map<index_t, EvalResult> SearchDriver::run_evolve() {
+  const index_t n = space_.size();
+  const EvalBackend fidelity = eval_.options().backend == EvalBackend::kAnalytic
+                                   ? EvalBackend::kAnalytic
+                                   : EvalBackend::kSim;
+  // Per-axis radices for neighbour moves: a candidate's mixed-radix
+  // digits, each nudged ±1 within its axis.
+  std::vector<index_t> radix;
+  for (const AxisDesc& a : space_.axes()) radix.push_back(a.count);
+  const auto digits_of = [&](index_t i) {
+    std::vector<index_t> d(radix.size(), 0);
+    for (size_t a = radix.size(); a-- > 0;) {
+      d[a] = i % radix[a];
+      i /= radix[a];
+    }
+    return d;
+  };
+  const auto index_of = [&](const std::vector<index_t>& d) {
+    index_t i = 0;
+    for (size_t a = 0; a < radix.size(); ++a) i = i * radix[a] + d[a];
+    return i;
+  };
+
+  std::map<index_t, EvalResult> archive;
+  std::unordered_map<std::string, index_t> key_to_index;
+  i64 remaining = opt_.budget;
+  const auto score_batch = [&](const std::vector<index_t>& batch) {
+    std::vector<DesignPoint> pts;
+    pts.reserve(batch.size());
+    for (index_t i : batch) pts.push_back(space_.at(i));
+    const std::vector<EvalResult> scored =
+        eval_.evaluate_points_at(pts, fidelity);
+    for (size_t j = 0; j < batch.size(); ++j) {
+      key_to_index.emplace(canonical_key(scored[j].point), batch[j]);
+      archive.emplace(batch[j], scored[j]);
+    }
+    remaining -= static_cast<i64>(batch.size());
+    stats_.evaluated += static_cast<index_t>(batch.size());
+  };
+  const auto archive_values = [&] {
+    std::vector<EvalResult> v;
+    v.reserve(archive.size());
+    for (const auto& [i, r] : archive) v.push_back(r);
+    return v;
+  };
+
+  // Seed generation: a stratified sample sized a quarter of the budget
+  // (floor 16) — enough spread to give the neighbourhood moves footholds
+  // in every region, leaving most of the budget to exploitation.
+  {
+    const auto r0 = clock_t_::now();
+    const index_t seeds = std::min<index_t>(
+        std::min<index_t>(remaining, n),
+        std::max<index_t>(16, static_cast<index_t>(opt_.budget / 4)));
+    score_batch(stratified_sample(n, seeds, Rng::stream(opt_.seed, 0)));
+    SearchRoundStats rs;
+    rs.candidates = seeds;
+    rs.evaluated_new = seeds;
+    std::vector<std::string> front = front_keys(archive_values(), opt_.objectives);
+    rs.front_size = static_cast<index_t>(front.size());
+    rs.front_changed = true;
+    rs.secs = secs_since(r0);
+    stats_.rounds.push_back(rs);
+  }
+
+  std::vector<std::string> prev_front =
+      front_keys(archive_values(), opt_.objectives);
+  int stable = 0;
+  for (u64 round = 1; remaining > 0; ++round) {
+    const auto r0 = clock_t_::now();
+    // Candidates: every ±1-per-axis neighbour of the current per-workload
+    // front, plus random injections to keep exploring. std::set gives a
+    // deduped, ascending — hence deterministic — candidate order.
+    std::set<index_t> candidates;
+    for (const EvalResult& f :
+         pareto_front_by_workload(archive_values(), opt_.objectives)) {
+      const auto it = key_to_index.find(canonical_key(f.point));
+      APSQ_CHECK_MSG(it != key_to_index.end(),
+                     "front member missing from the search archive");
+      const std::vector<index_t> d = digits_of(it->second);
+      for (size_t a = 0; a < radix.size(); ++a) {
+        for (index_t step : {index_t{-1}, index_t{1}}) {
+          if (d[a] + step < 0 || d[a] + step >= radix[a]) continue;
+          std::vector<index_t> nd = d;
+          nd[a] += step;
+          candidates.insert(index_of(nd));
+        }
+      }
+    }
+    Rng rng = Rng::stream(opt_.seed, round);
+    const index_t injections =
+        std::max<index_t>(8, static_cast<index_t>(opt_.budget / 16));
+    for (index_t j = 0; j < injections; ++j)
+      candidates.insert(rng.uniform_index(n));
+    const index_t considered = static_cast<index_t>(candidates.size());
+
+    std::vector<index_t> batch;
+    for (index_t c : candidates) {
+      if (archive.count(c)) continue;
+      if (static_cast<i64>(batch.size()) >= remaining) break;
+      batch.push_back(c);
+    }
+    if (batch.empty()) break;  // neighbourhood exhausted, budget unspent
+    score_batch(batch);
+
+    SearchRoundStats rs;
+    rs.candidates = considered;
+    rs.evaluated_new = static_cast<index_t>(batch.size());
+    std::vector<std::string> front =
+        front_keys(archive_values(), opt_.objectives);
+    rs.front_size = static_cast<index_t>(front.size());
+    rs.front_changed = front != prev_front;
+    rs.secs = secs_since(r0);
+    prev_front = std::move(front);
+    stats_.rounds.push_back(rs);
+    stable = rs.front_changed ? 0 : stable + 1;
+    if (stable >= opt_.adaptive_stability) break;
+  }
+  return archive;
+}
+
+}  // namespace apsq::dse

@@ -63,6 +63,24 @@ std::string config_space_hash(const ConfigSpace& space) {
     os << b.ifmap_bytes << ',' << b.ofmap_bytes << ',' << b.weight_bytes
        << ';';
   os << "|ab=" << space.act_bits << "|wb=" << space.weight_bits;
+  // Fine axes append new sections only when present, so every legacy
+  // space's hash input — hence its hash, and every snapshot keyed by it —
+  // is byte-identical to before they existed.
+  const auto fine_i64 = [&os](const char* tag, const std::vector<i64>& axis) {
+    if (axis.empty()) return;
+    os << '|' << tag << '=';
+    for (const i64 v : axis) os << v << ';';
+  };
+  fine_i64("fbi", space.ifmap_bytes_axis);
+  fine_i64("fbo", space.ofmap_bytes_axis);
+  fine_i64("fbw", space.weight_bytes_axis);
+  const auto fine_int = [&os](const char* tag, const std::vector<int>& axis) {
+    if (axis.empty()) return;
+    os << '|' << tag << '=';
+    for (const int v : axis) os << v << ';';
+  };
+  fine_int("fab", space.act_bits_axis);
+  fine_int("fwb", space.weight_bits_axis);
   const u64 h = fnv1a(os.str());
   char hex[17];
   std::snprintf(hex, sizeof(hex), "%016llx",
@@ -110,6 +128,28 @@ void EvalStore::put(const std::string& space_hash, const std::string& scoring,
   for (size_t i = 0; i < results.size(); ++i)
     e->results.emplace(static_cast<index_t>(i), results[i]);
   MutexLock lock(mu_);
+  entries_[entry_key(space_hash, scoring)] = std::move(e);
+}
+
+void EvalStore::merge_rows(const std::string& space_hash,
+                           const std::string& scoring,
+                           const std::string& backend_label,
+                           index_t space_points,
+                           const std::map<index_t, EvalResult>& rows) {
+  auto e = std::make_shared<Entry>();
+  e->space_hash = space_hash;
+  e->scoring = scoring;
+  e->backend = backend_label;
+  e->space_points = space_points;
+  // Read-modify-write of the published entry: the whole merge holds mu_,
+  // so two concurrent merges can never lose each other's rows. The row
+  // sets are sparse (search results, bounded by the budget), so copying
+  // under the lock is cheap — unlike put(), which copies whole spaces and
+  // therefore builds outside it.
+  MutexLock lock(mu_);
+  const auto it = entries_.find(entry_key(space_hash, scoring));
+  if (it != entries_.end()) e->results = it->second->results;
+  for (const auto& [i, r] : rows) e->results[i] = r;
   entries_[entry_key(space_hash, scoring)] = std::move(e);
 }
 

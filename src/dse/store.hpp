@@ -103,6 +103,17 @@ class EvalStore {
            const std::string& backend_label, index_t space_points,
            const std::vector<EvalResult>& results) APSQ_EXCLUDES(mu_);
 
+  /// Record a sparse subset (budgeted search over a space too large to
+  /// materialize densely): union-merge `rows` — point index → result —
+  /// into any existing entry under the key, new rows winning collisions
+  /// (one scoring identity ⇒ identical values, so a collision only
+  /// re-asserts a row). Copy-on-write like put(): readers holding the old
+  /// entry are unaffected.
+  void merge_rows(const std::string& space_hash, const std::string& scoring,
+                  const std::string& backend_label, index_t space_points,
+                  const std::map<index_t, EvalResult>& rows)
+      APSQ_EXCLUDES(mu_);
+
   size_t entry_count() const APSQ_EXCLUDES(mu_);
   index_t result_count() const APSQ_EXCLUDES(mu_);
 

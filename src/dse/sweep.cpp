@@ -17,6 +17,22 @@
 
 namespace apsq::dse {
 
+const char* to_string(RunMode m) {
+  switch (m) {
+    case RunMode::kSweep: return "sweep";
+    case RunMode::kSearch: return "search";
+  }
+  APSQ_CHECK_MSG(false, "unknown run mode");
+  return "";
+}
+
+RunMode parse_run_mode(const std::string& name) {
+  if (name == "sweep") return RunMode::kSweep;
+  if (name == "search") return RunMode::kSearch;
+  throw std::invalid_argument("unknown mode: " + name +
+                              " (expected sweep|search)");
+}
+
 bool SweepConfig::validate(std::ostream& err) const {
   // The name must be vetted before make_space() — the job-spec path has
   // no parse-time guard the way the CLI flags do.
@@ -24,6 +40,35 @@ bool SweepConfig::validate(std::ostream& err) const {
     err << "unknown space: " << space << " (try --help)\n";
     return false;
   }
+  if (!search()) {
+    // Exhaustive mode must refuse a space it cannot realistically
+    // enumerate — pointing at budgeted search, not OOMing hours later.
+    const index_t points = make_space().size();
+    if (points > kMaxExhaustiveSweepPoints) {
+      err << "space " << space << ": " << points
+          << " points is beyond exhaustive sweep (limit "
+          << kMaxExhaustiveSweepPoints << ") — use --mode search --budget N\n";
+      return false;
+    }
+  }
+  // Search-mode consistency: the search knobs require --mode search, a
+  // search requires a budget, and each strategy names the backends it
+  // can drive (halving IS the budgeted mixed pipeline; evolve scores at
+  // one fidelity).
+  if (!(flag_requires(strategy_set, "--strategy", search(), "--mode search",
+                      err) &&
+        flag_requires(budget_set, "--budget", search(), "--mode search",
+                      err) &&
+        flag_requires(search_seed_set, "--search-seed", search(),
+                      "--mode search", err) &&
+        flag_requires(search(), "--mode search", budget_set && budget >= 1,
+                      "--budget >= 1", err) &&
+        flag_requires(search() && effective_strategy() == SearchStrategy::kHalving,
+                      "--strategy halving", mixed(), "--backend mixed", err) &&
+        flag_requires(search() && effective_strategy() == SearchStrategy::kEvolve,
+                      "--strategy evolve", !mixed(),
+                      "--backend analytic or sim", err)))
+    return false;
   // A promotion flag outside the mixed backend, a calibration flag on the
   // analytic backend, or two conflicting promotion rules would silently
   // not do what was asked — fail naming the flags instead. These are the
@@ -60,7 +105,25 @@ bool SweepConfig::validate(std::ostream& err) const {
 ConfigSpace SweepConfig::make_space() const {
   if (space == "paper") return ConfigSpace::paper_default();
   if (space == "smoke") return ConfigSpace::smoke();
+  if (space == "fine") return ConfigSpace::fine_default();
   throw std::invalid_argument("unknown space: " + space);
+}
+
+SearchStrategy SweepConfig::effective_strategy() const {
+  if (strategy_set) return strategy;
+  return mixed() ? SearchStrategy::kHalving : SearchStrategy::kEvolve;
+}
+
+SearchOptions SweepConfig::search_options() const {
+  SearchOptions sopt;
+  sopt.strategy = effective_strategy();
+  sopt.budget = budget;
+  sopt.seed = search_seed;
+  // Select candidates in the same plane promotion runs in — and fronts
+  // are extracted in — so the searched set provably covers the reported
+  // front.
+  sopt.objectives = effective_promote_objectives();
+  return sopt;
 }
 
 int SweepConfig::resolved_threads() const {
@@ -124,6 +187,15 @@ std::string SweepConfig::scoring_key() const {
       os << "|promote=band:" << format_double(promote_band);
     os << "|plane=" << effective_promote_objectives().to_string();
   }
+  if (search()) {
+    // A search answer is the output of one deterministic trajectory —
+    // strategy, budget, and trajectory seed all shape which rows exist —
+    // so search entries never cross-talk with exhaustive snapshots or
+    // with differently-parameterized searches.
+    os << "|mode=search|strategy=" << to_string(effective_strategy())
+       << "|budget=" << budget << "|sseed=" << search_seed;
+    if (!mixed()) os << "|plane=" << effective_promote_objectives().to_string();
+  }
   return os.str();
 }
 
@@ -150,8 +222,10 @@ std::vector<Constraint> parse_constraints(const std::string& text) {
       c.objective = parse_objective(name);
     } catch (const std::invalid_argument&) {
       // Re-frame the shared table's message with the constraint context —
-      // the term, not a flag, is what the user mistyped.
-      throw std::invalid_argument("unknown objective in constraint: " + name);
+      // the term, not a flag, is what the user mistyped — but keep the
+      // valid-name list, so the fix is in the error.
+      throw std::invalid_argument("unknown objective in constraint: " + name +
+                                  " (expected " + objective_name_list() + ")");
     }
     const std::string value = term.substr(op + 2);
     char* end = nullptr;
@@ -228,6 +302,7 @@ std::vector<EvalResult> SweepSession::slice_front(
 }
 
 SweepOutcome SweepSession::run() {
+  if (cfg_.search()) return run_search();
   SweepOutcome out;
   EvalStore* st = store();
   // A private store loads its own snapshot; an external (shared) store is
@@ -326,6 +401,79 @@ SweepOutcome SweepSession::run() {
   return out;
 }
 
+SweepOutcome SweepSession::run_search() {
+  SweepOutcome out;
+  EvalStore* st = store();
+  if (owned_store_ != nullptr && !cfg_.store_in.empty())
+    owned_store_->load_file(cfg_.store_in);
+
+  if (eval_->calibrator() && !cfg_.calibration_csv.empty() &&
+      std::ifstream(cfg_.calibration_csv).good())
+    out.calibration_families_loaded = static_cast<i64>(
+        eval_->calibrator()->load_unit_factors_csv(cfg_.calibration_csv));
+
+  const std::string hash = config_space_hash(space_);
+  const std::string scoring = cfg_.scoring_key();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::shared_ptr<const EvalStore::Entry> entry =
+      st != nullptr ? st->find(hash, scoring) : nullptr;
+  if (entry != nullptr && entry->space_points != space_.size()) {
+    throw std::runtime_error(
+        (st->source().empty() ? std::string("evaluated-space store")
+                              : st->source()) +
+        ": snapshot for space hash " + hash + " records " +
+        std::to_string(entry->space_points) + " points but the space has " +
+        std::to_string(space_.size()));
+  }
+  if (entry == nullptr && owned_store_ != nullptr && !cfg_.store_in.empty()) {
+    throw std::runtime_error(cfg_.store_in + ": no snapshot for space hash " +
+                             hash + " under scoring \"" + scoring +
+                             "\" — re-run the search with --store-out to "
+                             "record one");
+  }
+
+  if (entry != nullptr) {
+    // The scoring key pins (strategy, budget, search seed), and the
+    // trajectory those denote is deterministic — so the entry's sparse
+    // rows are the complete answer, not a partial snapshot to top up.
+    out.results.reserve(entry->results.size());
+    for (const auto& [i, r] : entry->results) {
+      const DesignPoint p = space_.at(i);
+      if (canonical_key(r.point) != canonical_key(p))
+        throw std::runtime_error(
+            (st->source().empty() ? std::string("evaluated-space store")
+                                  : st->source()) +
+            ": snapshot point " + std::to_string(i) +
+            " does not match the space (stored " + canonical_key(r.point) +
+            ", expected " + canonical_key(p) + ")");
+      out.results.push_back(r);
+    }
+    out.store_hits = static_cast<index_t>(entry->results.size());
+  } else {
+    SearchDriver driver(space_, *eval_, cfg_.search_options());
+    const std::map<index_t, EvalResult> rows = driver.run();
+    out.search = driver.stats();
+    out.fresh_evaluations = static_cast<index_t>(rows.size());
+    out.results.reserve(rows.size());
+    for (const auto& [i, r] : rows) out.results.push_back(r);
+    if (st != nullptr && !rows.empty())
+      st->merge_rows(hash, scoring, cfg_.scored_by_label(), space_.size(),
+                     rows);
+  }
+  out.front = slice_front(out.results, out.global_front_size);
+  out.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+
+  if (owned_store_ != nullptr && !cfg_.store_out.empty() &&
+      !owned_store_->save_file(cfg_.store_out))
+    throw std::runtime_error("failed to write " + cfg_.store_out);
+  if (eval_->calibrator() && !cfg_.calibration_csv.empty() &&
+      !eval_->calibrator()->unit_factors_csv().write(cfg_.calibration_csv))
+    throw std::runtime_error("failed to write " + cfg_.calibration_csv);
+  return out;
+}
+
 bool SweepSession::verify_serial(const SweepOutcome& out, std::ostream& err) {
   SweepConfig scfg = cfg_;
   scfg.threads = 1;
@@ -380,7 +528,7 @@ StatsWriter SweepSession::stats_writer(const SweepOutcome& out) const {
   put("pool_steals", pool.steal_count());
   if (eval_->calibrator())
     put("calibration_families", eval_->calibrator()->family_count());
-  if (cfg_.mixed()) {
+  if (cfg_.mixed() && !cfg_.search()) {
     const MixedSweepStats& ms = eval_->mixed_stats();
     put("mixed_total", ms.total);
     put("mixed_promoted", ms.promoted);
@@ -388,6 +536,14 @@ StatsWriter SweepSession::stats_writer(const SweepOutcome& out) const {
     put("mixed_phase1_secs", ms.phase1_secs);
     put("mixed_phase2_secs", ms.phase2_secs);
     put("mixed_rounds", static_cast<i64>(ms.rounds.size()));
+  }
+  if (cfg_.search()) {
+    put("search_strategy", std::string(to_string(cfg_.effective_strategy())));
+    put("search_budget", cfg_.budget);
+    put("search_evaluated", out.search.evaluated);
+    put("search_explored", out.search.explored);
+    put("search_rounds", static_cast<i64>(out.search.rounds.size()));
+    put_cache("score_tt", eval_->score_tt_stats());
   }
   return sw;
 }

@@ -32,10 +32,27 @@
 #include "common/stats_writer.hpp"
 #include "dse/config_space.hpp"
 #include "dse/evaluator.hpp"
+#include "dse/search.hpp"
 
 namespace apsq::dse {
 
 class EvalStore;
+
+/// How a session covers its space: exhaustively score every point, or
+/// explore under an evaluation budget (SearchDriver).
+enum class RunMode {
+  kSweep,   ///< enumerate and score the whole space
+  kSearch,  ///< budgeted search (--budget, --strategy, --search-seed)
+};
+
+const char* to_string(RunMode m);
+/// Parse "sweep" | "search"; throws std::invalid_argument otherwise.
+RunMode parse_run_mode(const std::string& name);
+
+/// Largest space an exhaustive sweep will enumerate. Past this, sweep
+/// mode is rejected up front (validate()) with a pointer to
+/// --mode search: materializing 10⁶+ results is never what was meant.
+inline constexpr index_t kMaxExhaustiveSweepPoints = index_t{1} << 20;
 
 /// Everything one sweep needs, declaratively. Field semantics and
 /// defaults mirror the apsq_dse flags one-to-one (the *_set booleans
@@ -43,8 +60,18 @@ class EvalStore;
 /// explicit --promote-band outside the mixed backend is an error, the
 /// default value is not).
 struct SweepConfig {
-  std::string space = "paper";  ///< "paper" (1248 pts) | "smoke" (8 pts)
+  /// "paper" (1248 pts) | "smoke" (8 pts) | "fine" (~6×10⁷ pts,
+  /// search-only).
+  std::string space = "paper";
   EvalBackend backend = EvalBackend::kAnalytic;
+  /// Exhaustive sweep (default) or budgeted search.
+  RunMode mode = RunMode::kSweep;
+  SearchStrategy strategy = SearchStrategy::kHalving;
+  bool strategy_set = false;
+  i64 budget = 0;  ///< search mode: fidelity-evaluation budget (required)
+  bool budget_set = false;
+  u64 search_seed = 1;  ///< search-trajectory seed (not the scoring seed)
+  bool search_seed_set = false;
   /// The plane fronts are extracted (and re-sliced) in.
   ObjectiveSet objectives;
   /// Mixed backend: the plane promotion margins are measured in. Follows
@@ -77,6 +104,15 @@ struct SweepConfig {
   std::string where;
 
   bool mixed() const { return backend == EvalBackend::kMixed; }
+  bool search() const { return mode == RunMode::kSearch; }
+
+  /// The strategy a search runs: the explicit one, else halving for the
+  /// mixed backend (it is the budgeted mixed pipeline) and evolve for the
+  /// single-fidelity ones.
+  SearchStrategy effective_strategy() const;
+
+  /// The SearchOptions this config denotes (search mode only).
+  SearchOptions search_options() const;
 
   /// Cross-field consistency rules — the single authority both the CLI
   /// and the job-spec path run, so both reject an inconsistent config
@@ -143,7 +179,9 @@ std::vector<EvalResult> extract_front(const SweepConfig& cfg,
 
 /// What one sweep produced, plus the accounting a report needs.
 struct SweepOutcome {
-  /// Every point of the space, in enumeration order.
+  /// Every scored point, in enumeration order. An exhaustive sweep covers
+  /// the whole space; a budgeted search holds only the (sparse) rows it
+  /// explored — results.size() is nowhere near space.size() then.
   std::vector<EvalResult> results;
   /// Per-workload Pareto front over cfg.objectives (after the `where`
   /// filter; over the promoted subset for mixed sweeps).
@@ -157,6 +195,9 @@ struct SweepOutcome {
   index_t store_hits = 0;  ///< points answered from the EvalStore
   /// Families loaded from calibration_csv (-1: no load happened).
   i64 calibration_families_loaded = -1;
+  /// Search mode, cold runs only: the driver's round/budget accounting
+  /// (all-zero on a warm store replay — nothing ran).
+  SearchStats search;
 };
 
 class SweepSession {
@@ -201,6 +242,11 @@ class SweepSession {
  private:
   std::vector<EvalResult> slice_front(const std::vector<EvalResult>& results,
                                       size_t& global_front_size) const;
+  /// The search-mode body of run(): answer whole from a store entry under
+  /// the search scoring key (its sparse rows ARE the complete output of
+  /// this deterministic trajectory), or run the SearchDriver cold and
+  /// merge its rows into the store.
+  SweepOutcome run_search();
 
   SweepConfig cfg_;
   ConfigSpace space_;

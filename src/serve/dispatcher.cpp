@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.hpp"
 #include "dse/report.hpp"
+#include "dse/search.hpp"
 #include "dse/store.hpp"
 
 namespace apsq::serve {
@@ -44,6 +45,10 @@ struct Dispatcher::Group {
   std::set<index_t> pending APSQ_GUARDED_BY(mu);   ///< missed, unclaimed
   std::set<index_t> inflight APSQ_GUARDED_BY(mu);  ///< in the leader's batch
   std::map<index_t, EvalResult> done APSQ_GUARDED_BY(mu);
+  /// Search queries coalesce whole, not point-wise: once one leader has
+  /// run the driver and merged its rows into the store, every later query
+  /// under this scoring identity answers warm.
+  bool search_done APSQ_GUARDED_BY(mu) = false;
 };
 
 Dispatcher::Dispatcher(dse::EvalStore& store) : store_(store) {}
@@ -93,8 +98,6 @@ QueryResult Dispatcher::query(const dse::RequestSpec& req) {
   total_requests_.fetch_add(1);
 
   QueryResult out;
-  out.results.resize(static_cast<size_t>(space.size()));
-  std::vector<index_t> misses;
 
   const std::shared_ptr<const dse::EvalStore::Entry> entry =
       store_.find(hash, scoring);
@@ -108,6 +111,120 @@ QueryResult Dispatcher::query(const dse::RequestSpec& req) {
         std::to_string(entry->space_points) + " points but the space has " +
         std::to_string(space.size()));
   }
+
+  // A per-row guard shared by both answer paths: a stored row must denote
+  // exactly the point the space enumerates at its index — anything else
+  // is a hash collision or a stale snapshot.
+  const auto check_row = [&](index_t i, const EvalResult& r) {
+    const DesignPoint p = space.at(i);
+    if (canonical_key(r.point) != canonical_key(p))
+      throw std::runtime_error(
+          (store_.source().empty() ? std::string("evaluated-space store")
+                                   : store_.source()) +
+          ": snapshot point " + std::to_string(i) +
+          " does not match the space (stored " + canonical_key(r.point) +
+          ", expected " + canonical_key(p) + ")");
+  };
+
+  // The shared answer tail: front extraction, truncation, and the
+  // telemetry counters — identical for sweep and search responses.
+  const auto finish = [&]() -> QueryResult {
+    size_t global_front_size = 0;
+    std::vector<EvalResult> front = dse::extract_front(
+        req.config, constraints, out.results, &global_front_size);
+    out.front_size = front.size();
+    out.global_front_size = global_front_size;
+    out.front_csv =
+        dse::results_csv(front, req.config.scored_by_label()).to_string();
+    if (req.top > 0 && static_cast<size_t>(req.top) < front.size())
+      front.resize(static_cast<size_t>(req.top));
+    out.front = std::move(front);
+    out.stats.wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    const WorkStealingPool& pool = WorkStealingPool::shared();
+    out.stats.pool_threads = pool.num_threads();
+    out.stats.pool_runs = pool.run_count();
+    out.stats.pool_steals = pool.steal_count();
+    return std::move(out);
+  };
+
+  if (req.config.search()) {
+    // Budgeted search: the scoring key pins (strategy, budget, seed,
+    // objective plane), so a snapshot's sparse rows ARE the complete
+    // deterministic answer — a warm search query never runs the driver,
+    // and concurrent cold queries coalesce onto ONE driver run.
+    if (entry != nullptr) {
+      for (const auto& [i, r] : entry->results) {
+        check_row(i, r);
+        out.results.push_back(r);
+      }
+      out.stats.store_hits = static_cast<index_t>(out.results.size());
+    } else {
+      Group& g = group_for(hash, scoring, req);
+      const CounterScope in_group(inflight_);
+      bool leader = false;
+      {
+        MutexLock lock(g.mu);
+        while (!g.search_done && g.leader_active) g.cv.wait(g.mu);
+        if (!g.search_done) {
+          g.leader_active = true;
+          leader = true;
+        }
+      }
+      if (leader) {
+        if (batch_hook_) batch_hook_();
+        std::map<index_t, EvalResult> rows;
+        try {
+          dse::SearchDriver driver(space, *g.eval,
+                                   req.config.search_options());
+          rows = driver.run();
+        } catch (...) {
+          // Hand leadership back so a waiter can retry instead of
+          // blocking forever on a search that will never complete.
+          MutexLock lock(g.mu);
+          g.leader_active = false;
+          g.cv.notify_all();
+          throw;
+        }
+        store_.merge_rows(hash, scoring, req.config.scored_by_label(),
+                          space.size(), rows);
+        {
+          MutexLock lock(g.mu);
+          g.search_done = true;
+          g.leader_active = false;
+        }
+        g.cv.notify_all();
+        for (auto& [i, r] : rows) {
+          static_cast<void>(i);
+          out.results.push_back(std::move(r));
+        }
+        out.stats.fresh_evaluations = static_cast<index_t>(out.results.size());
+        out.stats.eval_batches = 1;
+        total_fresh_.fetch_add(static_cast<i64>(out.results.size()));
+        total_batches_.fetch_add(1);
+      } else {
+        // Follower: the leader merged its rows before raising search_done,
+        // so the store must hold the entry now.
+        const std::shared_ptr<const dse::EvalStore::Entry> ready =
+            store_.find(hash, scoring);
+        if (ready == nullptr)
+          throw std::runtime_error(
+              "dispatcher: search snapshot missing after a completed search "
+              "for space hash " +
+              hash);
+        for (const auto& [i, r] : ready->results) {
+          check_row(i, r);
+          out.results.push_back(r);
+        }
+        out.stats.coalesced = static_cast<index_t>(out.results.size());
+      }
+    }
+    return finish();
+  }
+
+  out.results.resize(static_cast<size_t>(space.size()));
+  std::vector<index_t> misses;
   // The mixed pipeline's promotion set depends on the whole space, so a
   // partial mixed snapshot cannot be completed point-by-point — only a
   // complete one answers; otherwise the full space is (re)evaluated in
@@ -118,17 +235,7 @@ QueryResult Dispatcher::query(const dse::RequestSpec& req) {
     if (usable) {
       const auto it = entry->results.find(i);
       if (it != entry->results.end()) {
-        const DesignPoint p = space.at(i);
-        // Guard against collisions and stale snapshots: the stored row
-        // must denote exactly the point the space enumerates here.
-        if (canonical_key(it->second.point) != canonical_key(p))
-          throw std::runtime_error(
-              (store_.source().empty() ? std::string("evaluated-space store")
-                                       : store_.source()) +
-              ": snapshot point " + std::to_string(i) +
-              " does not match the space (stored " +
-              canonical_key(it->second.point) + ", expected " +
-              canonical_key(p) + ")");
+        check_row(i, it->second);
         out.results[static_cast<size_t>(i)] = it->second;
         continue;
       }
@@ -232,27 +339,7 @@ QueryResult Dispatcher::query(const dse::RequestSpec& req) {
                  out.results);
   }
 
-  size_t global_front_size = 0;
-  std::vector<EvalResult> front =
-      dse::extract_front(req.config, constraints, out.results,
-                         &global_front_size);
-  out.front_size = front.size();
-  out.global_front_size = global_front_size;
-  out.front_csv =
-      dse::results_csv(front, req.config.scored_by_label()).to_string();
-  if (req.top > 0 && static_cast<size_t>(req.top) < front.size())
-    front.resize(static_cast<size_t>(req.top));
-  out.front = std::move(front);
-
-  out.stats.wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - t0)
-          .count();
-  const WorkStealingPool& pool = WorkStealingPool::shared();
-  out.stats.pool_threads = pool.num_threads();
-  out.stats.pool_runs = pool.run_count();
-  out.stats.pool_steals = pool.steal_count();
-  return out;
+  return finish();
 }
 
 }  // namespace apsq::serve

@@ -21,6 +21,14 @@
 // evaluation of the shared points, and the summed fresh_evaluations
 // across responses equals the number of unique cold points.
 //
+// Budgeted searches (mode=search) coalesce whole rather than
+// point-wise: a search's scoring key pins (strategy, budget, seed,
+// objective plane), so its sparse result set is the complete
+// deterministic answer. The first cold query under the key becomes the
+// search leader, runs the SearchDriver once, and merges the rows into
+// the store; every concurrent and later query answers from that
+// snapshot with zero fresh evaluations.
+//
 // Thread safety: query() is fully re-entrant — the store is internally
 // synchronized, group state is guarded by the group's mutex, and the
 // per-group Evaluator is only ever driven by the group's current leader.
@@ -61,8 +69,10 @@ struct QueryStats {
 
 /// One answered query.
 struct QueryResult {
-  /// Every point of the space, in enumeration order (store rows merged
-  /// with fresh evaluations) — what a "csv" output serializes.
+  /// The scored points in enumeration order — what a "csv" output
+  /// serializes. For a sweep that is every point of the space (store rows
+  /// merged with fresh evaluations); for a budgeted search it is the
+  /// sparse set of points the search evaluated, ascending by index.
   std::vector<dse::EvalResult> results;
   /// The per-workload front, truncated to the request's `top` (0 = all).
   std::vector<dse::EvalResult> front;

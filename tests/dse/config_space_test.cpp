@@ -76,5 +76,49 @@ TEST(ConfigSpace, EmptyAxisFailsValidation) {
   EXPECT_THROW(s.validate(), std::logic_error);
 }
 
+TEST(ConfigSpace, FineDefaultIsMillionPointScale) {
+  const ConfigSpace s = ConfigSpace::fine_default();
+  s.validate();
+  EXPECT_GE(s.size(), index_t{1000000});
+  // The fine axes override what the coarse axes set: decode a point and
+  // check the fine fields took effect.
+  const DesignPoint p = s.at(s.size() - 1);
+  p.validate();
+  EXPECT_EQ(p.acc.ifmap_buf_bytes, s.ifmap_bytes_axis.back());
+  EXPECT_EQ(p.acc.ofmap_buf_bytes, s.ofmap_bytes_axis.back());
+  EXPECT_EQ(p.acc.weight_buf_bytes, s.weight_bytes_axis.back());
+  EXPECT_EQ(p.acc.act_bits, s.act_bits_axis.back());
+  EXPECT_EQ(p.acc.weight_bits, s.weight_bits_axis.back());
+}
+
+TEST(ConfigSpace, IndexArithmeticSurvivesBeyond32Bits) {
+  // A space bigger than 2^32 points: mixed-radix decode must run in
+  // 64-bit throughout — with any 32-bit truncation, indices that agree
+  // modulo 2^32 would decode to the same point.
+  ConfigSpace s = ConfigSpace::fine_default();
+  for (int rep = 0; s.size() <= (index_t{1} << 32); ++rep)
+    s.ifmap_bytes_axis.push_back(s.ifmap_bytes_axis.back() + 1024 * (rep + 1));
+  ASSERT_GT(s.size(), index_t{1} << 32);
+  const index_t lo = 12345;
+  const index_t hi = lo + (index_t{1} << 32);
+  EXPECT_NE(canonical_key(s.at(lo)), canonical_key(s.at(hi)));
+  EXPECT_EQ(canonical_key(s.at(hi)), canonical_key(s.at(hi)));
+}
+
+TEST(ConfigSpace, SizeOverflowErrorsRatherThanWraps) {
+  // Grow the axes until the point count exceeds 2^63: size() must refuse
+  // with a logic error, never silently wrap to a small or negative count.
+  ConfigSpace s = ConfigSpace::fine_default();
+  const auto extend = [](std::vector<i64>& axis, size_t to) {
+    while (axis.size() < to) axis.push_back(axis.back() + 1024);
+  };
+  extend(s.ifmap_bytes_axis, 10000);
+  extend(s.ofmap_bytes_axis, 10000);
+  extend(s.weight_bytes_axis, 10000);
+  while (s.act_bits_axis.size() < 300)
+    s.act_bits_axis.push_back(s.act_bits_axis.back() + 1);
+  EXPECT_THROW(s.size(), std::logic_error);
+}
+
 }  // namespace
 }  // namespace apsq::dse

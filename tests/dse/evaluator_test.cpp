@@ -50,14 +50,16 @@ TEST(Evaluator, RepeatedEvaluationHitsTheCacheAndMatches) {
   Evaluator eval;
   const DesignPoint p = bert_point(PsumConfig::apsq_int8(2));
   const EvalResult a = eval.evaluate(p);
-  const CacheStats after_first = eval.energy_cache_stats();
-  EXPECT_EQ(after_first.misses, 1);
-  EXPECT_EQ(after_first.hits, 0);
+  EXPECT_EQ(eval.score_tt_stats().misses, 1);
+  EXPECT_EQ(eval.score_tt_stats().hits, 0);
+  EXPECT_EQ(eval.energy_cache_stats().misses, 1);
 
   const EvalResult b = eval.evaluate(p);
-  const CacheStats after_second = eval.energy_cache_stats();
-  EXPECT_EQ(after_second.misses, 1);
-  EXPECT_EQ(after_second.hits, 1);
+  // The repeat is a whole-result transposition-table hit — the sub-caches
+  // are never consulted again.
+  EXPECT_EQ(eval.score_tt_stats().misses, 1);
+  EXPECT_EQ(eval.score_tt_stats().hits, 1);
+  EXPECT_EQ(eval.energy_cache_stats().lookups(), 1);
 
   // Bit-identical, not just close.
   EXPECT_EQ(a.obj.energy_pj, b.obj.energy_pj);
@@ -100,23 +102,29 @@ TEST(Evaluator, ParallelEqualsSerialByteIdentical) {
 
 TEST(Evaluator, CacheStatsReconcileWithLookups) {
   // hits + misses + races must equal the lookup count for any schedule —
-  // the races counter absorbs duplicate computes under contention.
+  // the races counter absorbs duplicate computes under contention. The
+  // whole-result score TT fronts the sub-caches, so the warm re-run is
+  // pure score-TT hits and never reaches them.
   const ConfigSpace space = ConfigSpace::smoke();
   EvaluatorOptions opt;
   opt.threads = 4;
   Evaluator eval(opt);
   eval.evaluate_space(space);
-  eval.evaluate_space(space);  // warm re-run: all hits
-  const i64 lookups = 2 * space.size();
-  EXPECT_EQ(eval.energy_cache_stats().lookups(), lookups);
-  EXPECT_EQ(eval.area_cache_stats().lookups(), lookups);
-  EXPECT_EQ(eval.accuracy_cache_stats().lookups(), lookups);
-  EXPECT_EQ(eval.latency_cache_stats().lookups(), lookups);
+  eval.evaluate_space(space);  // warm re-run: all score-TT hits
+  const i64 cold = space.size();
+  const CacheStats ss = eval.score_tt_stats();
+  EXPECT_EQ(ss.lookups(), 2 * cold);
   // Distinct-key counts are schedule-independent: misses + races ==
   // first-run computes, and the warm run added pure hits.
+  EXPECT_EQ(ss.misses + ss.races, cold);
+  EXPECT_EQ(ss.hits, cold);
+  // The sub-caches saw exactly the cold computes, once each.
+  EXPECT_EQ(eval.energy_cache_stats().lookups(), cold);
+  EXPECT_EQ(eval.area_cache_stats().lookups(), cold);
+  EXPECT_EQ(eval.accuracy_cache_stats().lookups(), cold);
+  EXPECT_EQ(eval.latency_cache_stats().lookups(), cold);
   const CacheStats es = eval.energy_cache_stats();
-  EXPECT_EQ(es.misses, space.size());  // all smoke keys are distinct
-  EXPECT_EQ(es.hits + es.races, space.size());
+  EXPECT_EQ(es.misses + es.races, cold);  // all smoke keys are distinct
 }
 
 TEST(Evaluator, RepeatedCallsReuseThePersistentPool) {

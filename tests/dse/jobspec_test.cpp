@@ -126,6 +126,56 @@ TEST(JobSpec, RejectsWrongTypesAndOutOfRangeValues) {
                      "\"where\"");
 }
 
+TEST(JobSpec, SearchFieldsMapOntoSweepConfigLikeTheFlags) {
+  const JobSpec spec = parse_text(
+      "{\"experiments\": [{"
+      " \"space\": \"fine\", \"mode\": \"search\", \"strategy\": \"evolve\","
+      " \"budget\": 512, \"search_seed\": 7}]}");
+  const JobExperiment& e = spec.experiments[0];
+  EXPECT_EQ(e.config.mode, RunMode::kSearch);
+  EXPECT_TRUE(e.config.strategy_set);
+  EXPECT_EQ(e.config.strategy, SearchStrategy::kEvolve);
+  EXPECT_TRUE(e.config.budget_set);
+  EXPECT_EQ(e.config.budget, 512);
+  EXPECT_TRUE(e.config.search_seed_set);
+  EXPECT_EQ(e.config.search_seed, 7u);
+  std::ostringstream err;
+  EXPECT_TRUE(e.config.validate(err)) << err.str();
+}
+
+TEST(JobSpec, V1SpecsWithoutSearchFieldsStillParseAsSweeps) {
+  // Back-compat: the search fields are additions to schema v1 — a spec
+  // written before they existed must parse to a plain exhaustive sweep.
+  const JobSpec spec = parse_text(
+      "{\"schema_version\": 1, \"experiments\": [{\"space\": \"smoke\"}]}");
+  const JobExperiment& e = spec.experiments[0];
+  EXPECT_EQ(e.config.mode, RunMode::kSweep);
+  EXPECT_FALSE(e.config.strategy_set);
+  EXPECT_FALSE(e.config.budget_set);
+  EXPECT_FALSE(e.config.search_seed_set);
+}
+
+TEST(JobSpec, RejectsBadSearchValues) {
+  expect_parse_error("{\"experiments\": [{\"mode\": \"speedrun\"}]}",
+                     "\"mode\"");
+  expect_parse_error("{\"experiments\": [{\"strategy\": \"anneal\"}]}",
+                     "\"strategy\"");
+  expect_parse_error("{\"experiments\": [{\"budget\": 0}]}",
+                     "\"budget\" must be in");
+  expect_parse_error("{\"experiments\": [{\"search_seed\": -1}]}",
+                     "\"search_seed\" must be >= 0");
+}
+
+TEST(JobSpec, FutureVersionWithSearchFieldsStillRejectsAtTheGate) {
+  // The version gate fires before any field —  including the new search
+  // keys — can produce a misleading per-key error, and the message names
+  // the source.
+  expect_parse_error(
+      "{\"schema_version\": 2, \"experiments\":"
+      " [{\"mode\": \"search\", \"budget\": 4}]}",
+      "unsupported schema_version 2 (supported: 1..1)");
+}
+
 TEST(JobSpec, SchemaVersionGateAcceptsV1AndRejectsTheFuture) {
   // An explicit v1 parses; an absent schema_version means v1; a future
   // version is rejected naming the source, the version, and the range —
@@ -188,13 +238,21 @@ TEST(JobSpec, BundledExampleSpecsParse) {
   // smoke one end-to-end.
   const std::string smoke_path = bundled_spec("smoke_jobs.json");
   const std::string paper_path = bundled_spec("paper_space.json");
-  if (smoke_path.empty() || paper_path.empty())
+  const std::string search_path = bundled_spec("search_jobs.json");
+  if (smoke_path.empty() || paper_path.empty() || search_path.empty())
     GTEST_SKIP() << "examples/jobs not reachable from the test cwd";
   const JobSpec smoke = JobSpec::parse_file(smoke_path);
   EXPECT_EQ(smoke.experiments.size(), 2u);
   const JobSpec paper = JobSpec::parse_file(paper_path);
   EXPECT_EQ(paper.experiments.size(), 4u);
   for (const JobExperiment& e : paper.experiments) {
+    std::ostringstream err;
+    EXPECT_TRUE(e.config.validate(err)) << e.name << ": " << err.str();
+  }
+  const JobSpec search = JobSpec::parse_file(search_path);
+  EXPECT_EQ(search.experiments.size(), 2u);
+  for (const JobExperiment& e : search.experiments) {
+    EXPECT_EQ(e.config.mode, RunMode::kSearch) << e.name;
     std::ostringstream err;
     EXPECT_TRUE(e.config.validate(err)) << e.name << ": " << err.str();
   }

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dse/names.hpp"
 #include "dse/pareto.hpp"
 #include "dse/report.hpp"
 
@@ -159,6 +160,105 @@ TEST(Constraints, ParseRejectsUnknownNamesAndMalformedTerms) {
   EXPECT_THROW(parse_constraints("area=1"), std::invalid_argument);
   EXPECT_THROW(parse_constraints("area<=abc"), std::invalid_argument);
   EXPECT_THROW(parse_constraints("<=5"), std::invalid_argument);
+}
+
+TEST(Constraints, UnknownNameErrorNamesTheMetricAndListsValid) {
+  // The fix must be in the error: the mistyped metric by name, plus the
+  // full valid-name list.
+  try {
+    parse_constraints("frobnication<=1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown objective in constraint: frobnication"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find(objective_name_list()), std::string::npos) << msg;
+  }
+}
+
+TEST(SweepConfig, ParseRunModeRoundTripsAndRejects) {
+  EXPECT_EQ(parse_run_mode("sweep"), RunMode::kSweep);
+  EXPECT_EQ(parse_run_mode("search"), RunMode::kSearch);
+  EXPECT_EQ(to_string(RunMode::kSweep), std::string("sweep"));
+  EXPECT_EQ(to_string(RunMode::kSearch), std::string("search"));
+  EXPECT_THROW(parse_run_mode("bogus"), std::invalid_argument);
+}
+
+TEST(SweepConfig, SearchValidateRulesMatchTheCliFlagRules) {
+  SweepConfig c;
+  c.strategy_set = true;
+  EXPECT_EQ(validate_message(c), "--strategy: requires --mode search\n");
+
+  c = SweepConfig{};
+  c.budget = 8;
+  c.budget_set = true;
+  EXPECT_EQ(validate_message(c), "--budget: requires --mode search\n");
+
+  c = SweepConfig{};
+  c.search_seed_set = true;
+  EXPECT_EQ(validate_message(c), "--search-seed: requires --mode search\n");
+
+  c = SweepConfig{};
+  c.mode = RunMode::kSearch;
+  EXPECT_EQ(validate_message(c), "--mode search: requires --budget >= 1\n");
+
+  c = SweepConfig{};
+  c.mode = RunMode::kSearch;
+  c.budget = 8;
+  c.budget_set = true;
+  c.strategy = SearchStrategy::kHalving;
+  c.strategy_set = true;
+  EXPECT_EQ(validate_message(c),
+            "--strategy halving: requires --backend mixed\n");
+
+  c = SweepConfig{};
+  c.mode = RunMode::kSearch;
+  c.budget = 8;
+  c.budget_set = true;
+  c.backend = EvalBackend::kMixed;
+  c.strategy = SearchStrategy::kEvolve;
+  c.strategy_set = true;
+  EXPECT_EQ(validate_message(c),
+            "--strategy evolve: requires --backend analytic or sim\n");
+}
+
+TEST(SweepConfig, FineSpaceRequiresSearchMode) {
+  SweepConfig c;
+  c.space = "fine";
+  const std::string msg = validate_message(c);
+  EXPECT_NE(msg.find("beyond exhaustive sweep"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("--mode search"), std::string::npos) << msg;
+
+  c.mode = RunMode::kSearch;
+  c.budget = 64;
+  c.budget_set = true;
+  std::ostringstream err;
+  EXPECT_TRUE(c.validate(err)) << err.str();
+}
+
+TEST(SweepConfig, ScoringKeySeparatesSearchKnobs) {
+  SweepConfig sweep;
+  sweep.space = "smoke";
+  SweepConfig search = sweep;
+  search.mode = RunMode::kSearch;
+  search.budget = 8;
+  search.budget_set = true;
+  // A search answer set is not a sweep answer set, and every search knob
+  // changes which points exist in it.
+  EXPECT_NE(sweep.scoring_key(), search.scoring_key());
+  SweepConfig seed2 = search;
+  seed2.search_seed = 2;
+  seed2.search_seed_set = true;
+  EXPECT_NE(search.scoring_key(), seed2.scoring_key());
+  SweepConfig budget9 = search;
+  budget9.budget = 9;
+  EXPECT_NE(search.scoring_key(), budget9.scoring_key());
+  // Thread count stays value-irrelevant in search mode too — that is the
+  // determinism contract.
+  SweepConfig threads = search;
+  threads.threads = 7;
+  EXPECT_EQ(search.scoring_key(), threads.scoring_key());
 }
 
 TEST(Constraints, FilterKeepsExactlyTheSatisfyingResults) {

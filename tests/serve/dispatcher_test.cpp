@@ -197,6 +197,49 @@ TEST(Dispatcher, MixedWarmAndColdThreadsFreshEqualsUniqueColdPoints) {
   }
 }
 
+TEST(Dispatcher, ConcurrentSearchQueriesCoalesceIntoOneDriverRun) {
+  // Cold search queries under one scoring identity coalesce whole: ONE
+  // SearchDriver run (one leader), everyone else answered from the
+  // merged store rows — however the requests interleave.
+  dse::EvalStore store;
+  Dispatcher d(store);
+
+  dse::RequestSpec req;
+  req.config.space = "paper";
+  req.config.threads = 1;
+  req.config.mode = dse::RunMode::kSearch;
+  req.config.budget = 24;
+  req.config.budget_set = true;
+
+  constexpr int kThreads = 4;
+  std::vector<QueryResult> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&, t] { results[static_cast<size_t>(t)] = d.query(req); });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(d.total_eval_batches(), 1);
+  index_t fresh = 0;
+  for (const QueryResult& qr : results) fresh += qr.stats.fresh_evaluations;
+  const index_t rows = static_cast<index_t>(results[0].results.size());
+  EXPECT_GT(rows, 0);
+  EXPECT_LE(rows, 24);
+  EXPECT_EQ(fresh, rows);  // only the leader evaluated
+  EXPECT_EQ(d.total_fresh_evaluations(), rows);
+  // Every response is byte-identical to the batch session's answer.
+  const std::string want = serial_front_csv(req.config);
+  for (const QueryResult& qr : results) {
+    EXPECT_EQ(qr.front_csv, want);
+    EXPECT_EQ(qr.results.size(), results[0].results.size());
+  }
+  // A repeat answers warm, straight from the sparse snapshot.
+  const QueryResult warm = d.query(req);
+  EXPECT_EQ(warm.stats.fresh_evaluations, 0);
+  EXPECT_EQ(warm.stats.store_hits, rows);
+  EXPECT_EQ(warm.front_csv, want);
+}
+
 TEST(Dispatcher, PartialSnapshotEvaluatesOnlyTheMisses) {
   // Build a snapshot missing its last row (the on-disk shape a partially
   // scored space loads as), and check the dispatcher fills exactly the

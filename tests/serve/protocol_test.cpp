@@ -84,6 +84,34 @@ TEST(Protocol, QueryResponseCarriesFrontRowsAndTelemetry) {
             std::string::npos);
 }
 
+TEST(Protocol, SearchQueryAnswersSparseAndWarmRepliesFromTheStore) {
+  dse::EvalStore store;
+  Dispatcher d(store);
+  const std::string query =
+      "{\"schema_version\": 1, \"id\": \"s1\", \"space\": \"paper\","
+      " \"mode\": \"search\", \"strategy\": \"evolve\", \"budget\": 32,"
+      " \"search_seed\": 3, \"threads\": 1}";
+
+  const LineResult cold = handle_request_line(d, query);
+  ASSERT_TRUE(cold.ok) << cold.response;
+  const JsonValue cdoc = parsed_response(cold);
+  // Sparse: a budgeted search reports the points it evaluated, not the
+  // 1248-point space.
+  EXPECT_LE(cdoc.get("points").as_i64(), 32);
+  EXPECT_GT(cdoc.get("points").as_i64(), 0);
+  EXPECT_EQ(cdoc.get("stats").get("fresh_evaluations").as_i64(),
+            cdoc.get("points").as_i64());
+
+  // Warm: the same (strategy, budget, seed) identity answers from the
+  // store without re-running the driver.
+  const LineResult warm = handle_request_line(d, query);
+  ASSERT_TRUE(warm.ok) << warm.response;
+  const JsonValue wdoc = parsed_response(warm);
+  EXPECT_EQ(wdoc.get("stats").get("fresh_evaluations").as_i64(), 0);
+  EXPECT_EQ(wdoc.get("stats").get("store_hits").as_i64(),
+            cdoc.get("points").as_i64());
+}
+
 TEST(Protocol, RejectsMalformedRequestsWithoutThrowing) {
   dse::EvalStore store;
   Dispatcher d(store);
@@ -107,6 +135,11 @@ TEST(Protocol, RejectsMalformedRequestsWithoutThrowing) {
   expect_error("{\"threads\": 0}", "\"threads\" must be in [1, 4096]");
   expect_error("{\"objectives\": \"energy,joy\"}", "unknown objective");
   expect_error("{\"space\": \"nope\"}", "unknown space: nope");
+  expect_error("{\"strategy\": \"anneal\"}", "unknown strategy: anneal");
+  expect_error("{\"budget\": 0}", "\"budget\" must be in");
+  expect_error("{\"mode\": \"search\"}",
+               "--mode search: requires --budget >= 1");
+  expect_error("{\"space\": \"fine\"}", "beyond exhaustive sweep");
   // An id in a failing request is still echoed, so clients can correlate.
   const LineResult r =
       handle_request_line(d, "{\"id\": \"x7\", \"space\": \"nope\"}");
